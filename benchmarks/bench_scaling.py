@@ -1,0 +1,42 @@
+"""Scaling series: certificate size and check time vs. program size.
+
+The paper reports (RQ2) that proof checking stays within CI-friendly
+bounds and notes the overhead is proportional to program features.  This
+benchmark generates a series of programs of increasing size and prints the
+(Viper LoC, Boogie LoC, certificate LoC, check time) series — the data
+behind the claim that check time scales with certificate size.
+"""
+
+from repro.harness import generate_file, run_file
+
+from common import emit
+
+SIZES = [(10, 1), (30, 3), (60, 5), (120, 8), (240, 12), (420, 16)]
+
+
+def _run_series():
+    rows = []
+    for loc, methods in SIZES:
+        corpus_file = generate_file("Viper", f"scale-{loc}", loc, methods)
+        rows.append(run_file(corpus_file))
+    return rows
+
+
+def test_scaling_series(benchmark):
+    rows = benchmark.pedantic(_run_series, rounds=1, iterations=1)
+    lines = [
+        "Scaling: check time vs. program size (synthetic series)",
+        f"{'Viper LoC':>10} | {'Boogie LoC':>10} | {'cert LoC':>9} | {'check [ms]':>10}",
+        "-" * 50,
+    ]
+    for row in rows:
+        lines.append(
+            f"{row.viper_loc:>10} | {row.boogie_loc:>10} | {row.cert_loc:>9} | "
+            f"{row.check_seconds * 1000:>10.2f}"
+        )
+    emit("scaling_series", "\n".join(lines))
+    assert all(row.certified for row in rows)
+    # Monotone shape: the largest program has the largest certificate and
+    # takes longer to check than the smallest.
+    assert rows[-1].cert_loc > rows[0].cert_loc
+    assert rows[-1].check_seconds > rows[0].check_seconds

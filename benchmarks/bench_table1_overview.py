@@ -1,0 +1,40 @@
+"""Table 1: per-suite overview of the evaluation (Sec. 5).
+
+Reproduces, for the synthesised 72-file corpus, the columns of the paper's
+Tab. 1: files, methods, mean Viper/Boogie/certificate LoC, and mean/median
+certificate-check times.  The benchmarked operation is the full pipeline
+over the complete corpus (translate + generate + independently check).
+
+Shape targets (paper values in parentheses): 72 files (72), 299 methods
+(299), Boogie/Viper blow-up of several times (6.2×), every certificate
+checks (all 72 proofs check), MPP the largest per-file suite.
+"""
+
+from repro.harness import (
+    aggregate_overall,
+    blowup_factor,
+    full_corpus,
+    render_table1,
+    run_files,
+)
+
+from common import all_suite_metrics, emit
+
+
+def _pipeline_once():
+    return {suite: run_files(files) for suite, files in full_corpus().items()}
+
+
+def test_table1_overview(benchmark):
+    per_suite = benchmark.pedantic(_pipeline_once, rounds=1, iterations=1)
+    emit("table1_overview", render_table1(per_suite))
+    overall = aggregate_overall(per_suite)
+    assert overall.files == 72
+    assert overall.methods == 299
+    assert overall.all_certified, "RQ1: every certificate must check"
+    factor = blowup_factor(per_suite)
+    emit(
+        "table1_blowup",
+        f"Boogie/Viper LoC blow-up: {factor:.1f}x (paper reports 6.2x)",
+    )
+    assert 3.0 <= factor <= 9.0

@@ -1,0 +1,32 @@
+"""Table 2: detailed results for the paper's selected files.
+
+The selection matches Sec. 5: the largest file of each of the Viper, Gobra
+and VerCors suites plus all three MPP files.  The benchmarked operation is
+the pipeline over exactly these six files.
+"""
+
+from repro.harness import full_corpus, render_detail_table, run_files, TABLE2_SELECTION
+
+from common import emit
+
+
+def _selected_files():
+    corpus = full_corpus()
+    selected = []
+    for suite, name in TABLE2_SELECTION:
+        selected.append(next(f for f in corpus[suite] if f.name == name))
+    return selected
+
+
+def test_table2_selected(benchmark):
+    files = _selected_files()
+    metrics = benchmark.pedantic(run_files, args=(files,), rounds=1, iterations=1)
+    emit("table2_selected", render_detail_table(metrics, "Table 2: selected files"))
+    assert all(m.certified for m in metrics)
+    by_name = {m.name: m for m in metrics}
+    # banerjee is the largest input and must produce the largest certificate
+    # of the selection (it is the paper's slowest file).
+    assert by_name["banerjee"].cert_loc == max(m.cert_loc for m in metrics)
+    assert by_name["banerjee"].methods == 8
+    assert by_name["darvas"].methods == 2
+    assert by_name["kusters"].methods == 3

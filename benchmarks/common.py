@@ -1,0 +1,39 @@
+"""Shared plumbing for the benchmark harness.
+
+Each benchmark regenerates one of the paper's tables (Tab. 1–6) or runs an
+ablation.  Results are printed to stdout (run pytest with ``-s`` to see
+them live) and written to ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import functools
+import pathlib
+from typing import Dict, List
+
+from repro.harness import (
+    FileMetrics,
+    full_corpus,
+    run_files,
+    suite_files,
+)
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@functools.lru_cache(maxsize=None)
+def corpus_metrics(suite: str) -> tuple:
+    """Metrics for one suite, computed once per benchmark session."""
+    return tuple(run_files(suite_files(suite)))
+
+
+def all_suite_metrics() -> Dict[str, List[FileMetrics]]:
+    return {suite: list(corpus_metrics(suite)) for suite in full_corpus()}
+
+
+def emit(name: str, text: str) -> None:
+    """Print a table and persist it under benchmarks/results/."""
+    print()
+    print(text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")

@@ -1,0 +1,118 @@
+"""Capstone example: a small bank, verified and certified end to end.
+
+Combines every supported feature — allocation, fractional permissions,
+method calls with hoisted arguments, loops with invariants, and
+old-expressions — and runs the complete toolchain on it:
+
+1. the extension passes desugar `new`, `old`, loops, and complex call
+   arguments into the paper's core subset,
+2. the front-end translates to Boogie, emitting hints,
+3. the tactic generates a forward-simulation certificate,
+4. the trusted kernel checks it independently,
+5. the bounded back-end verifies the procedures,
+6. the semantic oracle co-executes both semantics.
+
+Run:  python examples/certified_bank.py
+"""
+
+import repro
+from repro.boogie import verify_procedure_bounded
+from repro.certification import certify_translation
+from repro.certification.oracle import validate_program_semantically
+from repro.frontend import procedure_name
+from repro.frontend.background import constant_valuation, standard_interpretation
+
+BANK = """
+field balance: Int
+
+method open_account(initial: Int) returns (acct: Ref)
+  requires initial >= 0
+  ensures acc(acct.balance, write) && acct.balance == initial
+{
+  acct := new(balance)
+  acct.balance := initial
+}
+
+method deposit(acct: Ref, amount: Int)
+  requires acc(acct.balance, write) && amount > 0
+  ensures acc(acct.balance, write)
+  ensures acct.balance == old(acct.balance) + amount
+{
+  acct.balance := acct.balance + amount
+}
+
+method balance_of(acct: Ref) returns (seen: Int)
+  requires acc(acct.balance, 1/2)
+  ensures acc(acct.balance, 1/2) && seen == acct.balance
+{
+  seen := acct.balance
+}
+
+method save_monthly(acct: Ref, months: Int, rate: Int)
+  requires acc(acct.balance, write) && months >= 0 && rate > 0
+  ensures acc(acct.balance, write)
+  ensures acct.balance >= old(acct.balance)
+{
+  var m: Int
+  m := 0
+  while (m < months)
+    invariant acc(acct.balance, write) && m >= 0
+    invariant acct.balance >= old(acct.balance)
+  {
+    deposit(acct, rate + 0)
+    m := m + 1
+  }
+}
+
+method audit_pair(a: Ref, b: Ref) returns (total: Int)
+  requires acc(a.balance, 1/2) && acc(b.balance, 1/2) && a != b
+  ensures acc(a.balance, 1/2) && acc(b.balance, 1/2)
+{
+  var left: Int
+  var right: Int
+  left := balance_of(a)
+  right := balance_of(b)
+  total := left + right
+  assert total == a.balance + b.balance
+}
+"""
+
+
+def main() -> None:
+    result = repro.translate_source(BANK)
+    methods = [m.name for m in result.viper_program.methods]
+    print(f"Methods: {', '.join(methods)}")
+    print("(new/old/loops/call-arguments were desugared into the core "
+          "subset before translation)\n")
+
+    certificate, report = certify_translation(result)
+    print("Front-end certification:", "ACCEPTED" if report.ok else "REJECTED")
+    for name, method_report in report.method_reports.items():
+        deps = ", ".join(method_report.dependencies) or "-"
+        print(f"  {name:<14} rules={method_report.rules_checked:<4} "
+              f"non-local deps: {deps}")
+
+    interp = standard_interpretation(result.type_info.field_types)
+    consts = constant_valuation(result.background)
+    print("\nBack-end verdicts (bounded; exhaustive exploration is "
+          "exponential in havocs, so the loop- and call-heavy methods are "
+          "left to certification + oracle):")
+    for name in ("open_account", "deposit", "balance_of"):
+        proc = result.boogie_program.procedure(procedure_name(name))
+        verdict = verify_procedure_bounded(
+            result.boogie_program, proc, interp, fixed=consts
+        )
+        print(f"  {name:<14} {verdict.verdict}")
+
+    print("\nSemantic oracle:")
+    for verdict in validate_program_semantically(result, max_states_per_method=6):
+        note = f" [{verdict.detail}]" if verdict.detail else ""
+        print(f"  {verdict.method:<14} ok={verdict.ok} "
+              f"(failing Viper states matched: {verdict.viper_failures}){note}")
+
+    print()
+    print(report.statement())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,85 @@
+"""repro — validated Viper-to-Boogie translation.
+
+A Python reproduction of *"Towards Trustworthy Automated Program
+Verifiers: Formally Validating Translations into an Intermediate
+Verification Language"* (PLDI 2024): executable semantics for a core
+subset of Viper and of Boogie, the instrumented Viper-to-Boogie front-end
+translation, and per-run forward-simulation certificates generated from
+translator hints and checked by an independent kernel.
+
+Typical use::
+
+    from repro import certify_source
+
+    report = certify_source('''
+        field f: Int
+        method m(x: Ref) requires acc(x.f, write) ensures acc(x.f, write)
+        { x.f := 1 }
+    ''')
+    assert report.ok
+    print(report.statement())
+
+The subpackages:
+
+* :mod:`repro.viper` — Viper substrate (AST, parser, typechecker, big-step
+  semantics with permissions, bounded correctness checking),
+* :mod:`repro.boogie` — Boogie substrate (AST, typechecker, small-step
+  continuation semantics, polymorphic-map desugaring, wlp back-end),
+* :mod:`repro.frontend` — the Viper-to-Boogie translation with hint
+  instrumentation (the system under validation),
+* :mod:`repro.certification` — the paper's contribution: certificate
+  generation (tactic), the independent proof-checking kernel, semantic
+  simulation judgements, and the final-theorem assembly,
+* :mod:`repro.harness` — the evaluation corpus and pipeline (Tables 1–6).
+"""
+
+from .certification import (  # noqa: F401
+    certify_translation,
+    check_program_certificate,
+    generate_program_certificate,
+    parse_program_certificate,
+    render_program_certificate,
+    TheoremReport,
+)
+from .frontend import translate_program, TranslationOptions, TranslationResult  # noqa: F401
+from .viper import check_program, parse_program  # noqa: F401
+
+__version__ = "1.0.0"
+
+
+def translate_source(source, options=None):
+    """Parse, type-check, and translate a Viper program given as text.
+
+    While loops in the source are desugared via their invariants into the
+    core subset before translation (see :mod:`repro.viper.loops`).
+    """
+    from .viper import (
+        desugar_loops,
+        desugar_new,
+        desugar_old,
+        program_has_loops,
+        program_has_new,
+        program_has_old,
+    )
+
+    program = parse_program(source)
+    if program_has_loops(program):
+        program = desugar_loops(program)
+    if program_has_new(program):
+        program = desugar_new(program)
+    if program_has_old(program):
+        program = desugar_old(program)
+    from .viper import hoist_call_args, program_has_complex_call_args
+
+    if program_has_complex_call_args(program):
+        program = hoist_call_args(program)
+    type_info = check_program(program)
+    return translate_program(program, type_info, options)
+
+
+def certify_source(source, options=None):
+    """Run the full pipeline on Viper source text and return the theorem
+    report (generate the certificate and check it independently)."""
+    result = translate_source(source, options)
+    _certificate, report = certify_translation(result)
+    return report

@@ -1,0 +1,114 @@
+"""Program points for the Boogie small-step semantics (Sec. 2.2).
+
+A *program point* is a pair of the currently active statement block and a
+continuation; a continuation is either empty or a statement followed by a
+continuation.  :class:`Cursor` realises this directly and is shared between
+the executable semantics and the certification kernel — the γ's of the
+simulation judgements are exactly cursors.
+
+Cursors are *normalised*: a cursor never sits at the end of a block with an
+empty if-slot — it is advanced into the next block or the continuation.
+Normalisation gives structural equality the meaning "same program point",
+which the proof checker relies on when chaining simulation sub-proofs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from .ast import BIf, BStmt, SimpleCmd, StmtBlock
+
+
+@dataclass(frozen=True)
+class Cursor:
+    """A normalised Boogie program point."""
+
+    cmds: Tuple[SimpleCmd, ...]
+    ifopt: Optional[BIf]
+    rest: Tuple[StmtBlock, ...]
+    cont: Optional["Cursor"]
+
+    # -- construction -------------------------------------------------------
+
+    @staticmethod
+    def make(
+        cmds: Tuple[SimpleCmd, ...],
+        ifopt: Optional[BIf],
+        rest: Tuple[StmtBlock, ...],
+        cont: Optional["Cursor"],
+    ) -> "Cursor":
+        """Build a cursor, normalising empty positions away."""
+        while not cmds and ifopt is None:
+            if rest:
+                block = rest[0]
+                cmds, ifopt, rest = block.cmds, block.ifopt, rest[1:]
+            elif cont is not None:
+                cmds, ifopt, rest, cont = cont.cmds, cont.ifopt, cont.rest, cont.cont
+            else:
+                break
+        return Cursor(cmds, ifopt, rest, cont)
+
+    @staticmethod
+    def from_stmt(stmt: BStmt, cont: Optional["Cursor"] = None) -> "Cursor":
+        """The initial program point of a statement (init_b in Fig. 9)."""
+        return Cursor.make((), None, tuple(stmt), cont)
+
+    # -- observation ---------------------------------------------------------
+
+    @property
+    def is_done(self) -> bool:
+        return not self.cmds and self.ifopt is None and not self.rest and self.cont is None
+
+    @property
+    def current_cmd(self) -> SimpleCmd:
+        if not self.cmds:
+            raise ValueError("cursor is not at a simple command")
+        return self.cmds[0]
+
+    @property
+    def at_if(self) -> bool:
+        return not self.cmds and self.ifopt is not None
+
+    # -- movement -------------------------------------------------------------
+
+    def after_cmd(self) -> "Cursor":
+        """The point just after the current simple command."""
+        if not self.cmds:
+            raise ValueError("cursor is not at a simple command")
+        return Cursor.make(self.cmds[1:], self.ifopt, self.rest, self.cont)
+
+    def after_if(self) -> "Cursor":
+        """The join point after the current if-statement."""
+        if self.ifopt is None or self.cmds:
+            raise ValueError("cursor is not at an if-statement")
+        return Cursor.make((), None, self.rest, self.cont)
+
+    def enter_branch(self, then_branch: bool) -> "Cursor":
+        """The point at the start of a branch, continuing at the join."""
+        if self.ifopt is None or self.cmds:
+            raise ValueError("cursor is not at an if-statement")
+        branch = self.ifopt.then if then_branch else self.ifopt.otherwise
+        return Cursor.from_stmt(branch, self.after_if())
+
+    def skip_cmds(self, count: int) -> "Cursor":
+        """Advance past ``count`` simple commands."""
+        cursor = self
+        for _ in range(count):
+            cursor = cursor.after_cmd()
+        return cursor
+
+    # -- rendering ---------------------------------------------------------------
+
+    def peek(self, count: int = 3) -> str:
+        """A short human-readable description of the upcoming commands."""
+        from .pretty import pretty_cmd
+
+        parts = [pretty_cmd(cmd) for cmd in self.cmds[:count]]
+        if self.at_if:
+            parts.append("if(...)")
+        if len(self.cmds) > count:
+            parts.append("...")
+        if self.is_done:
+            return "<end>"
+        return "; ".join(parts) if parts else "<block boundary>"

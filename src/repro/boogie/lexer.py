@@ -1,0 +1,151 @@
+"""Lexer for Boogie concrete syntax (the subset our pretty-printer emits)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+
+class BoogieSyntaxError(Exception):
+    """Raised on lexical or syntactic errors in Boogie source text."""
+
+    def __init__(self, message: str, line: int, column: int):
+        super().__init__(f"{line}:{column}: {message}")
+        self.line = line
+        self.column = column
+
+
+@dataclass(frozen=True)
+class BToken:
+    kind: str
+    text: str
+    line: int
+    column: int
+
+
+KEYWORDS = frozenset(
+    {
+        "type",
+        "const",
+        "unique",
+        "var",
+        "function",
+        "axiom",
+        "procedure",
+        "assume",
+        "assert",
+        "havoc",
+        "if",
+        "else",
+        "forall",
+        "exists",
+        "then",
+        "true",
+        "false",
+        "int",
+        "real",
+        "bool",
+        "div",
+        "mod",
+    }
+)
+
+OPERATORS = [
+    "<==>",
+    "==>",
+    "::",
+    ":=",
+    "==",
+    "!=",
+    "<=",
+    ">=",
+    "&&",
+    "||",
+    "<",
+    ">",
+    "+",
+    "-",
+    "*",
+    "/",
+    "%",
+    "!",
+    ",",
+    ";",
+    ":",
+    "(",
+    ")",
+    "{",
+    "}",
+    "[",
+    "]",
+    "_",
+]
+
+
+def tokenize_boogie(source: str) -> List[BToken]:
+    """Tokenise Boogie source text; raises ``BoogieSyntaxError``."""
+    tokens: List[BToken] = []
+    line, column, i = 1, 1, 0
+    n = len(source)
+    while i < n:
+        ch = source[i]
+        if ch == "\n":
+            line += 1
+            column = 1
+            i += 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            column += 1
+            continue
+        if source.startswith("//", i):
+            while i < n and source[i] != "\n":
+                i += 1
+            continue
+        if source.startswith("/*", i):
+            end = source.find("*/", i + 2)
+            if end < 0:
+                raise BoogieSyntaxError("unterminated comment", line, column)
+            skipped = source[i : end + 2]
+            newlines = skipped.count("\n")
+            if newlines:
+                line += newlines
+                column = len(skipped) - skipped.rfind("\n")
+            else:
+                column += len(skipped)
+            i = end + 2
+            continue
+        if ch.isdigit():
+            start = i
+            while i < n and source[i].isdigit():
+                i += 1
+            if i < n and source[i] == "." and i + 1 < n and source[i + 1].isdigit():
+                i += 1
+                while i < n and source[i].isdigit():
+                    i += 1
+                text = source[start:i]
+                tokens.append(BToken("real", text, line, column))
+            else:
+                text = source[start:i]
+                tokens.append(BToken("int", text, line, column))
+            column += i - start
+            continue
+        if ch.isalpha() or ch == "_" and i + 1 < n and (source[i + 1].isalnum() or source[i + 1] == "_"):
+            start = i
+            while i < n and (source[i].isalnum() or source[i] in "_'#"):
+                i += 1
+            text = source[start:i]
+            kind = text if text in KEYWORDS else "ident"
+            tokens.append(BToken(kind, text, line, column))
+            column += len(text)
+            continue
+        for op in OPERATORS:
+            if source.startswith(op, i):
+                tokens.append(BToken(op, op, line, column))
+                i += len(op)
+                column += len(op)
+                break
+        else:
+            raise BoogieSyntaxError(f"unexpected character {ch!r}", line, column)
+    tokens.append(BToken("eof", "", line, column))
+    return tokens

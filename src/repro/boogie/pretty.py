@@ -1,0 +1,210 @@
+"""Pretty-printer emitting Boogie concrete syntax.
+
+The Viper-to-Boogie implementation passes the generated program to Boogie as
+a text file (footnote 2 of the paper); this module plays that role and also
+feeds the harness's Boogie LoC metric (Tab. 1–6).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import List
+
+from .ast import (
+    Assign,
+    Assume,
+    AxiomDecl,
+    BAssert,
+    BBinOp,
+    BBinOpKind,
+    BBool,
+    BBoolLit,
+    BExpr,
+    BInt,
+    BIntLit,
+    BIf,
+    BoogieProgram,
+    BReal,
+    BRealLit,
+    BStmt,
+    BType,
+    BUnOp,
+    BUnOpKind,
+    BVar,
+    CondB,
+    ConstDecl,
+    Exists,
+    Forall,
+    FuncApp,
+    FuncDecl,
+    GlobalVarDecl,
+    Havoc,
+    MapSelect,
+    MapStore,
+    MapType,
+    Procedure,
+    SimpleCmd,
+    StmtBlock,
+    TCon,
+    TVar,
+    TypeConDecl,
+)
+
+_PRECEDENCE = {
+    BBinOpKind.IFF: 1,
+    BBinOpKind.IMPLIES: 2,
+    BBinOpKind.OR: 3,
+    BBinOpKind.AND: 4,
+    BBinOpKind.EQ: 5,
+    BBinOpKind.NE: 5,
+    BBinOpKind.LT: 5,
+    BBinOpKind.LE: 5,
+    BBinOpKind.GT: 5,
+    BBinOpKind.GE: 5,
+    BBinOpKind.ADD: 6,
+    BBinOpKind.SUB: 6,
+    BBinOpKind.MUL: 7,
+    BBinOpKind.DIV: 7,
+    BBinOpKind.MOD: 7,
+    BBinOpKind.REAL_DIV: 7,
+}
+
+
+def pretty_type(typ: BType) -> str:
+    """Render a Boogie type."""
+    if isinstance(typ, (BInt, BReal, BBool, TVar)):
+        return str(typ)
+    if isinstance(typ, TCon):
+        if not typ.args:
+            return typ.name
+        return f"({typ.name} {' '.join(pretty_type(a) for a in typ.args)})"
+    if isinstance(typ, MapType):
+        params = f"<{','.join(typ.type_params)}>" if typ.type_params else ""
+        args = ",".join(pretty_type(a) for a in typ.arg_types)
+        return f"{params}[{args}]{pretty_type(typ.result)}"
+    raise TypeError(f"unknown type {typ!r}")
+
+
+def pretty_bexpr(expr: BExpr, parent_prec: int = 0) -> str:
+    """Render a Boogie expression with minimal parentheses."""
+    if isinstance(expr, BVar):
+        return expr.name
+    if isinstance(expr, BIntLit):
+        return str(expr.value)
+    if isinstance(expr, BRealLit):
+        return _pretty_real(expr.value)
+    if isinstance(expr, BBoolLit):
+        return "true" if expr.value else "false"
+    if isinstance(expr, BUnOp):
+        op = "-" if expr.op is BUnOpKind.NEG else "!"
+        return f"{op}{pretty_bexpr(expr.operand, 8)}"
+    if isinstance(expr, BBinOp):
+        prec = _PRECEDENCE[expr.op]
+        text = (
+            f"{pretty_bexpr(expr.left, prec)} {expr.op.value} "
+            f"{pretty_bexpr(expr.right, prec + 1)}"
+        )
+        return f"({text})" if prec < parent_prec else text
+    if isinstance(expr, CondB):
+        text = (
+            f"if {pretty_bexpr(expr.cond)} then {pretty_bexpr(expr.then)} "
+            f"else {pretty_bexpr(expr.otherwise)}"
+        )
+        return f"({text})"
+    if isinstance(expr, FuncApp):
+        targs = ""
+        if expr.type_args:
+            targs = f"<{','.join(pretty_type(t) for t in expr.type_args)}>"
+        args = ", ".join(pretty_bexpr(a) for a in expr.args)
+        return f"{expr.name}{targs}({args})"
+    if isinstance(expr, MapSelect):
+        indices = ", ".join(pretty_bexpr(i) for i in expr.indices)
+        return f"{pretty_bexpr(expr.map, 8)}[{indices}]"
+    if isinstance(expr, MapStore):
+        indices = ", ".join(pretty_bexpr(i) for i in expr.indices)
+        return f"{pretty_bexpr(expr.map, 8)}[{indices} := {pretty_bexpr(expr.value)}]"
+    if isinstance(expr, (Forall, Exists)):
+        keyword = "forall" if isinstance(expr, Forall) else "exists"
+        tvars = f"<{','.join(expr.type_vars)}> " if expr.type_vars else ""
+        bound = ", ".join(f"{name}: {pretty_type(typ)}" for name, typ in expr.bound)
+        return f"({keyword} {tvars}{bound} :: {pretty_bexpr(expr.body)})"
+    raise TypeError(f"unknown Boogie expression {expr!r}")
+
+
+def _pretty_real(value: Fraction) -> str:
+    if value.denominator == 1:
+        return f"{value.numerator}.0"
+    return f"({value.numerator}.0 / {value.denominator}.0)"
+
+
+def pretty_cmd(cmd: SimpleCmd) -> str:
+    """Render one simple command, with the trailing semicolon."""
+    if isinstance(cmd, Assume):
+        return f"assume {pretty_bexpr(cmd.expr)};"
+    if isinstance(cmd, BAssert):
+        return f"assert {pretty_bexpr(cmd.expr)};"
+    if isinstance(cmd, Assign):
+        return f"{cmd.target} := {pretty_bexpr(cmd.rhs)};"
+    if isinstance(cmd, Havoc):
+        return f"havoc {cmd.target};"
+    raise TypeError(f"unknown command {cmd!r}")
+
+
+def _stmt_lines(stmt: BStmt, indent: int) -> List[str]:
+    pad = "  " * indent
+    lines: List[str] = []
+    for block in stmt:
+        for cmd in block.cmds:
+            lines.append(pad + pretty_cmd(cmd))
+        if block.ifopt is not None:
+            cond = "*" if block.ifopt.cond is None else pretty_bexpr(block.ifopt.cond)
+            lines.append(f"{pad}if ({cond}) {{")
+            lines += _stmt_lines(block.ifopt.then, indent + 1)
+            if block.ifopt.otherwise:
+                lines.append(f"{pad}}} else {{")
+                lines += _stmt_lines(block.ifopt.otherwise, indent + 1)
+            lines.append(f"{pad}}}")
+    return lines
+
+
+def pretty_stmt(stmt: BStmt, indent: int = 0) -> str:
+    """Render a Boogie statement (block list)."""
+    return "\n".join(_stmt_lines(stmt, indent))
+
+
+def pretty_procedure(proc: Procedure) -> str:
+    """Render a procedure with its local declarations and body."""
+    lines = [f"procedure {proc.name}()"]
+    lines.append("{")
+    for name, typ in proc.locals:
+        lines.append(f"  var {name}: {pretty_type(typ)};")
+    lines += _stmt_lines(proc.body, 1)
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def pretty_boogie_program(program: BoogieProgram) -> str:
+    """Render a whole Boogie program in concrete syntax (.bpl)."""
+    parts: List[str] = []
+    for tdecl in program.type_decls:
+        holes = " ".join("_" for _ in range(tdecl.arity))
+        parts.append(f"type {tdecl.name}{(' ' + holes) if holes else ''};")
+    for const in program.consts:
+        unique = "unique " if const.unique else ""
+        parts.append(f"const {unique}{const.name}: {pretty_type(const.typ)};")
+    for gvar in program.globals:
+        parts.append(f"var {gvar.name}: {pretty_type(gvar.typ)};")
+    for func in program.functions:
+        tparams = f"<{','.join(func.type_params)}>" if func.type_params else ""
+        args = ", ".join(pretty_type(t) for t in func.arg_types)
+        parts.append(
+            f"function {func.name}{tparams}({args}): {pretty_type(func.result)};"
+        )
+    for axiom in program.axioms:
+        if axiom.comment:
+            parts.append(f"// {axiom.comment}")
+        parts.append(f"axiom {pretty_bexpr(axiom.expr)};")
+    for proc in program.procedures:
+        parts.append("")
+        parts.append(pretty_procedure(proc))
+    return "\n".join(parts) + "\n"

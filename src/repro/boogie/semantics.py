@@ -1,0 +1,473 @@
+"""Small-step operational semantics for the Boogie subset (Sec. 2.2).
+
+Executions are sequences of steps between program points (cursors) with
+three outcomes for finite executions: failure ``BFailure`` (a violated
+``assert``), magic ``BMagic`` (a violated ``assume``), and normal
+``BNormal(state)``.  Expression evaluation is *total* (given an
+interpretation for the uninterpreted functions) — the key contrast with
+Viper's partial evaluation.
+
+Quantifiers are evaluated over the finite carrier samples of the ambient
+:class:`~repro.boogie.interp.Interpretation`; type quantifiers range over
+its ``type_universe``.  This makes the semantics executable, which the
+certification test-suite uses to validate simulation lemmas differentially.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, Optional, Tuple, Union
+
+from ..choice import ChoiceOracle, DefaultOracle
+from .ast import (
+    Assign,
+    Assume,
+    BAssert,
+    BBinOp,
+    BBinOpKind,
+    BBoolLit,
+    BExpr,
+    BIntLit,
+    BIf,
+    BoogieProgram,
+    BRealLit,
+    BType,
+    BUnOp,
+    BUnOpKind,
+    BVar,
+    CondB,
+    Exists,
+    Forall,
+    FuncApp,
+    Havoc,
+    MapSelect,
+    MapStore,
+    Procedure,
+    SimpleCmd,
+    subst_type,
+    TVar,
+    TCon,
+    MapType,
+)
+from .cursor import Cursor
+from .interp import Interpretation, InterpretationError
+from .state import BoogieState
+from .values import (
+    BValue,
+    BVBool,
+    BVInt,
+    BVReal,
+    FrozenMap,
+    UValue,
+    as_b_bool,
+    as_b_int,
+    as_b_real,
+)
+
+
+# ---------------------------------------------------------------------------
+# Outcomes
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class BFailure:
+    """Outcome F: a failed assert, optionally carrying diagnostics."""
+
+    reason: str = ""
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, BFailure)
+
+    def __hash__(self) -> int:
+        return hash("BFailure")
+
+
+@dataclass(frozen=True)
+class BMagic:
+    """Outcome M: execution stopped at a violated assume."""
+
+
+@dataclass(frozen=True)
+class BNormal:
+    """Outcome N(σ_b)."""
+
+    state: BoogieState
+
+
+BOutcome = Union[BFailure, BMagic, BNormal]
+
+
+@dataclass
+class BoogieContext:
+    """The Boogie context Γ_b: declarations plus an interpretation.
+
+    ``havoc_hook``, when set, replaces the carrier sample as the candidate
+    set for ``havoc`` commands; it receives ``(name, type, state, ctx)`` and
+    returns the candidates.  The differential-testing oracle uses it to
+    offer *state-derived* heap candidates (all idOnPositive-compatible
+    variants of the current heap), which keeps exhaustive path enumeration
+    tractable while covering every havoc target the Viper semantics can
+    produce.
+    """
+
+    program: BoogieProgram
+    interp: Interpretation
+    var_types: Dict[str, BType]
+    havoc_hook: Optional[object] = None
+
+    def with_locals(self, local_types: Dict[str, BType]) -> "BoogieContext":
+        merged = dict(self.var_types)
+        merged.update(local_types)
+        return BoogieContext(self.program, self.interp, merged, self.havoc_hook)
+
+    def havoc_candidates(self, name: str, state: "BoogieState"):
+        typ = self.var_types[name]
+        if self.havoc_hook is not None:
+            candidates = self.havoc_hook(name, typ, state, self)
+            if candidates is not None:
+                return tuple(candidates)
+        return tuple(self.interp.carrier_of(typ))
+
+
+# ---------------------------------------------------------------------------
+# Expression evaluation (total)
+# ---------------------------------------------------------------------------
+
+
+def eval_bexpr(expr: BExpr, state: BoogieState, ctx: BoogieContext) -> BValue:
+    """Evaluate a Boogie expression; total on well-typed input."""
+    if isinstance(expr, BVar):
+        return state.lookup(expr.name)
+    if isinstance(expr, BIntLit):
+        return BVInt(expr.value)
+    if isinstance(expr, BRealLit):
+        return BVReal(expr.value)
+    if isinstance(expr, BBoolLit):
+        return BVBool(expr.value)
+    if isinstance(expr, BUnOp):
+        operand = eval_bexpr(expr.operand, state, ctx)
+        if expr.op is BUnOpKind.NOT:
+            return BVBool(not as_b_bool(operand))
+        if isinstance(operand, BVInt):
+            return BVInt(-operand.value)
+        return BVReal(-as_b_real(operand))
+    if isinstance(expr, BBinOp):
+        return _eval_binop(expr, state, ctx)
+    if isinstance(expr, CondB):
+        cond = eval_bexpr(expr.cond, state, ctx)
+        branch = expr.then if as_b_bool(cond) else expr.otherwise
+        return eval_bexpr(branch, state, ctx)
+    if isinstance(expr, FuncApp):
+        args = tuple(eval_bexpr(a, state, ctx) for a in expr.args)
+        return ctx.interp.apply(expr.name, expr.type_args, args)
+    if isinstance(expr, MapSelect):
+        map_value = eval_bexpr(expr.map, state, ctx)
+        key = tuple(eval_bexpr(i, state, ctx) for i in expr.indices)
+        payload = _map_payload(map_value)
+        if key not in payload:
+            raise InterpretationError(
+                "select on unstored key of a sugar-level polymorphic map; "
+                "run the polymap desugaring pass first"
+            )
+        return payload.get(key)
+    if isinstance(expr, MapStore):
+        map_value = eval_bexpr(expr.map, state, ctx)
+        key = tuple(eval_bexpr(i, state, ctx) for i in expr.indices)
+        value = eval_bexpr(expr.value, state, ctx)
+        payload = _map_payload(map_value)
+        return UValue("__map__", payload.set(key, value))
+    if isinstance(expr, Forall):
+        return BVBool(_eval_quant(expr, state, ctx, want_all=True))
+    if isinstance(expr, Exists):
+        return BVBool(_eval_quant(expr, state, ctx, want_all=False))
+    raise TypeError(f"unknown Boogie expression {expr!r}")
+
+
+def _map_payload(value: BValue) -> FrozenMap:
+    if isinstance(value, UValue) and isinstance(value.payload, FrozenMap):
+        return value.payload
+    raise TypeError(f"expected a map value, got {value!r}")
+
+
+def _eval_binop(expr: BBinOp, state: BoogieState, ctx: BoogieContext) -> BValue:
+    op = expr.op
+    # Boogie's logical operators are short-circuit in evaluation order, which
+    # matters only for efficiency here — evaluation is total.
+    if op is BBinOpKind.AND:
+        left = as_b_bool(eval_bexpr(expr.left, state, ctx))
+        return BVBool(left and as_b_bool(eval_bexpr(expr.right, state, ctx)))
+    if op is BBinOpKind.OR:
+        left = as_b_bool(eval_bexpr(expr.left, state, ctx))
+        return BVBool(left or as_b_bool(eval_bexpr(expr.right, state, ctx)))
+    if op is BBinOpKind.IMPLIES:
+        left = as_b_bool(eval_bexpr(expr.left, state, ctx))
+        return BVBool((not left) or as_b_bool(eval_bexpr(expr.right, state, ctx)))
+    if op is BBinOpKind.IFF:
+        left = as_b_bool(eval_bexpr(expr.left, state, ctx))
+        return BVBool(left == as_b_bool(eval_bexpr(expr.right, state, ctx)))
+    left = eval_bexpr(expr.left, state, ctx)
+    right = eval_bexpr(expr.right, state, ctx)
+    if op is BBinOpKind.EQ:
+        return BVBool(_b_equal(left, right))
+    if op is BBinOpKind.NE:
+        return BVBool(not _b_equal(left, right))
+    if op in (BBinOpKind.LT, BBinOpKind.LE, BBinOpKind.GT, BBinOpKind.GE):
+        lnum, rnum = _b_num(left), _b_num(right)
+        if op is BBinOpKind.LT:
+            return BVBool(lnum < rnum)
+        if op is BBinOpKind.LE:
+            return BVBool(lnum <= rnum)
+        if op is BBinOpKind.GT:
+            return BVBool(lnum > rnum)
+        return BVBool(lnum >= rnum)
+    if op is BBinOpKind.DIV:
+        divisor = as_b_int(right)
+        dividend = as_b_int(left)
+        if divisor == 0:
+            return BVInt(0)  # SMT-style total division: unspecified, fixed
+        return BVInt(_trunc_div(dividend, divisor))
+    if op is BBinOpKind.MOD:
+        divisor = as_b_int(right)
+        dividend = as_b_int(left)
+        if divisor == 0:
+            return BVInt(dividend)
+        return BVInt(dividend - divisor * _trunc_div(dividend, divisor))
+    if op is BBinOpKind.REAL_DIV:
+        denom = as_b_real(right)
+        if denom == 0:
+            return BVReal(Fraction(0))
+        return BVReal(as_b_real(left) / denom)
+    if isinstance(left, BVInt) and isinstance(right, BVInt):
+        if op is BBinOpKind.ADD:
+            return BVInt(left.value + right.value)
+        if op is BBinOpKind.SUB:
+            return BVInt(left.value - right.value)
+        if op is BBinOpKind.MUL:
+            return BVInt(left.value * right.value)
+    lnum, rnum = _b_num(left), _b_num(right)
+    if op is BBinOpKind.ADD:
+        return BVReal(lnum + rnum)
+    if op is BBinOpKind.SUB:
+        return BVReal(lnum - rnum)
+    if op is BBinOpKind.MUL:
+        return BVReal(lnum * rnum)
+    raise TypeError(f"unknown operator {op}")
+
+
+def _b_equal(left: BValue, right: BValue) -> bool:
+    both_numeric = isinstance(left, (BVInt, BVReal)) and isinstance(right, (BVInt, BVReal))
+    if both_numeric:
+        return _b_num(left) == _b_num(right)
+    return left == right
+
+
+def _b_num(value: BValue) -> Fraction:
+    if isinstance(value, BVInt):
+        return Fraction(value.value)
+    if isinstance(value, BVReal):
+        return value.value
+    raise TypeError(f"expected a numeric Boogie value, got {value!r}")
+
+
+def _trunc_div(a: int, b: int) -> int:
+    q = abs(a) // abs(b)
+    return q if (a >= 0) == (b >= 0) else -q
+
+
+def _eval_quant(
+    expr: Union[Forall, Exists], state: BoogieState, ctx: BoogieContext, want_all: bool
+) -> bool:
+    """Evaluate a quantifier over sampled carriers (and the type universe)."""
+    type_assignments = _type_assignments(expr.type_vars, ctx)
+    for type_map in type_assignments:
+        bound = [
+            (name, subst_type(typ, type_map)) for name, typ in expr.bound
+        ]
+        body = substitute_type_args(expr.body, type_map)
+        if not _eval_value_quant(bound, body, state, ctx, want_all):
+            if want_all:
+                return False
+        else:
+            if not want_all:
+                return True
+    return want_all
+
+
+def _type_assignments(type_vars: Tuple[str, ...], ctx: BoogieContext):
+    if not type_vars:
+        return [{}]
+    assignments = [{}]
+    for tvar in type_vars:
+        assignments = [
+            {**assignment, tvar: typ}
+            for assignment in assignments
+            for typ in ctx.interp.type_universe
+        ]
+    return assignments
+
+
+def _eval_value_quant(bound, body, state, ctx, want_all: bool) -> bool:
+    def recurse(index: int, current: BoogieState) -> bool:
+        if index == len(bound):
+            return as_b_bool(eval_bexpr(body, current, ctx))
+        name, typ = bound[index]
+        for value in ctx.interp.carrier_of(typ):
+            result = recurse(index + 1, current.set(name, value))
+            if want_all and not result:
+                return False
+            if not want_all and result:
+                return True
+        return want_all
+
+    return recurse(0, state)
+
+
+def substitute_type_args(expr: BExpr, type_map: dict) -> BExpr:
+    """Substitute type variables occurring in ``type_args`` positions."""
+    if not type_map:
+        return expr
+    if isinstance(expr, FuncApp):
+        return FuncApp(
+            expr.name,
+            tuple(subst_type(t, type_map) for t in expr.type_args),
+            tuple(substitute_type_args(a, type_map) for a in expr.args),
+        )
+    if isinstance(expr, BBinOp):
+        return BBinOp(
+            expr.op,
+            substitute_type_args(expr.left, type_map),
+            substitute_type_args(expr.right, type_map),
+        )
+    if isinstance(expr, BUnOp):
+        return BUnOp(expr.op, substitute_type_args(expr.operand, type_map))
+    if isinstance(expr, CondB):
+        return CondB(
+            substitute_type_args(expr.cond, type_map),
+            substitute_type_args(expr.then, type_map),
+            substitute_type_args(expr.otherwise, type_map),
+        )
+    if isinstance(expr, MapSelect):
+        return MapSelect(
+            substitute_type_args(expr.map, type_map),
+            tuple(subst_type(t, type_map) for t in expr.type_args),
+            tuple(substitute_type_args(i, type_map) for i in expr.indices),
+        )
+    if isinstance(expr, MapStore):
+        return MapStore(
+            substitute_type_args(expr.map, type_map),
+            tuple(subst_type(t, type_map) for t in expr.type_args),
+            tuple(substitute_type_args(i, type_map) for i in expr.indices),
+            substitute_type_args(expr.value, type_map),
+        )
+    if isinstance(expr, (Forall, Exists)):
+        inner = {k: v for k, v in type_map.items() if k not in expr.type_vars}
+        ctor = Forall if isinstance(expr, Forall) else Exists
+        return ctor(
+            expr.type_vars,
+            tuple((name, subst_type(typ, inner)) for name, typ in expr.bound),
+            substitute_type_args(expr.body, inner),
+        )
+    return expr
+
+
+# ---------------------------------------------------------------------------
+# Small-step execution
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class StepNormal:
+    """A single successful step to a new program point and state."""
+
+    cursor: Cursor
+    state: BoogieState
+
+
+StepResult = Union[StepNormal, BFailure, BMagic]
+
+
+def step(
+    cursor: Cursor, state: BoogieState, ctx: BoogieContext, oracle: ChoiceOracle
+) -> StepResult:
+    """One small step from a (non-final) program point."""
+    if cursor.is_done:
+        raise ValueError("cannot step a finished execution")
+    if cursor.cmds:
+        cmd = cursor.current_cmd
+        result = exec_simple_cmd(cmd, state, ctx, oracle)
+        if isinstance(result, (BFailure, BMagic)):
+            return result
+        return StepNormal(cursor.after_cmd(), result)
+    assert cursor.ifopt is not None
+    branch_if = cursor.ifopt
+    if branch_if.cond is None:
+        take_then = oracle.choose((True, False), "if(*)")
+    else:
+        take_then = as_b_bool(eval_bexpr(branch_if.cond, state, ctx))
+    return StepNormal(cursor.enter_branch(take_then), state)
+
+
+def exec_simple_cmd(
+    cmd: SimpleCmd, state: BoogieState, ctx: BoogieContext, oracle: ChoiceOracle
+) -> Union[BoogieState, BFailure, BMagic]:
+    """Execute one simple command (assume / assert / assign / havoc)."""
+    if isinstance(cmd, Assume):
+        if as_b_bool(eval_bexpr(cmd.expr, state, ctx)):
+            return state
+        return BMagic()
+    if isinstance(cmd, BAssert):
+        if as_b_bool(eval_bexpr(cmd.expr, state, ctx)):
+            return state
+        return BFailure(f"assert failed: {cmd.expr!r}")
+    if isinstance(cmd, Assign):
+        return state.set(cmd.target, eval_bexpr(cmd.rhs, state, ctx))
+    if isinstance(cmd, Havoc):
+        candidates = ctx.havoc_candidates(cmd.target, state)
+        value = oracle.choose(candidates, f"havoc {cmd.target}")
+        return state.set(cmd.target, value)
+    raise TypeError(f"unknown simple command {cmd!r}")
+
+
+def run_from(
+    cursor: Cursor,
+    state: BoogieState,
+    ctx: BoogieContext,
+    oracle: Optional[ChoiceOracle] = None,
+    max_steps: int = 1_000_000,
+) -> BOutcome:
+    """Run to completion from a program point (→*_b in the paper)."""
+    if oracle is None:
+        oracle = DefaultOracle()
+    steps = 0
+    while not cursor.is_done:
+        result = step(cursor, state, ctx, oracle)
+        if isinstance(result, (BFailure, BMagic)):
+            return result
+        cursor, state = result.cursor, result.state
+        steps += 1
+        if steps > max_steps:
+            raise RuntimeError("Boogie execution exceeded the step budget")
+    return BNormal(state)
+
+
+def procedure_context(
+    program: BoogieProgram, proc: Procedure, interp: Interpretation
+) -> BoogieContext:
+    """Γ_b for a procedure: globals, constants, and the procedure's locals."""
+    var_types = program.global_types()
+    var_types.update(dict(proc.locals))
+    return BoogieContext(program, interp, var_types)
+
+
+def run_procedure(
+    program: BoogieProgram,
+    proc: Procedure,
+    interp: Interpretation,
+    init_state: BoogieState,
+    oracle: Optional[ChoiceOracle] = None,
+) -> BOutcome:
+    """Run a procedure body from its initial program point."""
+    ctx = procedure_context(program, proc, interp)
+    return run_from(Cursor.from_stmt(proc.body), init_state, ctx, oracle)

@@ -1,0 +1,360 @@
+"""Type checker for the Boogie subset.
+
+Checks declarations and procedure bodies: well-formed types (declared type
+constructors with correct arities), well-typed expressions (polymorphic
+function applications receive explicit type arguments, as in our AST),
+closed axioms over globals/constants, and command typing.
+
+The checker also enforces the *syntactic guard* Boogie places on axioms:
+axioms may not mention global variables (Sec. 1 lists this as one of the
+syntactic checks Boogie uses where Viper uses semantic ones).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from .ast import (
+    Assign,
+    Assume,
+    BAssert,
+    BBinOp,
+    BBinOpKind,
+    BBool,
+    BBoolLit,
+    BExpr,
+    BInt,
+    BIntLit,
+    BIf,
+    BoogieProgram,
+    BOOL,
+    BReal,
+    BRealLit,
+    BStmt,
+    BType,
+    BUnOp,
+    BUnOpKind,
+    BVar,
+    CondB,
+    Exists,
+    Forall,
+    FuncApp,
+    Havoc,
+    INT,
+    MapSelect,
+    MapStore,
+    MapType,
+    Procedure,
+    REAL,
+    SimpleCmd,
+    subst_type,
+    TCon,
+    TVar,
+    type_free_vars,
+)
+
+
+class BoogieTypeError(Exception):
+    """Raised when a Boogie program fails type checking."""
+
+
+@dataclass
+class BoogieTypeInfo:
+    """Typing results for a Boogie program."""
+
+    program: BoogieProgram
+    #: Types of globals and constants.
+    global_types: Dict[str, BType]
+    #: Per-procedure variable typing (globals + consts + locals).
+    proc_var_types: Dict[str, Dict[str, BType]]
+
+
+class BoogieTypeChecker:
+    def __init__(self, program: BoogieProgram):
+        self._program = program
+        self._type_arities: Dict[str, int] = {}
+        self._functions = {f.name: f for f in program.functions}
+        self._globals: Dict[str, BType] = {}
+        self._global_var_names = frozenset(g.name for g in program.globals)
+
+    def check_program(self) -> BoogieTypeInfo:
+        for tdecl in self._program.type_decls:
+            if tdecl.name in self._type_arities:
+                raise BoogieTypeError(f"duplicate type constructor {tdecl.name!r}")
+            self._type_arities[tdecl.name] = tdecl.arity
+        for func in self._program.functions:
+            bound = frozenset(func.type_params)
+            for typ in func.arg_types + (func.result,):
+                self._check_type(typ, bound)
+        for const in self._program.consts:
+            self._check_type(const.typ, frozenset())
+            self._declare_global(const.name, const.typ)
+        for gvar in self._program.globals:
+            self._check_type(gvar.typ, frozenset())
+            self._declare_global(gvar.name, gvar.typ)
+        for axiom in self._program.axioms:
+            # Boogie's syntactic guard: axioms must not read global variables
+            # (checked first so the diagnostic names the offending global).
+            self._check_no_globals(axiom.expr)
+            env = {
+                name: typ
+                for name, typ in self._globals.items()
+                if name not in self._global_var_names
+            }
+            axiom_type = self._check_expr(axiom.expr, env, frozenset())
+            if not isinstance(axiom_type, BBool):
+                raise BoogieTypeError("axiom must be boolean")
+        proc_var_types: Dict[str, Dict[str, BType]] = {}
+        seen = set()
+        for proc in self._program.procedures:
+            if proc.name in seen:
+                raise BoogieTypeError(f"duplicate procedure {proc.name!r}")
+            seen.add(proc.name)
+            proc_var_types[proc.name] = self._check_procedure(proc)
+        return BoogieTypeInfo(self._program, dict(self._globals), proc_var_types)
+
+    # -- declarations ---------------------------------------------------------
+
+    def _declare_global(self, name: str, typ: BType) -> None:
+        if name in self._globals:
+            raise BoogieTypeError(f"duplicate global declaration {name!r}")
+        self._globals[name] = typ
+
+    def _check_type(self, typ: BType, bound_tvars: frozenset) -> None:
+        if isinstance(typ, (BInt, BReal, BBool)):
+            return
+        if isinstance(typ, TVar):
+            if typ.name not in bound_tvars:
+                raise BoogieTypeError(f"unbound type variable {typ.name!r}")
+            return
+        if isinstance(typ, TCon):
+            if typ.name not in self._type_arities:
+                raise BoogieTypeError(f"undeclared type constructor {typ.name!r}")
+            if len(typ.args) != self._type_arities[typ.name]:
+                raise BoogieTypeError(
+                    f"type constructor {typ.name!r} expects "
+                    f"{self._type_arities[typ.name]} arguments, got {len(typ.args)}"
+                )
+            for arg in typ.args:
+                self._check_type(arg, bound_tvars)
+            return
+        if isinstance(typ, MapType):
+            inner = bound_tvars | frozenset(typ.type_params)
+            for arg in typ.arg_types:
+                self._check_type(arg, inner)
+            self._check_type(typ.result, inner)
+            return
+        raise BoogieTypeError(f"unknown type {typ!r}")
+
+    def _check_no_globals(self, expr: BExpr) -> None:
+        from .ast import expr_free_vars
+
+        bad = expr_free_vars(expr) & self._global_var_names
+        if bad:
+            raise BoogieTypeError(
+                f"axiom mentions global variable(s) {sorted(bad)}; Boogie "
+                f"axioms may only mention constants and functions"
+            )
+
+    # -- procedures ---------------------------------------------------------
+
+    def _check_procedure(self, proc: Procedure) -> Dict[str, BType]:
+        env = dict(self._globals)
+        for name, typ in proc.locals:
+            self._check_type(typ, frozenset())
+            if name in env:
+                raise BoogieTypeError(
+                    f"procedure {proc.name!r}: local {name!r} shadows a declaration"
+                )
+            env[name] = typ
+        self._check_stmt(proc.body, env)
+        return env
+
+    def _check_stmt(self, stmt: BStmt, env: Dict[str, BType]) -> None:
+        for block in stmt:
+            for cmd in block.cmds:
+                self._check_cmd(cmd, env)
+            if block.ifopt is not None:
+                if block.ifopt.cond is not None:
+                    cond_type = self._check_expr(block.ifopt.cond, env, frozenset())
+                    if not isinstance(cond_type, BBool):
+                        raise BoogieTypeError("if condition must be bool")
+                self._check_stmt(block.ifopt.then, env)
+                self._check_stmt(block.ifopt.otherwise, env)
+
+    def _check_cmd(self, cmd: SimpleCmd, env: Dict[str, BType]) -> None:
+        if isinstance(cmd, (Assume, BAssert)):
+            typ = self._check_expr(cmd.expr, env, frozenset())
+            if not isinstance(typ, BBool):
+                raise BoogieTypeError(f"{type(cmd).__name__.lower()} expects bool")
+            return
+        if isinstance(cmd, Assign):
+            if cmd.target not in env:
+                raise BoogieTypeError(f"assignment to undeclared {cmd.target!r}")
+            rhs_type = self._check_expr(cmd.rhs, env, frozenset())
+            if not _types_compatible(env[cmd.target], rhs_type):
+                raise BoogieTypeError(
+                    f"cannot assign {rhs_type} to {cmd.target!r}: {env[cmd.target]}"
+                )
+            return
+        if isinstance(cmd, Havoc):
+            if cmd.target not in env:
+                raise BoogieTypeError(f"havoc of undeclared {cmd.target!r}")
+            return
+        raise BoogieTypeError(f"unknown command {cmd!r}")
+
+    # -- expressions ---------------------------------------------------------
+
+    def _check_expr(self, expr: BExpr, env: Dict[str, BType], tvars: frozenset) -> BType:
+        if isinstance(expr, BVar):
+            if expr.name not in env:
+                raise BoogieTypeError(f"undeclared variable {expr.name!r}")
+            return env[expr.name]
+        if isinstance(expr, BIntLit):
+            return INT
+        if isinstance(expr, BRealLit):
+            return REAL
+        if isinstance(expr, BBoolLit):
+            return BOOL
+        if isinstance(expr, BUnOp):
+            operand = self._check_expr(expr.operand, env, tvars)
+            if expr.op is BUnOpKind.NOT:
+                if not isinstance(operand, BBool):
+                    raise BoogieTypeError("'!' expects bool")
+                return BOOL
+            if not isinstance(operand, (BInt, BReal)):
+                raise BoogieTypeError("unary '-' expects a numeric operand")
+            return operand
+        if isinstance(expr, BBinOp):
+            return self._check_binop(expr, env, tvars)
+        if isinstance(expr, CondB):
+            cond = self._check_expr(expr.cond, env, tvars)
+            if not isinstance(cond, BBool):
+                raise BoogieTypeError("conditional guard must be bool")
+            then_type = self._check_expr(expr.then, env, tvars)
+            else_type = self._check_expr(expr.otherwise, env, tvars)
+            if not _types_compatible(then_type, else_type):
+                raise BoogieTypeError("conditional branches disagree in type")
+            return then_type
+        if isinstance(expr, FuncApp):
+            return self._check_funcapp(expr, env, tvars)
+        if isinstance(expr, MapSelect):
+            return self._check_select(expr, env, tvars)
+        if isinstance(expr, MapStore):
+            map_type = self._check_expr(expr.map, env, tvars)
+            self._check_select(
+                MapSelect(expr.map, expr.type_args, expr.indices), env, tvars
+            )
+            return map_type
+        if isinstance(expr, (Forall, Exists)):
+            inner_tvars = tvars | frozenset(expr.type_vars)
+            inner_env = dict(env)
+            for name, typ in expr.bound:
+                self._check_type(typ, inner_tvars)
+                inner_env[name] = typ
+            body_type = self._check_expr(expr.body, inner_env, inner_tvars)
+            if not isinstance(body_type, BBool):
+                raise BoogieTypeError("quantifier body must be bool")
+            return BOOL
+        raise BoogieTypeError(f"unknown expression {expr!r}")
+
+    def _check_binop(self, expr: BBinOp, env: Dict[str, BType], tvars: frozenset) -> BType:
+        left = self._check_expr(expr.left, env, tvars)
+        right = self._check_expr(expr.right, env, tvars)
+        op = expr.op
+        if op in (BBinOpKind.AND, BBinOpKind.OR, BBinOpKind.IMPLIES, BBinOpKind.IFF):
+            if not (isinstance(left, BBool) and isinstance(right, BBool)):
+                raise BoogieTypeError(f"{op} expects bool operands")
+            return BOOL
+        if op in (BBinOpKind.EQ, BBinOpKind.NE):
+            if not _types_compatible(left, right):
+                raise BoogieTypeError(f"cannot compare {left} with {right}")
+            return BOOL
+        if op in (BBinOpKind.LT, BBinOpKind.LE, BBinOpKind.GT, BBinOpKind.GE):
+            if not (
+                isinstance(left, (BInt, BReal)) and isinstance(right, (BInt, BReal))
+            ):
+                raise BoogieTypeError(f"{op} expects numeric operands")
+            return BOOL
+        if op in (BBinOpKind.DIV, BBinOpKind.MOD):
+            if not (isinstance(left, BInt) and isinstance(right, BInt)):
+                raise BoogieTypeError(f"{op} expects int operands")
+            return INT
+        if op is BBinOpKind.REAL_DIV:
+            if not (
+                isinstance(left, (BInt, BReal)) and isinstance(right, (BInt, BReal))
+            ):
+                raise BoogieTypeError("'/' expects numeric operands")
+            return REAL
+        # ADD / SUB / MUL
+        if isinstance(left, BInt) and isinstance(right, BInt):
+            return INT
+        if isinstance(left, (BInt, BReal)) and isinstance(right, (BInt, BReal)):
+            return REAL
+        raise BoogieTypeError(f"{op} got non-numeric operands {left}, {right}")
+
+    def _check_funcapp(self, expr: FuncApp, env: Dict[str, BType], tvars: frozenset) -> BType:
+        if expr.name not in self._functions:
+            raise BoogieTypeError(f"application of undeclared function {expr.name!r}")
+        func = self._functions[expr.name]
+        if len(expr.type_args) != len(func.type_params):
+            raise BoogieTypeError(
+                f"function {expr.name!r} expects {len(func.type_params)} type "
+                f"arguments, got {len(expr.type_args)}"
+            )
+        for targ in expr.type_args:
+            self._check_type(targ, tvars)
+        mapping = dict(zip(func.type_params, expr.type_args))
+        expected = [subst_type(t, mapping) for t in func.arg_types]
+        if len(expr.args) != len(expected):
+            raise BoogieTypeError(
+                f"function {expr.name!r} expects {len(expected)} arguments, "
+                f"got {len(expr.args)}"
+            )
+        for arg, want in zip(expr.args, expected):
+            got = self._check_expr(arg, env, tvars)
+            if not _types_compatible(want, got):
+                raise BoogieTypeError(
+                    f"function {expr.name!r}: argument has type {got}, expected {want}"
+                )
+        return subst_type(func.result, mapping)
+
+    def _check_select(self, expr: MapSelect, env: Dict[str, BType], tvars: frozenset) -> BType:
+        map_type = self._check_expr(expr.map, env, tvars)
+        if not isinstance(map_type, MapType):
+            raise BoogieTypeError(f"select on non-map type {map_type}")
+        if len(expr.type_args) != len(map_type.type_params):
+            raise BoogieTypeError(
+                f"map select expects {len(map_type.type_params)} type arguments"
+            )
+        mapping = dict(zip(map_type.type_params, expr.type_args))
+        expected = [subst_type(t, mapping) for t in map_type.arg_types]
+        if len(expr.indices) != len(expected):
+            raise BoogieTypeError("wrong number of map indices")
+        for index, want in zip(expr.indices, expected):
+            got = self._check_expr(index, env, tvars)
+            if not _types_compatible(want, got):
+                raise BoogieTypeError(f"map index has type {got}, expected {want}")
+        return subst_type(map_type.result, mapping)
+
+
+def _types_compatible(left: BType, right: BType) -> bool:
+    """Structural equality, with int accepted where real is expected.
+
+    The Viper encoding freely mixes integer literals into permission (real)
+    positions; real Boogie inserts explicit coercions, which we model as a
+    subtyping-style relaxation here (the semantics coerces on evaluation).
+    """
+    if left == right:
+        return True
+    if isinstance(left, BReal) and isinstance(right, (BInt, BReal)):
+        return True
+    if isinstance(right, BReal) and isinstance(left, (BInt, BReal)):
+        return True
+    return False
+
+
+def check_boogie_program(program: BoogieProgram) -> BoogieTypeInfo:
+    """Type-check a Boogie program, returning the collected typing info."""
+    return BoogieTypeChecker(program).check_program()

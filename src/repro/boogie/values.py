@@ -1,0 +1,129 @@
+"""Boogie value domain.
+
+Boogie values are integers, reals, booleans, and elements of uninterpreted
+type carriers.  Carrier elements are :class:`UValue` — a tagged, hashable
+payload.  The tailored polymorphic-map model of Sec. 4.4 instantiates the
+heap/mask carriers with *partial maps* (:class:`FrozenMap` payloads); the
+empty map is a legal carrier element, which is exactly how the paper breaks
+the impredicativity circularity ("to construct an initial heap, we already
+need a heap of the same type").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Iterator, Mapping, Tuple, Union
+
+
+@dataclass(frozen=True)
+class BVInt:
+    value: int
+
+    def __repr__(self) -> str:
+        return f"BVInt({self.value})"
+
+
+@dataclass(frozen=True)
+class BVReal:
+    value: Fraction
+
+    def __repr__(self) -> str:
+        return f"BVReal({self.value})"
+
+
+@dataclass(frozen=True)
+class BVBool:
+    value: bool
+
+    def __repr__(self) -> str:
+        return f"BVBool({self.value})"
+
+
+class FrozenMap:
+    """An immutable, hashable finite partial map (carrier payload)."""
+
+    __slots__ = ("_items", "_hash")
+
+    def __init__(self, mapping: Mapping = ()):
+        items = dict(mapping)
+        self._items = tuple(sorted(items.items(), key=lambda kv: repr(kv[0])))
+        self._hash = hash(self._items)
+
+    def get(self, key, default=None):
+        for k, v in self._items:
+            if k == key:
+                return v
+        return default
+
+    def __contains__(self, key) -> bool:
+        return any(k == key for k, _ in self._items)
+
+    def set(self, key, value) -> "FrozenMap":
+        items = {k: v for k, v in self._items}
+        items[key] = value
+        return FrozenMap(items)
+
+    def items(self) -> Tuple:
+        return self._items
+
+    def keys(self) -> Iterator:
+        return (k for k, _ in self._items)
+
+    def __iter__(self):
+        return self.keys()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, FrozenMap) and self._items == other._items
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k!r}: {v!r}" for k, v in self._items)
+        return f"FrozenMap({{{inner}}})"
+
+
+EMPTY_MAP = FrozenMap()
+
+
+@dataclass(frozen=True)
+class UValue:
+    """An element of an uninterpreted type carrier.
+
+    ``type_name`` names the carrier (e.g. ``"Ref"``, ``"Field"``,
+    ``"HeapType"``); ``payload`` is any hashable identity (an address, a
+    field name, a :class:`FrozenMap`, ...).
+    """
+
+    type_name: str
+    payload: object
+
+    def __repr__(self) -> str:
+        return f"UValue({self.type_name}, {self.payload!r})"
+
+
+BValue = Union[BVInt, BVReal, BVBool, UValue]
+
+
+def as_b_bool(value: BValue) -> bool:
+    if not isinstance(value, BVBool):
+        raise TypeError(f"expected a Boogie boolean, got {value!r}")
+    return value.value
+
+
+def as_b_int(value: BValue) -> int:
+    if not isinstance(value, BVInt):
+        raise TypeError(f"expected a Boogie integer, got {value!r}")
+    return value.value
+
+
+def as_b_real(value: BValue) -> Fraction:
+    if isinstance(value, BVReal):
+        return value.value
+    if isinstance(value, BVInt):
+        return Fraction(value.value)
+    raise TypeError(f"expected a Boogie real, got {value!r}")

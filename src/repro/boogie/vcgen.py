@@ -1,0 +1,103 @@
+"""Verification-condition generation for the Boogie subset (the back-end).
+
+The paper treats the IVL back-end (VC generation + SMT) as an orthogonal,
+separately-validated component ([37]); this module provides a working
+back-end so the reproduction's pipeline is complete: a weakest-(liberal-)
+precondition transformer over statement blocks.
+
+``wlp`` obeys the standard equations:
+
+* ``wlp(assume e, Q) = e ==> Q``
+* ``wlp(assert e, Q) = e && Q``
+* ``wlp(x := e, Q) = Q[x := e]``
+* ``wlp(havoc x, Q) = forall x :: Q``
+* ``wlp(if (e) {s1} else {s2}, Q) = (e ==> wlp(s1,Q)) && (!e ==> wlp(s2,Q))``
+* ``wlp(if (*) {s1} else {s2}, Q) = wlp(s1,Q) && wlp(s2,Q)``
+
+The VC of a procedure is ``wlp(body, true)`` universally closed over the
+procedure's variables, under the program's axioms as hypotheses.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from .ast import (
+    Assign,
+    Assume,
+    BAssert,
+    band,
+    BBinOp,
+    BBinOpKind,
+    BExpr,
+    bimplies,
+    bnot,
+    BoogieProgram,
+    BStmt,
+    BType,
+    BVar,
+    expr_free_vars,
+    Forall,
+    Havoc,
+    Procedure,
+    SimpleCmd,
+    StmtBlock,
+    subst_expr,
+    TRUE,
+)
+
+
+def wlp_cmd(cmd: SimpleCmd, post: BExpr, var_types: Dict[str, BType]) -> BExpr:
+    """wlp of a single simple command (see the module equations)."""
+    if isinstance(cmd, Assume):
+        return bimplies(cmd.expr, post)
+    if isinstance(cmd, BAssert):
+        return band(cmd.expr, post)
+    if isinstance(cmd, Assign):
+        return subst_expr(post, {cmd.target: cmd.rhs})
+    if isinstance(cmd, Havoc):
+        if cmd.target not in expr_free_vars(post):
+            return post
+        return Forall((), ((cmd.target, var_types[cmd.target]),), post)
+    raise TypeError(f"unknown command {cmd!r}")
+
+
+def wlp_block(block: StmtBlock, post: BExpr, var_types: Dict[str, BType]) -> BExpr:
+    """wlp of a statement block (commands then the optional if)."""
+    if block.ifopt is not None:
+        then_wlp = wlp_stmt(block.ifopt.then, post, var_types)
+        else_wlp = wlp_stmt(block.ifopt.otherwise, post, var_types)
+        if block.ifopt.cond is None:
+            post = band(then_wlp, else_wlp)
+        else:
+            post = band(
+                bimplies(block.ifopt.cond, then_wlp),
+                bimplies(bnot(block.ifopt.cond), else_wlp),
+            )
+    for cmd in reversed(block.cmds):
+        post = wlp_cmd(cmd, post, var_types)
+    return post
+
+
+def wlp_stmt(stmt: BStmt, post: BExpr, var_types: Dict[str, BType]) -> BExpr:
+    """wlp of a whole statement (block list), right to left."""
+    for block in reversed(stmt):
+        post = wlp_block(block, post, var_types)
+    return post
+
+
+def procedure_vc(
+    program: BoogieProgram, proc: Procedure
+) -> Tuple[BExpr, Dict[str, BType]]:
+    """The procedure's verification condition and its free-variable typing.
+
+    Returns ``(vc, var_types)`` where ``vc``'s free variables are the
+    procedure's variables (globals, constants, locals); the VC holds in an
+    interpretation iff every execution from every initial state avoids F.
+    The program's axioms are *not* conjoined here — the prover assumes an
+    interpretation and initial constant values under which they hold
+    (AxiomSat of Fig. 9), mirroring the paper's correctness definition.
+    """
+    var_types: Dict[str, BType] = program.global_types()
+    var_types.update(dict(proc.locals))
+    return wlp_stmt(proc.body, TRUE, var_types), var_types

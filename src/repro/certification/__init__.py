@@ -1,0 +1,37 @@
+"""Forward-simulation certification of the Viper-to-Boogie translation.
+
+The paper's core contribution: per-run generation of a checkable proof that
+the correctness of the translated Boogie program implies the correctness of
+the input Viper program (Sec. 3–4).  The *tactic* generates certificates
+from translator hints; the *checker* (kernel) validates them independently;
+the *theorem* module composes per-method results into the final statement.
+"""
+
+from .checker import CheckError, CheckReport, ProofChecker, QContext  # noqa: F401
+from .exprcorr import (  # noqa: F401
+    CorrespondenceError,
+    kernel_translate_expr,
+    kernel_wd_checks,
+)
+from .prooftree import (  # noqa: F401
+    CertificateParseError,
+    MethodCertificate,
+    node,
+    parse_program_certificate,
+    ProgramCertificate,
+    ProofNode,
+    render_method_certificate,
+    render_program_certificate,
+)
+from .rules import render_catalog, rule_info, RULE_NAMES, RULES  # noqa: F401
+from .relations import (  # noqa: F401
+    boogie_state_for,
+    rel_holds,
+    SimRel,
+)
+from .tactic import (  # noqa: F401
+    generate_method_certificate,
+    generate_program_certificate,
+    ProofGenError,
+)
+from .theorem import certify_translation, check_program_certificate, TheoremReport  # noqa: F401

@@ -1,0 +1,934 @@
+"""The independent proof-checking kernel (trusted).
+
+Given a Viper program, a Boogie program, and a certificate (proof tree plus
+translation record), the kernel re-establishes the forward simulation of
+Sec. 3 by *checking* every rule application:
+
+* composite rules (SEQ, IF, SEP, the exhale decomposition of Fig. 6, the
+  call rule with its ``Q_pre`` non-local hypothesis of Sec. 4.2) thread
+  Boogie program points (cursors) and translation records through their
+  premises, exactly like the instantiation-independent rules of Fig. 5;
+* atomic rules (the leaves — Fig. 8's 𝒫ᵢ) are *lemma schemas*: the kernel
+  matches the Boogie commands at the current cursor against the schema
+  shape, with all Viper-derived expressions recomputed by the kernel's own
+  expression correspondence (:mod:`repro.certification.exprcorr`), and
+  checks the schema's side conditions (variant soundness conditions,
+  freshness of auxiliary variables).
+
+The kernel never trusts the translator or the tactic: a certificate checks
+only if the Boogie code *actually* simulates the Viper statement according
+to the schema lemmas, whose semantic soundness is validated once and for
+all by the test suite (``tests/certification/test_rule_soundness.py``) —
+the reproduction's counterpart of the paper's Isabelle lemma proofs.
+
+Checking a method certificate also verifies the procedure's overall C1/C2
+structure (Fig. 10) and returns the set of *dependencies* (callee
+well-formedness obligations) for the final theorem to discharge.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Dict, List, Mapping, Optional, Set, Tuple
+
+from ..boogie.ast import (
+    Assign,
+    Assume,
+    BAssert,
+    BBinOp,
+    BBinOpKind,
+    beq,
+    BExpr,
+    bimplies,
+    BoogieProgram,
+    BRealLit,
+    BVar,
+    FALSE,
+    FuncApp,
+    Havoc,
+    Procedure,
+    SimpleCmd,
+    TRUE,
+)
+from ..boogie.cursor import Cursor
+from ..frontend.background import (
+    GOOD_MASK,
+    ID_ON_POSITIVE,
+    NULL_CONST,
+    UPD_HEAP,
+    UPD_MASK,
+    ZERO_MASK_CONST,
+)
+from ..frontend.records import boogie_type_of, TranslationRecord
+from ..viper.ast import (
+    Acc,
+    AExpr,
+    AssertStmt,
+    Assertion,
+    assertion_has_acc,
+    CondAssert,
+    Expr,
+    FieldAssign,
+    If,
+    Implies,
+    Inhale,
+    LocalAssign,
+    MethodCall,
+    MethodDecl,
+    PermLit,
+    Program,
+    SepConj,
+    Seq,
+    Skip,
+    Stmt,
+    substitute_assertion,
+    Var,
+    VarDecl,
+    Exhale,
+)
+from ..viper.typechecker import ProgramTypeInfo
+from .exprcorr import kernel_perm_read, kernel_translate_expr, kernel_wd_checks
+from .prooftree import MethodCertificate, ProofNode
+
+ZERO_REAL = BRealLit(Fraction(0))
+ONE_REAL = BRealLit(Fraction(1))
+
+
+class CheckError(Exception):
+    """Raised when a certificate fails to check."""
+
+    def __init__(self, message: str, path: Tuple[str, ...] = ()):
+        location = " > ".join(path) if path else "<root>"
+        super().__init__(f"[{location}] {message}")
+        self.path = path
+
+
+@dataclass(frozen=True)
+class QContext:
+    """A non-local hypothesis Q injected into a simulation proof (Sec. 3.5).
+
+    ``kind`` is ``"pre"`` or ``"post"``; ``callee`` names the method whose
+    spec well-formedness check justifies omitting wd checks.  The kernel
+    permits wd-omitted atomic rules only under a ``QContext``, and records
+    the dependency so the final theorem can discharge it (Fig. 10).
+    """
+
+    kind: str
+    callee: str
+
+
+@dataclass
+class CheckReport:
+    """Result of checking one method certificate."""
+
+    method: str
+    procedure: str
+    ok: bool
+    dependencies: Tuple[str, ...] = ()
+    rules_checked: int = 0
+    error: str = ""
+
+
+class ProofChecker:
+    """Checks a :class:`MethodCertificate` against both programs."""
+
+    def __init__(
+        self,
+        viper_program: Program,
+        type_info: ProgramTypeInfo,
+        boogie_program: BoogieProgram,
+    ):
+        self._viper_program = viper_program
+        self._type_info = type_info
+        self._boogie_program = boogie_program
+        self._field_types = type_info.field_types
+        self._rules_checked = 0
+        self._dependencies: Set[str] = set()
+        self._path: List[str] = []
+
+    # -- public entry point --------------------------------------------------
+
+    def check_method_certificate(self, cert: MethodCertificate) -> CheckReport:
+        """Check one method certificate; never raises on bad input."""
+        self._rules_checked = 0
+        self._dependencies = set()
+        self._path = [cert.method]
+        try:
+            method = self._viper_program.method(cert.method)
+            proc = self._boogie_program.procedure(cert.procedure)
+            self._check_record(cert.record, method, proc)
+            self._check_procedure_structure(cert, method, proc)
+        except CheckError as error:
+            return CheckReport(
+                method=cert.method,
+                procedure=cert.procedure,
+                ok=False,
+                rules_checked=self._rules_checked,
+                error=str(error),
+            )
+        except KeyError as error:
+            return CheckReport(
+                method=cert.method,
+                procedure=cert.procedure,
+                ok=False,
+                rules_checked=self._rules_checked,
+                error=f"missing declaration: {error}",
+            )
+        return CheckReport(
+            method=cert.method,
+            procedure=cert.procedure,
+            ok=True,
+            dependencies=tuple(sorted(self._dependencies)),
+            rules_checked=self._rules_checked,
+        )
+
+    # -- bookkeeping ------------------------------------------------------------
+
+    def _fail(self, message: str) -> CheckError:
+        return CheckError(message, tuple(self._path))
+
+    def _enter(self, label: str) -> None:
+        self._path.append(label)
+        self._rules_checked += 1
+
+    def _leave(self) -> None:
+        self._path.pop()
+
+    # -- record and structure checks -----------------------------------------------
+
+    def _check_record(
+        self, record: TranslationRecord, method: MethodDecl, proc: Procedure
+    ) -> None:
+        """The record must map Viper variables to correctly-typed locals."""
+        local_types = dict(proc.locals)
+        var_types = self._type_info.methods[method.name].var_types
+        for viper_var, viper_type in var_types.items():
+            if viper_var not in record.var_map:
+                raise self._fail(f"record misses Viper variable {viper_var!r}")
+            boogie_var = record.var_map[viper_var]
+            if boogie_var not in local_types:
+                raise self._fail(
+                    f"record maps {viper_var!r} to undeclared local {boogie_var!r}"
+                )
+            if local_types[boogie_var] != boogie_type_of(viper_type):
+                raise self._fail(
+                    f"record maps {viper_var!r} to {boogie_var!r} of wrong type"
+                )
+        boogie_targets = [record.var_map[v] for v in var_types]
+        if len(set(boogie_targets)) != len(boogie_targets):
+            raise self._fail("record maps two Viper variables to one Boogie local")
+        global_types = self._boogie_program.global_types()
+        if record.heap_var not in global_types:
+            raise self._fail(f"heap variable {record.heap_var!r} is not declared")
+        if record.mask_var not in global_types:
+            raise self._fail(f"mask variable {record.mask_var!r} is not declared")
+        for field_name in self._field_types:
+            if field_name not in record.field_consts:
+                raise self._fail(f"record misses field constant for {field_name!r}")
+            if record.field_consts[field_name] not in global_types:
+                raise self._fail(
+                    f"field constant {record.field_consts[field_name]!r} undeclared"
+                )
+
+    def _ensure_aux(self, name: Optional[str], record: TranslationRecord, what: str) -> str:
+        """An auxiliary variable must not alias any record-tracked variable."""
+        if name is None:
+            raise self._fail(f"{what}: missing auxiliary variable name")
+        tracked = set(record.var_map.values())
+        tracked.add(record.heap_var)
+        tracked.add(record.mask_var)
+        if record.wd_mask_var is not None:
+            tracked.add(record.wd_mask_var)
+        tracked |= set(record.field_consts.values())
+        tracked.add(NULL_CONST)
+        tracked.add(ZERO_MASK_CONST)
+        if name in tracked:
+            raise self._fail(f"{what}: auxiliary variable {name!r} aliases the record")
+        return name
+
+    # -- command matching ------------------------------------------------------------
+
+    def _expect_cmd(self, cursor: Cursor, expected: SimpleCmd, what: str) -> Cursor:
+        if cursor.is_done or not cursor.cmds:
+            raise self._fail(f"{what}: expected `{expected!r}`, found {cursor.peek()}")
+        actual = cursor.current_cmd
+        if actual != expected:
+            raise self._fail(
+                f"{what}: Boogie command mismatch\n  expected: {expected!r}\n"
+                f"  actual:   {actual!r}"
+            )
+        return cursor.after_cmd()
+
+    def _expect_wd(
+        self,
+        cursor: Cursor,
+        exprs: Tuple[Expr, ...],
+        record: TranslationRecord,
+        what: str,
+    ) -> Cursor:
+        """Match the well-definedness asserts the kernel expects for exprs."""
+        for expr in exprs:
+            for check in kernel_wd_checks(expr, record, self._field_types):
+                cursor = self._expect_cmd(cursor, check, f"{what} (wd check)")
+        return cursor
+
+    def _k(self, expr: Expr, record: TranslationRecord) -> BExpr:
+        return kernel_translate_expr(expr, record, self._field_types)
+
+    def _mask_read(
+        self, record: TranslationRecord, receiver: BExpr, field_name: str, mask_var: str
+    ) -> BExpr:
+        return kernel_perm_read(mask_var, receiver, field_name, record, self._field_types)
+
+    def _mask_upd(
+        self,
+        record: TranslationRecord,
+        receiver: BExpr,
+        field_name: str,
+        amount: BExpr,
+        mask_var: str,
+    ) -> BExpr:
+        value_type = boogie_type_of(self._field_types[field_name])
+        return FuncApp(
+            UPD_MASK,
+            (value_type,),
+            (BVar(mask_var), receiver, BVar(record.field_const(field_name)), amount),
+        )
+
+    # -- procedure structure (Fig. 10) --------------------------------------------------
+
+    def _check_procedure_structure(
+        self, cert: MethodCertificate, method: MethodDecl, proc: Procedure
+    ) -> None:
+        record = cert.record
+        cursor = Cursor.from_stmt(proc.body)
+        # Init section: the mask starts empty and consistent.
+        cursor = self._expect_cmd(
+            cursor, Assign(record.mask_var, BVar(ZERO_MASK_CONST)), "init"
+        )
+        cursor = self._expect_cmd(
+            cursor, Assume(FuncApp(GOOD_MASK, (), (BVar(record.mask_var),))), "init"
+        )
+        # C1: nondeterministic branch checking spec well-formedness.
+        if not cursor.at_if or cursor.ifopt.cond is not None:
+            raise self._fail("expected the nondeterministic well-formedness branch")
+        if cursor.enter_branch(False) != cursor.after_if():
+            raise self._fail("well-formedness branch must have an empty else")
+        join = cursor.after_if()
+        wf_cursor = cursor.enter_branch(True)
+        wf_cursor = self._check_wf_section(cert.wf_proof, method, record, wf_cursor)
+        if wf_cursor != join:
+            raise self._fail("well-formedness branch does not end at the join point")
+        # C2: inhale pre; body; exhale post.
+        cursor = join
+        if method.body is None:
+            if cert.body_proof is not None:
+                raise self._fail("abstract method must not carry a body proof")
+            if not cursor.is_done:
+                raise self._fail("abstract method's procedure has trailing code")
+            return
+        if cert.body_proof is None:
+            raise self._fail("method with a body requires a body proof")
+        if cert.body_proof.rule != "METHOD-BODY-SIM" or len(cert.body_proof.premises) != 3:
+            raise self._fail("body proof must be METHOD-BODY-SIM with three premises")
+        pre_node, body_node, post_node = cert.body_proof.premises
+        self._enter("C2")
+        cursor = self._check_inhale_stmt(pre_node, method.pre, record, cursor, None)
+        cursor = self._check_stmt(body_node, method.body, record, cursor)
+        cursor = self._check_exhale(post_node, method.post, record, cursor, True, None)
+        self._leave()
+        if not cursor.is_done:
+            raise self._fail(f"trailing Boogie code after the obligation: {cursor.peek()}")
+
+    def _check_wf_section(
+        self,
+        proof: ProofNode,
+        method: MethodDecl,
+        record: TranslationRecord,
+        cursor: Cursor,
+    ) -> Cursor:
+        """C1: inhale pre; havoc returns; inhale post; assume false."""
+        if proof.rule != "SPEC-WF-SIM" or len(proof.premises) != 2:
+            raise self._fail("wf proof must be SPEC-WF-SIM with two premises")
+        self._enter("C1")
+        pre_node, post_node = proof.premises
+        cursor = self._check_inhale(pre_node, method.pre, record, cursor, True, None)
+        for return_name in method.return_names:
+            cursor = self._expect_cmd(
+                cursor, Havoc(record.boogie_var(return_name)), "wf return havoc"
+            )
+        cursor = self._check_inhale(post_node, method.post, record, cursor, True, None)
+        cursor = self._expect_cmd(cursor, Assume(FALSE), "wf branch terminator")
+        self._leave()
+        return cursor
+
+    # -- statements -----------------------------------------------------------------------
+
+    def _check_stmt(
+        self, proof: ProofNode, stmt: Stmt, record: TranslationRecord, cursor: Cursor
+    ) -> Cursor:
+        self._enter(proof.rule)
+        try:
+            if proof.rule == "SKIP-SIM":
+                if not isinstance(stmt, Skip):
+                    raise self._fail("SKIP-SIM applied to a non-skip statement")
+                return cursor
+            if proof.rule == "SEQ-SIM":
+                if not isinstance(stmt, Seq) or len(proof.premises) != 2:
+                    raise self._fail("SEQ-SIM expects a Seq and two premises")
+                cursor = self._check_stmt(proof.premises[0], stmt.first, record, cursor)
+                return self._check_stmt(proof.premises[1], stmt.second, record, cursor)
+            if proof.rule == "ASSIGN-SIM":
+                return self._check_assign(stmt, record, cursor)
+            if proof.rule == "FIELD-ASSIGN-SIM":
+                return self._check_field_assign(stmt, record, cursor)
+            if proof.rule == "VAR-DECL-SIM":
+                if not isinstance(stmt, VarDecl):
+                    raise self._fail("VAR-DECL-SIM applied to a non-declaration")
+                return self._expect_cmd(
+                    cursor, Havoc(record.boogie_var(stmt.name)), "scoped variable havoc"
+                )
+            if proof.rule == "INHALE-STMT-SIM":
+                if not isinstance(stmt, Inhale) or len(proof.premises) != 1:
+                    raise self._fail("INHALE-STMT-SIM expects an inhale and one premise")
+                return self._check_inhale(
+                    proof.premises[0], stmt.assertion, record, cursor, True, None
+                )
+            if proof.rule == "EXH-SIM":
+                if not isinstance(stmt, Exhale):
+                    raise self._fail("EXH-SIM applied to a non-exhale statement")
+                return self._check_exhale(proof, stmt.assertion, record, cursor, True, None)
+            if proof.rule == "ASSERT-SIM":
+                return self._check_assert(proof, stmt, record, cursor)
+            if proof.rule == "IF-SIM":
+                return self._check_if(proof, stmt, record, cursor)
+            if proof.rule == "CALL-SIM":
+                return self._check_call(proof, stmt, record, cursor)
+            raise self._fail(f"unknown statement rule {proof.rule!r}")
+        finally:
+            self._leave()
+
+    def _check_assign(self, stmt: Stmt, record: TranslationRecord, cursor: Cursor) -> Cursor:
+        if not isinstance(stmt, LocalAssign):
+            raise self._fail("ASSIGN-SIM applied to a non-assignment")
+        cursor = self._expect_wd(cursor, (stmt.rhs,), record, "assignment")
+        return self._expect_cmd(
+            cursor,
+            Assign(record.boogie_var(stmt.target), self._k(stmt.rhs, record)),
+            "assignment",
+        )
+
+    def _check_field_assign(
+        self, stmt: Stmt, record: TranslationRecord, cursor: Cursor
+    ) -> Cursor:
+        if not isinstance(stmt, FieldAssign):
+            raise self._fail("FIELD-ASSIGN-SIM applied to a non-field-assignment")
+        cursor = self._expect_wd(cursor, (stmt.receiver, stmt.rhs), record, "field write")
+        receiver = self._k(stmt.receiver, record)
+        cursor = self._expect_cmd(
+            cursor,
+            BAssert(
+                beq(self._mask_read(record, receiver, stmt.field, record.mask_var), ONE_REAL)
+            ),
+            "field write permission",
+        )
+        value_type = boogie_type_of(self._field_types[stmt.field])
+        heap_update = FuncApp(
+            UPD_HEAP,
+            (value_type,),
+            (
+                BVar(record.heap_var),
+                receiver,
+                BVar(record.field_const(stmt.field)),
+                self._k(stmt.rhs, record),
+            ),
+        )
+        return self._expect_cmd(
+            cursor, Assign(record.heap_var, heap_update), "field write update"
+        )
+
+    def _check_if(
+        self, proof: ProofNode, stmt: Stmt, record: TranslationRecord, cursor: Cursor
+    ) -> Cursor:
+        if not isinstance(stmt, If) or len(proof.premises) != 2:
+            raise self._fail("IF-SIM expects an if-statement and two premises")
+        cursor = self._expect_wd(cursor, (stmt.cond,), record, "branch condition")
+        if not cursor.at_if:
+            raise self._fail(f"expected an if-statement, found {cursor.peek()}")
+        if cursor.ifopt.cond != self._k(stmt.cond, record):
+            raise self._fail("if condition does not correspond to the Viper condition")
+        join = cursor.after_if()
+        then_cursor = self._check_stmt(
+            proof.premises[0], stmt.then, record, cursor.enter_branch(True)
+        )
+        if then_cursor != join:
+            raise self._fail("then branch does not end at the join point")
+        else_cursor = self._check_stmt(
+            proof.premises[1], stmt.otherwise, record, cursor.enter_branch(False)
+        )
+        if else_cursor != join:
+            raise self._fail("else branch does not end at the join point")
+        return join
+
+    def _check_assert(
+        self, proof: ProofNode, stmt: Stmt, record: TranslationRecord, cursor: Cursor
+    ) -> Cursor:
+        if not isinstance(stmt, AssertStmt) or len(proof.premises) != 1:
+            raise self._fail("ASSERT-SIM expects an assert and one premise")
+        wd_mask = self._ensure_aux(proof.param("wm"), record, "assert wd mask")
+        scratch = self._ensure_aux(proof.param("am"), record, "assert scratch mask")
+        if wd_mask == scratch:
+            raise self._fail("assert: wd mask and scratch mask must differ")
+        cursor = self._expect_cmd(
+            cursor, Assign(wd_mask, BVar(record.mask_var)), "assert wd snapshot"
+        )
+        cursor = self._expect_cmd(
+            cursor, Assign(scratch, BVar(record.mask_var)), "assert scratch snapshot"
+        )
+        scratch_record = record.with_mask_var(scratch).with_wd_mask(wd_mask)
+        return self._check_remcheck(
+            proof.premises[0], stmt.assertion, scratch_record, cursor, True, None
+        )
+
+    def _check_call(
+        self, proof: ProofNode, stmt: Stmt, record: TranslationRecord, cursor: Cursor
+    ) -> Cursor:
+        if not isinstance(stmt, MethodCall) or len(proof.premises) != 2:
+            raise self._fail("CALL-SIM expects a call and two premises")
+        callee_name = proof.param("callee")
+        if callee_name != stmt.method:
+            raise self._fail("CALL-SIM callee parameter does not match the call")
+        callee = self._viper_program.method(stmt.method)
+        for arg in stmt.args:
+            if not isinstance(arg, Var):
+                raise self._fail("call arguments must be variables in this subset")
+        arg_names = {arg.name for arg in stmt.args if isinstance(arg, Var)}
+        if arg_names & set(stmt.targets):
+            raise self._fail("call targets must not occur among the arguments")
+        # The kernel performs the specification substitution itself.
+        arg_map = {formal: arg for (formal, _), arg in zip(callee.args, stmt.args)}
+        pre = substitute_assertion(callee.pre, arg_map)
+        # The optimised translation omits wd checks here (justified by the
+        # callee's C1 section — Sec. 4.2); the unoptimised variant keeps
+        # them.  The node declares which variant was used; the kernel only
+        # grants the non-local hypothesis when checks are actually omitted.
+        exhale_node = proof.premises[0]
+        pre_with_wd = bool(exhale_node.param("with_wd", False))
+        q = None if pre_with_wd else QContext("pre", stmt.method)
+        cursor = self._check_exhale(exhale_node, pre, record, cursor, pre_with_wd, q)
+        for target in stmt.targets:
+            cursor = self._expect_cmd(
+                cursor, Havoc(record.boogie_var(target)), "call target havoc"
+            )
+        ret_map = dict(arg_map)
+        for (ret_formal, _), target in zip(callee.returns, stmt.targets):
+            ret_map[ret_formal] = Var(target)
+        post = substitute_assertion(callee.post, ret_map)
+        post_node = proof.premises[1]
+        post_with_wd = bool(post_node.param("with_wd", False))
+        cursor = self._check_inhale_stmt(
+            proof.premises[1], post, record, cursor, QContext("post", stmt.method)
+        )
+        # The dependency on the callee's spec well-formedness only arises
+        # when some wd check was actually omitted (Fig. 10's hypothesis).
+        if not pre_with_wd or not post_with_wd:
+            self._dependencies.add(stmt.method)
+        return cursor
+
+    def _check_inhale_stmt(
+        self,
+        proof: ProofNode,
+        assertion: Assertion,
+        record: TranslationRecord,
+        cursor: Cursor,
+        q: Optional[QContext],
+    ) -> Cursor:
+        """Unwrap an INHALE-STMT-SIM node into the assertion-level check."""
+        if proof.rule != "INHALE-STMT-SIM" or len(proof.premises) != 1:
+            raise self._fail("expected an INHALE-STMT-SIM node")
+        with_wd = bool(proof.param("with_wd", False))
+        return self._check_inhale(
+            proof.premises[0], assertion, record, cursor, with_wd, None if with_wd else q
+        )
+
+    # -- inhale ---------------------------------------------------------------------------
+
+    def _check_inhale(
+        self,
+        proof: ProofNode,
+        assertion: Assertion,
+        record: TranslationRecord,
+        cursor: Cursor,
+        with_wd: bool,
+        q: Optional[QContext],
+    ) -> Cursor:
+        self._enter(proof.rule)
+        try:
+            if not with_wd and q is None:
+                raise self._fail(
+                    "well-definedness checks omitted without a non-local hypothesis"
+                )
+            if proof.rule == "INH-PURE-ATOM":
+                if not isinstance(assertion, AExpr):
+                    raise self._fail("INH-PURE-ATOM applied to a non-pure assertion")
+                if with_wd:
+                    cursor = self._expect_wd(cursor, (assertion.expr,), record, "inhale")
+                return self._expect_cmd(
+                    cursor, Assume(self._k(assertion.expr, record)), "inhale assume"
+                )
+            if proof.rule == "INH-ACC-ATOM":
+                return self._check_inhale_acc(proof, assertion, record, cursor, with_wd)
+            if proof.rule == "INH-SEP-SIM":
+                if not isinstance(assertion, SepConj) or len(proof.premises) != 2:
+                    raise self._fail("INH-SEP-SIM expects a SepConj and two premises")
+                cursor = self._check_inhale(
+                    proof.premises[0], assertion.left, record, cursor, with_wd, q
+                )
+                return self._check_inhale(
+                    proof.premises[1], assertion.right, record, cursor, with_wd, q
+                )
+            if proof.rule == "INH-IMP-SIM":
+                if not isinstance(assertion, Implies) or len(proof.premises) != 1:
+                    raise self._fail("INH-IMP-SIM expects an implication and one premise")
+                if with_wd:
+                    cursor = self._expect_wd(cursor, (assertion.cond,), record, "inhale guard")
+                cursor = self._at_guarded_if(cursor, assertion.cond, record)
+                join = cursor.after_if()
+                if cursor.enter_branch(False) != join:
+                    raise self._fail("implication translation must have an empty else")
+                inner = self._check_inhale(
+                    proof.premises[0], assertion.body, record,
+                    cursor.enter_branch(True), with_wd, q,
+                )
+                if inner != join:
+                    raise self._fail("implication body does not end at the join point")
+                return join
+            if proof.rule == "INH-COND-SIM":
+                if not isinstance(assertion, CondAssert) or len(proof.premises) != 2:
+                    raise self._fail("INH-COND-SIM expects a conditional and two premises")
+                if with_wd:
+                    cursor = self._expect_wd(cursor, (assertion.cond,), record, "inhale guard")
+                cursor = self._at_guarded_if(cursor, assertion.cond, record)
+                join = cursor.after_if()
+                then_cursor = self._check_inhale(
+                    proof.premises[0], assertion.then, record,
+                    cursor.enter_branch(True), with_wd, q,
+                )
+                if then_cursor != join:
+                    raise self._fail("conditional then-branch does not reach the join")
+                else_cursor = self._check_inhale(
+                    proof.premises[1], assertion.otherwise, record,
+                    cursor.enter_branch(False), with_wd, q,
+                )
+                if else_cursor != join:
+                    raise self._fail("conditional else-branch does not reach the join")
+                return join
+            raise self._fail(f"unknown inhale rule {proof.rule!r}")
+        finally:
+            self._leave()
+
+    def _at_guarded_if(
+        self, cursor: Cursor, cond: Expr, record: TranslationRecord
+    ) -> Cursor:
+        if not cursor.at_if:
+            raise self._fail(f"expected a guarded if, found {cursor.peek()}")
+        if cursor.ifopt.cond != self._k(cond, record):
+            raise self._fail("guard does not correspond to the Viper condition")
+        return cursor
+
+    def _check_inhale_acc(
+        self,
+        proof: ProofNode,
+        assertion: Assertion,
+        record: TranslationRecord,
+        cursor: Cursor,
+        with_wd: bool,
+    ) -> Cursor:
+        if not isinstance(assertion, Acc):
+            raise self._fail("INH-ACC-ATOM applied to a non-acc assertion")
+        if with_wd:
+            cursor = self._expect_wd(
+                cursor, (assertion.receiver, assertion.perm), record, "inhale acc"
+            )
+        receiver = self._k(assertion.receiver, record)
+        mask_var = record.mask_var
+        perm_temp = proof.param("perm_temp")
+        if perm_temp is None:
+            # Fast path: sound only for positive literal amounts.
+            if not (isinstance(assertion.perm, PermLit) and assertion.perm.amount > 0):
+                raise self._fail(
+                    "literal fast path used for a non-literal or non-positive amount"
+                )
+            amount: BExpr = BRealLit(assertion.perm.amount)
+            cursor = self._expect_cmd(
+                cursor,
+                Assume(BBinOp(BBinOpKind.NE, receiver, BVar(NULL_CONST))),
+                "inhale acc non-null",
+            )
+        else:
+            temp = self._ensure_aux(perm_temp, record, "inhale permission temp")
+            cursor = self._expect_cmd(
+                cursor, Assign(temp, self._k(assertion.perm, record)), "inhale acc temp"
+            )
+            amount = BVar(temp)
+            cursor = self._expect_cmd(
+                cursor,
+                BAssert(BBinOp(BBinOpKind.GE, amount, ZERO_REAL)),
+                "inhale acc nonnegativity",
+            )
+            cursor = self._expect_cmd(
+                cursor,
+                Assume(
+                    bimplies(
+                        BBinOp(BBinOpKind.GT, amount, ZERO_REAL),
+                        BBinOp(BBinOpKind.NE, receiver, BVar(NULL_CONST)),
+                    )
+                ),
+                "inhale acc non-null",
+            )
+        new_amount = BBinOp(
+            BBinOpKind.ADD,
+            self._mask_read(record, receiver, assertion.field, mask_var),
+            amount,
+        )
+        cursor = self._expect_cmd(
+            cursor,
+            Assign(
+                mask_var,
+                self._mask_upd(record, receiver, assertion.field, new_amount, mask_var),
+            ),
+            "inhale acc mask update",
+        )
+        return self._expect_cmd(
+            cursor,
+            Assume(FuncApp(GOOD_MASK, (), (BVar(mask_var),))),
+            "inhale acc consistency",
+        )
+
+    # -- remcheck / exhale ----------------------------------------------------------------
+
+    def _check_exhale(
+        self,
+        proof: ProofNode,
+        assertion: Assertion,
+        record: TranslationRecord,
+        cursor: Cursor,
+        with_wd: bool,
+        q: Optional[QContext],
+    ) -> Cursor:
+        self._enter("EXH-SIM")
+        try:
+            if proof.rule != "EXH-SIM" or len(proof.premises) != 1:
+                raise self._fail("EXH-SIM expects exactly one remcheck premise")
+            if not with_wd and q is None:
+                raise self._fail(
+                    "well-definedness checks omitted without a non-local hypothesis"
+                )
+            wd_mask = proof.param("wm")
+            rc_record = record
+            if with_wd:
+                wd_mask = self._ensure_aux(wd_mask, record, "exhale wd mask")
+                cursor = self._expect_cmd(
+                    cursor, Assign(wd_mask, BVar(record.mask_var)), "exhale wd snapshot"
+                )
+                rc_record = record.with_wd_mask(wd_mask)
+            elif wd_mask is not None:
+                raise self._fail("exhale without wd checks must not snapshot a wd mask")
+            cursor = self._check_remcheck(
+                proof.premises[0], assertion, rc_record, cursor, with_wd, q
+            )
+            havoc_var = proof.param("havoc")
+            if havoc_var is None:
+                # Omitting the nondeterministic heap assignment is sound
+                # only when the remcheck cannot remove permission (Sec. 3.4).
+                if assertion_has_acc(assertion):
+                    raise self._fail(
+                        "heap havoc omitted although the assertion holds permissions"
+                    )
+                return cursor
+            havoc_name = self._ensure_aux(havoc_var, record, "exhale havoc heap")
+            cursor = self._expect_cmd(cursor, Havoc(havoc_name), "exhale heap havoc")
+            cursor = self._expect_cmd(
+                cursor,
+                Assume(
+                    FuncApp(
+                        ID_ON_POSITIVE,
+                        (),
+                        (BVar(record.heap_var), BVar(havoc_name), BVar(record.mask_var)),
+                    )
+                ),
+                "exhale havoc frame",
+            )
+            cursor = self._expect_cmd(
+                cursor, Assign(record.heap_var, BVar(havoc_name)), "exhale heap install"
+            )
+            return self._expect_cmd(
+                cursor,
+                Assume(FuncApp(GOOD_MASK, (), (BVar(record.mask_var),))),
+                "exhale consistency",
+            )
+        finally:
+            self._leave()
+
+    def _check_remcheck(
+        self,
+        proof: ProofNode,
+        assertion: Assertion,
+        record: TranslationRecord,
+        cursor: Cursor,
+        with_wd: bool,
+        q: Optional[QContext],
+    ) -> Cursor:
+        self._enter(proof.rule)
+        try:
+            if not with_wd and q is None:
+                raise self._fail(
+                    "well-definedness checks omitted without a non-local hypothesis"
+                )
+            if proof.rule == "RC-PURE-ATOM":
+                if not isinstance(assertion, AExpr):
+                    raise self._fail("RC-PURE-ATOM applied to a non-pure assertion")
+                if with_wd:
+                    cursor = self._expect_wd(cursor, (assertion.expr,), record, "remcheck")
+                return self._expect_cmd(
+                    cursor, BAssert(self._k(assertion.expr, record)), "remcheck assert"
+                )
+            if proof.rule == "RC-ACC-ATOM":
+                return self._check_remcheck_acc(proof, assertion, record, cursor, with_wd)
+            if proof.rule == "RC-SEP-SIM":
+                if not isinstance(assertion, SepConj) or len(proof.premises) != 2:
+                    raise self._fail("RC-SEP-SIM expects a SepConj and two premises")
+                cursor = self._check_remcheck(
+                    proof.premises[0], assertion.left, record, cursor, with_wd, q
+                )
+                return self._check_remcheck(
+                    proof.premises[1], assertion.right, record, cursor, with_wd, q
+                )
+            if proof.rule == "RC-IMP-SIM":
+                if not isinstance(assertion, Implies) or len(proof.premises) != 1:
+                    raise self._fail("RC-IMP-SIM expects an implication and one premise")
+                if with_wd:
+                    cursor = self._expect_wd(
+                        cursor, (assertion.cond,), record, "remcheck guard"
+                    )
+                cursor = self._at_guarded_if(cursor, assertion.cond, record)
+                join = cursor.after_if()
+                if cursor.enter_branch(False) != join:
+                    raise self._fail("implication translation must have an empty else")
+                inner = self._check_remcheck(
+                    proof.premises[0], assertion.body, record,
+                    cursor.enter_branch(True), with_wd, q,
+                )
+                if inner != join:
+                    raise self._fail("implication body does not end at the join point")
+                return join
+            if proof.rule == "RC-COND-SIM":
+                if not isinstance(assertion, CondAssert) or len(proof.premises) != 2:
+                    raise self._fail("RC-COND-SIM expects a conditional and two premises")
+                if with_wd:
+                    cursor = self._expect_wd(
+                        cursor, (assertion.cond,), record, "remcheck guard"
+                    )
+                cursor = self._at_guarded_if(cursor, assertion.cond, record)
+                join = cursor.after_if()
+                then_cursor = self._check_remcheck(
+                    proof.premises[0], assertion.then, record,
+                    cursor.enter_branch(True), with_wd, q,
+                )
+                if then_cursor != join:
+                    raise self._fail("conditional then-branch does not reach the join")
+                else_cursor = self._check_remcheck(
+                    proof.premises[1], assertion.otherwise, record,
+                    cursor.enter_branch(False), with_wd, q,
+                )
+                if else_cursor != join:
+                    raise self._fail("conditional else-branch does not reach the join")
+                return join
+            raise self._fail(f"unknown remcheck rule {proof.rule!r}")
+        finally:
+            self._leave()
+
+    def _check_remcheck_acc(
+        self,
+        proof: ProofNode,
+        assertion: Assertion,
+        record: TranslationRecord,
+        cursor: Cursor,
+        with_wd: bool,
+    ) -> Cursor:
+        if not isinstance(assertion, Acc):
+            raise self._fail("RC-ACC-ATOM applied to a non-acc assertion")
+        if with_wd:
+            cursor = self._expect_wd(
+                cursor, (assertion.receiver, assertion.perm), record, "remcheck acc"
+            )
+        receiver = self._k(assertion.receiver, record)
+        mask_var = record.mask_var
+        current = self._mask_read(record, receiver, assertion.field, mask_var)
+        perm_temp = proof.param("perm_temp")
+        if perm_temp is None:
+            if not (isinstance(assertion.perm, PermLit) and assertion.perm.amount > 0):
+                raise self._fail(
+                    "literal fast path used for a non-literal or non-positive amount"
+                )
+            amount: BExpr = BRealLit(assertion.perm.amount)
+            cursor = self._expect_cmd(
+                cursor,
+                BAssert(BBinOp(BBinOpKind.GE, current, amount)),
+                "remcheck acc sufficiency",
+            )
+            return self._expect_cmd(
+                cursor,
+                Assign(
+                    mask_var,
+                    self._mask_upd(
+                        record,
+                        receiver,
+                        assertion.field,
+                        BBinOp(BBinOpKind.SUB, current, amount),
+                        mask_var,
+                    ),
+                ),
+                "remcheck acc removal",
+            )
+        temp = self._ensure_aux(perm_temp, record, "remcheck permission temp")
+        cursor = self._expect_cmd(
+            cursor, Assign(temp, self._k(assertion.perm, record)), "remcheck acc temp"
+        )
+        amount = BVar(temp)
+        cursor = self._expect_cmd(
+            cursor,
+            BAssert(BBinOp(BBinOpKind.GE, amount, ZERO_REAL)),
+            "remcheck acc nonnegativity",
+        )
+        if not cursor.at_if:
+            raise self._fail(f"expected the guarded removal, found {cursor.peek()}")
+        if cursor.ifopt.cond != BBinOp(BBinOpKind.NE, amount, ZERO_REAL):
+            raise self._fail("guarded removal has an unexpected condition")
+        join = cursor.after_if()
+        if cursor.enter_branch(False) != join:
+            raise self._fail("guarded removal must have an empty else")
+        inner = cursor.enter_branch(True)
+        inner = self._expect_cmd(
+            inner,
+            BAssert(BBinOp(BBinOpKind.GE, current, amount)),
+            "remcheck acc sufficiency",
+        )
+        inner = self._expect_cmd(
+            inner,
+            Assign(
+                mask_var,
+                self._mask_upd(
+                    record,
+                    receiver,
+                    assertion.field,
+                    BBinOp(BBinOpKind.SUB, current, amount),
+                    mask_var,
+                ),
+            ),
+            "remcheck acc removal",
+        )
+        if inner != join:
+            raise self._fail("guarded removal branch does not end at the join")
+        return join

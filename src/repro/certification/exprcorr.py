@@ -1,0 +1,205 @@
+"""Kernel-side expression correspondence (trusted).
+
+The certification kernel must know, independently of the (untrusted)
+front-end, which Boogie expression *represents* a Viper expression under a
+translation record, and which assert commands constitute that expression's
+well-definedness checks.  In the paper this knowledge is a set of Isabelle
+lemmas about the expression translation, proved once and for all; here it
+is a small, self-contained re-implementation that the checker compares
+against the translator's output — a translator bug that changes an
+expression's encoding makes the comparison (and hence certification) fail.
+
+This module is intentionally independent from ``repro.frontend.translator``
+(no imports from it): it is part of the trusted base, and its agreement
+with the Viper semantics is validated semantically by the test suite
+(``tests/certification/test_exprcorr_semantics.py``).
+"""
+
+from __future__ import annotations
+
+from typing import List, Mapping
+
+from ..boogie.ast import (
+    band,
+    BAssert,
+    BBinOp,
+    BBinOpKind,
+    BBoolLit,
+    BExpr,
+    bimplies,
+    BIntLit,
+    bnot,
+    BRealLit,
+    BUnOp,
+    BUnOpKind,
+    BVar,
+    CondB,
+    FuncApp,
+    TRUE,
+)
+from ..viper.ast import (
+    BinOp,
+    BinOpKind,
+    BoolLit,
+    CondExp,
+    Expr,
+    FieldAcc,
+    IntLit,
+    NullLit,
+    PermLit,
+    Type,
+    UnOp,
+    UnOpKind,
+    Var,
+)
+from ..frontend.background import NULL_CONST, READ_HEAP, READ_MASK
+from ..frontend.records import boogie_type_of, TranslationRecord
+
+ZERO_REAL_K = BRealLit(0)
+
+
+class CorrespondenceError(Exception):
+    """Raised when the kernel cannot build a correspondence."""
+
+
+_BINOP_MAP = {
+    BinOpKind.ADD: BBinOpKind.ADD,
+    BinOpKind.SUB: BBinOpKind.SUB,
+    BinOpKind.MUL: BBinOpKind.MUL,
+    BinOpKind.DIV: BBinOpKind.DIV,
+    BinOpKind.MOD: BBinOpKind.MOD,
+    BinOpKind.PERM_DIV: BBinOpKind.REAL_DIV,
+    BinOpKind.LT: BBinOpKind.LT,
+    BinOpKind.LE: BBinOpKind.LE,
+    BinOpKind.GT: BBinOpKind.GT,
+    BinOpKind.GE: BBinOpKind.GE,
+    BinOpKind.EQ: BBinOpKind.EQ,
+    BinOpKind.NE: BBinOpKind.NE,
+    BinOpKind.AND: BBinOpKind.AND,
+    BinOpKind.OR: BBinOpKind.OR,
+    BinOpKind.IMPLIES: BBinOpKind.IMPLIES,
+}
+
+
+def kernel_translate_expr(
+    expr: Expr, record: TranslationRecord, field_types: Mapping[str, Type]
+) -> BExpr:
+    """The kernel's definition of R(e) under a translation record."""
+    if isinstance(expr, Var):
+        return BVar(record.boogie_var(expr.name))
+    if isinstance(expr, IntLit):
+        return BIntLit(expr.value)
+    if isinstance(expr, BoolLit):
+        return BBoolLit(expr.value)
+    if isinstance(expr, NullLit):
+        return BVar(NULL_CONST)
+    if isinstance(expr, PermLit):
+        return BRealLit(expr.amount)
+    if isinstance(expr, FieldAcc):
+        if expr.field not in field_types:
+            raise CorrespondenceError(f"unknown field {expr.field!r}")
+        value_type = boogie_type_of(field_types[expr.field])
+        return FuncApp(
+            READ_HEAP,
+            (value_type,),
+            (
+                BVar(record.heap_var),
+                kernel_translate_expr(expr.receiver, record, field_types),
+                BVar(record.field_const(expr.field)),
+            ),
+        )
+    if isinstance(expr, UnOp):
+        op = BUnOpKind.NEG if expr.op is UnOpKind.NEG else BUnOpKind.NOT
+        return BUnOp(op, kernel_translate_expr(expr.operand, record, field_types))
+    if isinstance(expr, CondExp):
+        return CondB(
+            kernel_translate_expr(expr.cond, record, field_types),
+            kernel_translate_expr(expr.then, record, field_types),
+            kernel_translate_expr(expr.otherwise, record, field_types),
+        )
+    if isinstance(expr, BinOp):
+        return BBinOp(
+            _BINOP_MAP[expr.op],
+            kernel_translate_expr(expr.left, record, field_types),
+            kernel_translate_expr(expr.right, record, field_types),
+        )
+    raise CorrespondenceError(f"unsupported expression {expr!r}")
+
+
+def kernel_perm_read(
+    mask_var: str,
+    receiver: BExpr,
+    field_name: str,
+    record: TranslationRecord,
+    field_types: Mapping[str, Type],
+) -> BExpr:
+    """``readMask`` applied to a receiver and field under the record."""
+    if field_name not in field_types:
+        raise CorrespondenceError(f"unknown field {field_name!r}")
+    value_type = boogie_type_of(field_types[field_name])
+    return FuncApp(
+        READ_MASK,
+        (value_type,),
+        (BVar(mask_var), receiver, BVar(record.field_const(field_name))),
+    )
+
+
+def kernel_wd_checks(
+    expr: Expr,
+    record: TranslationRecord,
+    field_types: Mapping[str, Type],
+    guard: BExpr = TRUE,
+) -> List[BAssert]:
+    """The kernel's definition of e's well-definedness check commands.
+
+    Mirrors the Viper semantics' ill-definedness conditions: permission
+    reads consult the record's effective wd mask; subexpressions under lazy
+    operators are checked under the appropriate guard.  The soundness of
+    this definition w.r.t. ``eval_expr``'s partiality is validated
+    semantically in the test suite.
+    """
+    if isinstance(expr, (Var, IntLit, BoolLit, NullLit, PermLit)):
+        return []
+    if isinstance(expr, FieldAcc):
+        checks = kernel_wd_checks(expr.receiver, record, field_types, guard)
+        perm = kernel_perm_read(
+            record.effective_wd_mask,
+            kernel_translate_expr(expr.receiver, record, field_types),
+            expr.field,
+            record,
+            field_types,
+        )
+        checks.append(
+            BAssert(bimplies(guard, BBinOp(BBinOpKind.GT, perm, ZERO_REAL_K)))
+        )
+        return checks
+    if isinstance(expr, UnOp):
+        return kernel_wd_checks(expr.operand, record, field_types, guard)
+    if isinstance(expr, CondExp):
+        cond_b = kernel_translate_expr(expr.cond, record, field_types)
+        checks = kernel_wd_checks(expr.cond, record, field_types, guard)
+        checks += kernel_wd_checks(expr.then, record, field_types, band(guard, cond_b))
+        checks += kernel_wd_checks(
+            expr.otherwise, record, field_types, band(guard, bnot(cond_b))
+        )
+        return checks
+    if isinstance(expr, BinOp):
+        left_b = kernel_translate_expr(expr.left, record, field_types)
+        checks = kernel_wd_checks(expr.left, record, field_types, guard)
+        if expr.op is BinOpKind.AND:
+            checks += kernel_wd_checks(expr.right, record, field_types, band(guard, left_b))
+        elif expr.op is BinOpKind.OR:
+            checks += kernel_wd_checks(
+                expr.right, record, field_types, band(guard, bnot(left_b))
+            )
+        elif expr.op is BinOpKind.IMPLIES:
+            checks += kernel_wd_checks(expr.right, record, field_types, band(guard, left_b))
+        else:
+            checks += kernel_wd_checks(expr.right, record, field_types, guard)
+        if expr.op in (BinOpKind.DIV, BinOpKind.MOD, BinOpKind.PERM_DIV):
+            right_b = kernel_translate_expr(expr.right, record, field_types)
+            checks.append(
+                BAssert(bimplies(guard, BBinOp(BBinOpKind.NE, right_b, BIntLit(0))))
+            )
+        return checks
+    raise CorrespondenceError(f"unsupported expression {expr!r}")

@@ -1,0 +1,273 @@
+"""Certificates: proof trees over the simulation rules, plus serialisation.
+
+A certificate is the reproduction's counterpart of the generated Isabelle
+proof: a tree of rule applications (:class:`ProofNode`) per method, wrapped
+in a :class:`MethodCertificate` (with the translation record and the
+non-local *dependencies* it relies on — Sec. 4.2), and bundled into a
+:class:`ProgramCertificate`.
+
+Certificates serialise to a line-oriented text format (``.cert``) that can
+be parsed back and checked *independently* of the translator that produced
+it — the harness measures certificate size in lines of this format, the
+analog of the paper's Isabelle-proof LoC columns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple, Union
+
+from ..frontend.records import TranslationRecord
+
+ParamValue = Union[str, int, bool, None, Tuple[str, ...]]
+
+
+@dataclass(frozen=True)
+class ProofNode:
+    """One rule application with parameters and premises."""
+
+    rule: str
+    params: Tuple[Tuple[str, ParamValue], ...] = ()
+    premises: Tuple["ProofNode", ...] = ()
+
+    def param(self, name: str, default: ParamValue = None) -> ParamValue:
+        for key, value in self.params:
+            if key == name:
+                return value
+        return default
+
+    def size(self) -> int:
+        return 1 + sum(p.size() for p in self.premises)
+
+
+def node(rule: str, premises: Tuple[ProofNode, ...] = (), **params: ParamValue) -> ProofNode:
+    """Convenience constructor keeping parameter order deterministic."""
+    return ProofNode(rule, tuple(sorted(params.items())), premises)
+
+
+@dataclass(frozen=True)
+class MethodCertificate:
+    """The per-method relational proof Rel^G_{F,M}(m, p(m)) (Fig. 10)."""
+
+    method: str
+    procedure: str
+    record: TranslationRecord
+    #: Proof of the C1 section (spec well-formedness simulation).
+    wf_proof: ProofNode
+    #: Proof of the C2 section; ``None`` for abstract methods.
+    body_proof: Optional[ProofNode]
+    #: Methods whose spec well-formedness this proof depends on (callees
+    #: whose wd checks were omitted at call sites — Sec. 4.2).
+    dependencies: Tuple[str, ...]
+
+    def size(self) -> int:
+        total = self.wf_proof.size()
+        if self.body_proof is not None:
+            total += self.body_proof.size()
+        return total
+
+
+@dataclass(frozen=True)
+class ProgramCertificate:
+    """All per-method certificates of one translation run."""
+
+    methods: Tuple[MethodCertificate, ...]
+
+    def certificate_for(self, method: str) -> MethodCertificate:
+        for cert in self.methods:
+            if cert.method == method:
+                return cert
+        raise KeyError(f"no certificate for method {method!r}")
+
+    def size(self) -> int:
+        return sum(cert.size() for cert in self.methods)
+
+
+# ---------------------------------------------------------------------------
+# Serialisation
+# ---------------------------------------------------------------------------
+
+
+def _encode_param(value: ParamValue) -> str:
+    if value is None:
+        return "@none"
+    if value is True:
+        return "@true"
+    if value is False:
+        return "@false"
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, tuple):
+        return "@tuple:" + ",".join(value)
+    return value
+
+
+def _decode_param(text: str) -> ParamValue:
+    if text == "@none":
+        return None
+    if text == "@true":
+        return True
+    if text == "@false":
+        return False
+    if text.startswith("@tuple:"):
+        rest = text[len("@tuple:"):]
+        return tuple(rest.split(",")) if rest else ()
+    try:
+        return int(text)
+    except ValueError:
+        return text
+
+
+def _render_node(proof: ProofNode, indent: int, lines: List[str]) -> None:
+    params = " ".join(f"{k}={_encode_param(v)}" for k, v in proof.params)
+    lines.append("  " * indent + proof.rule + (f" {params}" if params else ""))
+    for premise in proof.premises:
+        _render_node(premise, indent + 1, lines)
+
+
+def render_method_certificate(cert: MethodCertificate) -> str:
+    """Serialise one method certificate to the line-oriented format."""
+    lines: List[str] = []
+    lines.append(f"method {cert.method}")
+    lines.append(f"procedure {cert.procedure}")
+    for viper_var in sorted(cert.record.var_map):
+        lines.append(f"var {viper_var} {cert.record.var_map[viper_var]}")
+    for field_name in sorted(cert.record.field_consts):
+        lines.append(f"fieldconst {field_name} {cert.record.field_consts[field_name]}")
+    lines.append(f"heapvar {cert.record.heap_var}")
+    lines.append(f"maskvar {cert.record.mask_var}")
+    for dep in cert.dependencies:
+        lines.append(f"depends {dep}")
+    lines.append("wf-proof")
+    _render_node(cert.wf_proof, 1, lines)
+    if cert.body_proof is not None:
+        lines.append("body-proof")
+        _render_node(cert.body_proof, 1, lines)
+    lines.append("end-method")
+    return "\n".join(lines)
+
+
+def render_program_certificate(cert: ProgramCertificate) -> str:
+    """Serialise a whole program certificate (the .cert file contents)."""
+    parts = ["CERTIFICATE-V1"]
+    for method_cert in cert.methods:
+        parts.append(render_method_certificate(method_cert))
+    parts.append("end-certificate")
+    return "\n".join(parts) + "\n"
+
+
+class CertificateParseError(Exception):
+    """Raised when certificate text cannot be parsed."""
+
+
+def _parse_proof_lines(lines: List[str], start: int, base_indent: int):
+    """Parse an indented proof-node block; returns (node, next_index)."""
+    header = lines[start]
+    indent = (len(header) - len(header.lstrip())) // 2
+    if indent != base_indent:
+        raise CertificateParseError(f"bad indentation at line {start + 1}")
+    parts = header.strip().split()
+    rule = parts[0]
+    params: List[Tuple[str, ParamValue]] = []
+    for part in parts[1:]:
+        if "=" not in part:
+            raise CertificateParseError(f"bad parameter {part!r} at line {start + 1}")
+        key, _, raw = part.partition("=")
+        params.append((key, _decode_param(raw)))
+    premises: List[ProofNode] = []
+    index = start + 1
+    while index < len(lines):
+        line = lines[index]
+        if not line.strip():
+            index += 1
+            continue
+        line_indent = (len(line) - len(line.lstrip())) // 2
+        if line_indent <= base_indent or not line.startswith("  "):
+            break
+        if line_indent == base_indent + 1:
+            premise, index = _parse_proof_lines(lines, index, base_indent + 1)
+            premises.append(premise)
+        else:
+            raise CertificateParseError(f"bad indentation at line {index + 1}")
+    return ProofNode(rule, tuple(params), tuple(premises)), index
+
+
+def parse_program_certificate(text: str) -> ProgramCertificate:
+    """Parse a serialised certificate back into its tree form."""
+    lines = text.splitlines()
+    if not lines or lines[0].strip() != "CERTIFICATE-V1":
+        raise CertificateParseError("missing certificate header")
+    index = 1
+    methods: List[MethodCertificate] = []
+    while index < len(lines):
+        line = lines[index].strip()
+        if not line:
+            index += 1
+            continue
+        if line == "end-certificate":
+            break
+        if not line.startswith("method "):
+            raise CertificateParseError(f"expected 'method' at line {index + 1}")
+        method = line.split()[1]
+        index += 1
+        procedure = ""
+        var_map: Dict[str, str] = {}
+        field_consts: Dict[str, str] = {}
+        heap_var = "H"
+        mask_var = "M"
+        dependencies: List[str] = []
+        wf_proof: Optional[ProofNode] = None
+        body_proof: Optional[ProofNode] = None
+        while index < len(lines):
+            line = lines[index].strip()
+            if not line:
+                index += 1
+                continue
+            if line == "end-method":
+                index += 1
+                break
+            if line.startswith("procedure "):
+                procedure = line.split()[1]
+                index += 1
+            elif line.startswith("var "):
+                _, viper_var, boogie_var = line.split()
+                var_map[viper_var] = boogie_var
+                index += 1
+            elif line.startswith("fieldconst "):
+                _, field_name, const = line.split()
+                field_consts[field_name] = const
+                index += 1
+            elif line.startswith("heapvar "):
+                heap_var = line.split()[1]
+                index += 1
+            elif line.startswith("maskvar "):
+                mask_var = line.split()[1]
+                index += 1
+            elif line.startswith("depends "):
+                dependencies.append(line.split()[1])
+                index += 1
+            elif line == "wf-proof":
+                wf_proof, index = _parse_proof_lines(lines, index + 1, 1)
+            elif line == "body-proof":
+                body_proof, index = _parse_proof_lines(lines, index + 1, 1)
+            else:
+                raise CertificateParseError(f"unexpected line {index + 1}: {line!r}")
+        if wf_proof is None:
+            raise CertificateParseError(f"method {method!r} lacks a wf-proof")
+        record = TranslationRecord(
+            var_map=var_map,
+            heap_var=heap_var,
+            mask_var=mask_var,
+            field_consts=field_consts,
+        )
+        methods.append(
+            MethodCertificate(
+                method=method,
+                procedure=procedure,
+                record=record,
+                wf_proof=wf_proof,
+                body_proof=body_proof,
+                dependencies=tuple(dependencies),
+            )
+        )
+    return ProgramCertificate(tuple(methods))

@@ -1,0 +1,219 @@
+"""State relations between Viper and Boogie states (Sec. 4.1).
+
+The simulation judgements are parameterised by relations between Viper and
+Boogie states.  Following the paper's stylised form, our relations are
+determined by a *translation record* (plus, implicitly, the standard
+interpretation): :class:`SimRel` wraps a record and knows whether the
+related Viper "state" is a single state or the (evaluation state, reduction
+state) *pair* used by remcheck.
+
+``rel_holds`` gives the relation its semantic meaning — the executable
+counterpart of SR in Sec. 4.1:
+
+* both Viper states are consistent,
+* field constants are correctly represented (fieldRel),
+* the store corresponds through the record's variable map (stRel),
+* the Boogie heap/mask variables represent the reduction state's heap and
+  mask (hmRel) — heap agreement is required on *permissioned* locations
+  (unpermissioned Boogie heap contents are junk by design, Sec. 2.4),
+* when paired, the wd-mask variable represents the evaluation state's mask
+  and both states share store and heap (a remcheck never changes them).
+
+The oracle and the rule-validation tests quantify over sampled state pairs
+satisfying this definition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Mapping, Optional
+
+from ..boogie.state import BoogieState
+from ..boogie.values import BValue, FrozenMap, UValue
+from ..frontend.background import (
+    NULL_ADDRESS,
+    to_boogie_value,
+    values_correspond,
+)
+from ..frontend.records import TranslationRecord
+from ..viper.ast import Type
+from ..viper.state import ViperState
+
+
+@dataclass(frozen=True)
+class SimRel:
+    """A state relation SR^{Tr} (auxiliary-variable facts are tracked by the
+    checker's schemas locally and do not appear in the semantic relation)."""
+
+    record: TranslationRecord
+
+    @property
+    def paired(self) -> bool:
+        """Whether the relation relates ((σ⁰, σ), σ_b) rather than (σ, σ_b)."""
+        return self.record.wd_mask_var is not None
+
+
+def _mask_payload(value: BValue) -> Optional[FrozenMap]:
+    if isinstance(value, UValue) and value.type_name == "MaskType":
+        payload = value.payload
+        if isinstance(payload, FrozenMap):
+            return payload
+    return None
+
+
+def _heap_payload(value: BValue) -> Optional[FrozenMap]:
+    if isinstance(value, UValue) and value.type_name == "HeapType":
+        payload = value.payload
+        if isinstance(payload, FrozenMap):
+            return payload
+    return None
+
+
+def store_corresponds(
+    state: ViperState, boogie_state: BoogieState, record: TranslationRecord
+) -> bool:
+    """stRel: every Viper variable's value is mirrored in the Boogie store."""
+    for name, value in state.store.items():
+        if name not in record.var_map:
+            return False
+        boogie_name = record.var_map[name]
+        if boogie_name not in boogie_state:
+            return False
+        if not values_correspond(value, boogie_state.lookup(boogie_name)):
+            return False
+    return True
+
+
+def mask_corresponds(
+    state: ViperState,
+    boogie_state: BoogieState,
+    mask_var: str,
+) -> bool:
+    """The Boogie mask variable represents the Viper permission mask.
+
+    Agreement is required at *every* location: stored Boogie entries must
+    match the Viper mask (with absent entries meaning zero on both sides),
+    and locations at the null reference must carry no permission.
+    """
+    if mask_var not in boogie_state:
+        return False
+    payload = _mask_payload(boogie_state.lookup(mask_var))
+    if payload is None:
+        return False
+    keys = {key for key in payload.keys()}
+    keys |= set(state.mask.keys())
+    for key in keys:
+        address, field_name = key
+        boogie_amount = payload.get(key, Fraction(0))
+        if address == NULL_ADDRESS:
+            if boogie_amount != 0:
+                return False
+            continue
+        if state.perm((address, field_name)) != boogie_amount:
+            return False
+    return True
+
+
+def heap_corresponds(
+    state: ViperState,
+    boogie_state: BoogieState,
+    heap_var: str,
+    field_types: Mapping[str, Type],
+) -> bool:
+    """hmRel (heap part): agreement on all locations with positive permission."""
+    if heap_var not in boogie_state:
+        return False
+    payload = _heap_payload(boogie_state.lookup(heap_var))
+    if payload is None:
+        return False
+    for loc, amount in state.mask.items():
+        if amount <= 0:
+            continue
+        address, field_name = loc
+        expected = to_boogie_value(state.heap_value(loc))
+        if field_name in field_types:
+            from ..viper.state import default_value
+
+            default = to_boogie_value(default_value(field_types[field_name]))
+        else:
+            default = expected
+        actual = payload.get((address, field_name), default)
+        if actual != expected:
+            return False
+    return True
+
+
+def fields_correspond(
+    boogie_state: BoogieState, record: TranslationRecord
+) -> bool:
+    """fieldRel: the field constants carry their canonical carrier values."""
+    for field_name, const_name in record.field_consts.items():
+        if const_name not in boogie_state:
+            return False
+        if boogie_state.lookup(const_name) != UValue("Field", field_name):
+            return False
+    return True
+
+
+def rel_holds(
+    rel: SimRel,
+    eval_state: ViperState,
+    state: ViperState,
+    boogie_state: BoogieState,
+    field_types: Mapping[str, Type],
+) -> bool:
+    """SR^{Tr}((σ⁰, σ), σ_b): the full state relation of Sec. 4.1.
+
+    For unpaired relations pass ``eval_state is state``.
+    """
+    record = rel.record
+    if not eval_state.is_consistent() or not state.is_consistent():
+        return False
+    if not fields_correspond(boogie_state, record):
+        return False
+    if not store_corresponds(state, boogie_state, record):
+        return False
+    if not mask_corresponds(state, boogie_state, record.mask_var):
+        return False
+    if not heap_corresponds(state, boogie_state, record.heap_var, field_types):
+        return False
+    if rel.paired:
+        # The evaluation state shares store and heap with the reduction
+        # state; its mask lives in the wd-mask variable.
+        if not eval_state.same_store_and_heap(state):
+            return False
+        if not mask_corresponds(eval_state, boogie_state, record.wd_mask_var):
+            return False
+        # Heap agreement for the evaluation state (its permissions may
+        # exceed the reduction state's).
+        if not heap_corresponds(
+            eval_state, boogie_state, record.heap_var, field_types
+        ):
+            return False
+    return True
+
+
+def boogie_state_for(
+    state: ViperState,
+    record: TranslationRecord,
+    const_values: Mapping[str, BValue],
+    extra: Optional[Mapping[str, BValue]] = None,
+) -> BoogieState:
+    """Construct a canonical Boogie state related to a Viper state.
+
+    Used by the oracle and the final theorem to *choose* the initial Boogie
+    state σ_b with R₀(σ_v, σ_b) (Sec. 4.5).
+    """
+    from ..frontend.background import heap_to_boogie, mask_to_boogie
+
+    values = dict(const_values)
+    for name, value in state.store.items():
+        values[record.var_map[name]] = to_boogie_value(value)
+    values[record.heap_var] = heap_to_boogie(state)
+    values[record.mask_var] = mask_to_boogie(state)
+    if record.wd_mask_var is not None:
+        values[record.wd_mask_var] = mask_to_boogie(state)
+    if extra:
+        values.update(extra)
+    return BoogieState(values)

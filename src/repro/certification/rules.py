@@ -1,0 +1,163 @@
+"""The rule catalog: every judgement form the kernel accepts.
+
+A manifest of the proof system implemented by the checker, with the
+paper's provenance for each rule.  It serves three purposes:
+
+* documentation — ``python -m repro.cli rules`` prints it;
+* a consistency contract — the test suite checks that the tactic emits
+  only catalogued rules and that the checker implements all of them;
+* per-rule pointers to where each schema's *semantic* soundness is
+  validated (the once-and-for-all analog of the Isabelle lemma proofs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+
+@dataclass(frozen=True)
+class RuleInfo:
+    """One rule of the certification proof system."""
+
+    name: str
+    #: "structure" (procedure-level), "statement", "inhale", or "remcheck".
+    kind: str
+    #: Whether the rule is an atomic lemma schema (a leaf — Fig. 8's 𝒫ᵢ).
+    atomic: bool
+    #: Parameters supplied by hints (kind-2 hints of Sec. 4.3).
+    params: Tuple[str, ...]
+    #: Where the paper introduces the idea.
+    paper_ref: str
+    summary: str
+
+
+RULES: Tuple[RuleInfo, ...] = (
+    # -- procedure structure (Fig. 10) -------------------------------------
+    RuleInfo(
+        "SPEC-WF-SIM", "structure", False, (),
+        "Fig. 10 (C1)",
+        "Spec well-formedness section: inhale pre; havoc returns; inhale "
+        "post; assume false — inside the nondeterministic branch.",
+    ),
+    RuleInfo(
+        "METHOD-BODY-SIM", "structure", False, (),
+        "Fig. 9/10 (C2)",
+        "The method obligation: inhale pre; body; exhale post.",
+    ),
+    # -- statements ----------------------------------------------------------
+    RuleInfo("SKIP-SIM", "statement", True, (), "—", "Empty statement: no Boogie code."),
+    RuleInfo(
+        "SEQ-SIM", "statement", False, (),
+        "Fig. 5 (derived from COMP)",
+        "Sequential composition: chain the program points of both parts.",
+    ),
+    RuleInfo(
+        "ASSIGN-SIM", "statement", True, (),
+        "Sec. 3.3 (atomic schema)",
+        "Local assignment: wd checks then the corresponding Boogie assign.",
+    ),
+    RuleInfo(
+        "FIELD-ASSIGN-SIM", "statement", True, (),
+        "Sec. 2.4",
+        "Field write: wd checks, full-permission assert, updHeap assign.",
+    ),
+    RuleInfo(
+        "VAR-DECL-SIM", "statement", True, (),
+        "Sec. 5 (adjustment 4)",
+        "Scoped variable declaration: a havoc at the declaration point.",
+    ),
+    RuleInfo(
+        "INHALE-STMT-SIM", "statement", False, ("with_wd",),
+        "App. A",
+        "Wrapper choosing whether wd checks are present (omitted only "
+        "under a non-local hypothesis).",
+    ),
+    RuleInfo(
+        "EXH-SIM", "statement", False, ("wm", "havoc", "with_wd"),
+        "Fig. 6",
+        "Exhale: WM snapshot (paired relation), remcheck premise, then the "
+        "havoc/idOnPositive nondeterministic heap assignment — omitted "
+        "only when the assertion holds no permission (Sec. 3.4).",
+    ),
+    RuleInfo(
+        "ASSERT-SIM", "statement", False, ("wm", "am"),
+        "Sec. 2.3",
+        "Assert: remcheck against a scratch mask; M is untouched.",
+    ),
+    RuleInfo(
+        "IF-SIM", "statement", False, (),
+        "Fig. 1 / Sec. 4.3",
+        "Conditional: wd check of the guard, branch premises joining at "
+        "the same program point.",
+    ),
+    RuleInfo(
+        "CALL-SIM", "statement", False, ("callee",),
+        "Sec. 4.2",
+        "Method call: exhale pre (wd omitted under Q_pre), havoc targets, "
+        "inhale post (wd omitted under Q_post); records the dependency on "
+        "the callee's C1 section.",
+    ),
+    # -- inhale (App. A) -------------------------------------------------------
+    RuleInfo(
+        "INH-PURE-ATOM", "inhale", True, (),
+        "Fig. 11",
+        "Pure constraint: wd checks then assume R(e).",
+    ),
+    RuleInfo(
+        "INH-ACC-ATOM", "inhale", True, ("perm_temp",),
+        "Fig. 11 (INH-ACC)",
+        "Accessibility predicate: nonnegativity assert, null-guard assume, "
+        "updMask, GoodMask assume; fast path for positive literals "
+        "(perm_temp = none).",
+    ),
+    RuleInfo("INH-SEP-SIM", "inhale", False, (), "Fig. 11 (INH-SEP)", "Separating conjunction, left to right."),
+    RuleInfo("INH-IMP-SIM", "inhale", False, (), "Fig. 11", "Implication: guarded Boogie if with empty else."),
+    RuleInfo("INH-COND-SIM", "inhale", False, (), "Fig. 1", "Conditional assertion: Boogie if over both branches."),
+    # -- remcheck (Fig. 2) -------------------------------------------------------
+    RuleInfo(
+        "RC-PURE-ATOM", "remcheck", True, (),
+        "Fig. 2 (RC-PURE)",
+        "Pure constraint: wd checks against WM, then assert R(e).",
+    ),
+    RuleInfo(
+        "RC-ACC-ATOM", "remcheck", True, ("perm_temp",),
+        "Fig. 2 (RC-ACC) / App. B (RACC-SIM)",
+        "Permission removal: nonnegativity, sufficiency, updMask subtract; "
+        "guarded by if (tmp != 0) in the general path, fast path for "
+        "positive literals.",
+    ),
+    RuleInfo(
+        "RC-SEP-SIM", "remcheck", False, (),
+        "Fig. 2 (RC-SEP) / Fig. 7 (RSEP-SIM)",
+        "Separating conjunction; the Q hypothesis (wd omission) propagates "
+        "identically to both conjuncts.",
+    ),
+    RuleInfo("RC-IMP-SIM", "remcheck", False, (), "Fig. 2", "Implication: guarded Boogie if with empty else."),
+    RuleInfo("RC-COND-SIM", "remcheck", False, (), "Fig. 2", "Conditional assertion over both branches."),
+)
+
+RULE_NAMES = frozenset(rule.name for rule in RULES)
+
+
+def rule_info(name: str) -> RuleInfo:
+    for rule in RULES:
+        if rule.name == name:
+            return rule
+    raise KeyError(f"unknown rule {name!r}")
+
+
+def render_catalog() -> str:
+    """A human-readable listing of the proof system."""
+    lines = ["The certification proof system (kernel rules)", ""]
+    for kind in ("structure", "statement", "inhale", "remcheck"):
+        lines.append(f"## {kind} rules")
+        for rule in RULES:
+            if rule.kind != kind:
+                continue
+            marker = "atomic " if rule.atomic else ""
+            params = f" params: {', '.join(rule.params)}" if rule.params else ""
+            lines.append(f"  {rule.name:<18} [{marker}{rule.paper_ref}]{params}")
+            lines.append(f"      {rule.summary}")
+        lines.append("")
+    return "\n".join(lines)

@@ -1,0 +1,430 @@
+"""Executable forward-simulation judgements (Sec. 3, Fig. 4).
+
+The paper's generic judgement ``sim`` quantifies over all related input
+states: for every successful Viper execution there must be a Boogie
+execution to the exit point ending in related states, and for every failing
+Viper execution a failing Boogie execution.  This module makes the
+judgement *executable over bounded state samples*:
+
+* :func:`run_boogie_region` enumerates every Boogie execution between two
+  program points (cursors);
+* :func:`check_statement_simulation` / :func:`check_inhale_simulation` /
+  :func:`check_remcheck_simulation` instantiate the generic judgement for
+  the three instantiations of Fig. 4 (stmSim, the inhale effect, rcSim with
+  its paired evaluation/reduction states);
+* :func:`sample_viper_states` provides value-diverse state samples.
+
+These checkers are how the reproduction validates the kernel's lemma
+schemas "once and for all" (the role Isabelle proofs play in the paper):
+``tests/certification/test_rule_soundness.py`` runs every schema through
+them over exhaustive small-domain samples.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from ..boogie.ast import BBool, BInt, BoogieProgram, BReal, BType, Procedure, TCon
+from ..boogie.cursor import Cursor
+from ..boogie.semantics import (
+    BFailure,
+    BMagic,
+    BNormal,
+    BoogieContext,
+    step,
+)
+from ..boogie.state import BoogieState
+from ..boogie.values import BValue, BVBool, BVInt, BVReal, FrozenMap, UValue
+from ..choice import all_executions, ChoiceOracle
+from ..frontend.background import NULL_ADDRESS
+from ..viper.ast import Assertion, Stmt, Type
+from ..viper.semantics import (
+    exhale,
+    Failure,
+    inhale,
+    Normal,
+    Outcome,
+    remcheck,
+    ViperContext,
+    exec_stmt,
+)
+from ..viper.state import ViperState
+from .relations import rel_holds, SimRel
+
+
+# ---------------------------------------------------------------------------
+# Boogie region execution
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RegionOutcome:
+    """One enumerated Boogie execution of a region.
+
+    ``kind`` is ``"reached"`` (exit cursor reached, with the final state),
+    ``"failed"``, ``"magic"``, or ``"escaped"`` (execution finished or left
+    the region without passing the exit point).
+    """
+
+    kind: str
+    state: Optional[BoogieState] = None
+
+
+def run_boogie_region(
+    entry: Cursor,
+    exit_cursor: Optional[Cursor],
+    state: BoogieState,
+    ctx: BoogieContext,
+    max_paths: int = 100_000,
+    max_steps: int = 100_000,
+) -> List[RegionOutcome]:
+    """Enumerate all executions from ``entry`` until ``exit_cursor``.
+
+    With ``exit_cursor=None``, executions run to completion (termination of
+    the whole statement).
+    """
+
+    def run(oracle: ChoiceOracle) -> RegionOutcome:
+        cursor, current = entry, state
+        for _ in range(max_steps):
+            if exit_cursor is not None and cursor == exit_cursor:
+                return RegionOutcome("reached", current)
+            if cursor.is_done:
+                if exit_cursor is None:
+                    return RegionOutcome("reached", current)
+                return RegionOutcome("escaped", current)
+            result = step(cursor, current, ctx, oracle)
+            if isinstance(result, BFailure):
+                return RegionOutcome("failed")
+            if isinstance(result, BMagic):
+                return RegionOutcome("magic")
+            cursor, current = result.cursor, result.state
+        raise RuntimeError("Boogie region execution exceeded the step budget")
+
+    return list(all_executions(run, max_paths=max_paths))
+
+
+# ---------------------------------------------------------------------------
+# State sampling
+# ---------------------------------------------------------------------------
+
+_SAMPLE_VALUES: Dict[Type, Tuple] = {}
+
+
+def sample_viper_states(
+    var_types: Mapping[str, Type],
+    field_types: Mapping[str, Type],
+    count: int,
+    seed: int = 0,
+    addresses: Sequence[int] = (1, 2),
+) -> List[ViperState]:
+    """Pseudo-random, value-diverse Viper states (stores, heaps, and masks)."""
+    from ..viper.semantics import HAVOC_CANDIDATES
+    from ..viper.state import default_value
+
+    rng = random.Random(seed)
+    perm_choices = [Fraction(0), Fraction(1, 2), Fraction(1)]
+    states: List[ViperState] = []
+    for _ in range(count):
+        store = {
+            name: rng.choice(HAVOC_CANDIDATES[typ]) for name, typ in var_types.items()
+        }
+        heap = {}
+        mask = {}
+        for address in addresses:
+            for field_name, field_type in field_types.items():
+                loc = (address, field_name)
+                if rng.random() < 0.8:
+                    heap[loc] = rng.choice(HAVOC_CANDIDATES[field_type])
+                amount = rng.choice(perm_choices)
+                if amount:
+                    mask[loc] = amount
+        states.append(
+            ViperState(store=store, heap=heap, mask=mask, field_types=dict(field_types))
+        )
+    return states
+
+
+def default_boogie_value(typ: BType) -> BValue:
+    """A well-typed default value for initialising Boogie locals."""
+    if isinstance(typ, BInt):
+        return BVInt(0)
+    if isinstance(typ, BReal):
+        return BVReal(Fraction(0))
+    if isinstance(typ, BBool):
+        return BVBool(False)
+    if isinstance(typ, TCon):
+        if typ.name == "Ref":
+            return UValue("Ref", NULL_ADDRESS)
+        if typ.name in ("HeapType", "MaskType"):
+            return UValue(typ.name, FrozenMap())
+        if typ.name == "Field":
+            return UValue("Field", "?")
+    raise ValueError(f"no default for Boogie type {typ}")
+
+
+def heap_havoc_hook(field_types: Mapping[str, Type]):
+    """A state-aware havoc hook offering idOnPositive-relevant heap variants.
+
+    For a ``HeapType``-typed havoc it returns: the current heap ``H``, plus
+    every variant of ``H`` obtained by rewriting the value of up to two
+    locations that carry *no* permission in the current mask ``M``.  This
+    candidate set always contains the heap the Viper exhale havoc produces
+    (which only rewrites newly-unpermissioned locations), so the subsequent
+    ``assume idOnPositive(H, H', M)`` admits exactly the right executions.
+    """
+    from ..frontend.background import to_boogie_value
+    from ..viper.semantics import HAVOC_CANDIDATES
+
+    def hook(name: str, typ: BType, state: BoogieState, ctx: BoogieContext):
+        if not (isinstance(typ, TCon) and typ.name == "HeapType"):
+            return None
+        if "H" not in state or "M" not in state:
+            return None
+        heap_val = state.lookup("H")
+        mask_val = state.lookup("M")
+        if not (isinstance(heap_val, UValue) and isinstance(heap_val.payload, FrozenMap)):
+            return None
+        if not (isinstance(mask_val, UValue) and isinstance(mask_val.payload, FrozenMap)):
+            return None
+        heap_payload = heap_val.payload
+        mask_payload = mask_val.payload
+        # Locations eligible for havoc: no positive permission in M.
+        locs: List[Tuple[int, str]] = []
+        for address in (1, 2):
+            for field_name in field_types:
+                loc = (address, field_name)
+                if mask_payload.get(loc, Fraction(0)) <= 0:
+                    locs.append(loc)
+        candidates = [heap_val]
+        for loc in locs:
+            for value in HAVOC_CANDIDATES[field_types[loc[1]]]:
+                candidates.append(
+                    UValue("HeapType", heap_payload.set(loc, to_boogie_value(value)))
+                )
+        for loc_a, loc_b in itertools.combinations(locs, 2):
+            for val_a in HAVOC_CANDIDATES[field_types[loc_a[1]]][:2]:
+                for val_b in HAVOC_CANDIDATES[field_types[loc_b[1]]][:2]:
+                    payload = heap_payload.set(loc_a, to_boogie_value(val_a))
+                    payload = payload.set(loc_b, to_boogie_value(val_b))
+                    candidates.append(UValue("HeapType", payload))
+        return tuple(dict.fromkeys(candidates))
+
+    return hook
+
+
+# ---------------------------------------------------------------------------
+# The generic simulation check (bounded)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class SimVerdict:
+    """Result of a bounded generic-simulation check."""
+
+    ok: bool
+    detail: str = ""
+    viper_state: Optional[ViperState] = None
+    checked_pairs: int = 0
+
+
+def _viper_all_outcomes(run: Callable[[ChoiceOracle], Outcome], max_paths: int = 20_000):
+    return list(all_executions(run, max_paths=max_paths))
+
+
+def check_generic_simulation(
+    viper_runs: Callable[[ViperState], Iterable[Tuple[ViperState, ViperState, Outcome]]],
+    states: Sequence[ViperState],
+    boogie_state_of: Callable[[ViperState], BoogieState],
+    entry: Cursor,
+    exit_cursor: Optional[Cursor],
+    ctx_b: BoogieContext,
+    rel_out: SimRel,
+    field_types: Mapping[str, Type],
+) -> SimVerdict:
+    """The bounded generic judgement sim (Fig. 4).
+
+    ``viper_runs(σ)`` yields triples ``(σ⁰', σ', outcome)`` — one per
+    enumerated Viper execution, where for normal outcomes the pair
+    ``(σ⁰', σ')`` is the output (evaluation, reduction) state pair.  For
+    every normal outcome a Boogie execution must reach the exit point in a
+    state related by ``rel_out``; for every failing outcome some Boogie
+    execution from the entry point must fail.
+    """
+    checked = 0
+    for sigma in states:
+        boogie_init = boogie_state_of(sigma)
+        region: Optional[List[RegionOutcome]] = None
+        for eval_out, red_out, outcome in viper_runs(sigma):
+            checked += 1
+            if isinstance(outcome, Failure):
+                if region is None:
+                    region = run_boogie_region(
+                        entry, exit_cursor, boogie_init, ctx_b
+                    )
+                if not any(r.kind == "failed" for r in region):
+                    return SimVerdict(
+                        False,
+                        "failing Viper execution has no failing Boogie execution",
+                        sigma,
+                        checked,
+                    )
+            elif isinstance(outcome, Normal):
+                if region is None:
+                    region = run_boogie_region(entry, exit_cursor, boogie_init, ctx_b)
+                related = [
+                    r
+                    for r in region
+                    if r.kind == "reached"
+                    and rel_holds(rel_out, eval_out, red_out, r.state, field_types)
+                ]
+                if not related:
+                    return SimVerdict(
+                        False,
+                        "successful Viper execution has no related Boogie execution",
+                        sigma,
+                        checked,
+                    )
+    return SimVerdict(True, checked_pairs=checked)
+
+
+# ---------------------------------------------------------------------------
+# Instantiations (Fig. 4)
+# ---------------------------------------------------------------------------
+
+
+def check_statement_simulation(
+    stmt: Stmt,
+    ctx_v: ViperContext,
+    states: Sequence[ViperState],
+    boogie_state_of: Callable[[ViperState], BoogieState],
+    entry: Cursor,
+    exit_cursor: Optional[Cursor],
+    ctx_b: BoogieContext,
+    rel_out: SimRel,
+) -> SimVerdict:
+    """stmSim: the forward simulation for Viper statements."""
+
+    def viper_runs(sigma: ViperState):
+        for outcome in _viper_all_outcomes(
+            lambda oracle: exec_stmt(stmt, sigma, ctx_v, oracle)
+        ):
+            if isinstance(outcome, Normal):
+                yield outcome.state, outcome.state, outcome
+            else:
+                yield sigma, sigma, outcome
+
+    return check_generic_simulation(
+        viper_runs,
+        states,
+        boogie_state_of,
+        entry,
+        exit_cursor,
+        ctx_b,
+        rel_out,
+        ctx_v.field_types,
+    )
+
+
+def check_inhale_simulation(
+    assertion: Assertion,
+    ctx_v: ViperContext,
+    states: Sequence[ViperState],
+    boogie_state_of: Callable[[ViperState], BoogieState],
+    entry: Cursor,
+    exit_cursor: Optional[Cursor],
+    ctx_b: BoogieContext,
+    rel_out: SimRel,
+) -> SimVerdict:
+    """The simulation for the inhale effect (deterministic, no oracle)."""
+
+    def viper_runs(sigma: ViperState):
+        outcome = inhale(assertion, sigma)
+        if isinstance(outcome, Normal):
+            yield outcome.state, outcome.state, outcome
+        else:
+            yield sigma, sigma, outcome
+
+    return check_generic_simulation(
+        viper_runs,
+        states,
+        boogie_state_of,
+        entry,
+        exit_cursor,
+        ctx_b,
+        rel_out,
+        ctx_v.field_types,
+    )
+
+
+def check_remcheck_simulation(
+    assertion: Assertion,
+    ctx_v: ViperContext,
+    states: Sequence[ViperState],
+    boogie_state_of: Callable[[ViperState], BoogieState],
+    entry: Cursor,
+    exit_cursor: Optional[Cursor],
+    ctx_b: BoogieContext,
+    rel_out: SimRel,
+) -> SimVerdict:
+    """rcSim: the paired-state simulation for the remcheck effect.
+
+    The evaluation state is the input state (remcheck starts an exhale:
+    σ⁰ = σ), the reduction state evolves; the success predicate keeps the
+    evaluation state fixed — the instantiation at the bottom of Fig. 4.
+    """
+
+    def viper_runs(sigma: ViperState):
+        outcome = remcheck(assertion, sigma, sigma)
+        if isinstance(outcome, Normal):
+            yield sigma, outcome.state, outcome
+        else:
+            yield sigma, sigma, outcome
+
+    return check_generic_simulation(
+        viper_runs,
+        states,
+        boogie_state_of,
+        entry,
+        exit_cursor,
+        ctx_b,
+        rel_out,
+        ctx_v.field_types,
+    )
+
+
+def check_exhale_simulation(
+    assertion: Assertion,
+    ctx_v: ViperContext,
+    states: Sequence[ViperState],
+    boogie_state_of: Callable[[ViperState], BoogieState],
+    entry: Cursor,
+    exit_cursor: Optional[Cursor],
+    ctx_b: BoogieContext,
+    rel_out: SimRel,
+) -> SimVerdict:
+    """The simulation for the full exhale (remcheck + nonDet, Fig. 6)."""
+
+    def viper_runs(sigma: ViperState):
+        for outcome in _viper_all_outcomes(
+            lambda oracle: exhale(assertion, sigma, ctx_v, oracle)
+        ):
+            if isinstance(outcome, Normal):
+                yield outcome.state, outcome.state, outcome
+            else:
+                yield sigma, sigma, outcome
+
+    return check_generic_simulation(
+        viper_runs,
+        states,
+        boogie_state_of,
+        entry,
+        exit_cursor,
+        ctx_b,
+        rel_out,
+        ctx_v.field_types,
+    )

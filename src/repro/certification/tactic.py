@@ -1,0 +1,181 @@
+"""The hint-driven proof-generation tactic (untrusted, Sec. 4.3).
+
+The tactic turns the hint stream emitted by the instrumented translator
+into a certificate: it selects, per translated construct, which simulation
+rule to apply and instantiates the rule's parameters (auxiliary variable
+names, translation variants) from the hints — exactly the two hint kinds
+the paper describes.
+
+The tactic is deliberately *not* trusted: it never inspects the Boogie
+program, so it cannot compensate for a broken translation; it can only
+produce a proof tree that the kernel will subsequently accept or reject.
+A lying hint stream yields a certificate the kernel rejects.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..frontend.hints import (
+    AccHint,
+    AssertHint,
+    AssertionHint,
+    AssignHint,
+    CallHint,
+    CondHint,
+    ExhaleHint,
+    FieldAssignHint,
+    IfHint,
+    ImpliesHint,
+    InhaleHint,
+    MethodHint,
+    PureHint,
+    SeqHint,
+    SepHint,
+    SkipHint,
+    StmtHint,
+    VarDeclHint,
+)
+from ..frontend.translator import TranslatedMethod, TranslationResult
+from .prooftree import (
+    MethodCertificate,
+    node,
+    ProgramCertificate,
+    ProofNode,
+)
+
+
+class ProofGenError(Exception):
+    """Raised when the hint stream is internally inconsistent."""
+
+
+def _inhale_proof(hint: AssertionHint) -> ProofNode:
+    if isinstance(hint, PureHint):
+        return node("INH-PURE-ATOM")
+    if isinstance(hint, AccHint):
+        return node("INH-ACC-ATOM", perm_temp=hint.perm_temp_var)
+    if isinstance(hint, SepHint):
+        return node("INH-SEP-SIM", (_inhale_proof(hint.left), _inhale_proof(hint.right)))
+    if isinstance(hint, ImpliesHint):
+        return node("INH-IMP-SIM", (_inhale_proof(hint.body),))
+    if isinstance(hint, CondHint):
+        return node(
+            "INH-COND-SIM", (_inhale_proof(hint.then), _inhale_proof(hint.otherwise))
+        )
+    raise ProofGenError(f"unknown assertion hint {hint!r}")
+
+
+def _remcheck_proof(hint: AssertionHint) -> ProofNode:
+    if isinstance(hint, PureHint):
+        return node("RC-PURE-ATOM")
+    if isinstance(hint, AccHint):
+        return node("RC-ACC-ATOM", perm_temp=hint.perm_temp_var)
+    if isinstance(hint, SepHint):
+        return node(
+            "RC-SEP-SIM", (_remcheck_proof(hint.left), _remcheck_proof(hint.right))
+        )
+    if isinstance(hint, ImpliesHint):
+        return node("RC-IMP-SIM", (_remcheck_proof(hint.body),))
+    if isinstance(hint, CondHint):
+        return node(
+            "RC-COND-SIM", (_remcheck_proof(hint.then), _remcheck_proof(hint.otherwise))
+        )
+    raise ProofGenError(f"unknown assertion hint {hint!r}")
+
+
+def _exhale_proof(hint: ExhaleHint) -> ProofNode:
+    return node(
+        "EXH-SIM",
+        (_remcheck_proof(hint.assertion),),
+        wm=hint.wd_mask_var,
+        havoc=hint.havoc_heap_var,
+        with_wd=hint.with_wd_checks,
+    )
+
+
+def _inhale_stmt_proof(hint: InhaleHint) -> ProofNode:
+    return node(
+        "INHALE-STMT-SIM", (_inhale_proof(hint.assertion),), with_wd=hint.with_wd_checks
+    )
+
+
+def _stmt_proof(hint: StmtHint, dependencies: List[str]) -> ProofNode:
+    if isinstance(hint, SkipHint):
+        return node("SKIP-SIM")
+    if isinstance(hint, SeqHint):
+        return node(
+            "SEQ-SIM",
+            (_stmt_proof(hint.first, dependencies), _stmt_proof(hint.second, dependencies)),
+        )
+    if isinstance(hint, AssignHint):
+        return node("ASSIGN-SIM")
+    if isinstance(hint, FieldAssignHint):
+        return node("FIELD-ASSIGN-SIM")
+    if isinstance(hint, VarDeclHint):
+        return node("VAR-DECL-SIM")
+    if isinstance(hint, InhaleHint):
+        return _inhale_stmt_proof(hint)
+    if isinstance(hint, ExhaleHint):
+        return _exhale_proof(hint)
+    if isinstance(hint, AssertHint):
+        return node(
+            "ASSERT-SIM",
+            (_remcheck_proof(hint.assertion),),
+            wm=hint.wd_mask_var,
+            am=hint.scratch_mask_var,
+        )
+    if isinstance(hint, IfHint):
+        return node(
+            "IF-SIM",
+            (_stmt_proof(hint.then, dependencies), _stmt_proof(hint.otherwise, dependencies)),
+        )
+    if isinstance(hint, CallHint):
+        dependencies.append(hint.callee)
+        return node(
+            "CALL-SIM",
+            (_exhale_proof(hint.exhale_pre), _inhale_stmt_proof(hint.inhale_post)),
+            callee=hint.callee,
+        )
+    raise ProofGenError(f"unknown statement hint {hint!r}")
+
+
+def generate_method_certificate(translated: TranslatedMethod) -> MethodCertificate:
+    """Assemble the per-method certificate from the method's hints."""
+    hint: MethodHint = translated.hint
+    wf_proof = node(
+        "SPEC-WF-SIM",
+        (
+            _inhale_proof(hint.wellformedness.inhale_pre.assertion),
+            _inhale_proof(hint.wellformedness.inhale_post.assertion),
+        ),
+    )
+    dependencies: List[str] = []
+    body_proof = None
+    if hint.body is not None:
+        if hint.body_inhale_pre is None or hint.body_exhale_post is None:
+            raise ProofGenError(f"method {hint.method!r}: incomplete body hints")
+        body_proof = node(
+            "METHOD-BODY-SIM",
+            (
+                _inhale_stmt_proof(hint.body_inhale_pre),
+                _stmt_proof(hint.body, dependencies),
+                _exhale_proof(hint.body_exhale_post),
+            ),
+        )
+    return MethodCertificate(
+        method=hint.method,
+        procedure=translated.procedure.name,
+        record=translated.record,
+        wf_proof=wf_proof,
+        body_proof=body_proof,
+        dependencies=tuple(sorted(set(dependencies))),
+    )
+
+
+def generate_program_certificate(result: TranslationResult) -> ProgramCertificate:
+    """Generate the certificate for every method of a translation run."""
+    certs = tuple(
+        generate_method_certificate(result.methods[m.name])
+        for m in result.viper_program.methods
+    )
+    return ProgramCertificate(certs)

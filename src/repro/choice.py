@@ -1,0 +1,110 @@
+"""Nondeterminism plumbing shared by the Viper and Boogie semantics.
+
+Both semantics contain nondeterministic steps (Viper: scoped-variable
+declarations, call-target havoc, and the heap havoc of ``exhale``; Boogie:
+``havoc`` and nondeterministic branching ``if (*)``).  The executable
+semantics thread a :class:`ChoiceOracle` through execution; every
+nondeterministic step asks the oracle to pick from a candidate list.
+
+Three oracle families cover all uses:
+
+* :class:`DefaultOracle` — deterministic, always picks the first candidate
+  (typed default values).  Used for quick smoke execution.
+* :class:`SeededOracle` — pseudo-random but reproducible.  Used by the
+  differential-testing oracle of the certification package.
+* :func:`all_executions` — exhaustively enumerates every path through the
+  choice tree (bounded by the candidate lists), turning the relational
+  semantics into a checkable finite set of outcomes.  This is what the test
+  suite uses to validate the once-and-for-all simulation lemmas.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Iterator, List, Sequence, TypeVar
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+class ChoiceOracle:
+    """Resolves nondeterministic choices during execution."""
+
+    def choose(self, candidates: Sequence[T], label: str = "") -> T:
+        raise NotImplementedError
+
+
+class DefaultOracle(ChoiceOracle):
+    """Always selects the first candidate (deterministic execution)."""
+
+    def choose(self, candidates: Sequence[T], label: str = "") -> T:
+        if not candidates:
+            raise ValueError(f"no candidates for choice {label!r}")
+        return candidates[0]
+
+
+class SeededOracle(ChoiceOracle):
+    """Selects pseudo-randomly with a reproducible seed."""
+
+    def __init__(self, seed: int):
+        self._rng = random.Random(seed)
+
+    def choose(self, candidates: Sequence[T], label: str = "") -> T:
+        if not candidates:
+            raise ValueError(f"no candidates for choice {label!r}")
+        return candidates[self._rng.randrange(len(candidates))]
+
+
+class _TrailOracle(ChoiceOracle):
+    """Replays a fixed prefix of choices, then extends it with first picks.
+
+    Used by :func:`all_executions` to walk the full choice tree without the
+    executed code being aware of the enumeration.
+    """
+
+    def __init__(self, trail: List[int]):
+        self._trail = trail
+        self._position = 0
+        self.arities: List[int] = []
+
+    def choose(self, candidates: Sequence[T], label: str = "") -> T:
+        if not candidates:
+            raise ValueError(f"no candidates for choice {label!r}")
+        self.arities.append(len(candidates))
+        if self._position < len(self._trail):
+            index = self._trail[self._position]
+        else:
+            index = 0
+            self._trail.append(0)
+        self._position += 1
+        return candidates[index]
+
+
+class ExplosionLimit(Exception):
+    """Raised when exhaustive enumeration exceeds its path budget."""
+
+
+def all_executions(
+    run: Callable[[ChoiceOracle], R], max_paths: int = 200_000
+) -> Iterator[R]:
+    """Enumerate the results of ``run`` over every resolution of its choices.
+
+    ``run`` must be deterministic apart from the oracle it is given.  The
+    enumeration is depth-first over the choice tree; ``max_paths`` bounds the
+    number of complete paths to protect against state-space blow-ups.
+    """
+    trail: List[int] = []
+    paths = 0
+    while True:
+        oracle = _TrailOracle(trail)
+        yield run(oracle)
+        paths += 1
+        if paths >= max_paths:
+            raise ExplosionLimit(f"exceeded {max_paths} execution paths")
+        # Advance the trail to the next unexplored branch (odometer-style).
+        while trail and trail[-1] + 1 >= oracle.arities[len(trail) - 1]:
+            trail.pop()
+            oracle.arities.pop()
+        if not trail:
+            return
+        trail[-1] += 1

@@ -1,0 +1,251 @@
+"""Command-line interface for the validated translation pipeline.
+
+Subcommands::
+
+    python -m repro.cli translate FILE.vpr [-o OUT.bpl] [options]
+    python -m repro.cli certify   FILE.vpr [-o OUT.cert] [--oracle]
+    python -m repro.cli check     FILE.vpr OUT.bpl OUT.cert
+    python -m repro.cli verify    FILE.vpr
+    python -m repro.cli bench     [SUITE]
+
+``certify`` runs the instrumented translation and writes the certificate;
+``check`` re-checks a certificate *independently*: it parses the Viper
+source, parses the Boogie file with the Boogie parser, parses the
+certificate, and runs only the trusted kernel — the translator is not
+involved.  ``verify`` runs the bounded back-end on each procedure.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional
+
+from .boogie.parser import parse_boogie_program
+from .boogie.pretty import pretty_boogie_program
+from .boogie.prover import Verdict, verify_procedure_bounded
+from .certification import (
+    certify_translation,
+    check_program_certificate,
+    parse_program_certificate,
+    render_program_certificate,
+)
+from .certification.oracle import validate_program_semantically
+from .frontend import procedure_name, translate_program, TranslationOptions
+from .frontend.background import build_background, constant_valuation, standard_interpretation
+from .frontend.translator import TranslationResult
+from .viper import (
+    check_program,
+    desugar_loops,
+    desugar_new,
+    desugar_old,
+    parse_program,
+    program_has_loops,
+    program_has_new,
+    program_has_old,
+)
+
+
+def _load_viper(path: str):
+    with open(path, "r", encoding="utf-8") as handle:
+        source = handle.read()
+    program = parse_program(source)
+    if program_has_loops(program):
+        program = desugar_loops(program)
+    if program_has_new(program):
+        program = desugar_new(program)
+    if program_has_old(program):
+        program = desugar_old(program)
+    from .viper import hoist_call_args, program_has_complex_call_args
+
+    if program_has_complex_call_args(program):
+        program = hoist_call_args(program)
+    return program, check_program(program)
+
+
+def _options_from(args: argparse.Namespace) -> TranslationOptions:
+    return TranslationOptions(
+        wd_checks_at_calls=getattr(args, "wd_at_calls", False),
+        literal_perm_fastpath=not getattr(args, "no_fastpath", False),
+        always_emit_exhale_havoc=getattr(args, "always_havoc", False),
+    )
+
+
+def cmd_translate(args: argparse.Namespace) -> int:
+    """`translate`: emit the Boogie program for a Viper file."""
+    program, type_info = _load_viper(args.file)
+    result = translate_program(program, type_info, _options_from(args))
+    text = pretty_boogie_program(result.boogie_program)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"wrote {args.output} ({len(text.splitlines())} lines)")
+    else:
+        print(text)
+    return 0
+
+
+def cmd_certify(args: argparse.Namespace) -> int:
+    """`certify`: translate, generate, and check a certificate."""
+    program, type_info = _load_viper(args.file)
+    result = translate_program(program, type_info, _options_from(args))
+    certificate, report = certify_translation(result)
+    if not report.ok:
+        print(f"certification FAILED: {report.error}", file=sys.stderr)
+        return 1
+    text = render_program_certificate(certificate)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"wrote {args.output} ({len(text.splitlines())} lines)")
+    if args.boogie_output:
+        with open(args.boogie_output, "w", encoding="utf-8") as handle:
+            handle.write(pretty_boogie_program(result.boogie_program))
+        print(f"wrote {args.boogie_output}")
+    print(report.statement())
+    if args.oracle:
+        print("\nsemantic oracle (failure-direction co-execution):")
+        for verdict in validate_program_semantically(result, max_states_per_method=12):
+            status = "ok" if verdict.ok else f"FAILED: {verdict.detail}"
+            print(f"  {verdict.method}: {status}")
+            if not verdict.ok:
+                return 1
+    return 0
+
+
+def cmd_check(args: argparse.Namespace) -> int:
+    """Independent check: Viper source + Boogie file + certificate file."""
+    program, type_info = _load_viper(args.file)
+    with open(args.boogie, "r", encoding="utf-8") as handle:
+        boogie_program = parse_boogie_program(handle.read())
+    with open(args.certificate, "r", encoding="utf-8") as handle:
+        certificate = parse_program_certificate(handle.read())
+    background = build_background(type_info.field_types)
+    result = TranslationResult(
+        viper_program=program,
+        type_info=type_info,
+        background=background,
+        boogie_program=boogie_program,
+        methods={},
+        options=TranslationOptions(),
+    )
+    report = check_program_certificate(result, certificate)
+    if report.ok:
+        print(f"ACCEPTED in {report.check_seconds:.3f}s")
+        print(report.statement())
+        return 0
+    print(f"REJECTED: {report.error}", file=sys.stderr)
+    return 1
+
+
+def cmd_verify(args: argparse.Namespace) -> int:
+    """`verify`: bounded back-end verdict per procedure."""
+    program, type_info = _load_viper(args.file)
+    result = translate_program(program, type_info)
+    interp = standard_interpretation(type_info.field_types)
+    consts = constant_valuation(result.background)
+    exit_code = 0
+    for method in program.methods:
+        proc = result.boogie_program.procedure(procedure_name(method.name))
+        verdict = verify_procedure_bounded(
+            result.boogie_program, proc, interp, fixed=consts
+        )
+        print(f"{method.name}: {verdict.verdict}")
+        if verdict.verdict is Verdict.REFUTED:
+            exit_code = 1
+    return exit_code
+
+
+def cmd_rules(args: argparse.Namespace) -> int:
+    """`rules`: print the kernel's rule catalog."""
+    from .certification.rules import render_catalog
+
+    print(render_catalog())
+    return 0
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    """`bench`: run the harness or dump the corpus."""
+    from .harness import (
+        dump_corpus,
+        full_corpus,
+        render_detail_table,
+        render_table1,
+        run_files,
+        suite_files,
+    )
+
+    if args.dump:
+        count = dump_corpus(args.dump)
+        print(f"wrote {count} corpus files under {args.dump}")
+        return 0
+    if args.suite:
+        metrics = run_files(suite_files(args.suite))
+        print(render_detail_table(metrics, f"{args.suite} suite"))
+    else:
+        per_suite = {suite: run_files(files) for suite, files in full_corpus().items()}
+        print(render_table1(per_suite))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse command-line interface."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Validated Viper-to-Boogie translation"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    translate = sub.add_parser("translate", help="translate a Viper file to Boogie")
+    translate.add_argument("file")
+    translate.add_argument("-o", "--output")
+    certify = sub.add_parser("certify", help="translate and certify a Viper file")
+    certify.add_argument("file")
+    certify.add_argument("-o", "--output", help="write the certificate here")
+    certify.add_argument("--boogie-output", help="also write the Boogie program")
+    certify.add_argument("--oracle", action="store_true",
+                         help="additionally co-execute both semantics")
+    for command in (translate, certify):
+        command.add_argument("--wd-at-calls", action="store_true",
+                             help="emit wd checks at call sites (disable the "
+                                  "non-local optimisation)")
+        command.add_argument("--no-fastpath", action="store_true",
+                             help="disable the permission-literal fast path")
+        command.add_argument("--always-havoc", action="store_true",
+                             help="emit the exhale heap havoc even for pure "
+                                  "assertions")
+    check = sub.add_parser("check", help="independently check a certificate")
+    check.add_argument("file", help="the Viper source")
+    check.add_argument("boogie", help="the Boogie translation (.bpl)")
+    check.add_argument("certificate", help="the certificate (.cert)")
+    verify = sub.add_parser("verify", help="bounded back-end verification")
+    verify.add_argument("file")
+    sub.add_parser("rules", help="list the kernel's proof rules")
+    bench = sub.add_parser("bench", help="run the evaluation harness")
+    bench.add_argument("suite", nargs="?",
+                       choices=["Viper", "Gobra", "VerCors", "MPP"])
+    bench.add_argument("--dump", metavar="DIR",
+                       help="write the corpus .vpr files to DIR instead of "
+                            "running the pipeline")
+    return parser
+
+
+def main(argv: Optional[list] = None) -> int:
+    """Entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "translate": cmd_translate,
+        "certify": cmd_certify,
+        "check": cmd_check,
+        "verify": cmd_verify,
+        "rules": cmd_rules,
+        "bench": cmd_bench,
+    }
+    try:
+        return handlers[args.command](args)
+    except BrokenPipeError:
+        # Output was piped into a consumer that closed early (e.g. head).
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,43 @@
+"""The Viper-to-Boogie front-end translation (the system under validation)."""
+
+from .background import (  # noqa: F401
+    BackgroundTheory,
+    build_background,
+    constant_valuation,
+    heap_to_boogie,
+    mask_to_boogie,
+    standard_interpretation,
+    to_boogie_value,
+    from_boogie_value,
+    values_correspond,
+)
+from .hints import (  # noqa: F401
+    AccHint,
+    AssertHint,
+    AssertionHint,
+    AssignHint,
+    CallHint,
+    CondHint,
+    ExhaleHint,
+    FieldAssignHint,
+    IfHint,
+    ImpliesHint,
+    InhaleHint,
+    MethodHint,
+    PureHint,
+    SeqHint,
+    SepHint,
+    SkipHint,
+    SpecWellFormednessHint,
+    StmtHint,
+    VarDeclHint,
+)
+from .records import boogie_type_of, TranslationRecord, viper_expr_type  # noqa: F401
+from .translator import (  # noqa: F401
+    procedure_name,
+    TranslatedMethod,
+    TranslationError,
+    TranslationOptions,
+    TranslationResult,
+    translate_program,
+)

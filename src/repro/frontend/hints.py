@@ -1,0 +1,249 @@
+"""Hints: the instrumentation interface of the proof-producing translator.
+
+The paper instruments fewer than 500 lines of the existing Viper-to-Boogie
+implementation to emit *hints* alongside the generated Boogie code
+(Sec. 4.3).  Hints come in two kinds:
+
+1. hints indicating **which of multiple diverse translations** was used
+   (e.g. whether well-definedness checks were omitted, whether the
+   nondeterministic heap havoc was emitted, whether the permission-literal
+   fast path was taken), and
+2. hints supplying **rule parameters** (names of the auxiliary Boogie
+   variables introduced — ``tmp``, ``WM``, ``H'`` in Fig. 3/Fig. 8 — which
+   the tactic needs to adjust translation records and auxiliary-variable
+   maps).
+
+Hints are *untrusted*: the certification kernel checks every claim a hint
+makes against the Boogie AST.  A wrong hint can only make proof generation
+fail, never make a wrong proof check.
+
+The hint tree mirrors the Viper statement structure, so the tactic can walk
+statement and hint trees in lockstep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple, Union
+
+
+# ---------------------------------------------------------------------------
+# Assertion-level hints (inhale / remcheck translations)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PureHint:
+    """A pure assertion was translated as wd-checks + assume/assert."""
+
+    wd_check_count: int  # number of emitted well-definedness assert commands
+
+
+@dataclass(frozen=True)
+class AccHint:
+    """An accessibility predicate translation.
+
+    ``perm_temp_var`` is the auxiliary variable holding the permission
+    amount (``tmp`` in Fig. 3) — ``None`` when the translator took the
+    positive-literal fast path, which omits both the temporary and the
+    nonnegativity check (a *diverse translation*, Sec. 3.4 / App. B).
+    ``guarded_update`` records whether the mask update was wrapped in an
+    ``if (tmp != 0)`` (exhale only).
+    """
+
+    wd_check_count: int
+    perm_temp_var: Optional[str]
+    guarded_update: bool = False
+
+
+@dataclass(frozen=True)
+class SepHint:
+    left: "AssertionHint"
+    right: "AssertionHint"
+
+
+@dataclass(frozen=True)
+class ImpliesHint:
+    wd_check_count: int
+    body: "AssertionHint"
+
+
+@dataclass(frozen=True)
+class CondHint:
+    wd_check_count: int
+    then: "AssertionHint"
+    otherwise: "AssertionHint"
+
+
+AssertionHint = Union[PureHint, AccHint, SepHint, ImpliesHint, CondHint]
+
+
+# ---------------------------------------------------------------------------
+# Statement-level hints
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class AssignHint:
+    wd_check_count: int
+
+
+@dataclass(frozen=True)
+class FieldAssignHint:
+    wd_check_count: int
+
+
+@dataclass(frozen=True)
+class VarDeclHint:
+    boogie_var: str
+
+
+@dataclass(frozen=True)
+class InhaleHint:
+    #: Whether well-definedness checks were emitted (False at call sites —
+    #: the non-local optimisation of Sec. 4.2).
+    with_wd_checks: bool
+    assertion: AssertionHint
+
+
+@dataclass(frozen=True)
+class ExhaleHint:
+    with_wd_checks: bool
+    #: Auxiliary mask variable capturing the evaluation state (``WM``);
+    #: ``None`` when the translator omitted the snapshot (wd checks off).
+    wd_mask_var: Optional[str]
+    assertion: AssertionHint
+    #: Temp heap variable for the nondeterministic assignment (``H'``);
+    #: ``None`` when the havoc was omitted (no acc in the assertion).
+    havoc_heap_var: Optional[str]
+
+
+@dataclass(frozen=True)
+class AssertHint:
+    wd_mask_var: str
+    #: Scratch mask the remcheck removal is applied to (M stays untouched).
+    scratch_mask_var: str
+    assertion: AssertionHint
+
+
+@dataclass(frozen=True)
+class IfHint:
+    wd_check_count: int
+    then: "StmtHint"
+    otherwise: "StmtHint"
+
+
+@dataclass(frozen=True)
+class SeqHint:
+    first: "StmtHint"
+    second: "StmtHint"
+
+
+@dataclass(frozen=True)
+class SkipHint:
+    pass
+
+
+@dataclass(frozen=True)
+class CallHint:
+    """A method call: exhale pre (wd omitted), havoc targets, inhale post.
+
+    ``callee`` names the method whose C1 (spec well-formedness) certificate
+    this translation *depends on* — the formal dependency tracking of the
+    non-local optimisation (Sec. 4.2, Fig. 10).
+    """
+
+    callee: str
+    exhale_pre: ExhaleHint
+    target_boogie_vars: Tuple[str, ...]
+    inhale_post: InhaleHint
+
+
+StmtHint = Union[
+    AssignHint,
+    FieldAssignHint,
+    VarDeclHint,
+    InhaleHint,
+    ExhaleHint,
+    AssertHint,
+    IfHint,
+    SeqHint,
+    SkipHint,
+    CallHint,
+]
+
+
+# ---------------------------------------------------------------------------
+# Method-level hints
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SpecWellFormednessHint:
+    """Hints for the C1 section of the procedure (spec well-formedness)."""
+
+    inhale_pre: InhaleHint
+    havoc_return_vars: Tuple[str, ...]
+    inhale_post: InhaleHint
+
+
+@dataclass(frozen=True)
+class MethodHint:
+    """All hints for one method's translation.
+
+    The procedure has the shape::
+
+        <init: M := ZeroMask; assume GoodMask(M)>
+        if (*) { <C1: spec well-formedness checks>; assume false; }
+        <C2: inhale pre; body; exhale post>
+
+    The nondeterministic branch checks spec well-formedness and then dies
+    (``assume false``), leaving the main path unconstrained — so correctness
+    of the procedure yields both C1 and C2 of Fig. 10 independently.
+    Abstract methods (no body) have only the C1 section; the three
+    ``body_*`` fields are then ``None``.
+    """
+
+    method: str
+    #: Number of simple commands in the init section (mask reset etc.).
+    init_cmd_count: int
+    wellformedness: SpecWellFormednessHint
+    body_inhale_pre: Optional[InhaleHint]
+    body: Optional[StmtHint]
+    body_exhale_post: Optional[ExhaleHint]
+
+
+def count_hint_nodes(hint: object) -> int:
+    """Number of hint nodes (a harness metric for instrumentation output)."""
+    if isinstance(hint, (SepHint,)):
+        return 1 + count_hint_nodes(hint.left) + count_hint_nodes(hint.right)
+    if isinstance(hint, ImpliesHint):
+        return 1 + count_hint_nodes(hint.body)
+    if isinstance(hint, CondHint):
+        return 1 + count_hint_nodes(hint.then) + count_hint_nodes(hint.otherwise)
+    if isinstance(hint, (InhaleHint,)):
+        return 1 + count_hint_nodes(hint.assertion)
+    if isinstance(hint, ExhaleHint):
+        return 1 + count_hint_nodes(hint.assertion)
+    if isinstance(hint, AssertHint):
+        return 1 + count_hint_nodes(hint.assertion)
+    if isinstance(hint, IfHint):
+        return 1 + count_hint_nodes(hint.then) + count_hint_nodes(hint.otherwise)
+    if isinstance(hint, SeqHint):
+        return 1 + count_hint_nodes(hint.first) + count_hint_nodes(hint.second)
+    if isinstance(hint, CallHint):
+        return (
+            1
+            + count_hint_nodes(hint.exhale_pre)
+            + count_hint_nodes(hint.inhale_post)
+        )
+    if isinstance(hint, MethodHint):
+        return (
+            1
+            + count_hint_nodes(hint.wellformedness.inhale_pre)
+            + count_hint_nodes(hint.wellformedness.inhale_post)
+            + count_hint_nodes(hint.body_inhale_pre)
+            + count_hint_nodes(hint.body)
+            + count_hint_nodes(hint.body_exhale_post)
+        )
+    return 1

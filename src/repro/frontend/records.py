@@ -1,0 +1,114 @@
+"""Translation records (Sec. 4.1).
+
+A *translation record* ``Tr`` specifies how the key Viper components are
+represented in the Boogie state:
+
+* ``var_map`` — Viper variables to their Boogie counterparts,
+* ``heap_var`` / ``mask_var`` — the Boogie variables holding the Viper heap
+  and permission mask (``H`` and ``M`` in Fig. 3),
+* ``wd_mask_var`` — when a separate expression-evaluation state is active
+  (during a ``remcheck``), the Boogie variable holding its mask (``WM``);
+  the heap of the evaluation state always coincides with ``heap_var``
+  because ``remcheck`` never changes the heap,
+* ``field_consts`` — Viper fields to the Boogie constants representing them.
+
+Records are immutable; the simulation proof adjusts the record as the
+translation progresses (e.g. swapping in ``WM`` at the start of an exhale),
+which is one of the stylised state-relation adjustments of Sec. 4.1.
+
+This module also hosts the *expression-type synthesiser* shared by the
+translator and the certification kernel: the Boogie encoding of a field
+access needs the field's value type as the ``read`` type argument, and
+numeric operators need to know whether they act on ``int`` or ``real``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, Mapping, Optional, Tuple
+
+from ..boogie.ast import BOOL, BType, INT, REAL, TCon
+from ..viper.ast import (
+    BinOp,
+    BinOpKind,
+    BoolLit,
+    CondExp,
+    Expr,
+    FieldAcc,
+    IntLit,
+    NullLit,
+    PermLit,
+    Type,
+    UnOp,
+    UnOpKind,
+    Var,
+)
+
+#: The Boogie type constructor for Viper references.
+REF_TYPE = TCon("Ref")
+
+
+def boogie_type_of(viper_type: Type) -> BType:
+    """The Boogie representation type of a Viper type."""
+    if viper_type is Type.INT:
+        return INT
+    if viper_type is Type.BOOL:
+        return BOOL
+    if viper_type is Type.REF:
+        return REF_TYPE
+    if viper_type is Type.PERM:
+        return REAL
+    raise ValueError(f"unknown Viper type {viper_type!r}")
+
+
+def field_type_con(viper_type: Type) -> BType:
+    """The ``Field τ`` type of a field constant."""
+    return TCon("Field", (boogie_type_of(viper_type),))
+
+
+@dataclass(frozen=True)
+class TranslationRecord:
+    """Tr: how Viper state components live in the Boogie state (Sec. 4.1)."""
+
+    var_map: Mapping[str, str]
+    heap_var: str
+    mask_var: str
+    field_consts: Mapping[str, str]
+    #: Mask variable of the distinguished expression-evaluation state, when
+    #: one is active (M⁰(Tr)); ``None`` means eval state == reduction state.
+    wd_mask_var: Optional[str] = None
+
+    def boogie_var(self, viper_var: str) -> str:
+        try:
+            return self.var_map[viper_var]
+        except KeyError:
+            raise KeyError(f"Viper variable {viper_var!r} not in translation record") from None
+
+    def field_const(self, field_name: str) -> str:
+        try:
+            return self.field_consts[field_name]
+        except KeyError:
+            raise KeyError(f"Viper field {field_name!r} not in translation record") from None
+
+    @property
+    def effective_wd_mask(self) -> str:
+        """The mask used for well-definedness checks (WM during remcheck)."""
+        return self.wd_mask_var if self.wd_mask_var is not None else self.mask_var
+
+    def with_wd_mask(self, wd_mask_var: Optional[str]) -> "TranslationRecord":
+        return replace(self, wd_mask_var=wd_mask_var)
+
+    def with_mask_var(self, mask_var: str) -> "TranslationRecord":
+        """Redirect the reduction-state mask (used by ``assert`` statements,
+        whose remcheck removes permissions from a scratch mask)."""
+        return replace(self, mask_var=mask_var)
+
+    def with_var(self, viper_var: str, boogie_var: str) -> "TranslationRecord":
+        var_map = dict(self.var_map)
+        var_map[viper_var] = boogie_var
+        return replace(self, var_map=var_map)
+
+
+# Re-exported from the Viper package: type synthesis is a language-level
+# concern shared by the translator and the extension passes.
+from ..viper.exprtype import viper_expr_type  # noqa: E402, F401

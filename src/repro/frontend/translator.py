@@ -1,0 +1,838 @@
+"""The Viper-to-Boogie front-end translation (Sec. 2.4, Sec. 4).
+
+This is the reproduction of the (instrumented) translation implemented in
+the Viper verifier: it turns a Viper program into a Boogie program whose
+procedures encode the methods' proof obligations, and emits *hints*
+describing the choices it made (Sec. 4.3).
+
+The encoding follows Fig. 3 of the paper:
+
+* the Viper heap and mask live in global Boogie variables ``H``/``M`` whose
+  polymorphic-map types are desugared into ``HeapType``/``MaskType`` with
+  ``readHeap``/``updHeap``/``readMask``/``updMask`` (Sec. 4.4);
+* ``inhale acc(e.f, p)`` becomes nonnegativity check + null-guard assume +
+  mask update + ``assume GoodMask(M)``;
+* ``exhale A`` snapshots the mask into ``WM`` (the expression-evaluation
+  state of ``remcheck``), checks and removes permissions, then havocs the
+  heap through ``idOnPositive``;
+* method calls exhale the callee precondition **without well-definedness
+  checks** — the non-local optimisation justified by the callee's spec
+  well-formedness check (Sec. 4.2) — havoc the targets, and inhale the
+  postcondition (also without wd checks);
+* per method, the procedure checks spec well-formedness inside a
+  nondeterministic branch that ends in ``assume false`` (C1), followed by
+  the ``inhale pre; body; exhale post`` obligation (C2) — the two
+  components of Fig. 10.
+
+Several *diverse translations* of the paper are implemented and selectable
+via :class:`TranslationOptions`; the emitted hints tell the certification
+tactic which variant was used.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Dict, List, Optional, Tuple
+
+from ..boogie.ast import (
+    Assign,
+    Havoc,
+    Assume,
+    BAssert,
+    band,
+    BBinOp,
+    BBinOpKind,
+    BBoolLit,
+    beq,
+    BExpr,
+    bimplies,
+    BIf,
+    BIntLit,
+    bnot,
+    BoogieProgram,
+    BRealLit,
+    BStmt,
+    BType,
+    BUnOp,
+    BUnOpKind,
+    BVar,
+    CondB,
+    FuncApp,
+    GlobalVarDecl,
+    Procedure,
+    REAL,
+    SimpleCmd,
+    StmtBlock,
+    TRUE,
+    FALSE,
+)
+from ..viper.ast import (
+    Acc,
+    AExpr,
+    AssertStmt,
+    Assertion,
+    assertion_has_acc,
+    BinOp,
+    BinOpKind,
+    BoolLit,
+    CondAssert,
+    CondExp,
+    Expr,
+    FieldAcc,
+    FieldAssign,
+    If,
+    Implies,
+    Inhale,
+    IntLit,
+    LocalAssign,
+    MethodCall,
+    MethodDecl,
+    NullLit,
+    PermLit,
+    Program,
+    SepConj,
+    Seq,
+    Skip,
+    Stmt,
+    substitute_assertion,
+    Type,
+    UnOp,
+    UnOpKind,
+    Var,
+    VarDecl,
+    Exhale,
+)
+from ..viper.typechecker import ProgramTypeInfo
+from .background import (
+    BackgroundTheory,
+    build_background,
+    GOOD_MASK,
+    HEAP_TYPE,
+    ID_ON_POSITIVE,
+    MASK_TYPE,
+    NULL_CONST,
+    READ_HEAP,
+    READ_MASK,
+    UPD_HEAP,
+    UPD_MASK,
+    ZERO_MASK_CONST,
+)
+from .hints import (
+    AccHint,
+    AssertHint,
+    AssertionHint,
+    AssignHint,
+    CallHint,
+    CondHint,
+    ExhaleHint,
+    FieldAssignHint,
+    IfHint,
+    ImpliesHint,
+    InhaleHint,
+    MethodHint,
+    PureHint,
+    SeqHint,
+    SepHint,
+    SkipHint,
+    SpecWellFormednessHint,
+    StmtHint,
+    VarDeclHint,
+)
+from .records import boogie_type_of, TranslationRecord, viper_expr_type
+
+HEAP_VAR = "H"
+MASK_VAR = "M"
+
+ZERO_REAL = BRealLit(Fraction(0))
+ONE_REAL = BRealLit(Fraction(1))
+
+
+class TranslationError(Exception):
+    """Raised when the input program falls outside the supported subset."""
+
+
+@dataclass(frozen=True)
+class TranslationOptions:
+    """Selectable translation variants (the paper's "diverse translations").
+
+    * ``wd_checks_at_calls`` — emit well-definedness checks when exhaling a
+      callee precondition / inhaling its postcondition.  The optimised
+      translation omits them (Sec. 4.2); switching them on is the
+      non-locality ablation.
+    * ``literal_perm_fastpath`` — for positive literal permission amounts,
+      skip the temporary variable and the nonnegativity assert (Sec. 3.4
+      mentions this for the literal 1).
+    * ``always_emit_exhale_havoc`` — emit the heap havoc after every exhale,
+      even when the assertion contains no accessibility predicate (the
+      optimised translation omits it — Sec. 3.4).
+    """
+
+    wd_checks_at_calls: bool = False
+    literal_perm_fastpath: bool = True
+    always_emit_exhale_havoc: bool = False
+
+
+@dataclass
+class TranslatedMethod:
+    """One method's translation artifacts."""
+
+    method_name: str
+    procedure: Procedure
+    record: TranslationRecord
+    hint: MethodHint
+
+
+@dataclass
+class TranslationResult:
+    """The full output of a translation run."""
+
+    viper_program: Program
+    type_info: ProgramTypeInfo
+    background: BackgroundTheory
+    boogie_program: BoogieProgram
+    methods: Dict[str, TranslatedMethod]
+    options: TranslationOptions
+
+
+class _StmtBuilder:
+    """Accumulates simple commands and if-statements into statement blocks."""
+
+    def __init__(self) -> None:
+        self._blocks: List[StmtBlock] = []
+        self._cmds: List[SimpleCmd] = []
+
+    def emit(self, *cmds: SimpleCmd) -> None:
+        self._cmds.extend(cmds)
+
+    def emit_if(self, cond: Optional[BExpr], then: BStmt, otherwise: BStmt) -> None:
+        self._blocks.append(StmtBlock(tuple(self._cmds), BIf(cond, then, otherwise)))
+        self._cmds = []
+
+    def build(self) -> BStmt:
+        blocks = list(self._blocks)
+        if self._cmds or not blocks:
+            blocks.append(StmtBlock(tuple(self._cmds), None))
+        return tuple(blocks)
+
+
+class _MethodTranslator:
+    """Translates a single Viper method into a Boogie procedure."""
+
+    def __init__(
+        self,
+        program: Program,
+        type_info: ProgramTypeInfo,
+        background: BackgroundTheory,
+        method: MethodDecl,
+        options: TranslationOptions,
+    ):
+        self._program = program
+        self._type_info = type_info
+        self._background = background
+        self._method = method
+        self._options = options
+        self._var_types = type_info.methods[method.name].var_types
+        self._field_types = type_info.field_types
+        self._temp_counter = 0
+        self._extra_locals: List[Tuple[str, BType]] = []
+        var_map = {name: f"v_{name}" for name in self._var_types}
+        self.record = TranslationRecord(
+            var_map=var_map,
+            heap_var=HEAP_VAR,
+            mask_var=MASK_VAR,
+            field_consts=dict(background.field_consts),
+        )
+
+    # -- fresh names -----------------------------------------------------------
+
+    def _fresh(self, base: str, typ: BType) -> str:
+        name = f"{base}_{self._temp_counter}"
+        self._temp_counter += 1
+        self._extra_locals.append((name, typ))
+        return name
+
+    # -- expression translation ---------------------------------------------------
+
+    def trans_expr(self, expr: Expr, record: TranslationRecord) -> BExpr:
+        """R(e): the Boogie expression computing e's value.
+
+        Field reads go through ``readHeap`` on the record's heap variable;
+        partiality is *not* encoded here — well-definedness checks are
+        emitted separately (and omitted where justified non-locally).
+        """
+        if isinstance(expr, Var):
+            return BVar(record.boogie_var(expr.name))
+        if isinstance(expr, IntLit):
+            return BIntLit(expr.value)
+        if isinstance(expr, BoolLit):
+            return BBoolLit(expr.value)
+        if isinstance(expr, NullLit):
+            return BVar(NULL_CONST)
+        if isinstance(expr, PermLit):
+            return BRealLit(expr.amount)
+        if isinstance(expr, FieldAcc):
+            receiver = self.trans_expr(expr.receiver, record)
+            value_type = boogie_type_of(self._field_types[expr.field])
+            return FuncApp(
+                READ_HEAP,
+                (value_type,),
+                (BVar(record.heap_var), receiver, BVar(record.field_const(expr.field))),
+            )
+        if isinstance(expr, UnOp):
+            operand = self.trans_expr(expr.operand, record)
+            op = BUnOpKind.NEG if expr.op is UnOpKind.NEG else BUnOpKind.NOT
+            return BUnOp(op, operand)
+        if isinstance(expr, CondExp):
+            return CondB(
+                self.trans_expr(expr.cond, record),
+                self.trans_expr(expr.then, record),
+                self.trans_expr(expr.otherwise, record),
+            )
+        if isinstance(expr, BinOp):
+            return self._trans_binop(expr, record)
+        raise TranslationError(f"unsupported expression {expr!r}")
+
+    _BINOP_MAP = {
+        BinOpKind.ADD: BBinOpKind.ADD,
+        BinOpKind.SUB: BBinOpKind.SUB,
+        BinOpKind.MUL: BBinOpKind.MUL,
+        BinOpKind.DIV: BBinOpKind.DIV,
+        BinOpKind.MOD: BBinOpKind.MOD,
+        BinOpKind.PERM_DIV: BBinOpKind.REAL_DIV,
+        BinOpKind.LT: BBinOpKind.LT,
+        BinOpKind.LE: BBinOpKind.LE,
+        BinOpKind.GT: BBinOpKind.GT,
+        BinOpKind.GE: BBinOpKind.GE,
+        BinOpKind.EQ: BBinOpKind.EQ,
+        BinOpKind.NE: BBinOpKind.NE,
+        BinOpKind.AND: BBinOpKind.AND,
+        BinOpKind.OR: BBinOpKind.OR,
+        BinOpKind.IMPLIES: BBinOpKind.IMPLIES,
+    }
+
+    def _trans_binop(self, expr: BinOp, record: TranslationRecord) -> BExpr:
+        left = self.trans_expr(expr.left, record)
+        right = self.trans_expr(expr.right, record)
+        return BBinOp(self._BINOP_MAP[expr.op], left, right)
+
+    # -- well-definedness checks -----------------------------------------------------
+
+    def wd_checks(
+        self, expr: Expr, record: TranslationRecord, guard: BExpr = TRUE
+    ) -> List[BAssert]:
+        """Assert commands checking that e is well-defined.
+
+        Partial subexpressions under lazy operators are checked under the
+        guard established by the operator's left operand; permission reads
+        consult the record's *effective* wd mask (``WM`` during remcheck).
+        """
+        if isinstance(expr, (Var, IntLit, BoolLit, NullLit, PermLit)):
+            return []
+        if isinstance(expr, FieldAcc):
+            checks = self.wd_checks(expr.receiver, record, guard)
+            value_type = boogie_type_of(self._field_types[expr.field])
+            perm = FuncApp(
+                READ_MASK,
+                (value_type,),
+                (
+                    BVar(record.effective_wd_mask),
+                    self.trans_expr(expr.receiver, record),
+                    BVar(record.field_const(expr.field)),
+                ),
+            )
+            checks.append(BAssert(bimplies(guard, BBinOp(BBinOpKind.GT, perm, ZERO_REAL))))
+            return checks
+        if isinstance(expr, UnOp):
+            return self.wd_checks(expr.operand, record, guard)
+        if isinstance(expr, CondExp):
+            cond_b = self.trans_expr(expr.cond, record)
+            checks = self.wd_checks(expr.cond, record, guard)
+            checks += self.wd_checks(expr.then, record, band(guard, cond_b))
+            checks += self.wd_checks(expr.otherwise, record, band(guard, bnot(cond_b)))
+            return checks
+        if isinstance(expr, BinOp):
+            left_b = self.trans_expr(expr.left, record)
+            checks = self.wd_checks(expr.left, record, guard)
+            if expr.op is BinOpKind.AND:
+                checks += self.wd_checks(expr.right, record, band(guard, left_b))
+            elif expr.op is BinOpKind.OR:
+                checks += self.wd_checks(expr.right, record, band(guard, bnot(left_b)))
+            elif expr.op is BinOpKind.IMPLIES:
+                checks += self.wd_checks(expr.right, record, band(guard, left_b))
+            else:
+                checks += self.wd_checks(expr.right, record, guard)
+            if expr.op in (BinOpKind.DIV, BinOpKind.MOD, BinOpKind.PERM_DIV):
+                right_b = self.trans_expr(expr.right, record)
+                checks.append(
+                    BAssert(bimplies(guard, BBinOp(BBinOpKind.NE, right_b, BIntLit(0))))
+                )
+            return checks
+        raise TranslationError(f"unsupported expression {expr!r}")
+
+    # -- mask / heap primitives ----------------------------------------------------
+
+    def _read_mask(self, mask_var: str, receiver: BExpr, field_name: str) -> BExpr:
+        value_type = boogie_type_of(self._field_types[field_name])
+        return FuncApp(
+            READ_MASK,
+            (value_type,),
+            (BVar(mask_var), receiver, BVar(self.record.field_const(field_name))),
+        )
+
+    def _upd_mask(
+        self, mask_var: str, receiver: BExpr, field_name: str, amount: BExpr
+    ) -> BExpr:
+        value_type = boogie_type_of(self._field_types[field_name])
+        return FuncApp(
+            UPD_MASK,
+            (value_type,),
+            (BVar(mask_var), receiver, BVar(self.record.field_const(field_name)), amount),
+        )
+
+    def _good_mask(self, mask_var: str) -> BExpr:
+        return FuncApp(GOOD_MASK, (), (BVar(mask_var),))
+
+    # -- inhale ---------------------------------------------------------------------
+
+    def trans_inhale(
+        self,
+        assertion: Assertion,
+        record: TranslationRecord,
+        with_wd: bool,
+        builder: _StmtBuilder,
+    ) -> AssertionHint:
+        """Translate ``inhale A``; returns the assertion's hint tree."""
+        if isinstance(assertion, AExpr):
+            wd = self.wd_checks(assertion.expr, record) if with_wd else []
+            builder.emit(*wd)
+            builder.emit(Assume(self.trans_expr(assertion.expr, record)))
+            return PureHint(len(wd))
+        if isinstance(assertion, Acc):
+            return self._trans_inhale_acc(assertion, record, with_wd, builder)
+        if isinstance(assertion, SepConj):
+            left = self.trans_inhale(assertion.left, record, with_wd, builder)
+            right = self.trans_inhale(assertion.right, record, with_wd, builder)
+            return SepHint(left, right)
+        if isinstance(assertion, Implies):
+            wd = self.wd_checks(assertion.cond, record) if with_wd else []
+            builder.emit(*wd)
+            inner = _StmtBuilder()
+            body_hint = self.trans_inhale(assertion.body, record, with_wd, inner)
+            builder.emit_if(self.trans_expr(assertion.cond, record), inner.build(), ())
+            return ImpliesHint(len(wd), body_hint)
+        if isinstance(assertion, CondAssert):
+            wd = self.wd_checks(assertion.cond, record) if with_wd else []
+            builder.emit(*wd)
+            then_builder, else_builder = _StmtBuilder(), _StmtBuilder()
+            then_hint = self.trans_inhale(assertion.then, record, with_wd, then_builder)
+            else_hint = self.trans_inhale(assertion.otherwise, record, with_wd, else_builder)
+            builder.emit_if(
+                self.trans_expr(assertion.cond, record),
+                then_builder.build(),
+                else_builder.build(),
+            )
+            return CondHint(len(wd), then_hint, else_hint)
+        raise TranslationError(f"unsupported assertion {assertion!r}")
+
+    def _trans_inhale_acc(
+        self,
+        assertion: Acc,
+        record: TranslationRecord,
+        with_wd: bool,
+        builder: _StmtBuilder,
+    ) -> AssertionHint:
+        wd: List[BAssert] = []
+        if with_wd:
+            wd += self.wd_checks(assertion.receiver, record)
+            wd += self.wd_checks(assertion.perm, record)
+        builder.emit(*wd)
+        receiver = self.trans_expr(assertion.receiver, record)
+        mask_var = record.mask_var
+        fastpath = (
+            self._options.literal_perm_fastpath
+            and isinstance(assertion.perm, PermLit)
+            and assertion.perm.amount > 0
+        )
+        if fastpath:
+            amount: BExpr = BRealLit(assertion.perm.amount)
+            # Positive literal: nonnegativity is syntactically evident and
+            # the null-guard assume degenerates to a plain non-null assume.
+            builder.emit(Assume(BBinOp(BBinOpKind.NE, receiver, BVar(NULL_CONST))))
+            perm_temp = None
+        else:
+            temp = self._fresh("tmp", REAL)
+            builder.emit(Assign(temp, self.trans_expr(assertion.perm, record)))
+            amount = BVar(temp)
+            builder.emit(BAssert(BBinOp(BBinOpKind.GE, amount, ZERO_REAL)))
+            builder.emit(
+                Assume(
+                    bimplies(
+                        BBinOp(BBinOpKind.GT, amount, ZERO_REAL),
+                        BBinOp(BBinOpKind.NE, receiver, BVar(NULL_CONST)),
+                    )
+                )
+            )
+            perm_temp = temp
+        new_amount = BBinOp(
+            BBinOpKind.ADD,
+            self._read_mask(mask_var, receiver, assertion.field),
+            amount,
+        )
+        builder.emit(
+            Assign(mask_var, self._upd_mask(mask_var, receiver, assertion.field, new_amount))
+        )
+        builder.emit(Assume(self._good_mask(mask_var)))
+        return AccHint(len(wd), perm_temp)
+
+    # -- remcheck / exhale ---------------------------------------------------------
+
+    def trans_remcheck(
+        self,
+        assertion: Assertion,
+        record: TranslationRecord,
+        with_wd: bool,
+        builder: _StmtBuilder,
+    ) -> AssertionHint:
+        """Translate the remcheck effect of ``exhale A`` / ``assert A``.
+
+        Permissions are removed from ``record.mask_var``; well-definedness
+        checks consult ``record.effective_wd_mask`` (``WM``), implementing
+        the two-state remcheck judgement of Fig. 2.
+        """
+        if isinstance(assertion, AExpr):
+            wd = self.wd_checks(assertion.expr, record) if with_wd else []
+            builder.emit(*wd)
+            builder.emit(BAssert(self.trans_expr(assertion.expr, record)))
+            return PureHint(len(wd))
+        if isinstance(assertion, Acc):
+            return self._trans_remcheck_acc(assertion, record, with_wd, builder)
+        if isinstance(assertion, SepConj):
+            left = self.trans_remcheck(assertion.left, record, with_wd, builder)
+            right = self.trans_remcheck(assertion.right, record, with_wd, builder)
+            return SepHint(left, right)
+        if isinstance(assertion, Implies):
+            wd = self.wd_checks(assertion.cond, record) if with_wd else []
+            builder.emit(*wd)
+            inner = _StmtBuilder()
+            body_hint = self.trans_remcheck(assertion.body, record, with_wd, inner)
+            builder.emit_if(self.trans_expr(assertion.cond, record), inner.build(), ())
+            return ImpliesHint(len(wd), body_hint)
+        if isinstance(assertion, CondAssert):
+            wd = self.wd_checks(assertion.cond, record) if with_wd else []
+            builder.emit(*wd)
+            then_builder, else_builder = _StmtBuilder(), _StmtBuilder()
+            then_hint = self.trans_remcheck(assertion.then, record, with_wd, then_builder)
+            else_hint = self.trans_remcheck(
+                assertion.otherwise, record, with_wd, else_builder
+            )
+            builder.emit_if(
+                self.trans_expr(assertion.cond, record),
+                then_builder.build(),
+                else_builder.build(),
+            )
+            return CondHint(len(wd), then_hint, else_hint)
+        raise TranslationError(f"unsupported assertion {assertion!r}")
+
+    def _trans_remcheck_acc(
+        self,
+        assertion: Acc,
+        record: TranslationRecord,
+        with_wd: bool,
+        builder: _StmtBuilder,
+    ) -> AssertionHint:
+        wd: List[BAssert] = []
+        if with_wd:
+            wd += self.wd_checks(assertion.receiver, record)
+            wd += self.wd_checks(assertion.perm, record)
+        builder.emit(*wd)
+        receiver = self.trans_expr(assertion.receiver, record)
+        mask_var = record.mask_var
+        current = self._read_mask(mask_var, receiver, assertion.field)
+        fastpath = (
+            self._options.literal_perm_fastpath
+            and isinstance(assertion.perm, PermLit)
+            and assertion.perm.amount > 0
+        )
+        if fastpath:
+            amount: BExpr = BRealLit(assertion.perm.amount)
+            builder.emit(BAssert(BBinOp(BBinOpKind.GE, current, amount)))
+            builder.emit(
+                Assign(
+                    mask_var,
+                    self._upd_mask(
+                        mask_var,
+                        receiver,
+                        assertion.field,
+                        BBinOp(BBinOpKind.SUB, current, amount),
+                    ),
+                )
+            )
+            return AccHint(len(wd), None, guarded_update=False)
+        temp = self._fresh("tmp", REAL)
+        builder.emit(Assign(temp, self.trans_expr(assertion.perm, record)))
+        amount = BVar(temp)
+        builder.emit(BAssert(BBinOp(BBinOpKind.GE, amount, ZERO_REAL)))
+        inner = _StmtBuilder()
+        inner.emit(BAssert(BBinOp(BBinOpKind.GE, current, amount)))
+        inner.emit(
+            Assign(
+                mask_var,
+                self._upd_mask(
+                    mask_var,
+                    receiver,
+                    assertion.field,
+                    BBinOp(BBinOpKind.SUB, current, amount),
+                ),
+            )
+        )
+        builder.emit_if(BBinOp(BBinOpKind.NE, amount, ZERO_REAL), inner.build(), ())
+        return AccHint(len(wd), temp, guarded_update=True)
+
+    def trans_exhale(
+        self,
+        assertion: Assertion,
+        record: TranslationRecord,
+        with_wd: bool,
+        builder: _StmtBuilder,
+    ) -> ExhaleHint:
+        """Translate ``exhale A``: WM snapshot, remcheck, heap havoc."""
+        wd_mask_var: Optional[str] = None
+        rc_record = record
+        if with_wd:
+            wd_mask_var = self._fresh("WM", MASK_TYPE)
+            builder.emit(Assign(wd_mask_var, BVar(record.mask_var)))
+            rc_record = record.with_wd_mask(wd_mask_var)
+        rc_hint = self.trans_remcheck(assertion, rc_record, with_wd, builder)
+        havoc_heap_var: Optional[str] = None
+        if assertion_has_acc(assertion) or self._options.always_emit_exhale_havoc:
+            havoc_heap_var = self._fresh("HH", HEAP_TYPE)
+            builder.emit(Havoc(havoc_heap_var))
+            builder.emit(
+                Assume(
+                    FuncApp(
+                        ID_ON_POSITIVE,
+                        (),
+                        (BVar(record.heap_var), BVar(havoc_heap_var), BVar(record.mask_var)),
+                    )
+                )
+            )
+            builder.emit(Assign(record.heap_var, BVar(havoc_heap_var)))
+            builder.emit(Assume(self._good_mask(record.mask_var)))
+        return ExhaleHint(with_wd, wd_mask_var, rc_hint, havoc_heap_var)
+
+    # -- statements --------------------------------------------------------------------
+
+    def trans_stmt(
+        self, stmt: Stmt, record: TranslationRecord, builder: _StmtBuilder
+    ) -> StmtHint:
+        """Translate one statement, emitting code and returning its hint."""
+        if isinstance(stmt, Skip):
+            return SkipHint()
+        if isinstance(stmt, Seq):
+            first = self.trans_stmt(stmt.first, record, builder)
+            second = self.trans_stmt(stmt.second, record, builder)
+            return SeqHint(first, second)
+        if isinstance(stmt, LocalAssign):
+            wd = self.wd_checks(stmt.rhs, record)
+            builder.emit(*wd)
+            builder.emit(
+                Assign(record.boogie_var(stmt.target), self.trans_expr(stmt.rhs, record))
+            )
+            return AssignHint(len(wd))
+        if isinstance(stmt, FieldAssign):
+            wd = self.wd_checks(stmt.receiver, record)
+            wd += self.wd_checks(stmt.rhs, record)
+            builder.emit(*wd)
+            receiver = self.trans_expr(stmt.receiver, record)
+            builder.emit(
+                BAssert(
+                    beq(self._read_mask(record.mask_var, receiver, stmt.field), ONE_REAL)
+                )
+            )
+            value_type = boogie_type_of(self._field_types[stmt.field])
+            builder.emit(
+                Assign(
+                    record.heap_var,
+                    FuncApp(
+                        UPD_HEAP,
+                        (value_type,),
+                        (
+                            BVar(record.heap_var),
+                            receiver,
+                            BVar(record.field_const(stmt.field)),
+                            self.trans_expr(stmt.rhs, record),
+                        ),
+                    ),
+                )
+            )
+            return FieldAssignHint(len(wd))
+        if isinstance(stmt, VarDecl):
+            boogie_var = record.boogie_var(stmt.name)
+            builder.emit(Havoc(boogie_var))
+            return VarDeclHint(boogie_var)
+        if isinstance(stmt, Inhale):
+            hint = self.trans_inhale(stmt.assertion, record, True, builder)
+            return InhaleHint(True, hint)
+        if isinstance(stmt, Exhale):
+            return self.trans_exhale(stmt.assertion, record, True, builder)
+        if isinstance(stmt, AssertStmt):
+            return self._trans_assert(stmt, record, builder)
+        if isinstance(stmt, If):
+            wd = self.wd_checks(stmt.cond, record)
+            builder.emit(*wd)
+            then_builder, else_builder = _StmtBuilder(), _StmtBuilder()
+            then_hint = self.trans_stmt(stmt.then, record, then_builder)
+            else_hint = self.trans_stmt(stmt.otherwise, record, else_builder)
+            builder.emit_if(
+                self.trans_expr(stmt.cond, record),
+                then_builder.build(),
+                else_builder.build(),
+            )
+            return IfHint(len(wd), then_hint, else_hint)
+        if isinstance(stmt, MethodCall):
+            return self._trans_call(stmt, record, builder)
+        raise TranslationError(f"unsupported statement {stmt!r}")
+
+    def _trans_assert(
+        self, stmt: AssertStmt, record: TranslationRecord, builder: _StmtBuilder
+    ) -> AssertHint:
+        """``assert A``: remcheck against a scratch mask; M is untouched."""
+        wd_mask_var = self._fresh("WM", MASK_TYPE)
+        scratch = self._fresh("AM", MASK_TYPE)
+        builder.emit(Assign(wd_mask_var, BVar(record.mask_var)))
+        builder.emit(Assign(scratch, BVar(record.mask_var)))
+        scratch_record = record.with_mask_var(scratch).with_wd_mask(wd_mask_var)
+        rc_hint = self.trans_remcheck(stmt.assertion, scratch_record, True, builder)
+        return AssertHint(wd_mask_var, scratch, rc_hint)
+
+    def _trans_call(
+        self, stmt: MethodCall, record: TranslationRecord, builder: _StmtBuilder
+    ) -> CallHint:
+        """Method call: exhale pre (wd omitted), havoc targets, inhale post.
+
+        The omission of wd checks is sound only because the callee's
+        procedure checks its specification's well-formedness (Sec. 4.2);
+        the emitted :class:`CallHint` records this dependency explicitly.
+        """
+        callee = self._program.method(stmt.method)
+        for arg in stmt.args:
+            if not isinstance(arg, Var):
+                raise TranslationError(
+                    f"call to {stmt.method!r}: only variables are supported as "
+                    f"arguments (rewrite `m(e)` to `var t := e; m(t)`)"
+                )
+        arg_map = {
+            formal: arg for (formal, _), arg in zip(callee.args, stmt.args)
+        }
+        pre = substitute_assertion(callee.pre, arg_map)
+        with_wd = self._options.wd_checks_at_calls
+        exhale_hint = self.trans_exhale(pre, record, with_wd, builder)
+        target_boogie_vars = tuple(record.boogie_var(t) for t in stmt.targets)
+        for boogie_var in target_boogie_vars:
+            builder.emit(Havoc(boogie_var))
+        ret_map = dict(arg_map)
+        for (ret_formal, _), target in zip(callee.returns, stmt.targets):
+            ret_map[ret_formal] = Var(target)
+        post = substitute_assertion(callee.post, ret_map)
+        post_hint = self.trans_inhale(post, record, with_wd, builder)
+        return CallHint(
+            callee=stmt.method,
+            exhale_pre=exhale_hint,
+            target_boogie_vars=target_boogie_vars,
+            inhale_post=InhaleHint(with_wd, post_hint),
+        )
+
+    # -- whole method -----------------------------------------------------------------
+
+    def translate_method(self) -> TranslatedMethod:
+        """Translate the whole method: init, C1 branch, C2 obligation."""
+        method = self._method
+        builder = _StmtBuilder()
+        # Init: empty mask, consistent by construction.
+        builder.emit(Assign(MASK_VAR, BVar(ZERO_MASK_CONST)))
+        builder.emit(Assume(self._good_mask(MASK_VAR)))
+        init_cmd_count = 2
+        # C1: spec well-formedness inside a dying nondeterministic branch.
+        wf_builder = _StmtBuilder()
+        wf_pre_hint = self.trans_inhale(method.pre, self.record, True, wf_builder)
+        havoc_returns = tuple(self.record.boogie_var(r) for r in method.return_names)
+        for boogie_var in havoc_returns:
+            wf_builder.emit(Havoc(boogie_var))
+        wf_post_hint = self.trans_inhale(method.post, self.record, True, wf_builder)
+        wf_builder.emit(Assume(FALSE))
+        builder.emit_if(None, wf_builder.build(), ())
+        wf_hint = SpecWellFormednessHint(
+            inhale_pre=InhaleHint(True, wf_pre_hint),
+            havoc_return_vars=havoc_returns,
+            inhale_post=InhaleHint(True, wf_post_hint),
+        )
+        # C2: inhale pre; body; exhale post (only for methods with a body).
+        body_pre_hint: Optional[InhaleHint] = None
+        body_hint: Optional[StmtHint] = None
+        body_post_hint: Optional[ExhaleHint] = None
+        if method.body is not None:
+            body_pre_hint = InhaleHint(
+                True, self.trans_inhale(method.pre, self.record, True, builder)
+            )
+            body_hint = self.trans_stmt(method.body, self.record, builder)
+            body_post_hint = self.trans_exhale(method.post, self.record, True, builder)
+        locals_: List[Tuple[str, BType]] = [
+            (self.record.boogie_var(name), boogie_type_of(typ))
+            for name, typ in sorted(self._var_types.items())
+        ]
+        locals_ += self._extra_locals
+        procedure = Procedure(
+            name=procedure_name(method.name), locals=tuple(locals_), body=builder.build()
+        )
+        hint = MethodHint(
+            method=method.name,
+            init_cmd_count=init_cmd_count,
+            wellformedness=wf_hint,
+            body_inhale_pre=body_pre_hint,
+            body=body_hint,
+            body_exhale_post=body_post_hint,
+        )
+        return TranslatedMethod(method.name, procedure, self.record, hint)
+
+
+def procedure_name(method_name: str) -> str:
+    """The Boogie procedure name generated for a Viper method."""
+    return f"m_{method_name}"
+
+
+def translate_program(
+    program: Program,
+    type_info: ProgramTypeInfo,
+    options: Optional[TranslationOptions] = None,
+) -> TranslationResult:
+    """Translate a type-checked Viper program into a Boogie program."""
+    if options is None:
+        options = TranslationOptions()
+    background = build_background(type_info.field_types)
+    methods: Dict[str, TranslatedMethod] = {}
+    procedures = []
+    for method in program.methods:
+        translator = _MethodTranslator(program, type_info, background, method, options)
+        translated = translator.translate_method()
+        methods[method.name] = translated
+        procedures.append(translated.procedure)
+    boogie_program = BoogieProgram(
+        type_decls=background.type_decls,
+        consts=background.consts,
+        globals=(
+            GlobalVarDecl(HEAP_VAR, HEAP_TYPE),
+            GlobalVarDecl(MASK_VAR, MASK_TYPE),
+        ),
+        functions=background.functions,
+        axioms=background.axioms,
+        procedures=tuple(procedures),
+    )
+    return TranslationResult(
+        viper_program=program,
+        type_info=type_info,
+        background=background,
+        boogie_program=boogie_program,
+        methods=methods,
+        options=options,
+    )

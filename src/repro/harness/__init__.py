@@ -1,0 +1,12 @@
+"""Evaluation harness: corpus, pipeline runner, and table rendering."""
+
+from .corpus import (  # noqa: F401
+    CorpusFile,
+    dump_corpus,
+    full_corpus,
+    generate_file,
+    suite_files,
+    TABLE2_SELECTION,
+)
+from .runner import aggregate, aggregate_overall, FileMetrics, run_file, run_files, SuiteMetrics  # noqa: F401
+from .tables import blowup_factor, render_detail_table, render_table1  # noqa: F401

@@ -1,0 +1,514 @@
+"""Benchmark corpus: four suites mirroring the paper's evaluation (Sec. 5).
+
+The paper evaluates on 72 Viper files drawn from four sources — the Viper
+test suite (34 files / 105 methods), Gobra (17 / 65), VerCors (18 / 116),
+and MPP modular-product programs (3 / 13).  Those suites are not available
+offline, so this module *synthesises* four suites with the same file and
+method counts, matching size distributions (per-file LoC targets taken from
+the paper's App. D tables), and the same feature mix: every file uses the
+heap through accessibility predicates (the paper's selection criterion),
+plus method calls, scoped variables, conditionals, inhale/exhale/assert,
+fractional permissions, and conditional assertions.
+
+Generation is deterministic (seeded per file name), so metrics are
+reproducible run to run.  Some files deliberately contain *incorrect*
+methods (like the paper's ``*-fail`` tests): certification is independent
+of whether the program verifies, and the corpus must exercise that.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class CorpusFile:
+    """One benchmark program."""
+
+    suite: str
+    name: str
+    source: str
+    #: Approximate per-file LoC target from the paper's App. D (for reference).
+    paper_loc: int
+
+
+# Per-file (name, paper Viper LoC, #methods) taken from Tables 3–6.
+GOBRA_FILES: Tuple[Tuple[str, int, int], ...] = (
+    ("concurrency", 24, 2),
+    ("defer-simple-01", 142, 6),
+    ("defer-simple-02", 211, 9),
+    ("perm-fail1", 165, 15),
+    ("perm-simple1", 131, 9),
+    ("fail1", 44, 3),
+    ("fail3", 19, 2),
+    ("simple1", 30, 2),
+    ("simple2", 10, 1),
+    ("simple3", 17, 1),
+    ("global-const-8", 49, 6),
+    ("pointer-identity", 30, 1),
+    ("pointer-identity-2", 30, 1),
+    ("000008", 10, 1),
+    ("000009", 16, 1),
+    ("000039", 49, 3),
+    ("000155", 39, 2),
+)
+
+MPP_FILES: Tuple[Tuple[str, int, int], ...] = (
+    ("banerjee", 414, 8),
+    ("darvas", 91, 2),
+    ("kusters", 112, 3),
+)
+
+VERCORS_FILES: Tuple[Tuple[str, int, int], ...] = (
+    ("BasicAssert-e1", 41, 6),
+    ("BasicAssert", 41, 6),
+    ("DafnyIncr", 60, 8),
+    ("DafnyIncrE1", 57, 8),
+    ("permissions", 39, 5),
+    ("inv-test-fail1", 90, 5),
+    ("inv-test-fail2", 92, 5),
+    ("inv-test", 90, 5),
+    ("SwapIntegerFail", 79, 8),
+    ("SwapIntegerPass", 81, 8),
+    ("SwapLong", 57, 6),
+    ("SwapLongTwice", 81, 8),
+    ("SwapLongWrong", 79, 8),
+    ("frame-error-1", 35, 5),
+    ("refute3", 49, 6),
+    ("refute4", 54, 6),
+    ("refute5", 50, 6),
+    ("demo1", 60, 7),
+)
+
+VIPER_FILES: Tuple[Tuple[str, int, int], ...] = (
+    ("0004", 6, 1),
+    ("0004-CPG1", 6, 1),
+    ("0005", 4, 1),
+    ("0008", 12, 2),
+    ("0011", 63, 5),
+    ("0015", 6, 1),
+    ("0052", 7, 1),
+    ("0063", 34, 6),
+    ("0072", 8, 1),
+    ("0073", 10, 1),
+    ("0088-1", 9, 1),
+    ("0094", 6, 1),
+    ("0152", 14, 2),
+    ("0157", 47, 8),
+    ("0159", 13, 2),
+    ("0170", 8, 1),
+    ("0177-1", 10, 1),
+    ("0222", 13, 2),
+    ("0227", 5, 1),
+    ("0324", 7, 1),
+    ("0345", 21, 3),
+    ("0384", 11, 1),
+    ("assert", 7, 1),
+    ("negative-amounts", 21, 3),
+    ("old", 38, 6),
+    ("swap", 16, 2),
+    ("test", 6, 1),
+    ("testHistoryProcesses", 205, 13),
+    ("testHistoryProcessesPVL", 204, 13),
+    ("testHistoryProcessesPVL-CPG1", 56, 4),
+    ("testHistoryThreadsProcessesPVL", 56, 4),
+    ("test-example1", 57, 4),
+    ("test-example3", 74, 5),
+    ("test-example4", 71, 5),
+)
+
+
+class _MethodFactory:
+    """Generates well-typed Viper methods in a given naming style."""
+
+    def __init__(self, rng: random.Random, style: str, fields: Sequence[str]):
+        self._rng = rng
+        self._style = style
+        self._fields = list(fields)
+        self._methods: List[Tuple[str, str]] = []  # (name, source)
+        #: Signatures of callable methods: name -> (arg kinds, has result).
+        self._callable: Dict[str, Tuple[Tuple[str, ...], bool]] = {}
+        self._counter = 0
+
+    # -- naming ------------------------------------------------------------
+
+    def _name(self, base: str) -> str:
+        self._counter += 1
+        if self._style == "gobra":
+            return f"{base}_go{self._counter}"
+        if self._style == "vercors":
+            return f"{base}Java{self._counter}"
+        if self._style == "mpp":
+            return f"{base}_prod{self._counter}"
+        return f"{base}{self._counter}"
+
+    def _field(self) -> str:
+        return self._rng.choice(self._fields)
+
+    # -- method templates -----------------------------------------------------
+
+    def getter(self) -> str:
+        name = self._name("get")
+        field = self._field()
+        frac = self._rng.choice(["1/2", "1/4", "2/3"])
+        source = f"""
+method {name}(x: Ref) returns (res: Int)
+  requires acc(x.{field}, {frac})
+  ensures acc(x.{field}, {frac}) && res == x.{field}
+{{
+  res := x.{field}
+}}"""
+        self._methods.append((name, source))
+        self._callable[name] = (('ref',), True)
+        return source
+
+    def setter(self) -> str:
+        name = self._name("set")
+        field = self._field()
+        value = self._rng.randint(0, 9)
+        source = f"""
+method {name}(x: Ref, v: Int)
+  requires acc(x.{field}, write)
+  ensures acc(x.{field}, write) && x.{field} == v
+{{
+  x.{field} := v
+  assert x.{field} == v
+}}"""
+        self._methods.append((name, source))
+        self._callable[name] = (('ref', 'int'), False)
+        return source
+
+    def incrementer(self) -> str:
+        name = self._name("incr")
+        field = self._field()
+        delta = self._rng.randint(1, 5)
+        source = f"""
+method {name}(x: Ref) returns (old_val: Int)
+  requires acc(x.{field}, write)
+  ensures acc(x.{field}, write) && x.{field} == old_val + {delta}
+{{
+  old_val := x.{field}
+  x.{field} := old_val + {delta}
+}}"""
+        self._methods.append((name, source))
+        self._callable[name] = (('ref',), True)
+        return source
+
+    def swapper(self) -> str:
+        name = self._name("swap")
+        field = self._field()
+        source = f"""
+method {name}(a: Ref, b: Ref)
+  requires acc(a.{field}, write) && acc(b.{field}, write) && a != b
+  ensures acc(a.{field}, write) && acc(b.{field}, write)
+{{
+  var ta: Int
+  var tb: Int
+  ta := a.{field}
+  tb := b.{field}
+  a.{field} := tb
+  b.{field} := ta
+  assert acc(a.{field}, 1/2) && acc(b.{field}, 1/2)
+}}"""
+        self._methods.append((name, source))
+        return source
+
+    def brancher(self) -> str:
+        name = self._name("branch")
+        field = self._field()
+        bound = self._rng.randint(1, 7)
+        source = f"""
+method {name}(x: Ref, flag: Bool) returns (res: Int)
+  requires acc(x.{field}, write) && (flag ==> x.{field} > 0)
+  ensures acc(x.{field}, write) && res >= 0
+{{
+  if (flag) {{
+    res := x.{field}
+  }} else {{
+    if (x.{field} > {bound}) {{
+      res := {bound}
+    }} else {{
+      res := 0
+    }}
+  }}
+  exhale res < 0 ? acc(x.{field}, write) : true
+}}"""
+        self._methods.append((name, source))
+        return source
+
+    def transferer(self) -> str:
+        name = self._name("transfer")
+        field = self._field()
+        source = f"""
+method {name}(src: Ref, dst: Ref)
+  requires acc(src.{field}, 1/2) && acc(dst.{field}, write)
+  ensures acc(dst.{field}, write)
+{{
+  dst.{field} := src.{field} + 1
+  exhale acc(src.{field}, 1/2) && dst.{field} > src.{field}
+  inhale acc(src.{field}, 1/2)
+  assert dst.{field} >= src.{field}
+}}"""
+        self._methods.append((name, source))
+        return source
+
+    def perm_juggler(self) -> str:
+        name = self._name("perm")
+        field = self._field()
+        source = f"""
+method {name}(x: Ref, p: Perm)
+  requires acc(x.{field}, p) && p > none
+  ensures acc(x.{field}, p)
+{{
+  var half: Perm
+  half := p / 2
+  exhale acc(x.{field}, half)
+  inhale acc(x.{field}, half)
+  assert acc(x.{field}, p) && x.{field} == x.{field}
+}}"""
+        self._methods.append((name, source))
+        return source
+
+    def failing_assert(self) -> str:
+        name = self._name("fail")
+        field = self._field()
+        source = f"""
+method {name}(x: Ref)
+  requires acc(x.{field}, write)
+  ensures acc(x.{field}, write) && x.{field} == 0
+{{
+  x.{field} := 1
+}}"""
+        self._methods.append((name, source))
+        return source
+
+    def caller(self) -> str:
+        """A method calling previously generated methods.
+
+        Calls exercise the non-local optimisation: the translation of the
+        callee-precondition exhale omits well-definedness checks.
+        """
+        candidates = sorted(self._callable.items())
+        if not candidates:
+            return self.getter()
+        callee, (arg_kinds, has_ret) = self._rng.choice(candidates)
+        name = self._name("use")
+        field = self._field()
+        args = {"ref": "x", "int": "t", "bool": "b"}
+        call_args = ", ".join(args[kind] for kind in arg_kinds)
+        body_lines = [
+            "  var r: Int",
+            "  var t: Int",
+            "  var b: Bool",
+            f"  t := {self._rng.randint(0, 5)}",
+            "  b := true",
+        ]
+        if has_ret:
+            body_lines.append(f"  r := {callee}({call_args})")
+            body_lines.append("  assert r == r")
+        else:
+            body_lines.append(f"  {callee}({call_args})")
+            body_lines.append("  assert t >= 0")
+        body = "\n".join(body_lines)
+        source = f"""
+method {name}(x: Ref)
+  requires acc(x.{field}, write)
+  ensures true
+{{
+{body}
+}}"""
+        self._methods.append((name, source))
+        return source
+
+    def product_method(self, size: int) -> str:
+        """An MPP-style product method: duplicated state, lockstep body."""
+        name = self._name("mainp")
+        field = self._field()
+        steps = []
+        for index in range(max(2, size)):
+            value = self._rng.randint(0, 6)
+            steps.append(
+                f"""  if (act1) {{
+    x1.{field} := t1 + {value}
+    t1 := x1.{field}
+  }}
+  if (act2) {{
+    x2.{field} := t2 + {value}
+    t2 := x2.{field}
+  }}
+  assert act1 && act2 ==> t1 >= 0 || t2 >= 0 || t1 < 0 || t2 < 0"""
+            )
+        body = "\n".join(steps)
+        source = f"""
+method {name}(x1: Ref, x2: Ref, act1: Bool, act2: Bool)
+  requires acc(x1.{field}, write) && acc(x2.{field}, write) && x1 != x2
+  requires x1.{field} >= 0 && x2.{field} >= 0
+  ensures acc(x1.{field}, write) && acc(x2.{field}, write)
+{{
+  var t1: Int
+  var t2: Int
+  t1 := x1.{field}
+  t2 := x2.{field}
+{body}
+}}"""
+        self._methods.append((name, source))
+        return source
+
+    def abstract_spec(self) -> str:
+        """An abstract (bodyless) method, callable by others."""
+        name = self._name("ext")
+        field = self._field()
+        source = f"""
+method {name}(x: Ref) returns (res: Int)
+  requires acc(x.{field}, 1/2)
+  ensures acc(x.{field}, 1/2) && res >= x.{field}"""
+        self._methods.append((name, source))
+        self._callable[name] = (('ref',), True)
+        return source
+
+    def long_method(self, body_lines: int) -> str:
+        """A long straight-line method sized to a per-method line budget."""
+        name = self._name("work")
+        field_a = self._field()
+        field_b = self._field()
+        segments: List[str] = [
+            "  var t: Int",
+            "  var s: Int",
+            f"  t := x.{field_a}",
+            "  s := t",
+        ]
+        while len(segments) < max(4, body_lines - 2):
+            kind = self._rng.randrange(4)
+            k = self._rng.randint(1, 6)
+            if kind == 0:
+                segments.append(f"  x.{field_a} := s + {k}")
+                segments.append(f"  s := x.{field_a}")
+            elif kind == 1:
+                segments.append(f"  assert acc(x.{field_b}, 1/2) && s == s")
+            elif kind == 2:
+                segments.append(f"  if (s > {k}) {{")
+                segments.append(f"    s := s - {k}")
+                segments.append("  } else {")
+                segments.append(f"    s := s + {k}")
+                segments.append("  }")
+            else:
+                segments.append(f"  exhale acc(x.{field_b}, 1/4)")
+                segments.append(f"  inhale acc(x.{field_b}, 1/4)")
+        body = "\n".join(segments)
+        source = f"""
+method {name}(x: Ref) returns (out: Int)
+  requires acc(x.{field_a}, write) && acc(x.{field_b}, write)
+  ensures acc(x.{field_a}, write) && acc(x.{field_b}, write)
+{{
+{body}
+  out := s
+}}"""
+        self._methods.append((name, source))
+        self._callable[name] = (('ref',), True)
+        return source
+
+    TEMPLATES = (
+        "getter",
+        "setter",
+        "incrementer",
+        "swapper",
+        "brancher",
+        "transferer",
+        "perm_juggler",
+        "caller",
+    )
+
+    def random_method(self) -> str:
+        kind = self._rng.choice(self.TEMPLATES)
+        return getattr(self, kind)()
+
+
+def _approx_loc(source: str) -> int:
+    return sum(1 for line in source.splitlines() if line.strip())
+
+
+def generate_file(suite: str, name: str, target_loc: int, method_count: int) -> CorpusFile:
+    """Generate one corpus file deterministically from its identity."""
+    rng = random.Random(f"{suite}/{name}")
+    style = {"Gobra": "gobra", "VerCors": "vercors", "MPP": "mpp"}.get(suite, "viper")
+    field_count = 1 if target_loc < 30 else (2 if target_loc < 120 else 3)
+    fields = [f"f{i}" for i in range(field_count)]
+    factory = _MethodFactory(rng, style, fields)
+    header = "\n".join(f"field {f}: Int" for f in fields)
+    parts: List[str] = [f"// suite: {suite}, file: {name} (synthesised)", header]
+    if style == "mpp":
+        # MPP files: few, large product methods plus small helpers.
+        product_methods = max(1, method_count - 2)
+        helpers = method_count - product_methods
+        step_budget = max(2, (target_loc // product_methods - 16) // 9)
+        for _ in range(helpers):
+            parts.append(factory.random_method())
+        for _ in range(product_methods):
+            parts.append(factory.product_method(step_budget))
+    else:
+        # Mix of templates; the per-method line budget steers template
+        # choice so file sizes track the paper's distribution while method
+        # counts match it exactly.  Some files contain failing methods and
+        # abstract specs, matching the real suites (incl. *-fail tests).
+        budget = target_loc / max(1, method_count)
+        for index in range(method_count):
+            roll = rng.random()
+            if "fail" in name.lower() and index == method_count - 1:
+                parts.append(factory.failing_assert())
+            elif budget > 16 and roll < 0.75:
+                parts.append(factory.long_method(int(budget) - 8))
+            elif roll < 0.08 and index > 0:
+                parts.append(factory.abstract_spec())
+            elif roll < 0.32 and index > 0:
+                parts.append(factory.caller())
+            else:
+                parts.append(factory.random_method())
+    source = "\n".join(parts) + "\n"
+    return CorpusFile(suite=suite, name=name, source=source, paper_loc=target_loc)
+
+
+def suite_files(suite: str) -> List[CorpusFile]:
+    """All files of one suite (``Viper``, ``Gobra``, ``VerCors``, ``MPP``)."""
+    table = {
+        "Viper": VIPER_FILES,
+        "Gobra": GOBRA_FILES,
+        "VerCors": VERCORS_FILES,
+        "MPP": MPP_FILES,
+    }[suite]
+    return [generate_file(suite, name, loc, methods) for name, loc, methods in table]
+
+
+def full_corpus() -> Dict[str, List[CorpusFile]]:
+    """The full 72-file corpus, keyed by suite."""
+    return {suite: suite_files(suite) for suite in ("Viper", "Gobra", "VerCors", "MPP")}
+
+
+#: Files selected for the paper's Table 2 (largest per suite + all MPP).
+TABLE2_SELECTION: Tuple[Tuple[str, str], ...] = (
+    ("Viper", "testHistoryProcesses"),
+    ("Gobra", "defer-simple-02"),
+    ("VerCors", "inv-test-fail2"),
+    ("MPP", "banerjee"),
+    ("MPP", "darvas"),
+    ("MPP", "kusters"),
+)
+
+def dump_corpus(directory) -> int:
+    """Write every corpus file to ``directory/<suite>/<name>.vpr``.
+
+    Returns the number of files written.  Useful for inspecting the
+    benchmark programs or feeding them to external tools.
+    """
+    import pathlib
+
+    root = pathlib.Path(directory)
+    written = 0
+    for suite, files in full_corpus().items():
+        suite_dir = root / suite.lower()
+        suite_dir.mkdir(parents=True, exist_ok=True)
+        for corpus_file in files:
+            (suite_dir / f"{corpus_file.name}.vpr").write_text(corpus_file.source)
+            written += 1
+    return written

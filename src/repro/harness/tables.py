@@ -1,0 +1,88 @@
+"""Rendering of the paper's tables from harness measurements."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from .runner import FileMetrics, SuiteMetrics, aggregate, aggregate_overall
+
+
+def _row(cells: Sequence[str], widths: Sequence[int]) -> str:
+    return " | ".join(str(c).rjust(w) for c, w in zip(cells, widths))
+
+
+def render_table1(per_suite: Dict[str, List[FileMetrics]]) -> str:
+    """Table 1: per-suite overview (files, methods, mean LoCs, check times)."""
+    header = (
+        "Test suite",
+        "Files",
+        "Methods",
+        "Viper mean LoC",
+        "Boogie mean LoC",
+        "Cert mean LoC",
+        "Check mean [s]",
+        "Check median [s]",
+    )
+    widths = [max(len(h), 10) for h in header]
+    lines = [_row(header, widths), "-+-".join("-" * w for w in widths)]
+    rows: List[SuiteMetrics] = [
+        aggregate(suite, metrics) for suite, metrics in per_suite.items()
+    ]
+    rows.append(aggregate_overall(per_suite))
+    for row in rows:
+        lines.append(
+            _row(
+                (
+                    row.suite,
+                    row.files,
+                    row.methods,
+                    f"{row.mean_viper_loc:.0f}",
+                    f"{row.mean_boogie_loc:.0f}",
+                    f"{row.mean_cert_loc:.0f}",
+                    f"{row.mean_check_seconds:.4f}",
+                    f"{row.median_check_seconds:.4f}",
+                ),
+                widths,
+            )
+        )
+    return "\n".join(lines)
+
+
+def render_detail_table(metrics: Sequence[FileMetrics], title: str) -> str:
+    """Tables 2–6: per-file details."""
+    header = (
+        "File",
+        "Methods",
+        "Viper LoC",
+        "Boogie LoC",
+        "Cert LoC",
+        "Check [s]",
+        "Certified",
+    )
+    widths = [max(len(h), 10) for h in header]
+    widths[0] = max(widths[0], max((len(m.name) for m in metrics), default=10))
+    lines = [title, _row(header, widths), "-+-".join("-" * w for w in widths)]
+    for m in metrics:
+        lines.append(
+            _row(
+                (
+                    m.name,
+                    m.methods,
+                    m.viper_loc,
+                    m.boogie_loc,
+                    m.cert_loc,
+                    f"{m.check_seconds:.4f}",
+                    "yes" if m.certified else "NO",
+                ),
+                widths,
+            )
+        )
+    return "\n".join(lines)
+
+
+def blowup_factor(per_suite: Dict[str, List[FileMetrics]]) -> float:
+    """Mean Boogie/Viper LoC ratio (the paper reports 6.2x overall)."""
+    all_metrics = [m for metrics in per_suite.values() for m in metrics]
+    total_viper = sum(m.viper_loc for m in all_metrics)
+    total_boogie = sum(m.boogie_loc for m in all_metrics)
+    return total_boogie / total_viper if total_viper else 0.0

@@ -1,0 +1,67 @@
+"""The Viper language substrate: AST, parser, type checker, semantics.
+
+This package formalises (executably) the Viper subset of Fig. 1 of the
+paper, with the big-step semantics of Sec. 2.3 / App. A.
+"""
+
+from .ast import (  # noqa: F401
+    Acc,
+    AExpr,
+    AssertStmt,
+    Assertion,
+    BinOp,
+    BinOpKind,
+    BoolLit,
+    CondAssert,
+    CondExp,
+    Expr,
+    FieldAcc,
+    FieldAssign,
+    FieldDecl,
+    If,
+    Implies,
+    Inhale,
+    IntLit,
+    LocalAssign,
+    MethodCall,
+    MethodDecl,
+    NullLit,
+    PermLit,
+    Program,
+    SepConj,
+    Seq,
+    Skip,
+    Stmt,
+    Type,
+    UnOp,
+    UnOpKind,
+    Var,
+    VarDecl,
+    Exhale,
+    seq_of,
+)
+from .lexer import ViperSyntaxError  # noqa: F401
+from .allocation import desugar_new, NewStmt, program_has_new  # noqa: F401
+from .callargs import hoist_call_args, program_has_complex_call_args  # noqa: F401
+from .exprtype import viper_expr_type  # noqa: F401
+from .loops import desugar_loops, program_has_loops, While  # noqa: F401
+from .oldexprs import desugar_old, OldExpr, OldExprError, program_has_old  # noqa: F401
+from .parser import parse_assertion, parse_expr, parse_program, parse_stmt  # noqa: F401
+from .pretty import count_loc, pretty_assertion, pretty_expr, pretty_program, pretty_stmt  # noqa: F401
+from .semantics import (  # noqa: F401
+    Failure,
+    ILL_DEFINED,
+    Magic,
+    Normal,
+    Outcome,
+    ViperContext,
+    eval_expr,
+    exec_stmt,
+    exhale,
+    inhale,
+    remcheck,
+    run_method,
+)
+from .state import ViperState, zero_mask_state  # noqa: F401
+from .typechecker import ProgramTypeInfo, ViperTypeError, check_program  # noqa: F401
+from .values import NULL, Value, VBool, VInt, VNull, VPerm, VRef  # noqa: F401

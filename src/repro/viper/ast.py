@@ -1,0 +1,493 @@
+"""Abstract syntax of the formalised Viper subset (Fig. 1 of the paper).
+
+The subset comprises:
+
+* expressions ``e ::= x | lit | e.f | e bop e | uop(e)`` (plus conditional
+  expressions, which Viper's surface syntax provides and which desugar into
+  the paper's conditional assertions when used in assertion positions),
+* assertions ``A ::= e | acc(e.f, e) | A * A | e ==> A | e ? A : A``,
+* statements ``s ::= x := e | e.f := e | ys := m(xs) | var x: T | inhale A |
+  exhale A | assert A | s; s | if (e) {s} else {s}``,
+* top-level field and method declarations.
+
+All nodes are immutable (frozen dataclasses) and hashable so that they can be
+used as dictionary keys by the translator and the certification kernel.
+Sequential composition is kept *binary* (``Seq``), exactly as in the paper,
+because the mismatch between Viper's tree-shaped statements and Boogie's
+block-list statements is one of the difficulties the proof generation must
+handle (Sec. 2.1, Sec. 4.3).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Optional, Tuple, Union
+
+
+# ---------------------------------------------------------------------------
+# Types
+# ---------------------------------------------------------------------------
+
+
+class Type(enum.Enum):
+    """The types of the formalised Viper subset."""
+
+    INT = "Int"
+    BOOL = "Bool"
+    REF = "Ref"
+    PERM = "Perm"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+TYPE_BY_NAME = {t.value: t for t in Type}
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+class BinOpKind(enum.Enum):
+    """Binary operators of the subset.
+
+    ``AND``/``OR``/``IMPLIES`` evaluate lazily in the Viper semantics: the
+    right operand need not be well-defined when the left operand short
+    circuits.  ``PERM_*`` operators work on permission amounts.
+    """
+
+    ADD = "+"
+    SUB = "-"
+    MUL = "*"
+    DIV = "\\"
+    MOD = "%"
+    PERM_DIV = "/"
+    LT = "<"
+    LE = "<="
+    GT = ">"
+    GE = ">="
+    EQ = "=="
+    NE = "!="
+    AND = "&&"
+    OR = "||"
+    IMPLIES = "==>"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+class UnOpKind(enum.Enum):
+    NEG = "-"
+    NOT = "!"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+LAZY_OPS = frozenset({BinOpKind.AND, BinOpKind.OR, BinOpKind.IMPLIES})
+ARITH_OPS = frozenset(
+    {BinOpKind.ADD, BinOpKind.SUB, BinOpKind.MUL, BinOpKind.DIV, BinOpKind.MOD}
+)
+CMP_OPS = frozenset({BinOpKind.LT, BinOpKind.LE, BinOpKind.GT, BinOpKind.GE})
+
+
+@dataclass(frozen=True)
+class Var:
+    """A local variable occurrence."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class IntLit:
+    value: int
+
+
+@dataclass(frozen=True)
+class BoolLit:
+    value: bool
+
+
+@dataclass(frozen=True)
+class NullLit:
+    pass
+
+
+@dataclass(frozen=True)
+class PermLit:
+    """A literal permission amount, e.g. ``write`` (1), ``none`` (0), ``1/2``."""
+
+    amount: Fraction
+
+
+@dataclass(frozen=True)
+class FieldAcc:
+    """A heap read ``receiver.field``; partial — requires nonzero permission."""
+
+    receiver: "Expr"
+    field: str
+
+
+@dataclass(frozen=True)
+class BinOp:
+    op: BinOpKind
+    left: "Expr"
+    right: "Expr"
+
+
+@dataclass(frozen=True)
+class UnOp:
+    op: UnOpKind
+    operand: "Expr"
+
+
+@dataclass(frozen=True)
+class CondExp:
+    """A conditional expression ``cond ? then : otherwise``."""
+
+    cond: "Expr"
+    then: "Expr"
+    otherwise: "Expr"
+
+
+Expr = Union[Var, IntLit, BoolLit, NullLit, PermLit, FieldAcc, BinOp, UnOp, CondExp]
+
+
+# ---------------------------------------------------------------------------
+# Assertions
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class AExpr:
+    """A pure (boolean) assertion."""
+
+    expr: Expr
+
+
+@dataclass(frozen=True)
+class Acc:
+    """An accessibility predicate ``acc(receiver.field, perm)``."""
+
+    receiver: Expr
+    field: str
+    perm: Expr
+
+
+@dataclass(frozen=True)
+class SepConj:
+    """The separating conjunction ``A * B`` (written ``&&`` in Viper syntax)."""
+
+    left: "Assertion"
+    right: "Assertion"
+
+
+@dataclass(frozen=True)
+class Implies:
+    """A conditional assertion ``cond ==> A``."""
+
+    cond: Expr
+    body: "Assertion"
+
+
+@dataclass(frozen=True)
+class CondAssert:
+    """A conditional assertion ``cond ? A : B``."""
+
+    cond: Expr
+    then: "Assertion"
+    otherwise: "Assertion"
+
+
+Assertion = Union[AExpr, Acc, SepConj, Implies, CondAssert]
+
+TRUE_ASSERTION: Assertion = AExpr(BoolLit(True))
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class LocalAssign:
+    """``target := rhs``."""
+
+    target: str
+    rhs: Expr
+
+
+@dataclass(frozen=True)
+class FieldAssign:
+    """``receiver.field := rhs``; requires full permission."""
+
+    receiver: Expr
+    field: str
+    rhs: Expr
+
+
+@dataclass(frozen=True)
+class MethodCall:
+    """``targets := method(args)``; verified modularly against the spec."""
+
+    targets: Tuple[str, ...]
+    method: str
+    args: Tuple[Expr, ...]
+
+
+@dataclass(frozen=True)
+class VarDecl:
+    """A scoped variable declaration ``var x: T`` (value is havoced)."""
+
+    name: str
+    typ: Type
+
+
+@dataclass(frozen=True)
+class Inhale:
+    assertion: Assertion
+
+
+@dataclass(frozen=True)
+class Exhale:
+    assertion: Assertion
+
+
+@dataclass(frozen=True)
+class AssertStmt:
+    assertion: Assertion
+
+
+@dataclass(frozen=True)
+class Seq:
+    """Binary sequential composition ``first; second``."""
+
+    first: "Stmt"
+    second: "Stmt"
+
+
+@dataclass(frozen=True)
+class If:
+    cond: Expr
+    then: "Stmt"
+    otherwise: "Stmt"
+
+
+@dataclass(frozen=True)
+class Skip:
+    """The empty statement (used for elided else branches)."""
+
+
+Stmt = Union[
+    LocalAssign, FieldAssign, MethodCall, VarDecl, Inhale, Exhale, AssertStmt, Seq, If, Skip
+]
+
+
+def seq_of(*stmts: Stmt) -> Stmt:
+    """Right-nest a list of statements into binary ``Seq`` nodes."""
+    items = [s for s in stmts if not isinstance(s, Skip)]
+    if not items:
+        return Skip()
+    result = items[-1]
+    for stmt in reversed(items[:-1]):
+        result = Seq(stmt, result)
+    return result
+
+
+def stmt_size(stmt: Stmt) -> int:
+    """Number of AST nodes in a statement (used by harness metrics)."""
+    if isinstance(stmt, Seq):
+        return 1 + stmt_size(stmt.first) + stmt_size(stmt.second)
+    if isinstance(stmt, If):
+        return 1 + stmt_size(stmt.then) + stmt_size(stmt.otherwise)
+    return 1
+
+
+# ---------------------------------------------------------------------------
+# Top-level declarations
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FieldDecl:
+    """A field declaration ``field f: T``."""
+
+    name: str
+    typ: Type
+
+
+@dataclass(frozen=True)
+class MethodDecl:
+    """A method with specification.
+
+    ``body`` is ``None`` for abstract methods (spec-only), which can be
+    called but have no correctness obligation of their own.
+    """
+
+    name: str
+    args: Tuple[Tuple[str, Type], ...]
+    returns: Tuple[Tuple[str, Type], ...]
+    pre: Assertion
+    post: Assertion
+    body: Optional[Stmt]
+
+    @property
+    def arg_names(self) -> Tuple[str, ...]:
+        return tuple(name for name, _ in self.args)
+
+    @property
+    def return_names(self) -> Tuple[str, ...]:
+        return tuple(name for name, _ in self.returns)
+
+
+@dataclass(frozen=True)
+class Program:
+    """A Viper program: fields and methods."""
+
+    fields: Tuple[FieldDecl, ...]
+    methods: Tuple[MethodDecl, ...]
+
+    def field(self, name: str) -> FieldDecl:
+        for decl in self.fields:
+            if decl.name == name:
+                return decl
+        raise KeyError(f"no field named {name!r}")
+
+    def method(self, name: str) -> MethodDecl:
+        for decl in self.methods:
+            if decl.name == name:
+                return decl
+        raise KeyError(f"no method named {name!r}")
+
+    @property
+    def field_names(self) -> Tuple[str, ...]:
+        return tuple(decl.name for decl in self.fields)
+
+
+# ---------------------------------------------------------------------------
+# Traversals
+# ---------------------------------------------------------------------------
+
+
+def expr_children(expr: Expr) -> Tuple[Expr, ...]:
+    """Direct subexpressions of an expression."""
+    if isinstance(expr, FieldAcc):
+        return (expr.receiver,)
+    if isinstance(expr, BinOp):
+        return (expr.left, expr.right)
+    if isinstance(expr, UnOp):
+        return (expr.operand,)
+    if isinstance(expr, CondExp):
+        return (expr.cond, expr.then, expr.otherwise)
+    return ()
+
+
+def expr_vars(expr: Expr) -> frozenset:
+    """The set of variable names read by an expression."""
+    if isinstance(expr, Var):
+        return frozenset({expr.name})
+    result: frozenset = frozenset()
+    for child in expr_children(expr):
+        result |= expr_vars(child)
+    return result
+
+
+def assertion_vars(assertion: Assertion) -> frozenset:
+    """The set of variable names read by an assertion."""
+    if isinstance(assertion, AExpr):
+        return expr_vars(assertion.expr)
+    if isinstance(assertion, Acc):
+        return expr_vars(assertion.receiver) | expr_vars(assertion.perm)
+    if isinstance(assertion, SepConj):
+        return assertion_vars(assertion.left) | assertion_vars(assertion.right)
+    if isinstance(assertion, Implies):
+        return expr_vars(assertion.cond) | assertion_vars(assertion.body)
+    if isinstance(assertion, CondAssert):
+        return (
+            expr_vars(assertion.cond)
+            | assertion_vars(assertion.then)
+            | assertion_vars(assertion.otherwise)
+        )
+    raise TypeError(f"not an assertion: {assertion!r}")
+
+
+def assertion_fields(assertion: Assertion) -> frozenset:
+    """The set of field names mentioned in accessibility predicates of A."""
+    if isinstance(assertion, Acc):
+        return frozenset({assertion.field})
+    if isinstance(assertion, SepConj):
+        return assertion_fields(assertion.left) | assertion_fields(assertion.right)
+    if isinstance(assertion, Implies):
+        return assertion_fields(assertion.body)
+    if isinstance(assertion, CondAssert):
+        return assertion_fields(assertion.then) | assertion_fields(assertion.otherwise)
+    return frozenset()
+
+
+def assertion_has_acc(assertion: Assertion) -> bool:
+    """True iff the assertion contains an accessibility predicate.
+
+    The translator omits the nondeterministic heap havoc after an exhale when
+    this is false (Sec. 3.4) — one of the "diverse translations" the
+    certification must justify.
+    """
+    return bool(assertion_fields(assertion))
+
+
+def substitute_expr(expr: Expr, mapping: dict) -> Expr:
+    """Capture-free substitution of variables by expressions.
+
+    The subset has no binders in expressions, so substitution is plain
+    structural replacement.
+    """
+    if isinstance(expr, Var):
+        return mapping.get(expr.name, expr)
+    if isinstance(expr, FieldAcc):
+        return FieldAcc(substitute_expr(expr.receiver, mapping), expr.field)
+    if isinstance(expr, BinOp):
+        return BinOp(
+            expr.op,
+            substitute_expr(expr.left, mapping),
+            substitute_expr(expr.right, mapping),
+        )
+    if isinstance(expr, UnOp):
+        return UnOp(expr.op, substitute_expr(expr.operand, mapping))
+    if isinstance(expr, CondExp):
+        return CondExp(
+            substitute_expr(expr.cond, mapping),
+            substitute_expr(expr.then, mapping),
+            substitute_expr(expr.otherwise, mapping),
+        )
+    return expr
+
+
+def substitute_assertion(assertion: Assertion, mapping: dict) -> Assertion:
+    """Substitution of variables by expressions within an assertion."""
+    if isinstance(assertion, AExpr):
+        return AExpr(substitute_expr(assertion.expr, mapping))
+    if isinstance(assertion, Acc):
+        return Acc(
+            substitute_expr(assertion.receiver, mapping),
+            assertion.field,
+            substitute_expr(assertion.perm, mapping),
+        )
+    if isinstance(assertion, SepConj):
+        return SepConj(
+            substitute_assertion(assertion.left, mapping),
+            substitute_assertion(assertion.right, mapping),
+        )
+    if isinstance(assertion, Implies):
+        return Implies(
+            substitute_expr(assertion.cond, mapping),
+            substitute_assertion(assertion.body, mapping),
+        )
+    if isinstance(assertion, CondAssert):
+        return CondAssert(
+            substitute_expr(assertion.cond, mapping),
+            substitute_assertion(assertion.then, mapping),
+            substitute_assertion(assertion.otherwise, mapping),
+        )
+    raise TypeError(f"not an assertion: {assertion!r}")

@@ -1,0 +1,113 @@
+"""Hoisting of non-variable call arguments.
+
+The supported translation requires every call argument to be a variable;
+the paper's evaluation "made sure that each argument to a method call is a
+variable (e.g. we rewrote m(i+1) to var t := i+1; m(t))" — by hand.  This
+pass automates exactly that rewrite:
+
+    ys := m(e1, ..., ek)   ⇝   var arg#0 : T1 ; arg#0 := e1 ; ... ;
+                               ys := m(arg#0, ..., arg#k)
+
+Hoisting preserves the call's semantics: arguments are evaluated
+left-to-right in the pre-call state either way, and a hoisted evaluation
+that is ill-defined fails at the assignment exactly where the call's
+argument evaluation would have failed.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .ast import (
+    If,
+    LocalAssign,
+    MethodCall,
+    MethodDecl,
+    Program,
+    Seq,
+    Stmt,
+    Type,
+    Var,
+    VarDecl,
+)
+from .exprtype import viper_expr_type
+
+
+def program_has_complex_call_args(program: Program) -> bool:
+    """Whether any call passes a non-variable argument."""
+    def stmt_has(stmt: Stmt) -> bool:
+        if isinstance(stmt, MethodCall):
+            return any(not isinstance(arg, Var) for arg in stmt.args)
+        if isinstance(stmt, Seq):
+            return stmt_has(stmt.first) or stmt_has(stmt.second)
+        if isinstance(stmt, If):
+            return stmt_has(stmt.then) or stmt_has(stmt.otherwise)
+        return False
+
+    return any(
+        method.body is not None and stmt_has(method.body)
+        for method in program.methods
+    )
+
+
+def hoist_call_args(program: Program) -> Program:
+    """Rewrite every call so all its arguments are variables."""
+    field_types = {decl.name: decl.typ for decl in program.fields}
+    methods: List[MethodDecl] = []
+    for method in program.methods:
+        if method.body is None:
+            methods.append(method)
+            continue
+        counter = [0]
+        var_types: Dict[str, Type] = dict(method.args) | dict(method.returns)
+
+        def collect(stmt: Stmt) -> None:
+            if isinstance(stmt, VarDecl):
+                var_types[stmt.name] = stmt.typ
+            elif isinstance(stmt, Seq):
+                collect(stmt.first)
+                collect(stmt.second)
+            elif isinstance(stmt, If):
+                collect(stmt.then)
+                collect(stmt.otherwise)
+
+        collect(method.body)
+
+        def rewrite(stmt: Stmt) -> Stmt:
+            if isinstance(stmt, Seq):
+                return Seq(rewrite(stmt.first), rewrite(stmt.second))
+            if isinstance(stmt, If):
+                return If(stmt.cond, rewrite(stmt.then), rewrite(stmt.otherwise))
+            if isinstance(stmt, MethodCall) and any(
+                not isinstance(arg, Var) for arg in stmt.args
+            ):
+                prologue: List[Stmt] = []
+                new_args = []
+                for arg in stmt.args:
+                    if isinstance(arg, Var):
+                        new_args.append(arg)
+                        continue
+                    name = f"arg__hoist{counter[0]}"
+                    counter[0] += 1
+                    typ = viper_expr_type(arg, var_types, field_types)
+                    var_types[name] = typ
+                    prologue.append(VarDecl(name, typ))
+                    prologue.append(LocalAssign(name, arg))
+                    new_args.append(Var(name))
+                result: Stmt = MethodCall(stmt.targets, stmt.method, tuple(new_args))
+                for intro in reversed(prologue):
+                    result = Seq(intro, result)
+                return result
+            return stmt
+
+        methods.append(
+            MethodDecl(
+                method.name,
+                method.args,
+                method.returns,
+                method.pre,
+                method.post,
+                rewrite(method.body),
+            )
+        )
+    return Program(program.fields, tuple(methods))

@@ -1,0 +1,75 @@
+"""Type synthesis for Viper expressions (shared by front-end and passes)."""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from .ast import (
+    BinOp,
+    BinOpKind,
+    BoolLit,
+    CondExp,
+    Expr,
+    FieldAcc,
+    IntLit,
+    NullLit,
+    PermLit,
+    Type,
+    UnOp,
+    UnOpKind,
+    Var,
+)
+
+
+def viper_expr_type(
+    expr: Expr,
+    var_types: Mapping[str, Type],
+    field_types: Mapping[str, Type],
+) -> Type:
+    """Synthesise the Viper type of a (well-typed) expression."""
+    if isinstance(expr, Var):
+        return var_types[expr.name]
+    if isinstance(expr, IntLit):
+        return Type.INT
+    if isinstance(expr, BoolLit):
+        return Type.BOOL
+    if isinstance(expr, NullLit):
+        return Type.REF
+    if isinstance(expr, PermLit):
+        return Type.PERM
+    if isinstance(expr, FieldAcc):
+        return field_types[expr.field]
+    if isinstance(expr, UnOp):
+        if expr.op is UnOpKind.NOT:
+            return Type.BOOL
+        return viper_expr_type(expr.operand, var_types, field_types)
+    if isinstance(expr, CondExp):
+        then_type = viper_expr_type(expr.then, var_types, field_types)
+        if then_type is Type.INT:
+            else_type = viper_expr_type(expr.otherwise, var_types, field_types)
+            return else_type if else_type is Type.PERM else Type.INT
+        return then_type
+    if isinstance(expr, BinOp):
+        op = expr.op
+        if op in (
+            BinOpKind.AND,
+            BinOpKind.OR,
+            BinOpKind.IMPLIES,
+            BinOpKind.EQ,
+            BinOpKind.NE,
+            BinOpKind.LT,
+            BinOpKind.LE,
+            BinOpKind.GT,
+            BinOpKind.GE,
+        ):
+            return Type.BOOL
+        if op is BinOpKind.PERM_DIV:
+            return Type.PERM
+        if op in (BinOpKind.DIV, BinOpKind.MOD):
+            return Type.INT
+        left = viper_expr_type(expr.left, var_types, field_types)
+        right = viper_expr_type(expr.right, var_types, field_types)
+        if left is Type.PERM or right is Type.PERM:
+            return Type.PERM
+        return Type.INT
+    raise TypeError(f"unknown expression {expr!r}")

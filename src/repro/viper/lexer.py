@@ -1,0 +1,150 @@
+"""Lexer for the Viper subset's concrete syntax."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List
+
+
+class ViperSyntaxError(Exception):
+    """Raised on lexical or syntactic errors in Viper source text."""
+
+    def __init__(self, message: str, line: int, column: int):
+        super().__init__(f"{line}:{column}: {message}")
+        self.line = line
+        self.column = column
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str
+    text: str
+    line: int
+    column: int
+
+
+KEYWORDS = frozenset(
+    {
+        "field",
+        "method",
+        "returns",
+        "requires",
+        "ensures",
+        "var",
+        "inhale",
+        "exhale",
+        "assert",
+        "assume",
+        "if",
+        "else",
+        "while",
+        "invariant",
+        "elseif",
+        "acc",
+        "old",
+        "new",
+        "true",
+        "false",
+        "null",
+        "write",
+        "none",
+        "Int",
+        "Bool",
+        "Ref",
+        "Perm",
+    }
+)
+
+# Multi-character operators must be listed before their prefixes.
+OPERATORS = [
+    "==>",
+    ":=",
+    "==",
+    "!=",
+    "<=",
+    ">=",
+    "&&",
+    "||",
+    "<",
+    ">",
+    "+",
+    "-",
+    "*",
+    "/",
+    "\\",
+    "%",
+    "!",
+    "?",
+    ":",
+    ",",
+    "(",
+    ")",
+    "{",
+    "}",
+    ".",
+    ";",
+]
+
+
+def tokenize(source: str) -> List[Token]:
+    """Tokenize Viper source text, raising ``ViperSyntaxError`` on bad input."""
+    tokens: List[Token] = []
+    line = 1
+    column = 1
+    i = 0
+    n = len(source)
+    while i < n:
+        ch = source[i]
+        if ch == "\n":
+            line += 1
+            column = 1
+            i += 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            column += 1
+            continue
+        if source.startswith("//", i):
+            while i < n and source[i] != "\n":
+                i += 1
+            continue
+        if source.startswith("/*", i):
+            end = source.find("*/", i + 2)
+            if end < 0:
+                raise ViperSyntaxError("unterminated block comment", line, column)
+            skipped = source[i : end + 2]
+            newlines = skipped.count("\n")
+            if newlines:
+                line += newlines
+                column = len(skipped) - skipped.rfind("\n")
+            else:
+                column += len(skipped)
+            i = end + 2
+            continue
+        if ch.isdigit():
+            start = i
+            while i < n and source[i].isdigit():
+                i += 1
+            text = source[start:i]
+            tokens.append(Token("int", text, line, column))
+            column += len(text)
+            continue
+        if ch.isalpha() or ch == "_":
+            start = i
+            while i < n and (source[i].isalnum() or source[i] == "_"):
+                i += 1
+            text = source[start:i]
+            kind = text if text in KEYWORDS else "ident"
+            tokens.append(Token(kind, text, line, column))
+            column += len(text)
+            continue
+        for op in OPERATORS:
+            if source.startswith(op, i):
+                tokens.append(Token(op, op, line, column))
+                i += len(op)
+                column += len(op)
+                break
+        else:
+            raise ViperSyntaxError(f"unexpected character {ch!r}", line, column)
+    tokens.append(Token("eof", "", line, column))
+    return tokens

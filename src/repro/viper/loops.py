@@ -1,0 +1,234 @@
+"""While loops, desugared via their invariant (Sec. 2.1 of the paper).
+
+The paper's subset omits loops but notes that "their semantics can be
+desugared via their invariant, in a pattern similar to method calls".
+This module implements exactly that as a Viper-to-Viper pass, so the
+translation, certification, and semantics of the core subset apply
+unchanged — the same modularity argument the paper makes.
+
+``while (cond) invariant I { body }`` becomes::
+
+    exhale I                    // the invariant holds on entry
+    havoc targets(body)         // forget everything the loop may change
+    inhale I                    // an arbitrary iteration's entry state
+    if (cond) {
+        body
+        exhale I                // the invariant is preserved
+        inhale false            // cut: this branch over-approximated one
+    }                           // arbitrary iteration
+    inhale I && !cond           // after the loop: invariant and exit
+
+with two wrinkles dictated by the core subset:
+
+* ``havoc x`` is expressed as ``var x#havoc : T ; x := x#havoc`` — a fresh
+  scoped variable (whose declaration havocs it, matching the translation's
+  treatment of scoped variables) assigned over ``x``;
+* the heap footprint is havoced by the ``exhale I``/``inhale I`` pair
+  itself: exhaling the invariant's permissions nondeterministically
+  reassigns the locations it gives up (the Viper exhale semantics), so no
+  separate heap havoc is needed.
+
+A small soundness remark (mirroring the method-call encoding): the
+desugared statement fails iff the invariant fails to hold on entry, fails
+to be preserved by an arbitrary iteration, is ill-formed, or the
+continuation fails from an arbitrary invariant-satisfying exit state —
+precisely the standard loop proof obligation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from .ast import (
+    AExpr,
+    Assertion,
+    AssertStmt,
+    BinOp,
+    BinOpKind,
+    BoolLit,
+    Exhale,
+    Expr,
+    FieldAssign,
+    If,
+    Implies,
+    Inhale,
+    LocalAssign,
+    MethodCall,
+    MethodDecl,
+    Program,
+    SepConj,
+    Seq,
+    Skip,
+    Stmt,
+    Type,
+    UnOp,
+    UnOpKind,
+    Var,
+    VarDecl,
+    seq_of,
+)
+
+
+@dataclass(frozen=True)
+class While:
+    """A while loop with an invariant (extended-subset statement)."""
+
+    cond: Expr
+    invariant: Assertion
+    body: "Stmt"
+
+
+def _assigned_vars(stmt: Stmt) -> Set[str]:
+    if isinstance(stmt, LocalAssign):
+        return {stmt.target}
+    if isinstance(stmt, VarDecl):
+        return {stmt.name}
+    if isinstance(stmt, MethodCall):
+        return set(stmt.targets)
+    if isinstance(stmt, Seq):
+        return _assigned_vars(stmt.first) | _assigned_vars(stmt.second)
+    if isinstance(stmt, If):
+        return _assigned_vars(stmt.then) | _assigned_vars(stmt.otherwise)
+    if isinstance(stmt, While):
+        return _assigned_vars(stmt.body)
+    return set()
+
+
+def _declared_vars(stmt: Stmt) -> Set[str]:
+    if isinstance(stmt, VarDecl):
+        return {stmt.name}
+    if isinstance(stmt, Seq):
+        return _declared_vars(stmt.first) | _declared_vars(stmt.second)
+    if isinstance(stmt, If):
+        return _declared_vars(stmt.then) | _declared_vars(stmt.otherwise)
+    if isinstance(stmt, While):
+        return _declared_vars(stmt.body)
+    return set()
+
+
+def loop_targets(stmt: Stmt) -> Set[str]:
+    """The loop's targets: variables the body may assign, excluding those it
+    declares itself (body-scoped variables have no pre-loop value to
+    havoc, and are not in scope at the loop head)."""
+    return _assigned_vars(stmt) - _declared_vars(stmt)
+
+
+class LoopDesugarer:
+    """Rewrites ``While`` nodes into the core subset.
+
+    Needs the types of the enclosing method's variables to declare the
+    fresh havoc variables; collects the declarations it introduces so the
+    caller can extend its typing environment.
+    """
+
+    def __init__(self, var_types: Dict[str, Type]):
+        self._var_types = dict(var_types)
+        self._counter = 0
+        self.introduced: List[Tuple[str, Type]] = []
+
+    def _fresh_havoc_var(self, target: str) -> Tuple[str, Type]:
+        name = f"{target}__havoc{self._counter}"
+        self._counter += 1
+        typ = self._var_types[target]
+        self.introduced.append((name, typ))
+        self._var_types[name] = typ
+        return name, typ
+
+    def desugar_stmt(self, stmt: Stmt) -> Stmt:
+        if isinstance(stmt, While):
+            return self._desugar_while(stmt)
+        if isinstance(stmt, Seq):
+            return Seq(self.desugar_stmt(stmt.first), self.desugar_stmt(stmt.second))
+        if isinstance(stmt, If):
+            return If(
+                stmt.cond, self.desugar_stmt(stmt.then), self.desugar_stmt(stmt.otherwise)
+            )
+        if isinstance(stmt, VarDecl):
+            self._var_types[stmt.name] = stmt.typ
+            return stmt
+        return stmt
+
+    def _desugar_while(self, loop: While) -> Stmt:
+        body = self.desugar_stmt(loop.body)
+        havocs: List[Stmt] = []
+        for target in sorted(loop_targets(body)):
+            havoc_name, typ = self._fresh_havoc_var(target)
+            havocs.append(VarDecl(havoc_name, typ))
+            havocs.append(LocalAssign(target, Var(havoc_name)))
+        not_cond = UnOp(UnOpKind.NOT, loop.cond)
+        arbitrary_iteration = If(
+            loop.cond,
+            seq_of(
+                body,
+                Exhale(loop.invariant),
+                Inhale(AExpr(BoolLit(False))),  # cut the over-approximation
+            ),
+            Skip(),
+        )
+        return seq_of(
+            Exhale(loop.invariant),
+            *havocs,
+            Inhale(loop.invariant),
+            arbitrary_iteration,
+            Inhale(AExpr(not_cond)),
+        )
+
+
+def desugar_method(method: MethodDecl, var_types: Dict[str, Type]) -> MethodDecl:
+    """Desugar all loops in a method body; returns the rewritten method."""
+    if method.body is None:
+        return method
+    desugarer = LoopDesugarer(var_types)
+    body = desugarer.desugar_stmt(method.body)
+    return MethodDecl(
+        method.name, method.args, method.returns, method.pre, method.post, body
+    )
+
+
+def program_has_loops(program: Program) -> bool:
+    """Whether any method body contains a ``While`` node."""
+    def stmt_has_loops(stmt: Stmt) -> bool:
+        if isinstance(stmt, While):
+            return True
+        if isinstance(stmt, Seq):
+            return stmt_has_loops(stmt.first) or stmt_has_loops(stmt.second)
+        if isinstance(stmt, If):
+            return stmt_has_loops(stmt.then) or stmt_has_loops(stmt.otherwise)
+        return False
+
+    return any(
+        method.body is not None and stmt_has_loops(method.body)
+        for method in program.methods
+    )
+
+
+def desugar_loops(program: Program) -> Program:
+    """Desugar every loop in a program into the core subset.
+
+    The result contains no ``While`` nodes and type-checks against the
+    core checker (the fresh havoc variables appear as ordinary scoped
+    declarations).
+    """
+    methods = []
+    for method in program.methods:
+        # Collect the method's variable types by a light scan: parameters,
+        # returns, and declarations (the full checker runs afterwards).
+        var_types: Dict[str, Type] = dict(method.args) | dict(method.returns)
+
+        def collect(stmt: Stmt) -> None:
+            if isinstance(stmt, VarDecl):
+                var_types[stmt.name] = stmt.typ
+            elif isinstance(stmt, Seq):
+                collect(stmt.first)
+                collect(stmt.second)
+            elif isinstance(stmt, If):
+                collect(stmt.then)
+                collect(stmt.otherwise)
+            elif isinstance(stmt, While):
+                collect(stmt.body)
+
+        if method.body is not None:
+            collect(method.body)
+        methods.append(desugar_method(method, var_types))
+    return Program(program.fields, tuple(methods))

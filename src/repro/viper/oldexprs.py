@@ -1,0 +1,354 @@
+"""``old(e)`` expressions, desugared into ghost arguments.
+
+The paper's evaluation had to *manually remove* assertions containing
+old-expressions from benchmark files because its subset does not support
+them (Sec. 5).  This module supports them instead, by a method-modular
+desugaring into the core subset:
+
+for every syntactically distinct ``old(e)`` in a method's postcondition or
+body, introduce a fresh *ghost argument* ``old_k`` of ``e``'s type, and
+
+* strengthen the precondition with ``old_k == e`` (appended *after* the
+  original precondition, so ``e``'s footprint is available — exactly the
+  framing requirement old-expressions carry),
+* replace every ``old(e)`` by ``old_k`` in the postcondition and body,
+* rewrite every call site to evaluate ``e`` (with actuals substituted)
+  into a fresh local *before* the call and pass it as the extra argument —
+  the pre-call state is the callee's entry state, so the captured value is
+  exactly what ``old(e)`` denotes.
+
+The ghost-argument equality is assumed on ``inhale pre`` (method entry)
+and checked on ``exhale pre`` (call sites), so the unchanged core pipeline
+— semantics, translation, certification — handles the result.
+
+Restrictions: ``old`` must not be nested and must not mention return
+formals (it denotes the *pre*-state, where returns are meaningless).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from .ast import (
+    Acc,
+    AExpr,
+    Assertion,
+    AssertStmt,
+    BinOp,
+    BinOpKind,
+    CondAssert,
+    CondExp,
+    Exhale,
+    Expr,
+    expr_vars,
+    FieldAcc,
+    FieldAssign,
+    If,
+    Implies,
+    Inhale,
+    LocalAssign,
+    MethodCall,
+    MethodDecl,
+    Program,
+    SepConj,
+    Seq,
+    Skip,
+    Stmt,
+    substitute_expr,
+    Type,
+    UnOp,
+    Var,
+    VarDecl,
+)
+from .exprtype import viper_expr_type
+
+
+@dataclass(frozen=True)
+class OldExpr:
+    """``old(e)`` — an extension expression, eliminated by desugaring."""
+
+    expr: Expr
+
+
+class OldExprError(Exception):
+    """Raised when an old-expression violates the desugaring restrictions."""
+
+
+# ---------------------------------------------------------------------------
+# Collection and replacement
+# ---------------------------------------------------------------------------
+
+
+def _collect_in_expr(expr: Expr, found: List[Expr]) -> None:
+    if isinstance(expr, OldExpr):
+        if _expr_contains_old(expr.expr):
+            raise OldExprError("nested old-expressions are not supported")
+        if expr.expr not in found:
+            found.append(expr.expr)
+        return
+    for child in _children(expr):
+        _collect_in_expr(child, found)
+
+
+def _expr_contains_old(expr: Expr) -> bool:
+    if isinstance(expr, OldExpr):
+        return True
+    return any(_expr_contains_old(child) for child in _children(expr))
+
+
+def _children(expr: Expr) -> Tuple[Expr, ...]:
+    if isinstance(expr, OldExpr):
+        return (expr.expr,)
+    if isinstance(expr, FieldAcc):
+        return (expr.receiver,)
+    if isinstance(expr, BinOp):
+        return (expr.left, expr.right)
+    if isinstance(expr, UnOp):
+        return (expr.operand,)
+    if isinstance(expr, CondExp):
+        return (expr.cond, expr.then, expr.otherwise)
+    return ()
+
+
+def _collect_in_assertion(assertion: Assertion, found: List[Expr]) -> None:
+    if isinstance(assertion, AExpr):
+        _collect_in_expr(assertion.expr, found)
+    elif isinstance(assertion, Acc):
+        _collect_in_expr(assertion.receiver, found)
+        _collect_in_expr(assertion.perm, found)
+    elif isinstance(assertion, SepConj):
+        _collect_in_assertion(assertion.left, found)
+        _collect_in_assertion(assertion.right, found)
+    elif isinstance(assertion, Implies):
+        _collect_in_expr(assertion.cond, found)
+        _collect_in_assertion(assertion.body, found)
+    elif isinstance(assertion, CondAssert):
+        _collect_in_expr(assertion.cond, found)
+        _collect_in_assertion(assertion.then, found)
+        _collect_in_assertion(assertion.otherwise, found)
+
+
+def _collect_in_stmt(stmt: Stmt, found: List[Expr]) -> None:
+    if isinstance(stmt, Seq):
+        _collect_in_stmt(stmt.first, found)
+        _collect_in_stmt(stmt.second, found)
+    elif isinstance(stmt, If):
+        _collect_in_expr(stmt.cond, found)
+        _collect_in_stmt(stmt.then, found)
+        _collect_in_stmt(stmt.otherwise, found)
+    elif isinstance(stmt, LocalAssign):
+        _collect_in_expr(stmt.rhs, found)
+    elif isinstance(stmt, FieldAssign):
+        _collect_in_expr(stmt.receiver, found)
+        _collect_in_expr(stmt.rhs, found)
+    elif isinstance(stmt, (Inhale, Exhale, AssertStmt)):
+        _collect_in_assertion(stmt.assertion, found)
+    elif isinstance(stmt, MethodCall):
+        for arg in stmt.args:
+            _collect_in_expr(arg, found)
+
+
+def _replace_in_expr(expr: Expr, mapping: Dict[Expr, str]) -> Expr:
+    if isinstance(expr, OldExpr):
+        return Var(mapping[expr.expr])
+    if isinstance(expr, FieldAcc):
+        return FieldAcc(_replace_in_expr(expr.receiver, mapping), expr.field)
+    if isinstance(expr, BinOp):
+        return BinOp(
+            expr.op,
+            _replace_in_expr(expr.left, mapping),
+            _replace_in_expr(expr.right, mapping),
+        )
+    if isinstance(expr, UnOp):
+        return UnOp(expr.op, _replace_in_expr(expr.operand, mapping))
+    if isinstance(expr, CondExp):
+        return CondExp(
+            _replace_in_expr(expr.cond, mapping),
+            _replace_in_expr(expr.then, mapping),
+            _replace_in_expr(expr.otherwise, mapping),
+        )
+    return expr
+
+
+def _replace_in_assertion(assertion: Assertion, mapping: Dict[Expr, str]) -> Assertion:
+    if isinstance(assertion, AExpr):
+        return AExpr(_replace_in_expr(assertion.expr, mapping))
+    if isinstance(assertion, Acc):
+        return Acc(
+            _replace_in_expr(assertion.receiver, mapping),
+            assertion.field,
+            _replace_in_expr(assertion.perm, mapping),
+        )
+    if isinstance(assertion, SepConj):
+        return SepConj(
+            _replace_in_assertion(assertion.left, mapping),
+            _replace_in_assertion(assertion.right, mapping),
+        )
+    if isinstance(assertion, Implies):
+        return Implies(
+            _replace_in_expr(assertion.cond, mapping),
+            _replace_in_assertion(assertion.body, mapping),
+        )
+    if isinstance(assertion, CondAssert):
+        return CondAssert(
+            _replace_in_expr(assertion.cond, mapping),
+            _replace_in_assertion(assertion.then, mapping),
+            _replace_in_assertion(assertion.otherwise, mapping),
+        )
+    return assertion
+
+
+def _replace_in_stmt(stmt: Stmt, mapping: Dict[Expr, str]) -> Stmt:
+    if isinstance(stmt, Seq):
+        return Seq(_replace_in_stmt(stmt.first, mapping), _replace_in_stmt(stmt.second, mapping))
+    if isinstance(stmt, If):
+        return If(
+            _replace_in_expr(stmt.cond, mapping),
+            _replace_in_stmt(stmt.then, mapping),
+            _replace_in_stmt(stmt.otherwise, mapping),
+        )
+    if isinstance(stmt, LocalAssign):
+        return LocalAssign(stmt.target, _replace_in_expr(stmt.rhs, mapping))
+    if isinstance(stmt, FieldAssign):
+        return FieldAssign(
+            _replace_in_expr(stmt.receiver, mapping),
+            stmt.field,
+            _replace_in_expr(stmt.rhs, mapping),
+        )
+    if isinstance(stmt, Inhale):
+        return Inhale(_replace_in_assertion(stmt.assertion, mapping))
+    if isinstance(stmt, Exhale):
+        return Exhale(_replace_in_assertion(stmt.assertion, mapping))
+    if isinstance(stmt, AssertStmt):
+        return AssertStmt(_replace_in_assertion(stmt.assertion, mapping))
+    if isinstance(stmt, MethodCall):
+        return MethodCall(
+            stmt.targets,
+            stmt.method,
+            tuple(_replace_in_expr(a, mapping) for a in stmt.args),
+        )
+    return stmt
+
+
+# ---------------------------------------------------------------------------
+# The desugaring
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _GhostInfo:
+    """Per-method: the captured expressions and their ghost-argument names."""
+
+    captured: List[Expr]
+    ghost_args: List[Tuple[str, Type]]
+
+
+def program_has_old(program: Program) -> bool:
+    """Whether any specification or body contains an old-expression."""
+    for method in program.methods:
+        found: List[Expr] = []
+        _collect_in_assertion(method.pre, found)
+        _collect_in_assertion(method.post, found)
+        if method.body is not None:
+            _collect_in_stmt(method.body, found)
+        if found:
+            return True
+    return False
+
+
+def desugar_old(program: Program) -> Program:
+    """Eliminate every old-expression from the program (see module doc)."""
+    field_types = {decl.name: decl.typ for decl in program.fields}
+    formal_names = {m.name: m.arg_names for m in program.methods}
+    infos: Dict[str, _GhostInfo] = {}
+    for method in program.methods:
+        pre_old: List[Expr] = []
+        _collect_in_assertion(method.pre, pre_old)
+        if pre_old:
+            raise OldExprError(
+                f"method {method.name!r}: old-expressions are not allowed in "
+                f"preconditions"
+            )
+        captured: List[Expr] = []
+        _collect_in_assertion(method.post, captured)
+        if method.body is not None:
+            _collect_in_stmt(method.body, captured)
+        ghost_args: List[Tuple[str, Type]] = []
+        return_names = set(method.return_names)
+        for index, expr in enumerate(captured):
+            if expr_vars(expr) & return_names:
+                raise OldExprError(
+                    f"method {method.name!r}: old(...) must not mention "
+                    f"return variables"
+                )
+            typ = viper_expr_type(expr, dict(method.args), field_types)
+            ghost_args.append((f"old_{index}", typ))
+        infos[method.name] = _GhostInfo(captured, ghost_args)
+
+    methods = []
+    for method in program.methods:
+        info = infos[method.name]
+        mapping = {
+            expr: name for expr, (name, _) in zip(info.captured, info.ghost_args)
+        }
+        pre = method.pre
+        for expr, (name, _) in zip(info.captured, info.ghost_args):
+            pre = SepConj(pre, AExpr(BinOp(BinOpKind.EQ, Var(name), expr)))
+        post = _replace_in_assertion(method.post, mapping)
+        body = method.body
+        if body is not None:
+            body = _replace_in_stmt(body, mapping)
+            body = _rewrite_calls(body, infos, formal_names)
+        methods.append(
+            MethodDecl(
+                method.name,
+                method.args + tuple(info.ghost_args),
+                method.returns,
+                pre,
+                post,
+                body,
+            )
+        )
+    return Program(program.fields, tuple(methods))
+
+
+def _rewrite_calls(
+    stmt: Stmt,
+    infos: Dict[str, _GhostInfo],
+    formal_names: Dict[str, Tuple[str, ...]],
+) -> Stmt:
+    """Extend each call with pre-call captures of the callee's old-exprs."""
+    counter = [0]
+
+    def rewrite(node: Stmt) -> Stmt:
+        if isinstance(node, Seq):
+            return Seq(rewrite(node.first), rewrite(node.second))
+        if isinstance(node, If):
+            return If(node.cond, rewrite(node.then), rewrite(node.otherwise))
+        if isinstance(node, MethodCall) and node.method in infos:
+            info = infos[node.method]
+            if not info.captured:
+                return node
+            callee_formals = formal_names[node.method]
+            substitution = dict(zip(callee_formals, node.args))
+            capture_stmts: List[Stmt] = []
+            extra_args: List[Expr] = []
+            for expr, (_, typ) in zip(info.captured, info.ghost_args):
+                local = f"oldcap_{counter[0]}"
+                counter[0] += 1
+                actual = substitute_expr(expr, substitution)
+                capture_stmts.append(VarDecl(local, typ))
+                capture_stmts.append(LocalAssign(local, actual))
+                extra_args.append(Var(local))
+            call = MethodCall(node.targets, node.method, node.args + tuple(extra_args))
+            result: Stmt = call
+            for capture in reversed(capture_stmts):
+                result = Seq(capture, result)
+            return result
+        return node
+
+    return rewrite(stmt)
+
+
+

@@ -1,0 +1,528 @@
+"""Recursive-descent parser for the Viper subset (Fig. 1).
+
+Grammar (assertion positions treat ``&&`` as the separating conjunction, as
+in Viper's surface syntax; ``*`` inside expressions is multiplication):
+
+.. code-block:: text
+
+    program    ::= (field_decl | method_decl)*
+    field_decl ::= "field" ident ":" type
+    method_decl::= "method" ident "(" params ")" ["returns" "(" params ")"]
+                   ("requires" assertion)* ("ensures" assertion)* [block]
+    block      ::= "{" stmt* "}"
+    stmt       ::= "var" ident ":" type [":=" expr]
+                 | "inhale" assertion | "exhale" assertion | "assert" assertion
+                 | "if" "(" expr ")" block ["else" (block | if-stmt)]
+                 | ident ("," ident)* ":=" call-or-expr
+                 | expr "." ident ":=" expr
+                 | ident "(" args ")"                 (call without targets)
+    assertion  ::= impl_assert ("&&" impl_assert)*    (SepConj, right-assoc)
+    impl_assert::= expr ["==>" impl_assert]
+                 | expr "?" assertion ":" assertion
+                 | "acc" "(" expr "." ident ["," expr] ")"
+
+Expression precedence (loosest first): ``? :``, ``==>``, ``||``, ``&&``,
+comparisons, additive, multiplicative, unary.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import List, Optional, Tuple
+
+from .ast import (
+    Acc,
+    AExpr,
+    AssertStmt,
+    Assertion,
+    BinOp,
+    BinOpKind,
+    BoolLit,
+    CondAssert,
+    CondExp,
+    Expr,
+    FieldAcc,
+    FieldAssign,
+    FieldDecl,
+    If,
+    Implies,
+    Inhale,
+    IntLit,
+    LocalAssign,
+    MethodCall,
+    MethodDecl,
+    NullLit,
+    PermLit,
+    Program,
+    SepConj,
+    Seq,
+    Skip,
+    Stmt,
+    Type,
+    TYPE_BY_NAME,
+    UnOp,
+    UnOpKind,
+    Var,
+    VarDecl,
+    Exhale,
+    seq_of,
+)
+from .lexer import Token, ViperSyntaxError, tokenize
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token]):
+        self._tokens = tokens
+        self._pos = 0
+
+    # -- token plumbing -----------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> Token:
+        return self._tokens[min(self._pos + offset, len(self._tokens) - 1)]
+
+    def _advance(self) -> Token:
+        token = self._tokens[self._pos]
+        if token.kind != "eof":
+            self._pos += 1
+        return token
+
+    def _check(self, kind: str) -> bool:
+        return self._peek().kind == kind
+
+    def _accept(self, kind: str) -> Optional[Token]:
+        if self._check(kind):
+            return self._advance()
+        return None
+
+    def _expect(self, kind: str) -> Token:
+        token = self._peek()
+        if token.kind != kind:
+            raise ViperSyntaxError(
+                f"expected {kind!r}, found {token.text!r}", token.line, token.column
+            )
+        return self._advance()
+
+    def _error(self, message: str) -> ViperSyntaxError:
+        token = self._peek()
+        return ViperSyntaxError(message, token.line, token.column)
+
+    # -- program ------------------------------------------------------------
+
+    def parse_program(self) -> Program:
+        """Parse a whole program: field and method declarations."""
+        fields: List[FieldDecl] = []
+        methods: List[MethodDecl] = []
+        while not self._check("eof"):
+            if self._check("field"):
+                fields.append(self._parse_field_decl())
+            elif self._check("method"):
+                methods.append(self._parse_method_decl())
+            else:
+                raise self._error("expected a field or method declaration")
+        return Program(tuple(fields), tuple(methods))
+
+    def _parse_field_decl(self) -> FieldDecl:
+        self._expect("field")
+        name = self._expect("ident").text
+        self._expect(":")
+        return FieldDecl(name, self._parse_type())
+
+    def _parse_type(self) -> Type:
+        token = self._advance()
+        if token.text in TYPE_BY_NAME:
+            return TYPE_BY_NAME[token.text]
+        raise ViperSyntaxError(f"unknown type {token.text!r}", token.line, token.column)
+
+    def _parse_params(self) -> Tuple[Tuple[str, Type], ...]:
+        params: List[Tuple[str, Type]] = []
+        self._expect("(")
+        if not self._check(")"):
+            while True:
+                name = self._expect("ident").text
+                self._expect(":")
+                params.append((name, self._parse_type()))
+                if not self._accept(","):
+                    break
+        self._expect(")")
+        return tuple(params)
+
+    def _parse_method_decl(self) -> MethodDecl:
+        self._expect("method")
+        name = self._expect("ident").text
+        args = self._parse_params()
+        returns: Tuple[Tuple[str, Type], ...] = ()
+        if self._accept("returns"):
+            returns = self._parse_params()
+        pres: List[Assertion] = []
+        posts: List[Assertion] = []
+        while True:
+            if self._accept("requires"):
+                pres.append(self.parse_assertion())
+            elif self._accept("ensures"):
+                posts.append(self.parse_assertion())
+            else:
+                break
+        body: Optional[Stmt] = None
+        if self._check("{"):
+            body = self._parse_block()
+        return MethodDecl(
+            name,
+            args,
+            returns,
+            _conjoin(pres),
+            _conjoin(posts),
+            body,
+        )
+
+    # -- statements ---------------------------------------------------------
+
+    def _parse_block(self) -> Stmt:
+        self._expect("{")
+        stmts: List[Stmt] = []
+        while not self._check("}"):
+            stmts.append(self._parse_stmt())
+            self._accept(";")
+        self._expect("}")
+        return seq_of(*stmts)
+
+    def _parse_stmt(self) -> Stmt:
+        if self._accept("var"):
+            name = self._expect("ident").text
+            self._expect(":")
+            typ = self._parse_type()
+            if self._accept(":="):
+                init = self.parse_expr()
+                return Seq(VarDecl(name, typ), LocalAssign(name, init))
+            return VarDecl(name, typ)
+        if self._accept("inhale"):
+            return Inhale(self.parse_assertion())
+        if self._accept("exhale"):
+            return Exhale(self.parse_assertion())
+        if self._accept("assert"):
+            return AssertStmt(self.parse_assertion())
+        if self._accept("assume"):
+            # assume A desugars to inhale A for pure A (Viper restricts
+            # assume to pure assertions).
+            return Inhale(self.parse_assertion())
+        if self._check("if"):
+            return self._parse_if()
+        if self._check("while"):
+            return self._parse_while()
+        return self._parse_assign_or_call()
+
+    def _parse_if(self) -> Stmt:
+        self._expect("if")
+        self._expect("(")
+        cond = self.parse_expr()
+        self._expect(")")
+        then = self._parse_block()
+        otherwise: Stmt = Skip()
+        if self._accept("else"):
+            if self._check("if"):
+                otherwise = self._parse_if()
+            else:
+                otherwise = self._parse_block()
+        elif self._accept("elseif"):
+            raise self._error("use 'else if' instead of 'elseif'")
+        return If(cond, then, otherwise)
+
+    def _parse_while(self) -> Stmt:
+        from .loops import While
+
+        self._expect("while")
+        self._expect("(")
+        cond = self.parse_expr()
+        self._expect(")")
+        invariants: List[Assertion] = []
+        while self._accept("invariant"):
+            invariants.append(self.parse_assertion())
+        body = self._parse_block()
+        return While(cond, _conjoin(invariants), body)
+
+    def _parse_assign_or_call(self) -> Stmt:
+        # Lookahead: ident (, ident)* := ...  |  ident(...)  |  expr.f := ...
+        if self._check("ident"):
+            # Call without targets: ident '('
+            if self._peek(1).kind == "(":
+                name = self._advance().text
+                args = self._parse_call_args()
+                return MethodCall((), name, args)
+            # Multi-target assignment / call: ident (',' ident)* ':='
+            targets = [self._peek().text]
+            offset = 1
+            while (
+                self._peek(offset).kind == ","
+                and self._peek(offset + 1).kind == "ident"
+            ):
+                targets.append(self._peek(offset + 1).text)
+                offset += 2
+            if self._peek(offset).kind == ":=":
+                for _ in range(offset + 1):
+                    self._advance()
+                if self._check("new"):
+                    if len(targets) != 1:
+                        raise self._error("new() has a single target")
+                    return self._parse_new(targets[0])
+                if (
+                    self._check("ident")
+                    and self._peek(1).kind == "("
+                ):
+                    name = self._advance().text
+                    args = self._parse_call_args()
+                    return MethodCall(tuple(targets), name, args)
+                if len(targets) != 1:
+                    raise self._error("multiple assignment targets require a call")
+                return LocalAssign(targets[0], self.parse_expr())
+        # Field assignment: expr '.' field ':=' expr
+        lhs = self.parse_expr()
+        if isinstance(lhs, FieldAcc) and self._accept(":="):
+            return FieldAssign(lhs.receiver, lhs.field, self.parse_expr())
+        raise self._error("expected a statement")
+
+    def _parse_new(self, target: str) -> Stmt:
+        from .allocation import NewStmt
+
+        self._expect("new")
+        self._expect("(")
+        if self._accept("*"):
+            self._expect(")")
+            return NewStmt(target, (), all_fields=True)
+        fields = []
+        if not self._check(")"):
+            fields.append(self._expect("ident").text)
+            while self._accept(","):
+                fields.append(self._expect("ident").text)
+        self._expect(")")
+        return NewStmt(target, tuple(fields))
+
+    def _parse_call_args(self) -> Tuple[Expr, ...]:
+        self._expect("(")
+        args: List[Expr] = []
+        if not self._check(")"):
+            while True:
+                args.append(self.parse_expr())
+                if not self._accept(","):
+                    break
+        self._expect(")")
+        return tuple(args)
+
+    # -- assertions -----------------------------------------------------------
+
+    def parse_assertion(self) -> Assertion:
+        """Parse an assertion (`&&` is the separating conjunction here)."""
+        left = self._parse_assertion_impl()
+        if self._accept("&&"):
+            right = self.parse_assertion()
+            return SepConj(left, right)
+        return left
+
+    def _parse_assertion_impl(self) -> Assertion:
+        if self._check("acc"):
+            return self._parse_acc()
+        # Parse an expression *without* crossing assertion-level '&&'.
+        expr = self._parse_impl_level_expr(assertion_pos=True)
+        if self._accept("==>"):
+            # ==> binds weakest in assertions: its body extends maximally,
+            # including across `&&` (matching Viper's concrete syntax).
+            body = self.parse_assertion()
+            return Implies(expr, body)
+        if self._accept("?"):
+            then = self.parse_assertion()
+            self._expect(":")
+            otherwise = self.parse_assertion()
+            return CondAssert(expr, then, otherwise)
+        return AExpr(expr)
+
+    def _parse_acc(self) -> Assertion:
+        self._expect("acc")
+        self._expect("(")
+        receiver = self.parse_expr()
+        if not isinstance(receiver, FieldAcc):
+            raise self._error("acc expects a field access receiver.field")
+        perm: Expr = PermLit(Fraction(1))
+        if self._accept(","):
+            perm = self.parse_expr()
+        self._expect(")")
+        return Acc(receiver.receiver, receiver.field, perm)
+
+    # -- expressions ----------------------------------------------------------
+    #
+    # Precedence climbing; in assertion positions '&&' and '==>' terminate the
+    # expression so the assertion grammar can consume them.
+
+    def parse_expr(self) -> Expr:
+        """Parse an expression at the loosest precedence level."""
+        return self._parse_cond_expr(assertion_pos=False)
+
+    def _parse_impl_level_expr(self, assertion_pos: bool) -> Expr:
+        return self._parse_or(assertion_pos)
+
+    def _parse_cond_expr(self, assertion_pos: bool) -> Expr:
+        cond = self._parse_implies(assertion_pos)
+        if self._accept("?"):
+            then = self._parse_cond_expr(assertion_pos)
+            self._expect(":")
+            otherwise = self._parse_cond_expr(assertion_pos)
+            return CondExp(cond, then, otherwise)
+        return cond
+
+    def _parse_implies(self, assertion_pos: bool) -> Expr:
+        left = self._parse_or(assertion_pos)
+        if not assertion_pos and self._accept("==>"):
+            right = self._parse_implies(assertion_pos)
+            return BinOp(BinOpKind.IMPLIES, left, right)
+        return left
+
+    def _parse_or(self, assertion_pos: bool) -> Expr:
+        left = self._parse_and(assertion_pos)
+        while self._accept("||"):
+            right = self._parse_and(assertion_pos)
+            left = BinOp(BinOpKind.OR, left, right)
+        return left
+
+    def _parse_and(self, assertion_pos: bool) -> Expr:
+        left = self._parse_cmp()
+        while not assertion_pos and self._accept("&&"):
+            right = self._parse_cmp()
+            left = BinOp(BinOpKind.AND, left, right)
+        return left
+
+    _CMP = {
+        "==": BinOpKind.EQ,
+        "!=": BinOpKind.NE,
+        "<": BinOpKind.LT,
+        "<=": BinOpKind.LE,
+        ">": BinOpKind.GT,
+        ">=": BinOpKind.GE,
+    }
+
+    def _parse_cmp(self) -> Expr:
+        left = self._parse_additive()
+        if self._peek().kind in self._CMP:
+            op = self._CMP[self._advance().kind]
+            right = self._parse_additive()
+            return BinOp(op, left, right)
+        return left
+
+    def _parse_additive(self) -> Expr:
+        left = self._parse_multiplicative()
+        while self._peek().kind in ("+", "-"):
+            op = BinOpKind.ADD if self._advance().kind == "+" else BinOpKind.SUB
+            right = self._parse_multiplicative()
+            left = BinOp(op, left, right)
+        return left
+
+    _MUL = {"*": BinOpKind.MUL, "/": BinOpKind.PERM_DIV, "\\": BinOpKind.DIV, "%": BinOpKind.MOD}
+
+    def _parse_multiplicative(self) -> Expr:
+        left = self._parse_unary()
+        while self._peek().kind in self._MUL:
+            op = self._MUL[self._advance().kind]
+            right = self._parse_unary()
+            # Fold literal fractions like 1/2 into permission literals.
+            if (
+                op is BinOpKind.PERM_DIV
+                and isinstance(left, IntLit)
+                and isinstance(right, IntLit)
+                and right.value != 0
+            ):
+                left = PermLit(Fraction(left.value, right.value))
+            else:
+                left = BinOp(op, left, right)
+        return left
+
+    def _parse_unary(self) -> Expr:
+        if self._accept("-"):
+            operand = self._parse_unary()
+            if isinstance(operand, IntLit):
+                return IntLit(-operand.value)
+            return UnOp(UnOpKind.NEG, operand)
+        if self._accept("!"):
+            return UnOp(UnOpKind.NOT, self._parse_unary())
+        return self._parse_postfix()
+
+    def _parse_postfix(self) -> Expr:
+        expr = self._parse_atom()
+        while self._accept("."):
+            field = self._expect("ident").text
+            expr = FieldAcc(expr, field)
+        return expr
+
+    def _parse_atom(self) -> Expr:
+        token = self._peek()
+        if token.kind == "int":
+            self._advance()
+            return IntLit(int(token.text))
+        if token.kind == "true":
+            self._advance()
+            return BoolLit(True)
+        if token.kind == "false":
+            self._advance()
+            return BoolLit(False)
+        if token.kind == "null":
+            self._advance()
+            return NullLit()
+        if token.kind == "write":
+            self._advance()
+            return PermLit(Fraction(1))
+        if token.kind == "none":
+            self._advance()
+            return PermLit(Fraction(0))
+        if token.kind == "ident":
+            self._advance()
+            return Var(token.text)
+        if token.kind == "old":
+            from .oldexprs import OldExpr
+
+            self._advance()
+            self._expect("(")
+            inner = self._parse_cond_expr(assertion_pos=False)
+            self._expect(")")
+            return OldExpr(inner)
+        if self._accept("("):
+            expr = self._parse_cond_expr(assertion_pos=False)
+            self._expect(")")
+            return expr
+        raise self._error(f"expected an expression, found {token.text!r}")
+
+
+def _conjoin(assertions: List[Assertion]) -> Assertion:
+    if not assertions:
+        return AExpr(BoolLit(True))
+    result = assertions[-1]
+    for assertion in reversed(assertions[:-1]):
+        result = SepConj(assertion, result)
+    return result
+
+
+def parse_program(source: str) -> Program:
+    """Parse a complete Viper program."""
+    parser = _Parser(tokenize(source))
+    return parser.parse_program()
+
+
+def parse_stmt(source: str) -> Stmt:
+    """Parse a statement block ``{ ... }`` or a bare statement sequence."""
+    text = source.strip()
+    if not text.startswith("{"):
+        text = "{" + text + "}"
+    parser = _Parser(tokenize(text))
+    stmt = parser._parse_block()
+    parser._expect("eof")
+    return stmt
+
+
+def parse_assertion(source: str) -> Assertion:
+    """Parse a single assertion."""
+    parser = _Parser(tokenize(source))
+    assertion = parser.parse_assertion()
+    parser._expect("eof")
+    return assertion
+
+
+def parse_expr(source: str) -> Expr:
+    """Parse a single expression."""
+    parser = _Parser(tokenize(source))
+    expr = parser.parse_expr()
+    parser._expect("eof")
+    return expr

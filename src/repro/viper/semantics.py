@@ -1,0 +1,620 @@
+"""Big-step operational semantics for the Viper subset (Sec. 2.3, App. A).
+
+Execution outcomes mirror the paper exactly:
+
+* ``Failure`` (F) — a verification failure: an ill-defined expression was
+  evaluated, an ``assert``/``exhale`` did not hold, a field write lacked
+  full permission, or an inhaled permission amount was negative.
+* ``Magic`` (M) — the execution is pruned: an inhaled logical constraint is
+  assumed false, or inhaling would produce an inconsistent mask.
+* ``Normal(state)`` (N) — the execution succeeds in the given state.
+
+Expression evaluation is *partial*: ``eval_expr`` returns either a value or
+the :data:`ILL_DEFINED` marker (division by zero or a heap read without
+positive permission — Sec. 2.3).
+
+``exhale`` is decomposed into the two *effects* of Fig. 2: ``remcheck``
+(permission removal plus constraint checks, with a separate expression
+evaluation state) followed by the nondeterministic reassignment of heap
+locations that lost all permission (``nonDet``).  This decomposition is not
+an implementation convenience — it is the semantic interface the forward
+simulation methodology (Sec. 3) decomposes against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..choice import ChoiceOracle, DefaultOracle
+from .ast import (
+    Acc,
+    AExpr,
+    AssertStmt,
+    Assertion,
+    BinOp,
+    BinOpKind,
+    BoolLit,
+    CondAssert,
+    CondExp,
+    Expr,
+    FieldAcc,
+    FieldAssign,
+    If,
+    Implies,
+    Inhale,
+    IntLit,
+    LocalAssign,
+    MethodCall,
+    MethodDecl,
+    NullLit,
+    PermLit,
+    Program,
+    SepConj,
+    Seq,
+    Skip,
+    Stmt,
+    Type,
+    UnOp,
+    UnOpKind,
+    Var,
+    VarDecl,
+    Exhale,
+)
+from .state import ViperState, default_value
+from .typechecker import ProgramTypeInfo
+from .values import (
+    NULL,
+    Value,
+    VBool,
+    VInt,
+    VNull,
+    VPerm,
+    VRef,
+    as_bool,
+    as_perm,
+)
+
+
+# ---------------------------------------------------------------------------
+# Outcomes
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Failure:
+    """The failure outcome F, optionally carrying a diagnostic reason."""
+
+    reason: str = ""
+
+    def __eq__(self, other: object) -> bool:  # reasons are diagnostics only
+        return isinstance(other, Failure)
+
+    def __hash__(self) -> int:
+        return hash("Failure")
+
+
+@dataclass(frozen=True)
+class Magic:
+    """The magic outcome M (execution pruned by a failed assumption)."""
+
+
+@dataclass(frozen=True)
+class Normal:
+    """The normal outcome N(state)."""
+
+    state: ViperState
+
+
+Outcome = Union[Failure, Magic, Normal]
+
+
+class IllDefined:
+    """Marker for ill-defined expression evaluation (⇓ lightning)."""
+
+    def __repr__(self) -> str:
+        return "ILL_DEFINED"
+
+
+ILL_DEFINED = IllDefined()
+
+EvalResult = Union[Value, IllDefined]
+
+
+# ---------------------------------------------------------------------------
+# Contexts
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ViperContext:
+    """The Viper context Γ_v: method, field, and variable declarations."""
+
+    program: Program
+    type_info: ProgramTypeInfo
+    method_name: str
+
+    @property
+    def field_types(self) -> Dict[str, Type]:
+        return self.type_info.field_types
+
+    def var_type(self, name: str) -> Type:
+        return self.type_info.methods[self.method_name].var_types[name]
+
+    def method(self, name: str) -> MethodDecl:
+        return self.program.method(name)
+
+
+#: Candidate values per type offered to the choice oracle on havoc.  Small
+#: but value-diverse; exhaustive enumeration stays tractable while random
+#: sampling still distinguishes states.
+HAVOC_CANDIDATES: Dict[Type, Tuple[Value, ...]] = {
+    Type.INT: (VInt(0), VInt(1), VInt(-1), VInt(7)),
+    Type.BOOL: (VBool(False), VBool(True)),
+    Type.REF: (NULL, VRef(1), VRef(2)),
+    Type.PERM: (VPerm(Fraction(0)), VPerm(Fraction(1, 2)), VPerm(Fraction(1))),
+}
+
+
+def havoc_value(typ: Type, oracle: ChoiceOracle, label: str) -> Value:
+    """Pick a nondeterministic value of the given type."""
+    return oracle.choose(HAVOC_CANDIDATES[typ], label)
+
+
+# ---------------------------------------------------------------------------
+# Expression evaluation  ⟨e, σ⟩ ⇓ V(v) | ⇓lightning
+# ---------------------------------------------------------------------------
+
+
+def eval_expr(expr: Expr, state: ViperState) -> EvalResult:
+    """Evaluate an expression; partial (may return ILL_DEFINED)."""
+    if isinstance(expr, Var):
+        return state.lookup(expr.name)
+    if isinstance(expr, IntLit):
+        return VInt(expr.value)
+    if isinstance(expr, BoolLit):
+        return VBool(expr.value)
+    if isinstance(expr, NullLit):
+        return NULL
+    if isinstance(expr, PermLit):
+        return VPerm(expr.amount)
+    if isinstance(expr, FieldAcc):
+        receiver = eval_expr(expr.receiver, state)
+        if receiver is ILL_DEFINED:
+            return ILL_DEFINED
+        if isinstance(receiver, VNull):
+            return ILL_DEFINED  # no permission to null.f (subsumes null deref)
+        if not isinstance(receiver, VRef):
+            raise TypeError(f"field access on non-reference {receiver!r}")
+        loc = (receiver.address, expr.field)
+        if state.perm(loc) <= 0:
+            return ILL_DEFINED
+        return state.heap_value(loc)
+    if isinstance(expr, UnOp):
+        return _eval_unop(expr, state)
+    if isinstance(expr, BinOp):
+        return _eval_binop(expr, state)
+    if isinstance(expr, CondExp):
+        cond = eval_expr(expr.cond, state)
+        if cond is ILL_DEFINED:
+            return ILL_DEFINED
+        branch = expr.then if as_bool(cond) else expr.otherwise
+        return eval_expr(branch, state)
+    raise TypeError(f"unknown expression {expr!r}")
+
+
+def _eval_unop(expr: UnOp, state: ViperState) -> EvalResult:
+    operand = eval_expr(expr.operand, state)
+    if operand is ILL_DEFINED:
+        return ILL_DEFINED
+    if expr.op is UnOpKind.NOT:
+        return VBool(not as_bool(operand))
+    if isinstance(operand, VInt):
+        return VInt(-operand.value)
+    if isinstance(operand, VPerm):
+        return VPerm(-operand.amount)
+    raise TypeError(f"cannot negate {operand!r}")
+
+
+def _eval_binop(expr: BinOp, state: ViperState) -> EvalResult:
+    op = expr.op
+    left = eval_expr(expr.left, state)
+    if left is ILL_DEFINED:
+        return ILL_DEFINED
+    # Lazy operators: the right operand need not be well-defined when the
+    # left operand short-circuits (Viper's semantics for &&, ||, ==>).
+    if op is BinOpKind.AND:
+        if not as_bool(left):
+            return VBool(False)
+        return _eval_bool(expr.right, state)
+    if op is BinOpKind.OR:
+        if as_bool(left):
+            return VBool(True)
+        return _eval_bool(expr.right, state)
+    if op is BinOpKind.IMPLIES:
+        if not as_bool(left):
+            return VBool(True)
+        return _eval_bool(expr.right, state)
+    right = eval_expr(expr.right, state)
+    if right is ILL_DEFINED:
+        return ILL_DEFINED
+    if op is BinOpKind.EQ:
+        return VBool(_values_equal(left, right))
+    if op is BinOpKind.NE:
+        return VBool(not _values_equal(left, right))
+    if op in (BinOpKind.LT, BinOpKind.LE, BinOpKind.GT, BinOpKind.GE):
+        lnum, rnum = _numeric(left), _numeric(right)
+        if op is BinOpKind.LT:
+            return VBool(lnum < rnum)
+        if op is BinOpKind.LE:
+            return VBool(lnum <= rnum)
+        if op is BinOpKind.GT:
+            return VBool(lnum > rnum)
+        return VBool(lnum >= rnum)
+    if op is BinOpKind.DIV:
+        if not isinstance(right, VInt) or right.value == 0:
+            return ILL_DEFINED
+        return VInt(_int_div(_as_int(left), right.value))
+    if op is BinOpKind.MOD:
+        if not isinstance(right, VInt) or right.value == 0:
+            return ILL_DEFINED
+        return VInt(_as_int(left) - right.value * _int_div(_as_int(left), right.value))
+    if op is BinOpKind.PERM_DIV:
+        if not isinstance(right, VInt) or right.value == 0:
+            return ILL_DEFINED
+        return VPerm(Fraction(_numeric(left), right.value))
+    if op in (BinOpKind.ADD, BinOpKind.SUB, BinOpKind.MUL):
+        if isinstance(left, VInt) and isinstance(right, VInt):
+            if op is BinOpKind.ADD:
+                return VInt(left.value + right.value)
+            if op is BinOpKind.SUB:
+                return VInt(left.value - right.value)
+            return VInt(left.value * right.value)
+        lnum, rnum = _numeric(left), _numeric(right)
+        if op is BinOpKind.ADD:
+            return VPerm(lnum + rnum)
+        if op is BinOpKind.SUB:
+            return VPerm(lnum - rnum)
+        return VPerm(lnum * rnum)
+    raise TypeError(f"unknown operator {op}")
+
+
+def _eval_bool(expr: Expr, state: ViperState) -> EvalResult:
+    result = eval_expr(expr, state)
+    if result is ILL_DEFINED:
+        return ILL_DEFINED
+    return VBool(as_bool(result))
+
+
+def _values_equal(left: Value, right: Value) -> bool:
+    # Int/Perm comparisons coerce (Viper's implicit coercion).
+    both_numeric = isinstance(left, (VInt, VPerm)) and isinstance(right, (VInt, VPerm))
+    if both_numeric:
+        return _numeric(left) == _numeric(right)
+    return left == right
+
+
+def _numeric(value: Value) -> Fraction:
+    if isinstance(value, VInt):
+        return Fraction(value.value)
+    if isinstance(value, VPerm):
+        return value.amount
+    raise TypeError(f"expected a numeric value, got {value!r}")
+
+
+def _as_int(value: Value) -> int:
+    if isinstance(value, VInt):
+        return value.value
+    raise TypeError(f"expected an integer, got {value!r}")
+
+
+def _int_div(a: int, b: int) -> int:
+    """Truncating (Euclidean-style toward zero) division, as in Viper/SMT."""
+    q = abs(a) // abs(b)
+    return q if (a >= 0) == (b >= 0) else -q
+
+
+def eval_exprs(exprs: Sequence[Expr], state: ViperState) -> Union[List[Value], IllDefined]:
+    """Lift evaluation to a list of expressions ([⇓] in Fig. 4)."""
+    values: List[Value] = []
+    for expr in exprs:
+        result = eval_expr(expr, state)
+        if result is ILL_DEFINED:
+            return ILL_DEFINED
+        values.append(result)
+    return values
+
+
+# ---------------------------------------------------------------------------
+# inhale  ⟨A, σ⟩ →inh r  (App. A, Fig. 11)
+# ---------------------------------------------------------------------------
+
+
+def inhale(assertion: Assertion, state: ViperState) -> Outcome:
+    """Add the permissions specified by ``assertion``; assume constraints.
+
+    Fails (F) on ill-defined expressions or negative permission amounts;
+    stops (M) when a constraint is false or the added permission would make
+    the state inconsistent.
+    """
+    if isinstance(assertion, AExpr):
+        value = eval_expr(assertion.expr, state)
+        if value is ILL_DEFINED:
+            return Failure(f"ill-defined assertion expression {assertion.expr!r}")
+        return Normal(state) if as_bool(value) else Magic()
+    if isinstance(assertion, Acc):
+        receiver = eval_expr(assertion.receiver, state)
+        if receiver is ILL_DEFINED:
+            return Failure("ill-defined acc receiver")
+        perm_value = eval_expr(assertion.perm, state)
+        if perm_value is ILL_DEFINED:
+            return Failure("ill-defined acc amount")
+        amount = as_perm(perm_value)
+        if amount < 0:
+            return Failure("inhaled negative permission amount")
+        if isinstance(receiver, VNull):
+            # inhSucc: p > 0 requires a non-null receiver.
+            return Normal(state) if amount == 0 else Magic()
+        assert isinstance(receiver, VRef)
+        loc = (receiver.address, assertion.field)
+        if amount + state.perm(loc) > 1:
+            return Magic()  # would yield an inconsistent mask
+        return Normal(state.add_perm(loc, amount))
+    if isinstance(assertion, SepConj):
+        left = inhale(assertion.left, state)
+        if not isinstance(left, Normal):
+            return left
+        return inhale(assertion.right, left.state)
+    if isinstance(assertion, Implies):
+        cond = eval_expr(assertion.cond, state)
+        if cond is ILL_DEFINED:
+            return Failure("ill-defined implication guard")
+        if not as_bool(cond):
+            return Normal(state)
+        return inhale(assertion.body, state)
+    if isinstance(assertion, CondAssert):
+        cond = eval_expr(assertion.cond, state)
+        if cond is ILL_DEFINED:
+            return Failure("ill-defined conditional guard")
+        branch = assertion.then if as_bool(cond) else assertion.otherwise
+        return inhale(branch, state)
+    raise TypeError(f"unknown assertion {assertion!r}")
+
+
+# ---------------------------------------------------------------------------
+# remcheck  σ0 ⊢ ⟨A, σ⟩ →rc r  (Fig. 2)
+# ---------------------------------------------------------------------------
+
+
+def exh_acc_succ(receiver: Value, amount: Fraction, state: ViperState, field: str) -> bool:
+    """The exhAccSucc predicate of Fig. 2: nonnegative and sufficient."""
+    if amount < 0:
+        return False
+    if amount == 0:
+        return True
+    if isinstance(receiver, VNull):
+        return False
+    assert isinstance(receiver, VRef)
+    return state.perm((receiver.address, field)) >= amount
+
+
+def remcheck(
+    assertion: Assertion, eval_state: ViperState, state: ViperState
+) -> Outcome:
+    """Remove permissions and check constraints, left to right.
+
+    Expressions are evaluated in ``eval_state`` (the state at the start of
+    the enclosing exhale), while permissions are removed from ``state`` —
+    the two-state judgement of Fig. 2.
+    """
+    if isinstance(assertion, AExpr):
+        value = eval_expr(assertion.expr, eval_state)
+        if value is ILL_DEFINED:
+            return Failure("ill-defined assertion expression")
+        return Normal(state) if as_bool(value) else Failure("assertion does not hold")
+    if isinstance(assertion, Acc):
+        receiver = eval_expr(assertion.receiver, eval_state)
+        if receiver is ILL_DEFINED:
+            return Failure("ill-defined acc receiver")
+        perm_value = eval_expr(assertion.perm, eval_state)
+        if perm_value is ILL_DEFINED:
+            return Failure("ill-defined acc amount")
+        amount = as_perm(perm_value)
+        if not exh_acc_succ(receiver, amount, state, assertion.field):
+            return Failure("insufficient permission to exhale")
+        if amount == 0 or isinstance(receiver, VNull):
+            return Normal(state)
+        assert isinstance(receiver, VRef)
+        return Normal(state.remove_perm((receiver.address, assertion.field), amount))
+    if isinstance(assertion, SepConj):
+        left = remcheck(assertion.left, eval_state, state)
+        if not isinstance(left, Normal):
+            return left
+        return remcheck(assertion.right, eval_state, left.state)
+    if isinstance(assertion, Implies):
+        cond = eval_expr(assertion.cond, eval_state)
+        if cond is ILL_DEFINED:
+            return Failure("ill-defined implication guard")
+        if not as_bool(cond):
+            return Normal(state)
+        return remcheck(assertion.body, eval_state, state)
+    if isinstance(assertion, CondAssert):
+        cond = eval_expr(assertion.cond, eval_state)
+        if cond is ILL_DEFINED:
+            return Failure("ill-defined conditional guard")
+        branch = assertion.then if as_bool(cond) else assertion.otherwise
+        return remcheck(branch, eval_state, state)
+    raise TypeError(f"unknown assertion {assertion!r}")
+
+
+def exhale(
+    assertion: Assertion,
+    state: ViperState,
+    ctx: ViperContext,
+    oracle: ChoiceOracle,
+) -> Outcome:
+    """Exhale per EXH-SUCC / EXH-FAIL (Fig. 2).
+
+    ``remcheck`` first; on success, nondeterministically reassign every
+    location whose permission dropped from positive to zero.
+    """
+    checked = remcheck(assertion, state, state)
+    if not isinstance(checked, Normal):
+        return checked
+    after = checked.state
+    updates = {}
+    for loc in state.zeroed_locations(after):
+        field_type = ctx.field_types.get(loc[1], Type.INT)
+        updates[loc] = havoc_value(field_type, oracle, f"exhale-havoc {loc}")
+    if updates:
+        after = after.set_heap_many(updates)
+    return Normal(after)
+
+
+# ---------------------------------------------------------------------------
+# Statements  Γ_v ⊢ ⟨s, σ⟩ →v r
+# ---------------------------------------------------------------------------
+
+
+def exec_stmt(
+    stmt: Stmt,
+    state: ViperState,
+    ctx: ViperContext,
+    oracle: Optional[ChoiceOracle] = None,
+) -> Outcome:
+    """Execute a statement in the given state under the Viper context."""
+    if oracle is None:
+        oracle = DefaultOracle()
+    if isinstance(stmt, Skip):
+        return Normal(state)
+    if isinstance(stmt, Seq):
+        first = exec_stmt(stmt.first, state, ctx, oracle)
+        if not isinstance(first, Normal):
+            return first
+        return exec_stmt(stmt.second, first.state, ctx, oracle)
+    if isinstance(stmt, LocalAssign):
+        value = eval_expr(stmt.rhs, state)
+        if value is ILL_DEFINED:
+            return Failure(f"ill-defined right-hand side in {stmt.target} := ...")
+        return Normal(state.set_var(stmt.target, _coerce(value, ctx.var_type(stmt.target))))
+    if isinstance(stmt, FieldAssign):
+        receiver = eval_expr(stmt.receiver, state)
+        if receiver is ILL_DEFINED:
+            return Failure("ill-defined field-assignment receiver")
+        value = eval_expr(stmt.rhs, state)
+        if value is ILL_DEFINED:
+            return Failure("ill-defined field-assignment right-hand side")
+        if isinstance(receiver, VNull):
+            return Failure("field assignment to null receiver")
+        assert isinstance(receiver, VRef)
+        loc = (receiver.address, stmt.field)
+        if state.perm(loc) != Fraction(1):
+            return Failure(f"field assignment requires full permission to {loc}")
+        return Normal(
+            state.set_heap(loc, _coerce(value, ctx.field_types[stmt.field]))
+        )
+    if isinstance(stmt, VarDecl):
+        value = havoc_value(stmt.typ, oracle, f"vardecl {stmt.name}")
+        return Normal(state.set_var(stmt.name, value))
+    if isinstance(stmt, Inhale):
+        return inhale(stmt.assertion, state)
+    if isinstance(stmt, Exhale):
+        return exhale(stmt.assertion, state, ctx, oracle)
+    if isinstance(stmt, AssertStmt):
+        checked = remcheck(stmt.assertion, state, state)
+        if not isinstance(checked, Normal):
+            return checked
+        return Normal(state)  # assert does not remove permissions
+    if isinstance(stmt, If):
+        cond = eval_expr(stmt.cond, state)
+        if cond is ILL_DEFINED:
+            return Failure("ill-defined branch condition")
+        branch = stmt.then if as_bool(cond) else stmt.otherwise
+        return exec_stmt(branch, state, ctx, oracle)
+    if isinstance(stmt, MethodCall):
+        return _exec_call(stmt, state, ctx, oracle)
+    raise TypeError(f"unknown statement {stmt!r}")
+
+
+def _exec_call(
+    stmt: MethodCall, state: ViperState, ctx: ViperContext, oracle: ChoiceOracle
+) -> Outcome:
+    """Method call: exhale pre, havoc targets, inhale post (Sec. 2.3)."""
+    callee = ctx.method(stmt.method)
+    arg_values: List[Value] = []
+    for arg in stmt.args:
+        value = eval_expr(arg, state)
+        if value is ILL_DEFINED:
+            return Failure("ill-defined call argument")
+        arg_values.append(value)
+    # Evaluate the callee's specification in a frame binding formals to the
+    # argument values; heap and mask are the caller's.
+    frame_store = {
+        name: _coerce(value, typ)
+        for (name, typ), value in zip(callee.args, arg_values)
+    }
+    callee_ctx = ViperContext(ctx.program, ctx.type_info, callee.name)
+    pre_state = ViperState(
+        store=frame_store,
+        heap=state.heap,
+        mask=state.mask,
+        field_types=state.field_types,
+    )
+    exhaled = exhale(callee.pre, pre_state, callee_ctx, oracle)
+    if not isinstance(exhaled, Normal):
+        return exhaled if not isinstance(exhaled, Magic) else exhaled
+    # Havoc the call targets, then bind the callee's return formals to the
+    # havoced values and inhale the postcondition (havoc-then-assume).
+    target_values = {
+        target: havoc_value(ctx.var_type(target), oracle, f"call-target {target}")
+        for target in stmt.targets
+    }
+    post_store = dict(frame_store)
+    for (rname, rtype), target in zip(callee.returns, stmt.targets):
+        post_store[rname] = _coerce(target_values[target], rtype)
+    post_state = ViperState(
+        store=post_store,
+        heap=exhaled.state.heap,
+        mask=exhaled.state.mask,
+        field_types=state.field_types,
+    )
+    inhaled = inhale(callee.post, post_state)
+    if not isinstance(inhaled, Normal):
+        return inhaled
+    final = ViperState(
+        store=dict(state.store),
+        heap=inhaled.state.heap,
+        mask=inhaled.state.mask,
+        field_types=state.field_types,
+    )
+    return Normal(final.set_vars(target_values))
+
+
+def _coerce(value: Value, typ: Type) -> Value:
+    """Coerce Int values into Perm positions (Viper's implicit coercion)."""
+    if typ is Type.PERM and isinstance(value, VInt):
+        return VPerm(Fraction(value.value))
+    return value
+
+
+# ---------------------------------------------------------------------------
+# Method-level execution (Fig. 9 bottom)
+# ---------------------------------------------------------------------------
+
+
+def method_obligation_stmt(method: MethodDecl) -> Stmt:
+    """The statement whose non-failure defines method correctness:
+    ``inhale pre(m); body(m); exhale post(m)``."""
+    body = method.body if method.body is not None else Skip()
+    return Seq(Inhale(method.pre), Seq(body, Exhale(method.post)))
+
+
+def run_method(
+    method: MethodDecl,
+    state: ViperState,
+    ctx: ViperContext,
+    oracle: Optional[ChoiceOracle] = None,
+) -> Outcome:
+    """Execute ``inhale pre; body; exhale post`` from ``state``."""
+    return exec_stmt(method_obligation_stmt(method), state, ctx, oracle)

@@ -1,0 +1,190 @@
+"""The Viper state model (Sec. 2.3).
+
+A Viper state comprises
+
+* a local variable *store* mapping variable names to values,
+* a *heap*: a total mapping from heap locations ``(ref, field)`` to values,
+* a *permission mask*: a total mapping from heap locations to fractional
+  permission amounts in ``[0, 1]``.
+
+Totality of heap and mask is modelled with default values: reading an
+unmapped location yields a per-field default value (heap) or zero permission
+(mask).  States are immutable; all updates return fresh states, which lets
+the certification kernel hold on to intermediate states without aliasing
+surprises.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from fractions import Fraction
+from typing import Dict, Iterable, Mapping, Tuple
+
+from .ast import Type
+from .values import NULL, Value, VBool, VInt, VNull, VPerm, VRef
+
+#: A heap location: a non-null reference address paired with a field name.
+HeapLoc = Tuple[int, str]
+
+
+def default_value(typ: Type) -> Value:
+    """The default value used to keep heaps and havocs total per type."""
+    if typ is Type.INT:
+        return VInt(0)
+    if typ is Type.BOOL:
+        return VBool(False)
+    if typ is Type.REF:
+        return NULL
+    if typ is Type.PERM:
+        return VPerm(Fraction(0))
+    raise ValueError(f"unknown type {typ!r}")
+
+
+@dataclass(frozen=True)
+class ViperState:
+    """An immutable Viper state.
+
+    ``field_types`` fixes the declared type of each field so that the total
+    heap can produce well-typed default values for unmapped locations.
+    """
+
+    store: Mapping[str, Value] = field(default_factory=dict)
+    heap: Mapping[HeapLoc, Value] = field(default_factory=dict)
+    mask: Mapping[HeapLoc, Fraction] = field(default_factory=dict)
+    field_types: Mapping[str, Type] = field(default_factory=dict)
+
+    # -- store ------------------------------------------------------------
+
+    def lookup(self, name: str) -> Value:
+        try:
+            return self.store[name]
+        except KeyError:
+            raise KeyError(f"variable {name!r} not in store") from None
+
+    def has_var(self, name: str) -> bool:
+        return name in self.store
+
+    def set_var(self, name: str, value: Value) -> "ViperState":
+        new_store = dict(self.store)
+        new_store[name] = value
+        return replace(self, store=new_store)
+
+    def set_vars(self, updates: Mapping[str, Value]) -> "ViperState":
+        new_store = dict(self.store)
+        new_store.update(updates)
+        return replace(self, store=new_store)
+
+    # -- heap --------------------------------------------------------------
+
+    def heap_value(self, loc: HeapLoc) -> Value:
+        if loc in self.heap:
+            return self.heap[loc]
+        field_name = loc[1]
+        typ = self.field_types.get(field_name, Type.INT)
+        return default_value(typ)
+
+    def set_heap(self, loc: HeapLoc, value: Value) -> "ViperState":
+        new_heap = dict(self.heap)
+        new_heap[loc] = value
+        return replace(self, heap=new_heap)
+
+    def set_heap_many(self, updates: Mapping[HeapLoc, Value]) -> "ViperState":
+        new_heap = dict(self.heap)
+        new_heap.update(updates)
+        return replace(self, heap=new_heap)
+
+    # -- mask --------------------------------------------------------------
+
+    def perm(self, loc: HeapLoc) -> Fraction:
+        return self.mask.get(loc, Fraction(0))
+
+    def set_perm(self, loc: HeapLoc, amount: Fraction) -> "ViperState":
+        new_mask = {k: v for k, v in self.mask.items() if k != loc}
+        if amount != 0:
+            new_mask[loc] = amount
+        return replace(self, mask=new_mask)
+
+    def add_perm(self, loc: HeapLoc, amount: Fraction) -> "ViperState":
+        return self.set_perm(loc, self.perm(loc) + amount)
+
+    def remove_perm(self, loc: HeapLoc, amount: Fraction) -> "ViperState":
+        return self.set_perm(loc, self.perm(loc) - amount)
+
+    def permissioned_locs(self) -> Tuple[HeapLoc, ...]:
+        """Locations with strictly positive permission, in sorted order."""
+        return tuple(sorted(loc for loc, p in self.mask.items() if p > 0))
+
+    def is_consistent(self) -> bool:
+        """A state is consistent iff every permission lies in ``[0, 1]``."""
+        return all(Fraction(0) <= p <= Fraction(1) for p in self.mask.values())
+
+    def has_no_permissions(self) -> bool:
+        """True iff the mask is the zero mask (used by Fig. 9 correctness)."""
+        return all(p == 0 for p in self.mask.values())
+
+    # -- structural comparisons used by the semantics ----------------------
+
+    def same_store_and_heap(self, other: "ViperState") -> bool:
+        if dict(self.store) != dict(other.store):
+            return False
+        locs = set(self.heap) | set(other.heap)
+        return all(self.heap_value(loc) == other.heap_value(loc) for loc in locs)
+
+    def mask_difference(self, other: "ViperState") -> Dict[HeapLoc, Fraction]:
+        """``self ⊖ other`` on masks: pointwise difference where nonzero."""
+        locs = set(self.mask) | set(other.mask)
+        diff = {}
+        for loc in locs:
+            delta = self.perm(loc) - other.perm(loc)
+            if delta != 0:
+                diff[loc] = delta
+        return diff
+
+    def zeroed_locations(self, after: "ViperState") -> Tuple[HeapLoc, ...]:
+        """Locations with positive permission here and zero in ``after``.
+
+        These are exactly the locations the ``nonDet`` relation of the
+        exhale semantics havocs (Fig. 2).
+        """
+        return tuple(
+            sorted(
+                loc
+                for loc in set(self.mask) | set(after.mask)
+                if self.perm(loc) > 0 and after.perm(loc) == 0
+            )
+        )
+
+
+def zero_mask_state(
+    store: Mapping[str, Value],
+    field_types: Mapping[str, Type],
+    heap: Mapping[HeapLoc, Value] = (),
+) -> ViperState:
+    """Build a consistent state with no permissions (Fig. 9's initial state)."""
+    return ViperState(
+        store=dict(store), heap=dict(heap), mask={}, field_types=dict(field_types)
+    )
+
+
+def non_det_related(
+    before: ViperState, after_remcheck: ViperState, result: ViperState
+) -> bool:
+    """The ``nonDet`` relation of Fig. 2.
+
+    ``result`` must agree with ``after_remcheck`` on store and mask, and on
+    the heap everywhere except the locations whose permission dropped from
+    positive (in ``before``) to zero (in ``after_remcheck``), where it may
+    hold arbitrary values.
+    """
+    if dict(result.store) != dict(after_remcheck.store):
+        return False
+    if result.mask_difference(after_remcheck):
+        return False  # masks must agree pointwise
+    havocable = set(before.zeroed_locations(after_remcheck))
+    locs = set(before.heap) | set(after_remcheck.heap) | set(result.heap)
+    for loc in locs:
+        if loc in havocable:
+            continue
+        if result.heap_value(loc) != after_remcheck.heap_value(loc):
+            return False
+    return True

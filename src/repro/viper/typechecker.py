@@ -1,0 +1,358 @@
+"""Type checker and scope checker for the Viper subset.
+
+Checks, per method:
+
+* expressions are well-typed (``Int``/``Bool``/``Ref``/``Perm``),
+* variables are declared before use, with no shadowing within a method,
+* field accesses use declared fields,
+* calls match the callee's signature, targets are assignable and distinct,
+* pre-/postconditions only mention arguments (and, for posts, returns).
+
+The checker also computes, per method, the full set of local variable
+declarations with their types (``MethodTypeInfo``), which the translator
+needs to declare the corresponding Boogie locals upfront (Boogie procedures
+declare all variables at the top; Viper scopes them — Sec. 2.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .ast import (
+    Acc,
+    AExpr,
+    ARITH_OPS,
+    AssertStmt,
+    Assertion,
+    BinOp,
+    BinOpKind,
+    BoolLit,
+    CMP_OPS,
+    CondAssert,
+    CondExp,
+    Expr,
+    FieldAcc,
+    FieldAssign,
+    If,
+    Implies,
+    Inhale,
+    IntLit,
+    LocalAssign,
+    MethodCall,
+    MethodDecl,
+    NullLit,
+    PermLit,
+    Program,
+    SepConj,
+    Seq,
+    Skip,
+    Stmt,
+    Type,
+    UnOp,
+    UnOpKind,
+    Var,
+    VarDecl,
+    Exhale,
+)
+
+
+class ViperTypeError(Exception):
+    """Raised when a Viper program fails type or scope checking."""
+
+
+@dataclass
+class MethodTypeInfo:
+    """Per-method typing results used by the semantics and the translator."""
+
+    method: MethodDecl
+    #: Every variable in scope anywhere in the method: args, returns, locals.
+    var_types: Dict[str, Type] = field(default_factory=dict)
+    #: Locals in declaration order (excludes args and returns).
+    locals_in_order: List[Tuple[str, Type]] = field(default_factory=list)
+
+
+@dataclass
+class ProgramTypeInfo:
+    """Typing results for a whole program."""
+
+    program: Program
+    field_types: Dict[str, Type]
+    methods: Dict[str, MethodTypeInfo]
+
+
+class TypeChecker:
+    """Checks a program and accumulates ``ProgramTypeInfo``."""
+
+    def __init__(self, program: Program):
+        self._program = program
+        self._field_types: Dict[str, Type] = {}
+        self._methods: Dict[str, MethodDecl] = {}
+
+    def check_program(self) -> ProgramTypeInfo:
+        """Check all declarations and methods; returns the typing info."""
+        for fdecl in self._program.fields:
+            if fdecl.name in self._field_types:
+                raise ViperTypeError(f"duplicate field {fdecl.name!r}")
+            self._field_types[fdecl.name] = fdecl.typ
+        for mdecl in self._program.methods:
+            if mdecl.name in self._methods:
+                raise ViperTypeError(f"duplicate method {mdecl.name!r}")
+            self._methods[mdecl.name] = mdecl
+        infos = {
+            mdecl.name: self._check_method(mdecl)
+            for mdecl in self._program.methods
+        }
+        return ProgramTypeInfo(self._program, dict(self._field_types), infos)
+
+    # -- methods -------------------------------------------------------------
+
+    def _check_method(self, mdecl: MethodDecl) -> MethodTypeInfo:
+        info = MethodTypeInfo(mdecl)
+        env: Dict[str, Type] = {}
+        for name, typ in mdecl.args + mdecl.returns:
+            if name in env:
+                raise ViperTypeError(
+                    f"method {mdecl.name!r}: duplicate parameter {name!r}"
+                )
+            env[name] = typ
+        pre_env = dict(mdecl.args)
+        if len(pre_env) != len(mdecl.args):
+            raise ViperTypeError(f"method {mdecl.name!r}: duplicate argument names")
+        self._check_assertion(mdecl.pre, pre_env, f"{mdecl.name!r} precondition")
+        self._check_assertion(mdecl.post, env, f"{mdecl.name!r} postcondition")
+        info.var_types = dict(env)
+        if mdecl.body is not None:
+            self._check_stmt(mdecl.body, env, info)
+        return info
+
+    # -- statements ------------------------------------------------------------
+
+    def _check_stmt(self, stmt: Stmt, env: Dict[str, Type], info: MethodTypeInfo) -> None:
+        if isinstance(stmt, Skip):
+            return
+        if isinstance(stmt, Seq):
+            self._check_stmt(stmt.first, env, info)
+            self._check_stmt(stmt.second, env, info)
+            return
+        if isinstance(stmt, VarDecl):
+            if stmt.name in env:
+                raise ViperTypeError(
+                    f"variable {stmt.name!r} redeclared (shadowing is not supported)"
+                )
+            env[stmt.name] = stmt.typ
+            info.var_types[stmt.name] = stmt.typ
+            info.locals_in_order.append((stmt.name, stmt.typ))
+            return
+        if isinstance(stmt, LocalAssign):
+            target_type = self._lookup(stmt.target, env)
+            rhs_type = self._check_expr(stmt.rhs, env)
+            self._require_assignable(target_type, rhs_type, f"assignment to {stmt.target!r}")
+            return
+        if isinstance(stmt, FieldAssign):
+            receiver_type = self._check_expr(stmt.receiver, env)
+            if receiver_type is not Type.REF:
+                raise ViperTypeError("field assignment receiver must be a Ref")
+            field_type = self._field(stmt.field)
+            rhs_type = self._check_expr(stmt.rhs, env)
+            self._require_assignable(field_type, rhs_type, f"assignment to .{stmt.field}")
+            return
+        if isinstance(stmt, MethodCall):
+            self._check_call(stmt, env)
+            return
+        if isinstance(stmt, (Inhale, Exhale, AssertStmt)):
+            self._check_assertion(stmt.assertion, env, type(stmt).__name__.lower())
+            return
+        if isinstance(stmt, If):
+            if self._check_expr(stmt.cond, env) is not Type.BOOL:
+                raise ViperTypeError("if condition must be Bool")
+            # Branch-local declarations stay branch-local.
+            then_env = dict(env)
+            else_env = dict(env)
+            self._check_stmt(stmt.then, then_env, info)
+            self._check_stmt(stmt.otherwise, else_env, info)
+            return
+        raise ViperTypeError(f"unknown statement {stmt!r}")
+
+    def _check_call(self, stmt: MethodCall, env: Dict[str, Type]) -> None:
+        if stmt.method not in self._methods:
+            raise ViperTypeError(f"call to undeclared method {stmt.method!r}")
+        callee = self._methods[stmt.method]
+        if len(stmt.args) != len(callee.args):
+            raise ViperTypeError(
+                f"call to {stmt.method!r}: expected {len(callee.args)} arguments, "
+                f"got {len(stmt.args)}"
+            )
+        for arg, (pname, ptype) in zip(stmt.args, callee.args):
+            arg_type = self._check_expr(arg, env)
+            self._require_assignable(ptype, arg_type, f"argument {pname!r} of {stmt.method!r}")
+        if len(stmt.targets) != len(callee.returns):
+            raise ViperTypeError(
+                f"call to {stmt.method!r}: expected {len(callee.returns)} targets, "
+                f"got {len(stmt.targets)}"
+            )
+        if len(set(stmt.targets)) != len(stmt.targets):
+            raise ViperTypeError(f"call to {stmt.method!r}: duplicate call targets")
+        for target, (rname, rtype) in zip(stmt.targets, callee.returns):
+            target_type = self._lookup(target, env)
+            self._require_assignable(
+                target_type, rtype, f"target {target!r} for return {rname!r}"
+            )
+        # The callee's arguments must not be call targets: the exhale of the
+        # precondition evaluates arguments before targets are havoced.
+        for arg in stmt.args:
+            for target in stmt.targets:
+                from .ast import expr_vars
+
+                if target in expr_vars(arg):
+                    raise ViperTypeError(
+                        f"call to {stmt.method!r}: argument reads target {target!r}"
+                    )
+
+    # -- assertions ------------------------------------------------------------
+
+    def _check_assertion(self, assertion: Assertion, env: Dict[str, Type], where: str) -> None:
+        if isinstance(assertion, AExpr):
+            if self._check_expr(assertion.expr, env) is not Type.BOOL:
+                raise ViperTypeError(f"{where}: pure assertion must be Bool")
+            return
+        if isinstance(assertion, Acc):
+            if self._check_expr(assertion.receiver, env) is not Type.REF:
+                raise ViperTypeError(f"{where}: acc receiver must be Ref")
+            self._field(assertion.field)
+            perm_type = self._check_expr(assertion.perm, env)
+            if perm_type not in (Type.PERM, Type.INT):
+                raise ViperTypeError(f"{where}: acc amount must be Perm")
+            return
+        if isinstance(assertion, SepConj):
+            self._check_assertion(assertion.left, env, where)
+            self._check_assertion(assertion.right, env, where)
+            return
+        if isinstance(assertion, Implies):
+            if self._check_expr(assertion.cond, env) is not Type.BOOL:
+                raise ViperTypeError(f"{where}: implication guard must be Bool")
+            self._check_assertion(assertion.body, env, where)
+            return
+        if isinstance(assertion, CondAssert):
+            if self._check_expr(assertion.cond, env) is not Type.BOOL:
+                raise ViperTypeError(f"{where}: conditional guard must be Bool")
+            self._check_assertion(assertion.then, env, where)
+            self._check_assertion(assertion.otherwise, env, where)
+            return
+        raise ViperTypeError(f"{where}: unknown assertion {assertion!r}")
+
+    # -- expressions -------------------------------------------------------------
+
+    def _check_expr(self, expr: Expr, env: Dict[str, Type]) -> Type:
+        if isinstance(expr, Var):
+            return self._lookup(expr.name, env)
+        if isinstance(expr, IntLit):
+            return Type.INT
+        if isinstance(expr, BoolLit):
+            return Type.BOOL
+        if isinstance(expr, NullLit):
+            return Type.REF
+        if isinstance(expr, PermLit):
+            return Type.PERM
+        if isinstance(expr, FieldAcc):
+            if self._check_expr(expr.receiver, env) is not Type.REF:
+                raise ViperTypeError(f"field access receiver must be Ref in {expr!r}")
+            return self._field(expr.field)
+        if isinstance(expr, UnOp):
+            operand = self._check_expr(expr.operand, env)
+            if expr.op is UnOpKind.NEG:
+                if operand not in (Type.INT, Type.PERM):
+                    raise ViperTypeError("negation expects Int or Perm")
+                return operand
+            if operand is not Type.BOOL:
+                raise ViperTypeError("logical not expects Bool")
+            return Type.BOOL
+        if isinstance(expr, CondExp):
+            if self._check_expr(expr.cond, env) is not Type.BOOL:
+                raise ViperTypeError("conditional guard must be Bool")
+            then_type = self._check_expr(expr.then, env)
+            else_type = self._check_expr(expr.otherwise, env)
+            joined = _join(then_type, else_type)
+            if joined is None:
+                raise ViperTypeError(
+                    f"conditional branches have incompatible types "
+                    f"{then_type} and {else_type}"
+                )
+            return joined
+        if isinstance(expr, BinOp):
+            return self._check_binop(expr, env)
+        raise ViperTypeError(f"unknown expression {expr!r}")
+
+    def _check_binop(self, expr: BinOp, env: Dict[str, Type]) -> Type:
+        left = self._check_expr(expr.left, env)
+        right = self._check_expr(expr.right, env)
+        op = expr.op
+        if op in (BinOpKind.AND, BinOpKind.OR, BinOpKind.IMPLIES):
+            if left is not Type.BOOL or right is not Type.BOOL:
+                raise ViperTypeError(f"{op} expects Bool operands")
+            return Type.BOOL
+        if op in (BinOpKind.EQ, BinOpKind.NE):
+            if _join(left, right) is None:
+                raise ViperTypeError(f"cannot compare {left} with {right}")
+            return Type.BOOL
+        if op in CMP_OPS:
+            if not (_numeric(left) and _numeric(right)):
+                raise ViperTypeError(f"{op} expects numeric operands")
+            return Type.BOOL
+        if op is BinOpKind.PERM_DIV:
+            if left is Type.INT and right is Type.INT:
+                return Type.PERM
+            if left is Type.PERM and right is Type.INT:
+                return Type.PERM
+            raise ViperTypeError("'/' expects Int/Int or Perm/Int")
+        if op in ARITH_OPS:
+            if op in (BinOpKind.DIV, BinOpKind.MOD):
+                if left is Type.INT and right is Type.INT:
+                    return Type.INT
+                raise ViperTypeError(f"{op} expects Int operands")
+            if left is Type.INT and right is Type.INT:
+                return Type.INT
+            if _numeric(left) and _numeric(right) and op is not BinOpKind.MUL:
+                return Type.PERM
+            if op is BinOpKind.MUL and {left, right} == {Type.INT, Type.PERM}:
+                return Type.PERM
+            if left is Type.PERM and right is Type.PERM and op is BinOpKind.MUL:
+                return Type.PERM
+            raise ViperTypeError(f"{op} got incompatible operands {left}, {right}")
+        raise ViperTypeError(f"unknown operator {op}")
+
+    # -- helpers ----------------------------------------------------------------
+
+    def _lookup(self, name: str, env: Dict[str, Type]) -> Type:
+        if name not in env:
+            raise ViperTypeError(f"undeclared variable {name!r}")
+        return env[name]
+
+    def _field(self, name: str) -> Type:
+        if name not in self._field_types:
+            raise ViperTypeError(f"undeclared field {name!r}")
+        return self._field_types[name]
+
+    def _require_assignable(self, target: Type, source: Type, where: str) -> None:
+        if target is source:
+            return
+        if target is Type.PERM and source is Type.INT:
+            return  # implicit int-to-perm coercion
+        raise ViperTypeError(f"{where}: cannot assign {source} to {target}")
+
+
+def _numeric(typ: Type) -> bool:
+    return typ in (Type.INT, Type.PERM)
+
+
+def _join(left: Type, right: Type) -> Optional[Type]:
+    if left is right:
+        return left
+    if {left, right} == {Type.INT, Type.PERM}:
+        return Type.PERM
+    return None
+
+
+def check_program(program: Program) -> ProgramTypeInfo:
+    """Type- and scope-check a program, returning the collected type info."""
+    return TypeChecker(program).check_program()

@@ -1,0 +1,102 @@
+"""Value and permission domain shared by the Viper semantics.
+
+Viper values in the formalised subset are integers, booleans, references
+(including ``null``), and permission amounts.  Permission amounts are exact
+rationals (``fractions.Fraction``); the semantics never uses floating point,
+so permission accounting is exact, as in the paper's Isabelle formalisation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Union
+
+
+@dataclass(frozen=True)
+class VInt:
+    """An integer value."""
+
+    value: int
+
+    def __repr__(self) -> str:
+        return f"VInt({self.value})"
+
+
+@dataclass(frozen=True)
+class VBool:
+    """A boolean value."""
+
+    value: bool
+
+    def __repr__(self) -> str:
+        return f"VBool({self.value})"
+
+
+@dataclass(frozen=True)
+class VRef:
+    """A non-null reference value, identified by an allocation index."""
+
+    address: int
+
+    def __repr__(self) -> str:
+        return f"VRef({self.address})"
+
+
+@dataclass(frozen=True)
+class VNull:
+    """The null reference."""
+
+    def __repr__(self) -> str:
+        return "VNull()"
+
+
+@dataclass(frozen=True)
+class VPerm:
+    """A permission amount (an exact rational)."""
+
+    amount: Fraction
+
+    def __repr__(self) -> str:
+        return f"VPerm({self.amount})"
+
+
+Value = Union[VInt, VBool, VRef, VNull, VPerm]
+
+NULL = VNull()
+
+#: The permission amounts ``none`` and ``write`` from Viper's surface syntax.
+NO_PERM = Fraction(0)
+FULL_PERM = Fraction(1)
+
+
+def is_reference(value: Value) -> bool:
+    """Return True for reference values, including null."""
+    return isinstance(value, (VRef, VNull))
+
+
+def as_bool(value: Value) -> bool:
+    """Extract a Python bool, raising if the value is not a ``VBool``."""
+    if not isinstance(value, VBool):
+        raise TypeError(f"expected a boolean value, got {value!r}")
+    return value.value
+
+
+def as_int(value: Value) -> int:
+    """Extract a Python int, raising if the value is not a ``VInt``."""
+    if not isinstance(value, VInt):
+        raise TypeError(f"expected an integer value, got {value!r}")
+    return value.value
+
+
+def as_perm(value: Value) -> Fraction:
+    """Extract a permission amount.
+
+    Integer values are coerced to rationals, matching Viper's implicit
+    int-to-perm coercion in permission positions (e.g. ``acc(x.f, 1)``).
+    """
+    if isinstance(value, VPerm):
+        return value.amount
+    if isinstance(value, VInt):
+        return Fraction(value.value)
+    raise TypeError(f"expected a permission value, got {value!r}")

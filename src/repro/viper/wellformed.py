@@ -1,0 +1,201 @@
+"""Bounded semantic checks: method correctness and spec well-formedness.
+
+The paper's correctness definition for a Viper method (Fig. 9, bottom)
+quantifies over *all* initial states with an empty permission mask; spec
+well-formedness (the C1 component of Fig. 10) asks that inhaling the
+precondition from an empty state never fails (i.e. all expressions in it are
+well-defined wherever they are evaluated).
+
+These properties are undecidable in general; this module provides *bounded*
+checkers that enumerate initial stores over small value domains and explore
+every nondeterministic execution path.  They serve two roles in the
+reproduction: (1) ground-truth oracles for differential validation of the
+certification pipeline, and (2) executable documentation of Fig. 9/Fig. 10.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from ..choice import ChoiceOracle, all_executions
+from .ast import MethodDecl, Program, Type
+from .semantics import (
+    Failure,
+    HAVOC_CANDIDATES,
+    Normal,
+    Outcome,
+    ViperContext,
+    inhale,
+    run_method,
+)
+from .state import ViperState, zero_mask_state
+from .typechecker import ProgramTypeInfo
+from .values import Value
+
+
+@dataclass
+class BoundedVerdict:
+    """Result of a bounded check."""
+
+    ok: bool
+    counterexample: Optional[ViperState] = None
+    reason: str = ""
+    explored_states: int = 0
+
+
+#: Default store-value candidates per type for bounded initial states.
+STORE_DOMAINS: Dict[Type, Tuple[Value, ...]] = dict(HAVOC_CANDIDATES)
+
+
+def enumerate_stores(
+    var_types: Sequence[Tuple[str, Type]],
+    domains: Optional[Mapping[Type, Sequence[Value]]] = None,
+) -> Iterator[Dict[str, Value]]:
+    """Enumerate all stores assigning domain values to the given variables."""
+    chosen = domains or STORE_DOMAINS
+    names = [name for name, _ in var_types]
+    candidate_lists = [list(chosen[typ]) for _, typ in var_types]
+    for combo in itertools.product(*candidate_lists):
+        yield dict(zip(names, combo))
+
+
+#: Heap-value candidates per type; deliberately smaller than the store
+#: domains because heap enumeration multiplies across all locations.
+HEAP_DOMAINS: Dict[Type, Tuple[Value, ...]] = {
+    Type.INT: STORE_DOMAINS[Type.INT][:2],
+    Type.BOOL: STORE_DOMAINS[Type.BOOL],
+    Type.REF: STORE_DOMAINS[Type.REF][:2],
+    Type.PERM: STORE_DOMAINS[Type.PERM][:2],
+}
+
+#: Reference addresses considered by the bounded heap enumeration; these
+#: match the VRef candidates in ``HAVOC_CANDIDATES``.
+HEAP_ADDRESSES: Tuple[int, ...] = (1, 2)
+
+
+def enumerate_heaps(
+    field_types: Mapping[str, Type],
+    domains: Optional[Mapping[Type, Sequence[Value]]] = None,
+) -> Iterator[Dict[Tuple[int, str], Value]]:
+    """Enumerate small total heaps over the bounded address space.
+
+    Correctness (Fig. 9) quantifies over *all* initial states; ``inhale``
+    does not havoc heap values, so the initial heap contents are observable
+    and must be enumerated alongside the store.
+    """
+    chosen = domains or HEAP_DOMAINS
+    locs = [
+        (address, field_name)
+        for address in HEAP_ADDRESSES
+        for field_name in sorted(field_types)
+    ]
+    candidate_lists = [list(chosen[field_types[field_name]]) for _, field_name in locs]
+    for combo in itertools.product(*candidate_lists):
+        yield dict(zip(locs, combo))
+
+
+def check_method_correct_bounded(
+    program: Program,
+    type_info: ProgramTypeInfo,
+    method_name: str,
+    domains: Optional[Mapping[Type, Sequence[Value]]] = None,
+    max_paths_per_state: int = 50_000,
+) -> BoundedVerdict:
+    """Bounded version of Correct_v (Fig. 9): no failing execution of
+    ``inhale pre; body; exhale post`` from any zero-mask initial state."""
+    method = program.method(method_name)
+    ctx = ViperContext(program, type_info, method_name)
+    info = type_info.methods[method_name]
+    explored = 0
+    # All variables that are ever in scope get initial (havoced) values; the
+    # semantics of VarDecl re-havocs locals at their declaration point, so
+    # only args and returns actually matter, but a total store is simpler.
+    init_vars = list(method.args) + list(method.returns)
+    for store in enumerate_stores(init_vars, domains):
+        for heap in enumerate_heaps(type_info.field_types):
+            state = zero_mask_state(store, type_info.field_types, heap)
+            for outcome in all_executions(
+                lambda oracle: run_method(method, state, ctx, oracle),
+                max_paths=max_paths_per_state,
+            ):
+                explored += 1
+                if isinstance(outcome, Failure):
+                    return BoundedVerdict(
+                        ok=False,
+                        counterexample=state,
+                        reason=outcome.reason,
+                        explored_states=explored,
+                    )
+    return BoundedVerdict(ok=True, explored_states=explored)
+
+
+def check_spec_wellformed_bounded(
+    program: Program,
+    type_info: ProgramTypeInfo,
+    method_name: str,
+    domains: Optional[Mapping[Type, Sequence[Value]]] = None,
+) -> BoundedVerdict:
+    """Bounded C1 check: well-formedness of the method's specification.
+
+    Inhaling the precondition from a zero-mask state must never fail, and —
+    having inhaled the precondition and havoced the returns — inhaling the
+    postcondition must never fail either.  (Failures of *inhale* are exactly
+    ill-definedness failures plus negative permission amounts, so this is
+    the semantic counterpart of the syntactic well-definedness checks the
+    translation emits for specifications.)
+    """
+    method = program.method(method_name)
+    explored = 0
+    arg_vars = list(method.args)
+    for store, heap in itertools.product(
+        enumerate_stores(arg_vars, domains),
+        enumerate_heaps(type_info.field_types),
+    ):
+        state = zero_mask_state(store, type_info.field_types, heap)
+        pre_outcome = inhale(method.pre, state)
+        explored += 1
+        if isinstance(pre_outcome, Failure):
+            return BoundedVerdict(
+                ok=False,
+                counterexample=state,
+                reason=f"precondition ill-formed: {pre_outcome.reason}",
+                explored_states=explored,
+            )
+        if not isinstance(pre_outcome, Normal):
+            continue
+        for ret_store in enumerate_stores(list(method.returns), domains):
+            post_state = pre_outcome.state.set_vars(ret_store)
+            post_outcome = inhale(method.post, post_state)
+            explored += 1
+            if isinstance(post_outcome, Failure):
+                return BoundedVerdict(
+                    ok=False,
+                    counterexample=post_state,
+                    reason=f"postcondition ill-formed: {post_outcome.reason}",
+                    explored_states=explored,
+                )
+    return BoundedVerdict(ok=True, explored_states=explored)
+
+
+def check_program_correct_bounded(
+    program: Program,
+    type_info: ProgramTypeInfo,
+    domains: Optional[Mapping[Type, Sequence[Value]]] = None,
+) -> Dict[str, BoundedVerdict]:
+    """Bounded correctness of every method with a body, plus C1 for all."""
+    verdicts: Dict[str, BoundedVerdict] = {}
+    for method in program.methods:
+        wf = check_spec_wellformed_bounded(program, type_info, method.name, domains)
+        if not wf.ok:
+            verdicts[method.name] = wf
+            continue
+        if method.body is None:
+            verdicts[method.name] = wf
+            continue
+        verdicts[method.name] = check_method_correct_bounded(
+            program, type_info, method.name, domains
+        )
+    return verdicts

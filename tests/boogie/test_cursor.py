@@ -1,0 +1,110 @@
+"""Tests for Boogie program points (cursors)."""
+
+from repro.boogie import (
+    Assign,
+    Assume,
+    BAssert,
+    BIf,
+    BIntLit,
+    BVar,
+    Cursor,
+    Havoc,
+    single_block,
+    StmtBlock,
+    TRUE,
+)
+
+
+def cmds(*names):
+    return tuple(Assign(name, BIntLit(0)) for name in names)
+
+
+class TestConstruction:
+    def test_empty_statement_is_done(self):
+        assert Cursor.from_stmt(()).is_done
+
+    def test_empty_blocks_normalise_away(self):
+        stmt = (StmtBlock((), None), StmtBlock((), None))
+        assert Cursor.from_stmt(stmt).is_done
+
+    def test_initial_cursor_points_at_first_command(self):
+        stmt = single_block(Assign("a", BIntLit(1)), Assign("b", BIntLit(2)))
+        cursor = Cursor.from_stmt(stmt)
+        assert cursor.current_cmd == Assign("a", BIntLit(1))
+
+    def test_normalisation_skips_to_continuation(self):
+        join = Cursor.from_stmt(single_block(Havoc("x")))
+        cursor = Cursor.from_stmt((), cont=join)
+        assert cursor == join
+
+
+class TestMovement:
+    def test_after_cmd_advances(self):
+        stmt = single_block(*cmds("a", "b"))
+        cursor = Cursor.from_stmt(stmt).after_cmd()
+        assert cursor.current_cmd == Assign("b", BIntLit(0))
+
+    def test_cursor_end_of_block_flows_into_next_block(self):
+        stmt = (StmtBlock(cmds("a"), None), StmtBlock(cmds("b"), None))
+        cursor = Cursor.from_stmt(stmt).after_cmd()
+        assert cursor.current_cmd == Assign("b", BIntLit(0))
+
+    def test_skip_cmds(self):
+        stmt = single_block(*cmds("a", "b", "c"))
+        cursor = Cursor.from_stmt(stmt).skip_cmds(2)
+        assert cursor.current_cmd == Assign("c", BIntLit(0))
+
+    def test_branching(self):
+        then = single_block(Assign("t", BIntLit(1)))
+        other = single_block(Assign("e", BIntLit(2)))
+        stmt = (
+            StmtBlock(cmds("a"), BIf(TRUE, then, other)),
+            StmtBlock(cmds("z"), None),
+        )
+        cursor = Cursor.from_stmt(stmt).after_cmd()
+        assert cursor.at_if
+        join = cursor.after_if()
+        assert join.current_cmd == Assign("z", BIntLit(0))
+        then_cursor = cursor.enter_branch(True)
+        assert then_cursor.current_cmd == Assign("t", BIntLit(1))
+        # Falling off the branch lands exactly at the join point.
+        assert then_cursor.after_cmd() == join
+
+    def test_empty_branch_normalises_to_join(self):
+        stmt = (
+            StmtBlock((), BIf(TRUE, (), ())),
+            StmtBlock(cmds("z"), None),
+        )
+        cursor = Cursor.from_stmt(stmt)
+        assert cursor.enter_branch(True) == cursor.after_if()
+        assert cursor.enter_branch(False) == cursor.after_if()
+
+    def test_nested_branches_share_outer_join(self):
+        inner = (StmtBlock((), BIf(TRUE, single_block(Havoc("i")), ())),)
+        stmt = (
+            StmtBlock((), BIf(TRUE, inner, ())),
+            StmtBlock(cmds("z"), None),
+        )
+        outer = Cursor.from_stmt(stmt)
+        outer_join = outer.after_if()
+        inner_cursor = outer.enter_branch(True)
+        assert inner_cursor.at_if
+        # Leaving the inner if joins into the outer join.
+        assert inner_cursor.after_if() == outer_join
+
+
+class TestEquality:
+    def test_structural_equality_is_program_point_identity(self):
+        stmt = single_block(*cmds("a", "b"))
+        c1 = Cursor.from_stmt(stmt).after_cmd()
+        c2 = Cursor.from_stmt(stmt).skip_cmds(1)
+        assert c1 == c2
+
+    def test_different_points_differ(self):
+        stmt = single_block(*cmds("a", "b"))
+        assert Cursor.from_stmt(stmt) != Cursor.from_stmt(stmt).after_cmd()
+
+    def test_peek_rendering(self):
+        stmt = single_block(Assume(TRUE), BAssert(TRUE))
+        assert "assume" in Cursor.from_stmt(stmt).peek()
+        assert Cursor.from_stmt(()).peek() == "<end>"

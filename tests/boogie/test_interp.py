@@ -1,0 +1,86 @@
+"""Tests for interpretations and bounded axiom checking."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.boogie import (
+    AxiomDecl,
+    beq,
+    BIntLit,
+    BOOL,
+    BoogieProgram,
+    BVar,
+    check_axioms_bounded,
+    ConstDecl,
+    fixed_carrier,
+    Forall,
+    FuncApp,
+    FuncDecl,
+    INT,
+    Interpretation,
+    InterpretationError,
+    TCon,
+    TypeConDecl,
+)
+from repro.boogie.values import BVBool, BVInt, UValue
+
+
+class TestCarriers:
+    def test_builtin_samples(self):
+        interp = Interpretation()
+        assert BVInt(0) in interp.carrier_of(INT)
+        assert len(interp.carrier_of(BOOL)) == 2
+
+    def test_fixed_carrier_ignores_type_args(self):
+        carrier = fixed_carrier((UValue("T0", 1),))
+        assert carrier(()) == carrier((INT,))
+
+    def test_missing_carrier_raises(self):
+        with pytest.raises(InterpretationError, match="no carrier"):
+            Interpretation().carrier_of(TCon("Mystery"))
+
+    def test_missing_function_raises(self):
+        with pytest.raises(InterpretationError, match="no interpretation"):
+            Interpretation().apply("ghost", (), ())
+
+    def test_with_function_is_functional_update(self):
+        base = Interpretation()
+        extended = base.with_function("one", lambda targs, args: BVInt(1))
+        assert extended.apply("one", (), ()) == BVInt(1)
+        with pytest.raises(InterpretationError):
+            base.apply("one", (), ())
+
+
+class TestAxiomChecking:
+    def _program(self, axiom_expr):
+        return BoogieProgram(
+            type_decls=(TypeConDecl("T0", 0),),
+            consts=(ConstDecl("c", INT),),
+            functions=(FuncDecl("f", (), (INT,), INT),),
+            axioms=(AxiomDecl(axiom_expr, comment="under test"),),
+        )
+
+    def test_satisfied_axiom(self):
+        program = self._program(
+            Forall((), (("i", INT),), beq(FuncApp("f", (), (BVar("i"),)), BVar("i")))
+        )
+        interp = Interpretation(functions={"f": lambda targs, args: args[0]})
+        result = check_axioms_bounded(program, interp, {"c": BVInt(0)})
+        assert result.ok
+
+    def test_violated_axiom_reports_which(self):
+        program = self._program(
+            Forall((), (("i", INT),), beq(FuncApp("f", (), (BVar("i"),)), BIntLit(0)))
+        )
+        interp = Interpretation(functions={"f": lambda targs, args: args[0]})
+        result = check_axioms_bounded(program, interp, {"c": BVInt(0)})
+        assert not result.ok
+        assert result.failed_axiom is not None
+        assert "under test" in result.detail
+
+    def test_constant_axiom_uses_valuation(self):
+        program = self._program(beq(BVar("c"), BIntLit(5)))
+        interp = Interpretation(functions={"f": lambda targs, args: args[0]})
+        assert check_axioms_bounded(program, interp, {"c": BVInt(5)}).ok
+        assert not check_axioms_bounded(program, interp, {"c": BVInt(4)}).ok

@@ -1,0 +1,160 @@
+"""Tests for the polymorphic-map desugaring pass (Sec. 4.4)."""
+
+import pytest
+
+from repro.boogie import (
+    Assign,
+    Assume,
+    beq,
+    BIntLit,
+    BoogieProgram,
+    BVar,
+    check_boogie_program,
+    desugar_program,
+    FuncApp,
+    GlobalVarDecl,
+    INT,
+    MapSelect,
+    MapStore,
+    MapType,
+    PolymapEnv,
+    Procedure,
+    single_block,
+    TCon,
+    TVar,
+)
+
+#: The heap map type of the Viper encoding: <T>[Ref, Field T]T.
+HEAP_MAP = MapType(
+    ("T",), (TCon("Ref"), TCon("Field", (TVar("T"),))), TVar("T")
+)
+
+
+def heap_program() -> BoogieProgram:
+    from repro.boogie import TypeConDecl, ConstDecl
+
+    read = MapSelect(BVar("H"), (INT,), (BVar("r"), BVar("f")))
+    write = MapStore(BVar("H"), (INT,), (BVar("r"), BVar("f")), BIntLit(1))
+    return BoogieProgram(
+        type_decls=(TypeConDecl("Ref", 0), TypeConDecl("Field", 1)),
+        consts=(
+            ConstDecl("r", TCon("Ref")),
+            ConstDecl("f", TCon("Field", (INT,))),
+        ),
+        globals=(GlobalVarDecl("H", HEAP_MAP),),
+        procedures=(
+            Procedure(
+                "p",
+                (("v", INT),),
+                single_block(Assign("H", write), Assign("v", read)),
+            ),
+        ),
+    )
+
+
+class TestDesugaring:
+    def test_map_type_replaced_by_uninterpreted_type(self):
+        desugared = desugar_program(heap_program())
+        heap_global = [g for g in desugared.globals if g.name == "H"][0]
+        assert heap_global.typ == TCon("HeapType")
+
+    def test_select_becomes_read_function(self):
+        desugared = desugar_program(heap_program())
+        proc = desugared.procedure("p")
+        read_assign = proc.body[0].cmds[1]
+        assert isinstance(read_assign.rhs, FuncApp)
+        assert read_assign.rhs.name == "readHeapType"
+        assert read_assign.rhs.type_args == (INT,)
+
+    def test_store_becomes_upd_function(self):
+        desugared = desugar_program(heap_program())
+        proc = desugared.procedure("p")
+        write_assign = proc.body[0].cmds[0]
+        assert isinstance(write_assign.rhs, FuncApp)
+        assert write_assign.rhs.name == "updHeapType"
+
+    def test_two_axioms_emitted_per_map_type(self):
+        desugared = desugar_program(heap_program())
+        relevant = [a for a in desugared.axioms if "HeapType" in a.comment]
+        assert len(relevant) == 2
+
+    def test_result_typechecks(self):
+        check_boogie_program(desugar_program(heap_program()))
+
+    def test_original_with_sugar_also_typechecks(self):
+        check_boogie_program(heap_program())
+
+    def test_distinct_map_types_get_distinct_representations(self):
+        mask_map = MapType(
+            ("T",), (TCon("Ref"), TCon("Field", (TVar("T"),))), INT
+        )
+        from repro.boogie import TypeConDecl
+
+        program = BoogieProgram(
+            type_decls=(TypeConDecl("Ref", 0), TypeConDecl("Field", 1)),
+            globals=(
+                GlobalVarDecl("H", HEAP_MAP),
+                GlobalVarDecl("M", mask_map),
+            ),
+        )
+        env = PolymapEnv()
+        desugared = desugar_program(program, env)
+        names = {rep.type_name for rep in env.by_type.values()}
+        assert len(names) == 2
+
+    def test_nested_store_resolves_map_type(self):
+        inner = MapStore(BVar("H"), (INT,), (BVar("r"), BVar("f")), BIntLit(1))
+        outer = MapStore(inner, (INT,), (BVar("r"), BVar("f")), BIntLit(2))
+        program = heap_program()
+        program = BoogieProgram(
+            type_decls=program.type_decls,
+            consts=program.consts,
+            globals=program.globals,
+            procedures=(
+                Procedure("p", (), single_block(Assign("H", outer))),
+            ),
+        )
+        desugared = desugar_program(program)
+        cmd = desugared.procedure("p").body[0].cmds[0]
+        assert cmd.rhs.name == "updHeapType"
+        assert cmd.rhs.args[0].name == "updHeapType"
+
+    def test_unresolvable_map_expression_rejected(self):
+        # A select on a map produced by an unknown function can't be typed.
+        program = BoogieProgram(
+            globals=(GlobalVarDecl("g", INT),),
+            procedures=(
+                Procedure(
+                    "p",
+                    (),
+                    single_block(
+                        Assign("g", MapSelect(BIntLit(0), (), (BIntLit(0),)))
+                    ),
+                ),
+            ),
+        )
+        with pytest.raises(TypeError):
+            desugar_program(program)
+
+
+class TestCircularityModel:
+    def test_empty_map_is_a_legal_heap_value(self):
+        """The partial-map model admits the empty map as a heap — the
+        construction that breaks the impredicativity circularity."""
+        from repro.boogie.values import FrozenMap, UValue
+
+        empty_heap = UValue("HeapType", FrozenMap())
+        assert len(empty_heap.payload) == 0
+
+    def test_read_returns_default_outside_domain(self):
+        from repro.frontend.background import standard_interpretation
+        from repro.boogie.values import BVInt, FrozenMap, UValue
+        from repro.viper.ast import Type
+
+        interp = standard_interpretation({"f": Type.INT})
+        result = interp.apply(
+            "readHeap",
+            (INT,),
+            (UValue("HeapType", FrozenMap()), UValue("Ref", 1), UValue("Field", "f")),
+        )
+        assert result == BVInt(0)

@@ -1,0 +1,212 @@
+"""Tests for the Boogie small-step semantics."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.boogie import (
+    Assign,
+    Assume,
+    BAssert,
+    band,
+    BBinOp,
+    BBinOpKind,
+    beq,
+    BFailure,
+    BIf,
+    BIntLit,
+    BMagic,
+    BNormal,
+    BOOL,
+    BoogieContext,
+    BoogieProgram,
+    BoogieState,
+    BRealLit,
+    BVar,
+    Cursor,
+    eval_bexpr,
+    Exists,
+    Forall,
+    FuncApp,
+    FuncDecl,
+    GlobalVarDecl,
+    Havoc,
+    INT,
+    Interpretation,
+    Procedure,
+    REAL,
+    run_from,
+    run_procedure,
+    single_block,
+    StmtBlock,
+    TRUE,
+    TVar,
+    TCon,
+    TypeConDecl,
+    fixed_carrier,
+)
+from repro.boogie.values import BVBool, BVInt, BVReal, UValue
+from repro.choice import all_executions
+
+
+def empty_ctx(var_types=None, interp=None):
+    return BoogieContext(
+        BoogieProgram(), interp or Interpretation(), dict(var_types or {})
+    )
+
+
+class TestExpressionEvaluation:
+    def test_arithmetic(self):
+        ctx = empty_ctx()
+        expr = BBinOp(BBinOpKind.ADD, BIntLit(2), BIntLit(3))
+        assert eval_bexpr(expr, BoogieState(), ctx) == BVInt(5)
+
+    def test_div_and_mod_are_total(self):
+        ctx = empty_ctx()
+        div = BBinOp(BBinOpKind.DIV, BIntLit(1), BIntLit(0))
+        mod = BBinOp(BBinOpKind.MOD, BIntLit(1), BIntLit(0))
+        # Total (SMT-style) semantics: fixed, not crashing.
+        assert isinstance(eval_bexpr(div, BoogieState(), ctx), BVInt)
+        assert isinstance(eval_bexpr(mod, BoogieState(), ctx), BVInt)
+
+    def test_real_arithmetic_is_exact(self):
+        ctx = empty_ctx()
+        expr = BBinOp(
+            BBinOpKind.ADD, BRealLit(Fraction(1, 3)), BRealLit(Fraction(1, 6))
+        )
+        assert eval_bexpr(expr, BoogieState(), ctx) == BVReal(Fraction(1, 2))
+
+    def test_int_real_comparison_coerces(self):
+        ctx = empty_ctx()
+        expr = beq(BIntLit(1), BRealLit(Fraction(1)))
+        assert eval_bexpr(expr, BoogieState(), ctx) == BVBool(True)
+
+    def test_uninterpreted_function_application(self):
+        interp = Interpretation(functions={"inc": lambda t, a: BVInt(a[0].value + 1)})
+        ctx = empty_ctx(interp=interp)
+        expr = FuncApp("inc", (), (BIntLit(41),))
+        assert eval_bexpr(expr, BoogieState(), ctx) == BVInt(42)
+
+    def test_forall_over_carrier(self):
+        interp = Interpretation(int_sample=(BVInt(0), BVInt(1), BVInt(2)))
+        ctx = empty_ctx(interp=interp)
+        expr = Forall((), (("i", INT),), BBinOp(BBinOpKind.GE, BVar("i"), BIntLit(0)))
+        assert eval_bexpr(expr, BoogieState(), ctx) == BVBool(True)
+        expr_neg = Forall((), (("i", INT),), BBinOp(BBinOpKind.GT, BVar("i"), BIntLit(0)))
+        assert eval_bexpr(expr_neg, BoogieState(), ctx) == BVBool(False)
+
+    def test_exists_over_carrier(self):
+        ctx = empty_ctx()
+        expr = Exists((), (("i", INT),), beq(BVar("i"), BIntLit(7)))
+        assert eval_bexpr(expr, BoogieState(), ctx) == BVBool(True)
+
+    def test_type_quantifier_ranges_over_universe(self):
+        interp = Interpretation(
+            functions={"isZero": lambda targs, args: BVBool(args[0] in (BVInt(0), BVBool(False)))}
+        )
+        ctx = empty_ctx(interp=interp)
+        # forall<T> v: T :: isZero(v) — false because carriers contain 1.
+        expr = Forall(("T",), (("v", TVar("T")),), FuncApp("isZero", (TVar("T"),), (BVar("v"),)))
+        assert eval_bexpr(expr, BoogieState(), ctx) == BVBool(False)
+
+    def test_short_circuit_logic(self):
+        ctx = empty_ctx()
+        expr = BBinOp(BBinOpKind.IMPLIES, BVar("a"), BVar("b"))
+        state = BoogieState({"a": BVBool(False), "b": BVBool(False)})
+        assert eval_bexpr(expr, state, ctx) == BVBool(True)
+
+
+class TestExecution:
+    def test_assert_failure(self):
+        ctx = empty_ctx({"x": INT})
+        body = single_block(
+            Assign("x", BIntLit(1)), BAssert(beq(BVar("x"), BIntLit(2)))
+        )
+        outcome = run_from(Cursor.from_stmt(body), BoogieState({"x": BVInt(0)}), ctx)
+        assert outcome == BFailure()
+
+    def test_assume_magic(self):
+        ctx = empty_ctx({"x": INT})
+        body = single_block(Assume(beq(BVar("x"), BIntLit(9))))
+        outcome = run_from(Cursor.from_stmt(body), BoogieState({"x": BVInt(0)}), ctx)
+        assert isinstance(outcome, BMagic)
+
+    def test_normal_completion(self):
+        ctx = empty_ctx({"x": INT})
+        body = single_block(Assign("x", BIntLit(3)))
+        outcome = run_from(Cursor.from_stmt(body), BoogieState({"x": BVInt(0)}), ctx)
+        assert isinstance(outcome, BNormal)
+        assert outcome.state.lookup("x") == BVInt(3)
+
+    def test_havoc_enumerates_carrier(self):
+        ctx = empty_ctx({"x": INT})
+        body = single_block(Havoc("x"))
+        values = set()
+        for outcome in all_executions(
+            lambda o: run_from(Cursor.from_stmt(body), BoogieState({"x": BVInt(0)}), ctx, o)
+        ):
+            values.add(outcome.state.lookup("x"))
+        assert len(values) == len(Interpretation().int_sample)
+
+    def test_conditional_branching(self):
+        ctx = empty_ctx({"x": INT, "b": BOOL})
+        stmt = (
+            StmtBlock(
+                (),
+                BIf(
+                    BVar("b"),
+                    single_block(Assign("x", BIntLit(1))),
+                    single_block(Assign("x", BIntLit(2))),
+                ),
+            ),
+        )
+        for flag, expected in ((True, 1), (False, 2)):
+            outcome = run_from(
+                Cursor.from_stmt(stmt),
+                BoogieState({"x": BVInt(0), "b": BVBool(flag)}),
+                ctx,
+            )
+            assert outcome.state.lookup("x") == BVInt(expected)
+
+    def test_nondeterministic_branching_explores_both(self):
+        ctx = empty_ctx({"x": INT})
+        stmt = (
+            StmtBlock(
+                (),
+                BIf(
+                    None,
+                    single_block(Assign("x", BIntLit(1))),
+                    single_block(Assign("x", BIntLit(2))),
+                ),
+            ),
+        )
+        results = {
+            outcome.state.lookup("x")
+            for outcome in all_executions(
+                lambda o: run_from(
+                    Cursor.from_stmt(stmt), BoogieState({"x": BVInt(0)}), ctx, o
+                )
+            )
+        }
+        assert results == {BVInt(1), BVInt(2)}
+
+    def test_havoc_hook_overrides_candidates(self):
+        ctx = empty_ctx({"x": INT})
+        ctx.havoc_hook = lambda name, typ, state, c: (BVInt(99),)
+        body = single_block(Havoc("x"))
+        outcome = run_from(Cursor.from_stmt(body), BoogieState({"x": BVInt(0)}), ctx)
+        assert outcome.state.lookup("x") == BVInt(99)
+
+    def test_run_procedure_with_uninterpreted_types(self):
+        program = BoogieProgram(
+            type_decls=(TypeConDecl("T0", 0),),
+            globals=(GlobalVarDecl("g", TCon("T0")),),
+            procedures=(
+                Procedure("p", (), single_block(Havoc("g"))),
+            ),
+        )
+        interp = Interpretation(carriers={"T0": fixed_carrier((UValue("T0", 0),))})
+        outcome = run_procedure(
+            program, program.procedure("p"), interp, BoogieState({"g": UValue("T0", 5)})
+        )
+        assert outcome.state.lookup("g") == UValue("T0", 0)

@@ -1,0 +1,186 @@
+"""Tests for VC generation (wlp) and the bounded prover."""
+
+import pytest
+
+from repro.boogie import (
+    Assign,
+    Assume,
+    BAssert,
+    band,
+    BBinOp,
+    BBinOpKind,
+    beq,
+    BIf,
+    BIntLit,
+    bnot,
+    BoogieProgram,
+    BoogieState,
+    BVar,
+    check_vc_bounded,
+    Forall,
+    GlobalVarDecl,
+    Havoc,
+    INT,
+    Interpretation,
+    Procedure,
+    procedure_vc,
+    single_block,
+    StmtBlock,
+    TRUE,
+    Verdict,
+    verify_procedure_bounded,
+    verify_procedure_via_vc,
+    wlp_stmt,
+)
+from repro.boogie.values import BVInt
+from repro.boogie.semantics import BoogieContext, eval_bexpr
+
+
+def gt(l, r):
+    return BBinOp(BBinOpKind.GT, l, r)
+
+
+def ge(l, r):
+    return BBinOp(BBinOpKind.GE, l, r)
+
+
+class TestWlp:
+    VAR_TYPES = {"x": INT, "y": INT}
+
+    def test_assume_becomes_implication(self):
+        stmt = single_block(Assume(gt(BVar("x"), BIntLit(0))))
+        wlp = wlp_stmt(stmt, beq(BVar("x"), BIntLit(1)), self.VAR_TYPES)
+        assert wlp == BBinOp(
+            BBinOpKind.IMPLIES, gt(BVar("x"), BIntLit(0)), beq(BVar("x"), BIntLit(1))
+        )
+
+    def test_assert_becomes_conjunction(self):
+        stmt = single_block(BAssert(gt(BVar("x"), BIntLit(0))))
+        wlp = wlp_stmt(stmt, TRUE, self.VAR_TYPES)
+        assert wlp == gt(BVar("x"), BIntLit(0))
+
+    def test_assignment_substitutes(self):
+        stmt = single_block(Assign("x", BIntLit(5)))
+        wlp = wlp_stmt(stmt, gt(BVar("x"), BIntLit(0)), self.VAR_TYPES)
+        assert wlp == gt(BIntLit(5), BIntLit(0))
+
+    def test_havoc_quantifies(self):
+        stmt = single_block(Havoc("x"))
+        wlp = wlp_stmt(stmt, ge(BVar("x"), BVar("y")), self.VAR_TYPES)
+        assert isinstance(wlp, Forall)
+        assert wlp.bound == (("x", INT),)
+
+    def test_havoc_of_unused_variable_is_identity(self):
+        stmt = single_block(Havoc("x"))
+        post = ge(BVar("y"), BIntLit(0))
+        assert wlp_stmt(stmt, post, self.VAR_TYPES) == post
+
+    def test_substitution_is_capture_avoiding(self):
+        # wlp(y := x, forall x :: x >= y) must not capture the assigned x.
+        stmt = single_block(Assign("y", BVar("x")))
+        post = Forall((), (("x", INT),), ge(BVar("x"), BVar("y")))
+        wlp = wlp_stmt(stmt, post, self.VAR_TYPES)
+        assert isinstance(wlp, Forall)
+        # The substituted occurrence of y must read the *outer* x.
+        inner = wlp.body
+        assert BVar("x") == inner.right
+        assert wlp.bound[0][0] != "x"
+
+    def test_if_splits_on_condition(self):
+        stmt = (
+            StmtBlock(
+                (),
+                BIf(
+                    gt(BVar("x"), BIntLit(0)),
+                    single_block(BAssert(ge(BVar("x"), BIntLit(1)))),
+                    single_block(BAssert(ge(BIntLit(0), BVar("x")))),
+                ),
+            ),
+        )
+        wlp = wlp_stmt(stmt, TRUE, self.VAR_TYPES)
+        interp = Interpretation()
+        ctx = BoogieContext(BoogieProgram(), interp, dict(self.VAR_TYPES))
+        for value in interp.int_sample:
+            state = BoogieState({"x": value, "y": BVInt(0)})
+            assert eval_bexpr(wlp, state, ctx).value
+
+
+class TestProver:
+    def _program(self, *cmds, locals_=()):
+        return BoogieProgram(
+            procedures=(Procedure("p", tuple(locals_), single_block(*cmds)),)
+        )
+
+    def test_valid_procedure(self):
+        program = self._program(
+            Havoc("x"),
+            Assume(gt(BVar("x"), BIntLit(0))),
+            BAssert(ge(BVar("x"), BIntLit(1))),
+            locals_=(("x", INT),),
+        )
+        result = verify_procedure_bounded(program, program.procedure("p"), Interpretation())
+        assert result.verdict is Verdict.BOUNDED_VALID
+
+    def test_invalid_procedure_refuted_with_counterexample(self):
+        program = self._program(
+            BAssert(ge(BVar("x"), BIntLit(0))), locals_=(("x", INT),)
+        )
+        result = verify_procedure_bounded(program, program.procedure("p"), Interpretation())
+        assert result.verdict is Verdict.REFUTED
+        assert result.counterexample is not None
+        assert result.counterexample["x"] == BVInt(-1)
+
+    def test_vc_and_operational_verdicts_agree(self):
+        cases = [
+            (
+                (
+                    Havoc("x"),
+                    Assume(gt(BVar("x"), BIntLit(2))),
+                    BAssert(gt(BVar("x"), BIntLit(1))),
+                ),
+                Verdict.BOUNDED_VALID,
+            ),
+            ((BAssert(beq(BVar("x"), BIntLit(0))),), Verdict.REFUTED),
+            (
+                (Assign("x", BIntLit(3)), BAssert(beq(BVar("x"), BIntLit(3)))),
+                Verdict.BOUNDED_VALID,
+            ),
+        ]
+        for cmds, expected in cases:
+            program = self._program(*cmds, locals_=(("x", INT),))
+            proc = program.procedure("p")
+            op = verify_procedure_bounded(program, proc, Interpretation())
+            vc = verify_procedure_via_vc(program, proc, Interpretation())
+            assert op.verdict is expected
+            assert vc.verdict is expected
+
+    def test_fixed_values_restrict_search(self):
+        program = self._program(
+            BAssert(ge(BVar("x"), BIntLit(0))), locals_=(("x", INT),)
+        )
+        result = verify_procedure_bounded(
+            program, program.procedure("p"), Interpretation(), fixed={"x": BVInt(5)}
+        )
+        assert result.verdict is Verdict.BOUNDED_VALID
+
+    def test_nondeterministic_branch_explored(self):
+        program = BoogieProgram(
+            procedures=(
+                Procedure(
+                    "p",
+                    (("x", INT),),
+                    (
+                        StmtBlock(
+                            (Assign("x", BIntLit(0)),),
+                            BIf(
+                                None,
+                                single_block(BAssert(beq(BVar("x"), BIntLit(1)))),
+                                (),
+                            ),
+                        ),
+                    ),
+                ),
+            )
+        )
+        result = verify_procedure_bounded(program, program.procedure("p"), Interpretation())
+        assert result.verdict is Verdict.REFUTED

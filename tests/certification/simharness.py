@@ -1,0 +1,119 @@
+"""Harness for validating simulation lemma schemas semantically.
+
+Builds, for a single Viper effect (an assertion to inhale / remcheck /
+exhale, or a statement), the Boogie code the translator emits for it *in
+isolation*, an executable Boogie context over the standard interpretation,
+and the canonical related-state constructor — everything the bounded
+generic-simulation checkers of :mod:`repro.certification.simulation` need.
+
+This is the reproduction's stand-in for the paper's once-and-for-all
+Isabelle lemma proofs: each kernel schema is validated against the actual
+semantics over exhaustive small samples.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.boogie.ast import BoogieProgram, GlobalVarDecl
+from repro.boogie.cursor import Cursor
+from repro.boogie.semantics import BoogieContext
+from repro.certification.relations import boogie_state_for, SimRel
+from repro.certification.simulation import (
+    default_boogie_value,
+    heap_havoc_hook,
+    sample_viper_states,
+)
+from repro.frontend.background import (
+    build_background,
+    constant_valuation,
+    HEAP_TYPE,
+    MASK_TYPE,
+    standard_interpretation,
+)
+from repro.frontend.translator import _MethodTranslator, _StmtBuilder, TranslationOptions
+from repro.viper import check_program, parse_program, ViperContext
+from repro.viper.ast import Type
+
+#: The scaffold fixing variables and fields for effect-level tests.
+SCAFFOLD_SOURCE = """
+field f: Int
+field g: Int
+
+method scaffold(x: Ref, y: Ref, n: Int, b: Bool, p: Perm) returns (r: Int)
+  requires true
+  ensures true
+{
+  var t: Int
+  t := 0
+  r := t
+}
+"""
+
+
+class EffectHarness:
+    """Translate one effect and expose everything needed to check it."""
+
+    def __init__(self, options: Optional[TranslationOptions] = None):
+        self.program = parse_program(SCAFFOLD_SOURCE)
+        self.type_info = check_program(self.program)
+        self.field_types = self.type_info.field_types
+        self.background = build_background(self.field_types)
+        self.options = options or TranslationOptions()
+        self.method = self.program.method("scaffold")
+        self.translator = _MethodTranslator(
+            self.program, self.type_info, self.background, self.method, self.options
+        )
+        self.record = self.translator.record
+        self.viper_ctx = ViperContext(self.program, self.type_info, "scaffold")
+        self.interp = standard_interpretation(self.field_types)
+        self.consts = constant_valuation(self.background)
+
+    def translate_effect(self, emit: Callable) -> Tuple[tuple, object]:
+        """Run ``emit(translator, builder)`` and return (BStmt, hint)."""
+        builder = _StmtBuilder()
+        hint = emit(self.translator, builder)
+        return builder.build(), hint
+
+    def boogie_context(self, stmt) -> BoogieContext:
+        var_types: Dict[str, object] = {
+            g.name: g.typ
+            for g in (
+                GlobalVarDecl("H", HEAP_TYPE),
+                GlobalVarDecl("M", MASK_TYPE),
+            )
+        }
+        var_types.update(
+            {c.name: c.typ for c in self.background.consts}
+        )
+        for name, typ in self.type_info.methods["scaffold"].var_types.items():
+            from repro.frontend.records import boogie_type_of
+
+            var_types[self.record.boogie_var(name)] = boogie_type_of(typ)
+        for name, typ in self.translator._extra_locals:
+            var_types[name] = typ
+        program = BoogieProgram(
+            type_decls=self.background.type_decls,
+            consts=self.background.consts,
+            globals=(GlobalVarDecl("H", HEAP_TYPE), GlobalVarDecl("M", MASK_TYPE)),
+            functions=self.background.functions,
+            axioms=self.background.axioms,
+        )
+        ctx = BoogieContext(program, self.interp, var_types)
+        ctx.havoc_hook = heap_havoc_hook(self.field_types)
+        return ctx
+
+    def boogie_state_of(self, viper_state):
+        extra = {
+            name: default_boogie_value(typ)
+            for name, typ in self.translator._extra_locals
+        }
+        return boogie_state_for(viper_state, self.record, self.consts, extra)
+
+    def states(self, count: int = 30, seed: int = 0):
+        """Diverse sampled Viper states over the scaffold's variables."""
+        var_types = self.type_info.methods["scaffold"].var_types
+        return sample_viper_states(var_types, self.field_types, count, seed)
+
+    def rel(self) -> SimRel:
+        return SimRel(self.record)

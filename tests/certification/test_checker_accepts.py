@@ -1,0 +1,226 @@
+"""Certification acceptance over the supported feature matrix.
+
+Every program here must translate, generate a certificate, and have the
+certificate accepted by the independent kernel — including under every
+translation-option variant (the "diverse translations" of the paper).
+"""
+
+import pytest
+
+from repro.certification import (
+    certify_translation,
+    check_program_certificate,
+    generate_program_certificate,
+    parse_program_certificate,
+    render_program_certificate,
+)
+from repro.frontend import translate_program, TranslationOptions
+
+from tests.helpers import parsed
+
+
+def certifies(source: str, options: TranslationOptions = None) -> None:
+    program, info = parsed(source)
+    result = translate_program(program, info, options)
+    cert, report = certify_translation(result)
+    assert report.ok, report.error
+    # The serialised form checks identically.
+    reparsed = parse_program_certificate(render_program_certificate(cert))
+    report2 = check_program_certificate(result, reparsed)
+    assert report2.ok, report2.error
+
+
+HEADER = "field f: Int\nfield g: Int\n"
+
+
+class TestStatements:
+    def test_assignments(self):
+        certifies(HEADER + """
+        method m(x: Ref, n: Int) returns (r: Int)
+          requires acc(x.f, write) ensures acc(x.f, write)
+        {
+          r := n + 1
+          x.f := r
+          r := x.f
+        }""")
+
+    def test_scoped_variables(self):
+        certifies(HEADER + """
+        method m(x: Ref) requires acc(x.f, write) ensures acc(x.f, write)
+        {
+          var t: Int
+          t := x.f
+          var u: Bool
+          u := t > 0
+          if (u) { x.f := t }
+        }""")
+
+    def test_nested_conditionals(self):
+        certifies(HEADER + """
+        method m(n: Int) returns (r: Int) requires true ensures true
+        {
+          if (n > 0) {
+            if (n > 10) { r := 2 } else { r := 1 }
+          } else {
+            r := 0
+          }
+        }""")
+
+    def test_inhale_exhale_assert(self):
+        certifies(HEADER + """
+        method m(x: Ref) requires true ensures true
+        {
+          inhale acc(x.f, write) && x.f == 0
+          assert acc(x.f, 1/2) && x.f >= 0
+          exhale acc(x.f, write)
+        }""")
+
+
+class TestAssertions:
+    def test_fractional_permissions(self):
+        certifies(HEADER + """
+        method m(x: Ref, p: Perm)
+          requires acc(x.f, p) && p > none ensures acc(x.f, p)
+        {
+          exhale acc(x.f, p / 2)
+          inhale acc(x.f, p / 2)
+        }""")
+
+    def test_implications_and_conditionals(self):
+        certifies(HEADER + """
+        method m(x: Ref, b: Bool)
+          requires b ==> acc(x.f, 1/2)
+          ensures b ? acc(x.f, 1/2) : true
+        {
+          assert b ==> x.f == x.f
+        }""")
+
+    def test_multi_field(self):
+        certifies(HEADER + """
+        method m(x: Ref, y: Ref)
+          requires acc(x.f, write) && acc(y.g, 1/2)
+          ensures acc(x.f, write) && acc(y.g, 1/2)
+        {
+          x.f := y.g + 1
+        }""")
+
+    def test_heap_dependent_spec_expressions(self):
+        certifies(HEADER + """
+        method m(x: Ref)
+          requires acc(x.f, 1/2) && x.f > 0
+          ensures acc(x.f, 1/2) && x.f > 0
+        {
+          assert x.f > 0
+        }""")
+
+
+class TestCalls:
+    CALLS = HEADER + """
+    method callee(x: Ref, k: Int) returns (out: Int)
+      requires acc(x.f, 1/2) && x.f >= k
+      ensures acc(x.f, 1/2) && out >= 0
+    {
+      out := x.f - k
+    }
+
+    method caller(a: Ref) returns (r: Int)
+      requires acc(a.f, write) ensures acc(a.f, write)
+    {
+      var zero: Int
+      zero := 0
+      a.f := 5
+      r := callee(a, zero)
+      assert r == r
+    }
+    """
+
+    def test_call_with_optimised_wd_omission(self):
+        certifies(self.CALLS)
+
+    def test_call_with_wd_checks_enabled(self):
+        certifies(self.CALLS, TranslationOptions(wd_checks_at_calls=True))
+
+    def test_chained_calls_build_dependency_chain(self):
+        source = HEADER + """
+        method a(x: Ref) requires acc(x.f, 1/2) ensures acc(x.f, 1/2) { assert true }
+        method b(x: Ref) requires acc(x.f, 1/2) ensures acc(x.f, 1/2) { a(x) }
+        method c(x: Ref) requires acc(x.f, write) ensures acc(x.f, write) { b(x) }
+        """
+        program, info = parsed(source)
+        result = translate_program(program, info)
+        cert, report = certify_translation(result)
+        assert report.ok
+        assert report.method_reports["b"].dependencies == ("a",)
+        assert report.method_reports["c"].dependencies == ("b",)
+
+    def test_call_to_abstract_method(self):
+        certifies(HEADER + """
+        method ext(x: Ref) returns (y: Int)
+          requires acc(x.f, 1/2) ensures acc(x.f, 1/2) && y >= 0
+
+        method caller(a: Ref) requires acc(a.f, write) ensures acc(a.f, write)
+        {
+          var r: Int
+          r := ext(a)
+        }""")
+
+    def test_multi_target_call(self):
+        certifies(HEADER + """
+        method pair(x: Ref) returns (a: Int, b: Int)
+          requires acc(x.f, 1/2) ensures acc(x.f, 1/2) && a <= b
+        {
+          a := x.f
+          b := x.f
+        }
+        method caller(q: Ref) requires acc(q.f, write) ensures acc(q.f, write)
+        {
+          var u: Int
+          var v: Int
+          u, v := pair(q)
+          assert u <= v
+        }""")
+
+
+class TestOptionVariants:
+    SOURCE = HEADER + """
+    method m(x: Ref, p: Perm)
+      requires acc(x.f, write) && p > none
+      ensures acc(x.f, 1/2)
+    {
+      exhale acc(x.f, 1/4)
+      inhale acc(x.f, 1/4)
+      exhale acc(x.f, 1/2)
+    }
+    """
+
+    @pytest.mark.parametrize("fastpath", [True, False])
+    @pytest.mark.parametrize("always_havoc", [True, False])
+    def test_all_variants_certify(self, fastpath, always_havoc):
+        certifies(
+            self.SOURCE,
+            TranslationOptions(
+                literal_perm_fastpath=fastpath,
+                always_emit_exhale_havoc=always_havoc,
+            ),
+        )
+
+
+class TestFailingProgramsStillCertify:
+    """Certification is about the translation, not program correctness:
+    an incorrect program must still get a valid certificate (the paper's
+    *-fail benchmark files)."""
+
+    def test_failing_assert(self):
+        certifies(HEADER + """
+        method m(x: Ref) requires acc(x.f, write) ensures acc(x.f, write)
+        { x.f := 1 assert x.f == 2 }""")
+
+    def test_failing_wd(self):
+        certifies(HEADER + """
+        method m(x: Ref) requires true ensures true
+        { assert x.f > 0 }""")
+
+    def test_failing_post(self):
+        certifies(HEADER + """
+        method m(x: Ref) requires acc(x.f, 1/2) ensures acc(x.f, write)
+        { assert true }""")

@@ -1,0 +1,343 @@
+"""Adversarial tests: the kernel must reject anything unsound.
+
+The checker is the trusted base; these tests simulate (a) translator bugs
+(corrupted Boogie output), (b) lying hints / tactics (wrong rule choices,
+wrong side-condition claims), and (c) record corruption.  Every case must
+be *rejected* — acceptance of any of them would be a kernel soundness bug.
+"""
+
+from dataclasses import replace
+from fractions import Fraction
+
+import pytest
+
+from repro.boogie.ast import (
+    Assign,
+    Assume,
+    BAssert,
+    BBinOp,
+    BBinOpKind,
+    BIntLit,
+    BIf,
+    BoogieProgram,
+    BRealLit,
+    BVar,
+    Procedure,
+    StmtBlock,
+    TRUE,
+)
+from repro.certification import (
+    check_program_certificate,
+    generate_program_certificate,
+)
+from repro.certification.checker import ProofChecker
+from repro.certification.prooftree import (
+    MethodCertificate,
+    node,
+    ProgramCertificate,
+    ProofNode,
+)
+from repro.frontend import translate_program, TranslationOptions
+from tests.helpers import parsed
+
+SOURCE = """
+field f: Int
+
+method callee(x: Ref)
+  requires acc(x.f, 1/2) && x.f > 0
+  ensures acc(x.f, 1/2)
+{ assert true }
+
+method m(x: Ref, p: Perm) returns (r: Int)
+  requires acc(x.f, write) && p > none
+  ensures acc(x.f, 1/2)
+{
+  x.f := 3
+  r := x.f
+  callee(x)
+  exhale acc(x.f, 1/2) && x.f == 3
+  inhale acc(x.f, 1/2)
+}
+"""
+
+
+def setup():
+    program, info = parsed(SOURCE)
+    result = translate_program(program, info)
+    cert = generate_program_certificate(result)
+    return result, cert
+
+
+def assert_rejected(result, cert, fragment: str = ""):
+    report = check_program_certificate(result, cert)
+    assert not report.ok
+    if fragment:
+        assert fragment in report.error, report.error
+    return report
+
+
+def _map_body(proc: Procedure, transform) -> Procedure:
+    def walk(stmt):
+        blocks = []
+        for block in stmt:
+            cmds = tuple(transform(c) for c in block.cmds)
+            ifopt = block.ifopt
+            if ifopt is not None:
+                ifopt = BIf(ifopt.cond, walk(ifopt.then), walk(ifopt.otherwise))
+            blocks.append(StmtBlock(cmds, ifopt))
+        return tuple(blocks)
+
+    return Procedure(proc.name, proc.locals, walk(proc.body))
+
+
+def _with_procedure(result, proc: Procedure):
+    procedures = tuple(
+        proc if p.name == proc.name else p
+        for p in result.boogie_program.procedures
+    )
+    program = replace(result.boogie_program, procedures=procedures)
+    return replace(result, boogie_program=program)
+
+
+class TestCorruptedTranslations:
+    def test_swapped_literal(self):
+        result, cert = setup()
+
+        def fix_expr(expr):
+            from repro.boogie.ast import FuncApp
+
+            if expr == BIntLit(3):
+                return BIntLit(4)
+            if isinstance(expr, FuncApp):
+                return FuncApp(
+                    expr.name, expr.type_args, tuple(fix_expr(a) for a in expr.args)
+                )
+            if isinstance(expr, BBinOp):
+                return BBinOp(expr.op, fix_expr(expr.left), fix_expr(expr.right))
+            return expr
+
+        def transform(cmd):
+            if isinstance(cmd, Assign):
+                return Assign(cmd.target, fix_expr(cmd.rhs))
+            if isinstance(cmd, BAssert):
+                return BAssert(fix_expr(cmd.expr))
+            return cmd
+
+        proc = _map_body(result.boogie_program.procedure("m_m"), transform)
+        assert_rejected(_with_procedure(result, proc), cert, "mismatch")
+
+    def test_dropped_permission_check(self):
+        result, cert = setup()
+        dropped = []
+
+        def transform(cmd):
+            if isinstance(cmd, BAssert) and not dropped:
+                dropped.append(cmd)
+                return Assume(TRUE)
+            return cmd
+
+        proc = _map_body(result.boogie_program.procedure("m_m"), transform)
+        assert_rejected(_with_procedure(result, proc), cert)
+
+    def test_assert_weakened_to_assume(self):
+        result, cert = setup()
+
+        def transform(cmd):
+            if isinstance(cmd, BAssert):
+                return Assume(cmd.expr)
+            return cmd
+
+        proc = _map_body(result.boogie_program.procedure("m_m"), transform)
+        assert_rejected(_with_procedure(result, proc), cert)
+
+    def test_wrong_mask_variable(self):
+        result, cert = setup()
+
+        def transform(cmd):
+            if isinstance(cmd, Assign) and cmd.target == "M":
+                return Assign("H", cmd.rhs)
+            return cmd
+
+        proc = _map_body(result.boogie_program.procedure("m_m"), transform)
+        assert_rejected(_with_procedure(result, proc), cert)
+
+    def test_missing_procedure(self):
+        result, cert = setup()
+        program = replace(
+            result.boogie_program,
+            procedures=tuple(
+                p for p in result.boogie_program.procedures if p.name != "m_m"
+            ),
+        )
+        assert_rejected(replace(result, boogie_program=program), cert)
+
+    def test_truncated_body(self):
+        result, cert = setup()
+        proc = result.boogie_program.procedure("m_m")
+        truncated = Procedure(proc.name, proc.locals, proc.body[:1])
+        assert_rejected(_with_procedure(result, truncated), cert)
+
+
+class TestLyingHints:
+    def _rewrite_nodes(self, proof: ProofNode, rewrite) -> ProofNode:
+        new = rewrite(proof)
+        return ProofNode(
+            new.rule,
+            new.params,
+            tuple(self._rewrite_nodes(p, rewrite) for p in new.premises),
+        )
+
+    def _mutate_cert(self, cert: ProgramCertificate, method: str, rewrite):
+        methods = []
+        for mc in cert.methods:
+            if mc.method == method and mc.body_proof is not None:
+                mc = replace(mc, body_proof=self._rewrite_nodes(mc.body_proof, rewrite))
+            methods.append(mc)
+        return ProgramCertificate(tuple(methods))
+
+    def test_claiming_fastpath_against_temp_based_code(self):
+        # Translate without the fast path (temp-based encoding), then lie
+        # that the fast path was taken: the side condition holds (the amount
+        # is a positive literal) but the commands do not match the schema.
+        program, info = parsed(SOURCE)
+        result = translate_program(
+            program, info, TranslationOptions(literal_perm_fastpath=False)
+        )
+        cert = generate_program_certificate(result)
+
+        def rewrite(proof):
+            if proof.rule == "RC-ACC-ATOM" and proof.param("perm_temp"):
+                return node("RC-ACC-ATOM", proof.premises, perm_temp=None)
+            return proof
+
+        bad = self._mutate_cert(cert, "m", rewrite)
+        assert_rejected(result, bad)
+
+    def test_wrong_aux_variable_name(self):
+        result, cert = setup()
+
+        def rewrite(proof):
+            if proof.rule == "EXH-SIM" and proof.param("wm"):
+                return ProofNode(
+                    "EXH-SIM",
+                    tuple(
+                        (k, "WM_wrong" if k == "wm" else v) for k, v in proof.params
+                    ),
+                    proof.premises,
+                )
+            return proof
+
+        bad = self._mutate_cert(cert, "m", rewrite)
+        assert_rejected(result, bad)
+
+    def test_aux_variable_aliasing_the_record(self):
+        # Claiming M itself as the scratch variable must be rejected even
+        # if commands were crafted to match.
+        result, cert = setup()
+
+        def rewrite(proof):
+            if proof.rule == "EXH-SIM" and proof.param("wm"):
+                return ProofNode(
+                    "EXH-SIM",
+                    tuple((k, "M" if k == "wm" else v) for k, v in proof.params),
+                    proof.premises,
+                )
+            return proof
+
+        bad = self._mutate_cert(cert, "m", rewrite)
+        assert_rejected(result, bad)
+
+    def test_omitting_havoc_despite_acc(self):
+        result, cert = setup()
+
+        def rewrite(proof):
+            if proof.rule == "EXH-SIM":
+                return ProofNode(
+                    "EXH-SIM",
+                    tuple((k, None if k == "havoc" else v) for k, v in proof.params),
+                    proof.premises,
+                )
+            return proof
+
+        bad = self._mutate_cert(cert, "m", rewrite)
+        assert_rejected(result, bad)
+
+    def test_wrong_rule_for_statement(self):
+        result, cert = setup()
+
+        def rewrite(proof):
+            if proof.rule == "FIELD-ASSIGN-SIM":
+                return node("ASSIGN-SIM")
+            return proof
+
+        bad = self._mutate_cert(cert, "m", rewrite)
+        assert_rejected(result, bad)
+
+
+class TestWdOmissionPolicy:
+    def test_wd_omission_outside_call_context_rejected(self):
+        """An INHALE-STMT-SIM claiming with_wd=False outside a call has no
+        non-local hypothesis to justify it — the Q discipline of Sec. 4.2."""
+        result, cert = setup()
+
+        def rewrite(proof):
+            if proof.rule == "INHALE-STMT-SIM" and proof.param("with_wd") is True:
+                return ProofNode(
+                    "INHALE-STMT-SIM",
+                    (("with_wd", False),),
+                    proof.premises,
+                )
+            return proof
+
+        mutator = TestLyingHints()
+        bad = mutator._mutate_cert(cert, "m", rewrite)
+        assert_rejected(result, bad, "non-local")
+
+    def test_dependencies_must_resolve(self):
+        # A certificate whose call dependency points outside the program.
+        source = """
+        field f: Int
+        method only(x: Ref) requires acc(x.f, 1/2) ensures acc(x.f, 1/2)
+        { assert true }
+        """
+        program, info = parsed(source)
+        result = translate_program(program, info)
+        cert = generate_program_certificate(result)
+        # Drop the callee's certificate from a two-method program instead:
+        full_program, full_info = parsed(SOURCE)
+        full_result = translate_program(full_program, full_info)
+        full_cert = generate_program_certificate(full_result)
+        partial = ProgramCertificate(
+            tuple(c for c in full_cert.methods if c.method == "m")
+        )
+        report = check_program_certificate(full_result, partial)
+        assert not report.ok
+        assert "without certificates" in report.error or "unresolved" in report.error
+
+
+class TestRecordCorruption:
+    def test_swapped_variable_mapping(self):
+        result, cert = setup()
+        target = cert.certificate_for("m")
+        var_map = dict(target.record.var_map)
+        var_map["x"], var_map["p"] = var_map["p"], var_map["x"]
+        bad_record = replace(target.record, var_map=var_map)
+        bad_cert = ProgramCertificate(
+            tuple(
+                replace(c, record=bad_record) if c.method == "m" else c
+                for c in cert.methods
+            )
+        )
+        assert_rejected(result, bad_cert)
+
+    def test_wrong_heap_variable(self):
+        result, cert = setup()
+        target = cert.certificate_for("m")
+        bad_record = replace(target.record, heap_var="M")
+        bad_cert = ProgramCertificate(
+            tuple(
+                replace(c, record=bad_record) if c.method == "m" else c
+                for c in cert.methods
+            )
+        )
+        assert_rejected(result, bad_cert)

@@ -1,0 +1,62 @@
+"""Certificates are bound to both programs: swapping either side fails.
+
+A certificate for (V, B) must not be accepted for (V', B) or (V, B') —
+otherwise an attacker could reuse a valid certificate to "validate" a
+different translation.
+"""
+
+from dataclasses import replace
+
+from repro.certification import check_program_certificate, generate_program_certificate
+from repro.frontend import translate_program
+
+from tests.helpers import parsed
+
+ORIGINAL = """
+field f: Int
+method m(x: Ref)
+  requires acc(x.f, write)
+  ensures acc(x.f, write) && x.f == 1
+{ x.f := 1 }
+"""
+
+# Same shape, different constant — a distinct verification problem.
+VARIANT = """
+field f: Int
+method m(x: Ref)
+  requires acc(x.f, write)
+  ensures acc(x.f, write) && x.f == 1
+{ x.f := 2 }
+"""
+
+
+def _certified(source):
+    program, info = parsed(source)
+    result = translate_program(program, info)
+    return result, generate_program_certificate(result)
+
+
+class TestCrossProgramBinding:
+    def test_certificate_rejected_for_different_viper_program(self):
+        result_a, cert_a = _certified(ORIGINAL)
+        result_b, _ = _certified(VARIANT)
+        # cert_a against (V_b, B_a): the kernel re-derives expectations from
+        # the Viper AST, so the body literal mismatch must surface.
+        mixed = replace(result_a, viper_program=result_b.viper_program)
+        report = check_program_certificate(mixed, cert_a)
+        assert not report.ok
+
+    def test_certificate_rejected_for_different_boogie_program(self):
+        result_a, cert_a = _certified(ORIGINAL)
+        result_b, _ = _certified(VARIANT)
+        mixed = replace(result_a, boogie_program=result_b.boogie_program)
+        report = check_program_certificate(mixed, cert_a)
+        assert not report.ok
+
+    def test_consistent_pair_still_accepted(self):
+        result_a, cert_a = _certified(ORIGINAL)
+        assert check_program_certificate(result_a, cert_a).ok
+
+    def test_certificate_of_variant_accepts_variant(self):
+        result_b, cert_b = _certified(VARIANT)
+        assert check_program_certificate(result_b, cert_b).ok

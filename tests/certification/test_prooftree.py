@@ -1,0 +1,165 @@
+"""Tests for certificate representation and serialisation."""
+
+import pytest
+
+from repro.certification.prooftree import (
+    CertificateParseError,
+    MethodCertificate,
+    node,
+    parse_program_certificate,
+    ProgramCertificate,
+    ProofNode,
+    render_method_certificate,
+    render_program_certificate,
+)
+from repro.frontend.records import TranslationRecord
+
+
+def sample_record():
+    return TranslationRecord(
+        var_map={"x": "v_x", "r": "v_r"},
+        heap_var="H",
+        mask_var="M",
+        field_consts={"f": "field_f"},
+    )
+
+
+def sample_certificate():
+    wf = node(
+        "SPEC-WF-SIM",
+        (
+            node("INH-ACC-ATOM", perm_temp=None),
+            node("INH-PURE-ATOM"),
+        ),
+    )
+    body = node(
+        "METHOD-BODY-SIM",
+        (
+            node("INHALE-STMT-SIM", (node("INH-ACC-ATOM", perm_temp="tmp_0"),), with_wd=True),
+            node("SEQ-SIM", (node("ASSIGN-SIM"), node("SKIP-SIM"))),
+            node("EXH-SIM", (node("RC-ACC-ATOM", perm_temp=None),), wm="WM_1", havoc="HH_2"),
+        ),
+    )
+    cert = MethodCertificate(
+        method="m",
+        procedure="m_m",
+        record=sample_record(),
+        wf_proof=wf,
+        body_proof=body,
+        dependencies=("callee",),
+    )
+    return ProgramCertificate((cert,))
+
+
+class TestProofNodes:
+    def test_param_lookup(self):
+        proof = node("EXH-SIM", wm="WM_0", havoc=None)
+        assert proof.param("wm") == "WM_0"
+        assert proof.param("havoc") is None
+        assert proof.param("missing", 42) == 42
+
+    def test_size_counts_all_nodes(self):
+        proof = node("A", (node("B"), node("C", (node("D"),))))
+        assert proof.size() == 4
+
+    def test_params_are_sorted_for_determinism(self):
+        a = node("R", x=1, y=2)
+        b = node("R", y=2, x=1)
+        assert a == b
+
+
+class TestSerialisation:
+    def test_roundtrip(self):
+        cert = sample_certificate()
+        text = render_program_certificate(cert)
+        assert parse_program_certificate(text) == cert
+
+    def test_rendered_format_is_line_oriented(self):
+        text = render_program_certificate(sample_certificate())
+        lines = text.splitlines()
+        assert lines[0] == "CERTIFICATE-V1"
+        assert any(line.startswith("method ") for line in lines)
+        assert any("INH-ACC-ATOM" in line for line in lines)
+        assert lines[-1] == "end-certificate"
+
+    def test_param_encodings(self):
+        proof = node(
+            "R",
+            flag=True,
+            off=False,
+            nothing=None,
+            count=3,
+            name="tmp_0",
+            names=("a", "b"),
+        )
+        cert = ProgramCertificate(
+            (
+                MethodCertificate(
+                    method="m",
+                    procedure="p",
+                    record=sample_record(),
+                    wf_proof=proof,
+                    body_proof=None,
+                    dependencies=(),
+                ),
+            )
+        )
+        parsed = parse_program_certificate(render_program_certificate(cert))
+        reparsed = parsed.methods[0].wf_proof
+        assert reparsed.param("flag") is True
+        assert reparsed.param("off") is False
+        assert reparsed.param("nothing") is None
+        assert reparsed.param("count") == 3
+        assert reparsed.param("name") == "tmp_0"
+        assert reparsed.param("names") == ("a", "b")
+
+    def test_empty_tuple_param(self):
+        proof = node("R", names=())
+        cert = ProgramCertificate(
+            (
+                MethodCertificate(
+                    method="m", procedure="p", record=sample_record(),
+                    wf_proof=proof, body_proof=None, dependencies=(),
+                ),
+            )
+        )
+        parsed = parse_program_certificate(render_program_certificate(cert))
+        assert parsed.methods[0].wf_proof.param("names") == ()
+
+    def test_record_roundtrips(self):
+        cert = sample_certificate()
+        parsed = parse_program_certificate(render_program_certificate(cert))
+        record = parsed.methods[0].record
+        assert record.var_map == {"x": "v_x", "r": "v_r"}
+        assert record.field_consts == {"f": "field_f"}
+        assert record.heap_var == "H"
+
+    def test_dependencies_roundtrip(self):
+        parsed = parse_program_certificate(
+            render_program_certificate(sample_certificate())
+        )
+        assert parsed.methods[0].dependencies == ("callee",)
+
+
+class TestParseErrors:
+    def test_missing_header(self):
+        with pytest.raises(CertificateParseError, match="header"):
+            parse_program_certificate("method m\nend-method\n")
+
+    def test_missing_wf_proof(self):
+        text = "CERTIFICATE-V1\nmethod m\nprocedure p\nend-method\nend-certificate\n"
+        with pytest.raises(CertificateParseError, match="wf-proof"):
+            parse_program_certificate(text)
+
+    def test_bad_parameter_syntax(self):
+        text = (
+            "CERTIFICATE-V1\nmethod m\nprocedure p\nwf-proof\n"
+            "  RULE garbage\nend-method\nend-certificate\n"
+        )
+        with pytest.raises(CertificateParseError, match="parameter"):
+            parse_program_certificate(text)
+
+    def test_unexpected_line(self):
+        text = "CERTIFICATE-V1\nmethod m\nwhatever\nend-method\nend-certificate\n"
+        with pytest.raises(CertificateParseError):
+            parse_program_certificate(text)

@@ -1,0 +1,227 @@
+"""Semantic validation of the kernel's lemma schemas (Sec. 3 / Fig. 4–8).
+
+Each test instantiates the bounded generic simulation judgement for one
+translation schema: it translates the effect in isolation, then checks over
+sampled related state pairs that
+
+* every *failing* Viper execution has a failing Boogie execution, and
+* every *successful* Viper execution has a Boogie execution reaching the
+  exit point in a related state.
+
+These are the reproduction's counterparts of the once-and-for-all Isabelle
+lemma proofs the paper's tactic relies on — if one of these fails, the
+corresponding checker schema is unsound.
+"""
+
+import pytest
+
+from repro.certification.simulation import (
+    check_exhale_simulation,
+    check_inhale_simulation,
+    check_remcheck_simulation,
+    check_statement_simulation,
+)
+from repro.frontend.translator import TranslationOptions
+from repro.viper import parse_assertion, parse_stmt
+from repro.boogie.cursor import Cursor
+
+from tests.certification.simharness import EffectHarness
+
+
+def _check_inhale(source: str, options=None, count: int = 30):
+    harness = EffectHarness(options)
+    assertion = parse_assertion(source)
+    stmt, _hint = harness.translate_effect(
+        lambda tr, builder: tr.trans_inhale(assertion, tr.record, True, builder)
+    )
+    verdict = check_inhale_simulation(
+        assertion,
+        harness.viper_ctx,
+        harness.states(count),
+        harness.boogie_state_of,
+        Cursor.from_stmt(stmt),
+        None,
+        harness.boogie_context(stmt),
+        harness.rel(),
+    )
+    assert verdict.ok, f"{verdict.detail}\nstate: {verdict.viper_state!r}"
+    assert verdict.checked_pairs > 0
+
+
+def _check_remcheck(source: str, options=None, count: int = 30):
+    harness = EffectHarness(options)
+    assertion = parse_assertion(source)
+
+    def emit(tr, builder):
+        wd_mask = tr._fresh("WM", __import__("repro.frontend.background", fromlist=["MASK_TYPE"]).MASK_TYPE)
+        from repro.boogie.ast import Assign, BVar
+
+        builder.emit(Assign(wd_mask, BVar(tr.record.mask_var)))
+        record = tr.record.with_wd_mask(wd_mask)
+        return tr.trans_remcheck(assertion, record, True, builder)
+
+    stmt, _hint = harness.translate_effect(emit)
+    verdict = check_remcheck_simulation(
+        assertion,
+        harness.viper_ctx,
+        harness.states(count),
+        harness.boogie_state_of,
+        Cursor.from_stmt(stmt),
+        None,
+        harness.boogie_context(stmt),
+        # After the WM snapshot the relation is the paired one.
+        __import__("repro.certification.relations", fromlist=["SimRel"]).SimRel(
+            harness.record.with_wd_mask(None)
+        ),
+    )
+    assert verdict.ok, f"{verdict.detail}\nstate: {verdict.viper_state!r}"
+
+
+def _check_exhale(source: str, options=None, count: int = 24):
+    harness = EffectHarness(options)
+    assertion = parse_assertion(source)
+    stmt, _hint = harness.translate_effect(
+        lambda tr, builder: tr.trans_exhale(assertion, tr.record, True, builder)
+    )
+    verdict = check_exhale_simulation(
+        assertion,
+        harness.viper_ctx,
+        harness.states(count),
+        harness.boogie_state_of,
+        Cursor.from_stmt(stmt),
+        None,
+        harness.boogie_context(stmt),
+        harness.rel(),
+    )
+    assert verdict.ok, f"{verdict.detail}\nstate: {verdict.viper_state!r}"
+
+
+def _check_stmt(source: str, options=None, count: int = 24):
+    harness = EffectHarness(options)
+    stmt_v = parse_stmt(source)
+    stmt_b, _hint = harness.translate_effect(
+        lambda tr, builder: tr.trans_stmt(stmt_v, tr.record, builder)
+    )
+    verdict = check_statement_simulation(
+        stmt_v,
+        harness.viper_ctx,
+        harness.states(count),
+        harness.boogie_state_of,
+        Cursor.from_stmt(stmt_b),
+        None,
+        harness.boogie_context(stmt_b),
+        harness.rel(),
+    )
+    assert verdict.ok, f"{verdict.detail}\nstate: {verdict.viper_state!r}"
+
+
+class TestInhaleSchemas:
+    def test_pure(self):
+        _check_inhale("n > 0")
+
+    def test_pure_heap_dependent(self):
+        _check_inhale("x.f > 0")
+
+    def test_acc_literal_fastpath(self):
+        _check_inhale("acc(x.f, 1/2)")
+
+    def test_acc_full_literal(self):
+        _check_inhale("acc(x.f, write)")
+
+    def test_acc_variable_amount(self):
+        _check_inhale("acc(x.f, p)")
+
+    def test_acc_without_fastpath(self):
+        _check_inhale("acc(x.f, 1/2)", TranslationOptions(literal_perm_fastpath=False))
+
+    def test_sep_conjunction(self):
+        _check_inhale("acc(x.f, 1/2) && x.f >= 0")
+
+    def test_implication(self):
+        _check_inhale("b ==> acc(x.f, 1/2)")
+
+    def test_conditional(self):
+        _check_inhale("b ? acc(x.f, 1/2) : n > 0")
+
+    def test_aliasing_sum_exceeding_one(self):
+        # x and y may alias; inhaling both halves twice can exceed 1.
+        _check_inhale("acc(x.f, 2/3) && acc(y.f, 2/3)")
+
+
+class TestRemcheckSchemas:
+    def test_pure(self):
+        _check_remcheck("n > 0")
+
+    def test_pure_heap_dependent(self):
+        _check_remcheck("x.f >= 0")
+
+    def test_acc_literal(self):
+        _check_remcheck("acc(x.f, 1/2)")
+
+    def test_acc_variable_amount(self):
+        _check_remcheck("acc(x.f, p)")
+
+    def test_two_state_evaluation(self):
+        # The wd check of x.f consults WM, not the reduced mask M.
+        _check_remcheck("acc(x.f, write) && x.f >= 0")
+
+    def test_implication(self):
+        _check_remcheck("b ==> acc(x.f, 1/2)")
+
+    def test_conditional(self):
+        _check_remcheck("b ? acc(x.f, 1/2) : acc(y.f, 1/2)")
+
+    def test_aliasing_double_removal(self):
+        _check_remcheck("acc(x.f, 1/2) && acc(y.f, 1/2)")
+
+
+class TestExhaleSchemas:
+    def test_exhale_with_havoc(self):
+        _check_exhale("acc(x.f, write)")
+
+    def test_exhale_partial_keeps_values(self):
+        _check_exhale("acc(x.f, 1/2)")
+
+    def test_exhale_pure_omits_havoc(self):
+        _check_exhale("n > 0 ==> n >= 0")
+
+    def test_exhale_variable_amount(self):
+        _check_exhale("acc(x.f, p)")
+
+    def test_exhale_conjunction(self):
+        _check_exhale("acc(x.f, 1/2) && x.f >= 0", count=18)
+
+
+class TestStatementSchemas:
+    def test_local_assign(self):
+        _check_stmt("r := n + 1")
+
+    def test_local_assign_heap_dependent(self):
+        _check_stmt("r := x.f")
+
+    def test_field_assign(self):
+        _check_stmt("x.f := n")
+
+    def test_field_assign_heap_rhs(self):
+        _check_stmt("x.f := y.f + 1")
+
+    def test_var_decl(self):
+        _check_stmt("var t: Int")
+
+    def test_if_statement(self):
+        _check_stmt("if (b) { r := 1 } else { r := 2 }")
+
+    def test_if_heap_condition(self):
+        _check_stmt("if (x.f > 0) { r := 1 }")
+
+    def test_assert_statement_keeps_mask(self):
+        _check_stmt("assert acc(x.f, 1/2)")
+
+    def test_assert_pure(self):
+        _check_stmt("assert n == n")
+
+    def test_sequence(self):
+        _check_stmt("r := 1 r := r + n")
+
+    def test_inhale_exhale_roundtrip(self):
+        _check_stmt("inhale acc(x.f, 1/2) exhale acc(x.f, 1/2)", count=16)

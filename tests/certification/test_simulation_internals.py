@@ -1,0 +1,149 @@
+"""Tests for the executable simulation machinery itself."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.boogie.ast import (
+    Assign,
+    Assume,
+    BAssert,
+    beq,
+    BIntLit,
+    BoogieProgram,
+    BVar,
+    INT,
+    single_block,
+    TRUE,
+    FALSE,
+)
+from repro.boogie.cursor import Cursor
+from repro.boogie.semantics import BoogieContext
+from repro.boogie.state import BoogieState
+from repro.boogie.values import BVInt, FrozenMap, UValue
+from repro.boogie.interp import Interpretation
+from repro.certification.simulation import (
+    default_boogie_value,
+    heap_havoc_hook,
+    run_boogie_region,
+    sample_viper_states,
+)
+from repro.viper.ast import Type
+
+
+def ctx_with(var_types):
+    return BoogieContext(BoogieProgram(), Interpretation(), dict(var_types))
+
+
+class TestRunBoogieRegion:
+    def test_reached_at_exit_cursor(self):
+        code = single_block(Assign("x", BIntLit(1)), Assign("x", BIntLit(2)))
+        entry = Cursor.from_stmt(code)
+        exit_cursor = entry.after_cmd()
+        outcomes = run_boogie_region(
+            entry, exit_cursor, BoogieState({"x": BVInt(0)}), ctx_with({"x": INT})
+        )
+        assert [o.kind for o in outcomes] == ["reached"]
+        assert outcomes[0].state.lookup("x") == BVInt(1)
+
+    def test_reached_at_end_with_none_exit(self):
+        code = single_block(Assign("x", BIntLit(1)))
+        outcomes = run_boogie_region(
+            Cursor.from_stmt(code), None, BoogieState({"x": BVInt(0)}), ctx_with({"x": INT})
+        )
+        assert [o.kind for o in outcomes] == ["reached"]
+
+    def test_failed_and_magic_kinds(self):
+        failing = single_block(BAssert(FALSE))
+        outcomes = run_boogie_region(
+            Cursor.from_stmt(failing), None, BoogieState(), ctx_with({})
+        )
+        assert [o.kind for o in outcomes] == ["failed"]
+        pruned = single_block(Assume(FALSE))
+        outcomes = run_boogie_region(
+            Cursor.from_stmt(pruned), None, BoogieState(), ctx_with({})
+        )
+        assert [o.kind for o in outcomes] == ["magic"]
+
+    def test_escaped_when_exit_not_on_path(self):
+        code = single_block(Assign("x", BIntLit(1)))
+        other = single_block(Assign("x", BIntLit(9)))
+        outcomes = run_boogie_region(
+            Cursor.from_stmt(code),
+            Cursor.from_stmt(other),
+            BoogieState({"x": BVInt(0)}),
+            ctx_with({"x": INT}),
+        )
+        assert [o.kind for o in outcomes] == ["escaped"]
+
+    def test_enumerates_havoc_paths(self):
+        from repro.boogie.ast import Havoc
+
+        code = single_block(Havoc("x"))
+        outcomes = run_boogie_region(
+            Cursor.from_stmt(code), None, BoogieState({"x": BVInt(0)}), ctx_with({"x": INT})
+        )
+        assert len(outcomes) == len(Interpretation().int_sample)
+
+
+class TestSampling:
+    def test_states_are_consistent_and_diverse(self):
+        states = sample_viper_states(
+            {"x": Type.REF, "n": Type.INT}, {"f": Type.INT}, 30, seed=1
+        )
+        assert len(states) == 30
+        assert all(s.is_consistent() for s in states)
+        masks = {tuple(sorted(s.mask.items())) for s in states}
+        assert len(masks) > 5
+
+    def test_sampling_is_deterministic(self):
+        a = sample_viper_states({"n": Type.INT}, {"f": Type.INT}, 5, seed=2)
+        b = sample_viper_states({"n": Type.INT}, {"f": Type.INT}, 5, seed=2)
+        assert a == b
+
+    def test_default_boogie_values(self):
+        from repro.frontend.background import HEAP_TYPE, MASK_TYPE
+        from repro.frontend.records import REF_TYPE
+
+        assert default_boogie_value(INT) == BVInt(0)
+        assert default_boogie_value(HEAP_TYPE) == UValue("HeapType", FrozenMap())
+        assert default_boogie_value(REF_TYPE) == UValue("Ref", 0)
+
+
+class TestHeapHavocHook:
+    def test_offers_current_heap_and_variants(self):
+        hook = heap_havoc_hook({"f": Type.INT})
+        from repro.frontend.background import HEAP_TYPE
+
+        heap = UValue("HeapType", FrozenMap({(1, "f"): BVInt(5)}))
+        mask = UValue("MaskType", FrozenMap({(1, "f"): Fraction(1)}))
+        state = BoogieState({"H": heap, "M": mask})
+        candidates = hook("HH_0", HEAP_TYPE, state, None)
+        assert heap in candidates
+        # (1, f) is permissioned; (2, f) is not, so variants rewrite it.
+        assert any(
+            isinstance(c, UValue) and c.payload.get((2, "f")) == BVInt(7)
+            for c in candidates
+        )
+        # Permissioned locations are never rewritten by the variants.
+        assert all(
+            c.payload.get((1, "f")) == BVInt(5) or (1, "f") not in c.payload
+            for c in candidates
+        )
+
+    def test_ignores_non_heap_types(self):
+        hook = heap_havoc_hook({"f": Type.INT})
+        assert hook("x", INT, BoogieState(), None) is None
+
+    def test_covers_multi_location_havocs(self):
+        hook = heap_havoc_hook({"f": Type.INT})
+        from repro.frontend.background import HEAP_TYPE
+
+        heap = UValue("HeapType", FrozenMap())
+        mask = UValue("MaskType", FrozenMap())  # nothing permissioned
+        state = BoogieState({"H": heap, "M": mask})
+        candidates = hook("HH_0", HEAP_TYPE, state, None)
+        # Pairs of unpermissioned locations appear rewritten together.
+        assert any(
+            (1, "f") in c.payload and (2, "f") in c.payload for c in candidates
+        )

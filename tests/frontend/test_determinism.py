@@ -1,0 +1,69 @@
+"""Determinism: the pipeline is a pure function of (source, options).
+
+Reproducible translation and certification matter operationally (CI caches,
+certificate diffing) and for the harness's metrics.
+"""
+
+from repro.boogie import pretty_boogie_program
+from repro.certification import generate_program_certificate, render_program_certificate
+from repro.frontend import translate_program, TranslationOptions
+
+from tests.helpers import parsed
+
+SOURCE = """
+field f: Int
+field g: Bool
+
+method callee(x: Ref) requires acc(x.f, 1/2) ensures acc(x.f, 1/2)
+{ assert true }
+
+method m(x: Ref, p: Perm, b: Bool) returns (r: Int)
+  requires acc(x.f, p) && p > none
+  ensures acc(x.f, p)
+{
+  if (b) { r := x.f } else { r := 0 }
+  callee(x)
+  exhale b ==> acc(x.f, p/2)
+  inhale b ==> acc(x.f, p/2)
+}
+"""
+
+
+def test_translation_is_deterministic():
+    program, info = parsed(SOURCE)
+    first = translate_program(program, info)
+    second = translate_program(program, info)
+    assert first.boogie_program == second.boogie_program
+    assert pretty_boogie_program(first.boogie_program) == pretty_boogie_program(
+        second.boogie_program
+    )
+
+
+def test_hints_are_deterministic():
+    program, info = parsed(SOURCE)
+    first = translate_program(program, info)
+    second = translate_program(program, info)
+    for name in first.methods:
+        assert first.methods[name].hint == second.methods[name].hint
+        assert first.methods[name].record == second.methods[name].record
+
+
+def test_certificates_are_deterministic():
+    program, info = parsed(SOURCE)
+    first = render_program_certificate(
+        generate_program_certificate(translate_program(program, info))
+    )
+    second = render_program_certificate(
+        generate_program_certificate(translate_program(program, info))
+    )
+    assert first == second
+
+
+def test_options_change_output_but_stay_deterministic():
+    program, info = parsed(SOURCE)
+    options = TranslationOptions(wd_checks_at_calls=True)
+    default = translate_program(program, info)
+    varied_a = translate_program(program, info, options)
+    varied_b = translate_program(program, info, options)
+    assert varied_a.boogie_program == varied_b.boogie_program
+    assert varied_a.boogie_program != default.boogie_program

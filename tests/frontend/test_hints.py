@@ -1,0 +1,143 @@
+"""Tests for the hint datatypes and the instrumentation footprint."""
+
+import pytest
+
+from repro.frontend import translate_program, TranslationOptions
+from repro.frontend.hints import (
+    AccHint,
+    CallHint,
+    count_hint_nodes,
+    ExhaleHint,
+    InhaleHint,
+    MethodHint,
+    PureHint,
+    SeqHint,
+    SepHint,
+)
+
+from tests.helpers import parsed
+
+SOURCE = """
+field f: Int
+
+method callee(x: Ref) requires acc(x.f, 1/2) ensures acc(x.f, 1/2)
+{ assert true }
+
+method m(x: Ref, p: Perm)
+  requires acc(x.f, write) && p > none
+  ensures acc(x.f, 1/2)
+{
+  x.f := 1
+  callee(x)
+  exhale acc(x.f, p) && x.f >= 0
+  inhale acc(x.f, p)
+}
+"""
+
+
+def hints_for(method="m", **options):
+    program, info = parsed(SOURCE)
+    result = translate_program(
+        program, info, TranslationOptions(**options) if options else None
+    )
+    return result.methods[method].hint
+
+
+class TestHintStructure:
+    def test_method_hint_shape(self):
+        hint = hints_for()
+        assert isinstance(hint, MethodHint)
+        assert hint.method == "m"
+        assert hint.init_cmd_count == 2
+        assert isinstance(hint.body_inhale_pre, InhaleHint)
+        assert isinstance(hint.body_exhale_post, ExhaleHint)
+
+    def test_wellformedness_hints_mirror_spec(self):
+        hint = hints_for()
+        pre_hint = hint.wellformedness.inhale_pre.assertion
+        assert isinstance(pre_hint, SepHint)
+        assert isinstance(pre_hint.left, AccHint)
+        assert isinstance(pre_hint.right, PureHint)
+
+    def test_call_hint_carries_dependency(self):
+        hint = hints_for()
+
+        def find_call(node):
+            if isinstance(node, CallHint):
+                return node
+            if isinstance(node, SeqHint):
+                return find_call(node.first) or find_call(node.second)
+            return None
+
+        call = find_call(hint.body)
+        assert call is not None
+        assert call.callee == "callee"
+        assert call.exhale_pre.with_wd_checks is False
+
+    def test_variable_amount_uses_temp(self):
+        hint = hints_for()
+
+        def find_exhale(node):
+            if isinstance(node, ExhaleHint):
+                return node
+            if isinstance(node, SeqHint):
+                return find_exhale(node.first) or find_exhale(node.second)
+            return None
+
+        exhale = find_exhale(hint.body)
+        acc = exhale.assertion.left
+        assert isinstance(acc, AccHint)
+        assert acc.perm_temp_var is not None
+        assert acc.guarded_update
+
+
+class TestInstrumentationFootprint:
+    """The paper instruments <500 lines to emit hints; the analog here is
+    that the hint stream stays small relative to the generated code."""
+
+    def test_hint_nodes_are_compact(self):
+        program, info = parsed(SOURCE)
+        result = translate_program(program, info)
+        from repro.boogie.ast import stmt_cmd_count
+
+        for name, translated in result.methods.items():
+            hint_nodes = count_hint_nodes(translated.hint)
+            boogie_cmds = stmt_cmd_count(translated.procedure.body)
+            assert hint_nodes <= boogie_cmds, (
+                f"{name}: {hint_nodes} hint nodes for {boogie_cmds} commands"
+            )
+
+    def test_count_is_structural(self):
+        hint = hints_for()
+        assert count_hint_nodes(hint) == (
+            1
+            + count_hint_nodes(hint.wellformedness.inhale_pre)
+            + count_hint_nodes(hint.wellformedness.inhale_post)
+            + count_hint_nodes(hint.body_inhale_pre)
+            + count_hint_nodes(hint.body)
+            + count_hint_nodes(hint.body_exhale_post)
+        )
+
+
+class TestHintsAreUntrusted:
+    def test_hints_do_not_reference_boogie_ast(self):
+        """Hints carry only names and counts — never Boogie expressions —
+        so the tactic cannot smuggle translator state past the kernel."""
+        import dataclasses
+
+        from repro.frontend import hints as hints_module
+        from repro.boogie import ast as boogie_ast
+
+        boogie_types = {
+            getattr(boogie_ast, name)
+            for name in dir(boogie_ast)
+            if isinstance(getattr(boogie_ast, name), type)
+        }
+        for name in dir(hints_module):
+            obj = getattr(hints_module, name)
+            if dataclasses.is_dataclass(obj) and isinstance(obj, type):
+                for field in dataclasses.fields(obj):
+                    for boogie_type in boogie_types:
+                        assert boogie_type.__name__ not in str(field.type), (
+                            f"{name}.{field.name} references Boogie AST"
+                        )

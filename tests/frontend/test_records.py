@@ -1,0 +1,100 @@
+"""Tests for translation records and the expression type synthesiser."""
+
+import pytest
+
+from repro.boogie.ast import BOOL, INT, REAL, TCon
+from repro.frontend.records import (
+    boogie_type_of,
+    field_type_con,
+    TranslationRecord,
+    viper_expr_type,
+)
+from repro.viper import parse_expr, Type
+
+
+def record(**overrides):
+    defaults = dict(
+        var_map={"x": "v_x", "n": "v_n"},
+        heap_var="H",
+        mask_var="M",
+        field_consts={"f": "field_f"},
+    )
+    defaults.update(overrides)
+    return TranslationRecord(**defaults)
+
+
+class TestBoogieTypeOf:
+    def test_mapping(self):
+        assert boogie_type_of(Type.INT) == INT
+        assert boogie_type_of(Type.BOOL) == BOOL
+        assert boogie_type_of(Type.REF) == TCon("Ref")
+        assert boogie_type_of(Type.PERM) == REAL
+
+    def test_field_type_constructor(self):
+        assert field_type_con(Type.INT) == TCon("Field", (INT,))
+
+
+class TestTranslationRecord:
+    def test_lookup(self):
+        tr = record()
+        assert tr.boogie_var("x") == "v_x"
+        assert tr.field_const("f") == "field_f"
+
+    def test_missing_variable_raises(self):
+        with pytest.raises(KeyError):
+            record().boogie_var("ghost")
+
+    def test_effective_wd_mask_defaults_to_mask(self):
+        assert record().effective_wd_mask == "M"
+
+    def test_with_wd_mask(self):
+        tr = record().with_wd_mask("WM_0")
+        assert tr.effective_wd_mask == "WM_0"
+        assert tr.mask_var == "M"
+        # The original record is unchanged (records are immutable).
+        assert record().wd_mask_var is None
+
+    def test_with_mask_var(self):
+        tr = record().with_mask_var("AM_0")
+        assert tr.mask_var == "AM_0"
+
+    def test_with_var_extends_map(self):
+        tr = record().with_var("t", "v_t")
+        assert tr.boogie_var("t") == "v_t"
+
+
+class TestExprTypeSynthesis:
+    VARS = {"x": Type.REF, "n": Type.INT, "b": Type.BOOL, "p": Type.PERM}
+    FIELDS = {"f": Type.INT, "r": Type.REF}
+
+    def typ(self, source: str) -> Type:
+        return viper_expr_type(parse_expr(source), self.VARS, self.FIELDS)
+
+    def test_literals(self):
+        assert self.typ("1") is Type.INT
+        assert self.typ("true") is Type.BOOL
+        assert self.typ("null") is Type.REF
+        assert self.typ("1/2") is Type.PERM
+
+    def test_field_access_takes_field_type(self):
+        assert self.typ("x.f") is Type.INT
+        assert self.typ("x.r") is Type.REF
+        assert self.typ("x.r.f") is Type.INT
+
+    def test_arithmetic_stays_int(self):
+        assert self.typ("n + 1") is Type.INT
+        assert self.typ("n \\ 2") is Type.INT
+
+    def test_perm_arithmetic_promotes(self):
+        assert self.typ("p + 1") is Type.PERM
+        assert self.typ("p / 2") is Type.PERM
+        assert self.typ("n / 2") is Type.PERM
+
+    def test_comparisons_are_bool(self):
+        assert self.typ("n > 1") is Type.BOOL
+        assert self.typ("x == null") is Type.BOOL
+
+    def test_conditional_joins(self):
+        assert self.typ("b ? 1 : 2") is Type.INT
+        assert self.typ("b ? p : 1") is Type.PERM
+        assert self.typ("b ? 1 : p") is Type.PERM

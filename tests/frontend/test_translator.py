@@ -1,0 +1,243 @@
+"""Tests for the Viper-to-Boogie translator (encoding shapes and hints)."""
+
+import pytest
+
+from repro.boogie import (
+    Assign,
+    Assume,
+    BAssert,
+    check_boogie_program,
+    FuncApp,
+    Havoc,
+)
+from repro.boogie.ast import BIf
+from repro.frontend import (
+    AccHint,
+    CallHint,
+    procedure_name,
+    SepHint,
+    translate_program,
+    TranslationError,
+    TranslationOptions,
+)
+from repro.viper import check_program, parse_program
+
+from tests.helpers import parsed
+
+
+def translate(source: str, **options):
+    program, info = parsed(source)
+    return translate_program(program, info, TranslationOptions(**options) if options else None)
+
+
+def body_cmds(result, method: str):
+    """Flatten all simple commands of the translated procedure body."""
+    proc = result.boogie_program.procedure(procedure_name(method))
+
+    def walk(stmt):
+        for block in stmt:
+            yield from block.cmds
+            if block.ifopt is not None:
+                yield block.ifopt
+                yield from walk(block.ifopt.then)
+                yield from walk(block.ifopt.otherwise)
+
+    return list(walk(proc.body))
+
+
+SIMPLE = """
+field f: Int
+
+method m(x: Ref, q: Perm)
+  requires acc(x.f, q) && q > none
+  ensures acc(x.f, q)
+{
+  x.f := x.f + 1
+}
+"""
+
+
+class TestProcedureStructure:
+    def test_output_typechecks(self):
+        result = translate(SIMPLE)
+        check_boogie_program(result.boogie_program)
+
+    def test_one_procedure_per_method(self):
+        result = translate(SIMPLE)
+        assert [p.name for p in result.boogie_program.procedures] == ["m_m"]
+
+    def test_init_resets_mask(self):
+        result = translate(SIMPLE)
+        proc = result.boogie_program.procedure("m_m")
+        first = proc.body[0].cmds[0]
+        assert first == Assign("M", __import__("repro.boogie.ast", fromlist=["BVar"]).BVar("ZeroMask"))
+
+    def test_wellformedness_branch_is_nondeterministic_and_dies(self):
+        result = translate(SIMPLE)
+        proc = result.boogie_program.procedure("m_m")
+        branch = proc.body[0].ifopt
+        assert branch is not None and branch.cond is None
+        assert branch.otherwise == ()
+        # The branch's final command is assume false.
+        last_cmds = branch.then[-1].cmds
+        from repro.boogie.ast import FALSE
+
+        assert Assume(FALSE) in [c for b in branch.then for c in b.cmds]
+
+    def test_viper_vars_become_typed_locals(self):
+        result = translate(SIMPLE)
+        proc = result.boogie_program.procedure("m_m")
+        local_names = {name for name, _ in proc.locals}
+        assert {"v_x", "v_q"} <= local_names
+
+    def test_abstract_method_has_no_body_section(self):
+        result = translate(
+            """
+            field f: Int
+            method spec_only(x: Ref)
+              requires acc(x.f, 1/2)
+              ensures acc(x.f, 1/2)
+            """
+        )
+        hint = result.methods["spec_only"].hint
+        assert hint.body is None
+        assert hint.body_inhale_pre is None
+
+
+class TestEncodingShapes:
+    def test_field_write_checks_full_permission(self):
+        result = translate(SIMPLE)
+        asserts = [c for c in body_cmds(result, "m") if isinstance(c, BAssert)]
+        texts = [repr(a.expr) for a in asserts]
+        assert any("readMask" in t and "1" in t for t in texts)
+
+    def test_exhale_emits_wm_snapshot_and_havoc(self):
+        result = translate(SIMPLE)
+        cmds = body_cmds(result, "m")
+        wm_assigns = [
+            c for c in cmds
+            if isinstance(c, Assign) and c.target.startswith("WM")
+        ]
+        assert wm_assigns, "exhale must snapshot the mask into WM"
+        havocs = [c for c in cmds if isinstance(c, Havoc) and c.target.startswith("HH")]
+        assert havocs, "exhale of an acc must havoc the heap"
+
+    def test_pure_exhale_omits_heap_havoc(self):
+        result = translate(
+            """
+            field f: Int
+            method m(n: Int) requires n > 0 ensures true { exhale n > 0 }
+            """
+        )
+        cmds = body_cmds(result, "m")
+        assert not [c for c in cmds if isinstance(c, Havoc) and c.target.startswith("HH")]
+
+    def test_always_emit_havoc_option(self):
+        result = translate(
+            """
+            field f: Int
+            method m(n: Int) requires n > 0 ensures true { exhale n > 0 }
+            """,
+            always_emit_exhale_havoc=True,
+        )
+        cmds = body_cmds(result, "m")
+        assert [c for c in cmds if isinstance(c, Havoc) and c.target.startswith("HH")]
+
+    def test_literal_fastpath_skips_temp(self):
+        result = translate(
+            """
+            field f: Int
+            method m(x: Ref) requires acc(x.f, write) ensures acc(x.f, write)
+            { assert true }
+            """
+        )
+        hint = result.methods["m"].hint
+        acc_hint = hint.body_inhale_pre.assertion
+        assert isinstance(acc_hint, AccHint)
+        assert acc_hint.perm_temp_var is None
+
+    def test_fastpath_disabled_by_option(self):
+        result = translate(
+            """
+            field f: Int
+            method m(x: Ref) requires acc(x.f, write) ensures acc(x.f, write)
+            { assert true }
+            """,
+            literal_perm_fastpath=False,
+        )
+        acc_hint = result.methods["m"].hint.body_inhale_pre.assertion
+        assert acc_hint.perm_temp_var is not None
+
+    def test_variable_permission_uses_temp_and_guard(self):
+        result = translate(SIMPLE)
+        acc_hint = result.methods["m"].hint.body_exhale_post.assertion
+        assert isinstance(acc_hint, SepHint) or isinstance(acc_hint, AccHint)
+
+
+class TestCalls:
+    CALL_SRC = """
+    field f: Int
+    method callee(x: Ref) requires acc(x.f, 1/2) ensures acc(x.f, 1/2)
+    { assert true }
+    method caller(a: Ref) requires acc(a.f, write) ensures acc(a.f, write)
+    { callee(a) }
+    """
+
+    def test_call_omits_wd_checks_by_default(self):
+        result = translate(self.CALL_SRC)
+        call_hint = result.methods["caller"].hint.body
+        assert isinstance(call_hint, CallHint)
+        assert call_hint.exhale_pre.with_wd_checks is False
+        assert call_hint.exhale_pre.wd_mask_var is None
+        assert call_hint.inhale_post.with_wd_checks is False
+
+    def test_wd_checks_at_calls_option(self):
+        result = translate(self.CALL_SRC, wd_checks_at_calls=True)
+        call_hint = result.methods["caller"].hint.body
+        assert call_hint.exhale_pre.with_wd_checks is True
+        assert call_hint.exhale_pre.wd_mask_var is not None
+
+    def test_call_records_callee_dependency(self):
+        result = translate(self.CALL_SRC)
+        assert result.methods["caller"].hint.body.callee == "callee"
+
+    def test_call_targets_are_havoced(self):
+        result = translate(
+            """
+            field f: Int
+            method callee(x: Ref) returns (y: Int)
+              requires acc(x.f, 1/2) ensures acc(x.f, 1/2)
+            { y := 0 }
+            method caller(a: Ref) requires acc(a.f, write) ensures acc(a.f, write)
+            { var out: Int out := callee(a) }
+            """
+        )
+        cmds = body_cmds(result, "caller")
+        assert Havoc("v_out") in cmds
+
+    def test_non_variable_argument_rejected(self):
+        with pytest.raises(TranslationError, match="variables"):
+            translate(
+                """
+                field f: Int
+                method callee(n: Int) requires true ensures true { assert true }
+                method caller() requires true ensures true { callee(1 + 2) }
+                """
+            )
+
+
+class TestConditionalAssertions:
+    def test_implication_becomes_guarded_if(self):
+        result = translate(
+            """
+            field f: Int
+            method m(x: Ref, b: Bool)
+              requires b ==> acc(x.f, 1/2)
+              ensures true
+            { assert true }
+            """
+        )
+        proc = result.boogie_program.procedure("m_m")
+        wf_branch = proc.body[0].ifopt.then
+        nested_ifs = [b.ifopt for b in wf_branch if b.ifopt is not None]
+        assert nested_ifs, "implication must translate to an if-statement"

@@ -1,0 +1,50 @@
+"""Integration: corpus files through the CLI's independent-check path.
+
+Dumps the corpus to disk, then runs the full external workflow on one file
+from each suite: ``certify`` (writes .bpl + .cert) followed by ``check``
+(parses all three text files and runs only the kernel).
+"""
+
+import pytest
+
+from repro.cli import main
+from repro.harness import dump_corpus
+
+
+@pytest.fixture(scope="module")
+def corpus_dir(tmp_path_factory):
+    directory = tmp_path_factory.mktemp("corpus")
+    count = dump_corpus(directory)
+    assert count == 72
+    return directory
+
+
+SAMPLES = [
+    ("viper", "0063"),
+    ("gobra", "fail3"),
+    ("vercors", "permissions"),
+    ("mpp", "darvas"),
+]
+
+
+@pytest.mark.parametrize("suite,name", SAMPLES)
+def test_certify_then_independent_check(corpus_dir, tmp_path, suite, name, capsys):
+    source = corpus_dir / suite / f"{name}.vpr"
+    assert source.exists()
+    bpl = tmp_path / f"{name}.bpl"
+    cert = tmp_path / f"{name}.cert"
+    assert main([
+        "certify", str(source), "-o", str(cert), "--boogie-output", str(bpl)
+    ]) == 0
+    assert main(["check", str(source), str(bpl), str(cert)]) == 0
+    out = capsys.readouterr().out
+    assert "ACCEPTED" in out
+
+
+def test_dumped_files_parse_as_standalone_sources(corpus_dir):
+    from repro.viper import check_program, parse_program
+
+    sample = corpus_dir / "mpp" / "banerjee.vpr"
+    program = parse_program(sample.read_text())
+    check_program(program)
+    assert len(program.methods) == 8

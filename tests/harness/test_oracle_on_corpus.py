@@ -1,0 +1,40 @@
+"""Semantic oracle over a corpus sample.
+
+Beyond kernel acceptance (RQ1), a sample of corpus programs is re-validated
+by failure-direction co-execution — the translated procedure must have a
+failing Boogie execution wherever the Viper obligation has a failing run.
+The sample keeps small files from each suite (the oracle enumerates both
+semantics exhaustively, so large files are out of budget here; the kernel
+covers those).
+"""
+
+import pytest
+
+from repro.certification.oracle import validate_method_semantically
+from repro.frontend import translate_program
+from repro.harness import generate_file
+from repro.viper import check_program, parse_program
+
+SAMPLE = [
+    ("Viper", "0005", 4, 1),
+    ("Viper", "0227", 5, 1),
+    ("Viper", "test", 6, 1),
+    ("Gobra", "simple2", 10, 1),
+    ("Gobra", "fail3", 19, 2),
+    ("VerCors", "permissions", 39, 5),
+]
+
+
+@pytest.mark.parametrize("suite,name,loc,methods", SAMPLE)
+def test_corpus_file_failure_direction(suite, name, loc, methods):
+    corpus_file = generate_file(suite, name, loc, methods)
+    program = parse_program(corpus_file.source)
+    type_info = check_program(program)
+    result = translate_program(program, type_info)
+    for method in program.methods:
+        if method.body is None:
+            continue
+        verdict = validate_method_semantically(
+            result, method.name, max_states=8, max_boogie_paths=40_000
+        )
+        assert verdict.ok, f"{suite}/{name}/{method.name}: {verdict.detail}"

@@ -1,0 +1,206 @@
+"""Hypothesis strategies generating well-typed Viper ASTs.
+
+The generators are type-indexed: ``expr_of(Type.INT)`` only produces
+integer-typed expressions over a fixed environment, so every generated AST
+passes the type checker by construction.  Used by the round-trip,
+metatheory, and certification property tests.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from hypothesis import strategies as st
+
+from repro.viper.ast import (
+    Acc,
+    AExpr,
+    AssertStmt,
+    BinOp,
+    BinOpKind,
+    BoolLit,
+    CondAssert,
+    CondExp,
+    FieldAcc,
+    If,
+    Implies,
+    Inhale,
+    IntLit,
+    LocalAssign,
+    NullLit,
+    PermLit,
+    SepConj,
+    Seq,
+    Skip,
+    Type,
+    UnOp,
+    UnOpKind,
+    Var,
+    Exhale,
+)
+
+#: The fixed environment all generated ASTs live in.
+ENV = {
+    "x": Type.REF,
+    "y": Type.REF,
+    "n": Type.INT,
+    "m": Type.INT,
+    "b": Type.BOOL,
+    "p": Type.PERM,
+}
+FIELDS = {"f": Type.INT, "g": Type.BOOL}
+
+_INT_FIELDS = [name for name, typ in FIELDS.items() if typ is Type.INT]
+_VARS_BY_TYPE = {
+    typ: [name for name, t in ENV.items() if t is typ]
+    for typ in Type
+}
+
+
+def _leaf(typ: Type) -> st.SearchStrategy:
+    options = [st.builds(Var, st.sampled_from(_VARS_BY_TYPE[typ]))]
+    if typ is Type.INT:
+        options.append(st.builds(IntLit, st.integers(-8, 8)))
+    elif typ is Type.BOOL:
+        options.append(st.builds(BoolLit, st.booleans()))
+    elif typ is Type.REF:
+        options.append(st.just(NullLit()))
+    elif typ is Type.PERM:
+        options.append(
+            st.builds(
+                PermLit,
+                st.sampled_from(
+                    [Fraction(0), Fraction(1, 2), Fraction(1, 4), Fraction(1)]
+                ),
+            )
+        )
+    return st.one_of(options)
+
+
+def expr_of(typ: Type, depth: int = 2) -> st.SearchStrategy:
+    """Expressions of the given Viper type (well-typed by construction)."""
+    if depth <= 0:
+        return _leaf(typ)
+    sub = depth - 1
+    options = [_leaf(typ)]
+    if typ is Type.INT:
+        options.append(
+            st.builds(
+                lambda op, l, r: BinOp(op, l, r),
+                st.sampled_from([BinOpKind.ADD, BinOpKind.SUB, BinOpKind.MUL]),
+                expr_of(Type.INT, sub),
+                expr_of(Type.INT, sub),
+            )
+        )
+        # NEG only over variables: `-1` parses as a literal, so a
+        # round-trippable generator must not emit UnOp(NEG, IntLit).
+        options.append(
+            st.builds(UnOp, st.just(UnOpKind.NEG), _leaf(Type.INT).filter(
+                lambda e: not isinstance(e, IntLit)))
+        )
+        if _INT_FIELDS:
+            options.append(
+                st.builds(
+                    FieldAcc,
+                    expr_of(Type.REF, 0),
+                    st.sampled_from(_INT_FIELDS),
+                )
+            )
+        options.append(
+            st.builds(
+                CondExp, expr_of(Type.BOOL, sub), expr_of(Type.INT, sub), expr_of(Type.INT, sub)
+            )
+        )
+    elif typ is Type.BOOL:
+        options.append(
+            st.builds(
+                lambda op, l, r: BinOp(op, l, r),
+                st.sampled_from(
+                    [BinOpKind.AND, BinOpKind.OR, BinOpKind.IMPLIES]
+                ),
+                expr_of(Type.BOOL, sub),
+                expr_of(Type.BOOL, sub),
+            )
+        )
+        options.append(
+            st.builds(
+                lambda op, l, r: BinOp(op, l, r),
+                st.sampled_from(
+                    [BinOpKind.LT, BinOpKind.LE, BinOpKind.GT, BinOpKind.GE,
+                     BinOpKind.EQ, BinOpKind.NE]
+                ),
+                expr_of(Type.INT, sub),
+                expr_of(Type.INT, sub),
+            )
+        )
+        options.append(st.builds(UnOp, st.just(UnOpKind.NOT), expr_of(Type.BOOL, sub)))
+    elif typ is Type.PERM:
+        options.append(
+            st.builds(
+                lambda l, r: BinOp(BinOpKind.ADD, l, r),
+                expr_of(Type.PERM, sub),
+                expr_of(Type.PERM, sub),
+            )
+        )
+    return st.one_of(options)
+
+
+def assertions(depth: int = 2) -> st.SearchStrategy:
+    """Well-typed assertions over the fixed environment."""
+    pure = st.builds(AExpr, expr_of(Type.BOOL, depth))
+    acc = st.builds(
+        Acc,
+        expr_of(Type.REF, 0),
+        st.sampled_from(sorted(FIELDS)),
+        st.one_of(
+            st.builds(
+                PermLit,
+                st.sampled_from([Fraction(1, 2), Fraction(1, 4), Fraction(1)]),
+            ),
+            st.builds(Var, st.just("p")),
+        ),
+    )
+    if depth <= 0:
+        return st.one_of(pure, acc)
+    sub = assertions(depth - 1)
+    # Implications and conditional assertions are trailing-greedy in the
+    # concrete syntax: they cannot appear as the *left* operand of `&&`
+    # without parentheses (which the assertion grammar does not have), so a
+    # parse-representable generator keeps the left conjunct simple.
+    left_safe = sub.filter(lambda a: not isinstance(a, (Implies, CondAssert)))
+    return st.one_of(
+        pure,
+        acc,
+        st.builds(SepConj, left_safe, sub),
+        st.builds(Implies, expr_of(Type.BOOL, 1), sub),
+        st.builds(CondAssert, expr_of(Type.BOOL, 1), sub, sub),
+    )
+
+
+def statements(depth: int = 2) -> st.SearchStrategy:
+    """Well-typed statements (no calls, no declarations — fixed env)."""
+    assign_int = st.builds(
+        LocalAssign, st.sampled_from(_VARS_BY_TYPE[Type.INT]), expr_of(Type.INT, 1)
+    )
+    assign_bool = st.builds(
+        LocalAssign, st.sampled_from(_VARS_BY_TYPE[Type.BOOL]), expr_of(Type.BOOL, 1)
+    )
+    field_write = st.builds(
+        lambda rcv, val: __import__("repro.viper.ast", fromlist=["FieldAssign"]).FieldAssign(
+            rcv, "f", val
+        ),
+        expr_of(Type.REF, 0),
+        expr_of(Type.INT, 1),
+    )
+    inhale = st.builds(Inhale, assertions(1))
+    exhale = st.builds(Exhale, assertions(1))
+    assert_stmt = st.builds(AssertStmt, assertions(1))
+    atomic = st.one_of(assign_int, assign_bool, field_write, inhale, exhale, assert_stmt)
+    if depth <= 0:
+        return atomic
+    sub = statements(depth - 1)
+    return st.one_of(
+        atomic,
+        st.builds(Seq, sub, sub),
+        st.builds(If, expr_of(Type.BOOL, 1), sub, st.one_of(st.just(Skip()), sub)),
+    )

@@ -1,0 +1,95 @@
+"""Tests for the nondeterminism plumbing (choice oracles and enumeration)."""
+
+import pytest
+
+from repro.choice import (
+    all_executions,
+    ChoiceOracle,
+    DefaultOracle,
+    ExplosionLimit,
+    SeededOracle,
+)
+
+
+class TestOracles:
+    def test_default_picks_first(self):
+        oracle = DefaultOracle()
+        assert oracle.choose((1, 2, 3)) == 1
+
+    def test_default_rejects_empty(self):
+        with pytest.raises(ValueError):
+            DefaultOracle().choose(())
+
+    def test_seeded_is_reproducible(self):
+        picks1 = [SeededOracle(7).choose(range(100)) for _ in range(1)]
+        picks2 = [SeededOracle(7).choose(range(100)) for _ in range(1)]
+        assert picks1 == picks2
+
+    def test_seeded_varies_with_seed(self):
+        values = {SeededOracle(seed).choose(range(1000)) for seed in range(20)}
+        assert len(values) > 1
+
+
+class TestAllExecutions:
+    def test_no_choices_yields_single_run(self):
+        results = list(all_executions(lambda oracle: 42))
+        assert results == [42]
+
+    def test_single_choice_enumerates_all(self):
+        def run(oracle):
+            return oracle.choose(("a", "b", "c"))
+
+        assert sorted(all_executions(run)) == ["a", "b", "c"]
+
+    def test_nested_choices_form_product(self):
+        def run(oracle):
+            first = oracle.choose((0, 1))
+            second = oracle.choose((0, 1, 2))
+            return (first, second)
+
+        results = set(all_executions(run))
+        assert results == {(a, b) for a in (0, 1) for b in (0, 1, 2)}
+
+    def test_dependent_branching(self):
+        # The second choice only happens on one branch: the tree is ragged.
+        def run(oracle):
+            first = oracle.choose(("leaf", "branch"))
+            if first == "leaf":
+                return "leaf"
+            return "branch-" + str(oracle.choose((1, 2)))
+
+        assert sorted(all_executions(run)) == ["branch-1", "branch-2", "leaf"]
+
+    def test_deep_dependent_tree_counts(self):
+        def run(oracle):
+            total = 0
+            while oracle.choose((True, False)) and total < 4:
+                total += 1
+            return total
+
+        # Paths: F, TF, TTF, TTTF, TTTT(T...) capped at 4: TTTT ends loop.
+        results = list(all_executions(run))
+        assert sorted(results) == [0, 1, 2, 3, 4, 4]
+
+    def test_explosion_limit(self):
+        def run(oracle):
+            for _ in range(10):
+                oracle.choose((0, 1))
+            return None
+
+        with pytest.raises(ExplosionLimit):
+            list(all_executions(run, max_paths=16))
+
+    def test_each_path_is_deterministic_replay(self):
+        # The same trail prefix must produce the same prefix of choices.
+        seen = []
+
+        def run(oracle):
+            a = oracle.choose((10, 20))
+            b = oracle.choose((1, 2))
+            seen.append((a, b))
+            return a + b
+
+        results = list(all_executions(run))
+        assert len(results) == 4
+        assert len(set(seen)) == 4

@@ -1,0 +1,122 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+GOOD = """
+field f: Int
+
+method inc(x: Ref) returns (y: Int)
+  requires acc(x.f, write)
+  ensures acc(x.f, write) && y == x.f
+{
+  x.f := x.f + 1
+  y := x.f
+}
+"""
+
+BAD = """
+field f: Int
+
+method broken(x: Ref)
+  requires acc(x.f, write)
+  ensures acc(x.f, write) && x.f == 0
+{
+  x.f := 1
+}
+"""
+
+
+@pytest.fixture
+def viper_file(tmp_path):
+    path = tmp_path / "demo.vpr"
+    path.write_text(GOOD)
+    return path
+
+
+class TestTranslate:
+    def test_writes_boogie(self, viper_file, tmp_path, capsys):
+        out = tmp_path / "demo.bpl"
+        assert main(["translate", str(viper_file), "-o", str(out)]) == 0
+        assert "procedure m_inc()" in out.read_text()
+
+    def test_prints_without_output(self, viper_file, capsys):
+        assert main(["translate", str(viper_file)]) == 0
+        assert "readHeap" in capsys.readouterr().out
+
+
+class TestCertify:
+    def test_writes_certificate_and_states_theorem(self, viper_file, tmp_path, capsys):
+        cert = tmp_path / "demo.cert"
+        assert main(["certify", str(viper_file), "-o", str(cert)]) == 0
+        out = capsys.readouterr().out
+        assert "THEOREM" in out
+        assert cert.read_text().startswith("CERTIFICATE-V1")
+
+    def test_oracle_flag(self, viper_file, capsys):
+        assert main(["certify", str(viper_file), "--oracle"]) == 0
+        assert "semantic oracle" in capsys.readouterr().out
+
+    def test_option_flags(self, viper_file, capsys):
+        assert main(["certify", str(viper_file), "--wd-at-calls", "--no-fastpath"]) == 0
+
+
+class TestIndependentCheck:
+    def test_roundtrip(self, viper_file, tmp_path, capsys):
+        bpl = tmp_path / "demo.bpl"
+        cert = tmp_path / "demo.cert"
+        assert main([
+            "certify", str(viper_file), "-o", str(cert), "--boogie-output", str(bpl)
+        ]) == 0
+        assert main(["check", str(viper_file), str(bpl), str(cert)]) == 0
+        assert "ACCEPTED" in capsys.readouterr().out
+
+    def test_tampered_boogie_rejected(self, viper_file, tmp_path, capsys):
+        bpl = tmp_path / "demo.bpl"
+        cert = tmp_path / "demo.cert"
+        main(["certify", str(viper_file), "-o", str(cert), "--boogie-output", str(bpl)])
+        text = bpl.read_text().replace(
+            "readHeap<int>(H, v_x, field_f) + 1", "readHeap<int>(H, v_x, field_f) + 2"
+        )
+        assert text != bpl.read_text(), "tampering must hit a real command"
+        bpl.write_text(text)
+        assert main(["check", str(viper_file), str(bpl), str(cert)]) == 1
+        assert "REJECTED" in capsys.readouterr().err
+
+
+class TestVerify:
+    def test_valid_program(self, viper_file, capsys):
+        assert main(["verify", str(viper_file)]) == 0
+        assert "bounded-valid" in capsys.readouterr().out
+
+    def test_refuted_program(self, tmp_path, capsys):
+        path = tmp_path / "bad.vpr"
+        path.write_text(BAD)
+        assert main(["verify", str(path)]) == 1
+        assert "refuted" in capsys.readouterr().out
+
+
+class TestBench:
+    def test_single_suite(self, capsys):
+        assert main(["bench", "MPP"]) == 0
+        out = capsys.readouterr().out
+        assert "banerjee" in out
+
+
+class TestLoopsThroughCli:
+    def test_loop_source_certifies(self, tmp_path, capsys):
+        path = tmp_path / "loop.vpr"
+        path.write_text(
+            """
+            field f: Int
+            method m(x: Ref, n: Int)
+              requires acc(x.f, write) && n >= 0 ensures acc(x.f, write)
+            {
+              var i: Int
+              i := 0
+              while (i < n) invariant acc(x.f, write) && i >= 0 { i := i + 1 }
+            }
+            """
+        )
+        assert main(["certify", str(path)]) == 0

@@ -1,0 +1,90 @@
+"""Tests for the call-argument hoisting pass."""
+
+import pytest
+
+import repro
+from repro.viper import (
+    check_program,
+    hoist_call_args,
+    parse_program,
+    program_has_complex_call_args,
+)
+from repro.viper.wellformed import check_method_correct_bounded
+
+SOURCE = """
+field f: Int
+
+method callee(n: Int, x: Ref) returns (out: Int)
+  requires acc(x.f, 1/2) && n >= 0
+  ensures acc(x.f, 1/2) && out == n
+{
+  out := n
+}
+
+method caller(a: Ref, i: Int) returns (r: Int)
+  requires acc(a.f, write) && i >= 0
+  ensures acc(a.f, write)
+{
+  r := callee(i + i, a)
+}
+"""
+
+
+class TestHoisting:
+    def test_detection(self):
+        program = parse_program(SOURCE)
+        assert program_has_complex_call_args(program)
+        hoisted = hoist_call_args(program)
+        assert not program_has_complex_call_args(hoisted)
+
+    def test_result_typechecks(self):
+        check_program(hoist_call_args(parse_program(SOURCE)))
+
+    def test_variable_args_untouched(self):
+        source = SOURCE.replace("callee(i + i, a)", "callee(i, a)")
+        program = parse_program(source)
+        assert not program_has_complex_call_args(program)
+        assert hoist_call_args(program) == program
+
+    def test_hoisting_preserves_evaluation_order(self):
+        from repro.viper.pretty import pretty_stmt
+
+        hoisted = hoist_call_args(parse_program(SOURCE))
+        body = pretty_stmt(hoisted.method("caller").body)
+        assign = body.index("arg__hoist0 := i + i")
+        call = body.index("callee(arg__hoist0, a)")
+        assert assign < call
+
+    def test_ill_defined_argument_still_fails(self):
+        source = """
+        field f: Int
+        method callee(n: Int) requires true ensures true { assert true }
+        method caller(x: Ref) requires true ensures true
+        { callee(x.f) }
+        """
+        hoisted = hoist_call_args(parse_program(source))
+        info = check_program(hoisted)
+        verdict = check_method_correct_bounded(hoisted, info, "caller")
+        assert not verdict.ok  # reading x.f without permission must fail
+
+    def test_semantics_preserved(self):
+        hoisted = hoist_call_args(parse_program(SOURCE))
+        info = check_program(hoisted)
+        assert check_method_correct_bounded(hoisted, info, "caller").ok
+
+    def test_hoisted_program_certifies(self):
+        report = repro.certify_source(SOURCE)
+        assert report.ok, report.error
+
+    def test_nested_in_branches(self):
+        report = repro.certify_source(
+            """
+            field f: Int
+            method callee(n: Int) requires n > 0 ensures true { assert true }
+            method caller(b: Bool) requires true ensures true
+            {
+              if (b) { callee(1 + 1) } else { callee(2 + 1) }
+            }
+            """
+        )
+        assert report.ok, report.error

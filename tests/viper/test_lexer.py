@@ -1,0 +1,97 @@
+"""Tests for the Viper lexer."""
+
+import pytest
+
+from repro.viper.lexer import Token, tokenize, ViperSyntaxError
+
+
+def kinds(source: str):
+    return [t.kind for t in tokenize(source)]
+
+
+def texts(source: str):
+    return [t.text for t in tokenize(source) if t.kind != "eof"]
+
+
+class TestBasicTokens:
+    def test_empty_input_yields_eof(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1
+        assert tokens[0].kind == "eof"
+
+    def test_integer_literal(self):
+        tokens = tokenize("42")
+        assert tokens[0].kind == "int"
+        assert tokens[0].text == "42"
+
+    def test_identifier(self):
+        tokens = tokenize("foo_bar9")
+        assert tokens[0].kind == "ident"
+        assert tokens[0].text == "foo_bar9"
+
+    def test_keywords_have_their_own_kind(self):
+        for keyword in ("field", "method", "inhale", "exhale", "assert", "acc",
+                        "requires", "ensures", "returns", "var", "if", "else",
+                        "true", "false", "null", "write", "none"):
+            assert tokenize(keyword)[0].kind == keyword
+
+    def test_type_names_are_keywords(self):
+        assert kinds("Int Bool Ref Perm")[:4] == ["Int", "Bool", "Ref", "Perm"]
+
+
+class TestOperators:
+    def test_multi_character_operators_win_over_prefixes(self):
+        assert texts("==> == := :")[0] == "==>"
+        assert texts("x := y") == ["x", ":=", "y"]
+        assert texts("a == b") == ["a", "==", "b"]
+        assert texts("a <= b >= c") == ["a", "<=", "b", ">=", "c"]
+
+    def test_logical_operators(self):
+        assert texts("a && b || c") == ["a", "&&", "b", "||", "c"]
+
+    def test_arithmetic_operators(self):
+        assert texts("a + b - c * d / e % g") == [
+            "a", "+", "b", "-", "c", "*", "d", "/", "e", "%", "g"
+        ]
+
+    def test_int_division_backslash(self):
+        assert texts("a \\ b") == ["a", "\\", "b"]
+
+    def test_punctuation(self):
+        assert texts("( ) { } . , ; ? : !") == [
+            "(", ")", "{", "}", ".", ",", ";", "?", ":", "!"
+        ]
+
+
+class TestCommentsAndWhitespace:
+    def test_line_comment_skipped(self):
+        assert texts("a // comment with := tokens\nb") == ["a", "b"]
+
+    def test_block_comment_skipped(self):
+        assert texts("a /* x := y \n more */ b") == ["a", "b"]
+
+    def test_unterminated_block_comment_raises(self):
+        with pytest.raises(ViperSyntaxError):
+            tokenize("a /* never closed")
+
+    def test_line_and_column_tracking(self):
+        tokens = tokenize("ab\n  cd")
+        assert (tokens[0].line, tokens[0].column) == (1, 1)
+        assert (tokens[1].line, tokens[1].column) == (2, 3)
+
+    def test_column_tracking_after_block_comment_same_line(self):
+        tokens = tokenize("/* c */ x")
+        assert tokens[0].text == "x"
+        assert tokens[0].column == 9
+
+
+class TestErrors:
+    def test_unexpected_character(self):
+        with pytest.raises(ViperSyntaxError) as excinfo:
+            tokenize("a $ b")
+        assert "$" in str(excinfo.value)
+
+    def test_error_carries_position(self):
+        with pytest.raises(ViperSyntaxError) as excinfo:
+            tokenize("ok\n   #")
+        assert excinfo.value.line == 2

@@ -1,0 +1,215 @@
+"""Tests for while loops and their invariant-based desugaring."""
+
+import pytest
+
+import repro
+from repro.certification import certify_translation
+from repro.viper import (
+    check_program,
+    desugar_loops,
+    parse_program,
+    parse_stmt,
+    program_has_loops,
+    While,
+)
+from repro.viper.loops import loop_targets
+from repro.viper.wellformed import check_method_correct_bounded
+
+
+LOOP_PROGRAM = """
+field f: Int
+
+method countdown(x: Ref, n: Int)
+  requires acc(x.f, write) && n >= 0
+  ensures acc(x.f, write)
+{
+  var i: Int
+  i := n
+  while (i > 0)
+    invariant acc(x.f, write) && i >= 0
+  {
+    x.f := i
+    i := i - 1
+  }
+  assert i <= 0
+}
+"""
+
+
+class TestParsing:
+    def test_while_parses(self):
+        stmt = parse_stmt(
+            "while (i > 0) invariant acc(x.f, write) { i := i - 1 }"
+        )
+        assert isinstance(stmt, While)
+
+    def test_multiple_invariants_conjoin(self):
+        stmt = parse_stmt(
+            "while (i > 0) invariant i >= 0 invariant acc(x.f) { i := i - 1 }"
+        )
+        from repro.viper.ast import SepConj
+
+        assert isinstance(stmt.invariant, SepConj)
+
+    def test_missing_invariant_defaults_to_true(self):
+        stmt = parse_stmt("while (b) { b := false }")
+        from repro.viper.ast import AExpr, BoolLit
+
+        assert stmt.invariant == AExpr(BoolLit(True))
+
+
+class TestLoopTargets:
+    def test_direct_assignment(self):
+        stmt = parse_stmt("i := 1 j := 2")
+        assert loop_targets(stmt) == {"i", "j"}
+
+    def test_targets_in_branches_and_calls(self):
+        stmt = parse_stmt("if (b) { i := 1 } else { r := m(x) }")
+        assert loop_targets(stmt) == {"i", "r"}
+
+    def test_field_writes_are_not_local_targets(self):
+        stmt = parse_stmt("x.f := 1")
+        assert loop_targets(stmt) == set()
+
+    def test_nested_loops(self):
+        stmt = parse_stmt(
+            "while (b) invariant true { while (c) invariant true { i := 1 } }"
+        )
+        assert loop_targets(stmt) == {"i"}
+
+
+class TestDesugaring:
+    def test_removes_all_loops(self):
+        program = parse_program(LOOP_PROGRAM)
+        assert program_has_loops(program)
+        desugared = desugar_loops(program)
+        assert not program_has_loops(desugared)
+
+    def test_result_typechecks(self):
+        check_program(desugar_loops(parse_program(LOOP_PROGRAM)))
+
+    def test_nested_loops_desugar(self):
+        source = """
+        field f: Int
+        method m(x: Ref, n: Int) requires acc(x.f, write) ensures acc(x.f, write)
+        {
+          var i: Int
+          i := 0
+          while (i < n) invariant acc(x.f, write)
+          {
+            var j: Int
+            j := 0
+            while (j < i) invariant acc(x.f, write) { j := j + 1 }
+            i := i + 1
+          }
+        }
+        """
+        desugared = desugar_loops(parse_program(source))
+        assert not program_has_loops(desugared)
+        check_program(desugared)
+
+    def test_desugared_shape(self):
+        """exhale I; havoc targets; inhale I; if (c) {...; inhale false};
+        inhale !c."""
+        from repro.viper.ast import Exhale, If, Inhale
+
+        program = desugar_loops(parse_program(LOOP_PROGRAM))
+        body = program.method("countdown").body
+
+        def flatten(stmt):
+            from repro.viper.ast import Seq
+
+            if isinstance(stmt, Seq):
+                return flatten(stmt.first) + flatten(stmt.second)
+            return [stmt]
+
+        kinds = [type(s).__name__ for s in flatten(body)]
+        assert "Exhale" in kinds and "Inhale" in kinds and "If" in kinds
+
+
+class TestSemantics:
+    def test_correct_loop_method_is_bounded_correct(self):
+        program = desugar_loops(parse_program(LOOP_PROGRAM))
+        info = check_program(program)
+        verdict = check_method_correct_bounded(program, info, "countdown")
+        assert verdict.ok, verdict.reason
+
+    def test_broken_invariant_entry_detected(self):
+        source = """
+        field f: Int
+        method m(x: Ref)
+          requires acc(x.f, 1/2) ensures true
+        {
+          while (x.f > 0) invariant acc(x.f, write) { x.f := 0 }
+        }
+        """
+        program = desugar_loops(parse_program(source))
+        info = check_program(program)
+        verdict = check_method_correct_bounded(program, info, "m")
+        assert not verdict.ok  # only half permission held on entry
+
+    def test_invariant_not_preserved_detected(self):
+        source = """
+        field f: Int
+        method m(x: Ref, b: Bool)
+          requires acc(x.f, write) && x.f >= 0
+          ensures acc(x.f, write)
+        {
+          while (b) invariant acc(x.f, write) && x.f >= 0
+          {
+            x.f := 0 - 1
+            b := false
+          }
+        }
+        """
+        program = desugar_loops(parse_program(source))
+        info = check_program(program)
+        verdict = check_method_correct_bounded(program, info, "m")
+        assert not verdict.ok
+
+    def test_invariant_available_after_loop(self):
+        source = """
+        field f: Int
+        method m(x: Ref, b: Bool)
+          requires acc(x.f, write)
+          ensures acc(x.f, write) && x.f >= 0
+        {
+          x.f := 1
+          while (b) invariant acc(x.f, write) && x.f >= 0
+          {
+            x.f := x.f + 1
+            b := false
+          }
+        }
+        """
+        program = desugar_loops(parse_program(source))
+        info = check_program(program)
+        verdict = check_method_correct_bounded(program, info, "m")
+        assert verdict.ok, verdict.reason
+
+
+class TestCertification:
+    def test_loop_program_certifies(self):
+        report = repro.certify_source(LOOP_PROGRAM)
+        assert report.ok, report.error
+
+    def test_loop_with_call_certifies(self):
+        report = repro.certify_source(
+            """
+            field f: Int
+            method helper(x: Ref) requires acc(x.f, 1/2) ensures acc(x.f, 1/2)
+            { assert true }
+            method m(x: Ref, n: Int)
+              requires acc(x.f, write) && n >= 0 ensures acc(x.f, write)
+            {
+              var i: Int
+              i := 0
+              while (i < n) invariant acc(x.f, write) && i >= 0
+              {
+                helper(x)
+                i := i + 1
+              }
+            }
+            """
+        )
+        assert report.ok, report.error

@@ -1,0 +1,185 @@
+"""Metatheory of the Viper semantics: the paper's auxiliary lemmas, tested.
+
+Property-based validation of the semantic facts the paper's proofs rest
+on, most importantly Lemma 4.1 — the partial *inversion* between
+``remcheck`` and ``inhale`` that justifies propagating the non-local
+hypothesis Q_pre through assertions (Sec. 4.2) — plus the footnote-4
+Hoare-style facts and basic well-behavedness (consistency preservation,
+determinism, heap immutability of remcheck).
+"""
+
+from fractions import Fraction
+
+from hypothesis import given, settings
+
+from repro.viper.ast import Type
+from repro.viper.semantics import Failure, inhale, Magic, Normal, remcheck
+from repro.viper.state import ViperState
+
+from tests.strategies import assertions, FIELDS
+from tests.certification.simharness import EffectHarness
+
+_HARNESS = EffectHarness()
+_STATES = _HARNESS.states(count=10, seed=11)
+
+
+def _adapt(assertion):
+    # The strategy env has variables m, g not present in the scaffold.
+    from repro.viper.ast import substitute_assertion, Var
+
+    return substitute_assertion(assertion, {"m": Var("n"), "g": Var("n")})
+
+
+def _sub_mask(state: ViperState, other: ViperState) -> dict:
+    """σ ⊖ σ' on masks (pointwise, nonnegative entries only)."""
+    diff = {}
+    for loc in set(state.mask) | set(other.mask):
+        delta = state.perm(loc) - other.perm(loc)
+        if delta != 0:
+            diff[loc] = delta
+    return diff
+
+
+def _add_masks(state: ViperState, extra: dict) -> ViperState:
+    result = state
+    for loc, amount in extra.items():
+        result = result.add_perm(loc, amount)
+    return result
+
+
+class TestLemma41Inversion:
+    """Lemma 4.1: if σ⁰ ⊢ ⟨A, σ⟩ →rc N(σ') and ⟨A, σⁱ⟩ →inh does not fail,
+    then ⟨A, σⁱ⟩ →inh N(σˢ) with σˢ = σⁱ ⊕ (σ ⊖ σ'), provided σˢ is
+    consistent — the permissions remcheck removes are exactly those a
+    corresponding non-failing inhale adds."""
+
+    @given(assertions(2))
+    @settings(max_examples=120, deadline=None)
+    def test_inversion(self, assertion):
+        assertion = _adapt(assertion)
+        for sigma in _STATES:
+            checked = remcheck(assertion, sigma, sigma)
+            if not isinstance(checked, Normal):
+                continue
+            removed = _sub_mask(sigma, checked.state)
+            # Choose σⁱ := σ' (the post-remcheck state): same store/heap,
+            # and σˢ = σ' ⊕ removed = σ is consistent by construction.
+            sigma_i = checked.state
+            inhaled = inhale(assertion, sigma_i)
+            if isinstance(inhaled, Failure):
+                continue  # the lemma's hypothesis ¬(→inh F) does not hold
+            if isinstance(inhaled, Magic):
+                continue  # pruned: nothing to invert
+            expected = _add_masks(sigma_i, removed)
+            assert dict(inhaled.state.mask) == {
+                k: v for k, v in expected.mask.items() if v != 0
+            }, (
+                f"inversion failed for {assertion!r}: remcheck removed "
+                f"{removed}, inhale added a different amount"
+            )
+
+    @given(assertions(2))
+    @settings(max_examples=120, deadline=None)
+    def test_inhale_from_empty_state_witnesses_q_pre(self, assertion):
+        """The non-local check inhales from an *empty* state (Sec. 4.2);
+        if that inhale does not fail, no inhale of the same assertion from
+        a larger consistent state fails either (monotonicity of
+        well-definedness in permissions)."""
+        assertion = _adapt(assertion)
+        for sigma in _STATES:
+            empty = ViperState(
+                store=sigma.store, heap=sigma.heap, mask={}, field_types=sigma.field_types
+            )
+            from_empty = inhale(assertion, empty)
+            if isinstance(from_empty, Failure):
+                continue
+            bigger = inhale(assertion, sigma)
+            # Failure is exactly ill-definedness/negative amounts, none of
+            # which can be *introduced* by holding more permission.
+            assert not isinstance(bigger, Failure), (
+                f"{assertion!r}: inhale fails from a larger state but not "
+                f"from the empty one"
+            )
+
+
+class TestFootnote4Triples:
+    """Footnote 4: {R} inhale A {R * A} and {R * A} exhale A {R}."""
+
+    @given(assertions(2))
+    @settings(max_examples=100, deadline=None)
+    def test_inhale_then_remcheck_succeeds(self, assertion):
+        # After a successful inhale of A, remchecking A cannot fail.
+        assertion = _adapt(assertion)
+        for sigma in _STATES:
+            inhaled = inhale(assertion, sigma)
+            if not isinstance(inhaled, Normal):
+                continue
+            checked = remcheck(assertion, inhaled.state, inhaled.state)
+            assert not isinstance(checked, Failure), (
+                f"{assertion!r}: remcheck fails right after a successful inhale"
+            )
+
+    @given(assertions(2))
+    @settings(max_examples=100, deadline=None)
+    def test_remcheck_then_inhale_restores_mask(self, assertion):
+        assertion = _adapt(assertion)
+        for sigma in _STATES:
+            checked = remcheck(assertion, sigma, sigma)
+            if not isinstance(checked, Normal):
+                continue
+            restored = inhale(assertion, checked.state)
+            if not isinstance(restored, Normal):
+                continue
+            assert dict(restored.state.mask) == {
+                k: v for k, v in sigma.mask.items() if v != 0
+            }
+
+
+class TestWellBehavedness:
+    @given(assertions(2))
+    @settings(max_examples=100, deadline=None)
+    def test_remcheck_preserves_heap_and_store(self, assertion):
+        assertion = _adapt(assertion)
+        for sigma in _STATES:
+            checked = remcheck(assertion, sigma, sigma)
+            if isinstance(checked, Normal):
+                assert checked.state.same_store_and_heap(sigma)
+
+    @given(assertions(2))
+    @settings(max_examples=100, deadline=None)
+    def test_inhale_preserves_heap_and_store(self, assertion):
+        assertion = _adapt(assertion)
+        for sigma in _STATES:
+            inhaled = inhale(assertion, sigma)
+            if isinstance(inhaled, Normal):
+                assert inhaled.state.same_store_and_heap(sigma)
+
+    @given(assertions(2))
+    @settings(max_examples=100, deadline=None)
+    def test_consistency_preserved(self, assertion):
+        assertion = _adapt(assertion)
+        for sigma in _STATES:
+            assert sigma.is_consistent()
+            for outcome in (inhale(assertion, sigma), remcheck(assertion, sigma, sigma)):
+                if isinstance(outcome, Normal):
+                    assert outcome.state.is_consistent(), (
+                        f"{assertion!r} produced an inconsistent state"
+                    )
+
+    @given(assertions(2))
+    @settings(max_examples=60, deadline=None)
+    def test_inhale_and_remcheck_are_deterministic(self, assertion):
+        assertion = _adapt(assertion)
+        for sigma in _STATES:
+            assert inhale(assertion, sigma) == inhale(assertion, sigma)
+            assert remcheck(assertion, sigma, sigma) == remcheck(assertion, sigma, sigma)
+
+    @given(assertions(2))
+    @settings(max_examples=60, deadline=None)
+    def test_remcheck_only_removes(self, assertion):
+        assertion = _adapt(assertion)
+        for sigma in _STATES:
+            checked = remcheck(assertion, sigma, sigma)
+            if isinstance(checked, Normal):
+                for loc in set(sigma.mask) | set(checked.state.mask):
+                    assert checked.state.perm(loc) <= sigma.perm(loc)

@@ -1,0 +1,185 @@
+"""Tests for old-expressions and their ghost-argument desugaring."""
+
+import pytest
+
+import repro
+from repro.viper import (
+    check_program,
+    desugar_old,
+    OldExpr,
+    OldExprError,
+    parse_expr,
+    parse_program,
+    program_has_old,
+)
+from repro.viper.wellformed import check_method_correct_bounded
+
+INCR = """
+field f: Int
+
+method incr(x: Ref)
+  requires acc(x.f, write)
+  ensures acc(x.f, write) && x.f == old(x.f) + 1
+{
+  x.f := x.f + 1
+}
+
+method client(a: Ref)
+  requires acc(a.f, write)
+  ensures acc(a.f, write)
+{
+  a.f := 0
+  incr(a)
+  assert a.f == 1
+}
+"""
+
+
+class TestParsing:
+    def test_old_parses(self):
+        expr = parse_expr("old(x.f) + 1")
+        assert isinstance(expr.left, OldExpr)
+
+    def test_old_roundtrips_through_pretty(self):
+        from repro.viper import pretty_expr
+
+        expr = parse_expr("old(x.f + n)")
+        assert parse_expr(pretty_expr(expr)) == expr
+
+
+class TestDesugaring:
+    def test_detection(self):
+        assert program_has_old(parse_program(INCR))
+        desugared = desugar_old(parse_program(INCR))
+        assert not program_has_old(desugared)
+
+    def test_ghost_argument_added(self):
+        desugared = desugar_old(parse_program(INCR))
+        incr = desugared.method("incr")
+        assert incr.arg_names == ("x", "old_0")
+
+    def test_precondition_captures_value(self):
+        from repro.viper.pretty import pretty_assertion
+
+        desugared = desugar_old(parse_program(INCR))
+        assert "old_0 == x.f" in pretty_assertion(desugared.method("incr").pre)
+
+    def test_call_site_captures_before_call(self):
+        from repro.viper.pretty import pretty_stmt
+
+        desugared = desugar_old(parse_program(INCR))
+        body = pretty_stmt(desugared.method("client").body)
+        capture = body.index("oldcap_0 := a.f")
+        call = body.index("incr(a, oldcap_0)")
+        assert capture < call
+
+    def test_result_typechecks(self):
+        check_program(desugar_old(parse_program(INCR)))
+
+    def test_duplicate_old_expressions_share_a_ghost(self):
+        source = """
+        field f: Int
+        method m(x: Ref)
+          requires acc(x.f, write)
+          ensures acc(x.f, write) && x.f >= old(x.f) && x.f <= old(x.f) + 1
+        { assert true }
+        """
+        desugared = desugar_old(parse_program(source))
+        assert desugared.method("m").arg_names == ("x", "old_0")
+
+    def test_old_in_body_supported(self):
+        source = """
+        field f: Int
+        method m(x: Ref)
+          requires acc(x.f, write)
+          ensures acc(x.f, write)
+        {
+          x.f := x.f + 1
+          assert x.f == old(x.f) + 1
+        }
+        """
+        desugared = desugar_old(parse_program(source))
+        check_program(desugared)
+        info = check_program(desugared)
+        assert check_method_correct_bounded(desugared, info, "m").ok
+
+    def test_old_in_precondition_rejected(self):
+        source = """
+        field f: Int
+        method m(x: Ref)
+          requires acc(x.f, write) && old(x.f) > 0
+          ensures acc(x.f, write)
+        { assert true }
+        """
+        with pytest.raises(OldExprError, match="precondition"):
+            desugar_old(parse_program(source))
+
+    def test_nested_old_rejected(self):
+        source = """
+        field f: Int
+        method m(x: Ref)
+          requires acc(x.f, write)
+          ensures acc(x.f, write) && old(old(x.f)) == 0
+        { assert true }
+        """
+        with pytest.raises(OldExprError, match="nested"):
+            desugar_old(parse_program(source))
+
+    def test_old_over_returns_rejected(self):
+        source = """
+        field f: Int
+        method m(x: Ref) returns (y: Int)
+          requires acc(x.f, write)
+          ensures acc(x.f, write) && old(y) == 0
+        { y := 0 }
+        """
+        with pytest.raises(OldExprError, match="return"):
+            desugar_old(parse_program(source))
+
+
+class TestSemantics:
+    def test_incr_method_is_correct(self):
+        desugared = desugar_old(parse_program(INCR))
+        info = check_program(desugared)
+        assert check_method_correct_bounded(desugared, info, "incr").ok
+
+    def test_wrong_old_relation_detected(self):
+        source = """
+        field f: Int
+        method m(x: Ref)
+          requires acc(x.f, write)
+          ensures acc(x.f, write) && x.f == old(x.f) + 1
+        {
+          x.f := x.f + 2
+        }
+        """
+        desugared = desugar_old(parse_program(source))
+        info = check_program(desugared)
+        assert not check_method_correct_bounded(desugared, info, "m").ok
+
+
+class TestCertification:
+    def test_old_program_certifies(self):
+        report = repro.certify_source(INCR)
+        assert report.ok, report.error
+
+    def test_old_with_loop_combines(self):
+        report = repro.certify_source(
+            """
+            field f: Int
+            method m(x: Ref, n: Int)
+              requires acc(x.f, write) && n >= 0
+              ensures acc(x.f, write) && x.f >= old(x.f)
+            {
+              var i: Int
+              i := 0
+              while (i < n)
+                invariant acc(x.f, write) && x.f >= old(x.f) && i >= 0
+              {
+                x.f := x.f + 1
+                i := i + 1
+              }
+            }
+            """
+        )
+        assert report.ok, report.error

@@ -1,0 +1,244 @@
+"""Tests for the Viper parser."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.viper import (
+    Acc,
+    AExpr,
+    AssertStmt,
+    BinOp,
+    BinOpKind,
+    BoolLit,
+    CondAssert,
+    CondExp,
+    FieldAcc,
+    FieldAssign,
+    If,
+    Implies,
+    Inhale,
+    IntLit,
+    LocalAssign,
+    MethodCall,
+    NullLit,
+    parse_assertion,
+    parse_expr,
+    parse_program,
+    parse_stmt,
+    PermLit,
+    SepConj,
+    Seq,
+    Skip,
+    Type,
+    UnOp,
+    UnOpKind,
+    Var,
+    VarDecl,
+    Exhale,
+    ViperSyntaxError,
+)
+
+
+class TestExpressions:
+    def test_precedence_mul_over_add(self):
+        assert parse_expr("1 + 2 * 3") == BinOp(
+            BinOpKind.ADD, IntLit(1), BinOp(BinOpKind.MUL, IntLit(2), IntLit(3))
+        )
+
+    def test_parentheses_override(self):
+        assert parse_expr("(1 + 2) * 3") == BinOp(
+            BinOpKind.MUL, BinOp(BinOpKind.ADD, IntLit(1), IntLit(2)), IntLit(3)
+        )
+
+    def test_comparison_binds_looser_than_arithmetic(self):
+        expr = parse_expr("a + 1 < b * 2")
+        assert isinstance(expr, BinOp) and expr.op is BinOpKind.LT
+
+    def test_and_binds_tighter_than_or(self):
+        expr = parse_expr("a || b && c")
+        assert expr.op is BinOpKind.OR
+        assert expr.right.op is BinOpKind.AND
+
+    def test_implication_is_right_associative(self):
+        expr = parse_expr("a ==> b ==> c")
+        assert expr.op is BinOpKind.IMPLIES
+        assert isinstance(expr.right, BinOp)
+        assert expr.right.op is BinOpKind.IMPLIES
+
+    def test_field_access_chains(self):
+        assert parse_expr("x.f.g") == FieldAcc(FieldAcc(Var("x"), "f"), "g")
+
+    def test_unary_operators(self):
+        assert parse_expr("-x") == UnOp(UnOpKind.NEG, Var("x"))
+        assert parse_expr("!b") == UnOp(UnOpKind.NOT, Var("b"))
+
+    def test_conditional_expression(self):
+        expr = parse_expr("b ? 1 : 2")
+        assert expr == CondExp(Var("b"), IntLit(1), IntLit(2))
+
+    def test_literal_fraction_folds_to_perm(self):
+        assert parse_expr("1/2") == PermLit(Fraction(1, 2))
+        assert parse_expr("3/4") == PermLit(Fraction(3, 4))
+
+    def test_non_literal_division_stays_binop(self):
+        expr = parse_expr("p/2")
+        assert isinstance(expr, BinOp) and expr.op is BinOpKind.PERM_DIV
+
+    def test_write_none_literals(self):
+        assert parse_expr("write") == PermLit(Fraction(1))
+        assert parse_expr("none") == PermLit(Fraction(0))
+
+    def test_null_literal(self):
+        assert parse_expr("null") == NullLit()
+
+    def test_int_division_and_mod(self):
+        assert parse_expr("a \\ b").op is BinOpKind.DIV
+        assert parse_expr("a % b").op is BinOpKind.MOD
+
+
+class TestAssertions:
+    def test_acc_with_default_write(self):
+        assert parse_assertion("acc(x.f)") == Acc(Var("x"), "f", PermLit(Fraction(1)))
+
+    def test_acc_with_amount(self):
+        assert parse_assertion("acc(x.f, 1/2)") == Acc(
+            Var("x"), "f", PermLit(Fraction(1, 2))
+        )
+
+    def test_separating_conjunction(self):
+        assertion = parse_assertion("acc(x.f) && x.f > 0")
+        assert isinstance(assertion, SepConj)
+        assert isinstance(assertion.left, Acc)
+        assert isinstance(assertion.right, AExpr)
+
+    def test_sep_conj_is_right_nested(self):
+        assertion = parse_assertion("a > 0 && b > 0 && c > 0")
+        assert isinstance(assertion, SepConj)
+        assert isinstance(assertion.right, SepConj)
+
+    def test_implication_assertion(self):
+        assertion = parse_assertion("b ==> acc(x.f)")
+        assert isinstance(assertion, Implies)
+        assert isinstance(assertion.body, Acc)
+
+    def test_conditional_assertion(self):
+        assertion = parse_assertion("b ? acc(x.f) : x.g == 0")
+        assert isinstance(assertion, CondAssert)
+
+    def test_pure_and_inside_expression_position(self):
+        # Inside parentheses '&&' is a boolean operator, not SepConj.
+        assertion = parse_assertion("(a && b) ==> acc(x.f)")
+        assert isinstance(assertion, Implies)
+        assert isinstance(assertion.cond, BinOp)
+
+
+class TestStatements:
+    def test_assignment(self):
+        assert parse_stmt("x := 1") == LocalAssign("x", IntLit(1))
+
+    def test_field_assignment(self):
+        assert parse_stmt("x.f := 2") == FieldAssign(Var("x"), "f", IntLit(2))
+
+    def test_var_decl(self):
+        assert parse_stmt("var t: Int") == VarDecl("t", Type.INT)
+
+    def test_var_decl_with_initialiser_desugars(self):
+        stmt = parse_stmt("var t: Int := 5")
+        assert stmt == Seq(VarDecl("t", Type.INT), LocalAssign("t", IntLit(5)))
+
+    def test_inhale_exhale_assert(self):
+        assert isinstance(parse_stmt("inhale acc(x.f)"), Inhale)
+        assert isinstance(parse_stmt("exhale acc(x.f)"), Exhale)
+        assert isinstance(parse_stmt("assert x.f == 1"), AssertStmt)
+
+    def test_sequence_is_right_nested(self):
+        stmt = parse_stmt("x := 1 y := 2 z := 3")
+        assert isinstance(stmt, Seq)
+        assert isinstance(stmt.second, Seq)
+
+    def test_if_with_else(self):
+        stmt = parse_stmt("if (b) { x := 1 } else { x := 2 }")
+        assert isinstance(stmt, If)
+        assert not isinstance(stmt.otherwise, Skip)
+
+    def test_if_without_else(self):
+        stmt = parse_stmt("if (b) { x := 1 }")
+        assert isinstance(stmt, If)
+        assert isinstance(stmt.otherwise, Skip)
+
+    def test_else_if_chain(self):
+        stmt = parse_stmt("if (a) { x := 1 } else if (b) { x := 2 }")
+        assert isinstance(stmt.otherwise, If)
+
+    def test_call_with_targets(self):
+        stmt = parse_stmt("a, b := m(x, 1)")
+        assert stmt == MethodCall(("a", "b"), "m", (Var("x"), IntLit(1)))
+
+    def test_call_without_targets(self):
+        assert parse_stmt("m(x)") == MethodCall((), "m", (Var("x"),))
+
+    def test_single_target_call(self):
+        assert parse_stmt("r := m()") == MethodCall(("r",), "m", ())
+
+
+class TestPrograms:
+    def test_full_program(self):
+        program = parse_program(
+            """
+            field f: Int
+            field g: Ref
+
+            method m(x: Ref) returns (y: Int)
+              requires acc(x.f, 1/2)
+              ensures acc(x.f, 1/2) && y == x.f
+            {
+              y := x.f
+            }
+
+            method abstract_m(x: Ref)
+              requires acc(x.f)
+              ensures acc(x.f)
+            """
+        )
+        assert [f.name for f in program.fields] == ["f", "g"]
+        assert program.field("g").typ is Type.REF
+        assert program.method("m").body is not None
+        assert program.method("abstract_m").body is None
+
+    def test_multiple_requires_conjoin(self):
+        program = parse_program(
+            """
+            field f: Int
+            method m(x: Ref)
+              requires acc(x.f)
+              requires x.f > 0
+              ensures true
+            { assert true }
+            """
+        )
+        assert isinstance(program.method("m").pre, SepConj)
+
+    def test_missing_spec_defaults_to_true(self):
+        program = parse_program(
+            "field f: Int\nmethod m() { assert true }"
+        )
+        assert program.method("m").pre == AExpr(BoolLit(True))
+        assert program.method("m").post == AExpr(BoolLit(True))
+
+
+class TestParseErrors:
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "field f Int",
+            "method m( {",
+            "method m() { x := }",
+            "method m() { if b { } }",
+            "method m() { acc(x.f) }",
+            "method m() { a, b := 3 }",
+        ],
+    )
+    def test_rejected(self, source):
+        with pytest.raises(ViperSyntaxError):
+            parse_program(source)

@@ -1,0 +1,134 @@
+"""Tests for Viper expression evaluation (partiality per Sec. 2.3)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.viper import eval_expr, ILL_DEFINED, parse_expr
+from repro.viper.values import NULL, VBool, VInt, VPerm, VRef
+
+from tests.helpers import vstate
+
+
+def ev(source: str, **state_parts):
+    return eval_expr(parse_expr(source), vstate(**state_parts))
+
+
+class TestTotalCases:
+    def test_literals(self):
+        assert ev("42") == VInt(42)
+        assert ev("true") == VBool(True)
+        assert ev("null") == NULL
+        assert ev("write") == VPerm(Fraction(1))
+
+    def test_variable_lookup(self):
+        assert ev("x", store={"x": VInt(5)}) == VInt(5)
+
+    def test_arithmetic(self):
+        assert ev("2 + 3 * 4") == VInt(14)
+        assert ev("10 - 3") == VInt(7)
+
+    def test_int_division_truncates_toward_zero(self):
+        assert ev("7 \\ 2") == VInt(3)
+        assert ev("-7 \\ 2") == VInt(-3)
+        assert ev("7 \\ -2") == VInt(-3)
+
+    def test_mod_matches_truncating_division(self):
+        assert ev("7 % 2") == VInt(1)
+        assert ev("-7 % 2") == VInt(-1)
+
+    def test_perm_division(self):
+        assert ev("p / 2", store={"p": VPerm(Fraction(1, 2))}) == VPerm(Fraction(1, 4))
+
+    def test_comparisons(self):
+        assert ev("1 < 2") == VBool(True)
+        assert ev("2 <= 2") == VBool(True)
+        assert ev("3 > 4") == VBool(False)
+        assert ev("3 >= 4") == VBool(False)
+
+    def test_numeric_equality_coerces_int_and_perm(self):
+        assert ev("p == 1", store={"p": VPerm(Fraction(1))}) == VBool(True)
+
+    def test_reference_equality(self):
+        assert ev("x == y", store={"x": VRef(1), "y": VRef(1)}) == VBool(True)
+        assert ev("x == null", store={"x": NULL}) == VBool(True)
+
+    def test_conditional_expression(self):
+        assert ev("b ? 1 : 2", store={"b": VBool(True)}) == VInt(1)
+        assert ev("b ? 1 : 2", store={"b": VBool(False)}) == VInt(2)
+
+    def test_unary(self):
+        assert ev("-x", store={"x": VInt(3)}) == VInt(-3)
+        assert ev("!b", store={"b": VBool(False)}) == VBool(True)
+
+    def test_heap_read_with_permission(self):
+        result = ev(
+            "x.f",
+            store={"x": VRef(1)},
+            heap={(1, "f"): VInt(9)},
+            mask={(1, "f"): "1/2"},
+        )
+        assert result == VInt(9)
+
+    def test_heap_read_default_value(self):
+        # Total heap: unmapped location reads the typed default.
+        result = ev("x.f", store={"x": VRef(1)}, mask={(1, "f"): 1})
+        assert result == VInt(0)
+
+
+class TestIllDefinedness:
+    def test_division_by_zero(self):
+        assert ev("1 \\ 0") is ILL_DEFINED
+        assert ev("1 % 0") is ILL_DEFINED
+        assert ev("x / 0", store={"x": VInt(1)}) is ILL_DEFINED
+
+    def test_heap_read_without_permission(self):
+        assert ev("x.f", store={"x": VRef(1)}) is ILL_DEFINED
+
+    def test_null_dereference(self):
+        assert ev("x.f", store={"x": NULL}) is ILL_DEFINED
+
+    def test_ill_definedness_propagates(self):
+        assert ev("x.f + 1", store={"x": VRef(1)}) is ILL_DEFINED
+
+    def test_lazy_and_shields_right_operand(self):
+        # false && ill-defined  ==>  false (not ill-defined)
+        result = ev("b && x.f > 0", store={"b": VBool(False), "x": VRef(1)})
+        assert result == VBool(False)
+
+    def test_lazy_and_exposes_right_operand_when_left_true(self):
+        result = ev("b && x.f > 0", store={"b": VBool(True), "x": VRef(1)})
+        assert result is ILL_DEFINED
+
+    def test_lazy_or_shields_right_operand(self):
+        result = ev("b || x.f > 0", store={"b": VBool(True), "x": VRef(1)})
+        assert result == VBool(True)
+
+    def test_lazy_implication_shields_right_operand(self):
+        result = ev("b ==> x.f > 0", store={"b": VBool(False), "x": VRef(1)})
+        assert result == VBool(True)
+
+    def test_conditional_shields_untaken_branch(self):
+        result = ev(
+            "b ? 1 : x.f", store={"b": VBool(True), "x": VRef(1)}
+        )
+        assert result == VInt(1)
+
+    def test_ill_defined_guard_poisons_conditional(self):
+        result = ev("x.f > 0 ? 1 : 2", store={"x": VRef(1)})
+        assert result is ILL_DEFINED
+
+
+class TestEvalExprs:
+    def test_list_evaluation_short_circuits_on_ill_defined(self):
+        from repro.viper.semantics import eval_exprs
+
+        state = vstate(store={"x": VRef(1)})
+        exprs = [parse_expr("1"), parse_expr("x.f"), parse_expr("2")]
+        assert eval_exprs(exprs, state) is ILL_DEFINED
+
+    def test_list_evaluation_collects_values(self):
+        from repro.viper.semantics import eval_exprs
+
+        values = eval_exprs([parse_expr("1"), parse_expr("2")], vstate())
+        assert values == [VInt(1), VInt(2)]

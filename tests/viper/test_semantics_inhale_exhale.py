@@ -1,0 +1,195 @@
+"""Tests for inhale / remcheck / exhale (Fig. 2, Fig. 11)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.choice import all_executions
+from repro.viper import (
+    Failure,
+    inhale,
+    Magic,
+    Normal,
+    parse_assertion,
+    remcheck,
+    exhale,
+)
+from repro.viper.values import NULL, VBool, VInt, VPerm, VRef
+
+from tests.helpers import scaffold_context, vstate
+
+
+def inh(source: str, **state_parts):
+    return inhale(parse_assertion(source), vstate(**state_parts))
+
+
+def rc(source: str, **state_parts):
+    state = vstate(**state_parts)
+    return remcheck(parse_assertion(source), state, state)
+
+
+class TestInhalePure:
+    def test_true_constraint_is_assumed(self):
+        outcome = inh("n > 0", store={"n": VInt(1)})
+        assert isinstance(outcome, Normal)
+
+    def test_false_constraint_stops_execution(self):
+        assert inh("n > 0", store={"n": VInt(0)}) == Magic()
+
+    def test_ill_defined_constraint_fails(self):
+        assert inh("x.f > 0", store={"x": VRef(1)}) == Failure()
+
+
+class TestInhaleAcc:
+    def test_adds_permission(self):
+        outcome = inh("acc(x.f, 1/2)", store={"x": VRef(1)})
+        assert isinstance(outcome, Normal)
+        assert outcome.state.perm((1, "f")) == Fraction(1, 2)
+
+    def test_negative_amount_fails(self):
+        outcome = inh("acc(x.f, p)", store={"x": VRef(1), "p": VPerm(Fraction(-1))})
+        assert outcome == Failure()
+
+    def test_null_receiver_with_positive_amount_stops(self):
+        assert inh("acc(x.f, 1/2)", store={"x": NULL}) == Magic()
+
+    def test_null_receiver_with_zero_amount_succeeds(self):
+        outcome = inh("acc(x.f, p)", store={"x": NULL, "p": VPerm(Fraction(0))})
+        assert isinstance(outcome, Normal)
+
+    def test_exceeding_full_permission_stops(self):
+        outcome = inh(
+            "acc(x.f, 2/3)", store={"x": VRef(1)}, mask={(1, "f"): "1/2"}
+        )
+        assert outcome == Magic()
+
+    def test_exactly_full_permission_allowed(self):
+        outcome = inh(
+            "acc(x.f, 1/2)", store={"x": VRef(1)}, mask={(1, "f"): "1/2"}
+        )
+        assert isinstance(outcome, Normal)
+        assert outcome.state.perm((1, "f")) == Fraction(1)
+
+    def test_ill_defined_amount_fails(self):
+        assert inh("acc(x.f, 1/n)", store={"x": VRef(1), "n": VInt(0)}) == Failure()
+
+
+class TestInhaleComposite:
+    def test_sep_conj_threads_state(self):
+        outcome = inh("acc(x.f, 1/2) && x.f == 0", store={"x": VRef(1)})
+        assert isinstance(outcome, Normal)
+
+    def test_sep_conj_incremental_evaluation(self):
+        # The right conjunct is evaluated in the state *after* the left one
+        # added its permission (App. A).
+        outcome = inh("acc(x.f, 1/2) && x.f >= 0", store={"x": VRef(1)})
+        assert isinstance(outcome, Normal)
+
+    def test_sep_conj_left_failure_short_circuits(self):
+        assert inh("x.f > 0 && true", store={"x": VRef(1)}) == Failure()
+
+    def test_implication_false_guard_skips_body(self):
+        outcome = inh("b ==> acc(x.f)", store={"b": VBool(False), "x": NULL})
+        assert isinstance(outcome, Normal)
+
+    def test_implication_true_guard_enters_body(self):
+        assert inh("b ==> acc(x.f)", store={"b": VBool(True), "x": NULL}) == Magic()
+
+    def test_conditional_selects_branch(self):
+        outcome = inh(
+            "b ? acc(x.f, 1/2) : acc(x.f, write)", store={"b": VBool(True), "x": VRef(1)}
+        )
+        assert isinstance(outcome, Normal)
+        assert outcome.state.perm((1, "f")) == Fraction(1, 2)
+
+    def test_ill_defined_guard_fails(self):
+        assert inh("x.f > 0 ==> true", store={"x": VRef(1)}) == Failure()
+
+
+class TestRemcheck:
+    def test_pure_false_fails(self):
+        assert rc("n > 0", store={"n": VInt(0)}) == Failure()
+
+    def test_pure_true_keeps_state(self):
+        state = vstate(store={"n": VInt(1)}, mask={(1, "f"): 1})
+        outcome = remcheck(parse_assertion("n > 0"), state, state)
+        assert isinstance(outcome, Normal)
+        assert outcome.state.perm((1, "f")) == Fraction(1)
+
+    def test_acc_removes_permission(self):
+        outcome = rc("acc(x.f, 1/2)", store={"x": VRef(1)}, mask={(1, "f"): 1})
+        assert isinstance(outcome, Normal)
+        assert outcome.state.perm((1, "f")) == Fraction(1, 2)
+
+    def test_insufficient_permission_fails(self):
+        assert rc("acc(x.f, write)", store={"x": VRef(1)}, mask={(1, "f"): "1/2"}) == Failure()
+
+    def test_zero_amount_always_succeeds(self):
+        outcome = rc("acc(x.f, none)", store={"x": NULL})
+        assert isinstance(outcome, Normal)
+
+    def test_null_receiver_with_positive_amount_fails(self):
+        assert rc("acc(x.f, 1/2)", store={"x": NULL}) == Failure()
+
+    def test_negative_amount_fails(self):
+        outcome = rc(
+            "acc(x.f, p)",
+            store={"x": VRef(1), "p": VPerm(Fraction(-1, 2))},
+            mask={(1, "f"): 1},
+        )
+        assert outcome == Failure()
+
+    def test_expressions_evaluate_in_the_evaluation_state(self):
+        # remcheck acc(x.f,1) && x.f == 1: the read of x.f comes *after* all
+        # permission was removed from the reduction state, but the judgement
+        # evaluates it in the evaluation state (Fig. 2 / RC-SEP).
+        state = vstate(
+            store={"x": VRef(1)}, heap={(1, "f"): VInt(1)}, mask={(1, "f"): 1}
+        )
+        outcome = remcheck(parse_assertion("acc(x.f, write) && x.f == 1"), state, state)
+        assert isinstance(outcome, Normal)
+        assert outcome.state.perm((1, "f")) == 0
+
+    def test_sequential_removal_across_conjuncts(self):
+        outcome = rc(
+            "acc(x.f, 1/2) && acc(x.f, 1/2)", store={"x": VRef(1)}, mask={(1, "f"): 1}
+        )
+        assert isinstance(outcome, Normal)
+        assert outcome.state.perm((1, "f")) == 0
+
+    def test_over_removal_across_conjuncts_fails(self):
+        assert (
+            rc("acc(x.f, 1/2) && acc(x.f, 1/2)", store={"x": VRef(1)}, mask={(1, "f"): "1/2"})
+            == Failure()
+        )
+
+
+class TestExhale:
+    def test_exhale_havocs_fully_removed_locations(self):
+        _, _, ctx = scaffold_context()
+        state = vstate(
+            store={"x": VRef(1)}, heap={(1, "f"): VInt(5)}, mask={(1, "f"): 1}
+        )
+        assertion = parse_assertion("acc(x.f, write)")
+        values = set()
+        for outcome in all_executions(lambda o: exhale(assertion, state, ctx, o)):
+            assert isinstance(outcome, Normal)
+            values.add(outcome.state.heap_value((1, "f")))
+        # The havoc explores every candidate value, not just the old one.
+        assert len(values) > 1
+
+    def test_exhale_keeps_partially_removed_locations(self):
+        _, _, ctx = scaffold_context()
+        state = vstate(
+            store={"x": VRef(1)}, heap={(1, "f"): VInt(5)}, mask={(1, "f"): 1}
+        )
+        assertion = parse_assertion("acc(x.f, 1/2)")
+        for outcome in all_executions(lambda o: exhale(assertion, state, ctx, o)):
+            assert isinstance(outcome, Normal)
+            assert outcome.state.heap_value((1, "f")) == VInt(5)
+
+    def test_exhale_failure_propagates(self):
+        _, _, ctx = scaffold_context()
+        state = vstate(store={"x": VRef(1)})
+        outcome = exhale(parse_assertion("acc(x.f, 1/2)"), state, ctx, None)
+        assert outcome == Failure()

@@ -1,0 +1,180 @@
+"""Tests for Viper statement execution, including method calls."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.choice import all_executions, DefaultOracle
+from repro.viper import (
+    exec_stmt,
+    Failure,
+    Magic,
+    Normal,
+    parse_stmt,
+)
+from repro.viper.semantics import run_method
+from repro.viper.state import zero_mask_state
+from repro.viper.values import NULL, VBool, VInt, VPerm, VRef
+
+from tests.helpers import context_for, scaffold_context, vstate
+
+
+def run(source: str, state, ctx):
+    return exec_stmt(parse_stmt(source), state, ctx, DefaultOracle())
+
+
+class TestBasicStatements:
+    def test_local_assignment(self):
+        _, _, ctx = scaffold_context()
+        outcome = run("r := n + 1", vstate(store={"n": VInt(2), "r": VInt(0)}), ctx)
+        assert isinstance(outcome, Normal)
+        assert outcome.state.lookup("r") == VInt(3)
+
+    def test_assignment_with_ill_defined_rhs_fails(self):
+        _, _, ctx = scaffold_context()
+        outcome = run("r := x.f", vstate(store={"x": VRef(1), "r": VInt(0)}), ctx)
+        assert outcome == Failure()
+
+    def test_assignment_coerces_int_to_perm(self):
+        _, _, ctx = scaffold_context()
+        outcome = run("p := 1", vstate(store={"p": VPerm(Fraction(0))}), ctx)
+        assert outcome.state.lookup("p") == VPerm(Fraction(1))
+
+    def test_field_write_requires_full_permission(self):
+        _, _, ctx = scaffold_context()
+        state = vstate(store={"x": VRef(1)}, mask={(1, "f"): "1/2"})
+        assert run("x.f := 1", state, ctx) == Failure()
+
+    def test_field_write_with_full_permission(self):
+        _, _, ctx = scaffold_context()
+        state = vstate(store={"x": VRef(1)}, mask={(1, "f"): 1})
+        outcome = run("x.f := 7", state, ctx)
+        assert isinstance(outcome, Normal)
+        assert outcome.state.heap_value((1, "f")) == VInt(7)
+
+    def test_field_write_to_null_fails(self):
+        _, _, ctx = scaffold_context()
+        assert run("x.f := 1", vstate(store={"x": NULL}), ctx) == Failure()
+
+    def test_var_decl_havocs(self):
+        _, _, ctx = scaffold_context()
+        state = vstate()
+        values = set()
+        for outcome in all_executions(
+            lambda o: exec_stmt(parse_stmt("var t: Int"), state, ctx, o)
+        ):
+            values.add(outcome.state.lookup("t"))
+        assert len(values) > 1
+
+    def test_sequence_threads_state(self):
+        _, _, ctx = scaffold_context()
+        outcome = run(
+            "r := 1 r := r + 1", vstate(store={"r": VInt(0)}), ctx
+        )
+        assert outcome.state.lookup("r") == VInt(2)
+
+    def test_sequence_stops_on_failure(self):
+        _, _, ctx = scaffold_context()
+        outcome = run("r := 1 \\ 0 r := 2", vstate(store={"r": VInt(0)}), ctx)
+        assert outcome == Failure()
+
+    def test_if_selects_branch(self):
+        _, _, ctx = scaffold_context()
+        outcome = run(
+            "if (b) { r := 1 } else { r := 2 }",
+            vstate(store={"b": VBool(False), "r": VInt(0)}),
+            ctx,
+        )
+        assert outcome.state.lookup("r") == VInt(2)
+
+    def test_if_with_ill_defined_condition_fails(self):
+        _, _, ctx = scaffold_context()
+        outcome = run(
+            "if (x.f > 0) { r := 1 }", vstate(store={"x": VRef(1), "r": VInt(0)}), ctx
+        )
+        assert outcome == Failure()
+
+    def test_assert_does_not_remove_permission(self):
+        _, _, ctx = scaffold_context()
+        state = vstate(store={"x": VRef(1)}, mask={(1, "f"): 1})
+        outcome = run("assert acc(x.f, write)", state, ctx)
+        assert isinstance(outcome, Normal)
+        assert outcome.state.perm((1, "f")) == Fraction(1)
+
+    def test_assert_failure(self):
+        _, _, ctx = scaffold_context()
+        state = vstate(store={"x": VRef(1)}, mask={(1, "f"): "1/2"})
+        assert run("assert acc(x.f, write)", state, ctx) == Failure()
+
+
+CALL_PROGRAM = """
+field f: Int
+
+method double(x: Ref) returns (out: Int)
+  requires acc(x.f, 1/2) && x.f >= 0
+  ensures acc(x.f, 1/2) && out == x.f + x.f
+{
+  out := x.f + x.f
+}
+
+method main(a: Ref) returns (res: Int)
+  requires acc(a.f, write)
+  ensures acc(a.f, write)
+{
+  a.f := 3
+  res := double(a)
+}
+"""
+
+
+class TestMethodCalls:
+    def test_call_transfers_permission_and_constrains_result(self):
+        program, info, ctx = context_for(CALL_PROGRAM, "main")
+        # The target havoc draws from a finite candidate set, so pick a heap
+        # value whose doubled result (0) is among the candidates.
+        state = vstate(
+            store={"a": VRef(1), "res": VInt(3)},
+            heap={(1, "f"): VInt(0)},
+            mask={(1, "f"): 1},
+            field_types=info.field_types,
+        )
+        results = set()
+        for outcome in all_executions(
+            lambda o: exec_stmt(parse_stmt("res := double(a)"), state, ctx, o)
+        ):
+            assert not isinstance(outcome, Failure)
+            if isinstance(outcome, Normal):
+                results.add(outcome.state.lookup("res"))
+                # Half permission came back via the postcondition.
+                assert outcome.state.perm((1, "f")) == Fraction(1)
+        # Only res == 0 == x.f + x.f survives the postcondition assumption.
+        assert results == {VInt(0)}
+
+    def test_call_without_required_permission_fails(self):
+        program, info, ctx = context_for(CALL_PROGRAM, "main")
+        state = vstate(
+            store={"a": VRef(1), "res": VInt(0)}, field_types=info.field_types
+        )
+        outcome = exec_stmt(parse_stmt("res := double(a)"), state, ctx, DefaultOracle())
+        assert outcome == Failure()
+
+    def test_call_with_failing_precondition_constraint(self):
+        program, info, ctx = context_for(CALL_PROGRAM, "main")
+        state = vstate(
+            store={"a": VRef(1), "res": VInt(0)},
+            heap={(1, "f"): VInt(-1)},
+            mask={(1, "f"): 1},
+            field_types=info.field_types,
+        )
+        outcome = exec_stmt(parse_stmt("res := double(a)"), state, ctx, DefaultOracle())
+        assert outcome == Failure()  # x.f >= 0 does not hold
+
+    def test_whole_method_obligation(self):
+        program, info, ctx = context_for(CALL_PROGRAM, "main")
+        state = zero_mask_state(
+            {"a": VRef(1), "res": VInt(0)}, info.field_types
+        )
+        for outcome in all_executions(
+            lambda o: run_method(program.method("main"), state, ctx, o)
+        ):
+            assert not isinstance(outcome, Failure)

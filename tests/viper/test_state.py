@@ -1,0 +1,129 @@
+"""Unit tests for the Viper state model."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.viper.ast import Type
+from repro.viper.state import (
+    default_value,
+    non_det_related,
+    ViperState,
+    zero_mask_state,
+)
+from repro.viper.values import NULL, VBool, VInt, VPerm, VRef
+
+
+class TestStore:
+    def test_lookup_and_update(self):
+        state = ViperState(store={"x": VInt(1)})
+        assert state.lookup("x") == VInt(1)
+        updated = state.set_var("x", VInt(2))
+        assert updated.lookup("x") == VInt(2)
+        assert state.lookup("x") == VInt(1)  # immutability
+
+    def test_missing_variable(self):
+        with pytest.raises(KeyError, match="not in store"):
+            ViperState().lookup("ghost")
+
+    def test_set_vars_bulk(self):
+        state = ViperState().set_vars({"a": VInt(1), "b": VBool(True)})
+        assert state.lookup("a") == VInt(1)
+        assert state.lookup("b") == VBool(True)
+
+
+class TestHeap:
+    def test_total_heap_reads_typed_default(self):
+        state = ViperState(field_types={"f": Type.INT, "r": Type.REF})
+        assert state.heap_value((1, "f")) == VInt(0)
+        assert state.heap_value((1, "r")) == NULL
+
+    def test_defaults_per_type(self):
+        assert default_value(Type.INT) == VInt(0)
+        assert default_value(Type.BOOL) == VBool(False)
+        assert default_value(Type.REF) == NULL
+        assert default_value(Type.PERM) == VPerm(Fraction(0))
+
+    def test_heap_update(self):
+        state = ViperState(field_types={"f": Type.INT})
+        updated = state.set_heap((1, "f"), VInt(9))
+        assert updated.heap_value((1, "f")) == VInt(9)
+        assert state.heap_value((1, "f")) == VInt(0)
+
+
+class TestMask:
+    def test_permissions_default_to_zero(self):
+        assert ViperState().perm((1, "f")) == 0
+
+    def test_add_and_remove(self):
+        state = ViperState().add_perm((1, "f"), Fraction(1, 2))
+        assert state.perm((1, "f")) == Fraction(1, 2)
+        state = state.remove_perm((1, "f"), Fraction(1, 2))
+        assert state.perm((1, "f")) == 0
+        # Zero entries are normalised away.
+        assert (1, "f") not in state.mask
+
+    def test_consistency(self):
+        good = ViperState(mask={(1, "f"): Fraction(1)})
+        assert good.is_consistent()
+        over = ViperState(mask={(1, "f"): Fraction(3, 2)})
+        assert not over.is_consistent()
+        negative = ViperState(mask={(1, "f"): Fraction(-1, 4)})
+        assert not negative.is_consistent()
+
+    def test_permissioned_locs_sorted(self):
+        state = ViperState(
+            mask={(2, "f"): Fraction(1), (1, "g"): Fraction(1, 2), (1, "a"): Fraction(0)}
+        )
+        assert state.permissioned_locs() == ((1, "g"), (2, "f"))
+
+    def test_zeroed_locations(self):
+        before = ViperState(mask={(1, "f"): Fraction(1), (2, "f"): Fraction(1, 2)})
+        after = before.set_perm((1, "f"), Fraction(0))
+        assert before.zeroed_locations(after) == ((1, "f"),)
+
+    def test_mask_difference(self):
+        a = ViperState(mask={(1, "f"): Fraction(1)})
+        b = ViperState(mask={(1, "f"): Fraction(1, 4)})
+        assert a.mask_difference(b) == {(1, "f"): Fraction(3, 4)}
+
+
+class TestNonDetRelation:
+    def setup_method(self):
+        self.before = ViperState(
+            heap={(1, "f"): VInt(5), (2, "f"): VInt(7)},
+            mask={(1, "f"): Fraction(1), (2, "f"): Fraction(1)},
+            field_types={"f": Type.INT},
+        )
+        # remcheck removed all permission at (1, f) only.
+        self.after_rc = self.before.set_perm((1, "f"), Fraction(0))
+
+    def test_havocked_location_may_change(self):
+        result = self.after_rc.set_heap((1, "f"), VInt(99))
+        assert non_det_related(self.before, self.after_rc, result)
+
+    def test_kept_location_must_not_change(self):
+        result = self.after_rc.set_heap((2, "f"), VInt(99))
+        assert not non_det_related(self.before, self.after_rc, result)
+
+    def test_identity_is_always_allowed(self):
+        assert non_det_related(self.before, self.after_rc, self.after_rc)
+
+    def test_store_must_agree(self):
+        result = self.after_rc.set_var("x", VInt(1))
+        assert not non_det_related(self.before, self.after_rc, result)
+
+
+class TestZeroMaskState:
+    def test_construction(self):
+        state = zero_mask_state({"x": VRef(1)}, {"f": Type.INT}, {(1, "f"): VInt(3)})
+        assert state.has_no_permissions()
+        assert state.lookup("x") == VRef(1)
+        assert state.heap_value((1, "f")) == VInt(3)
+
+    def test_same_store_and_heap(self):
+        a = zero_mask_state({"x": VInt(1)}, {"f": Type.INT})
+        b = a.add_perm((1, "f"), Fraction(1))
+        assert a.same_store_and_heap(b)
+        c = b.set_heap((1, "f"), VInt(8))
+        assert not a.same_store_and_heap(c)

@@ -1,0 +1,186 @@
+"""Tests for the Viper type checker."""
+
+import pytest
+
+from repro.viper import check_program, parse_program, Type, ViperTypeError
+
+
+def check(source: str):
+    return check_program(parse_program(source))
+
+
+def rejects(source: str, fragment: str = ""):
+    with pytest.raises(ViperTypeError) as excinfo:
+        check(source)
+    if fragment:
+        assert fragment in str(excinfo.value)
+
+
+HEADER = "field f: Int\nfield r: Ref\nfield b: Bool\n"
+
+
+class TestWellTyped:
+    def test_simple_method(self):
+        info = check(
+            HEADER
+            + """
+            method m(x: Ref, n: Int) returns (y: Int)
+              requires acc(x.f, 1/2) && n > 0
+              ensures acc(x.f, 1/2)
+            {
+              var t: Int
+              t := x.f + n
+              y := t
+            }
+            """
+        )
+        assert info.methods["m"].var_types["t"] is Type.INT
+        assert info.methods["m"].locals_in_order == [("t", Type.INT)]
+
+    def test_perm_arithmetic(self):
+        check(
+            HEADER
+            + """
+            method m(x: Ref, p: Perm)
+              requires acc(x.f, p) && p > none
+              ensures true
+            {
+              var q: Perm
+              q := p / 2
+              exhale acc(x.f, q)
+            }
+            """
+        )
+
+    def test_int_coerces_to_perm(self):
+        check(HEADER + "method m(x: Ref) requires acc(x.f, 1) { var p: Perm p := 1 }")
+
+    def test_ref_field_chain(self):
+        check(HEADER + "method m(x: Ref) requires acc(x.r) && acc(x.r.f) { assert true }")
+
+    def test_conditional_expression_type_join(self):
+        check(HEADER + "method m(b: Bool) { var p: Perm p := b ? 1/2 : 1 }")
+
+    def test_call_checks(self):
+        check(
+            HEADER
+            + """
+            method callee(x: Ref) returns (y: Int)
+              requires acc(x.f) ensures acc(x.f)
+            { y := 0 }
+            method caller(a: Ref)
+              requires acc(a.f) ensures acc(a.f)
+            {
+              var out: Int
+              out := callee(a)
+            }
+            """
+        )
+
+
+class TestRejections:
+    def test_undeclared_variable(self):
+        rejects(HEADER + "method m() { x := 1 }", "undeclared variable")
+
+    def test_undeclared_field(self):
+        rejects(HEADER + "method m(x: Ref) { x.nope := 1 }", "undeclared field")
+
+    def test_duplicate_field(self):
+        rejects("field f: Int\nfield f: Bool\nmethod m() { assert true }", "duplicate field")
+
+    def test_duplicate_method(self):
+        rejects(
+            HEADER + "method m() { assert true }\nmethod m() { assert true }",
+            "duplicate method",
+        )
+
+    def test_shadowing_rejected(self):
+        rejects(HEADER + "method m(x: Ref) { var x: Int }", "redeclared")
+
+    def test_type_mismatch_in_assignment(self):
+        rejects(HEADER + "method m() { var t: Int t := true }")
+
+    def test_bad_if_condition(self):
+        rejects(HEADER + "method m() { if (1) { assert true } }", "Bool")
+
+    def test_bad_acc_receiver(self):
+        rejects(HEADER + "method m(n: Int) requires acc(n.f) { assert true }")
+
+    def test_precondition_cannot_mention_returns(self):
+        rejects(
+            HEADER
+            + "method m(x: Ref) returns (y: Int) requires y > 0 { y := 1 }",
+            "undeclared variable",
+        )
+
+    def test_postcondition_may_mention_returns(self):
+        check(HEADER + "method m() returns (y: Int) ensures y == y { y := 1 }")
+
+    def test_call_arity_mismatch(self):
+        rejects(
+            HEADER
+            + """
+            method callee(x: Ref) { assert true }
+            method caller(a: Ref) { callee(a, a) }
+            """,
+            "arguments",
+        )
+
+    def test_call_target_count_mismatch(self):
+        rejects(
+            HEADER
+            + """
+            method callee(x: Ref) returns (y: Int) { y := 0 }
+            method caller(a: Ref) { callee(a) }
+            """,
+            "targets",
+        )
+
+    def test_call_duplicate_targets(self):
+        rejects(
+            HEADER
+            + """
+            method callee() returns (a: Int, b: Int) { a := 0 b := 0 }
+            method caller() { var t: Int t, t := callee() }
+            """,
+        )
+
+    def test_call_argument_reads_target(self):
+        rejects(
+            HEADER
+            + """
+            method callee(n: Int) returns (y: Int) { y := n }
+            method caller() { var t: Int t := 0 t := callee(t) }
+            """,
+            "reads target",
+        )
+
+    def test_call_to_unknown_method(self):
+        rejects(HEADER + "method m(x: Ref) { ghost(x) }", "undeclared method")
+
+    def test_branch_local_declarations_do_not_escape(self):
+        rejects(
+            HEADER
+            + """
+            method m(b: Bool) {
+              if (b) { var t: Int t := 1 }
+              t := 2
+            }
+            """,
+            "undeclared variable",
+        )
+
+    def test_pure_assertion_must_be_bool(self):
+        rejects(HEADER + "method m() requires 1 { assert true }", "Bool")
+
+    def test_division_requires_ints(self):
+        rejects(HEADER + "method m(b: Bool) { var t: Int t := b \\ 2 }")
+
+    def test_comparison_requires_numeric(self):
+        rejects(HEADER + "method m(b: Bool) { assert b < true }")
+
+    def test_equality_across_incompatible_types(self):
+        rejects(HEADER + "method m(x: Ref, n: Int) { assert x == n }")
+
+    def test_field_write_type(self):
+        rejects(HEADER + "method m(x: Ref) requires acc(x.f) { x.f := true }")

@@ -1,0 +1,221 @@
+"""Tests for the bounded correctness and spec well-formedness checkers."""
+
+import pytest
+
+from repro.viper.wellformed import (
+    check_method_correct_bounded,
+    check_program_correct_bounded,
+    check_spec_wellformed_bounded,
+)
+
+from tests.helpers import parsed
+
+
+def correctness(source: str, method: str):
+    program, info = parsed(source)
+    return check_method_correct_bounded(program, info, method)
+
+
+def spec_wf(source: str, method: str):
+    program, info = parsed(source)
+    return check_spec_wellformed_bounded(program, info, method)
+
+
+class TestMethodCorrectness:
+    def test_correct_getter(self):
+        verdict = correctness(
+            """
+            field f: Int
+            method get(x: Ref) returns (y: Int)
+              requires acc(x.f, 1/2)
+              ensures acc(x.f, 1/2) && y == x.f
+            { y := x.f }
+            """,
+            "get",
+        )
+        assert verdict.ok
+
+    def test_wrong_postcondition_detected(self):
+        verdict = correctness(
+            """
+            field f: Int
+            method bad(x: Ref)
+              requires acc(x.f, write)
+              ensures acc(x.f, write) && x.f == 0
+            { x.f := 1 }
+            """,
+            "bad",
+        )
+        assert not verdict.ok
+        assert verdict.counterexample is not None
+
+    def test_missing_write_permission_detected(self):
+        verdict = correctness(
+            """
+            field f: Int
+            method bad(x: Ref)
+              requires acc(x.f, 1/2)
+              ensures acc(x.f, 1/2)
+            { x.f := 1 }
+            """,
+            "bad",
+        )
+        assert not verdict.ok
+
+    def test_leaked_permission_detected(self):
+        # Exhaling more than inhaled fails.
+        verdict = correctness(
+            """
+            field f: Int
+            method bad(x: Ref)
+              requires acc(x.f, 1/2)
+              ensures acc(x.f, write)
+            { assert true }
+            """,
+            "bad",
+        )
+        assert not verdict.ok
+
+    def test_havoc_after_full_exhale_is_observable(self):
+        # After exhaling all permission and re-inhaling, the value is
+        # arbitrary; asserting the old value must fail on some execution.
+        verdict = correctness(
+            """
+            field f: Int
+            method bad(x: Ref)
+              requires acc(x.f, write)
+              ensures acc(x.f, write)
+            {
+              x.f := 5
+              exhale acc(x.f, write)
+              inhale acc(x.f, write)
+              assert x.f == 5
+            }
+            """,
+            "bad",
+        )
+        assert not verdict.ok
+
+    def test_partial_exhale_preserves_value(self):
+        verdict = correctness(
+            """
+            field f: Int
+            method ok(x: Ref)
+              requires acc(x.f, write)
+              ensures acc(x.f, write)
+            {
+              x.f := 5
+              exhale acc(x.f, 1/2)
+              inhale acc(x.f, 1/2)
+              assert x.f == 5
+            }
+            """,
+            "ok",
+        )
+        assert verdict.ok
+
+
+class TestSpecWellFormedness:
+    def test_well_formed_spec(self):
+        verdict = spec_wf(
+            """
+            field f: Int
+            method m(x: Ref)
+              requires acc(x.f, 1/2) && x.f > 0
+              ensures acc(x.f, 1/2)
+            { assert true }
+            """,
+            "m",
+        )
+        assert verdict.ok
+
+    def test_heap_read_before_permission_is_ill_formed(self):
+        verdict = spec_wf(
+            """
+            field f: Int
+            method m(x: Ref)
+              requires x.f > 0 && acc(x.f, 1/2)
+              ensures true
+            { assert true }
+            """,
+            "m",
+        )
+        assert not verdict.ok
+        assert "precondition" in verdict.reason
+
+    def test_postcondition_may_use_precondition_permissions(self):
+        # Postcondition well-formedness is checked in a state that has
+        # inhaled the precondition (the C1 section of the translation).
+        verdict = spec_wf(
+            """
+            field f: Int
+            method m(x: Ref) returns (y: Int)
+              requires acc(x.f, write)
+              ensures x.f == y
+            { y := 0 }
+            """,
+            "m",
+        )
+        assert verdict.ok
+
+    def test_ill_formed_postcondition(self):
+        verdict = spec_wf(
+            """
+            field f: Int
+            method m(x: Ref) returns (y: Int)
+              requires true
+              ensures x.f == y
+            { y := 0 }
+            """,
+            "m",
+        )
+        # The postcondition reads x.f but no permission was ever inhaled.
+        assert not verdict.ok
+        assert "postcondition" in verdict.reason
+
+    def test_guarded_heap_read_is_well_formed(self):
+        verdict = spec_wf(
+            """
+            field f: Int
+            method m(x: Ref, b: Bool)
+              requires acc(x.f, 1/2) && (b ==> x.f > 0)
+              ensures true
+            { assert true }
+            """,
+            "m",
+        )
+        assert verdict.ok
+
+    def test_division_in_spec(self):
+        verdict = spec_wf(
+            """
+            field f: Int
+            method m(n: Int)
+              requires 10 \\ n > 0
+              ensures true
+            { assert true }
+            """,
+            "m",
+        )
+        assert not verdict.ok  # n may be zero
+
+
+class TestProgramLevel:
+    def test_mixed_program(self):
+        program, info = parsed(
+            """
+            field f: Int
+            method good(x: Ref)
+              requires acc(x.f, write) ensures acc(x.f, write)
+            { x.f := 1 }
+            method abstract_ok(x: Ref)
+              requires acc(x.f, 1/2) ensures acc(x.f, 1/2)
+            method bad(x: Ref)
+              requires acc(x.f, write) ensures acc(x.f, write) && x.f == 9
+            { x.f := 1 }
+            """
+        )
+        verdicts = check_program_correct_bounded(program, info)
+        assert verdicts["good"].ok
+        assert verdicts["abstract_ok"].ok
+        assert not verdicts["bad"].ok
