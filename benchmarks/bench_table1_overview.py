@@ -18,16 +18,20 @@ from repro.harness import (
     run_files,
 )
 
-from common import all_suite_metrics, emit
+from common import bench_jobs, emit, emit_json
 
 
 def _pipeline_once():
-    return {suite: run_files(files) for suite, files in full_corpus().items()}
+    return {
+        suite: run_files(files, jobs=bench_jobs())
+        for suite, files in full_corpus().items()
+    }
 
 
 def test_table1_overview(benchmark):
     per_suite = benchmark.pedantic(_pipeline_once, rounds=1, iterations=1)
     emit("table1_overview", render_table1(per_suite))
+    emit_json("table1_overview", per_suite)
     overall = aggregate_overall(per_suite)
     assert overall.files == 72
     assert overall.methods == 299

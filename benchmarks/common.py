@@ -3,15 +3,24 @@
 Each benchmark regenerates one of the paper's tables (Tab. 1–6) or runs an
 ablation.  Results are printed to stdout (run pytest with ``-s`` to see
 them live) and written to ``benchmarks/results/``.
+
+The corpus fan-out goes through the pipeline's parallel executor
+(:mod:`repro.pipeline.executor`).  It defaults to serial execution so
+per-file timings stay comparable with the paper's single-threaded numbers;
+set ``REPRO_BENCH_JOBS=0`` (auto) or ``=N`` to parallelise — the executor
+preserves input order, so tables are identical either way (timings aside).
 """
 
 from __future__ import annotations
 
 import functools
+import json
+import os
 import pathlib
 from typing import Dict, List
 
 from repro.harness import (
+    bench_report,
     FileMetrics,
     full_corpus,
     run_files,
@@ -21,10 +30,21 @@ from repro.harness import (
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 
+def bench_jobs() -> int:
+    """Worker count for corpus fan-out (``REPRO_BENCH_JOBS``; default serial)."""
+    raw = os.environ.get("REPRO_BENCH_JOBS", "").strip()
+    if not raw:
+        return 1
+    try:
+        return int(raw)
+    except ValueError:
+        return 1
+
+
 @functools.lru_cache(maxsize=None)
 def corpus_metrics(suite: str) -> tuple:
     """Metrics for one suite, computed once per benchmark session."""
-    return tuple(run_files(suite_files(suite)))
+    return tuple(run_files(suite_files(suite), jobs=bench_jobs()))
 
 
 def all_suite_metrics() -> Dict[str, List[FileMetrics]]:
@@ -37,3 +57,10 @@ def emit(name: str, text: str) -> None:
     print(text)
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+def emit_json(name: str, per_suite: Dict[str, List[FileMetrics]]) -> None:
+    """Persist machine-readable metrics next to the text tables."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    payload = bench_report(per_suite, jobs=bench_jobs())
+    (RESULTS_DIR / f"{name}.json").write_text(json.dumps(payload, indent=2) + "\n")

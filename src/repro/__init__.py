@@ -30,6 +30,10 @@ The subpackages:
 * :mod:`repro.certification` — the paper's contribution: certificate
   generation (tactic), the independent proof-checking kernel, semantic
   simulation judgements, and the final-theorem assembly,
+* :mod:`repro.pipeline` — the staged end-to-end flow (parse → desugar →
+  typecheck → translate → generate → render → reparse → check) with
+  per-stage instrumentation, structured diagnostics, a content-addressed
+  artifact cache, and a parallel corpus executor,
 * :mod:`repro.harness` — the evaluation corpus and pipeline (Tables 1–6).
 """
 
@@ -43,43 +47,37 @@ from .certification import (  # noqa: F401
 )
 from .frontend import translate_program, TranslationOptions, TranslationResult  # noqa: F401
 from .viper import check_program, parse_program  # noqa: F401
+from .pipeline import (  # noqa: F401
+    ArtifactCache,
+    Diagnostic,
+    PipelineContext,
+    PipelineError,
+    PipelineInstrumentation,
+    run_pipeline,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 
-def translate_source(source, options=None):
+def translate_source(source, options=None, **kwargs):
     """Parse, type-check, and translate a Viper program given as text.
 
-    While loops in the source are desugared via their invariants into the
-    core subset before translation (see :mod:`repro.viper.loops`).
+    Loops, ``old()`` expressions, ``new`` allocations, and complex call
+    arguments are desugared into the core subset first.  This is a thin
+    wrapper over :func:`repro.pipeline.run_pipeline` (stage ``translate``);
+    keyword arguments (``instrumentation=``, ``cache=``, ``wrap_errors=``)
+    are forwarded to the pipeline.
     """
-    from .viper import (
-        desugar_loops,
-        desugar_new,
-        desugar_old,
-        program_has_loops,
-        program_has_new,
-        program_has_old,
-    )
+    from .pipeline import translate_source as _translate_source
 
-    program = parse_program(source)
-    if program_has_loops(program):
-        program = desugar_loops(program)
-    if program_has_new(program):
-        program = desugar_new(program)
-    if program_has_old(program):
-        program = desugar_old(program)
-    from .viper import hoist_call_args, program_has_complex_call_args
-
-    if program_has_complex_call_args(program):
-        program = hoist_call_args(program)
-    type_info = check_program(program)
-    return translate_program(program, type_info, options)
+    return _translate_source(source, options, **kwargs)
 
 
-def certify_source(source, options=None):
+def certify_source(source, options=None, **kwargs):
     """Run the full pipeline on Viper source text and return the theorem
-    report (generate the certificate and check it independently)."""
-    result = translate_source(source, options)
-    _certificate, report = certify_translation(result)
-    return report
+    report (generate the certificate, serialise it, and re-check it on the
+    independent trusted path).  Thin wrapper over
+    :func:`repro.pipeline.run_pipeline` (stage ``check``)."""
+    from .pipeline import certify_source as _certify_source
+
+    return _certify_source(source, options, **kwargs)

@@ -3,64 +3,59 @@
 Subcommands::
 
     python -m repro.cli translate FILE.vpr [-o OUT.bpl] [options]
-    python -m repro.cli certify   FILE.vpr [-o OUT.cert] [--oracle]
+    python -m repro.cli certify   FILE.vpr [-o OUT.cert] [--oracle] [--timings]
     python -m repro.cli check     FILE.vpr OUT.bpl OUT.cert
     python -m repro.cli verify    FILE.vpr
-    python -m repro.cli bench     [SUITE]
+    python -m repro.cli bench     [SUITE] [--jobs N] [--json PATH]
 
 ``certify`` runs the instrumented translation and writes the certificate;
 ``check`` re-checks a certificate *independently*: it parses the Viper
 source, parses the Boogie file with the Boogie parser, parses the
 certificate, and runs only the trusted kernel — the translator is not
 involved.  ``verify`` runs the bounded back-end on each procedure.
+
+Every command drives :mod:`repro.pipeline` — the single place the stage
+sequence (parse → desugar → typecheck → translate → generate → render →
+reparse → check) is spelled out.  Pipeline failures surface as structured
+diagnostics (stage, source location, recovery hint) with exit code 2;
+``SIGINT`` exits with the conventional 130.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Optional
 
 from .boogie.parser import parse_boogie_program
-from .boogie.pretty import pretty_boogie_program
 from .boogie.prover import Verdict, verify_procedure_bounded
-from .certification import (
-    certify_translation,
-    check_program_certificate,
-    parse_program_certificate,
-    render_program_certificate,
-)
+from .certification import check_program_certificate, parse_program_certificate
 from .certification.oracle import validate_program_semantically
-from .frontend import procedure_name, translate_program, TranslationOptions
+from .frontend import procedure_name, TranslationOptions
 from .frontend.background import build_background, constant_valuation, standard_interpretation
 from .frontend.translator import TranslationResult
-from .viper import (
-    check_program,
-    desugar_loops,
-    desugar_new,
-    desugar_old,
-    parse_program,
-    program_has_loops,
-    program_has_new,
-    program_has_old,
-)
+from .pipeline import PipelineContext, PipelineError, run_pipeline
+
+
+def _read_source(path: str) -> str:
+    with open(path, "r", encoding="utf-8") as handle:
+        return handle.read()
+
+
+def _run_file_pipeline(path: str, upto: str, options=None, **kwargs) -> PipelineContext:
+    """Run the staged pipeline on a Viper file, with CLI diagnostics."""
+    return run_pipeline(_read_source(path), options, upto=upto, wrap_errors=True, **kwargs)
 
 
 def _load_viper(path: str):
-    with open(path, "r", encoding="utf-8") as handle:
-        source = handle.read()
-    program = parse_program(source)
-    if program_has_loops(program):
-        program = desugar_loops(program)
-    if program_has_new(program):
-        program = desugar_new(program)
-    if program_has_old(program):
-        program = desugar_old(program)
-    from .viper import hoist_call_args, program_has_complex_call_args
+    """Parse, desugar, and type-check a Viper file (pipeline delegation).
 
-    if program_has_complex_call_args(program):
-        program = hoist_call_args(program)
-    return program, check_program(program)
+    Retained for backwards compatibility; new code should call
+    :func:`repro.pipeline.run_pipeline` directly.
+    """
+    ctx = _run_file_pipeline(path, upto="typecheck")
+    return ctx.program, ctx.type_info
 
 
 def _options_from(args: argparse.Namespace) -> TranslationOptions:
@@ -71,41 +66,50 @@ def _options_from(args: argparse.Namespace) -> TranslationOptions:
     )
 
 
+def _print_timings(ctx: PipelineContext) -> None:
+    print("\nper-stage instrumentation:")
+    for record in ctx.instrumentation.records:
+        status = "cached" if record.cached else ("skipped" if record.skipped else f"{record.seconds:.4f}s")
+        sizes = "".join(f"  {k}={v}" for k, v in record.artifacts.items())
+        print(f"  {record.stage:<10} {status:>8}{sizes}")
+
+
 def cmd_translate(args: argparse.Namespace) -> int:
     """`translate`: emit the Boogie program for a Viper file."""
-    program, type_info = _load_viper(args.file)
-    result = translate_program(program, type_info, _options_from(args))
-    text = pretty_boogie_program(result.boogie_program)
+    ctx = _run_file_pipeline(args.file, "translate", _options_from(args))
+    text = ctx.boogie_text
     if args.output:
         with open(args.output, "w", encoding="utf-8") as handle:
             handle.write(text)
         print(f"wrote {args.output} ({len(text.splitlines())} lines)")
     else:
         print(text)
+    if args.timings:
+        _print_timings(ctx)
     return 0
 
 
 def cmd_certify(args: argparse.Namespace) -> int:
-    """`certify`: translate, generate, and check a certificate."""
-    program, type_info = _load_viper(args.file)
-    result = translate_program(program, type_info, _options_from(args))
-    certificate, report = certify_translation(result)
+    """`certify`: translate, generate, serialise, and independently check."""
+    ctx = _run_file_pipeline(args.file, "check", _options_from(args))
+    report = ctx.report
     if not report.ok:
         print(f"certification FAILED: {report.error}", file=sys.stderr)
         return 1
-    text = render_program_certificate(certificate)
     if args.output:
         with open(args.output, "w", encoding="utf-8") as handle:
-            handle.write(text)
-        print(f"wrote {args.output} ({len(text.splitlines())} lines)")
+            handle.write(ctx.certificate_text)
+        print(f"wrote {args.output} ({len(ctx.certificate_text.splitlines())} lines)")
     if args.boogie_output:
         with open(args.boogie_output, "w", encoding="utf-8") as handle:
-            handle.write(pretty_boogie_program(result.boogie_program))
+            handle.write(ctx.boogie_text)
         print(f"wrote {args.boogie_output}")
     print(report.statement())
+    if args.timings:
+        _print_timings(ctx)
     if args.oracle:
         print("\nsemantic oracle (failure-direction co-execution):")
-        for verdict in validate_program_semantically(result, max_states_per_method=12):
+        for verdict in validate_program_semantically(ctx.translation, max_states_per_method=12):
             status = "ok" if verdict.ok else f"FAILED: {verdict.detail}"
             print(f"  {verdict.method}: {status}")
             if not verdict.ok:
@@ -115,7 +119,8 @@ def cmd_certify(args: argparse.Namespace) -> int:
 
 def cmd_check(args: argparse.Namespace) -> int:
     """Independent check: Viper source + Boogie file + certificate file."""
-    program, type_info = _load_viper(args.file)
+    ctx = _run_file_pipeline(args.file, "typecheck")
+    program, type_info = ctx.program, ctx.type_info
     with open(args.boogie, "r", encoding="utf-8") as handle:
         boogie_program = parse_boogie_program(handle.read())
     with open(args.certificate, "r", encoding="utf-8") as handle:
@@ -140,12 +145,12 @@ def cmd_check(args: argparse.Namespace) -> int:
 
 def cmd_verify(args: argparse.Namespace) -> int:
     """`verify`: bounded back-end verdict per procedure."""
-    program, type_info = _load_viper(args.file)
-    result = translate_program(program, type_info)
-    interp = standard_interpretation(type_info.field_types)
+    ctx = _run_file_pipeline(args.file, "translate")
+    result = ctx.translation
+    interp = standard_interpretation(ctx.type_info.field_types)
     consts = constant_valuation(result.background)
     exit_code = 0
-    for method in program.methods:
+    for method in ctx.program.methods:
         proc = result.boogie_program.procedure(procedure_name(method.name))
         verdict = verify_procedure_bounded(
             result.boogie_program, proc, interp, fixed=consts
@@ -165,10 +170,11 @@ def cmd_rules(args: argparse.Namespace) -> int:
 
 
 def cmd_bench(args: argparse.Namespace) -> int:
-    """`bench`: run the harness or dump the corpus."""
+    """`bench`: run the harness (optionally in parallel), dump JSON/corpus."""
     from .harness import (
         dump_corpus,
         full_corpus,
+        render_bench_json,
         render_detail_table,
         render_table1,
         run_files,
@@ -179,12 +185,21 @@ def cmd_bench(args: argparse.Namespace) -> int:
         count = dump_corpus(args.dump)
         print(f"wrote {count} corpus files under {args.dump}")
         return 0
+    jobs = args.jobs
     if args.suite:
-        metrics = run_files(suite_files(args.suite))
-        print(render_detail_table(metrics, f"{args.suite} suite"))
+        per_suite = {args.suite: run_files(suite_files(args.suite), jobs=jobs)}
+        print(render_detail_table(per_suite[args.suite], f"{args.suite} suite"))
     else:
-        per_suite = {suite: run_files(files) for suite, files in full_corpus().items()}
+        per_suite = {
+            suite: run_files(files, jobs=jobs)
+            for suite, files in full_corpus().items()
+        }
         print(render_table1(per_suite))
+    if args.json:
+        payload = render_bench_json(per_suite, jobs=jobs)
+        with open(args.json, "w", encoding="utf-8") as handle:
+            handle.write(payload + "\n")
+        print(f"wrote {args.json}")
     return 0
 
 
@@ -213,6 +228,8 @@ def build_parser() -> argparse.ArgumentParser:
         command.add_argument("--always-havoc", action="store_true",
                              help="emit the exhale heap havoc even for pure "
                                   "assertions")
+        command.add_argument("--timings", action="store_true",
+                             help="print per-stage instrumentation records")
     check = sub.add_parser("check", help="independently check a certificate")
     check.add_argument("file", help="the Viper source")
     check.add_argument("boogie", help="the Boogie translation (.bpl)")
@@ -226,11 +243,44 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--dump", metavar="DIR",
                        help="write the corpus .vpr files to DIR instead of "
                             "running the pipeline")
+    bench.add_argument("--jobs", "-j", type=int, default=None, metavar="N",
+                       help="fan out over N worker processes (0 = one per "
+                            "CPU; default: serial)")
+    bench.add_argument("--json", metavar="PATH",
+                       help="also write machine-readable per-file/per-suite "
+                            "metrics to PATH")
     return parser
 
 
+def _silence_stdout() -> None:
+    """Point stdout at /dev/null so interpreter shutdown can't re-raise
+    BrokenPipeError while flushing."""
+    try:
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+    except (OSError, ValueError):
+        pass
+
+
+def _flush_stdout_safely() -> int:
+    """Flush stdout; returns 1 if the consumer is gone, else 0."""
+    try:
+        sys.stdout.flush()
+    except BrokenPipeError:
+        _silence_stdout()
+        return 1
+    except (OSError, ValueError):
+        return 1
+    return 0
+
+
 def main(argv: Optional[list] = None) -> int:
-    """Entry point; returns the process exit code."""
+    """Entry point; returns the process exit code.
+
+    Exit codes: 0 success, 1 command-level failure (rejected certificate,
+    refuted procedure), 2 pipeline diagnostic (parse/type/translate error),
+    130 on ``SIGINT`` (the conventional ``128 + SIGINT``).
+    """
     args = build_parser().parse_args(argv)
     handlers = {
         "translate": cmd_translate,
@@ -241,10 +291,20 @@ def main(argv: Optional[list] = None) -> int:
         "bench": cmd_bench,
     }
     try:
-        return handlers[args.command](args)
+        code = handlers[args.command](args)
+        _flush_stdout_safely()
+        return code
     except BrokenPipeError:
         # Output was piped into a consumer that closed early (e.g. head).
+        _silence_stdout()
         return 0
+    except KeyboardInterrupt:
+        _flush_stdout_safely()
+        print("interrupted", file=sys.stderr)
+        return 130
+    except PipelineError as error:
+        print(error.diagnostic.render(), file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

@@ -8,5 +8,19 @@ from .corpus import (  # noqa: F401
     suite_files,
     TABLE2_SELECTION,
 )
-from .runner import aggregate, aggregate_overall, FileMetrics, run_file, run_files, SuiteMetrics  # noqa: F401
-from .tables import blowup_factor, render_detail_table, render_table1  # noqa: F401
+from .runner import (  # noqa: F401
+    aggregate,
+    aggregate_overall,
+    FileMetrics,
+    metrics_from_context,
+    run_file,
+    run_files,
+    SuiteMetrics,
+)
+from .tables import (  # noqa: F401
+    bench_report,
+    blowup_factor,
+    render_bench_json,
+    render_detail_table,
+    render_table1,
+)

@@ -1,4 +1,4 @@
-"""The evaluation pipeline: parse → translate → certify → check → measure.
+"""The evaluation runner: corpus files through the staged pipeline.
 
 ``run_file`` reproduces, for one corpus program, exactly what the paper
 measures per Viper file (Tab. 1–6):
@@ -10,29 +10,25 @@ measures per Viper file (Tab. 1–6):
 * the time to *check* the certificate from its serialised text form,
   independently of the translator (the proof-check-time analog).
 
-The checker consumes the certificate parsed back from text, so the timing
-covers the full trusted path: parse certificate, validate every rule
-application against both ASTs, and discharge the background obligations.
+The measurements are **derived from pipeline instrumentation records**
+(:mod:`repro.pipeline.instrumentation`), not from inline timing: the
+harness shares the staged flow (parse → desugar → typecheck → translate →
+generate → render → reparse → check) with every other entry point, so
+corpus programs get the same loop/old/new/call-argument desugaring as the
+CLI and the library API.  ``run_files`` fans out over the corpus through
+the parallel executor (:mod:`repro.pipeline.executor`) with deterministic
+ordering; ``jobs=None`` keeps the paper-comparable serial default.
 """
 
 from __future__ import annotations
 
+import functools
 import statistics
-import time
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass
 from typing import Dict, List, Optional, Sequence
 
-from ..certification import (
-    check_program_certificate,
-    generate_program_certificate,
-    parse_program_certificate,
-    render_program_certificate,
-)
-from ..frontend import translate_program, TranslationOptions
-from ..boogie.pretty import pretty_boogie_program
-from ..viper.parser import parse_program
-from ..viper.pretty import count_loc
-from ..viper.typechecker import check_program
+from ..frontend import TranslationOptions
+from ..pipeline import ArtifactCache, parallel_map, PipelineContext, run_pipeline
 from .corpus import CorpusFile
 
 
@@ -52,6 +48,10 @@ class FileMetrics:
     certified: bool
     error: str = ""
 
+    def to_dict(self) -> Dict[str, object]:
+        """A JSON-ready representation (for ``bench --json``)."""
+        return asdict(self)
+
 
 @dataclass
 class SuiteMetrics:
@@ -67,45 +67,65 @@ class SuiteMetrics:
     median_check_seconds: float
     all_certified: bool
 
+    def to_dict(self) -> Dict[str, object]:
+        return asdict(self)
 
-def run_file(
-    corpus_file: CorpusFile, options: Optional[TranslationOptions] = None
-) -> FileMetrics:
-    """Run the full pipeline on one file and collect its metrics."""
-    program = parse_program(corpus_file.source)
-    type_info = check_program(program)
-    start = time.perf_counter()
-    result = translate_program(program, type_info, options)
-    translate_seconds = time.perf_counter() - start
-    start = time.perf_counter()
-    certificate = generate_program_certificate(result)
-    cert_text = render_program_certificate(certificate)
-    generate_seconds = time.perf_counter() - start
-    # Check from the serialised form — the independent trusted path.
-    start = time.perf_counter()
-    reparsed = parse_program_certificate(cert_text)
-    report = check_program_certificate(result, reparsed)
-    check_seconds = time.perf_counter() - start
+
+def metrics_from_context(corpus_file: CorpusFile, ctx: PipelineContext) -> FileMetrics:
+    """Derive one file's metrics from a completed pipeline context.
+
+    Timings and artifact sizes come from the instrumentation records:
+    ``translate`` is the translation stage alone, ``generate`` covers
+    certificate generation + serialisation, and ``check`` covers the full
+    trusted path (re-parse the certificate text + kernel check), matching
+    what the paper reports.
+    """
+    inst = ctx.instrumentation
+    sizes = inst.artifact_sizes()
+    report = ctx.report
     return FileMetrics(
         suite=corpus_file.suite,
         name=corpus_file.name,
-        methods=len(program.methods),
-        viper_loc=count_loc(corpus_file.source),
-        boogie_loc=count_loc(pretty_boogie_program(result.boogie_program)),
-        cert_loc=len([l for l in cert_text.splitlines() if l.strip()]),
-        translate_seconds=translate_seconds,
-        generate_seconds=generate_seconds,
-        check_seconds=check_seconds,
-        certified=report.ok,
-        error=report.error,
+        methods=sizes.get("methods", 0),
+        viper_loc=sizes.get("viper_loc", 0),
+        boogie_loc=sizes.get("boogie_loc", 0),
+        cert_loc=sizes.get("cert_loc", 0),
+        translate_seconds=inst.stage_seconds("translate"),
+        generate_seconds=inst.stage_seconds("generate", "render"),
+        check_seconds=inst.stage_seconds("reparse", "check"),
+        certified=bool(report.ok) if report is not None else False,
+        error=report.error if report is not None else "pipeline incomplete",
     )
 
 
+def run_file(
+    corpus_file: CorpusFile,
+    options: Optional[TranslationOptions] = None,
+    cache: Optional[ArtifactCache] = None,
+) -> FileMetrics:
+    """Run the staged pipeline on one file and collect its metrics.
+
+    Module-level and picklable, so it doubles as the process-pool worker
+    for :func:`run_files`.
+    """
+    ctx = run_pipeline(corpus_file.source, options, cache=cache)
+    return metrics_from_context(corpus_file, ctx)
+
+
 def run_files(
-    files: Sequence[CorpusFile], options: Optional[TranslationOptions] = None
+    files: Sequence[CorpusFile],
+    options: Optional[TranslationOptions] = None,
+    jobs: Optional[int] = None,
 ) -> List[FileMetrics]:
-    """Run the pipeline on a list of corpus files."""
-    return [run_file(corpus_file, options) for corpus_file in files]
+    """Run the pipeline on a list of corpus files.
+
+    ``jobs=None``/``1`` runs serially (the default); ``jobs=0`` uses one
+    worker per CPU; ``jobs=N`` uses N processes.  Output order always
+    matches the input order, so parallel runs aggregate and render
+    identically to serial runs (timings aside).
+    """
+    worker = functools.partial(run_file, options=options)
+    return parallel_map(worker, files, jobs=jobs)
 
 
 def aggregate(suite: str, metrics: Sequence[FileMetrics]) -> SuiteMetrics:

@@ -1,8 +1,11 @@
-"""Rendering of the paper's tables from harness measurements."""
+"""Rendering of the paper's tables (text and JSON) from harness measurements."""
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+import json
+import platform
+import sys
+from typing import Dict, List, Optional, Sequence
 
 from .runner import FileMetrics, SuiteMetrics, aggregate, aggregate_overall
 
@@ -86,3 +89,46 @@ def blowup_factor(per_suite: Dict[str, List[FileMetrics]]) -> float:
     total_viper = sum(m.viper_loc for m in all_metrics)
     total_boogie = sum(m.boogie_loc for m in all_metrics)
     return total_boogie / total_viper if total_viper else 0.0
+
+
+def bench_report(
+    per_suite: Dict[str, List[FileMetrics]],
+    jobs: Optional[int] = None,
+) -> Dict[str, object]:
+    """A machine-readable benchmark report (the ``bench --json`` payload).
+
+    Shape::
+
+        {
+          "meta":    {"python": ..., "platform": ..., "jobs": ...},
+          "suites":  {suite: {"files": [per-file dicts],
+                              "aggregate": {Table-1 row}}},
+          "overall": {Table-1 Overall row},
+          "blowup_factor": float,
+        }
+    """
+    suites: Dict[str, object] = {}
+    for suite, metrics in per_suite.items():
+        suites[suite] = {
+            "files": [m.to_dict() for m in metrics],
+            "aggregate": aggregate(suite, metrics).to_dict(),
+        }
+    return {
+        "meta": {
+            "python": sys.version.split()[0],
+            "platform": platform.platform(),
+            "jobs": jobs,
+        },
+        "suites": suites,
+        "overall": aggregate_overall(per_suite).to_dict(),
+        "blowup_factor": blowup_factor(per_suite),
+    }
+
+
+def render_bench_json(
+    per_suite: Dict[str, List[FileMetrics]],
+    jobs: Optional[int] = None,
+    indent: int = 2,
+) -> str:
+    """Serialise :func:`bench_report` (suitable for ``BENCH_*.json``)."""
+    return json.dumps(bench_report(per_suite, jobs=jobs), indent=indent)

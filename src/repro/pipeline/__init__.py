@@ -1,0 +1,66 @@
+"""The staged pipeline: the single source of truth for the end-to-end flow.
+
+``repro.pipeline`` owns the paper's workflow —
+
+    parse → desugar → typecheck → translate → generate → render
+          → reparse → check
+
+— as an explicit stage graph (:mod:`~repro.pipeline.stages`) with
+
+* structured diagnostics carrying stage, location, and recovery hint
+  (:mod:`~repro.pipeline.diagnostics`),
+* per-stage instrumentation: wall-time, artifact sizes, counters,
+  JSON-exportable (:mod:`~repro.pipeline.instrumentation`),
+* a content-addressed artifact cache keyed by ``(source digest, options)``
+  for the untrusted translate/generate stages
+  (:mod:`~repro.pipeline.cache`),
+* a parallel corpus executor with deterministic ordering and serial
+  fallback (:mod:`~repro.pipeline.executor`).
+
+Every entry point — :func:`repro.translate_source`,
+:func:`repro.certify_source`, ``repro.cli``, and ``repro.harness`` — is a
+thin wrapper over :func:`run_pipeline`.
+"""
+
+from .cache import (  # noqa: F401
+    ArtifactCache,
+    CacheEntry,
+    CacheKey,
+    CacheStats,
+    cache_key,
+    default_cache,
+    reset_default_cache,
+    source_digest,
+)
+from .diagnostics import (  # noqa: F401
+    CertificationError,
+    Diagnostic,
+    ParseError,
+    PipelineError,
+    SourceLocation,
+    TranslateError,
+    TypecheckError,
+    wrap_exception,
+)
+from .executor import (  # noqa: F401
+    default_jobs,
+    parallel_map,
+    resolve_jobs,
+)
+from .instrumentation import (  # noqa: F401
+    PipelineInstrumentation,
+    StageRecord,
+)
+from .stages import (  # noqa: F401
+    certify_source,
+    make_context,
+    PipelineContext,
+    resume_pipeline,
+    run_pipeline,
+    run_stage,
+    Stage,
+    stage_index,
+    STAGE_NAMES,
+    STAGES,
+    translate_source,
+)

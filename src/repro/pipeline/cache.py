@@ -1,0 +1,156 @@
+"""Content-addressed artifact cache for the staged pipeline.
+
+Repeated certification of the same program is common: CLI re-runs during
+development, benchmark warm-up rounds, and ablation sweeps that vary one
+:class:`~repro.frontend.TranslationOptions` flag while everything else is
+shared.  The expensive untrusted stages — translation and certificate
+generation — are pure functions of ``(source text, options)``, so their
+outputs are cached under a content-addressed key:
+
+    key = (sha256(source), options)
+
+``TranslationOptions`` is a frozen dataclass, hence hashable and part of
+the key directly; two runs with different ablation flags never alias.
+
+The *trusted* path (certificate re-parse + kernel check) is deliberately
+**never** cached: caching the verdict would move the cache into the
+trusted computing base.  A cache hit therefore skips ``translate`` and
+``generate``/``render`` but still re-checks the certificate independently.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from ..frontend import TranslationOptions, TranslationResult
+
+#: The content-addressed cache key: (source digest, translation options).
+CacheKey = Tuple[str, "TranslationOptions"]
+
+
+def source_digest(source: str) -> str:
+    """SHA-256 of the source text (newline-normalised)."""
+    normalised = "\n".join(source.splitlines())
+    return hashlib.sha256(normalised.encode("utf-8")).hexdigest()
+
+
+def cache_key(source: str, options: Optional["TranslationOptions"]) -> CacheKey:
+    """The cache key for one (source, options) pipeline invocation."""
+    from ..frontend import TranslationOptions
+
+    return (source_digest(source), options if options is not None else TranslationOptions())
+
+
+@dataclass
+class CacheEntry:
+    """The cacheable artifacts of one pipeline run."""
+
+    translation: Optional["TranslationResult"] = None
+    certificate_text: Optional[str] = None
+
+
+@dataclass
+class CacheStats:
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    def to_dict(self) -> Dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses, "evictions": self.evictions}
+
+
+class ArtifactCache:
+    """A bounded, thread-safe LRU cache of pipeline artifacts.
+
+    Entries hold the translation result and the rendered certificate text;
+    both slots fill independently (a ``translate``-only run caches only the
+    translation).  Reads refresh recency; the least-recently-used entry is
+    evicted once ``maxsize`` distinct keys are held.
+    """
+
+    def __init__(self, maxsize: int = 128):
+        if maxsize < 1:
+            raise ValueError("maxsize must be >= 1")
+        self.maxsize = maxsize
+        self.stats = CacheStats()
+        self._entries: "OrderedDict[CacheKey, CacheEntry]" = OrderedDict()
+        self._lock = threading.Lock()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def _entry(self, key: CacheKey, create: bool) -> Optional[CacheEntry]:
+        entry = self._entries.get(key)
+        if entry is not None:
+            self._entries.move_to_end(key)
+            return entry
+        if not create:
+            return None
+        entry = CacheEntry()
+        self._entries[key] = entry
+        while len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+        return entry
+
+    # -- translation artifact ---------------------------------------------
+
+    def get_translation(self, key: CacheKey) -> Optional["TranslationResult"]:
+        with self._lock:
+            entry = self._entry(key, create=False)
+            found = entry.translation if entry is not None else None
+            if found is not None:
+                self.stats.hits += 1
+            else:
+                self.stats.misses += 1
+            return found
+
+    def put_translation(self, key: CacheKey, translation: "TranslationResult") -> None:
+        with self._lock:
+            self._entry(key, create=True).translation = translation
+
+    # -- certificate artifact ---------------------------------------------
+
+    def get_certificate_text(self, key: CacheKey) -> Optional[str]:
+        with self._lock:
+            entry = self._entry(key, create=False)
+            found = entry.certificate_text if entry is not None else None
+            if found is not None:
+                self.stats.hits += 1
+            else:
+                self.stats.misses += 1
+            return found
+
+    def put_certificate_text(self, key: CacheKey, text: str) -> None:
+        with self._lock:
+            self._entry(key, create=True).certificate_text = text
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self.stats = CacheStats()
+
+
+_default_cache: Optional[ArtifactCache] = None
+_default_lock = threading.Lock()
+
+
+def default_cache() -> ArtifactCache:
+    """The process-wide shared cache (created on first use)."""
+    global _default_cache
+    with _default_lock:
+        if _default_cache is None:
+            _default_cache = ArtifactCache()
+        return _default_cache
+
+
+def reset_default_cache() -> None:
+    """Drop the process-wide cache (tests, benchmarks between rounds)."""
+    global _default_cache
+    with _default_lock:
+        _default_cache = None

@@ -1,0 +1,146 @@
+"""Per-stage instrumentation: timings, artifact sizes, counters, observers.
+
+The paper's evaluation (Tab. 1–6) — like its predecessor on validating
+Boogie's VC generation (CAV 2021) — reports *per-stage* costs: translation
+time, certificate generation time, and the independent check time, next to
+artifact sizes (Viper LoC, Boogie LoC, certificate LoC).  This module makes
+those measurements first-class: every pipeline stage runs under a
+:class:`PipelineInstrumentation` that records a :class:`StageRecord` per
+execution, maintains counters (cache hits/misses, skipped stages), and
+notifies registered observers.  The whole record set exports as JSON for
+the ``BENCH_*.json`` performance trajectory.
+
+``FileMetrics`` in :mod:`repro.harness.runner` is *derived* from these
+records instead of sprinkling ``perf_counter`` calls through the harness.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, List, Optional
+
+
+@dataclass
+class StageRecord:
+    """One execution (or skip) of one pipeline stage."""
+
+    stage: str
+    seconds: float = 0.0
+    skipped: bool = False
+    cached: bool = False
+    #: Artifact sizes attributed to this stage (e.g. ``boogie_loc``).
+    artifacts: Dict[str, int] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, object]:
+        record: Dict[str, object] = {"stage": self.stage, "seconds": self.seconds}
+        if self.skipped:
+            record["skipped"] = True
+        if self.cached:
+            record["cached"] = True
+        if self.artifacts:
+            record["artifacts"] = dict(self.artifacts)
+        return record
+
+
+#: An observer receives each StageRecord as it is finalised.
+Observer = Callable[[StageRecord], None]
+
+
+class PipelineInstrumentation:
+    """Collects stage records, counters, and artifact sizes for one run.
+
+    The object is cheap; create one per pipeline invocation (the harness
+    creates one per corpus file).  Observers registered via
+    :meth:`add_observer` are called synchronously after every stage.
+    """
+
+    def __init__(self) -> None:
+        self.records: List[StageRecord] = []
+        self.counters: Dict[str, int] = {}
+        self._observers: List[Observer] = []
+
+    # -- recording ---------------------------------------------------------
+
+    @contextmanager
+    def stage(self, name: str) -> Iterator[StageRecord]:
+        """Time one stage execution; use as ``with inst.stage('translate'):``."""
+        record = StageRecord(stage=name)
+        start = time.perf_counter()
+        try:
+            yield record
+        finally:
+            record.seconds = time.perf_counter() - start
+            self._finalise(record)
+            self.increment(f"stage.{name}.runs")
+
+    def record_skip(self, name: str, cached: bool = False) -> StageRecord:
+        """Record that a stage was skipped (e.g. served from the cache)."""
+        record = StageRecord(stage=name, skipped=True, cached=cached)
+        self._finalise(record)
+        self.increment(f"stage.{name}.skipped")
+        return record
+
+    def artifact(self, stage: str, name: str, value: int) -> None:
+        """Attach an artifact size to the most recent record of ``stage``."""
+        for record in reversed(self.records):
+            if record.stage == stage:
+                record.artifacts[name] = value
+                return
+        # No record yet (artifact measured outside a stage): synthesise one.
+        record = StageRecord(stage=stage, skipped=True)
+        record.artifacts[name] = value
+        self.records.append(record)
+
+    def increment(self, counter: str, amount: int = 1) -> int:
+        """Bump a named counter and return its new value."""
+        value = self.counters.get(counter, 0) + amount
+        self.counters[counter] = value
+        return value
+
+    def add_observer(self, observer: Observer) -> None:
+        self._observers.append(observer)
+
+    def _finalise(self, record: StageRecord) -> None:
+        self.records.append(record)
+        for observer in self._observers:
+            observer(record)
+
+    # -- queries -----------------------------------------------------------
+
+    def stage_seconds(self, *names: str) -> float:
+        """Total wall-time spent in the named stage(s) (0.0 if never run)."""
+        wanted = set(names)
+        return sum(r.seconds for r in self.records if r.stage in wanted)
+
+    def stage_ran(self, name: str) -> bool:
+        """Whether the stage actually executed (not just skipped)."""
+        return self.counters.get(f"stage.{name}.runs", 0) > 0
+
+    def stage_skipped(self, name: str) -> bool:
+        return self.counters.get(f"stage.{name}.skipped", 0) > 0
+
+    def artifact_sizes(self) -> Dict[str, int]:
+        """All recorded artifact sizes, flattened (later stages win ties)."""
+        sizes: Dict[str, int] = {}
+        for record in self.records:
+            sizes.update(record.artifacts)
+        return sizes
+
+    def total_seconds(self) -> float:
+        return sum(r.seconds for r in self.records)
+
+    # -- export ------------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "stages": [r.to_dict() for r in self.records],
+            "counters": dict(sorted(self.counters.items())),
+            "artifacts": self.artifact_sizes(),
+            "total_seconds": self.total_seconds(),
+        }
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=False)

@@ -1,0 +1,368 @@
+"""The staged pipeline: the single source of truth for the end-to-end flow.
+
+The paper's workflow is a fixed sequence::
+
+    parse → desugar → typecheck → translate → generate → render → reparse → check
+
+* ``parse``      — Viper source text → Viper AST,
+* ``desugar``    — loops / ``old()`` / ``new`` / complex call arguments are
+  lowered into the core subset (no-ops when the features are absent),
+* ``typecheck``  — scope and type analysis (:class:`ProgramTypeInfo`),
+* ``translate``  — the instrumented Viper-to-Boogie translation
+  (**untrusted**, cacheable),
+* ``generate``   — the tactic builds the program certificate from hints
+  (**untrusted**, cacheable),
+* ``render``     — the certificate is serialised to its text form,
+* ``reparse``    — the text is parsed back (first step of the trusted path),
+* ``check``      — the independent kernel validates the certificate and
+  assembles the final theorem (**trusted**, never cached).
+
+Every stage is a named, individually-invokable unit that reads and writes
+typed artifacts on a shared :class:`PipelineContext`, runs under
+:class:`~repro.pipeline.instrumentation.PipelineInstrumentation` timing,
+and may be served from the content-addressed
+:class:`~repro.pipeline.cache.ArtifactCache`.  All entry points —
+:func:`repro.translate_source`, :func:`repro.certify_source`, the CLI, and
+the evaluation harness — are thin wrappers over :func:`run_pipeline`; no
+other module spells out the stage sequence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Set, Tuple
+
+from ..certification import (
+    check_program_certificate,
+    generate_program_certificate,
+    parse_program_certificate,
+    render_program_certificate,
+)
+from ..frontend import translate_program, TranslationOptions, TranslationResult
+from ..viper import (
+    check_program,
+    desugar_loops,
+    desugar_new,
+    desugar_old,
+    hoist_call_args,
+    parse_program,
+    program_has_complex_call_args,
+    program_has_loops,
+    program_has_new,
+    program_has_old,
+)
+from ..viper.pretty import count_loc
+from .cache import ArtifactCache, cache_key
+from .diagnostics import wrap_exception, wrappable_exceptions
+from .instrumentation import PipelineInstrumentation
+
+
+@dataclass
+class PipelineContext:
+    """The shared state threaded through the stage graph.
+
+    Inputs (``source``, ``options``, configuration) are set up-front; each
+    stage fills in the artifact it *provides* (see :data:`STAGES`).
+    """
+
+    # inputs / configuration
+    source: str
+    options: TranslationOptions
+    instrumentation: PipelineInstrumentation
+    cache: Optional[ArtifactCache] = None
+    #: Wrap substrate exceptions into PipelineError diagnostics?
+    wrap_errors: bool = False
+    #: Check background axioms during the final theorem assembly.
+    check_axioms: bool = True
+
+    # artifacts, in stage order
+    program: object = None              # parse / desugar → viper Program
+    type_info: object = None            # typecheck → ProgramTypeInfo
+    translation: Optional[TranslationResult] = None   # translate
+    boogie_text: Optional[str] = None   # translate (pretty-printed .bpl)
+    certificate: object = None          # generate → ProgramCertificate
+    certificate_text: Optional[str] = None            # render (.cert)
+    reparsed_certificate: object = None               # reparse
+    report: object = None               # check → TheoremReport
+
+    completed: Set[str] = field(default_factory=set)
+
+    @property
+    def key(self):
+        """The content-addressed cache key of this invocation."""
+        return cache_key(self.source, self.options)
+
+
+# ---------------------------------------------------------------------------
+# Stage implementations.  Each takes the context, reads its inputs, and
+# stores the artifact it provides.  Timing wraps the body only; artifact
+# *size* accounting happens outside the timed section so stage seconds stay
+# comparable with the paper's measurements.
+# ---------------------------------------------------------------------------
+
+
+def _stage_parse(ctx: PipelineContext) -> None:
+    ctx.program = parse_program(ctx.source)
+
+
+def _stage_desugar(ctx: PipelineContext) -> None:
+    program = ctx.program
+    if program_has_loops(program):
+        program = desugar_loops(program)
+    if program_has_new(program):
+        program = desugar_new(program)
+    if program_has_old(program):
+        program = desugar_old(program)
+    if program_has_complex_call_args(program):
+        program = hoist_call_args(program)
+    ctx.program = program
+
+
+def _stage_typecheck(ctx: PipelineContext) -> None:
+    ctx.type_info = check_program(ctx.program)
+
+
+def _stage_translate(ctx: PipelineContext) -> None:
+    ctx.translation = translate_program(ctx.program, ctx.type_info, ctx.options)
+
+
+def _stage_generate(ctx: PipelineContext) -> None:
+    ctx.certificate = generate_program_certificate(ctx.translation)
+
+
+def _stage_render(ctx: PipelineContext) -> None:
+    ctx.certificate_text = render_program_certificate(ctx.certificate)
+
+
+def _stage_reparse(ctx: PipelineContext) -> None:
+    ctx.reparsed_certificate = parse_program_certificate(ctx.certificate_text)
+
+
+def _stage_check(ctx: PipelineContext) -> None:
+    certificate = (
+        ctx.reparsed_certificate
+        if ctx.reparsed_certificate is not None
+        else ctx.certificate
+    )
+    ctx.report = check_program_certificate(
+        ctx.translation, certificate, check_axioms=ctx.check_axioms
+    )
+
+
+@dataclass(frozen=True)
+class Stage:
+    """A named, timed, individually-invokable pipeline unit."""
+
+    name: str
+    #: The PipelineContext attribute this stage fills in.
+    provides: str
+    run: Callable[[PipelineContext], None]
+    #: Can this stage's artifact be served from the ArtifactCache?
+    cacheable: bool = False
+
+
+#: The stage graph, in execution order — the one place it is spelled out.
+STAGES: Tuple[Stage, ...] = (
+    Stage("parse", "program", _stage_parse),
+    Stage("desugar", "program", _stage_desugar),
+    Stage("typecheck", "type_info", _stage_typecheck),
+    Stage("translate", "translation", _stage_translate, cacheable=True),
+    Stage("generate", "certificate", _stage_generate, cacheable=True),
+    Stage("render", "certificate_text", _stage_render, cacheable=True),
+    Stage("reparse", "reparsed_certificate", _stage_reparse),
+    Stage("check", "report", _stage_check),
+)
+
+STAGE_NAMES: Tuple[str, ...] = tuple(stage.name for stage in STAGES)
+
+_STAGE_BY_NAME = {stage.name: stage for stage in STAGES}
+
+
+def stage_index(name: str) -> int:
+    """The position of a stage in the graph (raises on unknown names)."""
+    try:
+        return STAGE_NAMES.index(name)
+    except ValueError:
+        raise KeyError(
+            f"unknown pipeline stage {name!r}; expected one of {STAGE_NAMES}"
+        ) from None
+
+
+# ---------------------------------------------------------------------------
+# Cache integration.  Translation and generation are pure functions of
+# (source, options); their artifacts are stored/served content-addressed.
+# The trusted reparse/check path is never cached (see cache.py).
+# ---------------------------------------------------------------------------
+
+
+def _try_cached(ctx: PipelineContext, stage: Stage) -> bool:
+    """Serve a cacheable stage from the cache; returns True on a hit."""
+    if ctx.cache is None or not stage.cacheable:
+        return False
+    inst = ctx.instrumentation
+    if stage.name == "translate":
+        cached = ctx.cache.get_translation(ctx.key)
+        if cached is None:
+            inst.increment("cache.miss")
+            return False
+        ctx.translation = cached
+        inst.increment("cache.hit")
+        inst.record_skip("translate", cached=True)
+        return True
+    if stage.name == "generate":
+        cached = ctx.cache.get_certificate_text(ctx.key)
+        if cached is None:
+            inst.increment("cache.miss")
+            return False
+        # The rendered text subsumes both generate and render.
+        ctx.certificate_text = cached
+        inst.increment("cache.hit")
+        inst.record_skip("generate", cached=True)
+        return True
+    if stage.name == "render":
+        if ctx.certificate_text is not None and ctx.certificate is None:
+            # generate was served from the cache; nothing left to render.
+            inst.record_skip("render", cached=True)
+            return True
+        return False
+    return False
+
+
+def _store_cached(ctx: PipelineContext, stage: Stage) -> None:
+    if ctx.cache is None:
+        return
+    if stage.name == "translate" and ctx.translation is not None:
+        ctx.cache.put_translation(ctx.key, ctx.translation)
+    elif stage.name == "render" and ctx.certificate_text is not None:
+        ctx.cache.put_certificate_text(ctx.key, ctx.certificate_text)
+
+
+# ---------------------------------------------------------------------------
+# Artifact-size accounting (Viper LoC, Boogie LoC, certificate LoC) — the
+# sizes the paper's tables report, attributed to the producing stage.
+# ---------------------------------------------------------------------------
+
+
+def _record_artifacts(ctx: PipelineContext, stage: Stage) -> None:
+    inst = ctx.instrumentation
+    if stage.name == "parse":
+        inst.artifact("parse", "viper_loc", count_loc(ctx.source))
+        inst.artifact("parse", "methods", len(ctx.program.methods))
+    elif stage.name == "translate" and ctx.translation is not None:
+        if ctx.boogie_text is None:
+            from ..boogie.pretty import pretty_boogie_program
+
+            ctx.boogie_text = pretty_boogie_program(ctx.translation.boogie_program)
+        inst.artifact("translate", "boogie_loc", count_loc(ctx.boogie_text))
+    elif stage.name in ("render", "generate") and ctx.certificate_text is not None:
+        cert_loc = len([l for l in ctx.certificate_text.splitlines() if l.strip()])
+        inst.artifact(stage.name, "cert_loc", cert_loc)
+
+
+# ---------------------------------------------------------------------------
+# Execution.
+# ---------------------------------------------------------------------------
+
+
+def run_stage(ctx: PipelineContext, name: str) -> PipelineContext:
+    """Run (or skip, on a cache hit) one named stage."""
+    stage = _STAGE_BY_NAME[name]
+    if _try_cached(ctx, stage):
+        _record_artifacts(ctx, stage)
+        ctx.completed.add(stage.name)
+        return ctx
+    if ctx.wrap_errors:
+        try:
+            with ctx.instrumentation.stage(stage.name):
+                stage.run(ctx)
+        except wrappable_exceptions() as error:
+            raise wrap_exception(stage.name, error) from error
+    else:
+        with ctx.instrumentation.stage(stage.name):
+            stage.run(ctx)
+    _store_cached(ctx, stage)
+    _record_artifacts(ctx, stage)
+    ctx.completed.add(stage.name)
+    return ctx
+
+
+def make_context(
+    source: str,
+    options: Optional[TranslationOptions] = None,
+    *,
+    instrumentation: Optional[PipelineInstrumentation] = None,
+    cache: Optional[ArtifactCache] = None,
+    wrap_errors: bool = False,
+    check_axioms: bool = True,
+) -> PipelineContext:
+    """Prepare a fresh context without running anything."""
+    return PipelineContext(
+        source=source,
+        options=options if options is not None else TranslationOptions(),
+        instrumentation=instrumentation or PipelineInstrumentation(),
+        cache=cache,
+        wrap_errors=wrap_errors,
+        check_axioms=check_axioms,
+    )
+
+
+def run_pipeline(
+    source: str,
+    options: Optional[TranslationOptions] = None,
+    *,
+    upto: str = "check",
+    instrumentation: Optional[PipelineInstrumentation] = None,
+    cache: Optional[ArtifactCache] = None,
+    wrap_errors: bool = False,
+    check_axioms: bool = True,
+) -> PipelineContext:
+    """Run the pipeline from the start through stage ``upto`` (inclusive).
+
+    Returns the populated :class:`PipelineContext`; inspect
+    ``ctx.instrumentation`` for per-stage timings, sizes, and counters.
+    """
+    last = stage_index(upto)
+    ctx = make_context(
+        source,
+        options,
+        instrumentation=instrumentation,
+        cache=cache,
+        wrap_errors=wrap_errors,
+        check_axioms=check_axioms,
+    )
+    for stage in STAGES[: last + 1]:
+        run_stage(ctx, stage.name)
+    return ctx
+
+
+def resume_pipeline(ctx: PipelineContext, upto: str = "check") -> PipelineContext:
+    """Continue a partially-run context through stage ``upto`` (inclusive)."""
+    last = stage_index(upto)
+    for stage in STAGES[: last + 1]:
+        if stage.name not in ctx.completed:
+            run_stage(ctx, stage.name)
+    return ctx
+
+
+# ---------------------------------------------------------------------------
+# Convenience entry points (what repro.__init__ and the CLI re-export).
+# ---------------------------------------------------------------------------
+
+
+def translate_source(
+    source: str,
+    options: Optional[TranslationOptions] = None,
+    **kwargs,
+) -> TranslationResult:
+    """Parse, desugar, type-check, and translate Viper source text."""
+    return run_pipeline(source, options, upto="translate", **kwargs).translation
+
+
+def certify_source(
+    source: str,
+    options: Optional[TranslationOptions] = None,
+    **kwargs,
+):
+    """Run the full pipeline (through the independent kernel check) and
+    return the :class:`~repro.certification.theorem.TheoremReport`."""
+    return run_pipeline(source, options, upto="check", **kwargs).report

@@ -1,0 +1,133 @@
+"""Content-addressed artifact cache: keying, hits/misses, trust boundary."""
+
+import pytest
+
+from repro.frontend import TranslationOptions
+from repro.pipeline import (
+    ArtifactCache,
+    cache_key,
+    PipelineInstrumentation,
+    run_pipeline,
+    source_digest,
+)
+
+PROGRAM = """
+field f: Int
+method m(x: Ref)
+  requires acc(x.f, write) ensures acc(x.f, write)
+{ x.f := 1 }
+"""
+
+OTHER = PROGRAM.replace("x.f := 1", "x.f := 2")
+
+
+class TestKeying:
+    def test_same_source_same_options_same_key(self):
+        assert cache_key(PROGRAM, None) == cache_key(PROGRAM, TranslationOptions())
+
+    def test_different_source_different_key(self):
+        assert cache_key(PROGRAM, None) != cache_key(OTHER, None)
+
+    def test_different_options_different_key(self):
+        assert cache_key(PROGRAM, TranslationOptions()) != cache_key(
+            PROGRAM, TranslationOptions(wd_checks_at_calls=True)
+        )
+
+    def test_digest_is_newline_normalised(self):
+        assert source_digest("a\nb") == source_digest("a\r\nb")
+
+    def test_digest_is_content_addressed(self):
+        assert source_digest(PROGRAM) != source_digest(OTHER)
+        assert source_digest(PROGRAM) == source_digest(PROGRAM)
+
+
+class TestCacheHitsAndMisses:
+    def test_second_certify_run_skips_translate_and_generate(self):
+        cache = ArtifactCache()
+        first = PipelineInstrumentation()
+        run_pipeline(PROGRAM, cache=cache, instrumentation=first)
+        assert first.counters["cache.miss"] == 2  # translation + certificate
+        assert first.stage_ran("translate") and first.stage_ran("generate")
+
+        second = PipelineInstrumentation()
+        ctx = run_pipeline(PROGRAM, cache=cache, instrumentation=second)
+        # The acceptance criterion: translate/generate are skipped, counted.
+        assert second.counters.get("stage.translate.runs", 0) == 0
+        assert second.counters.get("stage.generate.runs", 0) == 0
+        assert second.counters["stage.translate.skipped"] == 1
+        assert second.counters["stage.generate.skipped"] == 1
+        assert second.counters["cache.hit"] == 2
+        # The trusted path still runs — the verdict is never cached.
+        assert second.counters["stage.reparse.runs"] == 1
+        assert second.counters["stage.check.runs"] == 1
+        assert ctx.report.ok
+
+    def test_cached_run_produces_identical_artifacts(self):
+        cache = ArtifactCache()
+        ctx1 = run_pipeline(PROGRAM, cache=cache)
+        ctx2 = run_pipeline(PROGRAM, cache=cache)
+        assert ctx2.certificate_text == ctx1.certificate_text
+        assert ctx2.boogie_text == ctx1.boogie_text
+        assert ctx2.instrumentation.artifact_sizes() == ctx1.instrumentation.artifact_sizes()
+
+    def test_option_change_misses(self):
+        cache = ArtifactCache()
+        run_pipeline(PROGRAM, cache=cache)
+        inst = PipelineInstrumentation()
+        run_pipeline(
+            PROGRAM,
+            TranslationOptions(always_emit_exhale_havoc=True),
+            cache=cache,
+            instrumentation=inst,
+        )
+        assert inst.counters.get("cache.hit", 0) == 0
+        assert inst.stage_ran("translate")
+
+    def test_source_change_misses(self):
+        cache = ArtifactCache()
+        run_pipeline(PROGRAM, cache=cache)
+        inst = PipelineInstrumentation()
+        run_pipeline(OTHER, cache=cache, instrumentation=inst)
+        assert inst.counters.get("cache.hit", 0) == 0
+
+    def test_translate_only_run_seeds_the_translation_slot(self):
+        cache = ArtifactCache()
+        run_pipeline(PROGRAM, cache=cache, upto="translate")
+        inst = PipelineInstrumentation()
+        ctx = run_pipeline(PROGRAM, cache=cache, instrumentation=inst)
+        assert inst.counters["stage.translate.skipped"] == 1
+        # The certificate was never cached, so generate still runs.
+        assert inst.counters["stage.generate.runs"] == 1
+        assert ctx.report.ok
+
+    def test_stats_track_hits_and_misses(self):
+        cache = ArtifactCache()
+        run_pipeline(PROGRAM, cache=cache)
+        run_pipeline(PROGRAM, cache=cache)
+        assert cache.stats.hits == 2
+        assert cache.stats.misses == 2
+        assert len(cache) == 1
+
+
+class TestEviction:
+    def test_lru_eviction_is_bounded(self):
+        cache = ArtifactCache(maxsize=1)
+        run_pipeline(PROGRAM, cache=cache, upto="translate")
+        run_pipeline(OTHER, cache=cache, upto="translate")
+        assert len(cache) == 1
+        assert cache.stats.evictions == 1
+        # The first entry was evicted: re-running it misses.
+        inst = PipelineInstrumentation()
+        run_pipeline(PROGRAM, cache=cache, upto="translate", instrumentation=inst)
+        assert inst.counters.get("cache.hit", 0) == 0
+
+    def test_maxsize_must_be_positive(self):
+        with pytest.raises(ValueError):
+            ArtifactCache(maxsize=0)
+
+    def test_clear_resets_entries_and_stats(self):
+        cache = ArtifactCache()
+        run_pipeline(PROGRAM, cache=cache)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats.hits == 0 and cache.stats.misses == 0

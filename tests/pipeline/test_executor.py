@@ -1,0 +1,109 @@
+"""Parallel corpus executor: determinism, ordering, serial fallback."""
+
+import dataclasses
+
+import pytest
+
+from repro.harness import (
+    render_detail_table,
+    render_table1,
+    run_files,
+    suite_files,
+)
+from repro.pipeline import default_jobs, parallel_map, resolve_jobs
+from repro.pipeline.executor import _FALLBACK_ERRORS
+
+
+def _square(n):  # module-level: picklable for the process pool
+    return n * n
+
+
+def _fail_on_three(n):
+    if n == 3:
+        raise RuntimeError("boom")
+    return n
+
+
+class TestResolveJobs:
+    def test_none_and_one_are_serial(self):
+        assert resolve_jobs(None) == 1
+        assert resolve_jobs(1) == 1
+
+    def test_zero_and_negative_are_auto(self):
+        assert resolve_jobs(0) == default_jobs()
+        assert resolve_jobs(-4) == default_jobs()
+
+    def test_explicit_count_passes_through(self):
+        assert resolve_jobs(7) == 7
+
+
+class TestParallelMap:
+    def test_serial_and_parallel_agree(self):
+        items = list(range(25))
+        assert parallel_map(_square, items, jobs=1) == parallel_map(
+            _square, items, jobs=2
+        )
+
+    def test_results_preserve_input_order(self):
+        items = list(range(40, 0, -1))
+        assert parallel_map(_square, items, jobs=4) == [_square(i) for i in items]
+
+    def test_worker_exceptions_propagate(self):
+        with pytest.raises(RuntimeError, match="boom"):
+            parallel_map(_fail_on_three, [1, 2, 3, 4], jobs=2)
+        with pytest.raises(RuntimeError, match="boom"):
+            parallel_map(_fail_on_three, [1, 2, 3, 4], jobs=1)
+
+    def test_unpicklable_worker_falls_back_to_serial(self):
+        # A lambda cannot cross the process boundary; the executor must
+        # degrade to in-process execution instead of failing.
+        assert parallel_map(lambda n: n + 1, [1, 2, 3], jobs=2) == [2, 3, 4]
+
+    def test_empty_and_singleton_inputs(self):
+        assert parallel_map(_square, [], jobs=4) == []
+        assert parallel_map(_square, [3], jobs=4) == [9]
+
+    def test_fallback_error_set_is_infrastructure_only(self):
+        assert RuntimeError not in _FALLBACK_ERRORS
+        assert OSError in _FALLBACK_ERRORS
+
+
+def _zero_timings(metrics):
+    return [
+        dataclasses.replace(
+            m, translate_seconds=0.0, generate_seconds=0.0, check_seconds=0.0
+        )
+        for m in metrics
+    ]
+
+
+class TestHarnessDeterminism:
+    """``bench --jobs N`` must render byte-identical tables to serial runs
+    (timing fields aside, which are wall-clock by nature)."""
+
+    @pytest.fixture(scope="class")
+    def mpp_runs(self):
+        files = suite_files("MPP")
+        return run_files(files, jobs=None), run_files(files, jobs=2)
+
+    def test_parallel_metrics_identical_to_serial(self, mpp_runs):
+        serial, parallel = mpp_runs
+        assert _zero_timings(serial) == _zero_timings(parallel)
+
+    def test_detail_table_byte_identical(self, mpp_runs):
+        serial, parallel = mpp_runs
+        # The detail table prints check_seconds; compare with timings zeroed.
+        assert render_detail_table(
+            _zero_timings(serial), "MPP suite"
+        ) == render_detail_table(_zero_timings(parallel), "MPP suite")
+
+    def test_table1_byte_identical(self, mpp_runs):
+        serial, parallel = mpp_runs
+        assert render_table1({"MPP": _zero_timings(serial)}) == render_table1(
+            {"MPP": _zero_timings(parallel)}
+        )
+
+    def test_auto_jobs_runs_the_suite(self):
+        metrics = run_files(suite_files("MPP"), jobs=0)
+        assert len(metrics) == 3
+        assert all(m.certified for m in metrics)

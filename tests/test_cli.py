@@ -1,7 +1,12 @@
 """Tests for the command-line interface."""
 
+import json
+import subprocess
+import sys
+
 import pytest
 
+import repro.cli as cli
 from repro.cli import main
 
 GOOD = """
@@ -102,6 +107,123 @@ class TestBench:
         assert main(["bench", "MPP"]) == 0
         out = capsys.readouterr().out
         assert "banerjee" in out
+
+
+class TestBenchJsonAndJobs:
+    def test_json_output(self, tmp_path, capsys):
+        out = tmp_path / "bench.json"
+        assert main(["bench", "MPP", "--json", str(out)]) == 0
+        payload = json.loads(out.read_text())
+        assert set(payload) == {"meta", "suites", "overall", "blowup_factor"}
+        mpp = payload["suites"]["MPP"]
+        assert len(mpp["files"]) == 3
+        row = mpp["files"][0]
+        assert row["name"] == "banerjee"
+        assert row["certified"] is True
+        assert row["boogie_loc"] > row["viper_loc"] > 0
+        assert mpp["aggregate"]["methods"] == 13
+        assert payload["overall"]["all_certified"] is True
+        assert payload["blowup_factor"] > 1.0
+
+    def test_jobs_flag_runs_and_matches_serial_structure(self, tmp_path, capsys):
+        serial_path = tmp_path / "serial.json"
+        parallel_path = tmp_path / "parallel.json"
+        assert main(["bench", "MPP", "--json", str(serial_path)]) == 0
+        assert main(["bench", "MPP", "--jobs", "2", "--json", str(parallel_path)]) == 0
+
+        def strip_timings(payload):
+            for suite in payload["suites"].values():
+                for row in suite["files"]:
+                    for key in ("translate_seconds", "generate_seconds", "check_seconds"):
+                        row[key] = 0.0
+                for key in ("mean_check_seconds", "median_check_seconds"):
+                    suite["aggregate"][key] = 0.0
+            for key in ("mean_check_seconds", "median_check_seconds"):
+                payload["overall"][key] = 0.0
+            payload["meta"] = {}
+            return payload
+
+        serial = strip_timings(json.loads(serial_path.read_text()))
+        parallel = strip_timings(json.loads(parallel_path.read_text()))
+        assert serial == parallel
+
+
+class TestInterruptAndDiagnostics:
+    def test_keyboard_interrupt_returns_130(self, monkeypatch, capsys):
+        def boom(args):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(cli, "cmd_rules", boom)
+        assert main(["rules"]) == 130
+        assert "interrupted" in capsys.readouterr().err
+
+    def test_broken_pipe_still_returns_0(self, monkeypatch, capsys):
+        def boom(args):
+            raise BrokenPipeError
+
+        monkeypatch.setattr(cli, "cmd_rules", boom)
+        assert main(["rules"]) == 0
+
+    def test_parse_error_is_a_diagnostic_with_exit_2(self, tmp_path, capsys):
+        path = tmp_path / "broken.vpr"
+        path.write_text("method m( {")
+        assert main(["translate", str(path)]) == 2
+        err = capsys.readouterr().err
+        assert "error[parse]" in err
+        assert "hint:" in err
+
+    def test_type_error_is_a_diagnostic_with_exit_2(self, tmp_path, capsys):
+        path = tmp_path / "illtyped.vpr"
+        path.write_text(
+            "field f: Int\n"
+            "method m(x: Ref) requires acc(x.f, write) ensures acc(x.f, write)\n"
+            "{ y := 1 }\n"
+        )
+        assert main(["translate", str(path)]) == 2
+        assert "error[typecheck]" in capsys.readouterr().err
+
+    def test_timings_flag_prints_instrumentation(self, viper_file, capsys):
+        assert main(["certify", str(viper_file), "--timings"]) == 0
+        out = capsys.readouterr().out
+        assert "per-stage instrumentation" in out
+        assert "translate" in out and "check" in out
+
+
+class TestFreshProcessRoundTrip:
+    """Satellite: certify writes .vpr/.bpl/.cert, then an entirely fresh
+    process re-checks them on the independent trusted path."""
+
+    @staticmethod
+    def _env():
+        import os
+        import pathlib
+
+        src = pathlib.Path(__file__).resolve().parent.parent / "src"
+        env = dict(os.environ)
+        existing = env.get("PYTHONPATH", "")
+        env["PYTHONPATH"] = str(src) + (os.pathsep + existing if existing else "")
+        return env
+
+    def test_certify_then_check_in_subprocesses(self, tmp_path):
+        source = tmp_path / "demo.vpr"
+        source.write_text(GOOD)
+        bpl = tmp_path / "demo.bpl"
+        cert = tmp_path / "demo.cert"
+        certify = subprocess.run(
+            [sys.executable, "-m", "repro.cli", "certify", str(source),
+             "-o", str(cert), "--boogie-output", str(bpl)],
+            capture_output=True, text=True, env=self._env(),
+        )
+        assert certify.returncode == 0, certify.stderr
+        assert cert.read_text().startswith("CERTIFICATE-V1")
+        check = subprocess.run(
+            [sys.executable, "-m", "repro.cli", "check",
+             str(source), str(bpl), str(cert)],
+            capture_output=True, text=True, env=self._env(),
+        )
+        assert check.returncode == 0, check.stderr
+        assert "ACCEPTED" in check.stdout
+        assert "THEOREM" in check.stdout
 
 
 class TestLoopsThroughCli:
