@@ -34,7 +34,10 @@ The subpackages:
   typecheck → translate → generate → render → reparse → check) with
   per-stage instrumentation, structured diagnostics, a content-addressed
   artifact cache, and a parallel corpus executor,
-* :mod:`repro.harness` — the evaluation corpus and pipeline (Tables 1–6).
+* :mod:`repro.harness` — the evaluation corpus and pipeline (Tables 1–6),
+* :mod:`repro.fuzz` — adversarial fuzzing of the certification kernel
+  (seeded program generation, artifact mutators, differential-oracle
+  escalation, a replayable failure corpus, delta-debugging minimizers).
 """
 
 from .certification import (  # noqa: F401

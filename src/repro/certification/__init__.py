@@ -3,8 +3,12 @@
 The paper's core contribution: per-run generation of a checkable proof that
 the correctness of the translated Boogie program implies the correctness of
 the input Viper program (Sec. 3–4).  The *tactic* generates certificates
-from translator hints; the *checker* (kernel) validates them independently;
-the *theorem* module composes per-method results into the final statement.
+from translator hints (Sec. 4.3); the *checker* (kernel) validates them
+independently against the simulation rules of Figs. 2–11; the *theorem*
+module composes per-method results into the final statement (Fig. 10 /
+Sec. 4.5).  What is trusted and what is not is inventoried in
+docs/TRUSTED_BASE.md; the on-disk certificate format the kernel re-parses
+is specified in docs/CERTIFICATE_FORMAT.md.
 """
 
 from .checker import CheckError, CheckReport, ProofChecker, QContext  # noqa: F401

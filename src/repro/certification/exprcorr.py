@@ -2,12 +2,14 @@
 
 The certification kernel must know, independently of the (untrusted)
 front-end, which Boogie expression *represents* a Viper expression under a
-translation record, and which assert commands constitute that expression's
-well-definedness checks.  In the paper this knowledge is a set of Isabelle
-lemmas about the expression translation, proved once and for all; here it
-is a small, self-contained re-implementation that the checker compares
-against the translator's output — a translator bug that changes an
-expression's encoding makes the comparison (and hence certification) fail.
+translation record (the ``readHeap``/``readMask`` encoding of Fig. 3), and
+which assert commands constitute that expression's well-definedness checks
+(Sec. 3.3's partial-evaluation semantics).  In the paper this knowledge is
+a set of Isabelle lemmas about the expression translation, proved once and
+for all (Sec. 4.1's expression-relation instantiation); here it is a
+small, self-contained re-implementation that the checker compares against
+the translator's output — a translator bug that changes an expression's
+encoding makes the comparison (and hence certification) fail.
 
 This module is intentionally independent from ``repro.frontend.translator``
 (no imports from it): it is part of the trusted base, and its agreement

@@ -151,14 +151,28 @@ def validate_method_semantically(
 
 
 def validate_program_semantically(
-    result: TranslationResult, max_states_per_method: int = 25
+    result: TranslationResult,
+    max_states_per_method: int = 25,
+    max_viper_paths: int = 4_000,
+    max_boogie_paths: int = 60_000,
 ) -> List[OracleVerdict]:
-    """Run the oracle over every method of a translation."""
+    """Run the oracle over every method of a translation.
+
+    The path budgets are passed through to
+    :func:`validate_method_semantically`; callers that trade completeness
+    for throughput (``repro fuzz`` runs the oracle on every iteration)
+    lower them — exhausting a budget yields an *inconclusive* (ok)
+    verdict, never a spurious disagreement.
+    """
     verdicts = []
     for method in result.viper_program.methods:
         verdicts.append(
             validate_method_semantically(
-                result, method.name, max_states=max_states_per_method
+                result,
+                method.name,
+                max_states=max_states_per_method,
+                max_viper_paths=max_viper_paths,
+                max_boogie_paths=max_boogie_paths,
             )
         )
     return verdicts

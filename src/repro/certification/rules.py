@@ -1,7 +1,9 @@
 """The rule catalog: every judgement form the kernel accepts.
 
-A manifest of the proof system implemented by the checker, with the
-paper's provenance for each rule.  It serves three purposes:
+A manifest of the proof system implemented by the checker — the
+simulation rules of Sec. 3 (Figs. 2, 5–8) plus the procedure-structure
+and inhale rules of Sec. 4 / App. A (Figs. 9–11) — with the paper's
+provenance for each rule.  It serves three purposes:
 
 * documentation — ``python -m repro.cli rules`` prints it;
 * a consistency contract — the test suite checks that the tactic emits

@@ -7,12 +7,15 @@ Subcommands::
     python -m repro.cli check     FILE.vpr OUT.bpl OUT.cert
     python -m repro.cli verify    FILE.vpr
     python -m repro.cli bench     [SUITE] [--jobs N] [--json PATH]
+    python -m repro.cli fuzz      [--seed N] [--iterations N] [--replay PATH]
 
 ``certify`` runs the instrumented translation and writes the certificate;
 ``check`` re-checks a certificate *independently*: it parses the Viper
 source, parses the Boogie file with the Boogie parser, parses the
 certificate, and runs only the trusted kernel — the translator is not
 involved.  ``verify`` runs the bounded back-end on each procedure.
+``fuzz`` adversarially stress-tests the kernel (:mod:`repro.fuzz`): it
+exits 0 iff no iteration crashed or produced an oracle disagreement.
 
 Every command drives :mod:`repro.pipeline` — the single place the stage
 sequence (parse → desugar → typecheck → translate → generate → render →
@@ -203,6 +206,37 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_fuzz(args: argparse.Namespace) -> int:
+    """`fuzz`: adversarially fuzz the trusted certification kernel.
+
+    Exit code 0 iff the run is clean — no pipeline crash, no kernel
+    crash, and no kernel-accepted mutant that the differential oracle
+    refutes.  Kernel *rejections* of corrupted artifacts are the expected
+    outcome (the kernel doing its job), not failures.
+    """
+    from .fuzz import FuzzConfig, FuzzCorpus, replay_record, run_fuzz
+
+    if args.replay:
+        record = FuzzCorpus.load(args.replay)
+        report = replay_record(record, minimize=not args.no_minimize)
+    else:
+        config = FuzzConfig(
+            seed=args.seed,
+            iterations=args.iterations,
+            time_budget=args.time_budget,
+            jobs=args.jobs,
+            corpus_dir=args.corpus_dir,
+            minimize=not args.no_minimize,
+        )
+        report = run_fuzz(config)
+    print(report.summary())
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            handle.write(report.to_json() + "\n")
+        print(f"wrote {args.json}")
+    return 0 if report.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The argparse command-line interface."""
     parser = argparse.ArgumentParser(
@@ -249,6 +283,31 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--json", metavar="PATH",
                        help="also write machine-readable per-file/per-suite "
                             "metrics to PATH")
+    fuzz = sub.add_parser("fuzz",
+                          help="adversarially fuzz the certification kernel")
+    fuzz.add_argument("--seed", type=int, default=0, metavar="N",
+                      help="root seed of the deterministic schedule "
+                           "(default: 0)")
+    fuzz.add_argument("--iterations", "-n", type=int, default=100, metavar="N",
+                      help="number of fuzz cases to run (default: 100)")
+    fuzz.add_argument("--time-budget", type=float, default=None,
+                      metavar="SECONDS",
+                      help="stop dispatching new cases after this many "
+                           "seconds (already-dispatched cases complete)")
+    fuzz.add_argument("--jobs", "-j", type=int, default=None, metavar="N",
+                      help="fan out over N worker processes (0 = one per "
+                           "CPU; default: serial)")
+    fuzz.add_argument("--corpus-dir", default="fuzz-corpus", metavar="DIR",
+                      help="replayable failure corpus directory "
+                           "(default: fuzz-corpus)")
+    fuzz.add_argument("--no-minimize", action="store_true",
+                      help="skip delta-debugging minimization of failures")
+    fuzz.add_argument("--replay", metavar="PATH",
+                      help="re-judge one persisted failure (a corpus bucket "
+                           "directory or its repro.json) instead of fuzzing")
+    fuzz.add_argument("--json", metavar="PATH",
+                      help="also write the machine-readable fuzz report "
+                           "to PATH")
     return parser
 
 
@@ -289,6 +348,7 @@ def main(argv: Optional[list] = None) -> int:
         "verify": cmd_verify,
         "rules": cmd_rules,
         "bench": cmd_bench,
+        "fuzz": cmd_fuzz,
     }
     try:
         code = handlers[args.command](args)

@@ -1,0 +1,88 @@
+"""Adversarial fuzzing and minimization for the certification kernel.
+
+The paper's claim is *per-run validation*: the untrusted translator and
+tactic may lie, and the trusted proof-checking kernel still catches it.
+This package industrializes the adversarial stress-testing of that claim
+(the hand-written ``tests/certification/test_checker_rejects.py`` cases
+were the prototype):
+
+* :mod:`repro.fuzz.generate` — a seeded, standalone well-typed Viper
+  program generator (type-indexed, size-budgeted, covering every
+  desugaring extension);
+* :mod:`repro.fuzz.mutators` — adversarial mutators over the three
+  untrusted artifacts (Boogie program, hints, ``.cert`` text), each
+  tagged with the soundness property it attacks;
+* :mod:`repro.fuzz.driver` — the fuzzing loop: pipeline + differential
+  oracle co-execution, outcome classification, bucket deduplication;
+* :mod:`repro.fuzz.minimize` — delta-debugging minimizers for failing
+  Viper sources and corrupted certificates;
+* :mod:`repro.fuzz.corpus` — the replayable on-disk failure corpus.
+
+Entry points: the ``repro fuzz`` CLI subcommand and :func:`run_fuzz`.
+See README "Fuzzing" and docs/TRUSTED_BASE.md for the trust story this
+package exists to attack.
+"""
+
+from .corpus import bucket_for, FailureRecord, FuzzCorpus  # noqa: F401
+from .driver import (  # noqa: F401
+    build_case,
+    CaseResult,
+    FAILURE_OUTCOMES,
+    FuzzCase,
+    FuzzConfig,
+    FuzzReport,
+    OPTION_VARIANTS,
+    replay_record,
+    run_case,
+    run_fuzz,
+)
+from .generate import (  # noqa: F401
+    derive_seed,
+    GeneratedProgram,
+    generate_corpus,
+    generate_program,
+    GeneratorConfig,
+    SEED_CORPUS,
+)
+from .minimize import ddmin_lines, minimize_cert_text, minimize_source  # noqa: F401
+from .mutators import (  # noqa: F401
+    make_subject,
+    Mutation,
+    MutationSubject,
+    Mutator,
+    MUTATORS,
+    MUTATORS_BY_NAME,
+    normalize_certificate,
+)
+
+__all__ = [
+    "build_case",
+    "bucket_for",
+    "CaseResult",
+    "ddmin_lines",
+    "derive_seed",
+    "FAILURE_OUTCOMES",
+    "FailureRecord",
+    "FuzzCase",
+    "FuzzConfig",
+    "FuzzCorpus",
+    "FuzzReport",
+    "GeneratedProgram",
+    "generate_corpus",
+    "generate_program",
+    "GeneratorConfig",
+    "make_subject",
+    "minimize_cert_text",
+    "minimize_source",
+    "Mutation",
+    "MutationSubject",
+    "Mutator",
+    "MUTATORS",
+    "MUTATORS_BY_NAME",
+    "normalize_certificate",
+    "OPTION_VARIANTS",
+    "replay_record",
+    "run_case",
+    "run_fuzz",
+    "SEED_CORPUS",
+]

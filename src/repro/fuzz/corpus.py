@@ -1,0 +1,146 @@
+"""Replayable failure corpus for the fuzzing driver.
+
+Failures found by :mod:`repro.fuzz.driver` are persisted under a corpus
+directory (``fuzz-corpus/`` by default) so they can be re-run long after
+the generating session is gone.  Layout::
+
+    fuzz-corpus/
+      <bucket>/
+        repro.json        # replay metadata: seed, options, mutator, outcome
+        input.vpr         # the Viper source of the failing case
+        mutated.cert      # the corrupted certificate (mutant failures only)
+        minimized.vpr     # delta-debugged source reproducer (when available)
+        minimized.cert    # delta-debugged certificate reproducer
+
+Failures are **deduplicated by bucket**: the bucket name is the outcome
+class joined with a digest of the *normalised* failure detail (numbers
+and quoted names are blanked), so two crashes with the same shape but
+different indices collapse into one directory.  ``repro.json`` embeds
+everything :func:`repro.fuzz.driver.replay_file` needs — no pickle, no
+reference back into the generating process, in keeping with the repo's
+rule that persisted artifacts stay textual and auditable.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import re
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["FailureRecord", "FuzzCorpus", "bucket_for"]
+
+_NUMBER = re.compile(r"\d+")
+_QUOTED = re.compile(r"'[^']*'|\"[^\"]*\"")
+
+
+def _normalise_detail(detail: str) -> str:
+    """Blank volatile parts of a failure detail for bucketing."""
+    head = detail.splitlines()[0] if detail else ""
+    head = _QUOTED.sub("'…'", head)
+    return _NUMBER.sub("#", head)
+
+
+def bucket_for(outcome: str, detail: str, mutator: Optional[str] = None) -> str:
+    """Deterministic bucket name: outcome class + digest of the shape."""
+    signature = "|".join((outcome, mutator or "", _normalise_detail(detail)))
+    digest = hashlib.sha1(signature.encode("utf-8")).hexdigest()[:10]
+    return f"{outcome}-{digest}"
+
+
+@dataclass
+class FailureRecord:
+    """One persisted (replayable) failure."""
+
+    outcome: str
+    detail: str
+    source: str
+    case: Dict[str, object] = field(default_factory=dict)
+    mutator: Optional[str] = None
+    certificate_text: Optional[str] = None
+    minimized_source: Optional[str] = None
+    minimized_certificate: Optional[str] = None
+
+    @property
+    def bucket(self) -> str:
+        return bucket_for(self.outcome, self.detail, self.mutator)
+
+
+class FuzzCorpus:
+    """A directory of deduplicated, replayable failures."""
+
+    def __init__(self, root: "Path | str" = "fuzz-corpus") -> None:
+        self.root = Path(root)
+
+    # -- writing ---------------------------------------------------------
+
+    def persist(self, record: FailureRecord) -> Tuple[Path, bool]:
+        """Write the record; returns ``(bucket_dir, newly_created)``.
+
+        A failure whose bucket already exists is *not* rewritten (first
+        reproducer wins — it is already minimal or being minimized), which
+        keeps long fuzzing sessions from churning the corpus.
+        """
+        bucket_dir = self.root / record.bucket
+        if (bucket_dir / "repro.json").exists():
+            return bucket_dir, False
+        bucket_dir.mkdir(parents=True, exist_ok=True)
+        meta = asdict(record)
+        meta["bucket"] = record.bucket
+        # Large artifacts live next to the metadata, not inside it.
+        for key, filename in (
+            ("source", "input.vpr"),
+            ("certificate_text", "mutated.cert"),
+            ("minimized_source", "minimized.vpr"),
+            ("minimized_certificate", "minimized.cert"),
+        ):
+            value = meta.pop(key)
+            if value is not None:
+                (bucket_dir / filename).write_text(value, encoding="utf-8")
+                meta[key + "_file"] = filename
+        (bucket_dir / "repro.json").write_text(
+            json.dumps(meta, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )
+        return bucket_dir, True
+
+    # -- reading ---------------------------------------------------------
+
+    def buckets(self) -> List[str]:
+        if not self.root.is_dir():
+            return []
+        return sorted(
+            entry.name
+            for entry in self.root.iterdir()
+            if (entry / "repro.json").is_file()
+        )
+
+    @staticmethod
+    def load(path: "Path | str") -> FailureRecord:
+        """Load a persisted failure from a bucket dir or its repro.json."""
+        path = Path(path)
+        if path.is_dir():
+            path = path / "repro.json"
+        meta = json.loads(path.read_text(encoding="utf-8"))
+        bucket_dir = path.parent
+        fields: Dict[str, object] = {
+            "outcome": meta["outcome"],
+            "detail": meta["detail"],
+            "case": meta.get("case", {}),
+            "mutator": meta.get("mutator"),
+        }
+        for key, default_name in (
+            ("source", "input.vpr"),
+            ("certificate_text", "mutated.cert"),
+            ("minimized_source", "minimized.vpr"),
+            ("minimized_certificate", "minimized.cert"),
+        ):
+            filename = meta.get(key + "_file", default_name)
+            artifact = bucket_dir / filename
+            fields[key] = (
+                artifact.read_text(encoding="utf-8") if artifact.is_file() else None
+            )
+        if fields["source"] is None:
+            raise FileNotFoundError(f"{bucket_dir}: missing input.vpr")
+        return FailureRecord(**fields)  # type: ignore[arg-type]

@@ -1,0 +1,548 @@
+"""Seeded generation of well-typed Viper programs (standalone, no hypothesis).
+
+This module is the promotion of the hypothesis strategies that used to live
+only in ``tests/strategies.py`` into a reusable correctness-tooling
+subsystem: a *deterministic*, seed-driven generator of Viper programs that
+are well-typed **by construction** and that exercise every desugaring input
+of the staged pipeline (``while`` loops, ``old()`` expressions, ``new``
+allocation, complex call arguments — the four extension passes of
+``repro.viper``).
+
+Design points:
+
+* **Type-indexed** — ``_expr(rng, env, typ, depth)`` only produces
+  expressions of the requested Viper type over the current environment, so
+  every program passes ``repro.viper.check_program`` after desugaring.
+* **Size-budgeted** — a :class:`GeneratorConfig` bounds methods per
+  program, statements per method, and expression depth, so driver
+  iterations stay fast enough for CI smoke runs.
+* **Seeded and reproducible** — all randomness flows through one
+  ``random.Random(seed)``; the same seed always yields the same program
+  text (the fuzzing driver and the replay/minimisation machinery rely on
+  this).
+* **Round-trip-safe** — the generator avoids the two known
+  pretty/parse asymmetries (``UnOp(NEG, IntLit)`` re-parses as a literal;
+  ``Implies``/``CondAssert`` cannot be the left operand of ``&&``), the
+  same constraints the hypothesis strategies encode.
+
+The fixed variable environment (:data:`ENV`) and field declarations
+(:data:`FIELDS`) are shared with ``tests/strategies.py`` so both generators
+agree on the vocabulary.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field, replace
+from fractions import Fraction
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..viper.allocation import NewStmt
+from ..viper.ast import (
+    Acc,
+    AExpr,
+    AssertStmt,
+    Assertion,
+    BinOp,
+    BinOpKind,
+    BoolLit,
+    CondAssert,
+    CondExp,
+    Exhale,
+    Expr,
+    FieldAssign,
+    FieldAcc,
+    FieldDecl,
+    If,
+    Implies,
+    Inhale,
+    IntLit,
+    LocalAssign,
+    MethodCall,
+    MethodDecl,
+    NullLit,
+    PermLit,
+    Program,
+    SepConj,
+    Seq,
+    seq_of,
+    Skip,
+    Stmt,
+    Type,
+    UnOp,
+    UnOpKind,
+    Var,
+    VarDecl,
+)
+from ..viper.loops import While
+from ..viper.oldexprs import OldExpr
+from ..viper.pretty import pretty_program
+
+#: The fixed environment the assertion/statement generators draw from
+#: (shared with the hypothesis strategies in ``tests/strategies.py``).
+ENV: Dict[str, Type] = {
+    "x": Type.REF,
+    "y": Type.REF,
+    "n": Type.INT,
+    "m": Type.INT,
+    "b": Type.BOOL,
+    "p": Type.PERM,
+}
+
+#: The fixed field declarations (shared with ``tests/strategies.py``).
+FIELDS: Dict[str, Type] = {"f": Type.INT, "g": Type.BOOL}
+
+_POSITIVE_PERMS = (Fraction(1), Fraction(1, 2), Fraction(1, 4))
+_INT_FIELDS = tuple(sorted(n for n, t in FIELDS.items() if t is Type.INT))
+_ALL_FIELDS = tuple(sorted(FIELDS))
+
+
+@dataclass(frozen=True)
+class GeneratorConfig:
+    """Size budgets and feature switches for program generation."""
+
+    #: Maximum number of methods per program (at least 1).
+    max_methods: int = 3
+    #: Maximum number of statements generated per method body.
+    stmt_budget: int = 8
+    #: Maximum expression nesting depth.
+    expr_depth: int = 2
+    #: Maximum assertion nesting depth.
+    assertion_depth: int = 2
+    #: Feature switches — each gates one desugaring input of the pipeline.
+    allow_loops: bool = True
+    allow_old: bool = True
+    allow_new: bool = True
+    allow_calls: bool = True
+    allow_complex_call_args: bool = True
+
+
+@dataclass(frozen=True)
+class GeneratedProgram:
+    """One generator output: source text plus provenance metadata."""
+
+    seed: int
+    source: str
+    method_count: int
+    #: Which extension features the program exercises (sorted tuple drawn
+    #: from ``{"loops", "old", "new", "calls", "complex-call-args"}``).
+    features: Tuple[str, ...]
+
+
+class _MethodEnv:
+    """The mutable typing environment while generating one method body."""
+
+    def __init__(self, variables: Dict[str, Type]):
+        self.variables = dict(variables)
+
+    def of_type(self, typ: Type) -> List[str]:
+        return sorted(n for n, t in self.variables.items() if t is typ)
+
+
+def _pick(rng: random.Random, items: Sequence):
+    return items[rng.randrange(len(items))]
+
+
+# ---------------------------------------------------------------------------
+# Expressions (type-indexed, depth-bounded)
+# ---------------------------------------------------------------------------
+
+
+def _leaf(rng: random.Random, env: _MethodEnv, typ: Type) -> Expr:
+    variables = env.of_type(typ)
+    roll = rng.random()
+    if variables and roll < 0.6:
+        return Var(_pick(rng, variables))
+    if typ is Type.INT:
+        return IntLit(rng.randrange(-4, 9))
+    if typ is Type.BOOL:
+        return BoolLit(rng.random() < 0.5)
+    if typ is Type.REF:
+        if variables:
+            return Var(_pick(rng, variables))
+        return NullLit()
+    if typ is Type.PERM:
+        return PermLit(_pick(rng, _POSITIVE_PERMS + (Fraction(0),)))
+    if variables:
+        return Var(_pick(rng, variables))
+    raise AssertionError(f"no leaf for type {typ}")
+
+
+def _expr(rng: random.Random, env: _MethodEnv, typ: Type, depth: int) -> Expr:
+    """A well-typed expression of ``typ`` with nesting depth ≤ ``depth``."""
+    if depth <= 0:
+        return _leaf(rng, env, typ)
+    sub = depth - 1
+    roll = rng.random()
+    if typ is Type.INT:
+        if roll < 0.35:
+            op = _pick(rng, (BinOpKind.ADD, BinOpKind.SUB, BinOpKind.MUL))
+            return BinOp(op, _expr(rng, env, Type.INT, sub), _expr(rng, env, Type.INT, sub))
+        if roll < 0.45 and env.of_type(Type.REF) and _INT_FIELDS:
+            return FieldAcc(_leaf(rng, env, Type.REF), _pick(rng, _INT_FIELDS))
+        if roll < 0.55 and env.of_type(Type.INT):
+            # NEG only over variables: `-1` re-parses as a literal, so a
+            # round-trippable generator must not negate IntLit directly.
+            return UnOp(UnOpKind.NEG, Var(_pick(rng, env.of_type(Type.INT))))
+        if roll < 0.65:
+            return CondExp(
+                _expr(rng, env, Type.BOOL, sub),
+                _expr(rng, env, Type.INT, sub),
+                _expr(rng, env, Type.INT, sub),
+            )
+        return _leaf(rng, env, Type.INT)
+    if typ is Type.BOOL:
+        if roll < 0.3:
+            op = _pick(rng, (BinOpKind.AND, BinOpKind.OR, BinOpKind.IMPLIES))
+            return BinOp(op, _expr(rng, env, Type.BOOL, sub), _expr(rng, env, Type.BOOL, sub))
+        if roll < 0.65:
+            op = _pick(
+                rng,
+                (BinOpKind.LT, BinOpKind.LE, BinOpKind.GT,
+                 BinOpKind.GE, BinOpKind.EQ, BinOpKind.NE),
+            )
+            return BinOp(op, _expr(rng, env, Type.INT, sub), _expr(rng, env, Type.INT, sub))
+        if roll < 0.75:
+            return UnOp(UnOpKind.NOT, _expr(rng, env, Type.BOOL, sub))
+        if roll < 0.85 and env.of_type(Type.REF):
+            lhs = Var(_pick(rng, env.of_type(Type.REF)))
+            return BinOp(_pick(rng, (BinOpKind.EQ, BinOpKind.NE)), lhs, NullLit())
+        return _leaf(rng, env, Type.BOOL)
+    if typ is Type.PERM:
+        if roll < 0.25 and env.of_type(Type.PERM):
+            return BinOp(
+                BinOpKind.ADD,
+                _expr(rng, env, Type.PERM, sub),
+                PermLit(_pick(rng, _POSITIVE_PERMS)),
+            )
+        return _leaf(rng, env, Type.PERM)
+    return _leaf(rng, env, typ)
+
+
+# ---------------------------------------------------------------------------
+# Assertions
+# ---------------------------------------------------------------------------
+
+
+def _acc(rng: random.Random, env: _MethodEnv, *, literal_only: bool = False) -> Acc:
+    receivers = env.of_type(Type.REF)
+    receiver: Expr = Var(_pick(rng, receivers)) if receivers else NullLit()
+    perm_vars = env.of_type(Type.PERM)
+    if not literal_only and perm_vars and rng.random() < 0.35:
+        perm: Expr = Var(_pick(rng, perm_vars))
+    else:
+        perm = PermLit(_pick(rng, _POSITIVE_PERMS))
+    return Acc(receiver, _pick(rng, _ALL_FIELDS), perm)
+
+
+def _assertion(rng: random.Random, env: _MethodEnv, depth: int) -> Assertion:
+    roll = rng.random()
+    if depth <= 0:
+        if roll < 0.5:
+            return AExpr(_expr(rng, env, Type.BOOL, 1))
+        return _acc(rng, env)
+    sub = depth - 1
+    if roll < 0.3:
+        return AExpr(_expr(rng, env, Type.BOOL, 1))
+    if roll < 0.55:
+        return _acc(rng, env)
+    if roll < 0.75:
+        # Implications / conditionals are trailing-greedy in the concrete
+        # syntax, so the left conjunct of `&&` must stay simple.
+        left = _assertion(rng, env, 0)
+        while isinstance(left, (Implies, CondAssert)):  # pragma: no cover
+            left = _assertion(rng, env, 0)
+        return SepConj(left, _assertion(rng, env, sub))
+    if roll < 0.9:
+        return Implies(_expr(rng, env, Type.BOOL, 1), _assertion(rng, env, sub))
+    return CondAssert(
+        _expr(rng, env, Type.BOOL, 1),
+        _assertion(rng, env, sub),
+        _assertion(rng, env, sub),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+
+
+class _MethodBuilder:
+    """Generates one method; tracks the statement budget and features used."""
+
+    def __init__(
+        self,
+        rng: random.Random,
+        config: GeneratorConfig,
+        name: str,
+        callees: Sequence[MethodDecl],
+    ):
+        self._rng = rng
+        self._config = config
+        self._name = name
+        self._callees = list(callees)
+        self._budget = config.stmt_budget
+        self.features: set = set()
+        self._locals: List[Tuple[str, Type]] = []
+        self._fresh = 0
+
+    def _fresh_local(self, typ: Type) -> str:
+        name = f"t{self._fresh}"
+        self._fresh += 1
+        self._locals.append((name, typ))
+        return name
+
+    def build(self) -> MethodDecl:
+        rng = self._rng
+        # Arguments: always a Ref receiver; the rest of ENV with prob. 1/2
+        # each, so calls see diverse signatures.
+        args: List[Tuple[str, Type]] = [("x", Type.REF)]
+        for var in ("n", "b", "p"):
+            if rng.random() < 0.6:
+                args.append((var, ENV[var]))
+        returns: List[Tuple[str, Type]] = []
+        if rng.random() < 0.6:
+            returns.append(("r", Type.INT))
+        env = _MethodEnv(dict(args))
+        # The precondition always grants permission to x.f, so bodies that
+        # read/write the heap have executions that do not fail immediately.
+        pre: Assertion = Acc(Var("x"), "f", PermLit(Fraction(1)))
+        if rng.random() < 0.7:
+            pre = SepConj(pre, _assertion(rng, env, self._config.assertion_depth - 1))
+        post_env = _MethodEnv({**dict(args), **dict(returns)})
+        post: Assertion = Acc(Var("x"), "f", PermLit(_pick(rng, _POSITIVE_PERMS)))
+        if rng.random() < 0.6:
+            post = SepConj(post, _assertion(rng, post_env, self._config.assertion_depth - 1))
+        if self._config.allow_old and rng.random() < 0.4:
+            # old() over an argument-footprint expression; pre holds
+            # acc(x.f, write), so old(x.f) is well-defined at entry.
+            old_arg: Expr = FieldAcc(Var("x"), "f") if rng.random() < 0.5 else (
+                Var("n") if ("n", Type.INT) in args else IntLit(2)
+            )
+            post = SepConj(post, AExpr(BinOp(BinOpKind.GE, OldExpr(old_arg), OldExpr(old_arg))))
+            self.features.add("old")
+        abstract = rng.random() < 0.12
+        if abstract:
+            return MethodDecl(
+                name=self._name,
+                args=tuple(args),
+                returns=tuple(returns),
+                pre=pre,
+                post=post,
+                body=None,
+            )
+        stmts: List[Stmt] = []
+        for var_name, typ in returns:
+            env.variables[var_name] = typ
+        while self._budget > 0:
+            stmt = self._stmt(env, depth=2)
+            if stmt is not None:
+                stmts.append(stmt)
+        body = seq_of(*stmts) if stmts else AssertStmt(AExpr(BoolLit(True)))
+        decls = [VarDecl(name, typ) for name, typ in self._locals]
+        # Declarations come first; generated statements only use a local
+        # after its declaration because locals are created on demand before
+        # the statement that uses them is appended.
+        full_body = seq_of(*decls, body) if decls else body
+        return MethodDecl(
+            name=self._name,
+            args=tuple(args),
+            returns=tuple(returns),
+            pre=pre,
+            post=post,
+            body=full_body,
+        )
+
+    # -- statement alternatives ------------------------------------------------
+
+    def _stmt(self, env: _MethodEnv, depth: int) -> Optional[Stmt]:
+        rng = self._rng
+        self._budget -= 1
+        roll = rng.random()
+        config = self._config
+        if roll < 0.16:
+            targets = env.of_type(Type.INT)
+            if targets:
+                return LocalAssign(
+                    _pick(rng, targets), _expr(rng, env, Type.INT, config.expr_depth)
+                )
+            roll = 0.2
+        if roll < 0.3:
+            receivers = env.of_type(Type.REF)
+            if receivers:
+                return FieldAssign(
+                    Var(_pick(rng, receivers)), "f",
+                    _expr(rng, env, Type.INT, config.expr_depth),
+                )
+            roll = 0.35
+        if roll < 0.42:
+            return Inhale(_assertion(rng, env, config.assertion_depth))
+        if roll < 0.5:
+            return Exhale(_assertion(rng, env, config.assertion_depth))
+        if roll < 0.58:
+            return AssertStmt(_assertion(rng, env, config.assertion_depth))
+        if roll < 0.66 and depth > 0:
+            then = self._stmt(env, depth - 1) or Skip()
+            otherwise: Stmt = Skip()
+            if rng.random() < 0.5:
+                otherwise = self._stmt(env, depth - 1) or Skip()
+            return If(_expr(rng, env, Type.BOOL, 1), then, otherwise)
+        if roll < 0.74 and config.allow_loops and depth > 0:
+            counter = self._fresh_local(Type.INT)
+            env.variables[counter] = Type.INT
+            self.features.add("loops")
+            body = seq_of(
+                LocalAssign(counter, BinOp(BinOpKind.ADD, Var(counter), IntLit(1))),
+                self._stmt(env, 0) or Skip(),
+            )
+            invariant: Assertion = (
+                Acc(Var("x"), "f", PermLit(Fraction(1, 2)))
+                if rng.random() < 0.5
+                else AExpr(BinOp(BinOpKind.GE, Var(counter), IntLit(0)))
+            )
+            return seq_of(
+                LocalAssign(counter, IntLit(0)),
+                While(BinOp(BinOpKind.LT, Var(counter), IntLit(2)), invariant, body),
+            )
+        if roll < 0.82 and config.allow_new:
+            target = self._fresh_local(Type.REF)
+            env.variables[target] = Type.REF
+            self.features.add("new")
+            if rng.random() < 0.3:
+                return NewStmt(target, (), all_fields=True)
+            return NewStmt(target, ("f",))
+        if roll < 0.95 and config.allow_calls and self._callees:
+            return self._call(env)
+        return AssertStmt(AExpr(_expr(rng, env, Type.BOOL, 1)))
+
+    def _call(self, env: _MethodEnv) -> Optional[Stmt]:
+        rng = self._rng
+        callee = _pick(rng, self._callees)
+        args: List[Expr] = []
+        complex_used = False
+        for _, typ in callee.args:
+            candidates = env.of_type(typ)
+            if (
+                typ is Type.INT
+                and self._config.allow_complex_call_args
+                and rng.random() < 0.4
+            ):
+                args.append(_expr(rng, env, Type.INT, 1))
+                complex_used = True
+            elif candidates:
+                args.append(Var(_pick(rng, candidates)))
+            elif typ is Type.INT:
+                args.append(IntLit(rng.randrange(0, 5)))
+                complex_used = True
+            elif typ is Type.BOOL:
+                args.append(BoolLit(True))
+                complex_used = True
+            elif typ is Type.PERM:
+                args.append(PermLit(Fraction(1, 2)))
+                complex_used = True
+            else:
+                return None  # no Ref in scope: skip the call
+        targets: List[str] = []
+        arg_vars = {a.name for a in args if isinstance(a, Var)}
+        for _, ret_type in callee.returns:
+            target = self._fresh_local(ret_type)
+            env.variables[target] = ret_type
+            targets.append(target)
+        if set(targets) & arg_vars:  # pragma: no cover - fresh names
+            return None
+        self.features.add("calls")
+        if complex_used:
+            self.features.add("complex-call-args")
+        return MethodCall(tuple(targets), callee.name, tuple(args))
+
+
+# ---------------------------------------------------------------------------
+# Programs
+# ---------------------------------------------------------------------------
+
+
+def generate_program(
+    seed: int, config: Optional[GeneratorConfig] = None
+) -> GeneratedProgram:
+    """Generate one well-typed Viper program from a seed (deterministic)."""
+    config = config or GeneratorConfig()
+    rng = random.Random(seed)
+    method_count = 1 + rng.randrange(max(1, config.max_methods))
+    methods: List[MethodDecl] = []
+    features: set = set()
+    for index in range(method_count):
+        builder = _MethodBuilder(rng, config, f"m{index}", methods)
+        methods.append(builder.build())
+        features |= builder.features
+    program = Program(
+        fields=tuple(FieldDecl(name, FIELDS[name]) for name in sorted(FIELDS)),
+        methods=tuple(methods),
+    )
+    return GeneratedProgram(
+        seed=seed,
+        source=pretty_program(program),
+        method_count=method_count,
+        features=tuple(sorted(features)),
+    )
+
+
+def generate_corpus(
+    seed: int, count: int, config: Optional[GeneratorConfig] = None
+) -> List[GeneratedProgram]:
+    """Generate ``count`` programs from consecutive derived seeds."""
+    return [generate_program(derive_seed(seed, i), config) for i in range(count)]
+
+
+def derive_seed(seed: int, index: int) -> int:
+    """The per-iteration seed (splitmix-style, avoids correlated streams)."""
+    value = (seed * 0x9E3779B97F4A7C15 + index * 0xBF58476D1CE4E5B9) & 0xFFFFFFFFFFFFFFFF
+    value ^= value >> 31
+    return value & 0x7FFFFFFF
+
+
+#: Hand-written programs that jointly exercise every mutator's
+#: applicability condition (temp-based permission amounts, exhales holding
+#: permission, calls with the non-local optimisation, conditionals, …).
+#: The driver routes the first iterations of every run through this corpus
+#: so each mutator class meets an applicable subject deterministically.
+SEED_CORPUS: Tuple[str, ...] = (
+    """
+field f: Int
+
+method callee(x: Ref)
+  requires acc(x.f, 1/2) && x.f > 0
+  ensures acc(x.f, 1/2)
+{ assert true }
+
+method main(x: Ref, p: Perm) returns (r: Int)
+  requires acc(x.f, write) && p > none
+  ensures acc(x.f, 1/2)
+{
+  x.f := 3
+  r := x.f
+  callee(x)
+  exhale acc(x.f, 1/2) && x.f == 3
+  inhale acc(x.f, p)
+}
+""",
+    """
+field f: Int
+field g: Bool
+
+method branchy(x: Ref, n: Int, p: Perm) returns (r: Int)
+  requires acc(x.f, write) && acc(x.g, 1/2) && p > none
+  ensures acc(x.f, 1/2)
+{
+  if (n > 0) {
+    x.f := n
+  } else {
+    x.f := 0 - n
+  }
+  assert acc(x.f, 1/2) && x.f >= 0
+  exhale acc(x.f, 1/4) && acc(x.g, 1/2)
+  inhale acc(x.f, p)
+  r := x.f
+  exhale acc(x.f, 1/4)
+}
+""",
+)

@@ -1,0 +1,327 @@
+"""Delta-debugging minimization of failing fuzz cases.
+
+When the fuzzing driver (:mod:`repro.fuzz.driver`) finds a failure it
+persists the raw reproducer, but raw generated programs and certificates
+are noisy: most of their content is irrelevant to the failure.  This
+module shrinks both failing artifact kinds to *minimal* reproducers:
+
+* :func:`minimize_source` shrinks a failing **Viper program** with greedy
+  AST-level passes (method dropping, statement deletion, assertion
+  simplification, field dropping) re-using the same AST and pretty-printer
+  the pipeline itself uses — so every candidate is tested through exactly
+  the code path that failed;
+* :func:`minimize_cert_text` shrinks a failing **certificate text** with
+  the classic ddmin algorithm over lines (the unit of meaning of the
+  line-oriented format, docs/CERTIFICATE_FORMAT.md §2).
+
+Both functions are **deterministic**: candidates are enumerated in a fixed
+order and the first improving candidate is taken, so the same failure
+always minimizes to the byte-identical reproducer (a property checked by
+``tests/fuzz/test_minimize.py``).  The *predicate* passed in must return
+``True`` iff the candidate still exhibits the failure being minimized;
+predicates are expected to swallow their own exceptions (a crashing
+candidate either *is* the failure — predicate ``True`` — or is not).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable, Iterator, List, Sequence
+
+from ..viper.ast import (
+    Acc,
+    AExpr,
+    Assertion,
+    AssertStmt,
+    BoolLit,
+    CondAssert,
+    Exhale,
+    expr_children,
+    If,
+    Implies,
+    Inhale,
+    MethodDecl,
+    Program,
+    SepConj,
+    Seq,
+    Skip,
+    Stmt,
+)
+from ..viper.loops import While
+from ..viper.parser import parse_program
+from ..viper.pretty import pretty_program
+
+__all__ = ["minimize_source", "minimize_cert_text", "ddmin_lines"]
+
+TRUE = AExpr(BoolLit(True))
+
+SourcePredicate = Callable[[str], bool]
+
+
+# ---------------------------------------------------------------------------
+# Size metric (strictly decreasing along accepted shrinks => termination)
+# ---------------------------------------------------------------------------
+
+
+def _expr_weight(expr) -> int:
+    return 1 + sum(_expr_weight(child) for child in expr_children(expr))
+
+
+def _assertion_weight(assertion: Assertion) -> int:
+    if isinstance(assertion, AExpr):
+        return 1 + _expr_weight(assertion.expr)
+    if isinstance(assertion, Acc):
+        return 1 + _expr_weight(assertion.receiver) + _expr_weight(assertion.perm)
+    if isinstance(assertion, SepConj):
+        return 1 + _assertion_weight(assertion.left) + _assertion_weight(assertion.right)
+    if isinstance(assertion, Implies):
+        return 1 + _expr_weight(assertion.cond) + _assertion_weight(assertion.body)
+    if isinstance(assertion, CondAssert):
+        return (
+            1
+            + _expr_weight(assertion.cond)
+            + _assertion_weight(assertion.then)
+            + _assertion_weight(assertion.otherwise)
+        )
+    return 1  # pragma: no cover - exhaustive above
+
+
+def _stmt_weight(stmt: Stmt) -> int:
+    if isinstance(stmt, Seq):
+        return 1 + _stmt_weight(stmt.first) + _stmt_weight(stmt.second)
+    if isinstance(stmt, If):
+        return 1 + _expr_weight(stmt.cond) + _stmt_weight(stmt.then) + _stmt_weight(stmt.otherwise)
+    if isinstance(stmt, While):
+        return (
+            1
+            + _expr_weight(stmt.cond)
+            + _assertion_weight(stmt.invariant)
+            + _stmt_weight(stmt.body)
+        )
+    if isinstance(stmt, (Inhale, Exhale, AssertStmt)):
+        return 1 + _assertion_weight(stmt.assertion)
+    if isinstance(stmt, Skip):
+        return 0
+    return 2  # atomic statements outweigh Skip so deletion always shrinks
+
+
+def _method_weight(method: MethodDecl) -> int:
+    weight = 1 + len(method.args) + len(method.returns)
+    weight += _assertion_weight(method.pre) + _assertion_weight(method.post)
+    if method.body is not None:
+        weight += 1 + _stmt_weight(method.body)
+    return weight
+
+
+def _program_weight(program: Program) -> int:
+    return len(program.fields) + sum(_method_weight(m) for m in program.methods)
+
+
+# ---------------------------------------------------------------------------
+# Shrink candidates (enumerated in a fixed, deterministic order)
+# ---------------------------------------------------------------------------
+
+
+def _assertion_variants(assertion: Assertion) -> Iterator[Assertion]:
+    """Strictly-smaller replacements for one assertion tree."""
+    if isinstance(assertion, SepConj):
+        yield assertion.left
+        yield assertion.right
+        for left in _assertion_variants(assertion.left):
+            yield SepConj(left, assertion.right)
+        for right in _assertion_variants(assertion.right):
+            yield SepConj(assertion.left, right)
+        return
+    if isinstance(assertion, Implies):
+        yield assertion.body
+        for body in _assertion_variants(assertion.body):
+            yield Implies(assertion.cond, body)
+        return
+    if isinstance(assertion, CondAssert):
+        yield assertion.then
+        yield assertion.otherwise
+        for then in _assertion_variants(assertion.then):
+            yield CondAssert(assertion.cond, then, assertion.otherwise)
+        for otherwise in _assertion_variants(assertion.otherwise):
+            yield CondAssert(assertion.cond, assertion.then, otherwise)
+        return
+    if assertion != TRUE:
+        yield TRUE
+
+
+def _stmt_variants(stmt: Stmt) -> Iterator[Stmt]:
+    """Strictly-smaller replacements for one statement tree."""
+    if isinstance(stmt, Seq):
+        yield stmt.first
+        yield stmt.second
+        for first in _stmt_variants(stmt.first):
+            yield Seq(first, stmt.second)
+        for second in _stmt_variants(stmt.second):
+            yield Seq(stmt.first, second)
+        return
+    if isinstance(stmt, If):
+        yield stmt.then
+        yield stmt.otherwise
+        yield Skip()
+        for then in _stmt_variants(stmt.then):
+            yield If(stmt.cond, then, stmt.otherwise)
+        for otherwise in _stmt_variants(stmt.otherwise):
+            yield If(stmt.cond, stmt.then, otherwise)
+        return
+    if isinstance(stmt, While):
+        yield stmt.body
+        yield Skip()
+        for body in _stmt_variants(stmt.body):
+            yield While(stmt.cond, stmt.invariant, body)
+        for invariant in _assertion_variants(stmt.invariant):
+            yield While(stmt.cond, invariant, stmt.body)
+        return
+    if isinstance(stmt, (Inhale, Exhale, AssertStmt)):
+        yield Skip()
+        for assertion in _assertion_variants(stmt.assertion):
+            yield type(stmt)(assertion)
+        return
+    if not isinstance(stmt, Skip):
+        yield Skip()
+
+
+def _method_variants(method: MethodDecl) -> Iterator[MethodDecl]:
+    """Strictly-smaller replacements for one method."""
+    if method.body is not None and not isinstance(method.body, Skip):
+        yield replace(method, body=Skip())
+        for body in _stmt_variants(method.body):
+            yield replace(method, body=body)
+    for pre in _assertion_variants(method.pre):
+        yield replace(method, pre=pre)
+    for post in _assertion_variants(method.post):
+        yield replace(method, post=post)
+    # Drop (now-)unused formals; ill-typed candidates fail the predicate.
+    for index in range(len(method.args) - 1, -1, -1):
+        yield replace(
+            method, args=method.args[:index] + method.args[index + 1:]
+        )
+    for index in range(len(method.returns) - 1, -1, -1):
+        yield replace(
+            method, returns=method.returns[:index] + method.returns[index + 1:]
+        )
+
+
+def _program_variants(program: Program) -> Iterator[Program]:
+    """All one-step shrinks of a program, biggest-first per category."""
+    # 1. Drop whole methods (later methods first: they cannot be callees
+    #    of earlier ones under the generator's ordering discipline).
+    for index in range(len(program.methods) - 1, -1, -1):
+        yield replace(
+            program,
+            methods=program.methods[:index] + program.methods[index + 1:],
+        )
+    # 2. Shrink each method in order.
+    for index, method in enumerate(program.methods):
+        for candidate in _method_variants(method):
+            yield replace(
+                program,
+                methods=program.methods[:index]
+                + (candidate,)
+                + program.methods[index + 1:],
+            )
+    # 3. Drop fields (last first).
+    for index in range(len(program.fields) - 1, -1, -1):
+        yield replace(
+            program,
+            fields=program.fields[:index] + program.fields[index + 1:],
+        )
+
+
+# ---------------------------------------------------------------------------
+# Source-level minimization
+# ---------------------------------------------------------------------------
+
+
+def minimize_source(
+    source: str,
+    predicate: SourcePredicate,
+    *,
+    max_steps: int = 10_000,
+) -> str:
+    """Shrink a failing Viper source to a minimal still-failing program.
+
+    Greedy fixpoint iteration: in each round the one-step shrinks of the
+    current program are enumerated in a fixed order and the first one that
+    (a) strictly reduces the AST weight and (b) still satisfies
+    ``predicate`` is adopted.  The result is the pretty-printed fixpoint
+    (1-minimal with respect to the pass catalog).  If ``source`` cannot be
+    parsed, a line-level :func:`ddmin_lines` pass runs instead, so even
+    syntactically broken inputs minimize.
+    """
+    try:
+        program = parse_program(source)
+    except Exception:
+        lines = ddmin_lines(
+            source.splitlines(), lambda ls: predicate("\n".join(ls) + "\n")
+        )
+        return "\n".join(lines) + "\n"
+    current = pretty_program(program)
+    if not predicate(current):
+        # The failure does not survive pretty-printing normalisation:
+        # keep the original reproducer untouched rather than lose it.
+        return source
+    steps = 0
+    improved = True
+    while improved and steps < max_steps:
+        improved = False
+        weight = _program_weight(program)
+        for candidate in _program_variants(program):
+            steps += 1
+            if steps >= max_steps:
+                break
+            if _program_weight(candidate) >= weight:
+                continue
+            text = pretty_program(candidate)
+            if predicate(text):
+                program, current = candidate, text
+                improved = True
+                break
+    return current
+
+
+# ---------------------------------------------------------------------------
+# Certificate-text minimization (classic ddmin over lines)
+# ---------------------------------------------------------------------------
+
+
+def ddmin_lines(
+    lines: Sequence[str], predicate: Callable[[List[str]], bool]
+) -> List[str]:
+    """Zeller/Hildebrandt ddmin over a list of lines (deterministic)."""
+    lines = list(lines)
+    if not predicate(lines):
+        return lines
+    granularity = 2
+    while len(lines) >= 2:
+        chunk = max(1, (len(lines) + granularity - 1) // granularity)
+        reduced = False
+        for start in range(0, len(lines), chunk):
+            candidate = lines[:start] + lines[start + chunk:]
+            if candidate and predicate(candidate):
+                lines = candidate
+                granularity = max(granularity - 1, 2)
+                reduced = True
+                break
+        if not reduced:
+            if chunk == 1:
+                break
+            granularity = min(len(lines), granularity * 2)
+    return lines
+
+
+def minimize_cert_text(text: str, predicate: Callable[[str], bool]) -> str:
+    """Shrink a failing certificate text to a minimal still-failing text.
+
+    Operates on whole lines — the unit of meaning of the format
+    (docs/CERTIFICATE_FORMAT.md §2) — so the result stays recognisably a
+    certificate fragment; deterministic for a deterministic predicate.
+    """
+    lines = ddmin_lines(
+        text.splitlines(), lambda ls: predicate("\n".join(ls) + "\n")
+    )
+    return "\n".join(lines) + "\n"

@@ -87,3 +87,31 @@ def parallel_map(
             return [future.result() for future in futures]
     except _FALLBACK_ERRORS:
         return _serial_map(worker, materialised)
+
+
+def parallel_map_batches(
+    worker: Callable[[ItemT], ResultT],
+    items: Iterable[ItemT],
+    jobs: Optional[int] = None,
+    batch_size: Optional[int] = None,
+    should_stop: Optional[Callable[[], bool]] = None,
+) -> List[ResultT]:
+    """Like :func:`parallel_map`, but in bounded batches with a stop check.
+
+    Long-running producers (``repro fuzz --time-budget``) cannot submit
+    their whole workload up front: a budget check must run between
+    dispatches.  This helper cuts ``items`` into deterministic, input-order
+    batches of ``batch_size`` (default: ``4 × workers``), maps each batch
+    with :func:`parallel_map`, and consults ``should_stop()`` between
+    batches — already-dispatched work always completes, so the result list
+    is a deterministic *prefix* of the full-run result list.
+    """
+    materialised = list(items)
+    workers = resolve_jobs(jobs)
+    size = batch_size if batch_size and batch_size > 0 else max(1, 4 * workers)
+    results: List[ResultT] = []
+    for start in range(0, len(materialised), size):
+        if should_stop is not None and should_stop() and results:
+            break
+        results.extend(parallel_map(worker, materialised[start:start + size], jobs))
+    return results

@@ -1,0 +1,75 @@
+"""The ``repro fuzz`` subcommand: exit codes, JSON report, replay."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.fuzz.corpus import FailureRecord, FuzzCorpus
+
+UNPARSEABLE = "method {{{ not viper at all\n"
+
+
+def test_fuzz_smoke_exits_zero(tmp_path, capsys):
+    json_path = tmp_path / "report.json"
+    code = main([
+        "fuzz", "--seed", "0", "--iterations", "4",
+        "--corpus-dir", str(tmp_path / "corpus"),
+        "--json", str(json_path),
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "iterations=4/4" in out
+    assert "no failures" in out
+    payload = json.loads(json_path.read_text())
+    assert payload["iterations_run"] == 4
+    assert payload["failures"] == []
+
+
+def test_fuzz_replay_of_forced_failure_exits_one(tmp_path, capsys):
+    corpus = FuzzCorpus(tmp_path / "corpus")
+    record = FailureRecord(
+        outcome="crash",
+        detail="forced parse crash",
+        source=UNPARSEABLE,
+        case={"seed": 0, "index": 0, "options_name": "default"},
+    )
+    bucket_dir, created = corpus.persist(record)
+    assert created
+    json_path = tmp_path / "replay.json"
+    code = main(["fuzz", "--replay", str(bucket_dir), "--json", str(json_path)])
+    assert code == 1
+    out = capsys.readouterr().out
+    assert "FAILURES" in out
+    payload = json.loads(json_path.read_text())
+    assert payload["failures"]
+    assert payload["failures"][0]["minimized_source"] is not None
+
+
+def test_fuzz_replay_missing_bucket_raises(tmp_path):
+    with pytest.raises(FileNotFoundError):
+        main(["fuzz", "--replay", str(tmp_path / "nope")])
+
+
+def test_fuzz_jobs_flag_matches_serial(tmp_path, capsys):
+    # --jobs 2 must produce the identical outcome table (order-preserving
+    # executor; falls back to serial where pools are unavailable).
+    code = main([
+        "fuzz", "--seed", "3", "--iterations", "3",
+        "--corpus-dir", str(tmp_path / "c1"),
+    ])
+    serial = capsys.readouterr().out
+    assert code == 0
+    code = main([
+        "fuzz", "--seed", "3", "--iterations", "3", "--jobs", "2",
+        "--corpus-dir", str(tmp_path / "c2"),
+    ])
+    parallel = capsys.readouterr().out
+    assert code == 0
+    strip = lambda text: [
+        line for line in text.splitlines()
+        if not line.startswith("fuzz:")  # timing line differs
+    ]
+    assert strip(serial) == strip(parallel)

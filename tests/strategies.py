@@ -4,6 +4,12 @@ The generators are type-indexed: ``expr_of(Type.INT)`` only produces
 integer-typed expressions over a fixed environment, so every generated AST
 passes the type checker by construction.  Used by the round-trip,
 metatheory, and certification property tests.
+
+The fixed environment (``ENV``) and field declarations (``FIELDS``) are
+re-exported from :mod:`repro.fuzz.generate` — the standalone seeded
+generator that grew out of these strategies — so hypothesis-driven
+property tests and the ``repro fuzz`` driver draw programs from the same
+universe.
 """
 
 from __future__ import annotations
@@ -12,6 +18,7 @@ from fractions import Fraction
 
 from hypothesis import strategies as st
 
+from repro.fuzz.generate import ENV, FIELDS
 from repro.viper.ast import (
     Acc,
     AExpr,
@@ -22,6 +29,7 @@ from repro.viper.ast import (
     CondAssert,
     CondExp,
     FieldAcc,
+    FieldAssign,
     If,
     Implies,
     Inhale,
@@ -39,16 +47,7 @@ from repro.viper.ast import (
     Exhale,
 )
 
-#: The fixed environment all generated ASTs live in.
-ENV = {
-    "x": Type.REF,
-    "y": Type.REF,
-    "n": Type.INT,
-    "m": Type.INT,
-    "b": Type.BOOL,
-    "p": Type.PERM,
-}
-FIELDS = {"f": Type.INT, "g": Type.BOOL}
+__all__ = ["ENV", "FIELDS", "assertions", "expr_of", "statements"]
 
 _INT_FIELDS = [name for name, typ in FIELDS.items() if typ is Type.INT]
 _VARS_BY_TYPE = {
@@ -186,9 +185,7 @@ def statements(depth: int = 2) -> st.SearchStrategy:
         LocalAssign, st.sampled_from(_VARS_BY_TYPE[Type.BOOL]), expr_of(Type.BOOL, 1)
     )
     field_write = st.builds(
-        lambda rcv, val: __import__("repro.viper.ast", fromlist=["FieldAssign"]).FieldAssign(
-            rcv, "f", val
-        ),
+        lambda rcv, val: FieldAssign(rcv, "f", val),
         expr_of(Type.REF, 0),
         expr_of(Type.INT, 1),
     )
