@@ -31,14 +31,23 @@ RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 
 def bench_jobs() -> int:
-    """Worker count for corpus fan-out (``REPRO_BENCH_JOBS``; default serial)."""
+    """Worker count for corpus fan-out (``REPRO_BENCH_JOBS``; default serial).
+
+    ``REPRO_BENCH_JOBS=0`` means "auto" (one worker per CPU), matching
+    ``repro --jobs 0`` and :func:`repro.pipeline.executor.resolve_jobs`.
+    Unset/empty means serial; malformed or negative values fall back to
+    serial instead of crashing a long benchmark run.
+    """
     raw = os.environ.get("REPRO_BENCH_JOBS", "").strip()
     if not raw:
         return 1
     try:
-        return int(raw)
+        jobs = int(raw)
     except ValueError:
         return 1
+    if jobs < 0:
+        return 1
+    return jobs
 
 
 @functools.lru_cache(maxsize=None)

@@ -34,6 +34,11 @@ The subpackages:
   typecheck → translate → generate → render → reparse → check) with
   per-stage instrumentation, structured diagnostics, a content-addressed
   artifact cache, and a parallel corpus executor,
+* :mod:`repro.service` — certification-as-a-service: an asyncio HTTP
+  server over a persistent worker pool, a restart-surviving disk cache
+  for the untrusted artifacts (the kernel always re-checks fresh),
+  admission control with backpressure, Prometheus metrics, and a
+  corpus-replaying load generator (``repro serve`` / ``repro loadgen``),
 * :mod:`repro.harness` — the evaluation corpus and pipeline (Tables 1–6),
 * :mod:`repro.fuzz` — adversarial fuzzing of the certification kernel
   (seeded program generation, artifact mutators, differential-oracle
@@ -59,7 +64,7 @@ from .pipeline import (  # noqa: F401
     run_pipeline,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 
 def translate_source(source, options=None, **kwargs):

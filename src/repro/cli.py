@@ -8,6 +8,8 @@ Subcommands::
     python -m repro.cli verify    FILE.vpr
     python -m repro.cli bench     [SUITE] [--jobs N] [--json PATH]
     python -m repro.cli fuzz      [--seed N] [--iterations N] [--replay PATH]
+    python -m repro.cli serve     [--port N] [--jobs N] [--cache-dir DIR]
+    python -m repro.cli loadgen   [--requests N] [--concurrency N] [--json]
 
 ``certify`` runs the instrumented translation and writes the certificate;
 ``check`` re-checks a certificate *independently*: it parses the Viper
@@ -16,19 +18,26 @@ certificate, and runs only the trusted kernel — the translator is not
 involved.  ``verify`` runs the bounded back-end on each procedure.
 ``fuzz`` adversarially stress-tests the kernel (:mod:`repro.fuzz`): it
 exits 0 iff no iteration crashed or produced an oracle disagreement.
+``serve`` runs the long-lived certification server
+(:mod:`repro.service`); ``loadgen`` replays the harness corpus against
+one and reports latency percentiles, throughput, and the cache split.
 
 Every command drives :mod:`repro.pipeline` — the single place the stage
 sequence (parse → desugar → typecheck → translate → generate → render →
 reparse → check) is spelled out.  Pipeline failures surface as structured
 diagnostics (stage, source location, recovery hint) with exit code 2;
-``SIGINT`` exits with the conventional 130.
+``SIGINT`` exits with the conventional 130 and ``SIGTERM`` drains
+cleanly and exits 143 (both tested via subprocess).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import os
+import signal
 import sys
+import threading
 from typing import Optional
 
 from .boogie.parser import parse_boogie_program
@@ -237,10 +246,84 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """`serve`: run the long-lived certification server (repro.service)."""
+    from .service import run_server, ServerConfig
+    from .service.admission import RequestLimits
+
+    config = ServerConfig(
+        host=args.host,
+        port=args.port,
+        jobs=args.jobs,
+        use_threads=args.threads,
+        queue_limit=args.queue_limit,
+        request_timeout=args.request_timeout,
+        recycle_after=args.recycle_after,
+        cache_dir=args.cache_dir,
+        cache_max_bytes=args.cache_bytes,
+        limits=RequestLimits(max_source_bytes=args.max_source_bytes),
+        drain_grace=args.drain_grace,
+        quiet=False,
+    )
+    return run_server(config)
+
+
+def cmd_loadgen(args: argparse.Namespace) -> int:
+    """`loadgen`: replay the corpus against a server; report latency/cache."""
+    from .service.client import ServiceError
+    from .service.loadgen import LoadgenConfig, run_loadgen, summarise
+
+    config = LoadgenConfig(
+        host=args.host,
+        port=args.port,
+        requests=args.requests,
+        concurrency=args.concurrency,
+        suite=args.suite,
+        warmup=args.warmup,
+        baseline=args.baseline,
+        report_path=args.report,
+    )
+    try:
+        report = run_loadgen(config)
+    except ServiceError as error:
+        print(f"loadgen failed: {error}", file=sys.stderr)
+        return 1
+    if args.json is not None:
+        payload = json.dumps(report, indent=2)
+        if args.json == "-":
+            print(payload)
+        else:
+            with open(args.json, "w", encoding="utf-8") as handle:
+                handle.write(payload + "\n")
+            print(f"wrote {args.json}")
+    print(summarise(report))
+    return 0 if report["outcomes"]["errors"] == 0 else 1
+
+
+def _version() -> str:
+    """The package version.
+
+    The in-tree ``repro.__version__`` is the source of truth (it tracks
+    the checkout actually being executed); installed distribution
+    metadata is the fallback for the unusual case of a stripped package.
+    """
+    try:
+        from . import __version__
+
+        return __version__
+    except Exception:
+        from importlib.metadata import version
+
+        return version("repro")
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The argparse command-line interface."""
     parser = argparse.ArgumentParser(
         prog="repro", description="Validated Viper-to-Boogie translation"
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {_version()}"
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -308,6 +391,64 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz.add_argument("--json", metavar="PATH",
                       help="also write the machine-readable fuzz report "
                            "to PATH")
+    serve = sub.add_parser("serve",
+                           help="run the certification server (repro.service)")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8421,
+                       help="listening port (0 = ephemeral; default: 8421)")
+    serve.add_argument("--jobs", "-j", type=int, default=0, metavar="N",
+                       help="worker processes (0 = one per CPU; default: 0)")
+    serve.add_argument("--threads", action="store_true",
+                       help="use in-process worker threads instead of a "
+                            "process pool")
+    serve.add_argument("--queue-limit", type=int, default=64, metavar="N",
+                       help="max queued+in-flight requests before 429 "
+                            "(default: 64)")
+    serve.add_argument("--request-timeout", type=float, default=120.0,
+                       metavar="SECONDS", help="per-request deadline "
+                       "(default: 120)")
+    serve.add_argument("--recycle-after", type=int, default=500, metavar="N",
+                       help="recycle worker processes after N jobs "
+                            "(0 = never; default: 500)")
+    serve.add_argument("--cache-dir", metavar="DIR",
+                       help="disk cache root for untrusted artifacts "
+                            "(default: in-memory caching only)")
+    serve.add_argument("--cache-bytes", type=int, default=64 * 1024 * 1024,
+                       metavar="N", help="disk cache LRU size bound "
+                       "(default: 64 MiB)")
+    serve.add_argument("--max-source-bytes", type=int, default=256 * 1024,
+                       metavar="N", help="largest accepted source "
+                       "(default: 256 KiB)")
+    serve.add_argument("--drain-grace", type=float, default=10.0,
+                       metavar="SECONDS",
+                       help="shutdown grace for in-flight work (default: 10)")
+    loadgen = sub.add_parser("loadgen",
+                             help="replay the corpus against a running server")
+    loadgen.add_argument("--host", default="127.0.0.1")
+    loadgen.add_argument("--port", type=int, default=8421)
+    loadgen.add_argument("--requests", "-n", type=int, default=144, metavar="N",
+                         help="total requests to send (default: 144 — the "
+                              "72-file corpus twice)")
+    loadgen.add_argument("--concurrency", "-c", type=int, default=8, metavar="N",
+                         help="client threads (default: 8)")
+    loadgen.add_argument("--suite",
+                         choices=["Viper", "Gobra", "VerCors", "MPP"],
+                         help="replay one suite instead of all 72 files")
+    loadgen.add_argument("--warmup", action="store_true",
+                         help="send each program once, unmeasured, before "
+                              "the run (reports warm-cache behaviour)")
+    loadgen.add_argument("--baseline", type=int, default=0, metavar="N",
+                         help="also time N single-shot CLI certifications "
+                              "for the speedup comparison")
+    loadgen.add_argument("--report", metavar="PATH",
+                         default=os.path.join("benchmarks", "results",
+                                              "loadgen_report.json"),
+                         help="write the JSON latency report here "
+                              "(default: benchmarks/results/"
+                              "loadgen_report.json; '' disables)")
+    loadgen.add_argument("--json", nargs="?", const="-", metavar="PATH",
+                         help="print the full JSON report to stdout "
+                              "(or write it to PATH)")
     return parser
 
 
@@ -333,12 +474,23 @@ def _flush_stdout_safely() -> int:
     return 0
 
 
+class _Terminated(Exception):
+    """Raised by the SIGTERM handler to unwind into a clean 143 exit."""
+
+
+def _raise_terminated(signum, frame):  # pragma: no cover - signal context
+    raise _Terminated()
+
+
 def main(argv: Optional[list] = None) -> int:
     """Entry point; returns the process exit code.
 
     Exit codes: 0 success, 1 command-level failure (rejected certificate,
     refuted procedure), 2 pipeline diagnostic (parse/type/translate error),
-    130 on ``SIGINT`` (the conventional ``128 + SIGINT``).
+    130 on ``SIGINT`` (the conventional ``128 + SIGINT``), 143 on
+    ``SIGTERM`` (``128 + SIGTERM``, after a clean unwind — ``serve``
+    additionally drains in-flight requests and flushes its disk cache
+    before exiting).
     """
     args = build_parser().parse_args(argv)
     handlers = {
@@ -349,7 +501,18 @@ def main(argv: Optional[list] = None) -> int:
         "rules": cmd_rules,
         "bench": cmd_bench,
         "fuzz": cmd_fuzz,
+        "serve": cmd_serve,
+        "loadgen": cmd_loadgen,
     }
+    previous_sigterm = None
+    if threading.current_thread() is threading.main_thread():
+        # Long-running commands (bench over the corpus, fuzz campaigns,
+        # serve) must terminate cleanly under SIGTERM.  `serve` swaps in
+        # its own asyncio handler that drains before exiting.
+        try:
+            previous_sigterm = signal.signal(signal.SIGTERM, _raise_terminated)
+        except (ValueError, OSError):  # pragma: no cover - exotic platforms
+            previous_sigterm = None
     try:
         code = handlers[args.command](args)
         _flush_stdout_safely()
@@ -362,9 +525,19 @@ def main(argv: Optional[list] = None) -> int:
         _flush_stdout_safely()
         print("interrupted", file=sys.stderr)
         return 130
+    except _Terminated:
+        _flush_stdout_safely()
+        print("terminated", file=sys.stderr)
+        return 143
     except PipelineError as error:
         print(error.diagnostic.render(), file=sys.stderr)
         return 2
+    finally:
+        if previous_sigterm is not None:
+            try:
+                signal.signal(signal.SIGTERM, previous_sigterm)
+            except (ValueError, OSError):  # pragma: no cover
+                pass
 
 
 if __name__ == "__main__":

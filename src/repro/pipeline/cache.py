@@ -39,11 +39,26 @@ def source_digest(source: str) -> str:
     return hashlib.sha256(normalised.encode("utf-8")).hexdigest()
 
 
+#: Lazily-created shared default options (the frontend import must stay
+#: deferred to break the cache ↔ frontend import cycle).  Hoisted out of
+#: :func:`cache_key` so the hot path does not allocate a fresh
+#: ``TranslationOptions`` per call; the dataclass is frozen, so sharing
+#: one instance is safe.
+_DEFAULT_OPTIONS: Optional["TranslationOptions"] = None
+
+
+def _default_options() -> "TranslationOptions":
+    global _DEFAULT_OPTIONS
+    if _DEFAULT_OPTIONS is None:
+        from ..frontend import TranslationOptions
+
+        _DEFAULT_OPTIONS = TranslationOptions()
+    return _DEFAULT_OPTIONS
+
+
 def cache_key(source: str, options: Optional["TranslationOptions"]) -> CacheKey:
     """The cache key for one (source, options) pipeline invocation."""
-    from ..frontend import TranslationOptions
-
-    return (source_digest(source), options if options is not None else TranslationOptions())
+    return (source_digest(source), options if options is not None else _default_options())
 
 
 @dataclass

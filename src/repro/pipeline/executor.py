@@ -48,10 +48,16 @@ def default_jobs() -> int:
 
 
 def resolve_jobs(jobs: Optional[int]) -> int:
-    """Normalise a ``--jobs`` value: None/1 → serial, 0/negative → auto."""
+    """Normalise a ``--jobs`` value: None/1 → serial, 0 → auto.
+
+    Negative values are rejected with a :class:`ValueError` (previously
+    they silently fell through to "auto", masking caller bugs).
+    """
     if jobs is None:
         return 1
-    if jobs <= 0:
+    if jobs < 0:
+        raise ValueError(f"jobs must be >= 0 (0 = one worker per CPU); got {jobs}")
+    if jobs == 0:
         return default_jobs()
     return jobs
 

@@ -1,0 +1,45 @@
+"""repro.service — certification-as-a-service.
+
+A long-running, stdlib-only HTTP server that amortises process startup
+and keeps warm state across requests, turning the paper's per-run
+validation pipeline into a serving system:
+
+* :mod:`~repro.service.server` — an asyncio HTTP/1.1 JSON server
+  (``POST /v1/certify``, ``POST /v1/translate``, ``POST /v1/batch``,
+  ``GET /healthz``, ``GET /metrics``),
+* :mod:`~repro.service.pool` — a persistent worker-process pool built on
+  the :mod:`repro.pipeline.executor` worker discipline (module-level
+  picklable workers, serial fallback) with per-request timeouts and
+  worker recycling,
+* :mod:`~repro.service.diskcache` — a disk-backed tier under the
+  in-memory :class:`~repro.pipeline.cache.ArtifactCache`: content-
+  addressed files keyed by ``(source digest, options digest)``, atomic
+  write-rename, corruption-tolerant load, an LRU size bound — warm state
+  survives restarts,
+* :mod:`~repro.service.admission` — bounded request queue with
+  backpressure (429 + ``Retry-After``), request limits, graceful drain,
+* :mod:`~repro.service.metrics` — Prometheus text-format counters,
+  gauges, and per-stage latency histograms fed from
+  :class:`~repro.pipeline.instrumentation.PipelineInstrumentation`,
+* :mod:`~repro.service.client` / :mod:`~repro.service.loadgen` — a
+  stdlib client and the ``repro loadgen`` corpus replayer.
+
+Trust argument (see ``docs/SERVICE.md`` and ``docs/TRUSTED_BASE.md``):
+the disk cache stores **only untrusted artifacts** (the Boogie text and
+the certificate text).  The trusted path — certificate re-parse plus the
+independent kernel check — executes fresh on *every* request, cached or
+not, so a corrupted or poisoned cache can at worst cause spurious
+rejections, never a false acceptance.
+"""
+
+from .admission import AdmissionController, RequestLimits  # noqa: F401
+from .client import ServiceClient, ServiceError  # noqa: F401
+from .diskcache import DiskCache, DiskCacheStats, options_digest  # noqa: F401
+from .metrics import Histogram, ServiceMetrics  # noqa: F401
+from .pool import PoolConfig, WorkerPool  # noqa: F401
+from .server import (  # noqa: F401
+    BackgroundServer,
+    CertificationService,
+    ServerConfig,
+    run_server,
+)

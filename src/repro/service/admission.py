@@ -1,0 +1,143 @@
+"""Admission control: bounded queue, request limits, graceful drain.
+
+The server must stay responsive under overload instead of queueing
+unboundedly.  This module owns the three policies:
+
+* **backpressure** — at most ``max_pending`` requests may be admitted
+  (queued + in flight); excess requests are rejected up front with
+  HTTP 429 and a ``Retry-After`` hint, which the load generator and the
+  stdlib client both honour;
+* **request limits** — per-request caps on source size, batch width, and
+  the semantic-oracle path budget, rejected with HTTP 413/400 before any
+  work is scheduled;
+* **graceful drain** — on SIGTERM/SIGINT the controller stops admitting
+  (503 for newcomers), and :meth:`AdmissionController.wait_idle` lets the
+  server wait for in-flight work to finish before flushing caches and
+  exiting (143 / 130).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class RequestLimits:
+    """Static per-request caps checked before admission."""
+
+    #: Largest accepted Viper source, in UTF-8 bytes.
+    max_source_bytes: int = 256 * 1024
+    #: Largest accepted HTTP body, in bytes (covers batch envelopes).
+    max_body_bytes: int = 4 * 1024 * 1024
+    #: Most programs per /v1/batch request.
+    max_batch: int = 32
+    #: Cap on the per-method state budget a client may request for the
+    #: semantic oracle (path explosion guard).
+    max_oracle_states: int = 64
+
+    def check_source(self, source: str) -> Optional[str]:
+        """None if acceptable, else a rejection message."""
+        size = len(source.encode("utf-8"))
+        if size > self.max_source_bytes:
+            return (
+                f"source is {size} bytes; the limit is "
+                f"{self.max_source_bytes} (max-source-size)"
+            )
+        return None
+
+    def check_batch(self, count: int) -> Optional[str]:
+        if count > self.max_batch:
+            return f"batch has {count} requests; the limit is {self.max_batch}"
+        if count < 1:
+            return "batch must contain at least one request"
+        return None
+
+    def clamp_oracle_states(self, requested: Optional[int]) -> int:
+        """The oracle path budget actually granted for a request."""
+        if requested is None or requested < 1:
+            return 0
+        return min(int(requested), self.max_oracle_states)
+
+
+class AdmissionController:
+    """Bounded admission with queue-depth accounting and drain support.
+
+    Counts two populations: *pending* (admitted, includes queued and
+    executing) and *in-flight* (currently executing in the worker pool).
+    ``queue_depth`` is their difference — what ``/metrics`` exposes as
+    the backlog gauge.
+    """
+
+    def __init__(self, max_pending: int = 64, retry_after: float = 1.0):
+        if max_pending < 1:
+            raise ValueError("max_pending must be >= 1")
+        self.max_pending = max_pending
+        self.retry_after = retry_after
+        self._pending = 0
+        self._in_flight = 0
+        self._draining = False
+        self._idle = asyncio.Event()
+        self._idle.set()
+
+    # -- admission ---------------------------------------------------------
+
+    def try_admit(self, weight: int = 1) -> bool:
+        """Admit ``weight`` units of work, or refuse (caller sends 429)."""
+        if self._draining:
+            return False
+        if self._pending + weight > self.max_pending:
+            return False
+        self._pending += weight
+        self._idle.clear()
+        return True
+
+    def release(self, weight: int = 1) -> None:
+        """A previously admitted unit finished (any outcome)."""
+        self._pending = max(0, self._pending - weight)
+        if self._pending == 0:
+            self._idle.set()
+
+    # -- execution accounting ---------------------------------------------
+
+    def enter_flight(self) -> None:
+        self._in_flight += 1
+
+    def exit_flight(self) -> None:
+        self._in_flight = max(0, self._in_flight - 1)
+
+    # -- gauges ------------------------------------------------------------
+
+    @property
+    def pending(self) -> int:
+        return self._pending
+
+    @property
+    def in_flight(self) -> int:
+        return self._in_flight
+
+    @property
+    def queue_depth(self) -> int:
+        """Admitted but not yet executing."""
+        return max(0, self._pending - self._in_flight)
+
+    # -- drain -------------------------------------------------------------
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    def begin_drain(self) -> None:
+        """Stop admitting; outstanding work keeps running."""
+        self._draining = True
+        if self._pending == 0:
+            self._idle.set()
+
+    async def wait_idle(self, timeout: Optional[float] = None) -> bool:
+        """Wait until all admitted work has finished; False on timeout."""
+        try:
+            await asyncio.wait_for(self._idle.wait(), timeout)
+            return True
+        except asyncio.TimeoutError:
+            return False

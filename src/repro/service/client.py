@@ -1,0 +1,144 @@
+"""A stdlib client for the certification service.
+
+Built on :mod:`http.client` with a persistent keep-alive connection per
+client instance; thread-*unsafe* by design (the load generator gives each
+worker thread its own client, mirroring how a connection pool would be
+used in production).
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+import time
+from typing import Any, Dict, List, Optional
+
+
+class ServiceError(Exception):
+    """A transport- or protocol-level client failure."""
+
+    def __init__(self, message: str, status: Optional[int] = None,
+                 retry_after: Optional[float] = None):
+        super().__init__(message)
+        self.status = status
+        self.retry_after = retry_after
+
+
+class ServiceThrottled(ServiceError):
+    """The server returned 429/503 with a Retry-After hint."""
+
+
+class ServiceClient:
+    """Keep-alive JSON client for one server."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8421,
+                 timeout: float = 60.0):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._conn: Optional[http.client.HTTPConnection] = None
+
+    # -- connection management --------------------------------------------
+
+    def _connection(self) -> http.client.HTTPConnection:
+        if self._conn is None:
+            self._conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+        return self._conn
+
+    def close(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    # -- low-level request -------------------------------------------------
+
+    def _request(self, method: str, path: str,
+                 payload: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+        body = json.dumps(payload).encode("utf-8") if payload is not None else None
+        headers = {"Content-Type": "application/json"} if body else {}
+        last_error: Optional[Exception] = None
+        for attempt in range(2):  # one transparent retry on a stale keep-alive
+            conn = self._connection()
+            try:
+                conn.request(method, path, body=body, headers=headers)
+                response = conn.getresponse()
+                raw = response.read()
+                break
+            except (http.client.HTTPException, ConnectionError,
+                    socket.timeout, OSError) as error:
+                last_error = error
+                self.close()
+        else:
+            raise ServiceError(f"request failed: {last_error}") from last_error
+        status = response.status
+        retry_after: Optional[float] = None
+        header = response.getheader("Retry-After")
+        if header:
+            try:
+                retry_after = float(header)
+            except ValueError:
+                pass
+        if status in (429, 503):
+            raise ServiceThrottled(
+                f"HTTP {status}: {raw[:200].decode('utf-8', 'replace')}",
+                status=status, retry_after=retry_after or 1.0,
+            )
+        content_type = response.getheader("Content-Type", "")
+        if "json" in content_type:
+            try:
+                decoded: Dict[str, Any] = json.loads(raw.decode("utf-8"))
+            except (json.JSONDecodeError, UnicodeDecodeError) as error:
+                raise ServiceError(f"bad JSON from server: {error}", status=status)
+            decoded["_status"] = status
+            return decoded
+        return {"_status": status, "_text": raw.decode("utf-8", "replace")}
+
+    # -- endpoints ---------------------------------------------------------
+
+    def certify(self, source: str, options: Optional[Dict[str, bool]] = None,
+                **extra: Any) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {"source": source}
+        if options:
+            payload["options"] = options
+        payload.update(extra)
+        return self._request("POST", "/v1/certify", payload)
+
+    def translate(self, source: str,
+                  options: Optional[Dict[str, bool]] = None) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {"source": source}
+        if options:
+            payload["options"] = options
+        return self._request("POST", "/v1/translate", payload)
+
+    def batch(self, requests: List[Dict[str, Any]]) -> Dict[str, Any]:
+        return self._request("POST", "/v1/batch", {"requests": requests})
+
+    def healthz(self) -> Dict[str, Any]:
+        return self._request("GET", "/healthz")
+
+    def metrics(self) -> str:
+        result = self._request("GET", "/metrics")
+        return result.get("_text", "")
+
+    # -- convenience -------------------------------------------------------
+
+    def wait_ready(self, timeout: float = 15.0, interval: float = 0.05) -> bool:
+        """Poll ``/healthz`` until the server answers (or the timeout)."""
+        deadline = time.time() + timeout
+        while time.time() < deadline:
+            try:
+                health = self.healthz()
+                if health.get("status") in ("ok", "draining"):
+                    return True
+            except ServiceError:
+                time.sleep(interval)
+        return False

@@ -1,0 +1,262 @@
+"""Disk-backed artifact cache tier: warm state that survives restarts.
+
+The in-memory :class:`~repro.pipeline.cache.ArtifactCache` dies with the
+process; every server restart used to start cold.  This module adds a
+persistent tier underneath it: one JSON file per cache entry under a root
+directory, content-addressed by ``(source digest, options digest)``.
+
+Design rules (mirroring ``docs/TRUSTED_BASE.md``):
+
+* **Only untrusted artifacts are stored** — the pretty-printed Boogie
+  program and the rendered certificate text, both plain text.  Kernel
+  verdicts are *never* written to disk: the trusted path (certificate
+  re-parse + independent kernel check) runs fresh on every request, so a
+  poisoned cache entry can cause a spurious rejection but never a false
+  acceptance.
+* **Atomic writes** — entries are written to a temporary file in the same
+  directory and ``os.replace``-d into place, so concurrent workers and
+  crashed writers can never expose a half-written entry.
+* **Corruption tolerance** — any entry that fails to load (bad JSON,
+  missing fields, digest mismatch, wrong format version) is quarantined
+  into ``<root>/quarantine/`` and reported as a miss; the service then
+  recomputes and overwrites it.
+* **LRU size bound** — total payload bytes are capped; loads refresh the
+  entry mtime and eviction removes the stalest entries first.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import threading
+import time
+import uuid
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only import cycle guard
+    from ..frontend import TranslationOptions
+
+#: On-disk entry format version; bump on incompatible layout changes.
+FORMAT_VERSION = 1
+
+#: The disk key: (source digest, options digest) — both hex strings, so
+#: the key doubles as a stable filename.
+DiskKey = Tuple[str, str]
+
+
+def options_digest(options: Optional["TranslationOptions"]) -> str:
+    """A stable hex digest of a :class:`TranslationOptions` value.
+
+    The options dataclass is serialised to canonical JSON (sorted keys)
+    before hashing, so the digest survives process restarts and field
+    reordering — unlike Python's randomised ``hash()``.
+    """
+    if options is None:
+        from ..pipeline.cache import _default_options
+
+        options = _default_options()
+    payload = json.dumps(dataclasses.asdict(options), sort_keys=True)
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def _artifacts_digest(artifacts: Dict[str, str]) -> str:
+    payload = json.dumps(artifacts, sort_keys=True)
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+@dataclass
+class DiskCacheStats:
+    """Counters for one :class:`DiskCache` instance (not persisted)."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    evictions: int = 0
+    quarantined: int = 0
+
+    def to_dict(self) -> Dict[str, int]:
+        return dataclasses.asdict(self)
+
+
+@dataclass
+class DiskEntry:
+    """One loaded cache entry."""
+
+    key: DiskKey
+    artifacts: Dict[str, str]
+    created: float = field(default_factory=time.time)
+
+    @property
+    def boogie_text(self) -> Optional[str]:
+        return self.artifacts.get("boogie_text")
+
+    @property
+    def certificate_text(self) -> Optional[str]:
+        return self.artifacts.get("certificate_text")
+
+
+class DiskCache:
+    """Content-addressed, size-bounded, corruption-tolerant entry store.
+
+    Safe for concurrent use by multiple worker processes sharing one
+    root: writes are atomic renames, loads tolerate concurrent eviction,
+    and the LRU bound is enforced best-effort after each store.
+    """
+
+    def __init__(self, root: os.PathLike, max_bytes: int = 64 * 1024 * 1024):
+        if max_bytes < 1:
+            raise ValueError("max_bytes must be >= 1")
+        self.root = Path(root)
+        self.max_bytes = max_bytes
+        self.stats = DiskCacheStats()
+        self._lock = threading.Lock()
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.quarantine_dir.mkdir(parents=True, exist_ok=True)
+
+    # -- paths -------------------------------------------------------------
+
+    @property
+    def quarantine_dir(self) -> Path:
+        return self.root / "quarantine"
+
+    def path_for(self, key: DiskKey) -> Path:
+        source_digest, opts_digest = key
+        # Shortened digests keep filenames readable; 32+16 hex chars is
+        # far beyond accidental-collision range for a local cache.
+        return self.root / f"{source_digest[:32]}-{opts_digest[:16]}.json"
+
+    # -- store / load ------------------------------------------------------
+
+    def store(self, key: DiskKey, artifacts: Dict[str, str]) -> Path:
+        """Atomically persist one entry (write temp file, then rename)."""
+        if not artifacts:
+            raise ValueError("refusing to store an empty artifact set")
+        envelope = {
+            "format": FORMAT_VERSION,
+            "source_digest": key[0],
+            "options_digest": key[1],
+            "created": time.time(),
+            "artifacts": dict(artifacts),
+            "digest": _artifacts_digest(artifacts),
+        }
+        path = self.path_for(key)
+        tmp = path.with_name(f".tmp-{uuid.uuid4().hex}")
+        tmp.write_text(json.dumps(envelope, sort_keys=True), encoding="utf-8")
+        os.replace(tmp, path)
+        with self._lock:
+            self.stats.stores += 1
+        self._evict_to_bound()
+        return path
+
+    def load(self, key: DiskKey) -> Optional[DiskEntry]:
+        """Load one entry; quarantines and misses on any corruption."""
+        path = self.path_for(key)
+        try:
+            raw = path.read_text(encoding="utf-8")
+        except (FileNotFoundError, OSError):
+            with self._lock:
+                self.stats.misses += 1
+            return None
+        try:
+            envelope = json.loads(raw)
+            if envelope["format"] != FORMAT_VERSION:
+                raise ValueError(f"unsupported format {envelope['format']!r}")
+            if (envelope["source_digest"], envelope["options_digest"]) != tuple(key):
+                raise ValueError("entry key does not match its filename")
+            artifacts = envelope["artifacts"]
+            if not isinstance(artifacts, dict) or not all(
+                isinstance(k, str) and isinstance(v, str) for k, v in artifacts.items()
+            ):
+                raise ValueError("artifacts must be a str→str mapping")
+            if envelope["digest"] != _artifacts_digest(artifacts):
+                raise ValueError("artifact digest mismatch (bitrot or truncation)")
+        except (ValueError, KeyError, TypeError) as error:
+            self.quarantine(key, reason=str(error))
+            with self._lock:
+                self.stats.misses += 1
+            return None
+        self._touch(path)
+        with self._lock:
+            self.stats.hits += 1
+        return DiskEntry(
+            key=key, artifacts=artifacts, created=float(envelope.get("created", 0.0))
+        )
+
+    def quarantine(self, key: DiskKey, reason: str = "") -> Optional[Path]:
+        """Move a bad entry aside (kept for post-mortems, never reloaded)."""
+        path = self.path_for(key)
+        target = self.quarantine_dir / f"{path.stem}-{uuid.uuid4().hex[:8]}.bad"
+        try:
+            os.replace(path, target)
+        except (FileNotFoundError, OSError):
+            return None
+        if reason:
+            try:
+                (target.with_suffix(".reason")).write_text(reason + "\n", encoding="utf-8")
+            except OSError:  # pragma: no cover - advisory only
+                pass
+        with self._lock:
+            self.stats.quarantined += 1
+        return target
+
+    # -- bookkeeping -------------------------------------------------------
+
+    def _touch(self, path: Path) -> None:
+        """Refresh an entry's recency (mtime drives LRU eviction)."""
+        try:
+            os.utime(path)
+        except OSError:  # pragma: no cover - entry evicted concurrently
+            pass
+
+    def _entry_paths(self) -> List[Path]:
+        return [p for p in self.root.glob("*.json") if p.is_file()]
+
+    def __len__(self) -> int:
+        return len(self._entry_paths())
+
+    def total_bytes(self) -> int:
+        total = 0
+        for path in self._entry_paths():
+            try:
+                total += path.stat().st_size
+            except OSError:  # pragma: no cover - concurrent eviction
+                pass
+        return total
+
+    def _evict_to_bound(self) -> None:
+        """Remove least-recently-used entries until under ``max_bytes``."""
+        entries = []
+        for path in self._entry_paths():
+            try:
+                stat = path.stat()
+            except OSError:  # pragma: no cover
+                continue
+            entries.append((stat.st_mtime, stat.st_size, path))
+        total = sum(size for _, size, _ in entries)
+        if total <= self.max_bytes:
+            return
+        entries.sort()  # oldest mtime first
+        for _, size, path in entries:
+            if total <= self.max_bytes:
+                break
+            try:
+                path.unlink()
+            except OSError:  # pragma: no cover - already gone
+                continue
+            total -= size
+            with self._lock:
+                self.stats.evictions += 1
+
+    def clear(self) -> None:
+        """Drop all live entries (quarantine is kept)."""
+        for path in self._entry_paths():
+            try:
+                path.unlink()
+            except OSError:  # pragma: no cover
+                pass
+        with self._lock:
+            self.stats = DiskCacheStats()

@@ -1,0 +1,217 @@
+"""Service metrics: Prometheus text-format counters, gauges, histograms.
+
+``GET /metrics`` renders this registry in the Prometheus exposition
+format (text/plain; version=0.0.4) using only the stdlib.  Three kinds of
+series are exposed:
+
+* **counters** — request totals by endpoint/status, cache hits by tier,
+  pool recycles, admission rejections;
+* **gauges** — sampled at render time through registered callables:
+  queue depth, in-flight requests, cache hit rate, pool workers, uptime;
+* **histograms** — request latency per endpoint and *per-stage* pipeline
+  latency (``repro_stage_seconds``), fed from the per-request
+  :class:`~repro.pipeline.instrumentation.PipelineInstrumentation`
+  records that workers ship back with each response.
+
+Thread-safe: the event loop and the loadgen-facing render path touch the
+registry from one thread, but worker completions may be recorded from
+executor callback threads.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Tuple
+
+#: Default latency buckets (seconds) — spans sub-millisecond parse times
+#: through multi-second MPP checks.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+LabelItems = Tuple[Tuple[str, str], ...]
+
+
+def _labels(labels: Optional[Mapping[str, str]]) -> LabelItems:
+    return tuple(sorted((labels or {}).items()))
+
+
+def _render_labels(items: LabelItems, extra: Optional[Mapping[str, str]] = None) -> str:
+    merged = dict(items)
+    if extra:
+        merged.update(extra)
+    if not merged:
+        return ""
+    body = ",".join(f'{k}="{v}"' for k, v in sorted(merged.items()))
+    return "{" + body + "}"
+
+
+def _format_value(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+class Histogram:
+    """A fixed-bucket latency histogram (cumulative, Prometheus-style)."""
+
+    def __init__(self, buckets: Iterable[float] = DEFAULT_BUCKETS):
+        self.buckets: Tuple[float, ...] = tuple(sorted(buckets))
+        if not self.buckets:
+            raise ValueError("histogram needs at least one bucket")
+        self.counts: List[int] = [0] * len(self.buckets)
+        self.count = 0
+        self.sum = 0.0
+
+    def observe(self, value: float) -> None:
+        index = bisect_left(self.buckets, value)
+        if index < len(self.counts):
+            self.counts[index] += 1
+        self.count += 1
+        self.sum += value
+
+    def cumulative(self) -> List[Tuple[float, int]]:
+        """``(upper_bound, cumulative_count)`` pairs, ending with +Inf."""
+        out: List[Tuple[float, int]] = []
+        running = 0
+        for bound, count in zip(self.buckets, self.counts):
+            running += count
+            out.append((bound, running))
+        out.append((float("inf"), self.count))
+        return out
+
+
+class ServiceMetrics:
+    """The service-wide metric registry."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[Tuple[str, LabelItems], float] = {}
+        self._histograms: Dict[Tuple[str, LabelItems], Histogram] = {}
+        self._gauges: Dict[str, Tuple[str, Callable[[], float]]] = {}
+        self._help: Dict[str, str] = {}
+
+    # -- recording ---------------------------------------------------------
+
+    def inc(
+        self,
+        name: str,
+        amount: float = 1.0,
+        labels: Optional[Mapping[str, str]] = None,
+        help: str = "",
+    ) -> None:
+        key = (name, _labels(labels))
+        with self._lock:
+            if help:
+                self._help.setdefault(name, help)
+            self._counters[key] = self._counters.get(key, 0.0) + amount
+
+    def observe(
+        self,
+        name: str,
+        value: float,
+        labels: Optional[Mapping[str, str]] = None,
+        help: str = "",
+        buckets: Iterable[float] = DEFAULT_BUCKETS,
+    ) -> None:
+        key = (name, _labels(labels))
+        with self._lock:
+            if help:
+                self._help.setdefault(name, help)
+            histogram = self._histograms.get(key)
+            if histogram is None:
+                histogram = self._histograms[key] = Histogram(buckets)
+            histogram.observe(value)
+
+    def register_gauge(
+        self, name: str, sample: Callable[[], float], help: str = ""
+    ) -> None:
+        """Register a callable sampled at render time."""
+        with self._lock:
+            self._gauges[name] = (help, sample)
+
+    # -- worker-result ingestion ------------------------------------------
+
+    def record_stage_seconds(self, stage_seconds: Mapping[str, float]) -> None:
+        """Feed per-stage latencies from one pipeline run's records."""
+        for stage, seconds in stage_seconds.items():
+            self.observe(
+                "repro_stage_seconds",
+                float(seconds),
+                labels={"stage": stage},
+                help="Pipeline stage latency in seconds.",
+            )
+
+    def record_worker_counters(self, counters: Mapping[str, float]) -> None:
+        """Roll PipelineInstrumentation counters into service counters."""
+        for counter, value in counters.items():
+            self.inc(
+                "repro_pipeline_counter_total",
+                float(value),
+                labels={"counter": counter},
+                help="Aggregated PipelineInstrumentation counters.",
+            )
+
+    # -- queries -----------------------------------------------------------
+
+    def counter_value(
+        self, name: str, labels: Optional[Mapping[str, str]] = None
+    ) -> float:
+        with self._lock:
+            return self._counters.get((name, _labels(labels)), 0.0)
+
+    def counter_total(self, name: str) -> float:
+        """Sum of a counter across all label sets."""
+        with self._lock:
+            return sum(v for (n, _), v in self._counters.items() if n == name)
+
+    # -- rendering ---------------------------------------------------------
+
+    def render(self) -> str:
+        """The Prometheus text exposition of the whole registry."""
+        lines: List[str] = []
+        with self._lock:
+            counters = dict(self._counters)
+            histograms = {k: (v.cumulative(), v.sum, v.count)
+                          for k, v in self._histograms.items()}
+            gauges = dict(self._gauges)
+            helps = dict(self._help)
+
+        counter_names = sorted({name for name, _ in counters})
+        for name in counter_names:
+            if helps.get(name):
+                lines.append(f"# HELP {name} {helps[name]}")
+            lines.append(f"# TYPE {name} counter")
+            for (cname, labels), value in sorted(counters.items()):
+                if cname == name:
+                    lines.append(f"{name}{_render_labels(labels)} {_format_value(value)}")
+
+        for name, (help_text, sample) in sorted(gauges.items()):
+            if help_text:
+                lines.append(f"# HELP {name} {help_text}")
+            lines.append(f"# TYPE {name} gauge")
+            try:
+                value = float(sample())
+            except Exception:  # pragma: no cover - defensive: never 500 /metrics
+                value = float("nan")
+            lines.append(f"{name} {value}")
+
+        histogram_names = sorted({name for name, _ in histograms})
+        for name in histogram_names:
+            if helps.get(name):
+                lines.append(f"# HELP {name} {helps[name]}")
+            lines.append(f"# TYPE {name} histogram")
+            for (hname, labels), (cumulative, total, count) in sorted(histograms.items()):
+                if hname != name:
+                    continue
+                for bound, running in cumulative:
+                    le = {"le": _format_value(bound)}
+                    lines.append(
+                        f"{name}_bucket{_render_labels(labels, le)} {running}"
+                    )
+                lines.append(f"{name}_sum{_render_labels(labels)} {repr(total)}")
+                lines.append(f"{name}_count{_render_labels(labels)} {count}")
+        return "\n".join(lines) + "\n"

@@ -1,0 +1,340 @@
+"""The service worker: one certification job, two cache tiers, fresh kernel.
+
+This module is the process-pool target, following the
+:mod:`repro.pipeline.executor` worker discipline: everything the pool
+calls is a **module-level, picklable callable**, and per-process state
+(the in-memory :class:`~repro.pipeline.cache.ArtifactCache` and the
+shared :class:`~repro.service.diskcache.DiskCache`) lives in module
+globals initialised by :func:`configure` — the pool passes it as the
+``ProcessPoolExecutor`` initializer, and the serial/thread fallbacks call
+it in-process.
+
+Per request, :func:`handle_job` resolves artifacts through the tiers:
+
+1. **memory** — the worker's own ``ArtifactCache`` serves the live
+   ``TranslationResult`` and the rendered certificate text; the pipeline
+   skips translate/generate/render natively.
+2. **disk** — on a memory miss, a persisted ``(boogie text, certificate
+   text)`` pair is loaded; the Boogie text is re-parsed, a
+   ``TranslationResult`` is reconstructed exactly like ``repro check``
+   does for the independent-check CLI, and the entry is promoted into the
+   memory tier.
+3. **miss** — the full untrusted pipeline runs and its artifacts are
+   written through to both tiers.
+
+**In every case the trusted path runs fresh**: the certificate text is
+re-parsed and the independent kernel re-derives the verdict per request.
+Cache state can therefore only cause spurious rejections (upon which the
+offending disk entry is quarantined), never a false acceptance — see
+``docs/SERVICE.md`` § Trust.
+"""
+
+from __future__ import annotations
+
+import traceback
+from typing import Any, Dict, Optional
+
+from ..boogie.parser import parse_boogie_program
+from ..certification import check_program_certificate, parse_program_certificate
+from ..frontend import TranslationOptions
+from ..frontend.background import build_background
+from ..frontend.translator import TranslationResult
+from ..pipeline import (
+    ArtifactCache,
+    PipelineError,
+    PipelineInstrumentation,
+    STAGE_NAMES,
+)
+from ..pipeline.stages import make_context, resume_pipeline
+from .admission import RequestLimits
+from .diskcache import DiskCache, options_digest
+
+# -- per-process state (set by configure) -----------------------------------
+
+_MEMORY_CACHE: Optional[ArtifactCache] = None
+_DISK_CACHE: Optional[DiskCache] = None
+_LIMITS: RequestLimits = RequestLimits()
+
+
+def configure(config: Dict[str, Any]) -> None:
+    """(Re)initialise the worker-process state.
+
+    Called once per worker process (pool initializer) and once in-process
+    for the serial/thread fallbacks.  A fresh ``ArtifactCache`` is created
+    every time, so a restarted server never sees stale in-memory state —
+    only the disk tier survives restarts.
+    """
+    global _MEMORY_CACHE, _DISK_CACHE, _LIMITS
+    _MEMORY_CACHE = ArtifactCache(maxsize=int(config.get("memory_cache_size", 256)))
+    cache_dir = config.get("cache_dir")
+    if cache_dir:
+        _DISK_CACHE = DiskCache(
+            cache_dir, max_bytes=int(config.get("cache_max_bytes", 64 * 1024 * 1024))
+        )
+    else:
+        _DISK_CACHE = None
+    _LIMITS = RequestLimits(
+        max_source_bytes=int(config.get("max_source_bytes", RequestLimits.max_source_bytes)),
+        max_body_bytes=int(config.get("max_body_bytes", RequestLimits.max_body_bytes)),
+        max_batch=int(config.get("max_batch", RequestLimits.max_batch)),
+        max_oracle_states=int(config.get("max_oracle_states", RequestLimits.max_oracle_states)),
+    )
+
+
+def _memory_cache() -> ArtifactCache:
+    global _MEMORY_CACHE
+    if _MEMORY_CACHE is None:  # direct library use without configure()
+        _MEMORY_CACHE = ArtifactCache(maxsize=256)
+    return _MEMORY_CACHE
+
+
+def options_from_dict(payload: Optional[Dict[str, Any]]) -> TranslationOptions:
+    """Build :class:`TranslationOptions` from a JSON request object."""
+    if not payload:
+        return TranslationOptions()
+    known = {f for f in TranslationOptions.__dataclass_fields__}
+    unknown = set(payload) - known
+    if unknown:
+        raise ValueError(
+            f"unknown translation options: {sorted(unknown)}; known: {sorted(known)}"
+        )
+    return TranslationOptions(**{k: bool(v) for k, v in payload.items()})
+
+
+# -- response assembly -------------------------------------------------------
+
+
+def _stage_seconds(inst: PipelineInstrumentation) -> Dict[str, float]:
+    return {
+        name: inst.stage_seconds(name)
+        for name in STAGE_NAMES
+        if inst.stage_ran(name)
+    }
+
+
+def _base_response(action: str, inst: PipelineInstrumentation, tier: str) -> Dict[str, Any]:
+    return {
+        "ok": False,
+        "action": action,
+        "cache": tier,
+        "status": 200,
+        "error": "",
+        "error_stage": None,
+        "stage_seconds": _stage_seconds(inst),
+        "counters": dict(inst.counters),
+        "artifacts": inst.artifact_sizes(),
+    }
+
+
+def _diagnostic_response(action: str, inst: PipelineInstrumentation, error: PipelineError) -> Dict[str, Any]:
+    response = _base_response(action, inst, "miss")
+    response.update(
+        status=422,
+        error=error.diagnostic.message,
+        error_stage=error.diagnostic.stage,
+        hint=error.diagnostic.hint,
+    )
+    return response
+
+
+def _run_oracle(translation: TranslationResult, max_states: int) -> Dict[str, Any]:
+    from ..certification.oracle import validate_program_semantically
+
+    verdicts = validate_program_semantically(
+        translation,
+        max_states_per_method=max_states,
+        max_viper_paths=400,
+        max_boogie_paths=2_000,
+    )
+    return {
+        "ok": all(v.ok for v in verdicts),
+        "methods": {v.method: {"ok": v.ok, "detail": v.detail} for v in verdicts},
+    }
+
+
+# -- the job handler ---------------------------------------------------------
+
+
+def handle_job(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Process one request payload; never raises (errors are structured)."""
+    try:
+        return _handle(payload)
+    except Exception as error:  # pragma: no cover - last-resort containment
+        return {
+            "ok": False,
+            "action": payload.get("action", "?"),
+            "cache": "miss",
+            "status": 500,
+            "error": f"internal error: {error}",
+            "error_stage": None,
+            "traceback": traceback.format_exc(limit=8),
+            "stage_seconds": {},
+            "counters": {},
+            "artifacts": {},
+        }
+
+
+def _handle(payload: Dict[str, Any]) -> Dict[str, Any]:
+    action = payload.get("action", "certify")
+    if action not in ("certify", "translate"):
+        return {
+            "ok": False, "action": action, "cache": "miss", "status": 400,
+            "error": f"unknown action {action!r}", "error_stage": None,
+            "stage_seconds": {}, "counters": {}, "artifacts": {},
+        }
+    source = payload.get("source")
+    if not isinstance(source, str) or not source.strip():
+        return {
+            "ok": False, "action": action, "cache": "miss", "status": 400,
+            "error": "request must carry a non-empty 'source' string",
+            "error_stage": None, "stage_seconds": {}, "counters": {},
+            "artifacts": {},
+        }
+    rejection = _LIMITS.check_source(source)
+    if rejection:
+        return {
+            "ok": False, "action": action, "cache": "miss", "status": 413,
+            "error": rejection, "error_stage": None, "stage_seconds": {},
+            "counters": {}, "artifacts": {},
+        }
+    try:
+        options = options_from_dict(payload.get("options"))
+    except (ValueError, TypeError) as error:
+        return {
+            "ok": False, "action": action, "cache": "miss", "status": 400,
+            "error": str(error), "error_stage": None, "stage_seconds": {},
+            "counters": {}, "artifacts": {},
+        }
+
+    inst = PipelineInstrumentation()
+    memory = _memory_cache()
+    ctx = make_context(
+        source, options, instrumentation=inst, cache=memory, wrap_errors=True,
+        check_axioms=bool(payload.get("check_axioms", True)),
+    )
+    disk_key = (ctx.key[0], options_digest(options))
+
+    # The cheap trusted-input stages always run fresh.
+    try:
+        resume_pipeline(ctx, upto="typecheck")
+    except PipelineError as error:
+        return _diagnostic_response(action, inst, error)
+
+    in_memory = memory.get_translation(ctx.key) is not None
+    if action == "translate":
+        return _handle_translate(payload, ctx, inst, disk_key, in_memory)
+    return _handle_certify(payload, ctx, inst, disk_key, in_memory)
+
+
+def _handle_translate(payload, ctx, inst, disk_key, in_memory) -> Dict[str, Any]:
+    tier = "memory" if in_memory else "miss"
+    if not in_memory and _DISK_CACHE is not None:
+        entry = _DISK_CACHE.load(disk_key)
+        if entry is not None and entry.boogie_text:
+            inst.increment("cache.disk.hit")
+            inst.record_skip("translate", cached=True)
+            response = _base_response("translate", inst, "disk")
+            response.update(ok=True, boogie=entry.boogie_text)
+            return response
+        inst.increment("cache.disk.miss")
+    try:
+        resume_pipeline(ctx, upto="translate")
+    except PipelineError as error:
+        return _diagnostic_response("translate", inst, error)
+    response = _base_response("translate", inst, tier)
+    response.update(ok=True, boogie=ctx.boogie_text)
+    return response
+
+
+def _handle_certify(payload, ctx, inst, disk_key, in_memory) -> Dict[str, Any]:
+    tier = "memory" if in_memory else "miss"
+    report = None
+    translation = None
+    certificate_text = None
+
+    if not in_memory and _DISK_CACHE is not None:
+        entry = _DISK_CACHE.load(disk_key)
+        if entry is not None and entry.boogie_text and entry.certificate_text:
+            # Disk hit: skip the untrusted stages, but *re-derive* the
+            # trusted verdict — re-parse both artifacts and run the kernel.
+            tier = "disk"
+            inst.increment("cache.disk.hit")
+            for skipped in ("translate", "generate", "render"):
+                inst.record_skip(skipped, cached=True)
+            with inst.stage("reparse"):
+                boogie_program = parse_boogie_program(entry.boogie_text)
+                certificate = parse_program_certificate(entry.certificate_text)
+            translation = TranslationResult(
+                viper_program=ctx.program,
+                type_info=ctx.type_info,
+                background=build_background(ctx.type_info.field_types),
+                boogie_program=boogie_program,
+                methods={},
+                options=ctx.options,
+            )
+            with inst.stage("check"):
+                report = check_program_certificate(
+                    translation, certificate, check_axioms=ctx.check_axioms
+                )
+            certificate_text = entry.certificate_text
+            ctx.boogie_text = entry.boogie_text
+            if report.ok:
+                # Promote into the memory tier so the next request in this
+                # worker skips the Boogie re-parse as well.
+                ctx.cache.put_translation(ctx.key, translation)
+                ctx.cache.put_certificate_text(ctx.key, certificate_text)
+            else:
+                # A cached artifact the kernel refuses is corrupt or
+                # poisoned: quarantine it so the next request recomputes.
+                _DISK_CACHE.quarantine(disk_key, reason=f"kernel rejected: {report.error}")
+        else:
+            inst.increment("cache.disk.miss")
+
+    if report is None:
+        try:
+            resume_pipeline(ctx, upto="check")
+        except PipelineError as error:
+            return _diagnostic_response("certify", inst, error)
+        report = ctx.report
+        translation = ctx.translation
+        certificate_text = ctx.certificate_text
+        if (
+            tier == "miss"
+            and report.ok
+            and _DISK_CACHE is not None
+            and ctx.boogie_text
+            and certificate_text
+        ):
+            _DISK_CACHE.store(
+                disk_key,
+                {"boogie_text": ctx.boogie_text, "certificate_text": certificate_text},
+            )
+
+    response = _base_response("certify", inst, tier)
+    response["check_seconds"] = report.check_seconds
+    if not report.ok:
+        response.update(ok=False, rejected=True, error=report.error)
+        return response
+
+    response.update(
+        ok=True,
+        statement=report.statement(),
+        methods={
+            name: {
+                "rules_checked": method_report.rules_checked,
+                "dependencies": list(method_report.dependencies),
+            }
+            for name, method_report in report.method_reports.items()
+        },
+    )
+    if payload.get("include_certificate"):
+        response["certificate"] = certificate_text
+    if payload.get("include_boogie"):
+        response["boogie"] = ctx.boogie_text
+    oracle_states = _LIMITS.clamp_oracle_states(payload.get("oracle_states"))
+    if oracle_states and translation is not None:
+        response["oracle"] = _run_oracle(translation, oracle_states)
+        if not response["oracle"]["ok"]:
+            response["ok"] = False
+            response["error"] = "semantic oracle disagreement"
+    return response

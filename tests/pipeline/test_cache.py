@@ -36,6 +36,26 @@ class TestKeying:
     def test_digest_is_newline_normalised(self):
         assert source_digest("a\nb") == source_digest("a\r\nb")
 
+    def test_crlf_and_trailing_newline_sources_alias(self):
+        """CRLF/LF and trailing-newline variants map to the same key…"""
+        assert cache_key("m()", None) == cache_key("m()\n", None)
+        assert cache_key("m()\r\n", None) == cache_key("m()\n", None)
+        assert cache_key(PROGRAM.replace("\n", "\r\n"), None) == cache_key(PROGRAM, None)
+
+    def test_aliased_sources_with_different_options_never_collide(self):
+        """…while differing options never alias, even for aliased sources."""
+        for variant in ("m()", "m()\n", "m()\r\n"):
+            assert cache_key(variant, TranslationOptions()) != cache_key(
+                variant, TranslationOptions(wd_checks_at_calls=True)
+            )
+            assert cache_key(variant, TranslationOptions()) != cache_key(
+                variant, TranslationOptions(literal_perm_fastpath=False)
+            )
+
+    def test_default_options_instance_is_hoisted(self):
+        """`cache_key(source, None)` must not allocate fresh options per call."""
+        assert cache_key(PROGRAM, None)[1] is cache_key(OTHER, None)[1]
+
     def test_digest_is_content_addressed(self):
         assert source_digest(PROGRAM) != source_digest(OTHER)
         assert source_digest(PROGRAM) == source_digest(PROGRAM)

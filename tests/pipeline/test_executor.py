@@ -29,12 +29,53 @@ class TestResolveJobs:
         assert resolve_jobs(None) == 1
         assert resolve_jobs(1) == 1
 
-    def test_zero_and_negative_are_auto(self):
+    def test_zero_is_auto(self):
         assert resolve_jobs(0) == default_jobs()
-        assert resolve_jobs(-4) == default_jobs()
+
+    def test_negative_jobs_rejected_with_clear_error(self):
+        with pytest.raises(ValueError, match="jobs must be >= 0"):
+            resolve_jobs(-4)
+        with pytest.raises(ValueError, match="got -1"):
+            resolve_jobs(-1)
 
     def test_explicit_count_passes_through(self):
         assert resolve_jobs(7) == 7
+
+
+class TestBenchJobsEnv:
+    """``REPRO_BENCH_JOBS`` handling in benchmarks/common.py."""
+
+    @pytest.fixture()
+    def bench_jobs(self):
+        import importlib.util
+        import pathlib
+
+        path = pathlib.Path(__file__).resolve().parents[2] / "benchmarks" / "common.py"
+        spec = importlib.util.spec_from_file_location("bench_common_under_test", path)
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        return module.bench_jobs
+
+    def test_unset_means_serial(self, bench_jobs, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_JOBS", raising=False)
+        assert bench_jobs() == 1
+
+    def test_zero_means_auto_consistently(self, bench_jobs, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_JOBS", "0")
+        # 0 is passed through so the executor resolves it to one-per-CPU,
+        # exactly like `repro --jobs 0`.
+        assert bench_jobs() == 0
+        assert resolve_jobs(bench_jobs()) == default_jobs()
+
+    def test_explicit_count(self, bench_jobs, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_JOBS", "3")
+        assert bench_jobs() == 3
+
+    def test_negative_and_garbage_fall_back_to_serial(self, bench_jobs, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_JOBS", "-2")
+        assert bench_jobs() == 1
+        monkeypatch.setenv("REPRO_BENCH_JOBS", "many")
+        assert bench_jobs() == 1
 
 
 class TestParallelMap:

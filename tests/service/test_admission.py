@@ -1,0 +1,120 @@
+"""Admission-control tests: limits, backpressure accounting, drain."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.service.admission import AdmissionController, RequestLimits
+
+
+class TestRequestLimits:
+    def test_small_source_is_accepted(self):
+        assert RequestLimits().check_source("method m() {}") is None
+
+    def test_oversized_source_is_rejected_with_sizes(self):
+        limits = RequestLimits(max_source_bytes=16)
+        message = limits.check_source("x" * 17)
+        assert message is not None
+        assert "17" in message and "16" in message
+
+    def test_source_size_is_measured_in_utf8_bytes(self):
+        limits = RequestLimits(max_source_bytes=4)
+        assert limits.check_source("éé") is None  # 4 bytes
+        assert limits.check_source("ééé") is not None  # 6 bytes
+
+    def test_batch_width_limits(self):
+        limits = RequestLimits(max_batch=2)
+        assert limits.check_batch(1) is None
+        assert limits.check_batch(2) is None
+        assert limits.check_batch(3) is not None
+        assert limits.check_batch(0) is not None
+
+    def test_oracle_states_are_clamped(self):
+        limits = RequestLimits(max_oracle_states=8)
+        assert limits.clamp_oracle_states(None) == 0
+        assert limits.clamp_oracle_states(0) == 0
+        assert limits.clamp_oracle_states(-3) == 0
+        assert limits.clamp_oracle_states(5) == 5
+        assert limits.clamp_oracle_states(500) == 8
+
+
+class TestAdmission:
+    def test_admits_until_the_bound_then_refuses(self):
+        controller = AdmissionController(max_pending=2)
+        assert controller.try_admit()
+        assert controller.try_admit()
+        assert not controller.try_admit()
+        controller.release()
+        assert controller.try_admit()
+
+    def test_weighted_admission_covers_batches(self):
+        controller = AdmissionController(max_pending=4)
+        assert controller.try_admit(weight=3)
+        assert not controller.try_admit(weight=2)
+        assert controller.try_admit(weight=1)
+        controller.release(weight=4)
+        assert controller.pending == 0
+
+    def test_queue_depth_is_pending_minus_in_flight(self):
+        controller = AdmissionController(max_pending=8)
+        controller.try_admit(weight=3)
+        controller.enter_flight()
+        assert controller.pending == 3
+        assert controller.in_flight == 1
+        assert controller.queue_depth == 2
+        controller.exit_flight()
+        assert controller.queue_depth == 3
+
+    def test_release_never_goes_negative(self):
+        controller = AdmissionController(max_pending=2)
+        controller.release()
+        assert controller.pending == 0
+        controller.exit_flight()
+        assert controller.in_flight == 0
+
+    def test_rejects_nonpositive_bound(self):
+        with pytest.raises(ValueError):
+            AdmissionController(max_pending=0)
+
+
+class TestDrain:
+    def test_draining_refuses_all_newcomers(self):
+        controller = AdmissionController(max_pending=8)
+        controller.begin_drain()
+        assert controller.draining
+        assert not controller.try_admit()
+
+    def test_wait_idle_returns_once_work_finishes(self):
+        async def scenario() -> bool:
+            controller = AdmissionController(max_pending=8)
+            controller.try_admit()
+            controller.begin_drain()
+
+            async def finish() -> None:
+                await asyncio.sleep(0.01)
+                controller.release()
+
+            task = asyncio.ensure_future(finish())
+            done = await controller.wait_idle(timeout=5.0)
+            await task
+            return done
+
+        assert asyncio.run(scenario())
+
+    def test_wait_idle_times_out_when_work_is_stuck(self):
+        async def scenario() -> bool:
+            controller = AdmissionController(max_pending=8)
+            controller.try_admit()
+            return await controller.wait_idle(timeout=0.01)
+
+        assert not asyncio.run(scenario())
+
+    def test_idle_drain_is_immediately_idle(self):
+        async def scenario() -> bool:
+            controller = AdmissionController(max_pending=8)
+            controller.begin_drain()
+            return await controller.wait_idle(timeout=0.5)
+
+        assert asyncio.run(scenario())

@@ -1,0 +1,153 @@
+"""Disk-cache tier tests: round-trips, corruption, LRU, option digests."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.frontend import TranslationOptions
+from repro.service.diskcache import (
+    DiskCache,
+    FORMAT_VERSION,
+    options_digest,
+)
+
+KEY = ("a" * 64, "b" * 64)
+OTHER = ("c" * 64, "d" * 64)
+ARTIFACTS = {"boogie_text": "procedure p() {}", "certificate_text": "(cert)"}
+
+
+class TestRoundTrip:
+    def test_store_then_load_returns_artifacts(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        cache.store(KEY, ARTIFACTS)
+        entry = cache.load(KEY)
+        assert entry is not None
+        assert entry.artifacts == ARTIFACTS
+        assert entry.boogie_text == ARTIFACTS["boogie_text"]
+        assert entry.certificate_text == ARTIFACTS["certificate_text"]
+        assert cache.stats.hits == 1
+        assert cache.stats.stores == 1
+
+    def test_entries_survive_a_simulated_restart(self, tmp_path):
+        """A new DiskCache over the same root sees the old entries."""
+        DiskCache(tmp_path).store(KEY, ARTIFACTS)
+        reopened = DiskCache(tmp_path)
+        entry = reopened.load(KEY)
+        assert entry is not None
+        assert entry.artifacts == ARTIFACTS
+        assert reopened.stats.hits == 1
+
+    def test_missing_entry_is_a_counted_miss(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        assert cache.load(KEY) is None
+        assert cache.stats.misses == 1
+
+    def test_store_refuses_empty_artifacts(self, tmp_path):
+        with pytest.raises(ValueError):
+            DiskCache(tmp_path).store(KEY, {})
+
+    def test_len_and_clear(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        cache.store(KEY, ARTIFACTS)
+        cache.store(OTHER, ARTIFACTS)
+        assert len(cache) == 2
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.load(KEY) is None
+
+
+class TestCorruption:
+    def test_truncated_json_is_quarantined_and_missed(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        path = cache.store(KEY, ARTIFACTS)
+        path.write_text(path.read_text()[: len(path.read_text()) // 2])
+        assert cache.load(KEY) is None
+        assert cache.stats.quarantined == 1
+        # The bad entry has been moved aside, not deleted.
+        assert not path.exists()
+        assert list(cache.quarantine_dir.glob("*.bad"))
+
+    def test_bitflipped_artifact_fails_the_digest_check(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        path = cache.store(KEY, ARTIFACTS)
+        envelope = json.loads(path.read_text())
+        envelope["artifacts"]["certificate_text"] = "(tampered)"
+        path.write_text(json.dumps(envelope))
+        assert cache.load(KEY) is None
+        assert cache.stats.quarantined == 1
+        reasons = list(cache.quarantine_dir.glob("*.reason"))
+        assert reasons and "digest mismatch" in reasons[0].read_text()
+
+    def test_wrong_format_version_is_quarantined(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        path = cache.store(KEY, ARTIFACTS)
+        envelope = json.loads(path.read_text())
+        envelope["format"] = FORMAT_VERSION + 1
+        path.write_text(json.dumps(envelope))
+        assert cache.load(KEY) is None
+        assert cache.stats.quarantined == 1
+
+    def test_entry_under_the_wrong_filename_is_rejected(self, tmp_path):
+        """A valid envelope copied onto another key's path must not load."""
+        cache = DiskCache(tmp_path)
+        path = cache.store(KEY, ARTIFACTS)
+        os.replace(path, cache.path_for(OTHER))
+        assert cache.load(OTHER) is None
+        assert cache.stats.quarantined == 1
+
+    def test_quarantine_recovers_after_recompute(self, tmp_path):
+        cache = DiskCache(tmp_path)
+        path = cache.store(KEY, ARTIFACTS)
+        path.write_text("not json at all")
+        assert cache.load(KEY) is None
+        cache.store(KEY, ARTIFACTS)  # the service recomputes + overwrites
+        entry = cache.load(KEY)
+        assert entry is not None and entry.artifacts == ARTIFACTS
+
+
+class TestEviction:
+    def _key(self, i: int):
+        # Vary the *leading* hex chars: path_for truncates digests, so a
+        # suffix-only difference would alias every key to one filename.
+        return ((f"{i:x}" * 64)[:64], "0" * 64)
+
+    def test_lru_eviction_keeps_total_under_the_bound(self, tmp_path):
+        cache = DiskCache(tmp_path, max_bytes=2_000)
+        for i in range(8):
+            cache.store(self._key(i), {"boogie_text": "x" * 300})
+        assert cache.total_bytes() <= 2_000
+        assert len(cache) < 8
+        assert cache.stats.evictions > 0
+
+    def test_recently_loaded_entries_are_kept(self, tmp_path):
+        cache = DiskCache(tmp_path, max_bytes=3_000)
+        for i in range(4):
+            path = cache.store(self._key(i), {"boogie_text": "x" * 300})
+            # Make mtimes strictly increasing without sleeping.
+            os.utime(path, (1_000_000 + i, 1_000_000 + i))
+        # Touch entry 0 so it becomes the most recent.
+        entry_zero = cache.path_for(self._key(0))
+        os.utime(entry_zero, (2_000_000, 2_000_000))
+        cache.max_bytes = 1  # force eviction down to (almost) nothing
+        cache._evict_to_bound()
+        survivors = cache._entry_paths()
+        # Entry 0 is evicted last: if anything survives it is entry 0.
+        assert all(p == entry_zero for p in survivors)
+
+    def test_rejects_nonpositive_bound(self, tmp_path):
+        with pytest.raises(ValueError):
+            DiskCache(tmp_path, max_bytes=0)
+
+
+class TestOptionsDigest:
+    def test_default_options_digest_is_stable(self):
+        assert options_digest(None) == options_digest(TranslationOptions())
+
+    def test_differing_options_get_distinct_digests(self):
+        defaults = TranslationOptions()
+        field = next(iter(TranslationOptions.__dataclass_fields__))
+        flipped = TranslationOptions(**{field: not getattr(defaults, field)})
+        assert options_digest(defaults) != options_digest(flipped)

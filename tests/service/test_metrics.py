@@ -1,0 +1,97 @@
+"""Metrics registry tests: histograms, counters, gauges, Prometheus text."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service.metrics import DEFAULT_BUCKETS, Histogram, ServiceMetrics
+
+
+class TestHistogram:
+    def test_observations_land_in_the_right_buckets(self):
+        histogram = Histogram(buckets=(0.01, 0.1, 1.0))
+        histogram.observe(0.005)   # <= 0.01
+        histogram.observe(0.05)    # <= 0.1
+        histogram.observe(0.5)     # <= 1.0
+        histogram.observe(7.0)     # overflow -> only +Inf
+        assert histogram.counts == [1, 1, 1]
+        assert histogram.count == 4
+        assert histogram.sum == pytest.approx(7.555)
+
+    def test_cumulative_ends_with_inf_and_total(self):
+        histogram = Histogram(buckets=(0.01, 0.1))
+        histogram.observe(0.005)
+        histogram.observe(0.05)
+        histogram.observe(99.0)
+        cumulative = histogram.cumulative()
+        assert cumulative[-1] == (float("inf"), 3)
+        assert [c for _, c in cumulative] == [1, 2, 3]
+
+    def test_boundary_value_counts_in_its_bucket(self):
+        """Prometheus buckets are `le` (inclusive upper bounds)."""
+        histogram = Histogram(buckets=(0.01, 0.1))
+        histogram.observe(0.01)
+        assert histogram.counts == [1, 0]
+
+    def test_default_buckets_are_sorted_and_nonempty(self):
+        assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)
+        with pytest.raises(ValueError):
+            Histogram(buckets=())
+
+
+class TestServiceMetrics:
+    def test_counters_accumulate_per_label_set(self):
+        metrics = ServiceMetrics()
+        metrics.inc("repro_requests_total", labels={"endpoint": "/v1/certify"})
+        metrics.inc("repro_requests_total", labels={"endpoint": "/v1/certify"})
+        metrics.inc("repro_requests_total", labels={"endpoint": "/healthz"})
+        assert metrics.counter_value(
+            "repro_requests_total", {"endpoint": "/v1/certify"}
+        ) == 2
+        assert metrics.counter_total("repro_requests_total") == 3
+
+    def test_render_emits_prometheus_counter_lines(self):
+        metrics = ServiceMetrics()
+        metrics.inc("repro_requests_total", labels={"endpoint": "/v1/certify"},
+                    help="Requests by endpoint.")
+        text = metrics.render()
+        assert "# HELP repro_requests_total Requests by endpoint." in text
+        assert "# TYPE repro_requests_total counter" in text
+        assert 'repro_requests_total{endpoint="/v1/certify"} 1' in text
+
+    def test_render_emits_histogram_buckets_sum_count(self):
+        metrics = ServiceMetrics()
+        metrics.record_stage_seconds({"check": 0.012, "translate": 0.002})
+        text = metrics.render()
+        assert "# TYPE repro_stage_seconds histogram" in text
+        assert 'repro_stage_seconds_bucket{le="+Inf",stage="check"} 1' in text
+        assert 'repro_stage_seconds_sum{stage="check"}' in text
+        assert 'repro_stage_seconds_count{stage="translate"} 1' in text
+
+    def test_render_samples_gauges_at_render_time(self):
+        metrics = ServiceMetrics()
+        depth = {"value": 3.0}
+        metrics.register_gauge("repro_queue_depth", lambda: depth["value"],
+                               help="Backlog.")
+        assert "repro_queue_depth 3.0" in metrics.render()
+        depth["value"] = 7.0
+        assert "repro_queue_depth 7.0" in metrics.render()
+
+    def test_gauge_exceptions_never_break_render(self):
+        metrics = ServiceMetrics()
+
+        def broken() -> float:
+            raise RuntimeError("sampling failed")
+
+        metrics.register_gauge("repro_bad_gauge", broken)
+        assert "repro_bad_gauge nan" in metrics.render()
+
+    def test_worker_counters_roll_into_one_family(self):
+        metrics = ServiceMetrics()
+        metrics.record_worker_counters({"cache.hit": 2, "cache.miss": 1})
+        metrics.record_worker_counters({"cache.hit": 1})
+        assert metrics.counter_value(
+            "repro_pipeline_counter_total", {"counter": "cache.hit"}
+        ) == 3
+        text = metrics.render()
+        assert 'repro_pipeline_counter_total{counter="cache.miss"} 1' in text

@@ -1,0 +1,168 @@
+"""Worker-pool tests: thread mode, timeouts, recycling, async submit.
+
+Thread mode is forced throughout (``use_threads=True``) so the tests run
+in-process: single-core CI boxes get identical semantics, and
+monkeypatching ``handle_job`` works because the thread fallback resolves
+the target through the module attribute at submit time.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+
+import pytest
+
+from repro.service import worker as worker_module
+from repro.service.pool import PoolConfig, PoolTimeout, WorkerPool
+
+SOURCE = """
+field val: Int
+
+method get(self: Ref) returns (r: Int)
+  requires acc(self.val)
+  ensures acc(self.val) && r == self.val
+{
+  r := self.val
+}
+"""
+
+
+def thread_pool(**overrides) -> WorkerPool:
+    config = PoolConfig(jobs=1, use_threads=True, **overrides)
+    return WorkerPool(config)
+
+
+class TestLifecycle:
+    def test_starts_lazily_and_reports_thread_mode(self):
+        pool = thread_pool()
+        assert pool.mode == "down"
+        try:
+            result = pool.submit_sync({"action": "certify", "source": SOURCE})
+            assert result["ok"]
+            assert pool.mode == "thread"
+        finally:
+            pool.shutdown()
+        assert pool.mode == "down"
+
+    def test_submit_sync_counts_submissions_and_completions(self):
+        pool = thread_pool()
+        try:
+            pool.submit_sync({"action": "certify", "source": SOURCE})
+            pool.submit_sync({"action": "certify", "source": SOURCE})
+        finally:
+            pool.shutdown()
+        assert pool.stats.submitted == 2
+        assert pool.stats.completed == 2
+
+    def test_jobs_resolution_rejects_negative(self):
+        with pytest.raises(ValueError):
+            WorkerPool(PoolConfig(jobs=-1, use_threads=True))
+
+
+class TestAsyncSubmit:
+    def test_submit_returns_the_worker_response(self):
+        pool = thread_pool()
+
+        async def scenario():
+            return await pool.submit({"action": "certify", "source": SOURCE})
+
+        try:
+            result = asyncio.run(scenario())
+        finally:
+            pool.shutdown()
+        assert result["ok"] and result["action"] == "certify"
+
+    def test_failures_are_counted_from_the_ok_flag(self):
+        pool = thread_pool()
+
+        async def scenario():
+            return await pool.submit({"action": "certify", "source": "method oops("})
+
+        try:
+            result = asyncio.run(scenario())
+        finally:
+            pool.shutdown()
+        assert not result["ok"]
+        assert pool.stats.failures == 1
+
+    def test_deadline_expiry_raises_pool_timeout(self, monkeypatch):
+        def slow_job(payload):
+            time.sleep(0.5)
+            return {"ok": True}
+
+        monkeypatch.setattr(worker_module, "handle_job", slow_job)
+        pool = thread_pool(request_timeout=0.05)
+
+        async def scenario():
+            await pool.submit({"action": "certify", "source": SOURCE})
+
+        try:
+            with pytest.raises(PoolTimeout):
+                asyncio.run(scenario())
+        finally:
+            pool.shutdown()
+        assert pool.stats.timeouts == 1
+
+    def test_per_call_timeout_overrides_the_config(self, monkeypatch):
+        def slow_job(payload):
+            time.sleep(0.3)
+            return {"ok": True}
+
+        monkeypatch.setattr(worker_module, "handle_job", slow_job)
+        pool = thread_pool(request_timeout=0.01)
+
+        async def scenario():
+            return await pool.submit({"source": SOURCE}, timeout=5.0)
+
+        try:
+            result = asyncio.run(scenario())
+        finally:
+            pool.shutdown()
+        assert result["ok"]
+
+    def test_cancellation_is_propagated_and_counted(self, monkeypatch):
+        def slow_job(payload):
+            time.sleep(0.3)
+            return {"ok": True}
+
+        monkeypatch.setattr(worker_module, "handle_job", slow_job)
+        pool = thread_pool()
+
+        async def scenario():
+            task = asyncio.ensure_future(pool.submit({"source": SOURCE}))
+            await asyncio.sleep(0.01)
+            task.cancel()
+            with pytest.raises(asyncio.CancelledError):
+                await task
+
+        try:
+            asyncio.run(scenario())
+        finally:
+            pool.shutdown()
+        assert pool.stats.cancelled == 1
+
+
+class TestRecycling:
+    def test_executor_is_replaced_after_the_recycle_limit(self, monkeypatch):
+        monkeypatch.setattr(worker_module, "handle_job", lambda payload: {"ok": True})
+        pool = thread_pool(recycle_after=2)
+        try:
+            executors = set()
+            for _ in range(5):
+                pool.submit_sync({"source": SOURCE})
+                executors.add(id(pool._executor))
+        finally:
+            pool.shutdown()
+        assert pool.stats.recycles == 2  # after jobs 3 and 5
+        assert len(executors) >= 2
+
+    def test_recycling_disabled_when_limit_is_zero(self, monkeypatch):
+        monkeypatch.setattr(worker_module, "handle_job", lambda payload: {"ok": True})
+        pool = thread_pool(recycle_after=0)
+        try:
+            for _ in range(5):
+                pool.submit_sync({"source": SOURCE})
+        finally:
+            pool.shutdown()
+        assert pool.stats.recycles == 0

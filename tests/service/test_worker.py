@@ -1,0 +1,176 @@
+"""Worker tests: cache-tier resolution and the never-cached trusted path.
+
+The central claim (docs/SERVICE.md § Trust): the disk tier stores only
+*untrusted* artifacts, and the kernel re-derives every verdict, so a
+poisoned cache entry can cause at most a spurious rejection — never a
+false acceptance.  ``TestKernelIsNeverCached`` exercises that directly by
+planting a checksum-valid but semantically wrong certificate through the
+legitimate store API (the strongest position an attacker with cache-dir
+write access holds).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.pipeline.cache import source_digest
+from repro.service import worker
+from repro.service.diskcache import DiskCache, options_digest
+
+SOURCE = """
+field val: Int
+
+method get(self: Ref) returns (r: Int)
+  requires acc(self.val)
+  ensures acc(self.val) && r == self.val
+{
+  r := self.val
+}
+"""
+
+OTHER_SOURCE = """
+field num: Int
+
+method put(self: Ref)
+  requires acc(self.num)
+  ensures acc(self.num) && self.num == 7
+{
+  self.num := 7
+}
+"""
+
+
+@pytest.fixture
+def disk_worker(tmp_path):
+    """A worker configured with a disk tier; state is reset afterwards."""
+    worker.configure({"cache_dir": str(tmp_path)})
+    yield tmp_path
+    worker.configure({})
+
+
+def certify(source: str = SOURCE, **extra):
+    return worker.handle_job({"action": "certify", "source": source, **extra})
+
+
+class TestCacheTiers:
+    def test_first_request_misses_then_memory_hits(self, disk_worker):
+        first = certify()
+        assert first["ok"] and first["cache"] == "miss"
+        second = certify()
+        assert second["ok"] and second["cache"] == "memory"
+
+    def test_restart_serves_from_disk_then_promotes(self, disk_worker):
+        assert certify()["ok"]
+        # Reconfigure = simulated restart: fresh memory tier, same disk.
+        worker.configure({"cache_dir": str(disk_worker)})
+        warm = certify()
+        assert warm["ok"] and warm["cache"] == "disk"
+        # The disk hit skipped the untrusted stages but ran the kernel.
+        assert "check" in warm["stage_seconds"]
+        assert "reparse" in warm["stage_seconds"]
+        assert "translate" not in warm["stage_seconds"]
+        promoted = certify()
+        assert promoted["ok"] and promoted["cache"] == "memory"
+
+    def test_translate_serves_boogie_from_disk(self, disk_worker):
+        assert certify()["ok"]
+        worker.configure({"cache_dir": str(disk_worker)})
+        response = worker.handle_job({"action": "translate", "source": SOURCE})
+        assert response["ok"] and response["cache"] == "disk"
+        assert "procedure" in response["boogie"]
+
+    def test_without_disk_tier_restart_is_cold(self, tmp_path):
+        worker.configure({})
+        try:
+            assert certify()["cache"] == "miss"
+            assert certify()["cache"] == "memory"
+            worker.configure({})
+            assert certify()["cache"] == "miss"
+        finally:
+            worker.configure({})
+
+
+class TestKernelIsNeverCached:
+    def _poison(self, cache_dir, artifacts):
+        """Write a checksum-valid envelope under SOURCE's key."""
+        disk = DiskCache(cache_dir)
+        key = (source_digest(SOURCE), options_digest(None))
+        disk.store(key, artifacts)
+
+    def test_swapped_certificate_is_rejected_not_accepted(self, disk_worker):
+        """A valid-for-another-program certificate must fail the kernel."""
+        mine = certify(include_boogie=True)
+        other = certify(OTHER_SOURCE, include_certificate=True)
+        assert mine["ok"] and other["ok"]
+        self._poison(disk_worker, {
+            "boogie_text": mine["boogie"],
+            "certificate_text": other["certificate"],
+        })
+        worker.configure({"cache_dir": str(disk_worker)})  # fresh memory
+        poisoned = certify()
+        assert poisoned["cache"] == "disk"
+        assert poisoned["ok"] is False
+        assert poisoned["rejected"] is True
+        assert poisoned["error"]
+
+    def test_poisoned_entry_is_quarantined_then_recomputed(self, disk_worker):
+        mine = certify(include_boogie=True)
+        other = certify(OTHER_SOURCE, include_certificate=True)
+        self._poison(disk_worker, {
+            "boogie_text": mine["boogie"],
+            "certificate_text": other["certificate"],
+        })
+        worker.configure({"cache_dir": str(disk_worker)})
+        assert certify()["ok"] is False
+        # The rejection quarantined the entry; the next request recomputes
+        # from scratch and re-certifies successfully.
+        recovered = certify()
+        assert recovered["ok"] is True
+        assert recovered["cache"] == "miss"
+        disk = DiskCache(disk_worker)
+        assert list(disk.quarantine_dir.glob("*.bad"))
+
+
+class TestValidation:
+    def setup_method(self):
+        worker.configure({})
+
+    def teardown_method(self):
+        worker.configure({})
+
+    def test_unknown_action_is_a_400(self):
+        response = worker.handle_job({"action": "mine-bitcoin", "source": SOURCE})
+        assert response["status"] == 400 and not response["ok"]
+
+    def test_missing_source_is_a_400(self):
+        response = worker.handle_job({"action": "certify"})
+        assert response["status"] == 400
+        response = worker.handle_job({"action": "certify", "source": "   "})
+        assert response["status"] == 400
+
+    def test_oversized_source_is_a_413(self):
+        worker.configure({"max_source_bytes": 64})
+        response = certify("x" * 65)
+        assert response["status"] == 413
+        assert "64" in response["error"]
+
+    def test_unknown_option_is_a_400_naming_known_fields(self):
+        response = worker.handle_job({
+            "action": "certify", "source": SOURCE,
+            "options": {"turbo_mode": True},
+        })
+        assert response["status"] == 400
+        assert "turbo_mode" in response["error"]
+
+    def test_parse_failure_is_a_422_with_the_stage(self):
+        response = certify("method oops(")
+        assert response["status"] == 422
+        assert response["error_stage"] == "parse"
+        assert response["error"]
+
+    def test_options_from_dict_round_trips_known_fields(self):
+        options = worker.options_from_dict(None)
+        assert options == worker.options_from_dict({})
+        field = next(iter(type(options).__dataclass_fields__))
+        flipped = worker.options_from_dict({field: not getattr(options, field)})
+        assert getattr(flipped, field) is not getattr(options, field)

@@ -242,3 +242,96 @@ class TestLoopsThroughCli:
             """
         )
         assert main(["certify", str(path)]) == 0
+
+
+class TestVersionFlag:
+    def test_version_prints_package_version_and_exits_zero(self, capsys):
+        import repro
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        assert repro.__version__ in out
+        assert out.startswith("repro")
+
+
+def _free_port() -> int:
+    import socket
+
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+class TestServeSignals:
+    """`repro serve` drains and exits 130 on SIGINT, 143 on SIGTERM."""
+
+    @staticmethod
+    def _spawn_server(tmp_path):
+        port = _free_port()
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.cli", "serve",
+             "--port", str(port), "--threads", "--jobs", "1",
+             "--cache-dir", str(tmp_path / "cache")],
+            env=TestFreshProcessRoundTrip._env(),
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+        )
+        from repro.service.client import ServiceClient
+
+        with ServiceClient(port=port) as client:
+            if not client.wait_ready(timeout=30.0):
+                proc.kill()
+                raise AssertionError(
+                    f"server never became ready: {proc.communicate()[1]}"
+                )
+        return proc, port
+
+    def _signal_and_reap(self, proc, signum) -> int:
+        import signal as signal_module
+
+        proc.send_signal(signum)
+        try:
+            return proc.wait(timeout=30)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+            raise AssertionError(f"server ignored signal {signum}")
+
+    def test_sigint_exits_130(self, tmp_path):
+        import signal as signal_module
+
+        proc, _ = self._spawn_server(tmp_path)
+        assert self._signal_and_reap(proc, signal_module.SIGINT) == 130
+
+    def test_sigterm_exits_143_after_serving(self, tmp_path):
+        import signal as signal_module
+
+        proc, port = self._spawn_server(tmp_path)
+        from repro.service.client import ServiceClient
+
+        with ServiceClient(port=port) as client:
+            response = client.certify(GOOD)
+            assert response["ok"] is True
+        assert self._signal_and_reap(proc, signal_module.SIGTERM) == 143
+
+
+class TestBenchSignals:
+    def test_bench_sigterm_exits_143(self):
+        import signal as signal_module
+        import time
+
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.cli", "bench"],
+            env=TestFreshProcessRoundTrip._env(),
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+        )
+        time.sleep(1.5)  # let imports finish and the corpus run start
+        proc.send_signal(signal_module.SIGTERM)
+        try:
+            code = proc.wait(timeout=30)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+            raise AssertionError("bench ignored SIGTERM")
+        _, err = proc.communicate()
+        assert code == 143, err
+        assert "terminated" in err
