@@ -1,0 +1,1196 @@
+"""The check catalog: stable IDs ``VPR001`` … ``VPR009`` over the Viper AST.
+
+Every check reports only *provable* facts, because findings feed the
+service's admission fast path where a false positive would reject a
+certifiable program.  The corresponding soundness arguments:
+
+``VPR001`` **use-before-assign** — path-insensitive definite assignment
+    (intersection lattice over the CFG).  A variable is *defined* by an
+    assignment, a call/new target, or an ``inhale`` that mentions it (a
+    havoced local constrained by an inhale is deliberate nondeterminism,
+    a common Viper idiom, so it must not be flagged).
+``VPR002`` **out-parameter never assigned** — an out-parameter that is
+    mentioned by the postcondition but assigned (or constrained) on no
+    path to a reachable exit.
+``VPR003`` **unreachable code** — statements after a literally-false
+    ``assert``/``exhale`` and the dead side of a constant-condition
+    branch.  ``inhale false`` is deliberately *not* reported: it is the
+    standard cut idiom (our own loop desugaring emits it); it still stops
+    the other analyses' flow so they never report inside cut regions.
+``VPR004`` **dead store** — backward liveness: a local assignment whose
+    value is never read (literal right-hand sides are exempt — defensive
+    initialisation is not a defect).
+``VPR005`` **unused local** — declared but neither read nor written
+    anywhere in the method (a variable that is only ever *assigned* is the
+    dead-store check's domain, and deliberately exempt there when the
+    right-hand side is a literal).
+``VPR006`` **unused field** — declared but mentioned nowhere program-wide.
+``VPR007`` **unused argument** — mentioned in neither specification nor
+    body.
+``VPR008`` **permission flow** — a static abstraction over fractional
+    masks.  Per field ``f`` the state tracks an upper bound ``hi[f]`` on
+    the *total* permission held to ``f`` across all references (sound
+    under aliasing: the total bounds every single location's mask), and a
+    lower bound ``lo[x, f]`` on the permission held to the location
+    ``x.f`` (reset whenever ``x`` is reassigned, any permission to ``f``
+    is exhaled, or a call havocs the frame).  Flags: exhaling/asserting
+    ``acc(e.f, p)`` when ``hi[f] < p`` (no location can satisfy it);
+    writing ``e.f`` when ``hi[f] < 1``; reading ``e.f`` when
+    ``hi[f] = 0``; and an ``inhale`` that pushes ``lo[x, f]`` above 1 —
+    a guaranteed inconsistency (the state is cut afterwards, like
+    ``inhale false``).  Non-literal amounts and loop heads degrade to the
+    TOP state (``hi = ∞``), trading recall for a zero false-positive
+    guarantee.
+``VPR009`` **spec hygiene** — ``old()`` in a precondition (always
+    rejected by the desugarer) and the literally-trivial ``assert true``.
+
+All checks run on the **pre-desugaring** AST: ``old()`` still exists (so
+VPR009 can see it), no synthesized havoc/hoist variables trip the
+definite-assignment analysis, and source positions are exact.  Synthesized
+names are exempted anyway so the analyzer can also be pointed at
+desugared programs.
+"""
+
+from __future__ import annotations
+
+import functools
+from dataclasses import dataclass, field as dc_field
+from fractions import Fraction
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from ..viper.allocation import NewStmt
+from ..viper.ast import (
+    Acc,
+    AExpr,
+    AssertStmt,
+    Assertion,
+    BinOp,
+    BoolLit,
+    CondAssert,
+    CondExp,
+    Exhale,
+    Expr,
+    FieldAcc,
+    FieldAssign,
+    If,
+    Implies,
+    Inhale,
+    IntLit,
+    LocalAssign,
+    MethodCall,
+    MethodDecl,
+    NullLit,
+    PermLit,
+    Program,
+    SepConj,
+    Seq,
+    Skip,
+    Stmt,
+    UnOp,
+    Var,
+    VarDecl,
+)
+from ..viper.loops import While
+from ..viper.oldexprs import OldExpr
+from .cfg import CFG, CFGNode, ForwardAnalysis, build_cfg, run_forward, run_liveness
+
+
+# ---------------------------------------------------------------------------
+# Catalog
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CheckInfo:
+    """One catalog entry: stable ID, human name, severity, and hint."""
+
+    code: str
+    name: str
+    summary: str
+    severity: str
+    hint: str
+
+
+CHECKS: Dict[str, CheckInfo] = {
+    info.code: info
+    for info in (
+        CheckInfo(
+            "VPR001", "use-before-assign",
+            "a local or out-parameter is read before any assignment",
+            "warning",
+            "assign or constrain the variable before reading it (an inhale "
+            "mentioning it counts as a deliberate nondeterministic choice)",
+        ),
+        CheckInfo(
+            "VPR002", "unassigned-out-parameter",
+            "an out-parameter mentioned by the postcondition is assigned on "
+            "no path to the exit",
+            "warning",
+            "assign the out-parameter on every path, or drop it from the "
+            "postcondition",
+        ),
+        CheckInfo(
+            "VPR003", "unreachable-code",
+            "code after a literally-false assert/exhale or on the dead side "
+            "of a constant branch",
+            "warning",
+            "remove the unreachable statements (or the falsifying "
+            "assertion); `inhale false` cuts are not reported",
+        ),
+        CheckInfo(
+            "VPR004", "dead-store",
+            "a computed value is assigned but never read",
+            "warning",
+            "remove the assignment or use the value; literal initialisers "
+            "are never flagged",
+        ),
+        CheckInfo(
+            "VPR005", "unused-local",
+            "a local variable is declared but never read or written",
+            "warning",
+            "remove the declaration",
+        ),
+        CheckInfo(
+            "VPR006", "unused-field",
+            "a field is declared but mentioned nowhere in the program",
+            "warning",
+            "remove the field declaration",
+        ),
+        CheckInfo(
+            "VPR007", "unused-argument",
+            "a method argument is mentioned in neither specification nor "
+            "body",
+            "warning",
+            "remove the argument (adjusting call sites) or use it",
+        ),
+        CheckInfo(
+            "VPR008", "permission-flow",
+            "a permission operation that provably fails (or an inhale that "
+            "provably yields an inconsistent mask)",
+            "error",
+            "the static mask bounds prove this operation cannot succeed; "
+            "inhale the missing permission first (see docs/ANALYSIS.md for "
+            "the abstraction)",
+        ),
+        CheckInfo(
+            "VPR009", "spec-hygiene",
+            "old() in a precondition, or a trivially-true assert",
+            "warning",
+            "old() is only meaningful in postconditions and bodies; "
+            "`assert true` checks nothing",
+        ),
+    )
+}
+
+ALL_CHECK_IDS: Tuple[str, ...] = tuple(sorted(CHECKS))
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One analyzer finding.
+
+    ``subject`` is the offending AST node or name — excluded from
+    equality/hash so findings deduplicate on their reportable content; it
+    exists for programmatic consumers (the fuzz generator's repair loop).
+    """
+
+    code: str
+    message: str
+    severity: str
+    method: Optional[str] = None
+    line: Optional[int] = None
+    subject: object = dc_field(default=None, compare=False, repr=False, hash=False)
+
+    def to_dict(self) -> dict:
+        payload = {
+            "code": self.code,
+            "severity": self.severity,
+            "message": self.message,
+        }
+        if self.method is not None:
+            payload["method"] = self.method
+        if self.line is not None:
+            payload["line"] = self.line
+        return payload
+
+
+def _synthesized(name: str) -> bool:
+    """Names introduced by the desugaring passes (exempt from lint)."""
+    return (
+        "__havoc" in name
+        or "__hoist" in name
+        or "__fresh" in name
+        or "#" in name
+        or name.startswith("oldcap_")
+        or name.startswith("old_")
+    )
+
+
+# ---------------------------------------------------------------------------
+# Expression / assertion traversals (OldExpr-aware)
+# ---------------------------------------------------------------------------
+
+
+def _children(expr: Expr) -> Tuple[Expr, ...]:
+    if isinstance(expr, OldExpr):
+        return (expr.expr,)
+    if isinstance(expr, FieldAcc):
+        return (expr.receiver,)
+    if isinstance(expr, BinOp):
+        return (expr.left, expr.right)
+    if isinstance(expr, UnOp):
+        return (expr.operand,)
+    if isinstance(expr, CondExp):
+        return (expr.cond, expr.then, expr.otherwise)
+    return ()
+
+
+def _expr_reads(expr: Expr) -> FrozenSet[str]:
+    if isinstance(expr, Var):
+        return frozenset({expr.name})
+    result: FrozenSet[str] = frozenset()
+    for child in _children(expr):
+        result |= _expr_reads(child)
+    return result
+
+
+def _expr_heap_fields(expr: Expr) -> List[str]:
+    """Fields read from the *current* heap (``old()`` interiors excluded —
+    they read the pre-state, whose mask the analysis does not model)."""
+    if isinstance(expr, OldExpr):
+        return []
+    fields: List[str] = []
+    if isinstance(expr, FieldAcc):
+        fields.append(expr.field)
+    for child in _children(expr):
+        fields.extend(_expr_heap_fields(child))
+    return fields
+
+
+def _expr_has_old(expr: Expr) -> bool:
+    if isinstance(expr, OldExpr):
+        return True
+    return any(_expr_has_old(child) for child in _children(expr))
+
+
+def _assertion_parts(assertion: Assertion):
+    """(exprs, sub-assertions) of one assertion level."""
+    if isinstance(assertion, AExpr):
+        return (assertion.expr,), ()
+    if isinstance(assertion, Acc):
+        return (assertion.receiver, assertion.perm), ()
+    if isinstance(assertion, SepConj):
+        return (), (assertion.left, assertion.right)
+    if isinstance(assertion, Implies):
+        return (assertion.cond,), (assertion.body,)
+    if isinstance(assertion, CondAssert):
+        return (assertion.cond,), (assertion.then, assertion.otherwise)
+    return (), ()
+
+
+def _assertion_reads(assertion: Assertion) -> FrozenSet[str]:
+    exprs, subs = _assertion_parts(assertion)
+    result: FrozenSet[str] = frozenset()
+    for expr in exprs:
+        result |= _expr_reads(expr)
+    for sub in subs:
+        result |= _assertion_reads(sub)
+    return result
+
+
+def _assertion_has_old(assertion: Assertion) -> bool:
+    exprs, subs = _assertion_parts(assertion)
+    return any(_expr_has_old(e) for e in exprs) or any(
+        _assertion_has_old(s) for s in subs
+    )
+
+
+def _assertion_field_mentions(assertion: Assertion) -> Set[str]:
+    exprs, subs = _assertion_parts(assertion)
+    fields: Set[str] = set()
+    if isinstance(assertion, Acc):
+        fields.add(assertion.field)
+    for expr in exprs:
+        fields.update(_all_expr_fields(expr))
+    for sub in subs:
+        fields.update(_assertion_field_mentions(sub))
+    return fields
+
+
+def _all_expr_fields(expr: Expr) -> Set[str]:
+    fields: Set[str] = set()
+    if isinstance(expr, FieldAcc):
+        fields.add(expr.field)
+    for child in _children(expr):
+        fields.update(_all_expr_fields(child))
+    return fields
+
+
+def _literal_false(assertion: Assertion) -> bool:
+    """Literally-false at the top level (through separating conjunction)."""
+    if isinstance(assertion, AExpr):
+        return isinstance(assertion.expr, BoolLit) and not assertion.expr.value
+    if isinstance(assertion, SepConj):
+        return _literal_false(assertion.left) or _literal_false(assertion.right)
+    return False
+
+
+def _is_literal_expr(expr: Expr) -> bool:
+    return isinstance(expr, (IntLit, BoolLit, NullLit, PermLit))
+
+
+# ---------------------------------------------------------------------------
+# Per-node reads/writes (shared by the dataflow clients)
+# ---------------------------------------------------------------------------
+
+
+def _per_node(fn):
+    """Memoize a ``CFGNode -> value`` helper on the node itself.
+
+    These helpers are pure in the node, but the worklist engine calls the
+    transfer functions (and hence the helpers) once per fixpoint *visit* —
+    several times per node on loops — which the profile shows dominating
+    the analyze stage.  CFG nodes live exactly as long as one method's
+    analysis, so stashing the value on the node is leak-free."""
+    key = fn.__name__
+
+    @functools.wraps(fn)
+    def wrapper(node: CFGNode):
+        memo = node.__dict__.setdefault("_memo", {})
+        try:
+            return memo[key]
+        except KeyError:
+            memo[key] = result = fn(node)
+            return result
+
+    return wrapper
+
+
+@_per_node
+def _node_checked_reads(node: CFGNode) -> FrozenSet[str]:
+    """Variable reads the definite-assignment check reports on.
+
+    Reads inside ``inhale`` are excluded: inhaling a fact about a havoced
+    variable is how the subset expresses a nondeterministic choice."""
+    stmt = node.stmt
+    if node.kind == "branch":
+        return _expr_reads(stmt.cond)
+    if node.kind == "loop-head":
+        return _expr_reads(stmt.cond) | _assertion_reads(stmt.invariant)
+    if isinstance(stmt, LocalAssign):
+        return _expr_reads(stmt.rhs)
+    if isinstance(stmt, FieldAssign):
+        return _expr_reads(stmt.receiver) | _expr_reads(stmt.rhs)
+    if isinstance(stmt, MethodCall):
+        result: FrozenSet[str] = frozenset()
+        for arg in stmt.args:
+            result |= _expr_reads(arg)
+        return result
+    if isinstance(stmt, (Exhale, AssertStmt)):
+        return _assertion_reads(stmt.assertion)
+    return frozenset()
+
+
+@_per_node
+def _node_all_reads(node: CFGNode) -> FrozenSet[str]:
+    """Every variable read by a node (liveness uses; includes inhale)."""
+    stmt = node.stmt
+    if isinstance(stmt, Inhale):
+        return _assertion_reads(stmt.assertion)
+    return _node_checked_reads(node)
+
+
+@_per_node
+def _node_defs(node: CFGNode) -> FrozenSet[str]:
+    stmt = node.stmt
+    if isinstance(stmt, LocalAssign):
+        return frozenset({stmt.target})
+    if isinstance(stmt, MethodCall):
+        return frozenset(stmt.targets)
+    if isinstance(stmt, NewStmt):
+        return frozenset({stmt.target})
+    if isinstance(stmt, VarDecl):
+        return frozenset({stmt.name})
+    return frozenset()
+
+
+@_per_node
+def _kills_flow(node: CFGNode) -> bool:
+    """Does the node make all successors semantically unreachable?"""
+    stmt = node.stmt
+    if isinstance(stmt, (Inhale, Exhale, AssertStmt)):
+        return _literal_false(stmt.assertion)
+    return False
+
+
+@_per_node
+def _constant_cond(node: CFGNode) -> Optional[bool]:
+    if node.kind in ("branch", "loop-head") and isinstance(node.stmt.cond, BoolLit):
+        return node.stmt.cond.value
+    return None
+
+
+class _SemanticAnalysis(ForwardAnalysis):
+    """Shared behaviour: literal-false statements and constant-condition
+    edges cut the flow, so no semantic check reports inside dead code."""
+
+    def transfer_edge(self, node: CFGNode, state, label):
+        constant = _constant_cond(node)
+        if constant is not None and label is not None and label != constant:
+            return None
+        return state
+
+
+# ---------------------------------------------------------------------------
+# VPR001 / VPR002: definite assignment
+# ---------------------------------------------------------------------------
+
+
+class _DefiniteAssignment(_SemanticAnalysis):
+    """State: the set of definitely-assigned (or constrained) variables.
+
+    Join is intersection (assigned on *every* path)."""
+
+    def __init__(self, entry_assigned: FrozenSet[str]):
+        self._entry = entry_assigned
+
+    def initial(self):
+        return self._entry
+
+    def join(self, a, b):
+        return a & b
+
+    def transfer(self, node: CFGNode, state):
+        if _kills_flow(node):
+            return None
+        stmt = node.stmt
+        if isinstance(stmt, VarDecl):
+            return state - {stmt.name}
+        if isinstance(stmt, Inhale):
+            return state | _assertion_reads(stmt.assertion)
+        if node.kind == "loop-head":
+            # The desugaring inhales the invariant at the head.
+            return state | _assertion_reads(stmt.invariant)
+        return state | _node_defs(node)
+
+
+# ---------------------------------------------------------------------------
+# VPR003: reporting reachability (inhale-false cuts are *not* reported)
+# ---------------------------------------------------------------------------
+
+
+class _ReportReachability(ForwardAnalysis):
+    def initial(self):
+        return True
+
+    def join(self, a, b):
+        return True
+
+    def transfer(self, node: CFGNode, state):
+        stmt = node.stmt
+        if isinstance(stmt, (Exhale, AssertStmt)) and _literal_false(stmt.assertion):
+            return None
+        return True
+
+    def transfer_edge(self, node: CFGNode, state, label):
+        constant = _constant_cond(node)
+        if constant is not None and label is not None and label != constant:
+            return None
+        return True
+
+
+# ---------------------------------------------------------------------------
+# VPR008: the permission-flow abstraction
+# ---------------------------------------------------------------------------
+
+#: ``None`` inside ``hi`` means +∞ (unknown upper bound).
+_PermHi = Optional[Fraction]
+
+
+@dataclass
+class _PermState:
+    """hi: per-field upper bound on *total* permission; lo: per-(var, field)
+    lower bound on the permission held to that location.
+
+    Stored as plain dicts, treated as immutable by convention: the
+    transfer functions always go through ``hi_map``/``lo_map`` copies and
+    rebuild via ``make``.  Dict equality is order-insensitive, so the
+    fixpoint engine's ``equals`` works unchanged, and skipping the old
+    sorted-tuple canonicalisation keeps the analyze stage inside its <5%
+    pipeline budget (docs/ANALYSIS.md § Performance)."""
+
+    hi: Dict[str, _PermHi]
+    lo: Dict[Tuple[str, str], Fraction]
+
+    @staticmethod
+    def make(hi: Dict[str, _PermHi], lo: Dict[Tuple[str, str], Fraction]):
+        return _PermState(hi, {k: v for k, v in lo.items() if v > 0})
+
+    def hi_map(self) -> Dict[str, _PermHi]:
+        return dict(self.hi)
+
+    def lo_map(self) -> Dict[Tuple[str, str], Fraction]:
+        return dict(self.lo)
+
+
+def _hi_add(a: _PermHi, amount: Optional[Fraction]) -> _PermHi:
+    if a is None or amount is None:
+        return None
+    return a + amount
+
+
+def _hi_sub(a: _PermHi, amount: Fraction) -> _PermHi:
+    if a is None:
+        return None
+    return max(a - amount, Fraction(0))
+
+
+def _hi_lt(a: _PermHi, amount: Fraction) -> bool:
+    """Is the upper bound provably below ``amount``? (∞ never is.)"""
+    return a is not None and a < amount
+
+
+def _assertion_has_acc(assertion: Assertion) -> bool:
+    if isinstance(assertion, Acc):
+        return True
+    _, subs = _assertion_parts(assertion)
+    return any(_assertion_has_acc(sub) for sub in subs)
+
+
+@_per_node
+def _node_perm_identity(node: CFGNode) -> bool:
+    """Is the permission transfer of this node provably the identity?
+
+    With ``report=None`` the fixpoint transfer only *changes* state on
+    ``acc`` conjuncts, allocation, calls, assignments, and loop heads;
+    the ubiquitous pure assertions (``assert x.f > 0``) walk the whole
+    assertion just to return the input.  Deciding that once per node and
+    short-circuiting keeps the analyze stage inside its <5% budget.  The
+    reporting pass never takes this path — it re-runs the full transfer
+    to emit heap-read findings."""
+    if node.kind in ("entry", "exit", "branch"):
+        return True  # _heap_reads is a no-op without a report sink
+    if node.kind == "loop-head":
+        return False
+    stmt = node.stmt
+    if isinstance(stmt, (Inhale, Exhale, AssertStmt)):
+        return not _literal_false(stmt.assertion) and not _assertion_has_acc(
+            stmt.assertion
+        )
+    return isinstance(stmt, (VarDecl, Skip))
+
+
+class _PermissionFlow(_SemanticAnalysis):
+    def __init__(self, fields: Tuple[str, ...], method: MethodDecl):
+        self._fields = fields
+        self._method = method
+
+    # -- lattice ----------------------------------------------------------
+
+    def initial(self):
+        hi: Dict[str, _PermHi] = {f: Fraction(0) for f in self._fields}
+        state = _PermState.make(hi, {})
+        return _perm_assertion(
+            state, self._method.pre, "inhale", definite=False, report=None
+        )
+
+    def join(self, a: _PermState, b: _PermState):
+        ahi, bhi = a.hi_map(), b.hi_map()
+        hi: Dict[str, _PermHi] = {}
+        for f in set(ahi) | set(bhi):
+            x, y = ahi.get(f, Fraction(0)), bhi.get(f, Fraction(0))
+            hi[f] = None if (x is None or y is None) else max(x, y)
+        alo, blo = a.lo_map(), b.lo_map()
+        lo = {
+            key: min(alo.get(key, Fraction(0)), blo.get(key, Fraction(0)))
+            for key in set(alo) | set(blo)
+        }
+        return _PermState.make(hi, lo)
+
+    def widen(self, old: _PermState, new: _PermState):
+        """Degrade any growing bound straight to TOP so loops converge."""
+        ohi, nhi = old.hi_map(), new.hi_map()
+        hi: Dict[str, _PermHi] = {}
+        for f in set(ohi) | set(nhi):
+            x, y = ohi.get(f, Fraction(0)), nhi.get(f, Fraction(0))
+            hi[f] = x if (x is not None and y is not None and y <= x) else None
+        olo, nlo = old.lo_map(), new.lo_map()
+        lo = {
+            key: olo[key]
+            for key in olo
+            if nlo.get(key, Fraction(0)) >= olo[key]
+        }
+        return _PermState.make(hi, lo)
+
+    # -- transfer ---------------------------------------------------------
+
+    def transfer(self, node: CFGNode, state: _PermState):
+        if _node_perm_identity(node):
+            return state
+        return _perm_node(node, state, self._fields, report=None)
+
+
+def _perm_top(fields: Tuple[str, ...]) -> _PermState:
+    return _PermState.make({f: None for f in fields}, {})
+
+
+def _perm_node(
+    node: CFGNode,
+    state: _PermState,
+    fields: Tuple[str, ...],
+    report: Optional[List[Finding]],
+    method: Optional[MethodDecl] = None,
+) -> Optional[_PermState]:
+    """Shared transfer/report body.  With ``report=None`` it is the pure
+    transfer; with a list it also appends findings (the reporting pass
+    re-runs it on the fixpoint's in-states)."""
+    if _kills_flow(node):
+        return None
+    stmt = node.stmt
+    line = node.pos
+    if node.kind == "branch":
+        _heap_reads(state, (stmt.cond,), report, method, line)
+        return state
+    if node.kind == "loop-head":
+        # entry/preservation exhale of the invariant, checked against the
+        # joined in-state (sound: the entry path's bound is ≤ the join) …
+        after = _perm_assertion(state, stmt.invariant, "exhale",
+                                definite=True, report=report,
+                                method=method, line=line)
+        # … then the head havocs the frame and re-inhales the invariant.
+        top = _perm_top(fields)
+        inhaled = _perm_assertion(top, stmt.invariant, "inhale",
+                                  definite=True, report=report,
+                                  method=method, line=line)
+        if after is None or inhaled is None:
+            return None
+        return inhaled
+    if isinstance(stmt, LocalAssign):
+        _heap_reads(state, (stmt.rhs,), report, method, line)
+        return _drop_var_lo(state, stmt.target)
+    if isinstance(stmt, FieldAssign):
+        _heap_reads(state, (stmt.receiver, stmt.rhs), report, method, line)
+        hi = state.hi_map().get(stmt.field, Fraction(0))
+        if report is not None and _hi_lt(hi, Fraction(1)):
+            report.append(Finding(
+                "VPR008",
+                f"write to .{stmt.field} requires full permission, but at "
+                f"most {hi} can be held here",
+                CHECKS["VPR008"].severity,
+                method=method.name if method else None,
+                line=line,
+                subject=stmt,
+            ))
+        return state
+    if isinstance(stmt, MethodCall):
+        _heap_reads(state, stmt.args, report, method, line)
+        # The callee may exhale and inhale arbitrary permission.
+        return _perm_top(fields)
+    if isinstance(stmt, NewStmt):
+        allocated = fields if stmt.all_fields else stmt.fields
+        hi = state.hi_map()
+        lo = state.lo_map()
+        for key in [k for k in lo if k[0] == stmt.target]:
+            del lo[key]
+        for f in allocated:
+            hi[f] = _hi_add(hi.get(f, Fraction(0)), Fraction(1))
+            lo[(stmt.target, f)] = Fraction(1)
+        return _PermState.make(hi, lo)
+    if isinstance(stmt, Inhale):
+        return _perm_assertion(state, stmt.assertion, "inhale",
+                               definite=True, report=report,
+                               method=method, line=line)
+    if isinstance(stmt, Exhale):
+        return _perm_assertion(state, stmt.assertion, "exhale",
+                               definite=True, report=report,
+                               method=method, line=line)
+    if isinstance(stmt, AssertStmt):
+        return _perm_assertion(state, stmt.assertion, "assert",
+                               definite=True, report=report,
+                               method=method, line=line)
+    return state
+
+
+def _drop_var_lo(state: _PermState, name: str) -> _PermState:
+    lo = {k: v for k, v in state.lo_map().items() if k[0] != name}
+    return _PermState.make(state.hi_map(), lo)
+
+
+def _heap_reads(
+    state: _PermState,
+    exprs,
+    report: Optional[List[Finding]],
+    method: Optional[MethodDecl],
+    line: Optional[int],
+) -> None:
+    if report is None:
+        return
+    hi = state.hi_map()
+    for expr in exprs:
+        for f in _expr_heap_fields(expr):
+            if hi.get(f, Fraction(0)) == Fraction(0):
+                report.append(Finding(
+                    "VPR008",
+                    f"read of .{f}, but no permission to {f} can be held "
+                    f"here",
+                    CHECKS["VPR008"].severity,
+                    method=method.name if method else None,
+                    line=line,
+                ))
+
+
+def _perm_assertion(
+    state: Optional[_PermState],
+    assertion: Assertion,
+    mode: str,
+    *,
+    definite: bool,
+    report: Optional[List[Finding]],
+    method: Optional[MethodDecl] = None,
+    line: Optional[int] = None,
+    eval_state: Optional[_PermState] = None,
+    flag_inconsistency: bool = True,
+) -> Optional[_PermState]:
+    """Process an assertion left-to-right in ``inhale``/``exhale``/
+    ``assert`` mode.  ``definite`` is False under a guard (``==>``/``?:``),
+    where nothing is reported because the guard may be false.  Returns
+    ``None`` when the state is provably inconsistent afterwards.
+
+    ``eval_state`` is the state heap *reads* are checked against: per the
+    exhale semantics (``remcheck(a, σ, σ)``), pure sub-expressions are
+    evaluated in the state at the start of the exhale, so
+    ``exhale acc(x.f) && x.f == r`` is well-defined even though the
+    permission is removed by the first conjunct.  During inhale the
+    running state is used instead (permissions only grow)."""
+    if state is None:
+        return None
+    if eval_state is None:
+        eval_state = state
+    emit = report if (report is not None and definite) else None
+    read_state = state if mode == "inhale" else eval_state
+    if isinstance(assertion, AExpr):
+        _heap_reads(read_state, (assertion.expr,), emit, method, line)
+        return state
+    if isinstance(assertion, SepConj):
+        state = _perm_assertion(state, assertion.left, mode, definite=definite,
+                                report=report, method=method, line=line,
+                                eval_state=eval_state,
+                                flag_inconsistency=flag_inconsistency)
+        return _perm_assertion(state, assertion.right, mode, definite=definite,
+                               report=report, method=method, line=line,
+                               eval_state=eval_state,
+                                flag_inconsistency=flag_inconsistency)
+    if isinstance(assertion, Implies):
+        _heap_reads(read_state, (assertion.cond,), emit, method, line)
+        taken = _perm_assertion(state, assertion.body, mode, definite=False,
+                                report=None, method=method, line=line,
+                                eval_state=eval_state,
+                                flag_inconsistency=flag_inconsistency)
+        if taken is None:
+            return state  # the guard is provably false in consistent states
+        return _perm_join(state, taken)
+    if isinstance(assertion, CondAssert):
+        _heap_reads(read_state, (assertion.cond,), emit, method, line)
+        then = _perm_assertion(state, assertion.then, mode, definite=False,
+                               report=None, method=method, line=line,
+                               eval_state=eval_state,
+                                flag_inconsistency=flag_inconsistency)
+        other = _perm_assertion(state, assertion.otherwise, mode,
+                                definite=False, report=None,
+                                method=method, line=line,
+                                eval_state=eval_state,
+                                flag_inconsistency=flag_inconsistency)
+        if then is None:
+            return other
+        if other is None:
+            return then
+        return _perm_join(then, other)
+    if isinstance(assertion, Acc):
+        _heap_reads(read_state, (assertion.receiver, assertion.perm), emit, method, line)
+        hi = state.hi_map()
+        lo = state.lo_map()
+        f = assertion.field
+        amount = (
+            assertion.perm.amount if isinstance(assertion.perm, PermLit) else None
+        )
+        receiver = (
+            assertion.receiver.name
+            if isinstance(assertion.receiver, Var)
+            else None
+        )
+        if mode == "inhale":
+            hi[f] = _hi_add(hi.get(f, Fraction(0)), amount)
+            if receiver is not None and amount is not None:
+                key = (receiver, f)
+                lo[key] = lo.get(key, Fraction(0)) + amount
+                if lo[key] > 1:
+                    if emit is not None and flag_inconsistency:
+                        emit.append(Finding(
+                            "VPR008",
+                            f"inhale pushes the permission to "
+                            f"{receiver}.{f} to {lo[key]} > 1 — the state "
+                            f"is guaranteed inconsistent",
+                            CHECKS["VPR008"].severity,
+                            method=method.name if method else None,
+                            line=line,
+                            subject=assertion,
+                        ))
+                    return None
+            return _PermState.make(hi, lo)
+        # exhale / assert both require the permission to be present.
+        if amount is not None and amount > 0 and _hi_lt(hi.get(f, Fraction(0)), amount):
+            if emit is not None:
+                verb = "exhale" if mode == "exhale" else "assert"
+                emit.append(Finding(
+                    "VPR008",
+                    f"{verb} of acc(..{f}, {amount}) but at most "
+                    f"{hi.get(f, Fraction(0))} permission to {f} can be "
+                    f"held here",
+                    CHECKS["VPR008"].severity,
+                    method=method.name if method else None,
+                    line=line,
+                    subject=assertion,
+                ))
+        if mode == "exhale":
+            if amount is not None:
+                hi[f] = _hi_sub(hi.get(f, Fraction(0)), amount)
+            for key in list(lo):
+                if key[1] != f:
+                    continue
+                if receiver is not None and amount is not None and key[0] == receiver:
+                    lo[key] = max(lo[key] - amount, Fraction(0))
+                else:
+                    del lo[key]  # an alias may have lost this permission
+        else:  # assert: the state is unchanged, but on success we may
+            # strengthen the location's lower bound.
+            if receiver is not None and amount is not None:
+                key = (receiver, f)
+                lo[key] = max(lo.get(key, Fraction(0)), amount)
+        return _PermState.make(hi, lo)
+    return state
+
+
+def _perm_join(a: _PermState, b: _PermState) -> _PermState:
+    ahi, bhi = a.hi_map(), b.hi_map()
+    hi: Dict[str, _PermHi] = {}
+    for f in set(ahi) | set(bhi):
+        x, y = ahi.get(f, Fraction(0)), bhi.get(f, Fraction(0))
+        hi[f] = None if (x is None or y is None) else max(x, y)
+    alo, blo = a.lo_map(), b.lo_map()
+    lo = {
+        key: min(alo.get(key, Fraction(0)), blo.get(key, Fraction(0)))
+        for key in set(alo) | set(blo)
+    }
+    return _PermState.make(hi, lo)
+
+
+# ---------------------------------------------------------------------------
+# The analyzer
+# ---------------------------------------------------------------------------
+
+
+def analyze_program(program: Program) -> List[Finding]:
+    """Run every check over a (pre-desugaring) Viper program.
+
+    Returns findings sorted by source line, then check ID."""
+    findings: List[Finding] = []
+    fields = tuple(decl.name for decl in program.fields)
+
+    mentioned_fields: Set[str] = set()
+    for method in program.methods:
+        mentioned_fields |= _assertion_field_mentions(method.pre)
+        mentioned_fields |= _assertion_field_mentions(method.post)
+        if method.body is not None:
+            mentioned_fields |= _stmt_field_mentions(method.body, fields)
+        findings.extend(_analyze_method(method, fields))
+
+    # VPR006: unused fields (program-wide).
+    for decl in program.fields:
+        if decl.name not in mentioned_fields and not _synthesized(decl.name):
+            findings.append(Finding(
+                "VPR006",
+                f"field {decl.name!r} is declared but never mentioned",
+                CHECKS["VPR006"].severity,
+                line=decl.pos,
+                subject=decl.name,
+            ))
+
+    # Findings hash without their `subject`, so dedupe keeps the first
+    # occurrence from the original (deterministic) traversal order.
+    seen = set()
+    ordered: List[Finding] = []
+    for finding in findings:
+        if finding in seen:
+            continue
+        seen.add(finding)
+        ordered.append(finding)
+    ordered.sort(key=lambda f: (f.line if f.line is not None else 0, f.code, f.message))
+    return ordered
+
+
+def _stmt_field_mentions(stmt: Stmt, fields: Tuple[str, ...]) -> Set[str]:
+    mentioned: Set[str] = set()
+
+    def walk(node: Stmt) -> None:
+        if isinstance(node, Seq):
+            walk(node.first)
+            walk(node.second)
+        elif isinstance(node, If):
+            mentioned.update(_all_expr_fields(node.cond))
+            walk(node.then)
+            walk(node.otherwise)
+        elif isinstance(node, While):
+            mentioned.update(_all_expr_fields(node.cond))
+            mentioned.update(_assertion_field_mentions(node.invariant))
+            walk(node.body)
+        elif isinstance(node, LocalAssign):
+            mentioned.update(_all_expr_fields(node.rhs))
+        elif isinstance(node, FieldAssign):
+            mentioned.add(node.field)
+            mentioned.update(_all_expr_fields(node.receiver))
+            mentioned.update(_all_expr_fields(node.rhs))
+        elif isinstance(node, MethodCall):
+            for arg in node.args:
+                mentioned.update(_all_expr_fields(arg))
+        elif isinstance(node, (Inhale, Exhale, AssertStmt)):
+            mentioned.update(_assertion_field_mentions(node.assertion))
+        elif isinstance(node, NewStmt):
+            mentioned.update(fields if node.all_fields else node.fields)
+
+    walk(stmt)
+    return mentioned
+
+
+def _collect_var_decls(stmt: Stmt) -> List[VarDecl]:
+    decls: List[VarDecl] = []
+
+    def walk(node: Stmt) -> None:
+        if isinstance(node, Seq):
+            walk(node.first)
+            walk(node.second)
+        elif isinstance(node, If):
+            walk(node.then)
+            walk(node.otherwise)
+        elif isinstance(node, While):
+            walk(node.body)
+        elif isinstance(node, VarDecl):
+            decls.append(node)
+
+    walk(stmt)
+    return decls
+
+
+def _analyze_method(method: MethodDecl, fields: Tuple[str, ...]) -> List[Finding]:
+    findings: List[Finding] = []
+
+    # ---- VPR009(a): old() in a precondition ------------------------------
+    if _assertion_has_old(method.pre):
+        findings.append(Finding(
+            "VPR009",
+            f"method {method.name!r}: old() in a precondition (it denotes "
+            f"the pre-state, which *is* the precondition's state)",
+            "error",
+            method=method.name,
+            line=method.pos,
+        ))
+
+    spec_reads = _assertion_reads(method.pre) | _assertion_reads(method.post)
+
+    if method.body is None:
+        # Abstract method: only the signature checks apply.
+        for name, _ in method.args:
+            if name not in spec_reads and not _synthesized(name):
+                findings.append(Finding(
+                    "VPR007",
+                    f"method {method.name!r}: argument {name!r} is never "
+                    f"used",
+                    CHECKS["VPR007"].severity,
+                    method=method.name,
+                    line=method.pos,
+                    subject=name,
+                ))
+        return findings
+
+    cfg = build_cfg(method.body)
+
+    # ---- body-wide read/write sets --------------------------------------
+    body_reads: Set[str] = set()
+    body_defs: Set[str] = set()
+    for node in cfg.nodes:
+        body_reads |= _node_all_reads(node)
+        body_defs |= _node_defs(node)
+
+    # ---- VPR001/VPR002: definite assignment ------------------------------
+    arg_names = frozenset(method.arg_names)
+    return_names = frozenset(method.return_names)
+    assignment = _DefiniteAssignment(arg_names)
+    assigned_in = run_forward(cfg, assignment)
+    reachable = set(assigned_in)
+    declared_locals = {d.name for d in _collect_var_decls(method.body)}
+    for node in cfg.nodes:
+        if node.index not in assigned_in:
+            continue
+        state = assigned_in[node.index]
+        for name in sorted(_node_checked_reads(node)):
+            if name in state or _synthesized(name):
+                continue
+            if name not in return_names and name not in declared_locals:
+                continue  # args and anything unknown are assumed assigned
+            findings.append(Finding(
+                "VPR001",
+                f"method {method.name!r}: {name!r} may be read before "
+                f"assignment",
+                CHECKS["VPR001"].severity,
+                method=method.name,
+                line=node.pos,
+                subject=name,
+            ))
+    post_reads = _assertion_reads(method.post)
+    if cfg.exit in assigned_in:
+        exit_state = assigned_in[cfg.exit]
+        for name in sorted(return_names):
+            if name in exit_state or _synthesized(name):
+                continue
+            if name not in post_reads:
+                continue
+            findings.append(Finding(
+                "VPR002",
+                f"method {method.name!r}: out-parameter {name!r} is "
+                f"mentioned by the postcondition but assigned on no path "
+                f"to the exit",
+                CHECKS["VPR002"].severity,
+                method=method.name,
+                line=method.pos,
+                subject=name,
+            ))
+
+    # ---- VPR003: unreachable code ---------------------------------------
+    report_reach = run_forward(cfg, _ReportReachability())
+    for node in cfg.nodes:
+        if node.kind not in ("stmt", "branch", "loop-head"):
+            continue
+        if node.index in report_reach:
+            continue
+        if not any(pred in report_reach for pred, _ in cfg.preds[node.index]):
+            continue  # only flag the first statement of a dead region
+        findings.append(Finding(
+            "VPR003",
+            f"method {method.name!r}: unreachable code",
+            CHECKS["VPR003"].severity,
+            method=method.name,
+            line=node.pos,
+            subject=node.stmt,
+        ))
+
+    # ---- VPR004: dead stores --------------------------------------------
+    exit_live = frozenset(return_names) | post_reads
+    live_out = run_liveness(cfg, _node_all_reads, _node_defs, exit_live)
+    for node in cfg.nodes:
+        stmt = node.stmt
+        if not isinstance(stmt, LocalAssign) or node.kind != "stmt":
+            continue
+        if node.index not in reachable:
+            continue
+        if _is_literal_expr(stmt.rhs) or _synthesized(stmt.target):
+            continue
+        if stmt.target in live_out.get(node.index, frozenset()):
+            continue
+        if stmt.target not in body_reads:
+            continue  # never read at all → VPR005 reports the declaration
+        findings.append(Finding(
+            "VPR004",
+            f"method {method.name!r}: value assigned to {stmt.target!r} is "
+            f"never used (dead store)",
+            CHECKS["VPR004"].severity,
+            method=method.name,
+            line=node.pos,
+            subject=stmt,
+        ))
+
+    # ---- VPR005: unused locals ------------------------------------------
+    # Writes only (declarations are defs for the assignment analysis but
+    # must not count as "uses" here).
+    body_writes: Set[str] = set()
+    for node in cfg.nodes:
+        if not isinstance(node.stmt, VarDecl):
+            body_writes |= _node_defs(node)
+    for decl in _collect_var_decls(method.body):
+        if _synthesized(decl.name):
+            continue
+        if decl.name in body_reads or decl.name in body_writes:
+            continue
+        findings.append(Finding(
+            "VPR005",
+            f"method {method.name!r}: local {decl.name!r} is declared but "
+            f"never used",
+            CHECKS["VPR005"].severity,
+            method=method.name,
+            line=decl.pos,
+            subject=decl,
+        ))
+
+    # ---- VPR007: unused arguments ---------------------------------------
+    invariant_reads: Set[str] = set()
+    for node in cfg.nodes:
+        if node.kind == "loop-head":
+            invariant_reads |= _assertion_reads(node.stmt.invariant)
+    used = spec_reads | body_reads | body_defs | invariant_reads
+    for name, _ in method.args:
+        if name in used or _synthesized(name):
+            continue
+        findings.append(Finding(
+            "VPR007",
+            f"method {method.name!r}: argument {name!r} is never used",
+            CHECKS["VPR007"].severity,
+            method=method.name,
+            line=method.pos,
+            subject=name,
+        ))
+
+    # ---- VPR008: permission flow ----------------------------------------
+    perm = _PermissionFlow(fields, method)
+    pre_report: List[Finding] = []
+    # A contradictory precondition (lo > 1) is *not* reported: it makes the
+    # method vacuous (never callable), which the corpus uses deliberately —
+    # the body is simply skipped, like code behind `inhale false`.
+    entry_state = _perm_assertion(
+        _PermState.make({f: Fraction(0) for f in fields}, {}),
+        method.pre, "inhale", definite=True, report=pre_report,
+        method=method, line=method.pos, flag_inconsistency=False,
+    )
+    findings.extend(pre_report)
+    if entry_state is not None:
+        perm_in = run_forward(cfg, perm)
+        perm_report: List[Finding] = []
+        for node in cfg.nodes:
+            if node.index not in perm_in:
+                continue
+            state = perm_in[node.index]
+            if node.kind == "exit":
+                _perm_assertion(state, method.post, "exhale", definite=True,
+                                report=perm_report, method=method,
+                                line=method.pos)
+            else:
+                _perm_node(node, state, fields, report=perm_report,
+                           method=method)
+        findings.extend(perm_report)
+
+    # ---- VPR009(b): trivially-true asserts ------------------------------
+    for node in cfg.stmt_nodes():
+        stmt = node.stmt
+        if (
+            isinstance(stmt, AssertStmt)
+            and isinstance(stmt.assertion, AExpr)
+            and isinstance(stmt.assertion.expr, BoolLit)
+            and stmt.assertion.expr.value
+        ):
+            findings.append(Finding(
+                "VPR009",
+                f"method {method.name!r}: `assert true` checks nothing",
+                CHECKS["VPR009"].severity,
+                method=method.name,
+                line=node.pos,
+                subject=stmt,
+            ))
+
+    return findings

@@ -4,6 +4,7 @@ Subcommands::
 
     python -m repro.cli translate FILE.vpr [-o OUT.bpl] [options]
     python -m repro.cli certify   FILE.vpr [-o OUT.cert] [--oracle] [--timings]
+    python -m repro.cli lint      FILE.vpr [--json] [--select IDS] [--ignore IDS]
     python -m repro.cli check     FILE.vpr OUT.bpl OUT.cert
     python -m repro.cli verify    FILE.vpr
     python -m repro.cli bench     [SUITE] [--jobs N] [--json PATH]
@@ -16,8 +17,11 @@ Subcommands::
 source, parses the Boogie file with the Boogie parser, parses the
 certificate, and runs only the trusted kernel — the translator is not
 involved.  ``verify`` runs the bounded back-end on each procedure.
-``fuzz`` adversarially stress-tests the kernel (:mod:`repro.fuzz`): it
-exits 0 iff no iteration crashed or produced an oracle disagreement.
+``lint`` runs the advisory static analyzer (:mod:`repro.analysis`) and
+exits 0 when clean, 1 when findings remain, and 2 when the program could
+not even be parsed.  ``fuzz`` adversarially stress-tests the kernel
+(:mod:`repro.fuzz`): it exits 0 iff no iteration crashed or produced an
+oracle disagreement.
 ``serve`` runs the long-lived certification server
 (:mod:`repro.service`); ``loadgen`` replays the harness corpus against
 one and reports latency percentiles, throughput, and the cache split.
@@ -88,7 +92,8 @@ def _print_timings(ctx: PipelineContext) -> None:
 
 def cmd_translate(args: argparse.Namespace) -> int:
     """`translate`: emit the Boogie program for a Viper file."""
-    ctx = _run_file_pipeline(args.file, "translate", _options_from(args))
+    ctx = _run_file_pipeline(args.file, "translate", _options_from(args),
+                             analyze=not args.no_analyze)
     text = ctx.boogie_text
     if args.output:
         with open(args.output, "w", encoding="utf-8") as handle:
@@ -103,7 +108,8 @@ def cmd_translate(args: argparse.Namespace) -> int:
 
 def cmd_certify(args: argparse.Namespace) -> int:
     """`certify`: translate, generate, serialise, and independently check."""
-    ctx = _run_file_pipeline(args.file, "check", _options_from(args))
+    ctx = _run_file_pipeline(args.file, "check", _options_from(args),
+                             analyze=not args.no_analyze)
     report = ctx.report
     if not report.ok:
         print(f"certification FAILED: {report.error}", file=sys.stderr)
@@ -127,6 +133,51 @@ def cmd_certify(args: argparse.Namespace) -> int:
             if not verdict.ok:
                 return 1
     return 0
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    """`lint`: run the static analyzer on a Viper file.
+
+    Exit codes follow the linter convention: 0 = clean, 1 = findings,
+    2 = the program could not be analyzed (parse failure) or the check
+    selection was invalid.
+    """
+    from .analysis import CHECKS, lint_source
+
+    if args.list_checks:
+        for code in sorted(CHECKS):
+            info = CHECKS[code]
+            print(f"{code}  {info.severity:<7} {info.name:<22} {info.summary}")
+        return 0
+    if not args.file:
+        print("lint: a FILE argument is required (or --list-checks)",
+              file=sys.stderr)
+        return 2
+    try:
+        result = lint_source(
+            _read_source(args.file),
+            select=args.select.split(",") if args.select else None,
+            ignore=args.ignore.split(",") if args.ignore else None,
+            error_on_warn=args.error_on_warn,
+        )
+    except ValueError as error:
+        print(f"lint: {error}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(result.to_dict(), indent=2))
+        return result.exit_code
+    if result.error is not None:
+        print(result.error.render(), file=sys.stderr)
+        return result.exit_code
+    for finding in result.findings:
+        where = f"{args.file}:{finding.line}" if finding.line else args.file
+        scope = f" [{finding.method}]" if finding.method else ""
+        print(f"{where}: {finding.severity} {finding.code}{scope}: "
+              f"{finding.message}")
+    noun = "finding" if len(result.findings) == 1 else "findings"
+    tail = f", {result.suppressed} suppressed" if result.suppressed else ""
+    print(f"{len(result.findings)} {noun}{tail}")
+    return result.exit_code
 
 
 def cmd_check(args: argparse.Namespace) -> int:
@@ -281,6 +332,7 @@ def cmd_loadgen(args: argparse.Namespace) -> int:
         suite=args.suite,
         warmup=args.warmup,
         baseline=args.baseline,
+        defects=args.defects,
         report_path=args.report,
     )
     try:
@@ -347,6 +399,22 @@ def build_parser() -> argparse.ArgumentParser:
                                   "assertions")
         command.add_argument("--timings", action="store_true",
                              help="print per-stage instrumentation records")
+        command.add_argument("--no-analyze", action="store_true",
+                             help="skip the advisory static-analysis stage")
+    lint = sub.add_parser("lint", help="static analysis (advisory lints)")
+    lint.add_argument("file", nargs="?",
+                      help="the Viper source to analyze")
+    lint.add_argument("--json", action="store_true",
+                      help="emit findings as machine-readable JSON")
+    lint.add_argument("--select", metavar="IDS",
+                      help="comma-separated check IDs to run exclusively "
+                           "(e.g. VPR001,VPR008)")
+    lint.add_argument("--ignore", metavar="IDS",
+                      help="comma-separated check IDs to drop")
+    lint.add_argument("--error-on-warn", action="store_true",
+                      help="promote every warning finding to error severity")
+    lint.add_argument("--list-checks", action="store_true",
+                      help="print the check catalog and exit")
     check = sub.add_parser("check", help="independently check a certificate")
     check.add_argument("file", help="the Viper source")
     check.add_argument("boogie", help="the Boogie translation (.bpl)")
@@ -437,6 +505,9 @@ def build_parser() -> argparse.ArgumentParser:
     loadgen.add_argument("--warmup", action="store_true",
                          help="send each program once, unmeasured, before "
                               "the run (reports warm-cache behaviour)")
+    loadgen.add_argument("--defects", type=int, default=0, metavar="N",
+                         help="mix N lint-defective requests into the run "
+                              "(exercises the 422 admission fast path)")
     loadgen.add_argument("--baseline", type=int, default=0, metavar="N",
                          help="also time N single-shot CLI certifications "
                               "for the speedup comparison")
@@ -496,6 +567,7 @@ def main(argv: Optional[list] = None) -> int:
     handlers = {
         "translate": cmd_translate,
         "certify": cmd_certify,
+        "lint": cmd_lint,
         "check": cmd_check,
         "verify": cmd_verify,
         "rules": cmd_rules,

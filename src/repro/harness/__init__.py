@@ -18,6 +18,7 @@ from .runner import (  # noqa: F401
     SuiteMetrics,
 )
 from .tables import (  # noqa: F401
+    analysis_overhead,
     bench_report,
     blowup_factor,
     render_bench_json,

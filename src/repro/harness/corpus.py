@@ -299,13 +299,13 @@ method {name}(x: Ref)
         args = {"ref": "x", "int": "t", "bool": "b"}
         call_args = ", ".join(args[kind] for kind in arg_kinds)
         body_lines = [
-            "  var r: Int",
             "  var t: Int",
             "  var b: Bool",
             f"  t := {self._rng.randint(0, 5)}",
             "  b := true",
         ]
         if has_ret:
+            body_lines.insert(0, "  var r: Int")
             body_lines.append(f"  r := {callee}({call_args})")
             body_lines.append("  assert r == r")
         else:
@@ -436,8 +436,7 @@ def generate_file(suite: str, name: str, target_loc: int, method_count: int) -> 
     field_count = 1 if target_loc < 30 else (2 if target_loc < 120 else 3)
     fields = [f"f{i}" for i in range(field_count)]
     factory = _MethodFactory(rng, style, fields)
-    header = "\n".join(f"field {f}: Int" for f in fields)
-    parts: List[str] = [f"// suite: {suite}, file: {name} (synthesised)", header]
+    parts: List[str] = []
     if style == "mpp":
         # MPP files: few, large product methods plus small helpers.
         product_methods = max(1, method_count - 2)
@@ -465,6 +464,14 @@ def generate_file(suite: str, name: str, target_loc: int, method_count: int) -> 
                 parts.append(factory.caller())
             else:
                 parts.append(factory.random_method())
+    # Declare only the fields the generated methods actually mention, so the
+    # corpus itself lints clean (VPR006); the header is assembled *after*
+    # method generation, which consumes no randomness and therefore keeps
+    # per-file determinism intact.
+    method_text = "\n".join(parts)
+    used = [f for f in fields if f".{f}" in method_text]
+    header = "\n".join(f"field {f}: Int" for f in (used or fields[:1]))
+    parts = [f"// suite: {suite}, file: {name} (synthesised)", header] + parts
     source = "\n".join(parts) + "\n"
     return CorpusFile(suite=suite, name=name, source=source, paper_loc=target_loc)
 

@@ -91,6 +91,28 @@ def blowup_factor(per_suite: Dict[str, List[FileMetrics]]) -> float:
     return total_boogie / total_viper if total_viper else 0.0
 
 
+def analysis_overhead(per_suite: Dict[str, List[FileMetrics]]) -> Dict[str, object]:
+    """The static-analysis overhead summary of ``bench --json``.
+
+    The advisory ``analyze`` stage (docs/ANALYSIS.md) ships with a
+    performance budget: < 5% of the pipeline's wall-clock over the full
+    corpus.  ``fraction`` is corpus-total analyze seconds over corpus-total
+    pipeline seconds; ``within_budget`` makes the acceptance criterion a
+    machine-checkable field rather than a reviewer computation.
+    """
+    all_metrics = [m for metrics in per_suite.values() for m in metrics]
+    analyze = sum(m.analyze_seconds for m in all_metrics)
+    total = sum(m.total_seconds for m in all_metrics)
+    fraction = analyze / total if total else 0.0
+    return {
+        "analyze_seconds": analyze,
+        "pipeline_seconds": total,
+        "fraction": fraction,
+        "budget_fraction": 0.05,
+        "within_budget": fraction < 0.05,
+    }
+
+
 def bench_report(
     per_suite: Dict[str, List[FileMetrics]],
     jobs: Optional[int] = None,
@@ -105,6 +127,7 @@ def bench_report(
                               "aggregate": {Table-1 row}}},
           "overall": {Table-1 Overall row},
           "blowup_factor": float,
+          "analysis_overhead": {"fraction": ..., "within_budget": bool},
         }
     """
     suites: Dict[str, object] = {}
@@ -122,6 +145,7 @@ def bench_report(
         "suites": suites,
         "overall": aggregate_overall(per_suite).to_dict(),
         "blowup_factor": blowup_factor(per_suite),
+        "analysis_overhead": analysis_overhead(per_suite),
     }
 
 

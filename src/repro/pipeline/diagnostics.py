@@ -37,7 +37,12 @@ class SourceLocation:
 
 @dataclass
 class Diagnostic:
-    """One structured problem report emitted by a pipeline stage."""
+    """One structured problem report emitted by a pipeline stage.
+
+    ``code`` is a stable machine-readable identifier (e.g. the analyzer's
+    ``VPR00x`` check IDs); empty for diagnostics that predate codes, so all
+    existing constructor calls keep working unchanged.
+    """
 
     stage: str
     message: str
@@ -45,14 +50,34 @@ class Diagnostic:
     hint: str = ""
     severity: str = "error"
     cause: Optional[BaseException] = field(default=None, repr=False)
+    code: str = ""
 
     def render(self) -> str:
         """A human-readable, single-block rendering for the CLI."""
         where = f" at {self.location}" if self.location else ""
-        lines = [f"{self.severity}[{self.stage}]{where}: {self.message}"]
+        code = f" {self.code}" if self.code else ""
+        lines = [f"{self.severity}[{self.stage}]{code}{where}: {self.message}"]
         if self.hint:
             lines.append(f"  hint: {self.hint}")
         return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        """JSON-ready rendering (used by ``repro lint --json`` and the
+        service's 422 payloads)."""
+        payload = {
+            "stage": self.stage,
+            "severity": self.severity,
+            "message": self.message,
+        }
+        if self.code:
+            payload["code"] = self.code
+        if self.location is not None:
+            payload["line"] = self.location.line
+            if self.location.column:
+                payload["column"] = self.location.column
+        if self.hint:
+            payload["hint"] = self.hint
+        return payload
 
 
 class PipelineError(Exception):
@@ -103,6 +128,8 @@ _STAGE_HINTS = {
                "loop invariants and old() expressions are well-formed",
     "typecheck": "declare every variable/field with a matching type; run "
                  "`repro translate FILE` for the full type report",
+    "analyze": "the static analyzer found likely defects; run `repro lint "
+               "FILE` for the full report, or pass --no-analyze to skip",
     "translate": "the program uses a construct outside the supported Viper "
                  "subset (see README.md, Scope)",
     "generate": "certificate generation failed — this indicates a translator/"
@@ -119,6 +146,7 @@ _STAGE_ERROR_CLASS = {
     "parse": ParseError,
     "desugar": TranslateError,
     "typecheck": TypecheckError,
+    "analyze": TypecheckError,
     "translate": TranslateError,
     "generate": CertificationError,
     "render": CertificationError,
@@ -148,12 +176,19 @@ def wrap_exception(stage: str, error: BaseException) -> PipelineError:
     location (when available), and the stage's recovery hint; the original
     exception is preserved for ``raise ... from``.
     """
+    code = ""
+    findings = getattr(error, "findings", None)
+    if findings:
+        errors = [f for f in findings if getattr(f, "severity", "") == "error"]
+        head = errors[0] if errors else findings[0]
+        code = getattr(head, "code", "") or ""
     diagnostic = Diagnostic(
         stage=stage,
         message=str(error) or error.__class__.__name__,
         location=_location_of(error),
         hint=_STAGE_HINTS.get(stage, ""),
         cause=error,
+        code=code,
     )
     error_class: Type[PipelineError] = _STAGE_ERROR_CLASS.get(stage, PipelineError)
     return error_class(diagnostic)
@@ -165,6 +200,7 @@ def wrappable_exceptions() -> Tuple[Type[BaseException], ...]:
     Deliberately excludes programming errors (``AttributeError`` & co.),
     which should surface as tracebacks, not diagnostics.
     """
+    from ..analysis.report import AnalysisError
     from ..certification import CertificateParseError, CheckError, ProofGenError
     from ..certification.exprcorr import CorrespondenceError
     from ..frontend import TranslationError
@@ -175,6 +211,7 @@ def wrappable_exceptions() -> Tuple[Type[BaseException], ...]:
         ViperTypeError,
         OldExprError,
         TranslationError,
+        AnalysisError,
         ProofGenError,
         CertificateParseError,
         CheckError,

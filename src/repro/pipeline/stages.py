@@ -2,12 +2,17 @@
 
 The paper's workflow is a fixed sequence::
 
-    parse → desugar → typecheck → translate → generate → render → reparse → check
+    parse → desugar → typecheck → analyze → translate → generate → render
+          → reparse → check
 
 * ``parse``      — Viper source text → Viper AST,
 * ``desugar``    — loops / ``old()`` / ``new`` / complex call arguments are
   lowered into the core subset (no-ops when the features are absent),
 * ``typecheck``  — scope and type analysis (:class:`ProgramTypeInfo`),
+* ``analyze``    — the advisory static-analysis pass (:mod:`repro.analysis`)
+  over the *pre-desugaring* AST snapshot; skippable (``ctx.analyze``),
+  never cached, and only rejecting in strict mode (``ctx.analysis_strict``,
+  used by the service's admission fast path),
 * ``translate``  — the instrumented Viper-to-Boogie translation
   (**untrusted**, cacheable),
 * ``generate``   — the tactic builds the program certificate from hints
@@ -74,9 +79,19 @@ class PipelineContext:
     wrap_errors: bool = False
     #: Check background axioms during the final theorem assembly.
     check_axioms: bool = True
+    #: Run the advisory static-analysis stage?  (Gates the stage; when
+    #: False it is recorded as skipped, like a cache hit.)
+    analyze: bool = True
+    #: Reject on error-severity findings (the service's admission mode)?
+    #: The default keeps library/CLI behaviour advisory: findings are
+    #: collected but never block certification — the kernel's verdict,
+    #: not the linter's, is the trusted one.
+    analysis_strict: bool = False
 
     # artifacts, in stage order
     program: object = None              # parse / desugar → viper Program
+    parsed_program: object = None       # parse → pre-desugaring snapshot
+    findings: object = None             # analyze → List[analysis.Finding]
     type_info: object = None            # typecheck → ProgramTypeInfo
     translation: Optional[TranslationResult] = None   # translate
     boogie_text: Optional[str] = None   # translate (pretty-printed .bpl)
@@ -103,6 +118,9 @@ class PipelineContext:
 
 def _stage_parse(ctx: PipelineContext) -> None:
     ctx.program = parse_program(ctx.source)
+    # Keep the pre-desugaring AST for the analyze stage: findings must
+    # cite the source the programmer wrote, not the lowered core forms.
+    ctx.parsed_program = ctx.program
 
 
 def _stage_desugar(ctx: PipelineContext) -> None:
@@ -120,6 +138,20 @@ def _stage_desugar(ctx: PipelineContext) -> None:
 
 def _stage_typecheck(ctx: PipelineContext) -> None:
     ctx.type_info = check_program(ctx.program)
+
+
+def _stage_analyze(ctx: PipelineContext) -> None:
+    # Imported lazily: the analysis package is an optional, advisory layer
+    # on top of the pipeline, never a load-bearing dependency of it.
+    from ..analysis.checks import analyze_program
+    from ..analysis.report import AnalysisError, apply_suppressions
+
+    program = ctx.parsed_program if ctx.parsed_program is not None else ctx.program
+    findings = analyze_program(program)
+    findings, _ = apply_suppressions(findings, ctx.source)
+    ctx.findings = findings
+    if ctx.analysis_strict and any(f.severity == "error" for f in findings):
+        raise AnalysisError(findings)
 
 
 def _stage_translate(ctx: PipelineContext) -> None:
@@ -159,6 +191,9 @@ class Stage:
     run: Callable[[PipelineContext], None]
     #: Can this stage's artifact be served from the ArtifactCache?
     cacheable: bool = False
+    #: Name of a boolean PipelineContext attribute gating the stage; when
+    #: it is False the stage is recorded as skipped instead of run.
+    gate: Optional[str] = None
 
 
 #: The stage graph, in execution order — the one place it is spelled out.
@@ -166,6 +201,7 @@ STAGES: Tuple[Stage, ...] = (
     Stage("parse", "program", _stage_parse),
     Stage("desugar", "program", _stage_desugar),
     Stage("typecheck", "type_info", _stage_typecheck),
+    Stage("analyze", "findings", _stage_analyze, gate="analyze"),
     Stage("translate", "translation", _stage_translate, cacheable=True),
     Stage("generate", "certificate", _stage_generate, cacheable=True),
     Stage("render", "certificate_text", _stage_render, cacheable=True),
@@ -265,8 +301,12 @@ def _record_artifacts(ctx: PipelineContext, stage: Stage) -> None:
 
 
 def run_stage(ctx: PipelineContext, name: str) -> PipelineContext:
-    """Run (or skip, on a cache hit) one named stage."""
+    """Run (or skip, on a gate / cache hit) one named stage."""
     stage = _STAGE_BY_NAME[name]
+    if stage.gate is not None and not getattr(ctx, stage.gate):
+        ctx.instrumentation.record_skip(stage.name)
+        ctx.completed.add(stage.name)
+        return ctx
     if _try_cached(ctx, stage):
         _record_artifacts(ctx, stage)
         ctx.completed.add(stage.name)
@@ -294,6 +334,8 @@ def make_context(
     cache: Optional[ArtifactCache] = None,
     wrap_errors: bool = False,
     check_axioms: bool = True,
+    analyze: bool = True,
+    analysis_strict: bool = False,
 ) -> PipelineContext:
     """Prepare a fresh context without running anything."""
     return PipelineContext(
@@ -303,6 +345,8 @@ def make_context(
         cache=cache,
         wrap_errors=wrap_errors,
         check_axioms=check_axioms,
+        analyze=analyze,
+        analysis_strict=analysis_strict,
     )
 
 
@@ -315,6 +359,8 @@ def run_pipeline(
     cache: Optional[ArtifactCache] = None,
     wrap_errors: bool = False,
     check_axioms: bool = True,
+    analyze: bool = True,
+    analysis_strict: bool = False,
 ) -> PipelineContext:
     """Run the pipeline from the start through stage ``upto`` (inclusive).
 
@@ -329,6 +375,8 @@ def run_pipeline(
         cache=cache,
         wrap_errors=wrap_errors,
         check_axioms=check_axioms,
+        analyze=analyze,
+        analysis_strict=analysis_strict,
     )
     for stage in STAGES[: last + 1]:
         run_stage(ctx, stage.name)

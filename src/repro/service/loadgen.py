@@ -50,6 +50,10 @@ class LoadgenConfig:
     warmup: bool = False
     #: Also time N single-shot CLI invocations for the speedup baseline.
     baseline: int = 0
+    #: Mix N lint-defective requests into the run (spread evenly).  Each is
+    #: a corpus program with a seeded permission-flow defect the admission
+    #: analyzer provably rejects, so the run exercises the 422 fast path.
+    defects: int = 0
     report_path: Optional[str] = str(DEFAULT_REPORT)
 
 
@@ -60,6 +64,8 @@ class _Sample:
     rejected: bool
     cache: str
     retries: int = 0
+    #: 422 from the admission analyzer (the lint fast path).
+    lint_rejected: bool = False
 
 
 @dataclass
@@ -78,6 +84,43 @@ def corpus_payloads(suite: Optional[str] = None) -> List[Dict[str, Any]]:
     else:
         files = [f for file_list in full_corpus().values() for f in file_list]
     return [{"source": f.source} for f in files]
+
+
+#: Seeded defect appended to a corpus program to build the "bad" corpus:
+#: a write under a provably-half permission, which the admission analyzer
+#: rejects (VPR008, error severity) before any untrusted stage runs.
+_DEFECT_SNIPPET = """
+field lintbad: Int
+
+method lint_defect_writer(q: Ref)
+  requires acc(q.lintbad, 1/2)
+  ensures acc(q.lintbad, 1/2)
+{
+  q.lintbad := 1
+}
+"""
+
+
+def defective_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """A copy of ``payload`` with a seeded lint defect appended."""
+    bad = dict(payload)
+    bad["source"] = payload["source"] + _DEFECT_SNIPPET
+    return bad
+
+
+def request_sequence(
+    payloads: List[Dict[str, Any]], total: int, defects: int
+) -> List[Dict[str, Any]]:
+    """The per-request payload schedule: corpus round-robin with ``defects``
+    defective requests spread evenly through the run."""
+    sequence = [payloads[i % len(payloads)] for i in range(total)]
+    defects = max(0, min(defects, total))
+    if defects:
+        step = total / defects
+        for k in range(defects):
+            index = min(total - 1, int(k * step))
+            sequence[index] = defective_payload(sequence[index])
+    return sequence
 
 
 def percentile(values: List[float], q: float) -> float:
@@ -127,6 +170,10 @@ def _drive(
                         rejected=bool(response.get("rejected")),
                         cache=str(response.get("cache", "miss")),
                         retries=retries,
+                        lint_rejected=(
+                            response.get("_status") == 422
+                            and response.get("error_stage") == "analyze"
+                        ),
                     ))
                     break
 
@@ -190,8 +237,9 @@ def run_loadgen(config: LoadgenConfig) -> Dict[str, Any]:
             except ServiceError:
                 pass
 
+    sequence = request_sequence(payloads, config.requests, config.defects)
     started = time.perf_counter()
-    states = _drive(config, payloads, config.requests)
+    states = _drive(config, sequence, config.requests)
     duration = time.perf_counter() - started
 
     samples = [s for state in states for s in state.samples]
@@ -220,6 +268,7 @@ def run_loadgen(config: LoadgenConfig) -> Dict[str, Any]:
             "suite": config.suite or "all",
             "corpus_files": len(payloads),
             "warmup": config.warmup,
+            "defects": config.defects,
         },
         "duration_seconds": round(duration, 4),
         "throughput_rps": round(len(samples) / duration, 3) if duration else 0.0,
@@ -235,6 +284,7 @@ def run_loadgen(config: LoadgenConfig) -> Dict[str, Any]:
             "completed": len(samples),
             "ok": sum(1 for s in samples if s.ok),
             "rejected": sum(1 for s in samples if s.rejected),
+            "lint_rejected": sum(1 for s in samples if s.lint_rejected),
             "throttled_retries": throttled,
             "errors": len(errors),
             "error_samples": errors[:5],
@@ -275,6 +325,7 @@ def summarise(report: Dict[str, Any]) -> str:
         f"  latency ms: p50={latency['p50']} p95={latency['p95']} "
         f"p99={latency['p99']} max={latency['max']}",
         f"  outcomes: ok={outcomes['ok']} rejected={outcomes['rejected']} "
+        f"lint-rejected={outcomes.get('lint_rejected', 0)} "
         f"errors={outcomes['errors']} throttled-retries={outcomes['throttled_retries']}",
         f"  cache: memory={cache['memory']} disk={cache['disk']} "
         f"miss={cache['miss']} hit-rate={cache['hit_rate']}",

@@ -223,6 +223,20 @@ class CertificationService:
             "repro_verdicts_total", labels={"endpoint": endpoint, "verdict": verdict},
             help="Application verdicts per endpoint.",
         )
+        if response.get("error_stage") == "analyze":
+            # The admission fast path turned the request away before any
+            # untrusted stage ran.
+            self.metrics.inc(
+                "repro_lint_rejections_total",
+                help="Requests rejected at admission by the static analyzer.",
+            )
+            for finding in response.get("findings", ()):
+                code = finding.get("code")
+                if code:
+                    self.metrics.inc(
+                        "repro_lint_findings_total", labels={"code": code},
+                        help="Findings on lint-rejected requests, by check ID.",
+                    )
 
     # -- lifecycle ---------------------------------------------------------
 

@@ -134,6 +134,14 @@ def _diagnostic_response(action: str, inst: PipelineInstrumentation, error: Pipe
         error_stage=error.diagnostic.stage,
         hint=error.diagnostic.hint,
     )
+    if error.diagnostic.code:
+        response["code"] = error.diagnostic.code
+    findings = getattr(error.diagnostic.cause, "findings", None)
+    if findings:
+        # Lint rejections ship the full finding list so clients (and the
+        # server's per-check counters) see every diagnostic, not just the
+        # summary line.
+        response["findings"] = [f.to_dict() for f in findings]
     return response
 
 
@@ -211,12 +219,17 @@ def _handle(payload: Dict[str, Any]) -> Dict[str, Any]:
     ctx = make_context(
         source, options, instrumentation=inst, cache=memory, wrap_errors=True,
         check_axioms=bool(payload.get("check_axioms", True)),
+        analyze=bool(payload.get("analyze", True)),
+        analysis_strict=True,
     )
     disk_key = (ctx.key[0], options_digest(options))
 
-    # The cheap trusted-input stages always run fresh.
+    # The cheap trusted-input stages always run fresh, and so does the
+    # admission fast path: strict static analysis rejects provably-broken
+    # programs with a 422 *before* any cache lookup or untrusted stage —
+    # a lint-rejected request never reaches translate.
     try:
-        resume_pipeline(ctx, upto="typecheck")
+        resume_pipeline(ctx, upto="analyze")
     except PipelineError as error:
         return _diagnostic_response(action, inst, error)
 

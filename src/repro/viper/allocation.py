@@ -24,8 +24,8 @@ applied by hand.  ``new(*)`` allocates with all declared fields.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
 
 from .ast import (
     Acc,
@@ -61,6 +61,7 @@ class NewStmt:
     target: str
     fields: Tuple[str, ...] = ()
     all_fields: bool = False
+    pos: Optional[int] = field(default=None, compare=False, repr=False)
 
 
 class AllocationError(Exception):
@@ -98,7 +99,9 @@ def desugar_new(program: Program) -> Program:
             if isinstance(stmt, Seq):
                 return Seq(rewrite(stmt.first), rewrite(stmt.second))
             if isinstance(stmt, If):
-                return If(stmt.cond, rewrite(stmt.then), rewrite(stmt.otherwise))
+                return If(
+                    stmt.cond, rewrite(stmt.then), rewrite(stmt.otherwise), pos=stmt.pos
+                )
             if isinstance(stmt, NewStmt):
                 fields = declared_fields if stmt.all_fields else stmt.fields
                 for field_name in fields:
@@ -116,11 +119,12 @@ def desugar_new(program: Program) -> Program:
                         assertion,
                         Acc(Var(stmt.target), field_name, PermLit(Fraction(1))),
                     )
+                # Every synthesized statement cites the allocation's line.
                 return Seq(
-                    VarDecl(fresh, Type.REF),
+                    VarDecl(fresh, Type.REF, pos=stmt.pos),
                     Seq(
-                        LocalAssign(stmt.target, Var(fresh)),
-                        Inhale(assertion),
+                        LocalAssign(stmt.target, Var(fresh), pos=stmt.pos),
+                        Inhale(assertion, pos=stmt.pos),
                     ),
                 )
             return stmt
@@ -133,6 +137,7 @@ def desugar_new(program: Program) -> Program:
                 method.pre,
                 method.post,
                 rewrite(method.body),
+                pos=method.pos,
             )
         )
     return Program(program.fields, tuple(methods))

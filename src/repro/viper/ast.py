@@ -16,6 +16,13 @@ Sequential composition is kept *binary* (``Seq``), exactly as in the paper,
 because the mismatch between Viper's tree-shaped statements and Boogie's
 block-list statements is one of the difficulties the proof generation must
 handle (Sec. 2.1, Sec. 4.3).
+
+Statement and declaration nodes carry an optional ``pos`` (1-based source
+line) used exclusively for diagnostics.  ``pos`` is declared with
+``compare=False`` so it participates in neither ``__eq__`` nor the generated
+``__hash__`` — structural equality is what the translator and the
+certification kernel rely on when using nodes as dictionary keys, and two
+statements that differ only in where they were written remain equal.
 """
 
 from __future__ import annotations
@@ -218,6 +225,7 @@ class LocalAssign:
 
     target: str
     rhs: Expr
+    pos: Optional[int] = field(default=None, compare=False, repr=False)
 
 
 @dataclass(frozen=True)
@@ -227,6 +235,7 @@ class FieldAssign:
     receiver: Expr
     field: str
     rhs: Expr
+    pos: Optional[int] = field(default=None, compare=False, repr=False)
 
 
 @dataclass(frozen=True)
@@ -236,6 +245,7 @@ class MethodCall:
     targets: Tuple[str, ...]
     method: str
     args: Tuple[Expr, ...]
+    pos: Optional[int] = field(default=None, compare=False, repr=False)
 
 
 @dataclass(frozen=True)
@@ -244,21 +254,25 @@ class VarDecl:
 
     name: str
     typ: Type
+    pos: Optional[int] = field(default=None, compare=False, repr=False)
 
 
 @dataclass(frozen=True)
 class Inhale:
     assertion: Assertion
+    pos: Optional[int] = field(default=None, compare=False, repr=False)
 
 
 @dataclass(frozen=True)
 class Exhale:
     assertion: Assertion
+    pos: Optional[int] = field(default=None, compare=False, repr=False)
 
 
 @dataclass(frozen=True)
 class AssertStmt:
     assertion: Assertion
+    pos: Optional[int] = field(default=None, compare=False, repr=False)
 
 
 @dataclass(frozen=True)
@@ -274,6 +288,7 @@ class If:
     cond: Expr
     then: "Stmt"
     otherwise: "Stmt"
+    pos: Optional[int] = field(default=None, compare=False, repr=False)
 
 
 @dataclass(frozen=True)
@@ -297,6 +312,13 @@ def seq_of(*stmts: Stmt) -> Stmt:
     return result
 
 
+def stmt_pos(stmt: Stmt) -> Optional[int]:
+    """Best-effort source line of a statement (``Seq`` delegates leftward)."""
+    if isinstance(stmt, Seq):
+        return stmt_pos(stmt.first) or stmt_pos(stmt.second)
+    return getattr(stmt, "pos", None)
+
+
 def stmt_size(stmt: Stmt) -> int:
     """Number of AST nodes in a statement (used by harness metrics)."""
     if isinstance(stmt, Seq):
@@ -317,6 +339,7 @@ class FieldDecl:
 
     name: str
     typ: Type
+    pos: Optional[int] = field(default=None, compare=False, repr=False)
 
 
 @dataclass(frozen=True)
@@ -333,6 +356,7 @@ class MethodDecl:
     pre: Assertion
     post: Assertion
     body: Optional[Stmt]
+    pos: Optional[int] = field(default=None, compare=False, repr=False)
 
     @property
     def arg_names(self) -> Tuple[str, ...]:

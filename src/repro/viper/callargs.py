@@ -77,10 +77,14 @@ def hoist_call_args(program: Program) -> Program:
             if isinstance(stmt, Seq):
                 return Seq(rewrite(stmt.first), rewrite(stmt.second))
             if isinstance(stmt, If):
-                return If(stmt.cond, rewrite(stmt.then), rewrite(stmt.otherwise))
+                return If(
+                    stmt.cond, rewrite(stmt.then), rewrite(stmt.otherwise), pos=stmt.pos
+                )
             if isinstance(stmt, MethodCall) and any(
                 not isinstance(arg, Var) for arg in stmt.args
             ):
+                # The hoisted prologue inherits the call's source line so
+                # later diagnostics point at the call the programmer wrote.
                 prologue: List[Stmt] = []
                 new_args = []
                 for arg in stmt.args:
@@ -91,10 +95,12 @@ def hoist_call_args(program: Program) -> Program:
                     counter[0] += 1
                     typ = viper_expr_type(arg, var_types, field_types)
                     var_types[name] = typ
-                    prologue.append(VarDecl(name, typ))
-                    prologue.append(LocalAssign(name, arg))
+                    prologue.append(VarDecl(name, typ, pos=stmt.pos))
+                    prologue.append(LocalAssign(name, arg, pos=stmt.pos))
                     new_args.append(Var(name))
-                result: Stmt = MethodCall(stmt.targets, stmt.method, tuple(new_args))
+                result: Stmt = MethodCall(
+                    stmt.targets, stmt.method, tuple(new_args), pos=stmt.pos
+                )
                 for intro in reversed(prologue):
                     result = Seq(intro, result)
                 return result
@@ -108,6 +114,7 @@ def hoist_call_args(program: Program) -> Program:
                 method.pre,
                 method.post,
                 rewrite(method.body),
+                pos=method.pos,
             )
         )
     return Program(program.fields, tuple(methods))

@@ -37,7 +37,7 @@ precisely the standard loop proof obligation.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
 from .ast import (
@@ -77,6 +77,7 @@ class While:
     cond: Expr
     invariant: Assertion
     body: "Stmt"
+    pos: Optional[int] = field(default=None, compare=False, repr=False)
 
 
 def _assigned_vars(stmt: Stmt) -> Set[str]:
@@ -142,7 +143,10 @@ class LoopDesugarer:
             return Seq(self.desugar_stmt(stmt.first), self.desugar_stmt(stmt.second))
         if isinstance(stmt, If):
             return If(
-                stmt.cond, self.desugar_stmt(stmt.then), self.desugar_stmt(stmt.otherwise)
+                stmt.cond,
+                self.desugar_stmt(stmt.then),
+                self.desugar_stmt(stmt.otherwise),
+                pos=stmt.pos,
             )
         if isinstance(stmt, VarDecl):
             self._var_types[stmt.name] = stmt.typ
@@ -150,28 +154,33 @@ class LoopDesugarer:
         return stmt
 
     def _desugar_while(self, loop: While) -> Stmt:
+        # Synthesized statements inherit the loop-header line so that any
+        # diagnostic raised downstream (translate stage, analyzer) still
+        # cites the loop the programmer wrote.
+        pos = loop.pos
         body = self.desugar_stmt(loop.body)
         havocs: List[Stmt] = []
         for target in sorted(loop_targets(body)):
             havoc_name, typ = self._fresh_havoc_var(target)
-            havocs.append(VarDecl(havoc_name, typ))
-            havocs.append(LocalAssign(target, Var(havoc_name)))
+            havocs.append(VarDecl(havoc_name, typ, pos=pos))
+            havocs.append(LocalAssign(target, Var(havoc_name), pos=pos))
         not_cond = UnOp(UnOpKind.NOT, loop.cond)
         arbitrary_iteration = If(
             loop.cond,
             seq_of(
                 body,
-                Exhale(loop.invariant),
-                Inhale(AExpr(BoolLit(False))),  # cut the over-approximation
+                Exhale(loop.invariant, pos=pos),
+                Inhale(AExpr(BoolLit(False)), pos=pos),  # cut the over-approximation
             ),
             Skip(),
+            pos=pos,
         )
         return seq_of(
-            Exhale(loop.invariant),
+            Exhale(loop.invariant, pos=pos),
             *havocs,
-            Inhale(loop.invariant),
+            Inhale(loop.invariant, pos=pos),
             arbitrary_iteration,
-            Inhale(AExpr(not_cond)),
+            Inhale(AExpr(not_cond), pos=pos),
         )
 
 
@@ -182,7 +191,13 @@ def desugar_method(method: MethodDecl, var_types: Dict[str, Type]) -> MethodDecl
     desugarer = LoopDesugarer(var_types)
     body = desugarer.desugar_stmt(method.body)
     return MethodDecl(
-        method.name, method.args, method.returns, method.pre, method.post, body
+        method.name,
+        method.args,
+        method.returns,
+        method.pre,
+        method.post,
+        body,
+        pos=method.pos,
     )
 
 

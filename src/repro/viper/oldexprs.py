@@ -200,6 +200,8 @@ def _replace_in_assertion(assertion: Assertion, mapping: Dict[Expr, str]) -> Ass
 
 
 def _replace_in_stmt(stmt: Stmt, mapping: Dict[Expr, str]) -> Stmt:
+    # Rewritten statements keep their original source position so that
+    # post-desugar diagnostics still cite the line the programmer wrote.
     if isinstance(stmt, Seq):
         return Seq(_replace_in_stmt(stmt.first, mapping), _replace_in_stmt(stmt.second, mapping))
     if isinstance(stmt, If):
@@ -207,26 +209,29 @@ def _replace_in_stmt(stmt: Stmt, mapping: Dict[Expr, str]) -> Stmt:
             _replace_in_expr(stmt.cond, mapping),
             _replace_in_stmt(stmt.then, mapping),
             _replace_in_stmt(stmt.otherwise, mapping),
+            pos=stmt.pos,
         )
     if isinstance(stmt, LocalAssign):
-        return LocalAssign(stmt.target, _replace_in_expr(stmt.rhs, mapping))
+        return LocalAssign(stmt.target, _replace_in_expr(stmt.rhs, mapping), pos=stmt.pos)
     if isinstance(stmt, FieldAssign):
         return FieldAssign(
             _replace_in_expr(stmt.receiver, mapping),
             stmt.field,
             _replace_in_expr(stmt.rhs, mapping),
+            pos=stmt.pos,
         )
     if isinstance(stmt, Inhale):
-        return Inhale(_replace_in_assertion(stmt.assertion, mapping))
+        return Inhale(_replace_in_assertion(stmt.assertion, mapping), pos=stmt.pos)
     if isinstance(stmt, Exhale):
-        return Exhale(_replace_in_assertion(stmt.assertion, mapping))
+        return Exhale(_replace_in_assertion(stmt.assertion, mapping), pos=stmt.pos)
     if isinstance(stmt, AssertStmt):
-        return AssertStmt(_replace_in_assertion(stmt.assertion, mapping))
+        return AssertStmt(_replace_in_assertion(stmt.assertion, mapping), pos=stmt.pos)
     if isinstance(stmt, MethodCall):
         return MethodCall(
             stmt.targets,
             stmt.method,
             tuple(_replace_in_expr(a, mapping) for a in stmt.args),
+            pos=stmt.pos,
         )
     return stmt
 
@@ -308,6 +313,7 @@ def desugar_old(program: Program) -> Program:
                 pre,
                 post,
                 body,
+                pos=method.pos,
             )
         )
     return Program(program.fields, tuple(methods))
@@ -325,7 +331,7 @@ def _rewrite_calls(
         if isinstance(node, Seq):
             return Seq(rewrite(node.first), rewrite(node.second))
         if isinstance(node, If):
-            return If(node.cond, rewrite(node.then), rewrite(node.otherwise))
+            return If(node.cond, rewrite(node.then), rewrite(node.otherwise), pos=node.pos)
         if isinstance(node, MethodCall) and node.method in infos:
             info = infos[node.method]
             if not info.captured:
@@ -338,10 +344,13 @@ def _rewrite_calls(
                 local = f"oldcap_{counter[0]}"
                 counter[0] += 1
                 actual = substitute_expr(expr, substitution)
-                capture_stmts.append(VarDecl(local, typ))
-                capture_stmts.append(LocalAssign(local, actual))
+                # Captures inherit the call site's line for diagnostics.
+                capture_stmts.append(VarDecl(local, typ, pos=node.pos))
+                capture_stmts.append(LocalAssign(local, actual, pos=node.pos))
                 extra_args.append(Var(local))
-            call = MethodCall(node.targets, node.method, node.args + tuple(extra_args))
+            call = MethodCall(
+                node.targets, node.method, node.args + tuple(extra_args), pos=node.pos
+            )
             result: Stmt = call
             for capture in reversed(capture_stmts):
                 result = Seq(capture, result)

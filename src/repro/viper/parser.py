@@ -122,10 +122,11 @@ class _Parser:
         return Program(tuple(fields), tuple(methods))
 
     def _parse_field_decl(self) -> FieldDecl:
+        line = self._peek().line
         self._expect("field")
         name = self._expect("ident").text
         self._expect(":")
-        return FieldDecl(name, self._parse_type())
+        return FieldDecl(name, self._parse_type(), pos=line)
 
     def _parse_type(self) -> Type:
         token = self._advance()
@@ -147,6 +148,7 @@ class _Parser:
         return tuple(params)
 
     def _parse_method_decl(self) -> MethodDecl:
+        line = self._peek().line
         self._expect("method")
         name = self._expect("ident").text
         args = self._parse_params()
@@ -172,6 +174,7 @@ class _Parser:
             _conjoin(pres),
             _conjoin(posts),
             body,
+            pos=line,
         )
 
     # -- statements ---------------------------------------------------------
@@ -186,24 +189,28 @@ class _Parser:
         return seq_of(*stmts)
 
     def _parse_stmt(self) -> Stmt:
+        line = self._peek().line
         if self._accept("var"):
             name = self._expect("ident").text
             self._expect(":")
             typ = self._parse_type()
             if self._accept(":="):
                 init = self.parse_expr()
-                return Seq(VarDecl(name, typ), LocalAssign(name, init))
-            return VarDecl(name, typ)
+                return Seq(
+                    VarDecl(name, typ, pos=line),
+                    LocalAssign(name, init, pos=line),
+                )
+            return VarDecl(name, typ, pos=line)
         if self._accept("inhale"):
-            return Inhale(self.parse_assertion())
+            return Inhale(self.parse_assertion(), pos=line)
         if self._accept("exhale"):
-            return Exhale(self.parse_assertion())
+            return Exhale(self.parse_assertion(), pos=line)
         if self._accept("assert"):
-            return AssertStmt(self.parse_assertion())
+            return AssertStmt(self.parse_assertion(), pos=line)
         if self._accept("assume"):
             # assume A desugars to inhale A for pure A (Viper restricts
             # assume to pure assertions).
-            return Inhale(self.parse_assertion())
+            return Inhale(self.parse_assertion(), pos=line)
         if self._check("if"):
             return self._parse_if()
         if self._check("while"):
@@ -211,6 +218,7 @@ class _Parser:
         return self._parse_assign_or_call()
 
     def _parse_if(self) -> Stmt:
+        line = self._peek().line
         self._expect("if")
         self._expect("(")
         cond = self.parse_expr()
@@ -224,11 +232,12 @@ class _Parser:
                 otherwise = self._parse_block()
         elif self._accept("elseif"):
             raise self._error("use 'else if' instead of 'elseif'")
-        return If(cond, then, otherwise)
+        return If(cond, then, otherwise, pos=line)
 
     def _parse_while(self) -> Stmt:
         from .loops import While
 
+        line = self._peek().line
         self._expect("while")
         self._expect("(")
         cond = self.parse_expr()
@@ -237,16 +246,17 @@ class _Parser:
         while self._accept("invariant"):
             invariants.append(self.parse_assertion())
         body = self._parse_block()
-        return While(cond, _conjoin(invariants), body)
+        return While(cond, _conjoin(invariants), body, pos=line)
 
     def _parse_assign_or_call(self) -> Stmt:
+        line = self._peek().line
         # Lookahead: ident (, ident)* := ...  |  ident(...)  |  expr.f := ...
         if self._check("ident"):
             # Call without targets: ident '('
             if self._peek(1).kind == "(":
                 name = self._advance().text
                 args = self._parse_call_args()
-                return MethodCall((), name, args)
+                return MethodCall((), name, args, pos=line)
             # Multi-target assignment / call: ident (',' ident)* ':='
             targets = [self._peek().text]
             offset = 1
@@ -262,38 +272,38 @@ class _Parser:
                 if self._check("new"):
                     if len(targets) != 1:
                         raise self._error("new() has a single target")
-                    return self._parse_new(targets[0])
+                    return self._parse_new(targets[0], line)
                 if (
                     self._check("ident")
                     and self._peek(1).kind == "("
                 ):
                     name = self._advance().text
                     args = self._parse_call_args()
-                    return MethodCall(tuple(targets), name, args)
+                    return MethodCall(tuple(targets), name, args, pos=line)
                 if len(targets) != 1:
                     raise self._error("multiple assignment targets require a call")
-                return LocalAssign(targets[0], self.parse_expr())
+                return LocalAssign(targets[0], self.parse_expr(), pos=line)
         # Field assignment: expr '.' field ':=' expr
         lhs = self.parse_expr()
         if isinstance(lhs, FieldAcc) and self._accept(":="):
-            return FieldAssign(lhs.receiver, lhs.field, self.parse_expr())
+            return FieldAssign(lhs.receiver, lhs.field, self.parse_expr(), pos=line)
         raise self._error("expected a statement")
 
-    def _parse_new(self, target: str) -> Stmt:
+    def _parse_new(self, target: str, line: Optional[int] = None) -> Stmt:
         from .allocation import NewStmt
 
         self._expect("new")
         self._expect("(")
         if self._accept("*"):
             self._expect(")")
-            return NewStmt(target, (), all_fields=True)
+            return NewStmt(target, (), all_fields=True, pos=line)
         fields = []
         if not self._check(")"):
             fields.append(self._expect("ident").text)
             while self._accept(","):
                 fields.append(self._expect("ident").text)
         self._expect(")")
-        return NewStmt(target, tuple(fields))
+        return NewStmt(target, tuple(fields), pos=line)
 
     def _parse_call_args(self) -> Tuple[Expr, ...]:
         self._expect("(")

@@ -1,0 +1,90 @@
+"""The negative corpus: one seeded defect per check ID.
+
+Each ``tests/analysis/corpus/*.vpr`` file carries an ``// expect:
+VPRxxx @ line`` header; the analyzer must report exactly the expected
+findings — same check ID, same source line, nothing else.  This pins both
+the detection *and* the precision of every check: a new false positive on
+any corpus file fails the exact-match assertion.
+"""
+
+import pathlib
+import re
+
+import pytest
+
+from repro.analysis import ALL_CHECK_IDS, CHECKS, lint_source
+
+CORPUS_DIR = pathlib.Path(__file__).parent / "corpus"
+CORPUS_FILES = sorted(CORPUS_DIR.glob("*.vpr"))
+
+_EXPECT_RE = re.compile(r"// expect: (VPR\d+) @ (\d+)")
+
+
+def _expectations(text: str):
+    return [(code, int(line)) for code, line in _EXPECT_RE.findall(text)]
+
+
+def test_corpus_exists_and_covers_every_check_id():
+    assert CORPUS_FILES, "tests/analysis/corpus/ is empty"
+    covered = set()
+    for path in CORPUS_FILES:
+        covered |= {code for code, _ in _expectations(path.read_text())}
+    assert covered == set(ALL_CHECK_IDS), (
+        f"corpus misses checks: {sorted(set(ALL_CHECK_IDS) - covered)}"
+    )
+
+
+@pytest.mark.parametrize("path", CORPUS_FILES, ids=lambda p: p.stem)
+def test_seeded_defect_is_flagged_exactly(path):
+    text = path.read_text()
+    expected = _expectations(text)
+    assert expected, f"{path.name} carries no // expect: header"
+    result = lint_source(text)
+    assert result.error is None, f"{path.name} failed to parse: {result.error}"
+    actual = [(f.code, f.line) for f in result.findings]
+    assert actual == expected, (
+        f"{path.name}: expected exactly {expected}, got "
+        f"{[(f.code, f.line, f.message) for f in result.findings]}"
+    )
+
+
+@pytest.mark.parametrize("path", CORPUS_FILES, ids=lambda p: p.stem)
+def test_seeded_defect_severity_matches_catalog(path):
+    result = lint_source(path.read_text())
+    for finding in result.findings:
+        assert finding.severity == CHECKS[finding.code].severity
+
+
+def test_old_in_precondition_is_spec_hygiene():
+    """The VPR009(a) variant: ``old()`` in a precondition is meaningless."""
+    source = """\
+field f: Int
+
+method m(x: Ref)
+  requires acc(x.f, write) && old(x.f) > 0
+  ensures acc(x.f, write)
+{
+  x.f := 1
+}
+"""
+    result = lint_source(source)
+    assert [(f.code) for f in result.findings] == ["VPR009"]
+    assert "precondition" in result.findings[0].message
+
+
+def test_suppression_marker_silences_the_seeded_defect():
+    path = CORPUS_DIR / "vpr009_spec_hygiene.vpr"
+    text = path.read_text().replace("assert true", "assert true  // lint:ignore")
+    result = lint_source(text)
+    assert result.findings == []
+    assert result.suppressed == 1
+
+
+def test_scoped_suppression_only_silences_listed_codes():
+    path = CORPUS_DIR / "vpr009_spec_hygiene.vpr"
+    text = path.read_text().replace(
+        "assert true", "assert true  // lint:ignore VPR001"
+    )
+    result = lint_source(text)
+    assert [f.code for f in result.findings] == ["VPR009"]
+    assert result.suppressed == 0

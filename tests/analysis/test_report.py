@@ -1,0 +1,144 @@
+"""Unit tests for the report layer (selection, promotion, exit codes) and
+the pipeline's ``analyze`` stage (advisory vs. strict)."""
+
+import pytest
+
+from repro.analysis import (
+    AnalysisError,
+    lint_source,
+    promote_warnings,
+    select_findings,
+    suppressed_lines,
+)
+from repro.pipeline import run_pipeline
+
+_CLEAN = """\
+field f: Int
+
+method m(x: Ref) returns (res: Int)
+  requires acc(x.f, write)
+  ensures acc(x.f, write)
+{
+  res := x.f
+}
+"""
+
+_WARN = _CLEAN.replace("res := x.f", "res := x.f\n  assert true")
+
+_ERROR = """\
+field f: Int
+
+method m(x: Ref)
+  requires acc(x.f, 1/2)
+  ensures acc(x.f, 1/2)
+{
+  x.f := 1
+}
+"""
+
+
+# ---------------------------------------------------------------------------
+# exit codes
+
+
+def test_exit_code_zero_on_clean():
+    result = lint_source(_CLEAN)
+    assert result.findings == [] and result.exit_code == 0
+
+
+def test_exit_code_one_on_findings():
+    result = lint_source(_WARN)
+    assert result.findings and result.exit_code == 1
+
+
+def test_exit_code_two_on_parse_error():
+    result = lint_source("method {{{")
+    assert result.error is not None
+    assert result.error.stage == "parse"
+    assert result.findings == [] and result.exit_code == 2
+
+
+def test_to_dict_carries_exit_code_and_findings():
+    payload = lint_source(_WARN).to_dict()
+    assert payload["exit_code"] == 1
+    assert payload["suppressed"] == 0
+    assert payload["findings"][0]["code"] == "VPR009"
+    assert "error" not in payload
+
+
+# ---------------------------------------------------------------------------
+# selection and promotion
+
+
+def test_select_keeps_only_listed_codes():
+    findings = lint_source(_WARN).findings
+    assert select_findings(findings, select=["VPR001"]) == []
+    assert [f.code for f in select_findings(findings, select=["vpr009"])] == [
+        "VPR009"
+    ]
+
+
+def test_ignore_drops_listed_codes():
+    findings = lint_source(_WARN).findings
+    assert select_findings(findings, ignore=["VPR009"]) == []
+
+
+def test_unknown_code_raises_value_error():
+    with pytest.raises(ValueError, match="VPR999"):
+        lint_source(_WARN, select=["VPR999"])
+
+
+def test_promote_warnings_turns_warnings_into_errors():
+    findings = lint_source(_WARN).findings
+    assert all(f.severity == "warning" for f in findings)
+    promoted = promote_warnings(findings)
+    assert all(f.severity == "error" for f in promoted)
+    # Everything but the severity is preserved.
+    assert [(f.code, f.line) for f in promoted] == [
+        (f.code, f.line) for f in findings
+    ]
+
+
+def test_error_on_warn_flows_through_lint_source():
+    result = lint_source(_WARN, error_on_warn=True)
+    assert all(f.severity == "error" for f in result.findings)
+
+
+# ---------------------------------------------------------------------------
+# suppression markers
+
+
+def test_suppressed_lines_parses_scoped_and_unscoped_markers():
+    markers = suppressed_lines(
+        "a\nb  // lint:ignore\nc  // lint:ignore VPR001, VPR004\n"
+    )
+    assert markers == {2: None, 3: {"VPR001", "VPR004"}}
+
+
+# ---------------------------------------------------------------------------
+# the pipeline's analyze stage
+
+
+def test_advisory_pipeline_records_findings_without_rejecting():
+    ctx = run_pipeline(_ERROR, upto="analyze")
+    assert [f.code for f in ctx.findings] == ["VPR008"]
+    # Advisory mode: the pipeline continues past error-severity findings.
+    run_pipeline(_ERROR, upto="check")
+
+
+def test_strict_pipeline_rejects_on_error_severity():
+    with pytest.raises(AnalysisError) as excinfo:
+        run_pipeline(_ERROR, upto="analyze", analysis_strict=True)
+    assert [f.code for f in excinfo.value.findings] == ["VPR008"]
+    assert "[VPR008]" in str(excinfo.value)
+
+
+def test_strict_pipeline_passes_warning_only_programs():
+    ctx = run_pipeline(_WARN, upto="analyze", analysis_strict=True)
+    assert [f.code for f in ctx.findings] == ["VPR009"]
+
+
+def test_analyze_gate_skips_the_stage():
+    ctx = run_pipeline(_ERROR, upto="analyze", analyze=False)
+    assert ctx.findings is None
+    assert "analyze" in ctx.completed  # gated stages still count as done

@@ -1,0 +1,75 @@
+"""The zero-false-positive sweep (acceptance criterion of the subsystem).
+
+Every check only reports *provable* facts, so every well-formed program we
+ship must lint clean: the checked-in examples, all 72 benchmark-corpus
+files, and 200 seeded ``repro.fuzz.generate`` programs (whose lint-clean
+contract doubles as an ongoing oracle: a finding on a generated program is
+an analyzer bug, a generator that cannot satisfy the analyzer is a
+generator bug).
+"""
+
+import pathlib
+import re
+
+import pytest
+
+from repro.analysis import lint_source
+from repro.fuzz.generate import SEED_CORPUS, generate_corpus
+from repro.harness import full_corpus
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+#: Triple-quoted Viper programs embedded in the example scripts.  The
+#: deliberately ill-formed negative demos are excluded by name.
+_EMBEDDED_RE = re.compile(r'^(?P<name>[A-Z_]+) = """(?P<body>.*?)"""',
+                          re.S | re.M)
+_NEGATIVE_DEMOS = {"ILL_FORMED"}
+
+
+def _example_programs():
+    for path in sorted(EXAMPLES_DIR.glob("*.py")):
+        for match in _EMBEDDED_RE.finditer(path.read_text()):
+            if match.group("name") in _NEGATIVE_DEMOS:
+                continue
+            yield f"{path.name}:{match.group('name')}", match.group("body")
+
+
+def test_examples_lint_clean():
+    programs = list(_example_programs())
+    assert programs, "no embedded example programs found"
+    for name, source in programs:
+        result = lint_source(source)
+        assert result.error is None, f"{name}: {result.error}"
+        assert result.findings == [], (
+            f"{name}: {[(f.code, f.line, f.message) for f in result.findings]}"
+        )
+
+
+@pytest.mark.parametrize("suite", ["Viper", "Gobra", "VerCors", "MPP"])
+def test_bench_corpus_lints_clean(suite):
+    for corpus_file in full_corpus()[suite]:
+        result = lint_source(corpus_file.source)
+        assert result.error is None, f"{suite}/{corpus_file.name}: {result.error}"
+        assert result.findings == [], (
+            f"{suite}/{corpus_file.name}: "
+            f"{[(f.code, f.line, f.message) for f in result.findings]}"
+        )
+
+
+def test_200_generated_programs_lint_clean():
+    dirty = []
+    for generated in generate_corpus(0, 200):
+        result = lint_source(generated.source)
+        if result.error is not None or result.findings:
+            dirty.append((generated.seed,
+                          [(f.code, f.line, f.message) for f in result.findings]))
+    assert dirty == [], f"{len(dirty)} generated programs lint dirty: {dirty[:3]}"
+
+
+def test_fuzz_seed_corpus_lints_clean():
+    for index, source in enumerate(SEED_CORPUS):
+        result = lint_source(source)
+        assert result.error is None and result.findings == [], (
+            f"SEED_CORPUS[{index}]: "
+            f"{[(f.code, f.line, f.message) for f in result.findings]}"
+        )

@@ -112,7 +112,12 @@ class TestParallelMap:
 def _zero_timings(metrics):
     return [
         dataclasses.replace(
-            m, translate_seconds=0.0, generate_seconds=0.0, check_seconds=0.0
+            m,
+            translate_seconds=0.0,
+            generate_seconds=0.0,
+            check_seconds=0.0,
+            analyze_seconds=0.0,
+            total_seconds=0.0,
         )
         for m in metrics
     ]

@@ -65,6 +65,7 @@ class TestStageGraph:
             "parse",
             "desugar",
             "typecheck",
+            "analyze",
             "translate",
             "generate",
             "render",

@@ -114,7 +114,9 @@ class TestBenchJsonAndJobs:
         out = tmp_path / "bench.json"
         assert main(["bench", "MPP", "--json", str(out)]) == 0
         payload = json.loads(out.read_text())
-        assert set(payload) == {"meta", "suites", "overall", "blowup_factor"}
+        assert set(payload) == {
+            "meta", "suites", "overall", "blowup_factor", "analysis_overhead",
+        }
         mpp = payload["suites"]["MPP"]
         assert len(mpp["files"]) == 3
         row = mpp["files"][0]
@@ -134,13 +136,16 @@ class TestBenchJsonAndJobs:
         def strip_timings(payload):
             for suite in payload["suites"].values():
                 for row in suite["files"]:
-                    for key in ("translate_seconds", "generate_seconds", "check_seconds"):
+                    for key in ("translate_seconds", "generate_seconds",
+                                "check_seconds", "analyze_seconds",
+                                "total_seconds"):
                         row[key] = 0.0
                 for key in ("mean_check_seconds", "median_check_seconds"):
                     suite["aggregate"][key] = 0.0
             for key in ("mean_check_seconds", "median_check_seconds"):
                 payload["overall"][key] = 0.0
             payload["meta"] = {}
+            payload["analysis_overhead"] = {}
             return payload
 
         serial = strip_timings(json.loads(serial_path.read_text()))
