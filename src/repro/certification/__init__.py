@@ -18,6 +18,7 @@ from .exprcorr import (  # noqa: F401
     kernel_wd_checks,
 )
 from .prooftree import (  # noqa: F401
+    assemble_certificate_text,
     CertificateParseError,
     MethodCertificate,
     node,

@@ -147,13 +147,26 @@ def render_method_certificate(cert: MethodCertificate) -> str:
     return "\n".join(lines)
 
 
-def render_program_certificate(cert: ProgramCertificate) -> str:
-    """Serialise a whole program certificate (the .cert file contents)."""
+def assemble_certificate_text(method_blocks) -> str:
+    """Assemble rendered per-method blocks into a whole .cert document.
+
+    The certificate format is deliberately compositional: a program
+    certificate is the header, the per-method blocks in program order, and
+    the trailer.  The incremental pipeline relies on this to mix cached
+    and freshly-rendered method blocks into one document; this helper is
+    the single place the framing is spelled out.
+    """
     parts = ["CERTIFICATE-V1"]
-    for method_cert in cert.methods:
-        parts.append(render_method_certificate(method_cert))
+    parts.extend(method_blocks)
     parts.append("end-certificate")
     return "\n".join(parts) + "\n"
+
+
+def render_program_certificate(cert: ProgramCertificate) -> str:
+    """Serialise a whole program certificate (the .cert file contents)."""
+    return assemble_certificate_text(
+        render_method_certificate(method_cert) for method_cert in cert.methods
+    )
 
 
 class CertificateParseError(Exception):

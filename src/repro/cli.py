@@ -27,8 +27,8 @@ oracle disagreement.
 one and reports latency percentiles, throughput, and the cache split.
 
 Every command drives :mod:`repro.pipeline` — the single place the stage
-sequence (parse → desugar → typecheck → translate → generate → render →
-reparse → check) is spelled out.  Pipeline failures surface as structured
+sequence (parse → desugar → typecheck → units → translate → generate →
+render → reparse → check) is spelled out.  Pipeline failures surface as structured
 diagnostics (stage, source location, recovery hint) with exit code 2;
 ``SIGINT`` exits with the conventional 130 and ``SIGTERM`` drains
 cleanly and exits 143 (both tested via subprocess).
@@ -93,7 +93,8 @@ def _print_timings(ctx: PipelineContext) -> None:
 def cmd_translate(args: argparse.Namespace) -> int:
     """`translate`: emit the Boogie program for a Viper file."""
     ctx = _run_file_pipeline(args.file, "translate", _options_from(args),
-                             analyze=not args.no_analyze)
+                             analyze=not args.no_analyze,
+                             unit_jobs=args.unit_jobs)
     text = ctx.boogie_text
     if args.output:
         with open(args.output, "w", encoding="utf-8") as handle:
@@ -109,7 +110,8 @@ def cmd_translate(args: argparse.Namespace) -> int:
 def cmd_certify(args: argparse.Namespace) -> int:
     """`certify`: translate, generate, serialise, and independently check."""
     ctx = _run_file_pipeline(args.file, "check", _options_from(args),
-                             analyze=not args.no_analyze)
+                             analyze=not args.no_analyze,
+                             unit_jobs=args.unit_jobs)
     report = ctx.report
     if not report.ok:
         print(f"certification FAILED: {report.error}", file=sys.stderr)
@@ -123,8 +125,16 @@ def cmd_certify(args: argparse.Namespace) -> int:
             handle.write(ctx.boogie_text)
         print(f"wrote {args.boogie_output}")
     print(report.statement())
+    summary = ctx.instrumentation.unit_cache_summary()
+    if summary["reused"] or summary["rebuilt"]:
+        print(f"units: {summary['reused']} reused, "
+              f"{summary['rebuilt']} rebuilt")
     if args.timings:
         _print_timings(ctx)
+        for record in ctx.instrumentation.unit_records:
+            status = "reused" if record.reused else f"{record.seconds:.4f}s"
+            print(f"  {record.stage:<10} {status:>8}  "
+                  f"unit={record.method} tier={record.tier}")
     if args.oracle:
         print("\nsemantic oracle (failure-direction co-execution):")
         for verdict in validate_program_semantically(ctx.translation, max_states_per_method=12):
@@ -401,6 +411,10 @@ def build_parser() -> argparse.ArgumentParser:
                              help="print per-stage instrumentation records")
         command.add_argument("--no-analyze", action="store_true",
                              help="skip the advisory static-analysis stage")
+        command.add_argument("--unit-jobs", type=int, default=None, metavar="N",
+                             help="translate method units over N worker "
+                                  "processes (0 = one per CPU; default: "
+                                  "serial)")
     lint = sub.add_parser("lint", help="static analysis (advisory lints)")
     lint.add_argument("file", nargs="?",
                       help="the Viper source to analyze")

@@ -34,10 +34,13 @@ from .hints import (  # noqa: F401
 )
 from .records import boogie_type_of, TranslationRecord, viper_expr_type  # noqa: F401
 from .translator import (  # noqa: F401
+    assemble_translation,
+    background_boogie_program,
     procedure_name,
     TranslatedMethod,
     TranslationError,
     TranslationOptions,
     TranslationResult,
+    translate_method,
     translate_program,
 )

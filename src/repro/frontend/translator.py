@@ -801,6 +801,79 @@ def procedure_name(method_name: str) -> str:
     return f"m_{method_name}"
 
 
+def translate_method(
+    program: Program,
+    type_info: ProgramTypeInfo,
+    method: MethodDecl,
+    options: Optional[TranslationOptions] = None,
+    background: Optional[BackgroundTheory] = None,
+) -> TranslatedMethod:
+    """Translate a single method into its Boogie procedure plus hints.
+
+    This is the per-unit entry point of the incremental pipeline: a
+    method's translation reads only the method itself, its callees'
+    *interfaces* (pre/post, substituted at call sites), and the program's
+    field declarations — which is exactly what the unit cache key in
+    :mod:`repro.pipeline.units` digests.
+    """
+    if options is None:
+        options = TranslationOptions()
+    if background is None:
+        background = build_background(type_info.field_types)
+    translator = _MethodTranslator(program, type_info, background, method, options)
+    return translator.translate_method()
+
+
+def background_boogie_program(
+    background: BackgroundTheory,
+    procedures: Tuple[Procedure, ...] = (),
+) -> BoogieProgram:
+    """The Boogie program skeleton: background theory, globals, procedures.
+
+    With no procedures this is the shared prelude every method's
+    procedure is checked against — the incremental service renders it
+    once and splices cached per-procedure texts after it.
+    """
+    return BoogieProgram(
+        type_decls=background.type_decls,
+        consts=background.consts,
+        globals=(
+            GlobalVarDecl(HEAP_VAR, HEAP_TYPE),
+            GlobalVarDecl(MASK_VAR, MASK_TYPE),
+        ),
+        functions=background.functions,
+        axioms=background.axioms,
+        procedures=procedures,
+    )
+
+
+def assemble_translation(
+    program: Program,
+    type_info: ProgramTypeInfo,
+    methods: Dict[str, TranslatedMethod],
+    options: TranslationOptions,
+    background: Optional[BackgroundTheory] = None,
+) -> TranslationResult:
+    """Assemble per-method translations into a whole-program result.
+
+    ``methods`` must hold one :class:`TranslatedMethod` per program method
+    (freshly translated or served from the unit cache); procedures are
+    emitted in declaration order regardless of dict order.
+    """
+    if background is None:
+        background = build_background(type_info.field_types)
+    procedures = tuple(methods[m.name].procedure for m in program.methods)
+    boogie_program = background_boogie_program(background, procedures)
+    return TranslationResult(
+        viper_program=program,
+        type_info=type_info,
+        background=background,
+        boogie_program=boogie_program,
+        methods=methods,
+        options=options,
+    )
+
+
 def translate_program(
     program: Program,
     type_info: ProgramTypeInfo,
@@ -810,29 +883,12 @@ def translate_program(
     if options is None:
         options = TranslationOptions()
     background = build_background(type_info.field_types)
-    methods: Dict[str, TranslatedMethod] = {}
-    procedures = []
-    for method in program.methods:
-        translator = _MethodTranslator(program, type_info, background, method, options)
-        translated = translator.translate_method()
-        methods[method.name] = translated
-        procedures.append(translated.procedure)
-    boogie_program = BoogieProgram(
-        type_decls=background.type_decls,
-        consts=background.consts,
-        globals=(
-            GlobalVarDecl(HEAP_VAR, HEAP_TYPE),
-            GlobalVarDecl(MASK_VAR, MASK_TYPE),
-        ),
-        functions=background.functions,
-        axioms=background.axioms,
-        procedures=tuple(procedures),
-    )
-    return TranslationResult(
-        viper_program=program,
-        type_info=type_info,
-        background=background,
-        boogie_program=boogie_program,
-        methods=methods,
-        options=options,
+    methods: Dict[str, TranslatedMethod] = {
+        method.name: translate_method(
+            program, type_info, method, options, background=background
+        )
+        for method in program.methods
+    }
+    return assemble_translation(
+        program, type_info, methods, options, background=background
     )

@@ -9,7 +9,16 @@ Each iteration of :func:`run_fuzz` exercises the full trust story once:
    (``reject``), any exception (``crash``), or a differential-oracle
    disagreement (``oracle-disagreement``) is a failure of the system under
    test.
-2. **Mutant run** — one adversarial mutator from
+2. **Incremental-consistency run** — one semantically inert
+   single-method source edit (:func:`repro.fuzz.mutators.mutate_single_method`)
+   re-runs the pipeline against the warm unit cache of the clean run.
+   The rebuilt set must equal what the dependency map
+   (:mod:`repro.pipeline.units`) predicts: the mutated unit alone for a
+   body edit, the unit plus its transitive callers for a spec edit.  A
+   disagreement is ``unit-mismatch`` — a bug in the incrementality
+   layer's cache routing (never a soundness bug, but a broken rebuild
+   contract).
+3. **Mutant run** — one adversarial mutator from
    :mod:`repro.fuzz.mutators` corrupts an untrusted artifact of the same
    translation, and the trusted reparse+check path judges the corrupted
    pair.  The expected outcome is ``mutant-reject``; a kernel exception is
@@ -42,14 +51,17 @@ from ..certification.prooftree import (
 )
 from ..certification.theorem import check_program_certificate
 from ..frontend.translator import TranslationOptions, TranslationResult
-from ..pipeline import PipelineError, run_pipeline
+from ..pipeline import ArtifactCache, PipelineError, run_pipeline
 from ..pipeline.executor import parallel_map_batches, resolve_jobs
+from ..pipeline.units import callers_of
+from ..viper.pretty import pretty_program
 from .corpus import bucket_for, FailureRecord, FuzzCorpus
 from .generate import derive_seed, generate_program, SEED_CORPUS
 from .minimize import minimize_cert_text, minimize_source
 from .mutators import (
     make_subject,
     Mutation,
+    mutate_single_method,
     MUTATORS,
     MUTATORS_BY_NAME,
     normalize_certificate,
@@ -95,7 +107,8 @@ _PREFERRED_SUBJECT: Dict[str, Tuple[Optional[int], str]] = {
 }
 
 FAILURE_OUTCOMES = frozenset(
-    {"reject", "crash", "oracle-disagreement", "mutant-crash"}
+    {"reject", "crash", "oracle-disagreement", "mutant-crash",
+     "unit-mismatch"}
 )
 
 
@@ -149,6 +162,10 @@ class CaseResult:
     mutant_outcome: Optional[str] = None
     mutant_detail: str = ""
     mutant_certificate: Optional[str] = None
+    #: Incremental-consistency verdict: ``unit-consistent``,
+    #: ``unit-mismatch``, or ``None`` when no source mutation applied.
+    unit_outcome: Optional[str] = None
+    unit_detail: str = ""
     duration: float = 0.0
     features: Tuple[str, ...] = ()
 
@@ -157,6 +174,8 @@ class CaseResult:
         found = []
         if self.clean_outcome in FAILURE_OUTCOMES:
             found.append((self.clean_outcome, self.clean_detail, None, None))
+        if self.unit_outcome in FAILURE_OUTCOMES:
+            found.append((self.unit_outcome, self.unit_detail, None, None))
         if self.mutant_outcome in FAILURE_OUTCOMES:
             found.append(
                 (
@@ -249,8 +268,91 @@ def _judge_mutation(
     )
 
 
+def _check_unit_accounting(
+    ctx, case: FuzzCase, options: TranslationOptions,
+    cache: ArtifactCache, config: FuzzConfig,
+) -> Tuple[Optional[str], str]:
+    """Judge the incrementality layer against its own dependency map.
+
+    One inert single-method source edit
+    (:func:`repro.fuzz.mutators.mutate_single_method`) re-runs the
+    pipeline against the warm unit cache of the clean run.  Three sets
+    must coincide: the units the dependency map predicts invalid (the
+    mutated unit, plus its transitive callers iff the edit touched the
+    spec), the units whose cache key actually changed, and the units the
+    pipeline actually rebuilt.  Any disagreement is a ``unit-mismatch``
+    finding — stale-cache routing in the incremental layer (it cannot be
+    a soundness bug, docs/TRUSTED_BASE.md, but it breaks the
+    incremental-rebuild contract).
+    """
+    rng = random.Random(case.case_seed ^ 0x1C4E11A7)
+    # Round-trip to a canonical baseline first: the mutated source is a
+    # pretty-print, so its *unmutated* methods must reparse to ASTs that
+    # are digest-identical to the baseline's.  The original source is not
+    # that baseline — desugaring (old-expressions, loops) can produce
+    # tree shapes the pretty-printer renders the same but the parser
+    # re-nests differently.
+    canonical = pretty_program(ctx.program)
+    try:
+        base = run_pipeline(
+            canonical, options=options, cache=cache,
+            check_axioms=config.check_axioms,
+        )
+    except Exception as error:  # noqa: BLE001
+        return (
+            "unit-mismatch",
+            f"canonical round-trip crashed the pipeline: "
+            f"{type(error).__name__}: {error}",
+        )
+    if not base.report.ok:
+        return (
+            "unit-mismatch",
+            f"canonical round-trip was rejected: {base.report.error}",
+        )
+    mutation = mutate_single_method(rng, base.program)
+    if mutation is None:
+        return None, ""
+    expected = {mutation.method}
+    if mutation.kind == "spec":
+        expected |= set(callers_of(base.units, mutation.method))
+    try:
+        warm = run_pipeline(
+            mutation.source, options=options, cache=cache,
+            check_axioms=config.check_axioms,
+        )
+    except Exception as error:  # noqa: BLE001 - inert edits must not crash
+        return (
+            "unit-mismatch",
+            f"inert {mutation.kind} edit of {mutation.method!r} crashed "
+            f"the pipeline: {type(error).__name__}: {error}",
+        )
+    if not warm.report.ok:
+        return (
+            "unit-mismatch",
+            f"inert {mutation.kind} edit of {mutation.method!r} was "
+            f"rejected: {warm.report.error}",
+        )
+    key_diff = {
+        name
+        for name, key in warm.unit_keys.items()
+        if base.unit_keys.get(name) != key
+    }
+    rebuilt = set(
+        warm.instrumentation.unit_cache_summary()["rebuilt_methods"]
+    )
+    if rebuilt != expected or key_diff != expected:
+        return (
+            "unit-mismatch",
+            f"{mutation.kind} edit of {mutation.method!r}: dependency map "
+            f"predicts {sorted(expected)}, key diff {sorted(key_diff)}, "
+            f"pipeline rebuilt {sorted(rebuilt)}",
+        )
+    return "unit-consistent", ""
+
+
 def run_case(args: Tuple[FuzzConfig, FuzzCase]) -> CaseResult:
-    """Run one fuzz case: clean pipeline + oracle + one mutation."""
+    """Run one fuzz case: clean pipeline + oracle + incremental
+    consistency + one artifact mutation."""
     config, case = args
     started = time.perf_counter()
     result = CaseResult(
@@ -262,10 +364,13 @@ def run_case(args: Tuple[FuzzConfig, FuzzCase]) -> CaseResult:
         features=case.features,
     )
     options = OPTION_VARIANTS[case.options_name]
-    # 1. Clean run through the staged pipeline.
+    # 1. Clean run through the staged pipeline.  The local cache warms
+    #    the per-unit tier for the incremental-consistency check below.
+    unit_cache = ArtifactCache()
     try:
         ctx = run_pipeline(
-            case.source, options=options, check_axioms=config.check_axioms
+            case.source, options=options, check_axioms=config.check_axioms,
+            cache=unit_cache,
         )
     except PipelineError as error:
         result.clean_outcome = "crash"
@@ -301,7 +406,12 @@ def run_case(args: Tuple[FuzzConfig, FuzzCase]) -> CaseResult:
         result.clean_detail = f"{bad[0].method}: {bad[0].detail}"
         result.duration = time.perf_counter() - started
         return result
-    # 3. One adversarial mutation (rotating start for class coverage).
+    # 3. Incremental consistency: unit-reuse accounting must match the
+    #    dependency map for one inert single-method edit.
+    result.unit_outcome, result.unit_detail = _check_unit_accounting(
+        ctx, case, options, unit_cache, config
+    )
+    # 4. One adversarial mutation (rotating start for class coverage).
     try:
         subject = make_subject(ctx.translation)
     except Exception as error:  # noqa: BLE001
@@ -390,6 +500,11 @@ def minimize_failure(
     record: FailureRecord, config: FuzzConfig, options_name: str = "default"
 ) -> FailureRecord:
     """Attach minimized reproducers to a failure record (deterministic)."""
+    if record.outcome == "unit-mismatch":
+        # The reproducer is the (source, case_seed) pair itself — the
+        # inert edit is derived from it deterministically; source-level
+        # delta debugging would chase a clean-run outcome instead.
+        return record
     if record.mutator is None:
         target = record.outcome
 
@@ -484,6 +599,10 @@ def _record_result(
     report.outcome_counts[result.clean_outcome] = (
         report.outcome_counts.get(result.clean_outcome, 0) + 1
     )
+    if result.unit_outcome is not None:
+        report.outcome_counts[result.unit_outcome] = (
+            report.outcome_counts.get(result.unit_outcome, 0) + 1
+        )
     if result.mutant_outcome is not None:
         report.outcome_counts[result.mutant_outcome] = (
             report.outcome_counts.get(result.mutant_outcome, 0) + 1
@@ -604,7 +723,19 @@ def replay_record(
     report = FuzzReport(seed=int(record.case.get("seed", 0)), iterations_requested=1)
     index = int(record.case.get("index", 0))
     mutator = MUTATORS_BY_NAME.get(record.mutator or "")
-    if record.mutator is None or record.certificate_text is None:
+    if record.outcome == "unit-mismatch":
+        # The inert source edit is a deterministic function of
+        # (case_seed, source): re-running the full case re-derives it.
+        case = FuzzCase(
+            index=index,
+            case_seed=int(record.case.get("case_seed", derive_seed(0, index))),
+            source_kind=str(record.case.get("source_kind", "replay")),
+            source=record.source,
+            options_name=options_name,
+            mutator_start=index % len(MUTATORS),
+        )
+        result = run_case((config, case))
+    elif record.mutator is None or record.certificate_text is None:
         result = CaseResult(
             index=index,
             case_seed=int(record.case.get("case_seed", 0)),

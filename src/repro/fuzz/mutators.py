@@ -19,6 +19,14 @@ story and is tagged with it:
   at the token and rule level; each cites the section of
   ``docs/CERTIFICATE_FORMAT.md`` whose guarantee it violates.
 
+A fourth family targets the *incrementality* layer rather than the
+kernel: :func:`mutate_single_method` performs a semantically inert
+single-method **source** edit (an appended ``assert true``, or ``&&
+true`` conjoined onto the postcondition) so the driver can re-run the
+pipeline against a warm unit cache and assert that exactly the units the
+dependency map invalidates — the mutated unit, plus its transitive
+callers iff the edit touched the spec — were rebuilt.
+
 Every mutator is deterministic given a ``random.Random`` and returns
 ``None`` when it is not applicable to the subject (so drivers can fall
 through to the next mutator).  A mutator never returns an *unchanged*
@@ -75,6 +83,14 @@ from ..frontend.hints import (
     SpecWellFormednessHint,
 )
 from ..frontend.translator import TranslationResult
+from ..viper.ast import (
+    AssertStmt,
+    Program as ViperProgram,
+    Seq as ViperSeq,
+    SepConj as ViperSepConj,
+    TRUE_ASSERTION,
+)
+from ..viper.pretty import pretty_program
 
 __all__ = [
     "Mutation",
@@ -82,7 +98,9 @@ __all__ = [
     "Mutator",
     "MUTATORS",
     "MUTATORS_BY_NAME",
+    "SourceMutation",
     "make_subject",
+    "mutate_single_method",
     "normalize_certificate",
 ]
 
@@ -131,10 +149,11 @@ def make_subject(result: TranslationResult) -> MutationSubject:
 def normalize_certificate(cert: ProgramCertificate) -> ProgramCertificate:
     """Erase advisory fields before semantic-equality comparison.
 
-    The ``depends`` lines of the text format (CERTIFICATE_FORMAT.md §3) are
-    advisory — the kernel recomputes dependencies from the CALL-SIM nodes
-    it checks — so two certificates differing only there denote the same
-    proof.
+    The ``depends`` lines of the text format (CERTIFICATE_FORMAT.md §3)
+    are advisory *to the kernel* — it recomputes dependencies from the
+    CALL-SIM nodes it checks — so two certificates differing only there
+    denote the same proof.  (The untrusted unit-cache layer does read
+    them for invalidation routing, but that never affects a verdict.)
     """
     return ProgramCertificate(
         tuple(replace(m, dependencies=()) for m in cert.methods)
@@ -1035,3 +1054,54 @@ MUTATORS: Tuple[Mutator, ...] = (
 )
 
 MUTATORS_BY_NAME = {mutator.name: mutator for mutator in MUTATORS}
+
+
+# ---------------------------------------------------------------------------
+# Source-level mutation (the incrementality layer's adversary)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SourceMutation:
+    """One semantically inert single-method edit of the Viper *source*.
+
+    Unlike :class:`Mutation`, nothing here is corrupted: the edit preserves
+    certifiability by construction (``assert true`` appended to the body,
+    or ``&& true`` conjoined onto the postcondition).  What it perturbs is
+    the **unit-cache key structure** (:mod:`repro.pipeline.units`): a
+    ``body`` edit must invalidate exactly the edited unit, a ``spec`` edit
+    the edited unit plus its transitive callers.  The fuzz driver re-runs
+    the pipeline against a warm cache and fails the run when the rebuilt
+    set disagrees with that prediction.
+    """
+
+    source: str
+    method: str
+    kind: str  # "body" | "spec"
+
+
+def mutate_single_method(
+    rng: random.Random, program: "ViperProgram"
+) -> Optional[SourceMutation]:
+    """Apply one inert edit to one method; ``None`` if there is no method."""
+    if not program.methods:
+        return None
+    method = program.methods[rng.randrange(len(program.methods))]
+    kind = "spec" if method.body is None or rng.random() < 0.5 else "body"
+    if kind == "body":
+        mutated = replace(
+            method, body=ViperSeq(method.body, AssertStmt(TRUE_ASSERTION))
+        )
+    else:
+        mutated = replace(
+            method, post=ViperSepConj(method.post, TRUE_ASSERTION)
+        )
+    methods = tuple(
+        mutated if decl.name == method.name else decl
+        for decl in program.methods
+    )
+    return SourceMutation(
+        source=pretty_program(replace(program, methods=methods)),
+        method=method.name,
+        kind=kind,
+    )

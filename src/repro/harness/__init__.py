@@ -24,4 +24,5 @@ from .tables import (  # noqa: F401
     render_bench_json,
     render_detail_table,
     render_table1,
+    unit_cache_overview,
 )

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import functools
 import statistics
-from dataclasses import asdict, dataclass
+from dataclasses import asdict, dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from ..frontend import TranslationOptions
@@ -53,6 +53,10 @@ class FileMetrics:
     #: wall-clock across *all* pipeline stages for this file (the overhead
     #: denominator).
     total_seconds: float = 0.0
+    #: per-method incremental accounting (reused/rebuilt counts, cache
+    #: tiers, and per-method stage timings) from
+    #: :meth:`PipelineInstrumentation.unit_cache_summary`.
+    unit_cache: Dict[str, object] = field(default_factory=dict)
 
     def to_dict(self) -> Dict[str, object]:
         """A JSON-ready representation (for ``bench --json``)."""
@@ -103,6 +107,7 @@ def metrics_from_context(corpus_file: CorpusFile, ctx: PipelineContext) -> FileM
         error=report.error if report is not None else "pipeline incomplete",
         analyze_seconds=inst.stage_seconds("analyze"),
         total_seconds=inst.total_seconds(),
+        unit_cache=inst.unit_cache_summary(),
     )
 
 

@@ -113,6 +113,33 @@ def analysis_overhead(per_suite: Dict[str, List[FileMetrics]]) -> Dict[str, obje
     }
 
 
+def unit_cache_overview(per_suite: Dict[str, List[FileMetrics]]) -> Dict[str, object]:
+    """The method-granular incrementality summary of ``bench --json``.
+
+    Sums the per-file :attr:`FileMetrics.unit_cache` accounting across the
+    corpus: how many method units were served from a cache tier versus
+    rebuilt from scratch, and the tier split.  A cold serial ``bench`` run
+    reports everything rebuilt; warm or cached runs show the reuse the
+    per-unit cache key (body digest + callee interface digests + options)
+    makes possible.
+    """
+    all_metrics = [m for metrics in per_suite.values() for m in metrics]
+    reused = sum(int(m.unit_cache.get("reused", 0)) for m in all_metrics)
+    rebuilt = sum(int(m.unit_cache.get("rebuilt", 0)) for m in all_metrics)
+    tiers: Dict[str, int] = {}
+    for m in all_metrics:
+        for tier, count in dict(m.unit_cache.get("tiers", {})).items():
+            tiers[tier] = tiers.get(tier, 0) + int(count)
+    total = reused + rebuilt
+    return {
+        "units": total,
+        "reused": reused,
+        "rebuilt": rebuilt,
+        "reuse_fraction": reused / total if total else 0.0,
+        "tiers": tiers,
+    }
+
+
 def bench_report(
     per_suite: Dict[str, List[FileMetrics]],
     jobs: Optional[int] = None,
@@ -128,6 +155,8 @@ def bench_report(
           "overall": {Table-1 Overall row},
           "blowup_factor": float,
           "analysis_overhead": {"fraction": ..., "within_budget": bool},
+          "unit_cache": {"units": ..., "reused": ..., "rebuilt": ...,
+                         "reuse_fraction": ..., "tiers": {...}},
         }
     """
     suites: Dict[str, object] = {}
@@ -146,6 +175,7 @@ def bench_report(
         "overall": aggregate_overall(per_suite).to_dict(),
         "blowup_factor": blowup_factor(per_suite),
         "analysis_overhead": analysis_overhead(per_suite),
+        "unit_cache": unit_cache_overview(per_suite),
     }
 
 

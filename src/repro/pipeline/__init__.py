@@ -2,20 +2,27 @@
 
 ``repro.pipeline`` owns the paper's workflow —
 
-    parse → desugar → typecheck → translate → generate → render
-          → reparse → check
+    parse → desugar → typecheck → units → analyze → translate → generate
+          → render → reparse → check
 
 — as an explicit stage graph (:mod:`~repro.pipeline.stages`) with
 
 * structured diagnostics carrying stage, location, and recovery hint
   (:mod:`~repro.pipeline.diagnostics`),
-* per-stage instrumentation: wall-time, artifact sizes, counters,
-  JSON-exportable (:mod:`~repro.pipeline.instrumentation`),
-* a content-addressed artifact cache keyed by ``(source digest, options)``
-  for the untrusted translate/generate stages
+* per-stage *and per-method-unit* instrumentation: wall-time, artifact
+  sizes, counters, JSON-exportable
+  (:mod:`~repro.pipeline.instrumentation`),
+* method compilation units — the granularity of incremental work: body
+  and interface digests plus the callee-dependency map
+  (:mod:`~repro.pipeline.units`),
+* a content-addressed artifact cache with whole-program entries keyed by
+  ``(source digest, options)`` and a per-unit tier keyed by
+  ``(body digest, callee interface digests, options digest)`` for the
+  untrusted translate/generate/render stages
   (:mod:`~repro.pipeline.cache`),
-* a parallel corpus executor with deterministic ordering and serial
-  fallback (:mod:`~repro.pipeline.executor`).
+* a parallel executor with deterministic ordering and serial fallback,
+  used both across corpus files and across method units within one file
+  (:mod:`~repro.pipeline.executor`).
 
 Every entry point — :func:`repro.translate_source`,
 :func:`repro.certify_source`, ``repro.cli``, and ``repro.harness`` — is a
@@ -31,6 +38,8 @@ from .cache import (  # noqa: F401
     default_cache,
     reset_default_cache,
     source_digest,
+    UnitEntry,
+    UnitKey,
 )
 from .diagnostics import (  # noqa: F401
     CertificationError,
@@ -50,6 +59,7 @@ from .executor import (  # noqa: F401
 from .instrumentation import (  # noqa: F401
     PipelineInstrumentation,
     StageRecord,
+    UnitRecord,
 )
 from .stages import (  # noqa: F401
     certify_source,
@@ -63,4 +73,18 @@ from .stages import (  # noqa: F401
     STAGE_NAMES,
     STAGES,
     translate_source,
+)
+from .units import (  # noqa: F401
+    body_digest,
+    callers_of,
+    extract_units,
+    fields_digest,
+    interface_digest,
+    method_interface_text,
+    MethodUnit,
+    options_digest,
+    stmt_callees,
+    transitive_callees,
+    unit_cache_key,
+    unit_keys,
 )

@@ -12,6 +12,15 @@ outputs are cached under a content-addressed key:
 ``TranslationOptions`` is a frozen dataclass, hence hashable and part of
 the key directly; two runs with different ablation flags never alias.
 
+Below the whole-program entries sits a **per-unit tier**: one entry per
+*method compilation unit* (see :mod:`repro.pipeline.units`), keyed by the
+unit's content address — body digest, the interface digests of its
+transitive callees, the field-declaration digest, and the options digest.
+Editing one method's body leaves every other unit's key unchanged, so a
+warm re-run re-translates exactly the edited unit; a spec edit changes
+the callee's interface digest and therefore re-keys (invalidates) the
+unit and all its transitive callers.
+
 The *trusted* path (certificate re-parse + kernel check) is deliberately
 **never** cached: caching the verdict would move the cache into the
 trusted computing base.  A cache hit therefore skips ``translate`` and
@@ -27,10 +36,17 @@ from dataclasses import dataclass
 from typing import Dict, Optional, Tuple, TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
-    from ..frontend import TranslationOptions, TranslationResult
+    from ..certification import MethodCertificate
+    from ..frontend import TranslatedMethod, TranslationOptions, TranslationResult
 
 #: The content-addressed cache key: (source digest, translation options).
 CacheKey = Tuple[str, "TranslationOptions"]
+
+#: A per-unit cache key: the hex digest produced by
+#: :func:`repro.pipeline.units.unit_cache_key` — (body digest, sorted
+#: callee interface digests, fields digest, options digest) folded into
+#: one content address.
+UnitKey = str
 
 
 def source_digest(source: str) -> str:
@@ -70,13 +86,39 @@ class CacheEntry:
 
 
 @dataclass
+class UnitEntry:
+    """The cacheable artifacts of one *method unit* (untrusted only).
+
+    ``translated`` is the method's procedure/record/hints, ``certificate``
+    the generated per-method proof, ``certificate_block`` its rendered
+    text block.  Slots fill independently as stages run; the trusted
+    kernel verdict is never stored (see module docstring).
+    """
+
+    method: str = ""
+    translated: Optional["TranslatedMethod"] = None
+    certificate: Optional["MethodCertificate"] = None
+    certificate_block: Optional[str] = None
+
+
+@dataclass
 class CacheStats:
     hits: int = 0
     misses: int = 0
     evictions: int = 0
+    unit_hits: int = 0
+    unit_misses: int = 0
+    unit_evictions: int = 0
 
     def to_dict(self) -> Dict[str, int]:
-        return {"hits": self.hits, "misses": self.misses, "evictions": self.evictions}
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "unit_hits": self.unit_hits,
+            "unit_misses": self.unit_misses,
+            "unit_evictions": self.unit_evictions,
+        }
 
 
 class ArtifactCache:
@@ -88,16 +130,23 @@ class ArtifactCache:
     evicted once ``maxsize`` distinct keys are held.
     """
 
-    def __init__(self, maxsize: int = 128):
+    def __init__(self, maxsize: int = 128, unit_maxsize: int = 4096):
         if maxsize < 1:
             raise ValueError("maxsize must be >= 1")
+        if unit_maxsize < 1:
+            raise ValueError("unit_maxsize must be >= 1")
         self.maxsize = maxsize
+        self.unit_maxsize = unit_maxsize
         self.stats = CacheStats()
         self._entries: "OrderedDict[CacheKey, CacheEntry]" = OrderedDict()
+        self._units: "OrderedDict[UnitKey, UnitEntry]" = OrderedDict()
         self._lock = threading.Lock()
 
     def __len__(self) -> int:
         return len(self._entries)
+
+    def unit_count(self) -> int:
+        return len(self._units)
 
     def _entry(self, key: CacheKey, create: bool) -> Optional[CacheEntry]:
         entry = self._entries.get(key)
@@ -145,9 +194,56 @@ class ArtifactCache:
         with self._lock:
             self._entry(key, create=True).certificate_text = text
 
+    # -- per-unit artifacts ------------------------------------------------
+
+    def _unit_entry(self, key: UnitKey, create: bool) -> Optional[UnitEntry]:
+        entry = self._units.get(key)
+        if entry is not None:
+            self._units.move_to_end(key)
+            return entry
+        if not create:
+            return None
+        entry = UnitEntry()
+        self._units[key] = entry
+        while len(self._units) > self.unit_maxsize:
+            self._units.popitem(last=False)
+            self.stats.unit_evictions += 1
+        return entry
+
+    def get_unit(self, key: UnitKey) -> Optional[UnitEntry]:
+        """Look up one method unit; counts a hit iff the translation slot
+        is filled (the minimum needed to skip per-unit work)."""
+        with self._lock:
+            entry = self._unit_entry(key, create=False)
+            if entry is not None and entry.translated is not None:
+                self.stats.unit_hits += 1
+                return entry
+            self.stats.unit_misses += 1
+            return None
+
+    def put_unit(
+        self,
+        key: UnitKey,
+        method: str,
+        translated: Optional["TranslatedMethod"] = None,
+        certificate: Optional["MethodCertificate"] = None,
+        certificate_block: Optional[str] = None,
+    ) -> None:
+        """Fill (part of) a unit entry; ``None`` slots are left untouched."""
+        with self._lock:
+            entry = self._unit_entry(key, create=True)
+            entry.method = method
+            if translated is not None:
+                entry.translated = translated
+            if certificate is not None:
+                entry.certificate = certificate
+            if certificate_block is not None:
+                entry.certificate_block = certificate_block
+
     def clear(self) -> None:
         with self._lock:
             self._entries.clear()
+            self._units.clear()
             self.stats = CacheStats()
 
 

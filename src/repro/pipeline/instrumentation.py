@@ -45,6 +45,37 @@ class StageRecord:
         return record
 
 
+@dataclass
+class UnitRecord:
+    """One method unit's outcome in one untrusted stage.
+
+    ``reused`` units were served from the cache (``tier`` says which
+    tier); rebuilt units carry the wall-time their stage actually spent.
+    The trusted reparse/check stages never produce unit records — they
+    run fresh per method on every invocation and are accounted as whole
+    stages.
+    """
+
+    method: str
+    stage: str
+    seconds: float = 0.0
+    reused: bool = False
+    #: Which cache tier served a reused unit ("memory"/"disk"); "fresh"
+    #: for rebuilt units.
+    tier: str = "fresh"
+
+    def to_dict(self) -> Dict[str, object]:
+        record: Dict[str, object] = {
+            "method": self.method,
+            "stage": self.stage,
+            "seconds": self.seconds,
+        }
+        if self.reused:
+            record["reused"] = True
+            record["tier"] = self.tier
+        return record
+
+
 #: An observer receives each StageRecord as it is finalised.
 Observer = Callable[[StageRecord], None]
 
@@ -59,6 +90,7 @@ class PipelineInstrumentation:
 
     def __init__(self) -> None:
         self.records: List[StageRecord] = []
+        self.unit_records: List[UnitRecord] = []
         self.counters: Dict[str, int] = {}
         self._observers: List[Observer] = []
 
@@ -81,6 +113,22 @@ class PipelineInstrumentation:
         record = StageRecord(stage=name, skipped=True, cached=cached)
         self._finalise(record)
         self.increment(f"stage.{name}.skipped")
+        return record
+
+    def record_unit(
+        self,
+        method: str,
+        stage: str,
+        seconds: float = 0.0,
+        reused: bool = False,
+        tier: str = "fresh",
+    ) -> UnitRecord:
+        """Record one method unit's outcome in one untrusted stage."""
+        record = UnitRecord(
+            method=method, stage=stage, seconds=seconds, reused=reused, tier=tier
+        )
+        self.unit_records.append(record)
+        self.increment(f"unit.{stage}.{'reused' if reused else 'rebuilt'}")
         return record
 
     def artifact(self, stage: str, name: str, value: int) -> None:
@@ -132,15 +180,54 @@ class PipelineInstrumentation:
     def total_seconds(self) -> float:
         return sum(r.seconds for r in self.records)
 
+    def unit_cache_summary(self) -> Dict[str, object]:
+        """Per-method reuse accounting across the untrusted stages.
+
+        A method counts as *reused* only when every recorded untrusted
+        stage served it from the cache; one fresh stage makes it
+        *rebuilt*.  This is the summary the CLI prints, ``bench --json``
+        embeds, and the CI incremental-smoke job asserts on.
+        """
+        per_method: Dict[str, Dict[str, object]] = {}
+        for record in self.unit_records:
+            entry = per_method.setdefault(
+                record.method, {"stages": {}, "reused": True, "tier": record.tier}
+            )
+            entry["stages"][record.stage] = {
+                "seconds": record.seconds,
+                "reused": record.reused,
+                "tier": record.tier,
+            }
+            if not record.reused:
+                entry["reused"] = False
+                entry["tier"] = "fresh"
+        reused = sorted(m for m, e in per_method.items() if e["reused"])
+        rebuilt = sorted(m for m, e in per_method.items() if not e["reused"])
+        tiers: Dict[str, int] = {}
+        for entry in per_method.values():
+            tiers[entry["tier"]] = tiers.get(entry["tier"], 0) + 1
+        return {
+            "reused": len(reused),
+            "rebuilt": len(rebuilt),
+            "reused_methods": reused,
+            "rebuilt_methods": rebuilt,
+            "tiers": tiers,
+            "methods": per_method,
+        }
+
     # -- export ------------------------------------------------------------
 
     def to_dict(self) -> Dict[str, object]:
-        return {
+        payload: Dict[str, object] = {
             "stages": [r.to_dict() for r in self.records],
             "counters": dict(sorted(self.counters.items())),
             "artifacts": self.artifact_sizes(),
             "total_seconds": self.total_seconds(),
         }
+        if self.unit_records:
+            payload["units"] = [r.to_dict() for r in self.unit_records]
+            payload["unit_cache"] = self.unit_cache_summary()
+        return payload
 
     def to_json(self, indent: Optional[int] = 2) -> str:
         return json.dumps(self.to_dict(), indent=indent, sort_keys=False)

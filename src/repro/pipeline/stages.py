@@ -2,25 +2,30 @@
 
 The paper's workflow is a fixed sequence::
 
-    parse → desugar → typecheck → analyze → translate → generate → render
-          → reparse → check
+    parse → desugar → typecheck → units → analyze → translate → generate
+          → render → reparse → check
 
 * ``parse``      — Viper source text → Viper AST,
 * ``desugar``    — loops / ``old()`` / ``new`` / complex call arguments are
   lowered into the core subset (no-ops when the features are absent),
 * ``typecheck``  — scope and type analysis (:class:`ProgramTypeInfo`),
+* ``units``      — the program is split into per-method *compilation
+  units* with content-addressed cache keys (:mod:`repro.pipeline.units`),
 * ``analyze``    — the advisory static-analysis pass (:mod:`repro.analysis`)
   over the *pre-desugaring* AST snapshot; skippable (``ctx.analyze``),
   never cached, and only rejecting in strict mode (``ctx.analysis_strict``,
   used by the service's admission fast path),
 * ``translate``  — the instrumented Viper-to-Boogie translation
-  (**untrusted**, cacheable),
-* ``generate``   — the tactic builds the program certificate from hints
-  (**untrusted**, cacheable),
-* ``render``     — the certificate is serialised to its text form,
+  (**untrusted**, cacheable *per unit*; independent methods can fan out
+  through :mod:`repro.pipeline.executor` via ``unit_jobs``),
+* ``generate``   — the tactic builds each method's certificate from hints
+  (**untrusted**, cacheable *per unit*),
+* ``render``     — per-method certificate blocks (cached or fresh) are
+  assembled into the certificate document,
 * ``reparse``    — the text is parsed back (first step of the trusted path),
-* ``check``      — the independent kernel validates the certificate and
-  assembles the final theorem (**trusted**, never cached).
+* ``check``      — the independent kernel validates every method's
+  certificate and assembles the final theorem (**trusted**, never cached:
+  the kernel re-checks every unit on every run, however it was served).
 
 Every stage is a named, individually-invokable unit that reads and writes
 typed artifacts on a shared :class:`PipelineContext`, runs under
@@ -34,16 +39,24 @@ other module spells out the stage sequence.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
-from typing import Callable, Optional, Set, Tuple
+from typing import Callable, Dict, Optional, Set, Tuple
 
 from ..certification import (
+    assemble_certificate_text,
     check_program_certificate,
-    generate_program_certificate,
+    generate_method_certificate,
     parse_program_certificate,
-    render_program_certificate,
+    render_method_certificate,
 )
-from ..frontend import translate_program, TranslationOptions, TranslationResult
+from ..certification.prooftree import ProgramCertificate
+from ..frontend import (
+    assemble_translation,
+    translate_method,
+    TranslationOptions,
+    TranslationResult,
+)
 from ..viper import (
     check_program,
     desugar_loops,
@@ -57,9 +70,11 @@ from ..viper import (
     program_has_old,
 )
 from ..viper.pretty import count_loc
-from .cache import ArtifactCache, cache_key
+from .cache import ArtifactCache, cache_key, UnitEntry
 from .diagnostics import wrap_exception, wrappable_exceptions
+from .executor import parallel_map
 from .instrumentation import PipelineInstrumentation
+from .units import extract_units, unit_keys as compute_unit_keys
 
 
 @dataclass
@@ -87,12 +102,18 @@ class PipelineContext:
     #: collected but never block certification — the kernel's verdict,
     #: not the linter's, is the trusted one.
     analysis_strict: bool = False
+    #: Fan independent method units out across processes in the untrusted
+    #: translate/generate stages (None/1 = serial, 0 = one per CPU; see
+    #: :func:`repro.pipeline.executor.resolve_jobs`).
+    unit_jobs: Optional[int] = None
 
     # artifacts, in stage order
     program: object = None              # parse / desugar → viper Program
     parsed_program: object = None       # parse → pre-desugaring snapshot
     findings: object = None             # analyze → List[analysis.Finding]
     type_info: object = None            # typecheck → ProgramTypeInfo
+    units: object = None                # units → Dict[str, MethodUnit]
+    unit_keys: object = None            # units → Dict[str, UnitKey]
     translation: Optional[TranslationResult] = None   # translate
     boogie_text: Optional[str] = None   # translate (pretty-printed .bpl)
     certificate: object = None          # generate → ProgramCertificate
@@ -101,6 +122,9 @@ class PipelineContext:
     report: object = None               # check → TheoremReport
 
     completed: Set[str] = field(default_factory=set)
+    #: Unit cache entries probed once per run (memoised by
+    #: :func:`_probe_units` so hit/miss counters fire exactly once).
+    _unit_entries: object = None
 
     @property
     def key(self):
@@ -154,16 +178,131 @@ def _stage_analyze(ctx: PipelineContext) -> None:
         raise AnalysisError(findings)
 
 
+def _stage_units(ctx: PipelineContext) -> None:
+    ctx.units = extract_units(ctx.program)
+    ctx.unit_keys = compute_unit_keys(ctx.units, ctx.program, ctx.options)
+
+
+def _probe_units(ctx: PipelineContext) -> Dict[str, Optional[UnitEntry]]:
+    """Look every unit up in the cache, once per run (memoised).
+
+    The probe is shared by the translate/generate/render stages so the
+    ``unit_cache.hit``/``unit_cache.miss`` counters fire exactly once per
+    unit per pipeline invocation.
+    """
+    if ctx._unit_entries is not None:
+        return ctx._unit_entries
+    entries: Dict[str, Optional[UnitEntry]] = {}
+    inst = ctx.instrumentation
+    for name, key in (ctx.unit_keys or {}).items():
+        entry = ctx.cache.get_unit(key) if ctx.cache is not None else None
+        entries[name] = entry
+        if ctx.cache is not None:
+            inst.increment("unit_cache.hit" if entry is not None else "unit_cache.miss")
+    ctx._unit_entries = entries
+    return entries
+
+
+def _translate_unit_worker(item) -> Tuple[str, object, float]:
+    """Translate one method unit (module-level: must pickle for fan-out)."""
+    program, type_info, options, method_name = item
+    start = time.perf_counter()
+    translated = translate_method(
+        program, type_info, program.method(method_name), options
+    )
+    return (method_name, translated, time.perf_counter() - start)
+
+
+def _generate_unit_worker(item) -> Tuple[str, object, float]:
+    """Generate one method's certificate (module-level: must pickle)."""
+    translated = item
+    start = time.perf_counter()
+    certificate = generate_method_certificate(translated)
+    return (translated.method_name, certificate, time.perf_counter() - start)
+
+
 def _stage_translate(ctx: PipelineContext) -> None:
-    ctx.translation = translate_program(ctx.program, ctx.type_info, ctx.options)
+    """Translate method-by-method, serving unchanged units from the cache.
+
+    A unit is served when its content-addressed key — body digest plus the
+    interface digests of its transitive callees plus options — is present;
+    a body-only edit of a callee therefore re-translates exactly the
+    edited unit, while a spec edit re-keys the unit and all its callers.
+    Missing units fan out through the process-pool executor when
+    ``ctx.unit_jobs`` asks for parallelism.
+    """
+    inst = ctx.instrumentation
+    entries = _probe_units(ctx)
+    methods: Dict[str, object] = {}
+    missing = []
+    for method in ctx.program.methods:
+        entry = entries.get(method.name)
+        if entry is not None and entry.translated is not None:
+            methods[method.name] = entry.translated
+            inst.record_unit(method.name, "translate", reused=True, tier="memory")
+        else:
+            missing.append(method.name)
+    if missing:
+        items = [(ctx.program, ctx.type_info, ctx.options, name) for name in missing]
+        for name, translated, seconds in parallel_map(
+            _translate_unit_worker, items, jobs=ctx.unit_jobs
+        ):
+            methods[name] = translated
+            inst.record_unit(name, "translate", seconds=seconds)
+            if ctx.cache is not None and ctx.unit_keys:
+                ctx.cache.put_unit(ctx.unit_keys[name], name, translated=translated)
+    ctx.translation = assemble_translation(
+        ctx.program, ctx.type_info, methods, ctx.options
+    )
 
 
 def _stage_generate(ctx: PipelineContext) -> None:
-    ctx.certificate = generate_program_certificate(ctx.translation)
+    """Generate per-method certificates, reusing cached units."""
+    inst = ctx.instrumentation
+    entries = _probe_units(ctx)
+    result = ctx.translation
+    certificates: Dict[str, object] = {}
+    missing = []
+    for method in result.viper_program.methods:
+        entry = entries.get(method.name)
+        if entry is not None and entry.certificate is not None:
+            certificates[method.name] = entry.certificate
+            inst.record_unit(method.name, "generate", reused=True, tier="memory")
+        else:
+            missing.append(result.methods[method.name])
+    if missing:
+        for name, certificate, seconds in parallel_map(
+            _generate_unit_worker, missing, jobs=ctx.unit_jobs
+        ):
+            certificates[name] = certificate
+            inst.record_unit(name, "generate", seconds=seconds)
+            if ctx.cache is not None and ctx.unit_keys:
+                ctx.cache.put_unit(ctx.unit_keys[name], name, certificate=certificate)
+    ctx.certificate = ProgramCertificate(
+        methods=tuple(
+            certificates[m.name] for m in result.viper_program.methods
+        )
+    )
 
 
 def _stage_render(ctx: PipelineContext) -> None:
-    ctx.certificate_text = render_program_certificate(ctx.certificate)
+    """Assemble the certificate document from per-method blocks."""
+    entries = _probe_units(ctx)
+    blocks = []
+    for method_cert in ctx.certificate.methods:
+        entry = entries.get(method_cert.method)
+        if entry is not None and entry.certificate_block is not None:
+            blocks.append(entry.certificate_block)
+            continue
+        block = render_method_certificate(method_cert)
+        blocks.append(block)
+        if ctx.cache is not None and ctx.unit_keys:
+            ctx.cache.put_unit(
+                ctx.unit_keys[method_cert.method],
+                method_cert.method,
+                certificate_block=block,
+            )
+    ctx.certificate_text = assemble_certificate_text(blocks)
 
 
 def _stage_reparse(ctx: PipelineContext) -> None:
@@ -201,6 +340,7 @@ STAGES: Tuple[Stage, ...] = (
     Stage("parse", "program", _stage_parse),
     Stage("desugar", "program", _stage_desugar),
     Stage("typecheck", "type_info", _stage_typecheck),
+    Stage("units", "units", _stage_units),
     Stage("analyze", "findings", _stage_analyze, gate="analyze"),
     Stage("translate", "translation", _stage_translate, cacheable=True),
     Stage("generate", "certificate", _stage_generate, cacheable=True),
@@ -213,12 +353,16 @@ STAGE_NAMES: Tuple[str, ...] = tuple(stage.name for stage in STAGES)
 
 _STAGE_BY_NAME = {stage.name: stage for stage in STAGES}
 
+#: Built once: stage_index is on the cache-probe hot path, and a
+#: tuple.index() scan per probe is O(stages) for no benefit.
+_STAGE_INDEX: Dict[str, int] = {name: i for i, name in enumerate(STAGE_NAMES)}
+
 
 def stage_index(name: str) -> int:
     """The position of a stage in the graph (raises on unknown names)."""
     try:
-        return STAGE_NAMES.index(name)
-    except ValueError:
+        return _STAGE_INDEX[name]
+    except KeyError:
         raise KeyError(
             f"unknown pipeline stage {name!r}; expected one of {STAGE_NAMES}"
         ) from None
@@ -244,6 +388,9 @@ def _try_cached(ctx: PipelineContext, stage: Stage) -> bool:
         ctx.translation = cached
         inst.increment("cache.hit")
         inst.record_skip("translate", cached=True)
+        # A whole-program hit is every unit reused at once.
+        for name in ctx.unit_keys or {}:
+            inst.record_unit(name, "translate", reused=True, tier="memory")
         return True
     if stage.name == "generate":
         cached = ctx.cache.get_certificate_text(ctx.key)
@@ -254,6 +401,8 @@ def _try_cached(ctx: PipelineContext, stage: Stage) -> bool:
         ctx.certificate_text = cached
         inst.increment("cache.hit")
         inst.record_skip("generate", cached=True)
+        for name in ctx.unit_keys or {}:
+            inst.record_unit(name, "generate", reused=True, tier="memory")
         return True
     if stage.name == "render":
         if ctx.certificate_text is not None and ctx.certificate is None:
@@ -336,6 +485,7 @@ def make_context(
     check_axioms: bool = True,
     analyze: bool = True,
     analysis_strict: bool = False,
+    unit_jobs: Optional[int] = None,
 ) -> PipelineContext:
     """Prepare a fresh context without running anything."""
     return PipelineContext(
@@ -347,6 +497,7 @@ def make_context(
         check_axioms=check_axioms,
         analyze=analyze,
         analysis_strict=analysis_strict,
+        unit_jobs=unit_jobs,
     )
 
 
@@ -361,6 +512,7 @@ def run_pipeline(
     check_axioms: bool = True,
     analyze: bool = True,
     analysis_strict: bool = False,
+    unit_jobs: Optional[int] = None,
 ) -> PipelineContext:
     """Run the pipeline from the start through stage ``upto`` (inclusive).
 
@@ -377,6 +529,7 @@ def run_pipeline(
         check_axioms=check_axioms,
         analyze=analyze,
         analysis_strict=analysis_strict,
+        unit_jobs=unit_jobs,
     )
     for stage in STAGES[: last + 1]:
         run_stage(ctx, stage.name)

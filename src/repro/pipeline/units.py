@@ -1,0 +1,250 @@
+"""Method compilation units: the granularity of incremental certification.
+
+The paper's proof generation is inherently per-method — the kernel checks
+one forward-simulation certificate per Viper method, and the only
+cross-method coupling is the C1/C2 split of Fig. 10: a call site omits
+well-definedness checks because the *callee's spec* was independently
+checked well-formed (Sec. 4.2).  The translation of a method body therefore
+depends on exactly two things:
+
+* the method's own text (signature, spec, body), and
+* the **interfaces** of the methods it transitively calls — name,
+  signature, pre, post — never their bodies.
+
+This module makes that dependency structure explicit.  Each method becomes
+a :class:`MethodUnit` carrying
+
+* a **body digest** — SHA-256 of the canonical pretty-printed method
+  (spec included, so a spec edit invalidates the unit itself), and
+* an **interface digest** — SHA-256 of just the caller-visible surface,
+
+plus the direct callee map.  :func:`unit_cache_key` folds a unit's body
+digest together with the interface digests of its *transitive* callee
+closure, the program's field declarations (the background theory), and the
+translation options into one content-addressed key.  The consequences are
+exactly the incremental-invalidation story:
+
+* editing a callee's **body** leaves every caller's key unchanged — only
+  the edited unit rebuilds;
+* editing a callee's **pre/post** changes its interface digest, which
+  appears in the key of the unit itself and of every transitive caller —
+  all of them rebuild;
+* **renaming** a method makes former callers' callees unresolvable; the
+  key records a ``missing:`` marker in place of the vanished interface,
+  so every former caller is invalidated too.
+
+Digests are computed over the *desugared* AST (what the translator
+consumes) via its canonical structural serialisation (``repr``; the
+``pos`` fields are ``repr=False``), so whitespace- and position-only
+edits invalidate nothing.  The serialisation is deliberately structural
+rather than textual: the certificate's proof-tree shape follows the AST
+shape (``SEQ-SIM`` mirrors ``Seq`` nesting, ``INH-SEP-SIM`` mirrors
+``SepConj`` nesting), and the pretty-printer cannot distinguish
+association — two methods can print identically yet need different
+certificates, and keying on text would serve the wrong one.
+
+Everything here is **untrusted**: unit keys route cache lookups, but the
+trusted reparse+check path re-validates every certificate it is handed,
+fresh, per method (docs/TRUSTED_BASE.md).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple, TYPE_CHECKING
+
+from ..viper.ast import If, MethodCall, MethodDecl, Program, Seq, Stmt
+from ..viper.pretty import pretty_assertion
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only import cycle guard
+    from ..frontend import TranslationOptions
+
+
+def _sha256(text: str) -> str:
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def method_interface_text(method: MethodDecl) -> str:
+    """The canonical caller-visible surface of a method.
+
+    Name, typed signature, pre, post — the exact slice of the callee that
+    the translation of a call site consults (Sec. 4.2): the precondition is
+    exhaled, the postcondition inhaled, both without wd checks *because*
+    the callee's C1 component checked them well-formed.  The body is
+    deliberately absent.
+    """
+    args = ", ".join(f"{name}: {typ}" for name, typ in method.args)
+    rets = ", ".join(f"{name}: {typ}" for name, typ in method.returns)
+    return "\n".join(
+        [
+            f"method {method.name}({args}) returns ({rets})",
+            f"  requires {pretty_assertion(method.pre)}",
+            f"  ensures {pretty_assertion(method.post)}",
+        ]
+    )
+
+
+def interface_digest(method: MethodDecl) -> str:
+    """SHA-256 of the structural caller-visible surface.
+
+    Hashes the ``repr`` of (name, signature, pre, post) rather than
+    :func:`method_interface_text`: assertion *tree shape* (``SepConj``
+    association) determines the caller's ``INH-SEP-SIM``/``EXH`` proof
+    structure at the call site, and pretty-printed text cannot tell
+    ``(A && B) && C`` from ``A && (B && C)``.
+    """
+    return _sha256(
+        repr((method.name, method.args, method.returns, method.pre, method.post))
+    )
+
+
+def body_digest(method: MethodDecl) -> str:
+    """SHA-256 of the full structural method serialisation (spec *and* body).
+
+    The spec is part of the body digest on purpose: a pre/post edit must
+    invalidate the unit itself, not only its callers.  ``repr`` excludes
+    the position fields (``repr=False``), so position- and
+    whitespace-only edits leave the digest unchanged while any tree-shape
+    change — even one the pretty-printer cannot render distinctly —
+    produces a fresh digest.
+    """
+    return _sha256(repr(method))
+
+
+def stmt_callees(stmt: Optional[Stmt]) -> FrozenSet[str]:
+    """The method names called (directly) by a statement tree."""
+    if stmt is None:
+        return frozenset()
+    if isinstance(stmt, MethodCall):
+        return frozenset({stmt.method})
+    if isinstance(stmt, Seq):
+        return stmt_callees(stmt.first) | stmt_callees(stmt.second)
+    if isinstance(stmt, If):
+        return stmt_callees(stmt.then) | stmt_callees(stmt.otherwise)
+    return frozenset()
+
+
+@dataclass(frozen=True)
+class MethodUnit:
+    """One method as a compilation unit: digests plus direct dependencies."""
+
+    name: str
+    interface_digest: str
+    body_digest: str
+    #: Direct callee names, sorted (the dependency map's edges).
+    callees: Tuple[str, ...]
+
+
+#: The per-program unit map, in declaration order.
+UnitMap = Dict[str, MethodUnit]
+
+
+def extract_units(program: Program) -> UnitMap:
+    """Build the unit map for a (desugared, typechecked) program."""
+    units: UnitMap = {}
+    for method in program.methods:
+        units[method.name] = MethodUnit(
+            name=method.name,
+            interface_digest=interface_digest(method),
+            body_digest=body_digest(method),
+            callees=tuple(sorted(stmt_callees(method.body))),
+        )
+    return units
+
+
+def transitive_callees(units: UnitMap, name: str) -> FrozenSet[str]:
+    """All unit names reachable through calls from ``name`` (self excluded
+    unless recursive); unresolvable callee names are included as-is so the
+    caller can observe dangling edges."""
+    seen: Set[str] = set()
+    frontier: List[str] = list(units[name].callees)
+    while frontier:
+        callee = frontier.pop()
+        if callee in seen:
+            continue
+        seen.add(callee)
+        if callee in units:
+            frontier.extend(units[callee].callees)
+    return frozenset(seen)
+
+
+def callers_of(units: UnitMap, name: str) -> FrozenSet[str]:
+    """All units whose transitive callee closure contains ``name``."""
+    return frozenset(
+        caller
+        for caller in units
+        if name in transitive_callees(units, caller)
+    )
+
+
+def fields_digest(program: Program) -> str:
+    """SHA-256 over the field declarations (the background theory input).
+
+    Every unit's translation consults the program's fields — the heap/mask
+    encoding declares one constant per field — so the field list is part
+    of every unit key.
+    """
+    decls = sorted(f"{f.name}: {f.typ}" for f in program.fields)
+    return _sha256("\n".join(decls))
+
+
+def options_digest(options: Optional["TranslationOptions"]) -> str:
+    """A stable hex digest of a :class:`TranslationOptions` value.
+
+    The options dataclass is serialised to canonical JSON (sorted keys)
+    before hashing, so the digest survives process restarts and field
+    reordering — unlike Python's randomised ``hash()``.  Shared with the
+    service's disk tier (:mod:`repro.service.diskcache`), so the two
+    layers can never disagree about what "same options" means.
+    """
+    if options is None:
+        from .cache import _default_options
+
+        options = _default_options()
+    payload = json.dumps(dataclasses.asdict(options), sort_keys=True)
+    return _sha256(payload)
+
+
+def unit_cache_key(
+    unit: MethodUnit,
+    units: UnitMap,
+    program_fields_digest: str,
+    opts_digest: str,
+) -> str:
+    """The content-addressed key of one unit's untrusted artifacts.
+
+    Folds together, in a fixed order:
+
+    * the unit's body digest,
+    * the interface digest of every method in its transitive callee
+      closure, sorted by name — with a ``missing:<name>`` marker when a
+      callee does not resolve (so renames invalidate former callers),
+    * the field-declaration digest (background theory), and
+    * the options digest.
+    """
+    parts = ["unit-key-v1", unit.body_digest]
+    for callee in sorted(transitive_callees(units, unit.name)):
+        if callee in units:
+            parts.append(f"{callee}={units[callee].interface_digest}")
+        else:
+            parts.append(f"missing:{callee}")
+    parts.append(f"fields={program_fields_digest}")
+    parts.append(f"options={opts_digest}")
+    return _sha256("\n".join(parts))
+
+
+def unit_keys(
+    units: UnitMap,
+    program: Program,
+    options: "TranslationOptions",
+) -> Dict[str, str]:
+    """Compute the cache key of every unit in one pass."""
+    fdigest = fields_digest(program)
+    odigest = options_digest(options)
+    return {
+        name: unit_cache_key(unit, units, fdigest, odigest)
+        for name, unit in units.items()
+    }

@@ -48,19 +48,9 @@ FORMAT_VERSION = 1
 DiskKey = Tuple[str, str]
 
 
-def options_digest(options: Optional["TranslationOptions"]) -> str:
-    """A stable hex digest of a :class:`TranslationOptions` value.
-
-    The options dataclass is serialised to canonical JSON (sorted keys)
-    before hashing, so the digest survives process restarts and field
-    reordering — unlike Python's randomised ``hash()``.
-    """
-    if options is None:
-        from ..pipeline.cache import _default_options
-
-        options = _default_options()
-    payload = json.dumps(dataclasses.asdict(options), sort_keys=True)
-    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+# Re-exported from the pipeline's unit layer so the disk tier and the
+# per-unit cache keys can never disagree about what "same options" means.
+from ..pipeline.units import options_digest  # noqa: E402  (re-export)
 
 
 def _artifacts_digest(artifacts: Dict[str, str]) -> str:
@@ -99,6 +89,35 @@ class DiskEntry:
         return self.artifacts.get("certificate_text")
 
 
+@dataclass
+class UnitDiskEntry:
+    """One loaded per-unit envelope (a single method's untrusted artifacts).
+
+    The envelope stores the pretty-printed Boogie procedure and the
+    method's certificate block, plus the ``depends`` record — the callee
+    names whose *interfaces* the artifacts were built against.  The
+    ``depends`` record is load-bearing here: the unit key that addresses
+    this envelope folds in those callees' interface digests, which is
+    what makes a stale entry unreachable after a spec edit.  It is still
+    never trusted — the kernel recomputes dependencies from the
+    certificate text on every request it serves.
+    """
+
+    unit_key: str
+    method: str
+    artifacts: Dict[str, str]
+    depends: Tuple[str, ...] = ()
+    created: float = field(default_factory=time.time)
+
+    @property
+    def procedure_text(self) -> Optional[str]:
+        return self.artifacts.get("procedure_text")
+
+    @property
+    def certificate_block(self) -> Optional[str]:
+        return self.artifacts.get("certificate_block")
+
+
 class DiskCache:
     """Content-addressed, size-bounded, corruption-tolerant entry store.
 
@@ -116,6 +135,7 @@ class DiskCache:
         self._lock = threading.Lock()
         self.root.mkdir(parents=True, exist_ok=True)
         self.quarantine_dir.mkdir(parents=True, exist_ok=True)
+        self.units_dir.mkdir(parents=True, exist_ok=True)
 
     # -- paths -------------------------------------------------------------
 
@@ -123,11 +143,18 @@ class DiskCache:
     def quarantine_dir(self) -> Path:
         return self.root / "quarantine"
 
+    @property
+    def units_dir(self) -> Path:
+        return self.root / "units"
+
     def path_for(self, key: DiskKey) -> Path:
         source_digest, opts_digest = key
         # Shortened digests keep filenames readable; 32+16 hex chars is
         # far beyond accidental-collision range for a local cache.
         return self.root / f"{source_digest[:32]}-{opts_digest[:16]}.json"
+
+    def unit_path_for(self, unit_key: str) -> Path:
+        return self.units_dir / f"{unit_key[:40]}.json"
 
     # -- store / load ------------------------------------------------------
 
@@ -186,6 +213,99 @@ class DiskCache:
             key=key, artifacts=artifacts, created=float(envelope.get("created", 0.0))
         )
 
+    # -- per-unit envelopes ------------------------------------------------
+
+    def store_unit(
+        self,
+        unit_key: str,
+        method: str,
+        artifacts: Dict[str, str],
+        depends: Tuple[str, ...] = (),
+    ) -> Path:
+        """Atomically persist one method-unit envelope."""
+        if not artifacts:
+            raise ValueError("refusing to store an empty artifact set")
+        envelope = {
+            "format": FORMAT_VERSION,
+            "unit_key": unit_key,
+            "method": method,
+            "depends": list(depends),
+            "created": time.time(),
+            "artifacts": dict(artifacts),
+            "digest": _artifacts_digest(artifacts),
+        }
+        path = self.unit_path_for(unit_key)
+        tmp = path.with_name(f".tmp-{uuid.uuid4().hex}")
+        tmp.write_text(json.dumps(envelope, sort_keys=True), encoding="utf-8")
+        os.replace(tmp, path)
+        with self._lock:
+            self.stats.stores += 1
+        self._evict_to_bound()
+        return path
+
+    def load_unit(self, unit_key: str) -> Optional[UnitDiskEntry]:
+        """Load one unit envelope; quarantines and misses on corruption."""
+        path = self.unit_path_for(unit_key)
+        try:
+            raw = path.read_text(encoding="utf-8")
+        except (FileNotFoundError, OSError):
+            with self._lock:
+                self.stats.misses += 1
+            return None
+        try:
+            envelope = json.loads(raw)
+            if envelope["format"] != FORMAT_VERSION:
+                raise ValueError(f"unsupported format {envelope['format']!r}")
+            if envelope["unit_key"] != unit_key:
+                raise ValueError("unit key does not match its filename")
+            artifacts = envelope["artifacts"]
+            if not isinstance(artifacts, dict) or not all(
+                isinstance(k, str) and isinstance(v, str) for k, v in artifacts.items()
+            ):
+                raise ValueError("artifacts must be a str→str mapping")
+            if envelope["digest"] != _artifacts_digest(artifacts):
+                raise ValueError("artifact digest mismatch (bitrot or truncation)")
+            method = envelope["method"]
+            if not isinstance(method, str):
+                raise ValueError("method must be a string")
+            depends = envelope.get("depends", [])
+            if not isinstance(depends, list) or not all(
+                isinstance(d, str) for d in depends
+            ):
+                raise ValueError("depends must be a list of method names")
+        except (ValueError, KeyError, TypeError) as error:
+            self.quarantine_unit(unit_key, reason=str(error))
+            with self._lock:
+                self.stats.misses += 1
+            return None
+        self._touch(path)
+        with self._lock:
+            self.stats.hits += 1
+        return UnitDiskEntry(
+            unit_key=unit_key,
+            method=method,
+            artifacts=artifacts,
+            depends=tuple(depends),
+            created=float(envelope.get("created", 0.0)),
+        )
+
+    def quarantine_unit(self, unit_key: str, reason: str = "") -> Optional[Path]:
+        """Move a bad unit envelope aside (kept for post-mortems)."""
+        path = self.unit_path_for(unit_key)
+        target = self.quarantine_dir / f"{path.stem}-{uuid.uuid4().hex[:8]}.bad"
+        try:
+            os.replace(path, target)
+        except (FileNotFoundError, OSError):
+            return None
+        if reason:
+            try:
+                (target.with_suffix(".reason")).write_text(reason + "\n", encoding="utf-8")
+            except OSError:  # pragma: no cover - advisory only
+                pass
+        with self._lock:
+            self.stats.quarantined += 1
+        return target
+
     def quarantine(self, key: DiskKey, reason: str = "") -> Optional[Path]:
         """Move a bad entry aside (kept for post-mortems, never reloaded)."""
         path = self.path_for(key)
@@ -215,12 +335,18 @@ class DiskCache:
     def _entry_paths(self) -> List[Path]:
         return [p for p in self.root.glob("*.json") if p.is_file()]
 
+    def _unit_paths(self) -> List[Path]:
+        return [p for p in self.units_dir.glob("*.json") if p.is_file()]
+
     def __len__(self) -> int:
         return len(self._entry_paths())
 
+    def unit_count(self) -> int:
+        return len(self._unit_paths())
+
     def total_bytes(self) -> int:
         total = 0
-        for path in self._entry_paths():
+        for path in self._entry_paths() + self._unit_paths():
             try:
                 total += path.stat().st_size
             except OSError:  # pragma: no cover - concurrent eviction
@@ -230,7 +356,7 @@ class DiskCache:
     def _evict_to_bound(self) -> None:
         """Remove least-recently-used entries until under ``max_bytes``."""
         entries = []
-        for path in self._entry_paths():
+        for path in self._entry_paths() + self._unit_paths():
             try:
                 stat = path.stat()
             except OSError:  # pragma: no cover
@@ -253,7 +379,7 @@ class DiskCache:
 
     def clear(self) -> None:
         """Drop all live entries (quarantine is kept)."""
-        for path in self._entry_paths():
+        for path in self._entry_paths() + self._unit_paths():
             try:
                 path.unlink()
             except OSError:  # pragma: no cover

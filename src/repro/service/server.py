@@ -216,6 +216,22 @@ class CertificationService:
         )
         self.metrics.record_stage_seconds(response.get("stage_seconds", {}))
         self.metrics.record_worker_counters(response.get("counters", {}))
+        unit_cache = response.get("unit_cache")
+        if unit_cache:
+            # Method-level hit accounting: one count per unit, labelled by
+            # the tier that served it ("fresh" = rebuilt).
+            for unit_tier, count in unit_cache.get("tiers", {}).items():
+                self.metrics.inc(
+                    "repro_unit_cache_hits_total",
+                    amount=float(count),
+                    labels={"tier": unit_tier},
+                    help="Method units served per cache tier (fresh = rebuilt).",
+                )
+            self.metrics.inc(
+                "repro_units_rebuilt_total",
+                amount=float(unit_cache.get("rebuilt", 0)),
+                help="Method units whose untrusted stages were re-run.",
+            )
         verdict = "ok" if response.get("ok") else (
             "rejected" if response.get("rejected") else "error"
         )

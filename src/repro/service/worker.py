@@ -13,30 +13,47 @@ Per request, :func:`handle_job` resolves artifacts through the tiers:
 
 1. **memory** — the worker's own ``ArtifactCache`` serves the live
    ``TranslationResult`` and the rendered certificate text; the pipeline
-   skips translate/generate/render natively.
+   skips translate/generate/render natively (whole-program entries) and
+   re-translates only edited method units (per-unit entries).
 2. **disk** — on a memory miss, a persisted ``(boogie text, certificate
    text)`` pair is loaded; the Boogie text is re-parsed, a
    ``TranslationResult`` is reconstructed exactly like ``repro check``
    does for the independent-check CLI, and the entry is promoted into the
    memory tier.
-3. **miss** — the full untrusted pipeline runs and its artifacts are
-   written through to both tiers.
+3. **unit disk** — when the whole-file entry misses (the file was
+   edited), each *method unit* is looked up by its content-addressed key
+   (body digest + callee interface digests + options); cached procedure
+   and certificate-block texts are spliced together with freshly
+   translated ones for the edited units, so one edited method re-runs
+   one unit's untrusted work, not the file's.
+4. **miss** — the full untrusted pipeline runs and its artifacts are
+   written through to every tier (whole-file entry plus one envelope per
+   unit).
 
 **In every case the trusted path runs fresh**: the certificate text is
-re-parsed and the independent kernel re-derives the verdict per request.
-Cache state can therefore only cause spurious rejections (upon which the
-offending disk entry is quarantined), never a false acceptance — see
+re-parsed and the independent kernel re-derives the verdict, method by
+method, per request — incrementality is entirely untrusted.  Cache state
+can therefore only cause spurious rejections (upon which the offending
+disk entries are quarantined), never a false acceptance — see
 ``docs/SERVICE.md`` § Trust.
 """
 
 from __future__ import annotations
 
+import time
 import traceback
 from typing import Any, Dict, Optional
 
 from ..boogie.parser import parse_boogie_program
-from ..certification import check_program_certificate, parse_program_certificate
-from ..frontend import TranslationOptions
+from ..boogie.pretty import pretty_boogie_program, pretty_procedure
+from ..certification import (
+    assemble_certificate_text,
+    check_program_certificate,
+    generate_method_certificate,
+    parse_program_certificate,
+    render_method_certificate,
+)
+from ..frontend import background_boogie_program, translate_method, TranslationOptions
 from ..frontend.background import build_background
 from ..frontend.translator import TranslationResult
 from ..pipeline import (
@@ -113,7 +130,7 @@ def _stage_seconds(inst: PipelineInstrumentation) -> Dict[str, float]:
 
 
 def _base_response(action: str, inst: PipelineInstrumentation, tier: str) -> Dict[str, Any]:
-    return {
+    response = {
         "ok": False,
         "action": action,
         "cache": tier,
@@ -124,6 +141,11 @@ def _base_response(action: str, inst: PipelineInstrumentation, tier: str) -> Dic
         "counters": dict(inst.counters),
         "artifacts": inst.artifact_sizes(),
     }
+    if inst.unit_records:
+        # Method-level hit accounting: which units were reused, from which
+        # tier, and which were rebuilt (drives the unit-cache metrics).
+        response["unit_cache"] = inst.unit_cache_summary()
+    return response
 
 
 def _diagnostic_response(action: str, inst: PipelineInstrumentation, error: PipelineError) -> Dict[str, Any]:
@@ -259,6 +281,182 @@ def _handle_translate(payload, ctx, inst, disk_key, in_memory) -> Dict[str, Any]
     return response
 
 
+def _assemble_boogie_text(background, procedure_texts) -> str:
+    """Splice the rendered prelude and per-procedure texts into one .bpl.
+
+    Byte-identical to ``pretty_boogie_program`` over the assembled program
+    when every procedure text came from ``pretty_procedure`` — which is
+    what both the fresh path and the unit envelopes store.
+    """
+    parts = [pretty_boogie_program(background_boogie_program(background)).rstrip("\n")]
+    for text in procedure_texts:
+        parts.append("")
+        parts.append(text.rstrip("\n"))
+    return "\n".join(parts) + "\n"
+
+
+def _store_units_to_disk(ctx) -> None:
+    """Write one envelope per freshly-built unit through to the disk tier."""
+    if (
+        _DISK_CACHE is None
+        or not ctx.unit_keys
+        or ctx.translation is None
+        or ctx.certificate is None
+    ):
+        return
+    certificates = {cert.method: cert for cert in ctx.certificate.methods}
+    for method in ctx.program.methods:
+        translated = ctx.translation.methods.get(method.name)
+        certificate = certificates.get(method.name)
+        if translated is None or certificate is None:
+            continue
+        _DISK_CACHE.store_unit(
+            ctx.unit_keys[method.name],
+            method.name,
+            {
+                "procedure_text": pretty_procedure(translated.procedure),
+                "certificate_block": render_method_certificate(certificate),
+            },
+            depends=ctx.units[method.name].callees,
+        )
+
+
+def _certify_from_unit_tier(ctx, inst):
+    """Resolve a certify request method-by-method against the disk unit tier.
+
+    Returns ``(report, translation, certificate_text, tier)`` when at
+    least one unit envelope was served, or ``None`` to fall through to the
+    full pipeline.  Served procedure/certificate texts are *spliced* with
+    freshly-translated ones for the edited units; the assembled document
+    then goes through the trusted path exactly like a fresh one — reparse
+    plus a per-method kernel check, never a cached verdict.
+    """
+    entries = {}
+    served = []
+    for method in ctx.program.methods:
+        entry = _DISK_CACHE.load_unit(ctx.unit_keys[method.name])
+        if (
+            entry is not None
+            and entry.method == method.name
+            and entry.procedure_text
+            and entry.certificate_block
+        ):
+            entries[method.name] = entry
+            served.append(method.name)
+            inst.increment("unit_cache.disk.hit")
+        else:
+            entries[method.name] = None
+            inst.increment("unit_cache.disk.miss")
+    if not served:
+        return None
+
+    background = build_background(ctx.type_info.field_types)
+    procedure_texts: Dict[str, str] = {}
+    blocks: Dict[str, str] = {}
+    fresh: Dict[str, Any] = {}
+    rebuilt = []
+    for method in ctx.program.methods:
+        entry = entries[method.name]
+        if entry is not None:
+            procedure_texts[method.name] = entry.procedure_text
+            blocks[method.name] = entry.certificate_block
+            inst.record_unit(method.name, "translate", reused=True, tier="disk")
+            inst.record_unit(method.name, "generate", reused=True, tier="disk")
+        else:
+            rebuilt.append(method)
+    if rebuilt:
+        with inst.stage("translate"):
+            for method in rebuilt:
+                start = time.perf_counter()
+                translated = translate_method(
+                    ctx.program, ctx.type_info, method, ctx.options,
+                    background=background,
+                )
+                fresh[method.name] = translated
+                procedure_texts[method.name] = pretty_procedure(translated.procedure)
+                inst.record_unit(
+                    method.name, "translate", seconds=time.perf_counter() - start
+                )
+        with inst.stage("generate"):
+            for method in rebuilt:
+                start = time.perf_counter()
+                certificate = generate_method_certificate(fresh[method.name])
+                blocks[method.name] = render_method_certificate(certificate)
+                inst.record_unit(
+                    method.name, "generate", seconds=time.perf_counter() - start
+                )
+    else:
+        inst.record_skip("translate", cached=True)
+        inst.record_skip("generate", cached=True)
+
+    with inst.stage("render"):
+        boogie_text = _assemble_boogie_text(
+            background, [procedure_texts[m.name] for m in ctx.program.methods]
+        )
+        certificate_text = assemble_certificate_text(
+            blocks[m.name] for m in ctx.program.methods
+        )
+
+    try:
+        with inst.stage("reparse"):
+            boogie_program = parse_boogie_program(boogie_text)
+            certificate = parse_program_certificate(certificate_text)
+    except Exception as error:
+        # A served envelope holds text the parsers refuse: poisoned or
+        # corrupt past the digest check.  Quarantine every served unit and
+        # fall back to the full pipeline.
+        for name in served:
+            _DISK_CACHE.quarantine_unit(
+                ctx.unit_keys[name], reason=f"unparseable unit artifact: {error}"
+            )
+        return None
+
+    translation = TranslationResult(
+        viper_program=ctx.program,
+        type_info=ctx.type_info,
+        background=background,
+        boogie_program=boogie_program,
+        methods=fresh,
+        options=ctx.options,
+    )
+    with inst.stage("check"):
+        report = check_program_certificate(
+            translation, certificate, check_axioms=ctx.check_axioms
+        )
+    ctx.boogie_text = boogie_text
+    tier = "disk" if not rebuilt else "miss"
+
+    if report.ok:
+        # Promote the assembled whole-file artifacts into the memory tier
+        # and write the rebuilt units through to the disk tier.
+        ctx.cache.put_translation(ctx.key, translation)
+        ctx.cache.put_certificate_text(ctx.key, certificate_text)
+        for method in rebuilt:
+            _DISK_CACHE.store_unit(
+                ctx.unit_keys[method.name],
+                method.name,
+                {
+                    "procedure_text": procedure_texts[method.name],
+                    "certificate_block": blocks[method.name],
+                },
+                depends=ctx.units[method.name].callees,
+            )
+        if _DISK_CACHE is not None and boogie_text and certificate_text:
+            _DISK_CACHE.store(
+                (ctx.key[0], options_digest(ctx.options)),
+                {"boogie_text": boogie_text, "certificate_text": certificate_text},
+            )
+    else:
+        # The kernel refused the assembled certificate.  Any served
+        # envelope may be the poisoned one: quarantine them all so the
+        # next request recomputes from scratch.
+        for name in served:
+            _DISK_CACHE.quarantine_unit(
+                ctx.unit_keys[name], reason=f"kernel rejected: {report.error}"
+            )
+    return report, translation, certificate_text, tier
+
+
 def _handle_certify(payload, ctx, inst, disk_key, in_memory) -> Dict[str, Any]:
     tier = "memory" if in_memory else "miss"
     report = None
@@ -274,6 +472,10 @@ def _handle_certify(payload, ctx, inst, disk_key, in_memory) -> Dict[str, Any]:
             inst.increment("cache.disk.hit")
             for skipped in ("translate", "generate", "render"):
                 inst.record_skip(skipped, cached=True)
+            # A whole-file hit serves every method unit at once.
+            for name in ctx.unit_keys or {}:
+                inst.record_unit(name, "translate", reused=True, tier="disk")
+                inst.record_unit(name, "generate", reused=True, tier="disk")
             with inst.stage("reparse"):
                 boogie_program = parse_boogie_program(entry.boogie_text)
                 certificate = parse_program_certificate(entry.certificate_text)
@@ -302,6 +504,12 @@ def _handle_certify(payload, ctx, inst, disk_key, in_memory) -> Dict[str, Any]:
                 _DISK_CACHE.quarantine(disk_key, reason=f"kernel rejected: {report.error}")
         else:
             inst.increment("cache.disk.miss")
+            # The whole file missed (it was edited): resolve method units
+            # individually so only the edited units re-run untrusted work.
+            if ctx.unit_keys:
+                resolved = _certify_from_unit_tier(ctx, inst)
+                if resolved is not None:
+                    report, translation, certificate_text, tier = resolved
 
     if report is None:
         try:
@@ -322,6 +530,7 @@ def _handle_certify(payload, ctx, inst, disk_key, in_memory) -> Dict[str, Any]:
                 disk_key,
                 {"boogie_text": ctx.boogie_text, "certificate_text": certificate_text},
             )
+            _store_units_to_disk(ctx)
 
     response = _base_response("certify", inst, tier)
     response["check_seconds"] = report.check_seconds

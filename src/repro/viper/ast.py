@@ -30,7 +30,8 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass, field
 from fractions import Fraction
-from typing import Optional, Tuple, Union
+from functools import cached_property
+from typing import Dict, Optional, Tuple, Union
 
 
 # ---------------------------------------------------------------------------
@@ -367,24 +368,61 @@ class MethodDecl:
         return tuple(name for name, _ in self.returns)
 
 
+class DuplicateDeclarationError(ValueError):
+    """Two top-level declarations share a name — the program is malformed."""
+
+
 @dataclass(frozen=True)
 class Program:
-    """A Viper program: fields and methods."""
+    """A Viper program: fields and methods.
+
+    Declaration lookup goes through precomputed name→decl indices
+    (``cached_property`` writes to ``__dict__`` directly, which a frozen
+    dataclass permits): the translator and the certification checker
+    resolve the callee at every call site, so a linear scan here is
+    quadratic over the program.  Building the index also rejects duplicate
+    declaration names eagerly instead of silently resolving to the first.
+    """
 
     fields: Tuple[FieldDecl, ...]
     methods: Tuple[MethodDecl, ...]
 
-    def field(self, name: str) -> FieldDecl:
+    @cached_property
+    def _field_index(self) -> Dict[str, FieldDecl]:
+        index: Dict[str, FieldDecl] = {}
         for decl in self.fields:
-            if decl.name == name:
-                return decl
-        raise KeyError(f"no field named {name!r}")
+            if decl.name in index:
+                raise DuplicateDeclarationError(
+                    f"duplicate field name {decl.name!r}"
+                )
+            index[decl.name] = decl
+        return index
+
+    @cached_property
+    def _method_index(self) -> Dict[str, MethodDecl]:
+        index: Dict[str, MethodDecl] = {}
+        for decl in self.methods:
+            if decl.name in index:
+                raise DuplicateDeclarationError(
+                    f"duplicate method name {decl.name!r}"
+                )
+            index[decl.name] = decl
+        return index
+
+    def field(self, name: str) -> FieldDecl:
+        try:
+            return self._field_index[name]
+        except KeyError:
+            raise KeyError(f"no field named {name!r}") from None
 
     def method(self, name: str) -> MethodDecl:
-        for decl in self.methods:
-            if decl.name == name:
-                return decl
-        raise KeyError(f"no method named {name!r}")
+        try:
+            return self._method_index[name]
+        except KeyError:
+            raise KeyError(f"no method named {name!r}") from None
+
+    def has_method(self, name: str) -> bool:
+        return name in self._method_index
 
     @property
     def field_names(self) -> Tuple[str, ...]:

@@ -109,6 +109,24 @@ class TestParallelMap:
         assert OSError in _FALLBACK_ERRORS
 
 
+def _zero_unit_cache(summary):
+    """Zero the per-method stage timings inside a unit_cache summary."""
+    if not summary:
+        return summary
+    cleaned = dict(summary)
+    cleaned["methods"] = {
+        name: {
+            **info,
+            "stages": {
+                stage: {**record, "seconds": 0.0}
+                for stage, record in info.get("stages", {}).items()
+            },
+        }
+        for name, info in summary.get("methods", {}).items()
+    }
+    return cleaned
+
+
 def _zero_timings(metrics):
     return [
         dataclasses.replace(
@@ -118,6 +136,7 @@ def _zero_timings(metrics):
             check_seconds=0.0,
             analyze_seconds=0.0,
             total_seconds=0.0,
+            unit_cache=_zero_unit_cache(m.unit_cache),
         )
         for m in metrics
     ]

@@ -65,6 +65,7 @@ class TestStageGraph:
             "parse",
             "desugar",
             "typecheck",
+            "units",
             "analyze",
             "translate",
             "generate",

@@ -122,13 +122,52 @@ class TestKernelIsNeverCached:
         })
         worker.configure({"cache_dir": str(disk_worker)})
         assert certify()["ok"] is False
-        # The rejection quarantined the entry; the next request recomputes
-        # from scratch and re-certifies successfully.
+        # The rejection quarantined the whole-file entry; the next request
+        # re-certifies successfully.  The still-valid per-unit envelopes
+        # (written by the original good run) serve it from the unit tier —
+        # and the kernel re-derived the verdict fresh either way.
+        recovered = certify()
+        assert recovered["ok"] is True
+        assert recovered["cache"] == "disk"
+        assert "check" in recovered["stage_seconds"]
+        disk = DiskCache(disk_worker)
+        assert list(disk.quarantine_dir.glob("*.bad"))
+
+    def test_poisoned_unit_envelope_is_rejected_quarantined_recomputed(
+        self, disk_worker
+    ):
+        """A unit envelope with a swapped certificate block can never be
+        accepted: the kernel re-checks every unit it serves."""
+        from repro.pipeline import run_pipeline, unit_keys as pipeline_unit_keys
+
+        assert certify()["ok"]
+        other = certify(OTHER_SOURCE, include_certificate=True)
+        assert other["ok"]
+        # Overwrite SOURCE's unit envelope with OTHER's certificate block
+        # (checksum-valid envelope, semantically wrong content).
+        ctx = run_pipeline(SOURCE, upto="units")
+        keys = pipeline_unit_keys(ctx.units, ctx.program, ctx.options)
+        (unit_key,) = keys.values()
+        disk = DiskCache(disk_worker)
+        original = disk.load_unit(unit_key)
+        assert original is not None
+        other_block = "\n".join(
+            other["certificate"].splitlines()[1:-1]
+        )
+        disk.store_unit(unit_key, "get", {
+            "procedure_text": original.procedure_text,
+            "certificate_block": other_block,
+        })
+        worker.configure({"cache_dir": str(disk_worker)})  # fresh memory
+        # Make the whole-file entry miss so the unit tier is consulted.
+        disk.quarantine((source_digest(SOURCE), options_digest(None)))
+        poisoned = certify()
+        assert poisoned["ok"] is False and poisoned["rejected"] is True
+        # The rejection quarantined the served envelope; the next request
+        # recomputes from scratch and re-certifies successfully.
         recovered = certify()
         assert recovered["ok"] is True
         assert recovered["cache"] == "miss"
-        disk = DiskCache(disk_worker)
-        assert list(disk.quarantine_dir.glob("*.bad"))
 
 
 class TestValidation:
