@@ -10,7 +10,9 @@ Subcommands::
     python -m repro.cli bench     [SUITE] [--jobs N] [--json PATH]
     python -m repro.cli fuzz      [--seed N] [--iterations N] [--replay PATH]
     python -m repro.cli serve     [--port N] [--jobs N] [--cache-dir DIR]
+                                  [--trace-dir DIR]
     python -m repro.cli loadgen   [--requests N] [--concurrency N] [--json]
+    python -m repro.cli trace     summarize FILE...
 
 ``certify`` runs the instrumented translation and writes the certificate;
 ``check`` re-checks a certificate *independently*: it parses the Viper
@@ -25,10 +27,14 @@ oracle disagreement.
 ``serve`` runs the long-lived certification server
 (:mod:`repro.service`); ``loadgen`` replays the harness corpus against
 one and reports latency percentiles, throughput, and the cache split.
+``trace summarize`` renders exported trace files (``certify --trace``,
+``serve --trace-dir``) as an aggregate table plus a flame tree of the
+slowest trace (:mod:`repro.trace`).
 
 Every command drives :mod:`repro.pipeline` — the single place the stage
-sequence (parse → desugar → typecheck → units → translate → generate →
-render → reparse → check) is spelled out.  Pipeline failures surface as structured
+sequence (parse → desugar → typecheck → units → analyze → translate →
+generate → render → reparse → check) is spelled out.  Pipeline failures
+surface as structured
 diagnostics (stage, source location, recovery hint) with exit code 2;
 ``SIGINT`` exits with the conventional 130 and ``SIGTERM`` drains
 cleanly and exits 143 (both tested via subprocess).
@@ -51,7 +57,12 @@ from .certification.oracle import validate_program_semantically
 from .frontend import procedure_name, TranslationOptions
 from .frontend.background import build_background, constant_valuation, standard_interpretation
 from .frontend.translator import TranslationResult
-from .pipeline import PipelineContext, PipelineError, run_pipeline
+from .pipeline import (
+    PipelineContext,
+    PipelineError,
+    PipelineInstrumentation,
+    run_pipeline,
+)
 
 
 def _read_source(path: str) -> str:
@@ -107,12 +118,48 @@ def cmd_translate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _write_trace_file(path: str, root, inst: PipelineInstrumentation) -> None:
+    """Export one CLI run's trace: the root span plus derived stage spans."""
+    from .trace import spans_from_instrumentation, write_chrome_trace
+
+    spans = [root] + spans_from_instrumentation(inst, parent=root.context())
+    write_chrome_trace(path, spans)
+    print(f"wrote {path} ({len(spans)} spans, trace {root.trace_id})")
+
+
 def cmd_certify(args: argparse.Namespace) -> int:
     """`certify`: translate, generate, serialise, and independently check."""
-    ctx = _run_file_pipeline(args.file, "check", _options_from(args),
-                             analyze=not args.no_analyze,
-                             unit_jobs=args.unit_jobs)
+    root = None
+    if args.trace:
+        from .trace import Span, use_context
+
+        # The whole run shares one trace; the ambient context also rides
+        # into --unit-jobs worker processes via the executor.  The trace
+        # is written even when a stage raises — an errored run is exactly
+        # the one worth inspecting — with the stages completed so far.
+        inst = PipelineInstrumentation()
+        root = Span.start("certify", attributes={"file": args.file})
+        try:
+            with use_context(root.context()):
+                ctx = _run_file_pipeline(args.file, "check", _options_from(args),
+                                         analyze=not args.no_analyze,
+                                         unit_jobs=args.unit_jobs,
+                                         instrumentation=inst)
+        except Exception as error:
+            root.end()
+            root.set_error(str(error))
+            _write_trace_file(args.trace, root, inst)
+            raise
+    else:
+        ctx = _run_file_pipeline(args.file, "check", _options_from(args),
+                                 analyze=not args.no_analyze,
+                                 unit_jobs=args.unit_jobs)
     report = ctx.report
+    if root is not None:
+        root.end()
+        if not report.ok:
+            root.set_error(report.error)
+        _write_trace_file(args.trace, root, ctx.instrumentation)
     if not report.ok:
         print(f"certification FAILED: {report.error}", file=sys.stderr)
         return 1
@@ -325,8 +372,25 @@ def cmd_serve(args: argparse.Namespace) -> int:
         limits=RequestLimits(max_source_bytes=args.max_source_bytes),
         drain_grace=args.drain_grace,
         quiet=False,
+        trace_dir=args.trace_dir,
+        trace_sample=args.trace_sample,
+        trace_rate=args.trace_rate,
+        trace_seed=args.trace_seed,
     )
     return run_server(config)
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    """`trace summarize`: aggregate table + flame tree from trace files."""
+    from .trace import read_many, render_summary
+
+    try:
+        spans = read_many(args.files)
+    except (OSError, ValueError, json.JSONDecodeError) as error:
+        print(f"trace: {error}", file=sys.stderr)
+        return 2
+    print(render_summary(spans))
+    return 0 if spans else 1
 
 
 def cmd_loadgen(args: argparse.Namespace) -> int:
@@ -398,6 +462,10 @@ def build_parser() -> argparse.ArgumentParser:
     certify.add_argument("--boogie-output", help="also write the Boogie program")
     certify.add_argument("--oracle", action="store_true",
                          help="additionally co-execute both semantics")
+    certify.add_argument("--trace", metavar="PATH",
+                         help="write a Chrome-trace JSON of the run "
+                              "(open in about:tracing / Perfetto, or feed "
+                              "to 'repro trace summarize')")
     for command in (translate, certify):
         command.add_argument("--wd-at-calls", action="store_true",
                              help="emit wd checks at call sites (disable the "
@@ -504,6 +572,20 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--drain-grace", type=float, default=10.0,
                        metavar="SECONDS",
                        help="shutdown grace for in-flight work (default: 10)")
+    serve.add_argument("--trace-dir", metavar="DIR",
+                       help="persist request traces here: the N slowest, "
+                            "every errored request, and a sampled fraction "
+                            "(default: tracing off)")
+    serve.add_argument("--trace-sample", type=int, default=10, metavar="N",
+                       help="how many slowest-request traces to keep "
+                            "(default: 10)")
+    serve.add_argument("--trace-rate", type=float, default=0.0, metavar="R",
+                       help="additionally persist this fraction of all "
+                            "requests, chosen by trace-id hash "
+                            "(default: 0.0)")
+    serve.add_argument("--trace-seed", type=int, default=0, metavar="N",
+                       help="salt for the deterministic trace sampler "
+                            "(default: 0)")
     loadgen = sub.add_parser("loadgen",
                              help="replay the corpus against a running server")
     loadgen.add_argument("--host", default="127.0.0.1")
@@ -534,6 +616,17 @@ def build_parser() -> argparse.ArgumentParser:
     loadgen.add_argument("--json", nargs="?", const="-", metavar="PATH",
                          help="print the full JSON report to stdout "
                               "(or write it to PATH)")
+    trace = sub.add_parser("trace", help="inspect exported request traces")
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+    trace_summarize = trace_sub.add_parser(
+        "summarize",
+        help="aggregate span table plus a flame tree of the slowest trace",
+    )
+    trace_summarize.add_argument(
+        "files", nargs="+", metavar="FILE",
+        help="Chrome-trace or JSONL span files (certify --trace output, "
+             "or *.trace.json files from serve --trace-dir)",
+    )
     return parser
 
 
@@ -589,6 +682,7 @@ def main(argv: Optional[list] = None) -> int:
         "fuzz": cmd_fuzz,
         "serve": cmd_serve,
         "loadgen": cmd_loadgen,
+        "trace": cmd_trace,
     }
     previous_sigterm = None
     if threading.current_thread() is threading.main_thread():

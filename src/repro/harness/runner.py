@@ -53,6 +53,11 @@ class FileMetrics:
     #: wall-clock across *all* pipeline stages for this file (the overhead
     #: denominator).
     total_seconds: float = 0.0
+    #: cache-probe wall-clock, accounted separately from stage work since
+    #: the seconds/cache_lookup_seconds split
+    #: (:meth:`PipelineInstrumentation.cache_lookup_seconds`), so
+    #: ``bench --json`` stage numbers agree with exported traces.
+    cache_lookup_seconds: float = 0.0
     #: per-method incremental accounting (reused/rebuilt counts, cache
     #: tiers, and per-method stage timings) from
     #: :meth:`PipelineInstrumentation.unit_cache_summary`.
@@ -107,6 +112,7 @@ def metrics_from_context(corpus_file: CorpusFile, ctx: PipelineContext) -> FileM
         error=report.error if report is not None else "pipeline incomplete",
         analyze_seconds=inst.stage_seconds("analyze"),
         total_seconds=inst.total_seconds(),
+        cache_lookup_seconds=inst.cache_lookup_seconds(),
         unit_cache=inst.unit_cache_summary(),
     )
 

@@ -1,5 +1,10 @@
 """The staged pipeline: the single source of truth for the end-to-end flow.
 
+Trust: **untrusted-but-checked** — the pipeline orchestrates untrusted
+stages whose outputs the trusted ``reparse`` + ``check`` path re-judges
+on every run; a routing or caching bug here wastes work or causes a
+spurious rejection, never a false acceptance (docs/TRUSTED_BASE.md).
+
 ``repro.pipeline`` owns the paper's workflow —
 
     parse → desugar → typecheck → units → analyze → translate → generate

@@ -1,5 +1,9 @@
 """Content-addressed artifact cache for the staged pipeline.
 
+Trust: **untrusted-but-checked** — only untrusted artifact text is ever
+cached, and the trusted reparse+check path re-judges whatever a cache
+serves, so a wrong or stale entry cannot survive to a false acceptance.
+
 Repeated certification of the same program is common: CLI re-runs during
 development, benchmark warm-up rounds, and ablation sweeps that vary one
 :class:`~repro.frontend.TranslationOptions` flag while everything else is

@@ -1,5 +1,8 @@
 """Structured diagnostics for the staged pipeline.
 
+Trust: **advisory** — diagnostics shape error *messages*, never
+verdicts; a wrong hint misleads a reader, not the kernel.
+
 The substrate layers raise their own exception types (``ViperSyntaxError``,
 ``ViperTypeError``, ``TranslationError``, ``CertificateParseError``, …), and
 library callers that use those layers directly keep seeing them unchanged.

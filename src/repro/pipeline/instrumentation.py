@@ -11,7 +11,20 @@ notifies registered observers.  The whole record set exports as JSON for
 the ``BENCH_*.json`` performance trajectory.
 
 ``FileMetrics`` in :mod:`repro.harness.runner` is *derived* from these
-records instead of sprinkling ``perf_counter`` calls through the harness.
+records instead of sprinkling ``perf_counter`` calls through the harness,
+and so are the per-request trace spans of :mod:`repro.trace` — records
+carry monotonic start offsets plus a wall-clock anchor so one timing
+source feeds both the paper tables and the trace exporters.
+
+Two timing fields per record keep the accounting honest: ``seconds`` is
+the stage's own work, and ``cache_lookup_seconds`` is wall-time spent
+probing caches while the stage ran (per-unit key lookups, disk-envelope
+loads).  Earlier versions folded lookups into ``seconds``, so a
+fully-warm run reported pure lookup time as translate "work"; the split
+makes ``bench --json`` per-stage numbers and trace spans agree.
+
+Trust: **advisory** — instrumentation observes the pipeline; nothing in
+the trusted reparse+check path reads it (docs/TRUSTED_BASE.md).
 """
 
 from __future__ import annotations
@@ -25,7 +38,14 @@ from typing import Callable, Dict, Iterator, List, Optional
 
 @dataclass
 class StageRecord:
-    """One execution (or skip) of one pipeline stage."""
+    """One execution (or skip) of one pipeline stage.
+
+    ``seconds`` is the stage's own work; ``cache_lookup_seconds`` is the
+    wall-time spent probing caches during the stage (kept separate so a
+    warm run does not report lookup latency as stage work).  ``started``
+    is a ``perf_counter`` offset convertible to wall-clock through the
+    owning instrumentation's :meth:`PipelineInstrumentation.to_unix`.
+    """
 
     stage: str
     seconds: float = 0.0
@@ -33,6 +53,10 @@ class StageRecord:
     cached: bool = False
     #: Artifact sizes attributed to this stage (e.g. ``boogie_loc``).
     artifacts: Dict[str, int] = field(default_factory=dict)
+    #: Wall-time spent in cache probes while this stage ran.
+    cache_lookup_seconds: float = 0.0
+    #: ``perf_counter`` at stage start (None for synthesised records).
+    started: Optional[float] = None
 
     def to_dict(self) -> Dict[str, object]:
         record: Dict[str, object] = {"stage": self.stage, "seconds": self.seconds}
@@ -42,6 +66,8 @@ class StageRecord:
             record["cached"] = True
         if self.artifacts:
             record["artifacts"] = dict(self.artifacts)
+        if self.cache_lookup_seconds:
+            record["cache_lookup_seconds"] = self.cache_lookup_seconds
         return record
 
 
@@ -63,6 +89,11 @@ class UnitRecord:
     #: Which cache tier served a reused unit ("memory"/"disk"); "fresh"
     #: for rebuilt units.
     tier: str = "fresh"
+    #: ``perf_counter`` when the unit's work began.  Recorded as
+    #: ``now - seconds`` at record time, which is exact for serial unit
+    #: execution and an honest approximation under ``--unit-jobs``
+    #: fan-out (child processes report only their own duration).
+    started: Optional[float] = None
 
     def to_dict(self) -> Dict[str, object]:
         record: Dict[str, object] = {
@@ -93,6 +124,15 @@ class PipelineInstrumentation:
         self.unit_records: List[UnitRecord] = []
         self.counters: Dict[str, int] = {}
         self._observers: List[Observer] = []
+        # Wall-clock anchor: pairs one time.time() reading with one
+        # perf_counter() reading so monotonic start offsets convert to
+        # epoch seconds (to_unix) — cross-process trace alignment needs
+        # a shared clock, and perf_counter epochs differ per process.
+        self._epoch_unix = time.time()
+        self._epoch_perf = time.perf_counter()
+        # Stack of records for stages currently executing, so nested
+        # cache probes attribute their wall-time to the right stage.
+        self._active: List[StageRecord] = []
 
     # -- recording ---------------------------------------------------------
 
@@ -101,19 +141,58 @@ class PipelineInstrumentation:
         """Time one stage execution; use as ``with inst.stage('translate'):``."""
         record = StageRecord(stage=name)
         start = time.perf_counter()
+        record.started = start
+        self._active.append(record)
         try:
             yield record
         finally:
-            record.seconds = time.perf_counter() - start
+            self._active.pop()
+            elapsed = time.perf_counter() - start
+            # Stage work excludes cache-probe wall-time: lookups made
+            # during the stage accrue to cache_lookup_seconds instead, so
+            # a warm run does not report lookup latency as stage work.
+            record.seconds = max(0.0, elapsed - record.cache_lookup_seconds)
             self._finalise(record)
             self.increment(f"stage.{name}.runs")
 
     def record_skip(self, name: str, cached: bool = False) -> StageRecord:
         """Record that a stage was skipped (e.g. served from the cache)."""
-        record = StageRecord(stage=name, skipped=True, cached=cached)
+        record = StageRecord(
+            stage=name, skipped=True, cached=cached, started=time.perf_counter()
+        )
         self._finalise(record)
         self.increment(f"stage.{name}.skipped")
         return record
+
+    @contextmanager
+    def cache_lookup(self) -> Iterator[None]:
+        """Time a cache probe, attributing it to the enclosing stage.
+
+        Outside any stage (e.g. the service worker's disk-envelope loads
+        that run before the first stage), the time lands on a synthetic
+        ``cache_lookup`` record so it still shows up in totals and traces.
+        """
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.record_cache_lookup(time.perf_counter() - start, started=start)
+
+    def record_cache_lookup(
+        self, seconds: float, started: Optional[float] = None
+    ) -> None:
+        """Attribute cache-probe wall-time (see :meth:`cache_lookup`)."""
+        if self._active:
+            self._active[-1].cache_lookup_seconds += seconds
+        else:
+            record = StageRecord(
+                stage="cache_lookup",
+                skipped=True,
+                cache_lookup_seconds=seconds,
+                started=started if started is not None else time.perf_counter(),
+            )
+            self._finalise(record)
+        self.increment("cache_lookup.probes")
 
     def record_unit(
         self,
@@ -125,7 +204,8 @@ class PipelineInstrumentation:
     ) -> UnitRecord:
         """Record one method unit's outcome in one untrusted stage."""
         record = UnitRecord(
-            method=method, stage=stage, seconds=seconds, reused=reused, tier=tier
+            method=method, stage=stage, seconds=seconds, reused=reused, tier=tier,
+            started=time.perf_counter() - seconds,
         )
         self.unit_records.append(record)
         self.increment(f"unit.{stage}.{'reused' if reused else 'rebuilt'}")
@@ -178,7 +258,21 @@ class PipelineInstrumentation:
         return sizes
 
     def total_seconds(self) -> float:
-        return sum(r.seconds for r in self.records)
+        """Wall-clock across all stages, cache probes included."""
+        return sum(r.seconds + r.cache_lookup_seconds for r in self.records)
+
+    def cache_lookup_seconds(self, *names: str) -> float:
+        """Cache-probe wall-time, optionally restricted to named stages."""
+        wanted = set(names)
+        return sum(
+            r.cache_lookup_seconds
+            for r in self.records
+            if not wanted or r.stage in wanted
+        )
+
+    def to_unix(self, perf_time: float) -> float:
+        """Convert a ``perf_counter`` offset to epoch seconds."""
+        return self._epoch_unix + (perf_time - self._epoch_perf)
 
     def unit_cache_summary(self) -> Dict[str, object]:
         """Per-method reuse accounting across the untrusted stages.
@@ -223,6 +317,7 @@ class PipelineInstrumentation:
             "counters": dict(sorted(self.counters.items())),
             "artifacts": self.artifact_sizes(),
             "total_seconds": self.total_seconds(),
+            "cache_lookup_seconds": self.cache_lookup_seconds(),
         }
         if self.unit_records:
             payload["units"] = [r.to_dict() for r in self.unit_records]

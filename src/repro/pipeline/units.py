@@ -1,5 +1,9 @@
 """Method compilation units: the granularity of incremental certification.
 
+Trust: **untrusted-but-checked** — unit digests and dependency maps only
+*route* reuse of untrusted artifacts; every assembled program is
+reparsed against the current source and kernel-checked fresh.
+
 The paper's proof generation is inherently per-method — the kernel checks
 one forward-simulation certificate per Viper method, and the only
 cross-method coupling is the C1/C2 split of Fig. 10: a call site omits

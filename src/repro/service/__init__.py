@@ -1,5 +1,10 @@
 """repro.service — certification-as-a-service.
 
+Trust: **untrusted-but-checked** — the serving layer changes performance,
+never the trust argument: only untrusted artifact text is cached, and
+the trusted reparse+check path runs fresh per request
+(docs/SERVICE.md § Trust, docs/TRUSTED_BASE.md).
+
 A long-running, stdlib-only HTTP server that amortises process startup
 and keeps warm state across requests, turning the paper's per-run
 validation pipeline into a serving system:

@@ -1,5 +1,9 @@
 """Admission control: bounded queue, request limits, graceful drain.
 
+Trust: **advisory** — admission decides *whether* work runs, never what
+a verdict is; its worst failure rejects a good request (availability),
+not accepts a bad one.
+
 The server must stay responsive under overload instead of queueing
 unboundedly.  This module owns the three policies:
 

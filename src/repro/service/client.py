@@ -1,5 +1,8 @@
 """A stdlib client for the certification service.
 
+Trust: **advisory** — client-side tooling; it relays the server's
+verdicts and cannot influence them.
+
 Built on :mod:`http.client` with a persistent keep-alive connection per
 client instance; thread-*unsafe* by design (the load generator gives each
 worker thread its own client, mirroring how a connection pool would be

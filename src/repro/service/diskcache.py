@@ -1,5 +1,9 @@
 """Disk-backed artifact cache tier: warm state that survives restarts.
 
+Trust: **untrusted-but-checked** — stores only untrusted artifact text;
+corrupt or forged entries are quarantined or kernel-rejected, never
+silently accepted (docs/TRUSTED_BASE.md design rule 1).
+
 The in-memory :class:`~repro.pipeline.cache.ArtifactCache` dies with the
 process; every server restart used to start cold.  This module adds a
 persistent tier underneath it: one JSON file per cache entry under a root

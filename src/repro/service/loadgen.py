@@ -1,5 +1,8 @@
 """Load generator: replay the harness corpus against a running server.
 
+Trust: **advisory** — measurement tooling; its reports (latency,
+throughput, ``error_trace_ids``) describe the service, never steer it.
+
 ``repro loadgen`` drives ``POST /v1/certify`` with the same 72-program
 corpus the evaluation harness measures (Tables 1–6), at a target
 concurrency, and emits a JSON latency report: p50/p95/p99, throughput,
@@ -66,6 +69,11 @@ class _Sample:
     retries: int = 0
     #: 422 from the admission analyzer (the lint fast path).
     lint_rejected: bool = False
+    #: HTTP status of the final (non-throttled) response.
+    status: int = 0
+    #: Server-assigned trace id (every certify response carries one; with
+    #: --trace-dir set on the server, errored ids map to persisted traces).
+    trace_id: str = ""
 
 
 @dataclass
@@ -174,6 +182,8 @@ def _drive(
                             response.get("_status") == 422
                             and response.get("error_stage") == "analyze"
                         ),
+                        status=int(response.get("_status", 0) or 0),
+                        trace_id=str(response.get("trace_id", "")),
                     ))
                     break
 
@@ -288,6 +298,12 @@ def run_loadgen(config: LoadgenConfig) -> Dict[str, Any]:
             "throttled_retries": throttled,
             "errors": len(errors),
             "error_samples": errors[:5],
+            # 5xx/504 responses, with their trace ids: when the server ran
+            # with --trace-dir, each id names a persisted trace file.
+            "server_errors": sum(1 for s in samples if s.status >= 500),
+            "error_trace_ids": sorted(
+                {s.trace_id for s in samples if s.status >= 500 and s.trace_id}
+            ),
         },
         "cache": {
             **cache_split,

@@ -16,6 +16,17 @@ series are exposed:
 Thread-safe: the event loop and the loadgen-facing render path touch the
 registry from one thread, but worker completions may be recorded from
 executor callback threads.
+
+Histograms optionally carry **exemplars** — the last ``trace_id`` whose
+observation landed in each bucket.  They surface only in the
+OpenMetrics-style rendering (``render(exemplars=True)``, negotiated via
+``Accept: application/openmetrics-text``) as
+``bucket{...} N # {trace_id="..."} value`` suffixes; the default
+Prometheus 0.0.4 text stays byte-compatible with earlier releases.
+That links "the p99 is slow" directly to a persisted request trace
+(docs/OBSERVABILITY.md).
+
+Trust: **advisory** — observability only; nothing here feeds a verdict.
 """
 
 from __future__ import annotations
@@ -65,13 +76,18 @@ class Histogram:
         self.counts: List[int] = [0] * len(self.buckets)
         self.count = 0
         self.sum = 0.0
+        #: Last (value, trace_id) observed per bucket index; the +Inf
+        #: overflow bucket lives at index ``len(self.buckets)``.
+        self.exemplars: Dict[int, Tuple[float, str]] = {}
 
-    def observe(self, value: float) -> None:
+    def observe(self, value: float, exemplar: Optional[str] = None) -> None:
         index = bisect_left(self.buckets, value)
         if index < len(self.counts):
             self.counts[index] += 1
         self.count += 1
         self.sum += value
+        if exemplar:
+            self.exemplars[min(index, len(self.buckets))] = (value, exemplar)
 
     def cumulative(self) -> List[Tuple[float, int]]:
         """``(upper_bound, cumulative_count)`` pairs, ending with +Inf."""
@@ -116,6 +132,7 @@ class ServiceMetrics:
         labels: Optional[Mapping[str, str]] = None,
         help: str = "",
         buckets: Iterable[float] = DEFAULT_BUCKETS,
+        exemplar: Optional[str] = None,
     ) -> None:
         key = (name, _labels(labels))
         with self._lock:
@@ -124,7 +141,7 @@ class ServiceMetrics:
             histogram = self._histograms.get(key)
             if histogram is None:
                 histogram = self._histograms[key] = Histogram(buckets)
-            histogram.observe(value)
+            histogram.observe(value, exemplar=exemplar)
 
     def register_gauge(
         self, name: str, sample: Callable[[], float], help: str = ""
@@ -170,13 +187,21 @@ class ServiceMetrics:
 
     # -- rendering ---------------------------------------------------------
 
-    def render(self) -> str:
-        """The Prometheus text exposition of the whole registry."""
+    def render(self, exemplars: bool = False) -> str:
+        """The text exposition of the whole registry.
+
+        With ``exemplars=True`` (the OpenMetrics-style variant) histogram
+        bucket lines gain ``# {trace_id="..."} value`` suffixes where a
+        traced observation landed in that bucket, and the document ends
+        with the OpenMetrics ``# EOF`` terminator.
+        """
         lines: List[str] = []
         with self._lock:
             counters = dict(self._counters)
-            histograms = {k: (v.cumulative(), v.sum, v.count)
-                          for k, v in self._histograms.items()}
+            histograms = {
+                k: (v.cumulative(), v.sum, v.count, dict(v.exemplars))
+                for k, v in self._histograms.items()
+            }
             gauges = dict(self._gauges)
             helps = dict(self._help)
 
@@ -204,14 +229,20 @@ class ServiceMetrics:
             if helps.get(name):
                 lines.append(f"# HELP {name} {helps[name]}")
             lines.append(f"# TYPE {name} histogram")
-            for (hname, labels), (cumulative, total, count) in sorted(histograms.items()):
+            for (hname, labels), (cumulative, total, count, marks) in sorted(
+                histograms.items()
+            ):
                 if hname != name:
                     continue
-                for bound, running in cumulative:
+                for index, (bound, running) in enumerate(cumulative):
                     le = {"le": _format_value(bound)}
-                    lines.append(
-                        f"{name}_bucket{_render_labels(labels, le)} {running}"
-                    )
+                    line = f"{name}_bucket{_render_labels(labels, le)} {running}"
+                    if exemplars and index in marks:
+                        value, trace_id = marks[index]
+                        line += f' # {{trace_id="{trace_id}"}} {repr(float(value))}'
+                    lines.append(line)
                 lines.append(f"{name}_sum{_render_labels(labels)} {repr(total)}")
                 lines.append(f"{name}_count{_render_labels(labels)} {count}")
+        if exemplars:
+            lines.append("# EOF")
         return "\n".join(lines) + "\n"

@@ -29,12 +29,21 @@ On top of that, serving-specific policies:
   process pool is replaced; the old one finishes its in-flight work and
   shuts down in the background (guards against leaks in long-lived
   workers, and doubles as a cheap way to re-read the disk tier).
+
+Tracing: payloads carrying a ``traceparent`` are stamped with a
+``dispatched_unix`` wall-clock time at submission, so the worker can
+report the pool-queue wait (span attribute ``queue_wait_seconds``)
+without any cross-process clock tricks beyond epoch seconds.
+
+Trust: **untrusted** infrastructure — scheduling only; every verdict
+still comes from the worker's fresh reparse+kernel run.
 """
 
 from __future__ import annotations
 
 import asyncio
 import threading
+import time
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Optional
@@ -155,6 +164,12 @@ class WorkerPool:
 
     # -- submission --------------------------------------------------------
 
+    @staticmethod
+    def _stamp_dispatch(payload: Dict[str, Any]) -> None:
+        """Record the dispatch time on traced payloads (queue-wait spans)."""
+        if "traceparent" in payload:
+            payload.setdefault("dispatched_unix", time.time())
+
     def _submit_raw(self, fn: Callable[..., Any], *args: Any):
         with self._lock:
             if self._executor is None:
@@ -166,6 +181,7 @@ class WorkerPool:
 
     def submit_sync(self, payload: Dict[str, Any]) -> Dict[str, Any]:
         """Blocking submit (tests, non-async callers)."""
+        self._stamp_dispatch(payload)
         future = self._submit_raw(worker_module.handle_job, payload)
         try:
             result = future.result(timeout=self.config.request_timeout)
@@ -188,6 +204,7 @@ class WorkerPool:
         the awaiting task is cancelled — e.g. the client disconnected.
         """
         deadline = timeout if timeout is not None else self.config.request_timeout
+        self._stamp_dispatch(payload)
         future = self._submit_raw(worker_module.handle_job, payload)
         wrapped = asyncio.wrap_future(future)
         try:

@@ -25,6 +25,18 @@ HTTP support is deliberately minimal but honest: keep-alive with
 pipelining-safe pushback, ``Content-Length`` bodies (no chunked
 encoding), and cancellation of queued work when the client disconnects
 mid-request.
+
+Every ``/v1/certify`` and ``/v1/translate`` response carries a
+``trace_id`` (echoed as an ``X-Trace-Id`` header).  With ``--trace-dir``
+set the whole request additionally runs under a ``request`` span —
+admission, pool dispatch, worker handling, and every pipeline stage and
+method unit share that trace — and the :class:`RequestTraceStore`
+persists the N slowest plus every errored request as Chrome-loadable
+trace files (docs/OBSERVABILITY.md).  Tracing is **advisory**: span
+bookkeeping happens around the verdict path, never inside it.
+
+Trust: **untrusted** front door — nothing here is load-bearing for
+soundness; verdicts come from the worker's fresh reparse+kernel run.
 """
 
 from __future__ import annotations
@@ -37,6 +49,13 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, Optional, Tuple
 
+from ..trace import (
+    RequestTraceStore,
+    Span,
+    TraceCollector,
+    format_traceparent,
+    new_trace_id,
+)
 from .admission import AdmissionController, RequestLimits
 from .metrics import ServiceMetrics
 from .pool import PoolConfig, PoolTimeout, WorkerPool
@@ -75,6 +94,15 @@ class ServerConfig:
     #: Grace period for in-flight work during shutdown, seconds.
     drain_grace: float = 10.0
     quiet: bool = True
+    #: Directory for persisted request traces (None disables tracing).
+    trace_dir: Optional[str] = None
+    #: Keep the traces of the N slowest requests on disk.
+    trace_sample: int = 10
+    #: Additionally persist this fraction of all requests (0.0–1.0),
+    #: chosen deterministically by trace-id hash.
+    trace_rate: float = 0.0
+    #: Salt for the deterministic hash-rate sampler.
+    trace_seed: int = 0
 
 
 class _BadRequest(Exception):
@@ -165,6 +193,14 @@ class CertificationService:
         self._cache_lookups = 0
         self._cache_hits = 0
         self.port: Optional[int] = None
+        self.trace_store: Optional[RequestTraceStore] = None
+        if self.config.trace_dir:
+            self.trace_store = RequestTraceStore(
+                self.config.trace_dir,
+                capacity=self.config.trace_sample,
+                rate=self.config.trace_rate,
+                seed=self.config.trace_seed,
+            )
         self._register_gauges()
 
     # -- metrics wiring ----------------------------------------------------
@@ -416,8 +452,19 @@ class CertificationService:
             if route == ("GET", "/healthz"):
                 result = self._handle_healthz()
             elif route == ("GET", "/metrics"):
-                result = (200, self.metrics.render().encode("utf-8"),
-                          "text/plain; version=0.0.4; charset=utf-8", {})
+                if "application/openmetrics-text" in request.headers.get("accept", ""):
+                    # OpenMetrics negotiation: only this variant carries
+                    # ` # {trace_id="..."} value` exemplars on histogram
+                    # buckets; the default 0.0.4 text stays exemplar-free.
+                    result = (
+                        200,
+                        self.metrics.render(exemplars=True).encode("utf-8"),
+                        "application/openmetrics-text; version=1.0.0; charset=utf-8",
+                        {},
+                    )
+                else:
+                    result = (200, self.metrics.render().encode("utf-8"),
+                              "text/plain; version=0.0.4; charset=utf-8", {})
             elif route == ("POST", "/v1/certify"):
                 result = await self._handle_single(request, "certify")
             elif route == ("POST", "/v1/translate"):
@@ -445,6 +492,7 @@ class CertificationService:
         self.metrics.observe(
             "repro_request_seconds", elapsed, labels={"endpoint": request.path},
             help="End-to-end request latency in seconds.",
+            exemplar=result[3].get("X-Trace-Id"),
         )
         return result
 
@@ -490,15 +538,73 @@ class CertificationService:
         except _BadRequest as error:
             return self._json(error.status, {"ok": False, "error": str(error)})
         payload["action"] = action
-        if not self.admission.try_admit():
-            return self._backpressure()
+        # Every single-document request gets a trace id (response field +
+        # X-Trace-Id header).  Span objects exist only when a trace store
+        # is configured; without one the id is minted and nothing else.
+        trace_id = new_trace_id()
+        collector: Optional[TraceCollector] = None
+        root: Optional[Span] = None
+        pool_span: Optional[Span] = None
+        if self.trace_store is not None:
+            collector = TraceCollector()
+            root = Span.start(
+                "request", trace_id=trace_id,
+                attributes={"endpoint": request.path, "action": action},
+            )
+            admit_span = Span.start("admission", parent=root.context())
+        admitted = self.admission.try_admit()
+        if root is not None:
+            admit_span.end()
+            collector.add(admit_span)
+        if not admitted:
+            result = self._backpressure()
+            if root is not None:
+                self._finish_trace(root, collector, int(result[0]), {})
+            return result
         try:
+            if root is not None:
+                pool_span = Span.start("pool.submit", parent=root.context())
+                payload["traceparent"] = format_traceparent(pool_span.context())
             response = await self._execute(payload)
         finally:
             self.admission.release()
+        if root is not None:
+            pool_span.end()
+            if int(response.get("status", 200)) == 504:
+                pool_span.set_error("pool deadline expired")
+            collector.add(pool_span)
+            # Worker-side spans (worker.handle, stage.*, unit.*) travel
+            # back inside the response; fold them into this trace.
+            for item in response.pop("trace", None) or ():
+                collector.add(Span.from_dict(item))
         self._note_result(request.path, response)
+        response["trace_id"] = trace_id
         status = int(response.pop("status", 200))
-        return self._json(status, response)
+        if root is not None:
+            self._finish_trace(root, collector, status, response)
+        return self._json(status, response, {"X-Trace-Id": trace_id})
+
+    def _finish_trace(
+        self,
+        root: Span,
+        collector: TraceCollector,
+        status: int,
+        response: Dict[str, Any],
+    ) -> None:
+        """Close the root span and offer the trace to the persistence store."""
+        root.attributes["status"] = status
+        if status >= 500:
+            root.set_error(
+                str(response.get("error", ""))[:200] or f"HTTP {status}"
+            )
+        root.end()
+        collector.add(root)
+        assert self.trace_store is not None
+        for reason in self.trace_store.offer(root, collector.spans):
+            self.metrics.inc(
+                "repro_traces_persisted_total", labels={"reason": reason},
+                help="Request traces persisted to --trace-dir, by keep reason.",
+            )
 
     async def _handle_batch(
         self, request: _Request

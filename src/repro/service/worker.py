@@ -36,6 +36,18 @@ method, per request — incrementality is entirely untrusted.  Cache state
 can therefore only cause spurious rejections (upon which the offending
 disk entries are quarantined), never a false acceptance — see
 ``docs/SERVICE.md`` § Trust.
+
+Trust: **untrusted-but-checked** — every artifact this module serves or
+rebuilds passes through the fresh reparse+kernel path before an answer
+leaves the worker.
+
+When the payload carries a ``traceparent`` header (the server sends one
+whenever tracing is enabled), the job runs under a ``worker.handle``
+span, per-stage and per-unit spans are derived from the instrumentation
+records afterwards, and the whole set travels back in the response's
+``trace`` field — the worker never writes trace files itself.  Tracing
+is advisory: span derivation happens after the verdict is final and
+touches nothing the kernel reads (docs/OBSERVABILITY.md).
 """
 
 from __future__ import annotations
@@ -63,6 +75,12 @@ from ..pipeline import (
     STAGE_NAMES,
 )
 from ..pipeline.stages import make_context, resume_pipeline
+from ..trace import (
+    TraceCollector,
+    parse_traceparent,
+    spans_from_instrumentation,
+    start_span,
+)
 from .admission import RequestLimits
 from .diskcache import DiskCache, options_digest
 
@@ -186,11 +204,42 @@ def _run_oracle(translation: TranslationResult, max_states: int) -> Dict[str, An
 
 
 def handle_job(payload: Dict[str, Any]) -> Dict[str, Any]:
-    """Process one request payload; never raises (errors are structured)."""
+    """Process one request payload; never raises (errors are structured).
+
+    With a ``traceparent`` in the payload the whole job runs under a
+    ``worker.handle`` span (parented to the server's dispatch span), and
+    the response gains ``trace`` (span dicts) and ``trace_id`` fields.
+    Without one — tracing off — no span object is ever constructed.
+    """
+    parent = parse_traceparent(payload.pop("traceparent", None))
+    dispatched_unix = payload.pop("dispatched_unix", None)
     try:
-        return _handle(payload)
+        if parent is None:
+            response, _ = _handle(payload)
+            return response
+        collector = TraceCollector()
+        inst: Optional[PipelineInstrumentation] = None
+        with start_span(
+            "worker.handle", collector=collector, parent=parent
+        ) as span:
+            if dispatched_unix is not None:
+                # Dispatch-to-start gap = time spent in the pool queue.
+                span.attributes["queue_wait_seconds"] = round(
+                    max(0.0, time.time() - float(dispatched_unix)), 6
+                )
+            response, inst = _handle(payload)
+            span.attributes["action"] = response.get("action")
+            span.attributes["cache"] = response.get("cache")
+            if not response.get("ok"):
+                span.set_error(str(response.get("error", ""))[:200])
+        if inst is not None:
+            spans_from_instrumentation(inst, parent=span.context(),
+                                       collector=collector)
+        response["trace"] = [s.to_dict() for s in collector.spans]
+        response["trace_id"] = parent.trace_id
+        return response
     except Exception as error:  # pragma: no cover - last-resort containment
-        return {
+        response = {
             "ok": False,
             "action": payload.get("action", "?"),
             "cache": "miss",
@@ -202,16 +251,27 @@ def handle_job(payload: Dict[str, Any]) -> Dict[str, Any]:
             "counters": {},
             "artifacts": {},
         }
+        if parent is not None:
+            response["trace_id"] = parent.trace_id
+        return response
 
 
-def _handle(payload: Dict[str, Any]) -> Dict[str, Any]:
+def _handle(
+    payload: Dict[str, Any]
+) -> "tuple[Dict[str, Any], Optional[PipelineInstrumentation]]":
+    """Dispatch one validated job; returns ``(response, instrumentation)``.
+
+    The instrumentation object rides along so :func:`handle_job` can
+    derive per-stage/per-unit spans from it; early rejects (bad action,
+    empty source, admission limits) carry ``None`` — no pipeline ran.
+    """
     action = payload.get("action", "certify")
     if action not in ("certify", "translate"):
         return {
             "ok": False, "action": action, "cache": "miss", "status": 400,
             "error": f"unknown action {action!r}", "error_stage": None,
             "stage_seconds": {}, "counters": {}, "artifacts": {},
-        }
+        }, None
     source = payload.get("source")
     if not isinstance(source, str) or not source.strip():
         return {
@@ -219,14 +279,14 @@ def _handle(payload: Dict[str, Any]) -> Dict[str, Any]:
             "error": "request must carry a non-empty 'source' string",
             "error_stage": None, "stage_seconds": {}, "counters": {},
             "artifacts": {},
-        }
+        }, None
     rejection = _LIMITS.check_source(source)
     if rejection:
         return {
             "ok": False, "action": action, "cache": "miss", "status": 413,
             "error": rejection, "error_stage": None, "stage_seconds": {},
             "counters": {}, "artifacts": {},
-        }
+        }, None
     try:
         options = options_from_dict(payload.get("options"))
     except (ValueError, TypeError) as error:
@@ -234,7 +294,7 @@ def _handle(payload: Dict[str, Any]) -> Dict[str, Any]:
             "ok": False, "action": action, "cache": "miss", "status": 400,
             "error": str(error), "error_stage": None, "stage_seconds": {},
             "counters": {}, "artifacts": {},
-        }
+        }, None
 
     inst = PipelineInstrumentation()
     memory = _memory_cache()
@@ -253,18 +313,19 @@ def _handle(payload: Dict[str, Any]) -> Dict[str, Any]:
     try:
         resume_pipeline(ctx, upto="analyze")
     except PipelineError as error:
-        return _diagnostic_response(action, inst, error)
+        return _diagnostic_response(action, inst, error), inst
 
     in_memory = memory.get_translation(ctx.key) is not None
     if action == "translate":
-        return _handle_translate(payload, ctx, inst, disk_key, in_memory)
-    return _handle_certify(payload, ctx, inst, disk_key, in_memory)
+        return _handle_translate(payload, ctx, inst, disk_key, in_memory), inst
+    return _handle_certify(payload, ctx, inst, disk_key, in_memory), inst
 
 
 def _handle_translate(payload, ctx, inst, disk_key, in_memory) -> Dict[str, Any]:
     tier = "memory" if in_memory else "miss"
     if not in_memory and _DISK_CACHE is not None:
-        entry = _DISK_CACHE.load(disk_key)
+        with inst.cache_lookup():
+            entry = _DISK_CACHE.load(disk_key)
         if entry is not None and entry.boogie_text:
             inst.increment("cache.disk.hit")
             inst.record_skip("translate", cached=True)
@@ -334,7 +395,8 @@ def _certify_from_unit_tier(ctx, inst):
     entries = {}
     served = []
     for method in ctx.program.methods:
-        entry = _DISK_CACHE.load_unit(ctx.unit_keys[method.name])
+        with inst.cache_lookup():
+            entry = _DISK_CACHE.load_unit(ctx.unit_keys[method.name])
         if (
             entry is not None
             and entry.method == method.name
@@ -464,7 +526,8 @@ def _handle_certify(payload, ctx, inst, disk_key, in_memory) -> Dict[str, Any]:
     certificate_text = None
 
     if not in_memory and _DISK_CACHE is not None:
-        entry = _DISK_CACHE.load(disk_key)
+        with inst.cache_lookup():
+            entry = _DISK_CACHE.load(disk_key)
         if entry is not None and entry.boogie_text and entry.certificate_text:
             # Disk hit: skip the untrusted stages, but *re-derive* the
             # trusted verdict — re-parse both artifacts and run the kernel.

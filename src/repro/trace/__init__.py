@@ -1,0 +1,73 @@
+"""End-to-end structured tracing for the pipeline and the service.
+
+Trust: **advisory** — spans observe; they are never consulted by the
+trusted reparse+check path (docs/TRUSTED_BASE.md, docs/OBSERVABILITY.md).
+
+A zero-dependency span tracer correlating one request's work across the
+asyncio server, the process pool, and every pipeline stage and method
+unit under a single ``trace_id``:
+
+* :mod:`repro.trace.spans` — the :class:`Span` model, the thread-safe
+  :class:`TraceCollector`, contextvar-based ambient context, and
+  W3C-traceparent-style propagation (``00-<trace_id>-<span_id>-<flags>``)
+  for crossing the process-pool boundary;
+* :mod:`repro.trace.derive` — spans derived from (and by construction
+  reconciled with) :class:`PipelineInstrumentation` records;
+* :mod:`repro.trace.export` — Chrome ``trace_event`` JSON (loadable in
+  ``about:tracing``/Perfetto) and compact JSONL, plus format-sniffing
+  readers;
+* :mod:`repro.trace.sampling` — ``repro serve --trace-dir`` persistence:
+  N slowest + every errored request + a deterministic hash-rate sample;
+* :mod:`repro.trace.summarize` — the ``repro trace summarize`` flame
+  table.
+"""
+
+from .derive import spans_from_instrumentation
+from .export import (
+    chrome_trace,
+    read_many,
+    read_spans,
+    write_chrome_trace,
+    write_jsonl,
+)
+from .sampling import RequestTraceStore, hash_sample
+from .spans import (
+    Span,
+    SpanContext,
+    TraceCollector,
+    current_context,
+    current_trace_id,
+    current_traceparent,
+    format_traceparent,
+    new_span_id,
+    new_trace_id,
+    parse_traceparent,
+    start_span,
+    use_context,
+)
+from .summarize import render_summary, summarize
+
+__all__ = [
+    "Span",
+    "SpanContext",
+    "TraceCollector",
+    "RequestTraceStore",
+    "chrome_trace",
+    "current_context",
+    "current_trace_id",
+    "current_traceparent",
+    "format_traceparent",
+    "hash_sample",
+    "new_span_id",
+    "new_trace_id",
+    "parse_traceparent",
+    "read_many",
+    "read_spans",
+    "render_summary",
+    "spans_from_instrumentation",
+    "start_span",
+    "summarize",
+    "use_context",
+    "write_chrome_trace",
+    "write_jsonl",
+]

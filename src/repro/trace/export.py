@@ -1,0 +1,110 @@
+"""Trace exporters: Chrome ``trace_event`` JSON and compact JSONL.
+
+Trust: **advisory** — serialisation of observability data only.
+
+Two interchangeable on-disk formats:
+
+* **Chrome trace JSON** (:func:`chrome_trace` / :func:`write_chrome_trace`)
+  — the ``trace_event`` format that ``about:tracing`` and Perfetto load
+  directly: one complete-duration event (``"ph": "X"``) per span, with
+  timestamps/durations in microseconds, one ``tid`` row per trace, and
+  the full span record preserved under ``args`` so the file round-trips
+  losslessly through :func:`read_spans`.
+* **JSONL** (:func:`write_jsonl`) — one :meth:`Span.to_dict` JSON object
+  per line; append-friendly and grep-friendly.
+
+:func:`read_spans` sniffs either format, so ``repro trace summarize``
+accepts both.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List, Sequence
+
+from .spans import Span
+
+#: Synthetic process id for exported traces (one logical process; the
+#: real pid split is recorded as a span attribute where it matters).
+_PID = 1
+
+
+def chrome_trace(spans: Sequence[Span]) -> Dict[str, Any]:
+    """The ``trace_event`` document for a span set (Chrome/Perfetto).
+
+    Spans of the same ``trace_id`` share a ``tid`` so each request
+    renders as one row; trace ids are assigned rows in first-seen order.
+    """
+    tids: Dict[str, int] = {}
+    events: List[Dict[str, Any]] = []
+    for trace_id in (s.trace_id for s in spans):
+        if trace_id not in tids:
+            tids[trace_id] = len(tids) + 1
+    for tid, trace_id in sorted((t, i) for i, t in tids.items()):
+        events.append({
+            "name": "thread_name", "ph": "M", "pid": _PID, "tid": tid,
+            "args": {"name": f"trace {trace_id[:8]}"},
+        })
+    for span in spans:
+        events.append({
+            "name": span.name,
+            "ph": "X",
+            "ts": span.start_unix * 1e6,
+            "dur": max(span.duration, 0.0) * 1e6,
+            "pid": _PID,
+            "tid": tids[span.trace_id],
+            "cat": "repro",
+            "args": {"span": span.to_dict()},
+        })
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(path: str, spans: Sequence[Span]) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(chrome_trace(spans), handle, indent=None, separators=(",", ":"))
+        handle.write("\n")
+
+
+def write_jsonl(path: str, spans: Sequence[Span]) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        for span in spans:
+            handle.write(json.dumps(span.to_dict(), sort_keys=True) + "\n")
+
+
+def spans_from_chrome(document: Dict[str, Any]) -> List[Span]:
+    """Recover spans from a Chrome trace document written by this module."""
+    spans: List[Span] = []
+    for event in document.get("traceEvents", []):
+        record = (event.get("args") or {}).get("span")
+        if isinstance(record, dict):
+            spans.append(Span.from_dict(record))
+    return spans
+
+
+def read_spans(path: str) -> List[Span]:
+    """Load spans from a Chrome-trace or JSONL file (format-sniffed)."""
+    with open(path, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    if text.lstrip().startswith("{"):
+        try:
+            document = json.loads(text)
+        except json.JSONDecodeError:
+            document = None  # multiple objects: JSONL, handled below
+        if isinstance(document, dict):
+            if "traceEvents" in document:
+                return spans_from_chrome(document)
+            return [Span.from_dict(document)]
+    spans: List[Span] = []
+    for line in text.splitlines():
+        line = line.strip()
+        if line:
+            spans.append(Span.from_dict(json.loads(line)))
+    return spans
+
+
+def read_many(paths: Iterable[str]) -> List[Span]:
+    """Concatenate spans from several exported files."""
+    spans: List[Span] = []
+    for path in paths:
+        spans.extend(read_spans(path))
+    return spans

@@ -1,0 +1,160 @@
+"""Request-trace sampling: keep the slowest, keep every error.
+
+Trust: **advisory** — decides which observability data to persist,
+nothing more.
+
+``repro serve --trace-dir`` cannot write every request's trace (a warm
+cache serves thousands per minute); the store keeps exactly what an
+operator asks "where did the time go?" about:
+
+* the **N slowest** requests seen so far (capacity-bounded, slower
+  evicts faster),
+* **every errored** request (5xx/504) — errors are never sampled out,
+* optionally, a deterministic **hash-rate** sample
+  (:func:`hash_sample`): the keep-decision is a pure function of
+  ``(trace_id, rate, seed)``, so replaying a request log under a fixed
+  seed persists the identical subset — reproducible sampling for
+  regression tests and incident replay.
+
+Files are Chrome-trace JSON (`<trace_id>.trace.json`, errors marked
+``.error.trace.json``), loadable directly in ``about:tracing``/Perfetto;
+an append-only ``index.jsonl`` records one line per persisted trace.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import threading
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from .export import write_chrome_trace
+from .spans import Span
+
+#: Resolution of the hash-rate sampler: the keep-decision compares a
+#: 64-bit hash fraction against ``rate``.
+_HASH_DENOMINATOR = float(1 << 64)
+
+
+def hash_sample(trace_id: str, rate: float, seed: int = 0) -> bool:
+    """Deterministic keep-decision: a pure function of (id, rate, seed).
+
+    The trace id is hashed (salted with ``seed``) to a fraction in
+    [0, 1); the trace is kept iff that fraction is below ``rate``.  Equal
+    inputs always decide equally — across processes, runs, and machines.
+    """
+    if rate <= 0.0:
+        return False
+    if rate >= 1.0:
+        return True
+    digest = hashlib.sha256(f"{seed}:{trace_id}".encode("ascii")).digest()
+    fraction = int.from_bytes(digest[:8], "big") / _HASH_DENOMINATOR
+    return fraction < rate
+
+
+class RequestTraceStore:
+    """Persist sampled request traces under one directory.
+
+    Thread-safe; the server calls :meth:`offer` once per completed
+    request with the root span and the full span set.
+    """
+
+    def __init__(
+        self,
+        directory: str,
+        capacity: int = 10,
+        rate: float = 0.0,
+        seed: int = 0,
+    ) -> None:
+        self.directory = directory
+        self.capacity = max(0, int(capacity))
+        self.rate = float(rate)
+        self.seed = int(seed)
+        self._lock = threading.Lock()
+        #: The current slowest-N set: (duration, trace_id, path).
+        self._slowest: List[Tuple[float, str, str]] = []
+        os.makedirs(directory, exist_ok=True)
+
+    def offer(self, root: Span, spans: Sequence[Span]) -> List[str]:
+        """Consider one finished request; returns the keep-reasons.
+
+        Reasons: ``"error"`` (always persisted), ``"slowest"`` (entered
+        the top-N by root duration), ``"sampled"`` (hash-rate keep).  An
+        empty list means nothing was written.
+        """
+        reasons: List[str] = []
+        errored = root.status == "error"
+        if errored:
+            reasons.append("error")
+        if hash_sample(root.trace_id, self.rate, self.seed):
+            reasons.append("sampled")
+        with self._lock:
+            if self.capacity and not errored:
+                if len(self._slowest) < self.capacity:
+                    reasons.append("slowest")
+                elif self._slowest and root.duration > self._slowest[0][0]:
+                    reasons.append("slowest")
+            if not reasons:
+                return []
+            path = self._write(root, spans, errored)
+            if "slowest" in reasons:
+                self._slowest.append((root.duration, root.trace_id, path))
+                self._slowest.sort()
+                while len(self._slowest) > self.capacity:
+                    _, _, evicted = self._slowest.pop(0)
+                    # Never unlink a file another reason also claimed.
+                    if evicted != path or reasons == ["slowest"]:
+                        self._try_unlink(evicted)
+            self._index(root, reasons, path)
+        return reasons
+
+    # -- internals ---------------------------------------------------------
+
+    def _write(self, root: Span, spans: Sequence[Span], errored: bool) -> str:
+        suffix = ".error.trace.json" if errored else ".trace.json"
+        path = os.path.join(self.directory, f"{root.trace_id}{suffix}")
+        write_chrome_trace(path, list(spans))
+        return path
+
+    def _index(self, root: Span, reasons: List[str], path: str) -> None:
+        entry = {
+            "trace_id": root.trace_id,
+            "duration": root.duration,
+            "status": root.status,
+            "reasons": reasons,
+            "file": os.path.basename(path),
+        }
+        index = os.path.join(self.directory, "index.jsonl")
+        with open(index, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps(entry, sort_keys=True) + "\n")
+
+    @staticmethod
+    def _try_unlink(path: str) -> None:
+        try:
+            os.unlink(path)
+        except OSError:
+            pass
+
+    # -- queries (tests, summarize) ----------------------------------------
+
+    def index_entries(self) -> List[Dict[str, Any]]:
+        """Every index line, oldest first ([] when nothing persisted)."""
+        index = os.path.join(self.directory, "index.jsonl")
+        if not os.path.exists(index):
+            return []
+        entries: List[Dict[str, Any]] = []
+        with open(index, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if line:
+                    entries.append(json.loads(line))
+        return entries
+
+    def persisted_trace_ids(self) -> List[str]:
+        """Trace ids with a trace file currently on disk."""
+        ids = []
+        for name in sorted(os.listdir(self.directory)):
+            if name.endswith(".trace.json"):
+                ids.append(name.split(".", 1)[0])
+        return ids

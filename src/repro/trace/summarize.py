@@ -1,0 +1,119 @@
+"""``repro trace summarize``: flame tables from exported trace files.
+
+Trust: **advisory** — renders observability data; touches nothing else.
+
+Reads any mix of Chrome-trace and JSONL exports and renders:
+
+* an aggregate per-span-name table (count, total, mean, max) — the
+  "which stage is the money going to" view across every trace in the
+  input, and
+* a flame tree of the slowest trace — root to leaves, indented by
+  parent/child relation, each line showing duration, share of the root,
+  and the load-bearing attributes (method, tier, cache).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+from .spans import Span
+
+
+def summarize(spans: Sequence[Span]) -> Dict[str, Any]:
+    """Aggregate a span set: per-name stats plus per-trace roots."""
+    by_name: Dict[str, Dict[str, float]] = {}
+    for span in spans:
+        stats = by_name.setdefault(
+            span.name, {"count": 0, "total": 0.0, "max": 0.0}
+        )
+        stats["count"] += 1
+        stats["total"] += span.duration
+        stats["max"] = max(stats["max"], span.duration)
+    for stats in by_name.values():
+        stats["mean"] = stats["total"] / stats["count"] if stats["count"] else 0.0
+    traces: Dict[str, List[Span]] = {}
+    for span in spans:
+        traces.setdefault(span.trace_id, []).append(span)
+    roots = {
+        trace_id: next((s for s in members if s.parent_id is None), None)
+        for trace_id, members in traces.items()
+    }
+    return {
+        "spans": len(spans),
+        "traces": len(traces),
+        "names": by_name,
+        "roots": roots,
+        "by_trace": traces,
+    }
+
+
+def slowest_trace(summary: Dict[str, Any]) -> Optional[str]:
+    """The trace id with the longest root span (None without roots)."""
+    best: Optional[str] = None
+    best_duration = -1.0
+    for trace_id, root in sorted(summary["roots"].items()):
+        if root is not None and root.duration > best_duration:
+            best, best_duration = trace_id, root.duration
+    return best
+
+
+def _attribute_note(span: Span) -> str:
+    keep = ("method", "tier", "cache", "endpoint", "status", "error",
+            "queue_wait_seconds")
+    parts = [f"{k}={span.attributes[k]}" for k in keep if k in span.attributes]
+    if span.status != "ok":
+        parts.append("ERROR")
+    return f"  [{', '.join(parts)}]" if parts else ""
+
+
+def render_flame(spans: Sequence[Span], root: Span, indent: str = "  ") -> List[str]:
+    """One indented line per span of the root's tree, depth-first."""
+    children: Dict[str, List[Span]] = {}
+    for span in spans:
+        if span.trace_id == root.trace_id and span.parent_id:
+            children.setdefault(span.parent_id, []).append(span)
+    for members in children.values():
+        members.sort(key=lambda s: (s.start_unix, s.name))
+    total = root.duration or 1e-12
+    lines: List[str] = []
+
+    def walk(span: Span, depth: int) -> None:
+        share = 100.0 * span.duration / total
+        lines.append(
+            f"{indent * depth}{span.name:<{max(4, 28 - len(indent) * depth)}}"
+            f" {span.duration * 1000:9.3f} ms {share:5.1f}%"
+            f"{_attribute_note(span)}"
+        )
+        for child in children.get(span.span_id, ()):  # depth-first
+            walk(child, depth + 1)
+
+    walk(root, 0)
+    return lines
+
+
+def render_summary(spans: Sequence[Span]) -> str:
+    """The full ``repro trace summarize`` report."""
+    if not spans:
+        return "no spans found"
+    summary = summarize(spans)
+    lines = [f"{summary['spans']} spans across {summary['traces']} trace(s)", ""]
+    lines.append(f"{'span':<24} {'count':>6} {'total ms':>10} "
+                 f"{'mean ms':>10} {'max ms':>10}")
+    lines.append("-" * 64)
+    ordered = sorted(
+        summary["names"].items(), key=lambda kv: -kv[1]["total"]
+    )
+    for name, stats in ordered:
+        lines.append(
+            f"{name:<24} {int(stats['count']):>6} "
+            f"{stats['total'] * 1000:>10.3f} {stats['mean'] * 1000:>10.3f} "
+            f"{stats['max'] * 1000:>10.3f}"
+        )
+    slow_id = slowest_trace(summary)
+    if slow_id is not None:
+        root = summary["roots"][slow_id]
+        lines.append("")
+        lines.append(f"slowest trace {slow_id} "
+                     f"({root.duration * 1000:.3f} ms):")
+        lines.extend(render_flame(summary["by_trace"][slow_id], root))
+    return "\n".join(lines)

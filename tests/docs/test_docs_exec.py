@@ -1,0 +1,106 @@
+"""The documentation executes: ```console fences are real commands.
+
+``tools/docs_exec.py`` is the contract that keeps README and docs/*.md
+honest — every ``$ `` command in a ```console fence must run with the
+asserted exit code.  These tests cover the extractor grammar and run
+the fast (non-``slow``) documentation blocks end to end, the same thing
+the ``docs-exec`` CI job does with ``--slow`` added.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+TOOL = REPO_ROOT / "tools" / "docs_exec.py"
+
+spec = importlib.util.spec_from_file_location("docs_exec", TOOL)
+docs_exec = importlib.util.module_from_spec(spec)
+sys.modules["docs_exec"] = docs_exec
+spec.loader.exec_module(docs_exec)
+
+
+class TestExtractor:
+    def test_console_fences_and_directives(self, tmp_path):
+        doc = tmp_path / "doc.md"
+        doc.write_text(
+            "# Title\n\n"
+            "```console\n"
+            "$ echo one\n"
+            "illustrative output\n"
+            "$ echo two \\\n"
+            "    --continued\n"
+            "```\n\n"
+            "<!-- docs-exec: slow expect-json exit=3 -->\n"
+            "```console\n"
+            "$ false\n"
+            "```\n\n"
+            "```bash\n"
+            "$ not-extracted\n"
+            "```\n"
+        )
+        first, second = docs_exec.extract_blocks(doc)
+        assert first.commands == ["echo one", "echo two --continued"]
+        assert not first.slow and first.expected_exit == 0
+        assert second.commands == ["false"]
+        assert second.slow and second.expect_json
+        assert second.expected_exit == 3
+
+    def test_skip_directive_and_unknown_directive(self, tmp_path):
+        doc = tmp_path / "doc.md"
+        doc.write_text(
+            "<!-- docs-exec: skip -->\n```console\n$ rm -rf /\n```\n"
+        )
+        (block,) = docs_exec.extract_blocks(doc)
+        assert block.skip
+        doc.write_text(
+            "<!-- docs-exec: frobnicate -->\n```console\n$ true\n```\n"
+        )
+        with pytest.raises(ValueError, match="frobnicate"):
+            docs_exec.extract_blocks(doc)
+
+    def test_directive_must_be_adjacent(self, tmp_path):
+        # A stray comment with prose in between does not attach.
+        doc = tmp_path / "doc.md"
+        doc.write_text(
+            "<!-- docs-exec: skip -->\n\nsome prose\n\n"
+            "```console\n$ true\n```\n"
+        )
+        (block,) = docs_exec.extract_blocks(doc)
+        assert not block.skip
+
+    def test_unterminated_fence_is_an_error(self, tmp_path):
+        doc = tmp_path / "doc.md"
+        doc.write_text("```console\n$ true\n")
+        with pytest.raises(ValueError, match="unterminated"):
+            docs_exec.extract_blocks(doc)
+
+
+class TestRealDocs:
+    def test_every_doc_has_extractable_blocks(self):
+        files = docs_exec.default_files()
+        assert REPO_ROOT / "README.md" in files
+        plan = {path: docs_exec.extract_blocks(path) for path in files}
+        commands = [
+            c for blocks in plan.values() for b in blocks for c in b.commands
+        ]
+        # The tentpole docs ship runnable examples; an empty plan means
+        # the fences regressed to non-executable ```bash.
+        assert len(commands) >= 10
+        assert any("--trace" in c for c in commands)
+        assert any(c.startswith("repro serve") for c in commands)
+
+    def test_fast_blocks_execute(self, tmp_path):
+        # The same run CI's docs-exec job performs, minus `slow` blocks
+        # (which need a live server and belong to CI wall-clock).
+        result = subprocess.run(
+            [sys.executable, str(TOOL)],
+            capture_output=True, text=True, cwd=str(tmp_path), timeout=600,
+        )
+        assert result.returncode == 0, result.stdout + result.stderr
+        assert "docs-exec ok" in result.stdout

@@ -136,6 +136,7 @@ def _zero_timings(metrics):
             check_seconds=0.0,
             analyze_seconds=0.0,
             total_seconds=0.0,
+            cache_lookup_seconds=0.0,
             unit_cache=_zero_unit_cache(m.unit_cache),
         )
         for m in metrics

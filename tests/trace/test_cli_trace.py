@@ -1,0 +1,118 @@
+"""`repro certify --trace` and `repro trace summarize` end to end."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.trace.export import read_spans
+
+GOOD = """
+field f: Int
+
+method inc(x: Ref) returns (y: Int)
+  requires acc(x.f, write)
+  ensures acc(x.f, write) && y == x.f
+{
+  x.f := x.f + 1
+  y := x.f
+}
+"""
+
+#: Type-defective: assigns to an undeclared variable, so the pipeline
+#: raises during typecheck and the CLI exits 2 with a diagnostic.
+BAD = """
+method broken()
+{
+  x := 1
+}
+"""
+
+
+@pytest.fixture
+def viper_file(tmp_path):
+    path = tmp_path / "demo.vpr"
+    path.write_text(GOOD)
+    return path
+
+
+class TestCertifyTrace:
+    def test_writes_chrome_loadable_trace(self, viper_file, tmp_path, capsys):
+        out = tmp_path / "trace.json"
+        assert main(["certify", str(viper_file), "--trace", str(out)]) == 0
+        message = capsys.readouterr().out
+        assert f"wrote {out}" in message
+
+        document = json.loads(out.read_text())
+        assert "traceEvents" in document
+        spans = read_spans(str(out))
+        names = {s.name for s in spans}
+        assert "certify" in names
+        assert {"stage.parse", "stage.translate", "stage.check"} <= names
+        assert {"unit.translate", "unit.generate"} <= names
+        # One trace id, rooted at the certify span.
+        assert len({s.trace_id for s in spans}) == 1
+        (root,) = [s for s in spans if s.parent_id is None]
+        assert root.name == "certify"
+        assert root.attributes["file"] == str(viper_file)
+
+    def test_failed_run_still_writes_an_error_trace(self, tmp_path, capsys):
+        # A typecheck failure exits through the diagnostic path (rc 2);
+        # the trace must still land on disk, covering the stages that ran.
+        bad = tmp_path / "bad.vpr"
+        bad.write_text(BAD)
+        out = tmp_path / "trace.json"
+        assert main(["certify", str(bad), "--trace", str(out)]) == 2
+        capsys.readouterr()
+        spans = read_spans(str(out))
+        (root,) = [s for s in spans if s.parent_id is None]
+        assert root.status == "error"
+        assert root.attributes["error"]
+        names = {s.name for s in spans}
+        assert "stage.parse" in names
+        assert "stage.check" not in names
+
+    def test_without_flag_no_trace_is_written(self, viper_file, tmp_path, capsys):
+        assert main(["certify", str(viper_file)]) == 0
+        capsys.readouterr()
+        assert not list(tmp_path.glob("*.json"))
+
+
+class TestTraceSummarize:
+    @pytest.fixture
+    def trace_file(self, viper_file, tmp_path, capsys):
+        out = tmp_path / "trace.json"
+        assert main(["certify", str(viper_file), "--trace", str(out)]) == 0
+        capsys.readouterr()
+        return out
+
+    def test_renders_flame_table(self, trace_file, capsys):
+        assert main(["trace", "summarize", str(trace_file)]) == 0
+        out = capsys.readouterr().out
+        assert "certify" in out
+        assert "stage.translate" in out
+        # Aggregate table: span names with counts and total seconds.
+        assert "count" in out and "total" in out
+
+    def test_accepts_multiple_files(self, trace_file, capsys):
+        assert main(["trace", "summarize", str(trace_file), str(trace_file)]) == 0
+        capsys.readouterr()
+
+    def test_empty_input_exits_one(self, tmp_path, capsys):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        assert main(["trace", "summarize", str(empty)]) == 1
+        assert "no spans found" in capsys.readouterr().out
+
+    def test_missing_file_exits_two(self, tmp_path, capsys):
+        missing = tmp_path / "nope.json"
+        assert main(["trace", "summarize", str(missing)]) == 2
+        capsys.readouterr()
+
+    def test_garbage_file_exits_two(self, tmp_path, capsys):
+        garbage = tmp_path / "garbage.json"
+        garbage.write_text("{not json")
+        assert main(["trace", "summarize", str(garbage)]) == 2
+        capsys.readouterr()

@@ -1,0 +1,157 @@
+"""Spans derived from instrumentation records — the reconciliation story.
+
+Traces are *derived* from the same :class:`PipelineInstrumentation`
+records that feed ``bench --json``, so by construction the two cannot
+disagree about where the time went.  These tests pin that contract: the
+stage span minus its ``cache_lookup`` child equals the record's
+``seconds`` — the bench number.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.pipeline.instrumentation import PipelineInstrumentation
+from repro.trace.derive import _SKIP_WIDTH, spans_from_instrumentation
+from repro.trace.spans import Span, TraceCollector
+
+
+@pytest.fixture
+def parent():
+    return Span.start("request").context()
+
+
+def _by_name(spans):
+    index = {}
+    for span in spans:
+        index.setdefault(span.name, []).append(span)
+    return index
+
+
+class TestStageSpans:
+    def test_one_span_per_stage_record(self, parent):
+        inst = PipelineInstrumentation()
+        with inst.stage("parse"):
+            pass
+        with inst.stage("check"):
+            pass
+        spans = _by_name(spans_from_instrumentation(inst, parent))
+        assert set(spans) == {"stage.parse", "stage.check"}
+        for span in spans["stage.parse"] + spans["stage.check"]:
+            assert span.trace_id == parent.trace_id
+            assert span.parent_id == parent.span_id
+
+    def test_start_times_convert_to_unix(self, parent):
+        inst = PipelineInstrumentation()
+        before = time.time()
+        with inst.stage("parse"):
+            pass
+        after = time.time()
+        (span,) = spans_from_instrumentation(inst, parent)
+        assert before - 0.01 <= span.start_unix <= after + 0.01
+
+    def test_skipped_stage_gets_marker_width(self, parent):
+        inst = PipelineInstrumentation()
+        inst.record_skip("translate", cached=True)
+        (span,) = spans_from_instrumentation(inst, parent)
+        assert span.name == "stage.translate"
+        assert span.duration == _SKIP_WIDTH
+        assert span.attributes["cached"] is True
+        assert span.attributes["skipped"] is True
+
+    def test_artifact_sizes_become_attributes(self, parent):
+        inst = PipelineInstrumentation()
+        with inst.stage("render") as record:
+            record.artifacts["boogie_loc"] = 42
+        (span,) = spans_from_instrumentation(inst, parent)
+        assert span.attributes["boogie_loc"] == 42
+
+    def test_collector_receives_spans(self, parent):
+        inst = PipelineInstrumentation()
+        with inst.stage("parse"):
+            pass
+        collector = TraceCollector()
+        spans = spans_from_instrumentation(inst, parent, collector=collector)
+        assert collector.spans == spans
+
+
+class TestCacheLookupSplit:
+    def test_stage_span_covers_work_plus_lookup(self, parent):
+        inst = PipelineInstrumentation()
+        with inst.stage("translate"):
+            inst.record_cache_lookup(0.25)
+            time.sleep(0.002)
+        spans = _by_name(spans_from_instrumentation(inst, parent))
+        (stage,) = spans["stage.translate"]
+        (lookup,) = spans["cache_lookup"]
+        record = inst.records[0]
+        # span wall = work + probes; child carves out the probe share, so
+        # span − child == record.seconds == the bench --json stage number.
+        assert stage.duration == pytest.approx(
+            record.seconds + record.cache_lookup_seconds
+        )
+        assert lookup.duration == pytest.approx(record.cache_lookup_seconds)
+        assert stage.duration - lookup.duration == pytest.approx(record.seconds)
+        assert stage.attributes["work_seconds"] == pytest.approx(record.seconds)
+        assert stage.attributes["cache_lookup_seconds"] == pytest.approx(0.25)
+        assert lookup.parent_id == stage.span_id
+
+    def test_lookup_outside_stage_synthesises_record(self, parent):
+        inst = PipelineInstrumentation()
+        with inst.cache_lookup():
+            pass
+        spans = _by_name(spans_from_instrumentation(inst, parent))
+        (stage,) = spans["stage.cache_lookup"]
+        (lookup,) = spans["cache_lookup"]
+        assert lookup.parent_id == stage.span_id
+        assert inst.counters["cache_lookup.probes"] == 1
+
+    def test_bench_number_excludes_lookup_time(self):
+        inst = PipelineInstrumentation()
+        with inst.stage("translate"):
+            inst.record_cache_lookup(10.0)
+        # The regression this split fixed: lookup wall must not inflate
+        # the stage's reported work.
+        assert inst.stage_seconds("translate") < 1.0
+        assert inst.cache_lookup_seconds("translate") == pytest.approx(10.0)
+        assert inst.total_seconds() >= 10.0
+
+
+class TestUnitSpans:
+    def test_units_parent_under_their_stage(self, parent):
+        inst = PipelineInstrumentation()
+        with inst.stage("translate"):
+            inst.record_unit("m1", "translate", seconds=0.001)
+            inst.record_unit("m2", "translate", reused=True, tier="disk")
+        spans = _by_name(spans_from_instrumentation(inst, parent))
+        (stage,) = spans["stage.translate"]
+        units = spans["unit.translate"]
+        assert len(units) == 2
+        assert all(u.parent_id == stage.span_id for u in units)
+        fresh = next(u for u in units if u.attributes["method"] == "m1")
+        reused = next(u for u in units if u.attributes["method"] == "m2")
+        assert fresh.duration == pytest.approx(0.001)
+        assert fresh.attributes["tier"] == "fresh"
+        assert reused.duration == _SKIP_WIDTH
+        assert reused.attributes["reused"] is True
+        assert reused.attributes["tier"] == "disk"
+
+    def test_unit_without_stage_record_parents_to_root(self, parent):
+        inst = PipelineInstrumentation()
+        inst.record_unit("m1", "generate", seconds=0.001)
+        spans = _by_name(spans_from_instrumentation(inst, parent))
+        (unit,) = spans["unit.generate"]
+        assert unit.parent_id == parent.span_id
+
+    def test_rerun_stage_wins_unit_parenting(self, parent):
+        inst = PipelineInstrumentation()
+        with inst.stage("translate"):
+            pass
+        with inst.stage("translate"):
+            inst.record_unit("m1", "translate", seconds=0.0)
+        spans = spans_from_instrumentation(inst, parent)
+        stages = [s for s in spans if s.name == "stage.translate"]
+        (unit,) = [s for s in spans if s.name == "unit.translate"]
+        assert unit.parent_id == stages[-1].span_id

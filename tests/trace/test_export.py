@@ -1,0 +1,132 @@
+"""Exporter round-trips and the Chrome ``trace_event`` document shape."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.trace.export import (
+    chrome_trace,
+    read_many,
+    read_spans,
+    spans_from_chrome,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.trace.spans import Span
+
+
+@pytest.fixture
+def spans():
+    root = Span.start("request", attributes={"endpoint": "/v1/certify"})
+    child = Span.start("stage.parse", parent=root.context())
+    child.end()
+    root.end()
+    other = Span.start("request").end()
+    other.set_error("boom")
+    return [root, child, other]
+
+
+class TestChromeTrace:
+    def test_document_shape(self, spans):
+        document = chrome_trace(spans)
+        assert document["displayTimeUnit"] == "ms"
+        events = document["traceEvents"]
+        metadata = [e for e in events if e["ph"] == "M"]
+        complete = [e for e in events if e["ph"] == "X"]
+        # One thread-name row per trace, one complete event per span.
+        assert len(metadata) == 2
+        assert len(complete) == len(spans)
+        assert all(e["name"] == "thread_name" for e in metadata)
+
+    def test_timestamps_are_microseconds(self, spans):
+        events = [e for e in chrome_trace(spans)["traceEvents"] if e["ph"] == "X"]
+        for event, span in zip(events, spans):
+            assert event["ts"] == pytest.approx(span.start_unix * 1e6)
+            assert event["dur"] == pytest.approx(span.duration * 1e6)
+            assert event["cat"] == "repro"
+
+    def test_same_trace_shares_tid(self, spans):
+        events = [e for e in chrome_trace(spans)["traceEvents"] if e["ph"] == "X"]
+        root, child, other = events
+        assert root["tid"] == child["tid"]
+        assert other["tid"] != root["tid"]
+
+    def test_document_is_json_serialisable(self, spans):
+        json.dumps(chrome_trace(spans))
+
+    def test_lossless_round_trip(self, spans):
+        assert spans_from_chrome(chrome_trace(spans)) == spans
+
+
+class TestFileRoundTrips:
+    def test_chrome_file_round_trip(self, spans, tmp_path):
+        path = str(tmp_path / "trace.json")
+        write_chrome_trace(path, spans)
+        assert read_spans(path) == spans
+
+    def test_jsonl_file_round_trip(self, spans, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        write_jsonl(path, spans)
+        assert read_spans(path) == spans
+
+    def test_jsonl_skips_blank_lines(self, spans, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        lines = [json.dumps(s.to_dict()) for s in spans]
+        path.write_text(lines[0] + "\n\n" + "\n".join(lines[1:]) + "\n")
+        assert read_spans(str(path)) == spans
+
+    def test_single_span_object_file(self, spans, tmp_path):
+        path = tmp_path / "span.json"
+        path.write_text(json.dumps(spans[0].to_dict()))
+        assert read_spans(str(path)) == [spans[0]]
+
+    def test_read_many_concatenates(self, spans, tmp_path):
+        chrome = str(tmp_path / "a.json")
+        jsonl = str(tmp_path / "b.jsonl")
+        write_chrome_trace(chrome, spans[:2])
+        write_jsonl(jsonl, spans[2:])
+        assert read_many([chrome, jsonl]) == spans
+
+
+class TestGoldenDocument:
+    """A fully pinned export: field-for-field, nothing implicit."""
+
+    def test_golden_chrome_document(self):
+        span = Span(
+            name="stage.check",
+            trace_id="ab" * 16,
+            span_id="cd" * 8,
+            parent_id="ef" * 8,
+            start_unix=1700000000.0,
+            duration=0.5,
+            attributes={"cached": True},
+        )
+        assert chrome_trace([span]) == {
+            "traceEvents": [
+                {
+                    "name": "thread_name", "ph": "M", "pid": 1, "tid": 1,
+                    "args": {"name": "trace abababab"},
+                },
+                {
+                    "name": "stage.check",
+                    "ph": "X",
+                    "ts": 1700000000.0 * 1e6,
+                    "dur": 0.5 * 1e6,
+                    "pid": 1,
+                    "tid": 1,
+                    "cat": "repro",
+                    "args": {"span": {
+                        "name": "stage.check",
+                        "trace_id": "ab" * 16,
+                        "span_id": "cd" * 8,
+                        "parent_id": "ef" * 8,
+                        "start_unix": 1700000000.0,
+                        "duration": 0.5,
+                        "attributes": {"cached": True},
+                    }},
+                },
+            ],
+            "displayTimeUnit": "ms",
+        }

@@ -1,0 +1,119 @@
+"""Deterministic trace sampling and the slowest-N/error persistence store."""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.trace.sampling import RequestTraceStore, hash_sample
+from repro.trace.spans import Span, new_trace_id
+
+
+def _request(duration: float, error: bool = False) -> Span:
+    root = Span.start("request")
+    root.end()
+    root.duration = duration
+    if error:
+        root.set_error("boom")
+    return root
+
+
+class TestHashSample:
+    def test_rate_edges(self):
+        trace_id = new_trace_id()
+        assert hash_sample(trace_id, 0.0) is False
+        assert hash_sample(trace_id, -1.0) is False
+        assert hash_sample(trace_id, 1.0) is True
+        assert hash_sample(trace_id, 2.0) is True
+
+    def test_deterministic_under_fixed_seed(self):
+        ids = [new_trace_id() for _ in range(200)]
+        first = [hash_sample(i, 0.3, seed=7) for i in ids]
+        second = [hash_sample(i, 0.3, seed=7) for i in ids]
+        assert first == second
+
+    def test_seed_changes_the_subset(self):
+        ids = [f"{i:032x}" for i in range(1, 401)]
+        a = {i for i in ids if hash_sample(i, 0.5, seed=0)}
+        b = {i for i in ids if hash_sample(i, 0.5, seed=1)}
+        assert a != b
+
+    def test_rate_approximates_fraction(self):
+        ids = [f"{i:032x}" for i in range(1, 2001)]
+        kept = sum(hash_sample(i, 0.25) for i in ids)
+        assert 0.15 < kept / len(ids) < 0.35
+
+    def test_monotone_in_rate(self):
+        # Anything kept at a low rate stays kept at any higher rate.
+        ids = [f"{i:032x}" for i in range(1, 501)]
+        low = {i for i in ids if hash_sample(i, 0.1)}
+        high = {i for i in ids if hash_sample(i, 0.6)}
+        assert low <= high
+
+
+class TestRequestTraceStore:
+    def test_keeps_slowest_n_and_evicts_faster(self, tmp_path):
+        store = RequestTraceStore(str(tmp_path), capacity=2)
+        slow, mid, fast = _request(3.0), _request(2.0), _request(1.0)
+        assert store.offer(fast, [fast]) == ["slowest"]
+        assert store.offer(slow, [slow]) == ["slowest"]
+        # Capacity reached; a slower request evicts the fastest file.
+        assert store.offer(mid, [mid]) == ["slowest"]
+        assert set(store.persisted_trace_ids()) == {slow.trace_id, mid.trace_id}
+
+    def test_faster_than_floor_is_dropped(self, tmp_path):
+        store = RequestTraceStore(str(tmp_path), capacity=1)
+        slow, fast = _request(2.0), _request(0.5)
+        store.offer(slow, [slow])
+        assert store.offer(fast, [fast]) == []
+        assert store.persisted_trace_ids() == [slow.trace_id]
+
+    def test_errors_always_kept_and_never_evicted(self, tmp_path):
+        store = RequestTraceStore(str(tmp_path), capacity=1)
+        failed = _request(0.001, error=True)
+        assert store.offer(failed, [failed]) == ["error"]
+        for _ in range(3):
+            ok = _request(5.0)
+            store.offer(ok, [ok])
+        assert failed.trace_id in store.persisted_trace_ids()
+        error_files = [
+            n for n in os.listdir(tmp_path) if n.endswith(".error.trace.json")
+        ]
+        assert error_files == [f"{failed.trace_id}.error.trace.json"]
+
+    def test_sampled_reason_is_deterministic(self, tmp_path):
+        store = RequestTraceStore(str(tmp_path), capacity=0, rate=1.0, seed=3)
+        root = _request(0.01)
+        assert store.offer(root, [root]) == ["sampled"]
+        # Same decision function, fresh store, same id: identical keep.
+        again = RequestTraceStore(str(tmp_path / "b"), capacity=0, rate=1.0, seed=3)
+        assert again.offer(root, [root]) == ["sampled"]
+
+    def test_zero_capacity_zero_rate_persists_nothing_ok(self, tmp_path):
+        store = RequestTraceStore(str(tmp_path), capacity=0, rate=0.0)
+        ok = _request(9.0)
+        assert store.offer(ok, [ok]) == []
+        assert store.persisted_trace_ids() == []
+
+    def test_index_records_every_persist(self, tmp_path):
+        store = RequestTraceStore(str(tmp_path), capacity=2)
+        first, second = _request(1.0), _request(2.0, error=True)
+        store.offer(first, [first])
+        store.offer(second, [second])
+        entries = store.index_entries()
+        assert [e["trace_id"] for e in entries] == [
+            first.trace_id, second.trace_id
+        ]
+        assert entries[0]["reasons"] == ["slowest"]
+        assert entries[1]["reasons"] == ["error"]
+        assert entries[1]["status"] == "error"
+
+    def test_persisted_files_are_chrome_loadable(self, tmp_path):
+        store = RequestTraceStore(str(tmp_path), capacity=1)
+        root = _request(1.0)
+        child = Span.start("stage.check", parent=root.context()).end()
+        store.offer(root, [root, child])
+        (name,) = [n for n in os.listdir(tmp_path) if n.endswith(".trace.json")]
+        document = json.load(open(tmp_path / name))
+        names = {e["name"] for e in document["traceEvents"] if e["ph"] == "X"}
+        assert names == {"request", "stage.check"}

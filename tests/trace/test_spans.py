@@ -1,0 +1,180 @@
+"""The span model: IDs, traceparent propagation, ambient context."""
+
+from __future__ import annotations
+
+import pickle
+import threading
+
+import pytest
+
+from repro.trace.spans import (
+    Span,
+    SpanContext,
+    TraceCollector,
+    current_context,
+    current_trace_id,
+    current_traceparent,
+    format_traceparent,
+    new_span_id,
+    new_trace_id,
+    parse_traceparent,
+    start_span,
+    use_context,
+)
+
+
+class TestIdentifiers:
+    def test_trace_id_is_32_hex(self):
+        trace_id = new_trace_id()
+        assert len(trace_id) == 32
+        int(trace_id, 16)
+
+    def test_span_id_is_16_hex(self):
+        span_id = new_span_id()
+        assert len(span_id) == 16
+        int(span_id, 16)
+
+    def test_ids_are_unique(self):
+        assert len({new_trace_id() for _ in range(64)}) == 64
+
+
+class TestTraceparent:
+    def test_round_trip(self):
+        ctx = SpanContext(trace_id=new_trace_id(), span_id=new_span_id())
+        parsed = parse_traceparent(format_traceparent(ctx))
+        assert parsed == ctx
+
+    def test_unsampled_flag_round_trips(self):
+        ctx = SpanContext(
+            trace_id=new_trace_id(), span_id=new_span_id(), sampled=False
+        )
+        header = format_traceparent(ctx)
+        assert header.endswith("-00")
+        assert parse_traceparent(header) == ctx
+
+    @pytest.mark.parametrize("header", [
+        None,
+        "",
+        "garbage",
+        "00-abc-def-01",                                     # wrong lengths
+        "01-" + "a" * 32 + "-" + "b" * 16 + "-01",          # unknown version
+        "00-" + "g" * 32 + "-" + "b" * 16 + "-01",          # non-hex trace
+        "00-" + "a" * 32 + "-" + "z" * 16 + "-01",          # non-hex span
+        "00-" + "0" * 32 + "-" + "b" * 16 + "-01",          # all-zero trace
+        "00-" + "a" * 32 + "-" + "0" * 16 + "-01",          # all-zero span
+        "00-" + "a" * 32 + "-" + "b" * 16,                   # missing flags
+        "00-" + "a" * 32 + "-" + "b" * 16 + "-01-extra",     # extra part
+        42,
+    ])
+    def test_malformed_headers_drop_to_none(self, header):
+        # Corrupt propagation must degrade to an untraced request, never
+        # raise into the request path.
+        assert parse_traceparent(header) is None
+
+
+class TestSpan:
+    def test_start_end_measures_duration(self):
+        span = Span.start("work")
+        assert span.start_unix > 0
+        span.end()
+        assert span.duration >= 0.0
+
+    def test_end_is_idempotent(self):
+        span = Span.start("work")
+        span.end()
+        first = span.duration
+        span.end()
+        assert span.duration == first
+
+    def test_parenting(self):
+        parent = Span.start("parent")
+        child = Span.start("child", parent=parent.context())
+        assert child.trace_id == parent.trace_id
+        assert child.parent_id == parent.span_id
+
+    def test_set_error(self):
+        span = Span.start("work")
+        span.set_error("boom")
+        assert span.status == "error"
+        assert span.attributes["error"] == "boom"
+
+    def test_dict_round_trip(self):
+        span = Span.start("work", attributes={"k": "v"})
+        span.set_error("bad")
+        span.end()
+        restored = Span.from_dict(span.to_dict())
+        assert restored == span
+
+    def test_spans_are_picklable(self):
+        span = Span.start("work").end()
+        assert pickle.loads(pickle.dumps(span)) == span
+
+
+class TestCollector:
+    def test_collects_in_order(self):
+        collector = TraceCollector()
+        a, b = Span.start("a").end(), Span.start("b").end()
+        collector.add(a)
+        collector.extend([b])
+        assert collector.spans == [a, b]
+        assert len(collector) == 2
+
+    def test_drain_clears(self):
+        collector = TraceCollector()
+        collector.add(Span.start("a").end())
+        assert len(collector.drain()) == 1
+        assert len(collector) == 0
+
+    def test_by_trace_filters(self):
+        collector = TraceCollector()
+        a, b = Span.start("a").end(), Span.start("b").end()
+        collector.extend([a, b])
+        assert collector.by_trace(a.trace_id) == [a]
+
+    def test_thread_safety(self):
+        collector = TraceCollector()
+
+        def add_many():
+            for _ in range(200):
+                collector.add(Span.start("x").end())
+
+        threads = [threading.Thread(target=add_many) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(collector) == 800
+
+
+class TestAmbientContext:
+    def test_default_is_none(self):
+        assert current_context() is None
+        assert current_trace_id() is None
+        assert current_traceparent() is None
+
+    def test_use_context_scopes(self):
+        ctx = SpanContext(trace_id=new_trace_id(), span_id=new_span_id())
+        with use_context(ctx):
+            assert current_context() == ctx
+            assert current_trace_id() == ctx.trace_id
+            assert parse_traceparent(current_traceparent()) == ctx
+        assert current_context() is None
+
+    def test_start_span_nests_and_collects(self):
+        collector = TraceCollector()
+        with start_span("outer", collector=collector) as outer:
+            with start_span("inner", collector=collector) as inner:
+                assert current_context() == inner.context()
+            assert current_context() == outer.context()
+        assert [s.name for s in collector.spans] == ["inner", "outer"]
+        assert collector.spans[0].parent_id == outer.span_id
+
+    def test_start_span_marks_error_on_raise(self):
+        collector = TraceCollector()
+        with pytest.raises(ValueError):
+            with start_span("broken", collector=collector):
+                raise ValueError("nope")
+        (span,) = collector.spans
+        assert span.status == "error"
+        assert "ValueError" in span.attributes["error"]
+        assert current_context() is None

@@ -1,0 +1,323 @@
+#!/usr/bin/env python3
+"""Execute every ``console``-fenced command in the documentation.
+
+Documentation rots when its examples stop running.  This tool makes the
+docs executable: it scans markdown files for fenced blocks tagged
+``console``, runs each ``$ ``-prefixed command in a per-file sandbox,
+and asserts the exit codes — so a drifted flag, a renamed subcommand,
+or a stale example fails CI (the ``docs-exec`` job) instead of a
+reader.
+
+Block grammar
+-------------
+
+A runnable block is a standard fence whose info string is ``console``::
+
+    ```console
+    $ repro certify demo.vpr --trace demo.trace.json
+    wrote demo.trace.json (14 spans, trace …)
+    ```
+
+* Lines starting with ``$ `` are commands (run via ``sh -c``, so
+  pipes, globs, and redirects work).  A trailing backslash continues
+  the command on the next line.
+* Every other line is illustrative output and is ignored.
+* A command ending in `` &`` is started in the background (its own
+  process group, killed when the file's run ends).
+
+Directives ride in an HTML comment immediately above the fence —
+invisible in rendered markdown::
+
+    <!-- docs-exec: slow wait-port=8431 -->
+
+| directive | meaning |
+|---|---|
+| ``skip`` | parse but never execute the block |
+| ``slow`` | execute only when ``--slow`` is passed (CI does) |
+| ``exit=N`` | every command in the block must exit with code N |
+| ``expect-json`` | every command's stdout must parse as JSON |
+| ``wait-port=P`` | after a background command, wait for 127.0.0.1:P |
+
+Sandbox
+-------
+
+Each markdown *file* runs in its own fresh temp directory, seeded with
+``demo.vpr`` (a known-good Viper program) and ``demo.json`` (the same
+program as a ``/v1/certify`` body), with a ``repro`` shim on PATH that
+invokes this checkout's CLI — so docs can write plain ``repro …``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import re
+import shutil
+import signal
+import socket
+import stat
+import subprocess
+import sys
+import tempfile
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Seeded into every sandbox: a small lint-clean program that certifies.
+DEMO_PROGRAM = """\
+field f: Int
+
+method inc(x: Ref) returns (y: Int)
+  requires acc(x.f, write)
+  ensures acc(x.f, write) && y == x.f
+{
+  x.f := x.f + 1
+  y := x.f
+}
+"""
+
+_DIRECTIVE = re.compile(r"<!--\s*docs-exec:\s*(?P<body>.*?)\s*-->\s*$")
+_FENCE_OPEN = re.compile(r"^```console\s*$")
+_FENCE_CLOSE = re.compile(r"^```\s*$")
+
+
+@dataclass
+class Block:
+    """One ```console fence: its commands and its directives."""
+
+    path: Path
+    line: int
+    commands: List[str] = field(default_factory=list)
+    skip: bool = False
+    slow: bool = False
+    expect_json: bool = False
+    expected_exit: int = 0
+    wait_port: Optional[int] = None
+
+
+def _parse_directives(block: Block, body: str) -> None:
+    for token in body.split():
+        if token == "skip":
+            block.skip = True
+        elif token == "slow":
+            block.slow = True
+        elif token == "expect-json":
+            block.expect_json = True
+        elif token.startswith("exit="):
+            block.expected_exit = int(token.split("=", 1)[1])
+        elif token.startswith("wait-port="):
+            block.wait_port = int(token.split("=", 1)[1])
+        else:
+            raise ValueError(
+                f"{block.path}:{block.line}: unknown docs-exec directive "
+                f"{token!r}"
+            )
+
+
+def extract_blocks(path: Path) -> List[Block]:
+    """Every ```console block in ``path``, with directives applied."""
+    blocks: List[Block] = []
+    pending_directive = ""
+    in_fence = False
+    current: Optional[Block] = None
+    partial = ""
+    for number, line in enumerate(path.read_text().splitlines(), start=1):
+        if not in_fence:
+            match = _DIRECTIVE.match(line.strip())
+            if match:
+                pending_directive = match.group("body")
+                continue
+            if _FENCE_OPEN.match(line.strip()):
+                in_fence = True
+                current = Block(path=path, line=number)
+                _parse_directives(current, pending_directive)
+                pending_directive = ""
+            elif line.strip():
+                pending_directive = ""
+            continue
+        assert current is not None
+        if _FENCE_CLOSE.match(line.strip()):
+            if partial:
+                raise ValueError(
+                    f"{path}:{number}: fence closed mid-continuation"
+                )
+            blocks.append(current)
+            in_fence = False
+            current = None
+            continue
+        if partial:
+            partial += " " + line.strip().rstrip("\\").strip()
+            if not line.rstrip().endswith("\\"):
+                current.commands.append(partial)
+                partial = ""
+        elif line.startswith("$ "):
+            text = line[2:].rstrip()
+            if text.endswith("\\"):
+                partial = text.rstrip("\\").strip()
+            else:
+                current.commands.append(text)
+    if in_fence:
+        raise ValueError(f"{path}: unterminated ```console fence")
+    return blocks
+
+
+def default_files() -> List[Path]:
+    files = [REPO_ROOT / "README.md"]
+    files += sorted((REPO_ROOT / "docs").glob("*.md"))
+    return [f for f in files if f.exists()]
+
+
+def _make_sandbox(base: Path) -> Dict[str, str]:
+    """Seed a sandbox dir; returns the environment to run commands in."""
+    (base / "demo.vpr").write_text(DEMO_PROGRAM)
+    (base / "demo.json").write_text(json.dumps({"source": DEMO_PROGRAM}))
+    bin_dir = base / ".bin"
+    bin_dir.mkdir()
+    shim = bin_dir / "repro"
+    shim.write_text(
+        "#!/bin/sh\n"
+        f'exec "{sys.executable}" -m repro.cli "$@"\n'
+    )
+    shim.chmod(shim.stat().st_mode | stat.S_IXUSR | stat.S_IXGRP | stat.S_IXOTH)
+    env = dict(os.environ)
+    env["PATH"] = f"{bin_dir}:{env.get('PATH', '')}"
+    src = str(REPO_ROOT / "src")
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = f"{src}:{existing}" if existing else src
+    return env
+
+
+def _wait_port(port: int, timeout: float = 30.0) -> bool:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        try:
+            with socket.create_connection(("127.0.0.1", port), timeout=1.0):
+                return True
+        except OSError:
+            time.sleep(0.1)
+    return False
+
+
+def run_file(path: Path, blocks: List[Block], slow: bool) -> List[str]:
+    """Run one file's blocks in a shared sandbox; returns failures."""
+    failures: List[str] = []
+    background: List[subprocess.Popen] = []
+    sandbox = Path(tempfile.mkdtemp(prefix="docs-exec-"))
+    env = _make_sandbox(sandbox)
+    try:
+        for block in blocks:
+            where = f"{path.relative_to(REPO_ROOT)}:{block.line}"
+            if block.skip:
+                print(f"  SKIP {where} (skip)")
+                continue
+            if block.slow and not slow:
+                print(f"  SKIP {where} (slow; rerun with --slow)")
+                continue
+            for command in block.commands:
+                if command.rstrip().endswith("&"):
+                    process = subprocess.Popen(
+                        ["sh", "-c", command.rstrip().rstrip("&")],
+                        cwd=sandbox, env=env, start_new_session=True,
+                        stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+                    )
+                    background.append(process)
+                    if block.wait_port is not None:
+                        if not _wait_port(block.wait_port):
+                            failures.append(
+                                f"{where}: `{command}` never opened port "
+                                f"{block.wait_port}"
+                            )
+                            break
+                    print(f"  OK   {where} $ {command} (background)")
+                    continue
+                result = subprocess.run(
+                    ["sh", "-c", command], cwd=sandbox, env=env,
+                    capture_output=True, text=True, timeout=300,
+                )
+                if result.returncode != block.expected_exit:
+                    failures.append(
+                        f"{where}: `{command}` exited "
+                        f"{result.returncode}, expected {block.expected_exit}"
+                        f"\n--- stdout ---\n{result.stdout[-2000:]}"
+                        f"\n--- stderr ---\n{result.stderr[-2000:]}"
+                    )
+                    break
+                if block.expect_json:
+                    try:
+                        json.loads(result.stdout)
+                    except json.JSONDecodeError as error:
+                        failures.append(
+                            f"{where}: `{command}` stdout is not JSON "
+                            f"({error})\n{result.stdout[-2000:]}"
+                        )
+                        break
+                print(f"  OK   {where} $ {command}")
+    finally:
+        for process in background:
+            try:
+                os.killpg(process.pid, signal.SIGTERM)
+            except OSError:
+                pass
+        for process in background:
+            try:
+                process.wait(timeout=10)
+            except subprocess.TimeoutExpired:
+                try:
+                    os.killpg(process.pid, signal.SIGKILL)
+                except OSError:
+                    pass
+        shutil.rmtree(sandbox, ignore_errors=True)
+    return failures
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="run every ```console command in the docs"
+    )
+    parser.add_argument("files", nargs="*", type=Path,
+                        help="markdown files (default: README.md + docs/*.md)")
+    parser.add_argument("--slow", action="store_true",
+                        help="also run blocks marked `slow` (CI does)")
+    parser.add_argument("--list", action="store_true",
+                        help="print the execution plan without running")
+    args = parser.parse_args(argv)
+
+    files = [f.resolve() for f in args.files] or default_files()
+    plan = {path: extract_blocks(path) for path in files}
+    total = sum(len(b.commands) for blocks in plan.values() for b in blocks)
+
+    if args.list:
+        for path, blocks in plan.items():
+            for block in blocks:
+                tags = [t for t, on in (("skip", block.skip),
+                                        ("slow", block.slow),
+                                        ("expect-json", block.expect_json))
+                        if on]
+                suffix = f" [{' '.join(tags)}]" if tags else ""
+                print(f"{path.relative_to(REPO_ROOT)}:{block.line}{suffix}")
+                for command in block.commands:
+                    print(f"  $ {command}")
+        print(f"{total} commands in {len(files)} files")
+        return 0
+
+    failures: List[str] = []
+    for path, blocks in plan.items():
+        if not blocks:
+            continue
+        print(f"{path.relative_to(REPO_ROOT)}:")
+        failures.extend(run_file(path, blocks, slow=args.slow))
+    if failures:
+        print(f"\n{len(failures)} failure(s):", file=sys.stderr)
+        for failure in failures:
+            print(f"\n{failure}", file=sys.stderr)
+        return 1
+    print(f"\ndocs-exec ok: {total} commands across {len(files)} files")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
