@@ -64,7 +64,7 @@ from .pipeline import (  # noqa: F401
     run_pipeline,
 )
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 
 def translate_source(source, options=None, **kwargs):

@@ -1,0 +1,47 @@
+"""repro.cluster — horizontal scale-out for the certification service.
+
+Trust: **untrusted** infrastructure — routing is *advisory*.  The router
+decides only *where* a request runs; every node still executes the
+trusted reparse+kernel check fresh per request, so a misrouted request,
+a stale replica, or a corrupted ring can at worst cause a spurious
+rejection or a cache miss — never a false acceptance
+(docs/SERVICE.md § Clustering, docs/TRUSTED_BASE.md).
+
+The paper's pipeline checks each certificate independently of the
+translator, which makes certification embarrassingly shardable: any node
+that re-runs the trusted check can serve any request.  This package adds
+the missing scale-out layer on top of the single-node service:
+
+* :mod:`~repro.cluster.ring` — consistent hashing over the existing
+  ``(source digest, options digest)`` cache key, so a given program
+  always lands on the node whose warm memory/disk/unit tiers hold it,
+  with each key replicated to R nodes for failover;
+* :mod:`~repro.cluster.upstream` — per-node async HTTP client state:
+  bounded in-flight accounting, latency tracking (p95 feeds the hedge
+  delay), error counters;
+* :mod:`~repro.cluster.health` — active ``/healthz`` probing with
+  eject-on-failure / readmit-on-recovery, plus the ``draining`` state
+  (503 + Retry-After) that de-routes a node before its socket closes;
+* :mod:`~repro.cluster.router` — the sharding router itself
+  (``repro cluster route``): spill-to-replica on capacity, hedged
+  retries for tail latency, retry-with-backoff on connection errors
+  (idempotent because the pipeline is deterministic), traceparent
+  propagation router→node, and its own ``/metrics``;
+* :mod:`~repro.cluster.nodes` — subprocess supervision for real
+  ``repro serve`` nodes (spawn, await readiness, kill/stall/resume);
+* :mod:`~repro.cluster.chaos` — the fault-injection harness
+  (``repro cluster chaos``): kill/stall/corrupt a node under load and
+  prove zero failed client requests during single-node loss.
+"""
+
+from .chaos import ChaosConfig, run_chaos  # noqa: F401
+from .health import HealthMonitor, NodeHealth  # noqa: F401
+from .nodes import NodeProcess, NodeSpec, free_port  # noqa: F401
+from .ring import HashRing  # noqa: F401
+from .router import (  # noqa: F401
+    BackgroundRouter,
+    ClusterRouter,
+    RouterConfig,
+    run_router,
+)
+from .upstream import Upstream, UpstreamError  # noqa: F401

@@ -1,0 +1,162 @@
+"""Active health tracking: probe, eject, readmit, and notice drains.
+
+Trust: **advisory** — health states steer placement, never verdicts; a
+wrong state costs latency (a skipped healthy node) or a retry (a routed
+dead node), not correctness.
+
+One async loop probes every node's ``GET /healthz`` each interval:
+
+* ``200 {"status": "ok"}``       → **up** (after ``readmit_after``
+  consecutive successes, if the node was down);
+* ``503 {"status": "draining"}`` → **draining** — the node announced a
+  SIGTERM drain while its socket is still open (the server holds the
+  listener for ``drain_notice`` exactly so this probe can see it), so
+  the router stops sending *new* work before connects start failing;
+* connect/timeout failure        → **down** after ``eject_after``
+  consecutive failures.
+
+The router also reports its own proxy failures through
+:meth:`HealthMonitor.note_failure` (passive detection) so a crashed node
+is ejected on the first failed request, not on the next probe tick.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from .upstream import Upstream, UpstreamError
+
+UP = "up"
+DRAINING = "draining"
+DOWN = "down"
+
+
+@dataclass
+class NodeHealth:
+    """The tracked health of one node."""
+
+    state: str = UP
+    consecutive_failures: int = 0
+    consecutive_successes: int = 0
+    probes: int = 0
+    transitions: List[str] = field(default_factory=list)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "state": self.state,
+            "probes": self.probes,
+            "consecutive_failures": self.consecutive_failures,
+            "transitions": list(self.transitions[-8:]),
+        }
+
+
+class HealthMonitor:
+    """Probe-driven health states for a set of upstreams."""
+
+    def __init__(
+        self,
+        upstreams: Dict[str, Upstream],
+        interval: float = 0.25,
+        probe_timeout: float = 1.0,
+        eject_after: int = 1,
+        readmit_after: int = 1,
+    ):
+        self.upstreams = upstreams
+        self.interval = interval
+        self.probe_timeout = probe_timeout
+        self.eject_after = max(1, eject_after)
+        self.readmit_after = max(1, readmit_after)
+        self.health: Dict[str, NodeHealth] = {
+            name: NodeHealth() for name in upstreams
+        }
+
+    # -- queries -----------------------------------------------------------
+
+    def state(self, name: str) -> str:
+        return self.health[name].state
+
+    def is_routable(self, name: str) -> bool:
+        return self.health[name].state == UP
+
+    def routable(self) -> List[str]:
+        """Node names currently accepting new work (insertion order)."""
+        return [n for n, h in self.health.items() if h.state == UP]
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        return {name: h.to_dict() for name, h in self.health.items()}
+
+    # -- state transitions -------------------------------------------------
+
+    def _set_state(self, name: str, state: str) -> None:
+        node = self.health[name]
+        if node.state != state:
+            node.transitions.append(f"{node.state}->{state}")
+            node.state = state
+
+    def note_failure(self, name: str) -> None:
+        """Passive ejection: a proxied request failed at transport level."""
+        node = self.health[name]
+        node.consecutive_successes = 0
+        node.consecutive_failures += 1
+        if node.consecutive_failures >= self.eject_after:
+            self._set_state(name, DOWN)
+
+    def note_success(self, name: str) -> None:
+        node = self.health[name]
+        node.consecutive_failures = 0
+        node.consecutive_successes += 1
+        if node.state == DOWN and node.consecutive_successes >= self.readmit_after:
+            self._set_state(name, UP)
+        elif node.state == DRAINING:
+            # A drain never un-announces itself on the same process; a
+            # fresh "ok" means the node restarted — readmit it.
+            self._set_state(name, UP)
+
+    def note_draining(self, name: str) -> None:
+        node = self.health[name]
+        node.consecutive_failures = 0
+        self._set_state(name, DRAINING)
+
+    # -- probing -----------------------------------------------------------
+
+    async def probe_node(self, name: str) -> str:
+        """Probe one node and fold the result into its state."""
+        upstream = self.upstreams[name]
+        self.health[name].probes += 1
+        try:
+            status, _headers, body = await upstream.request(
+                "GET", "/healthz", timeout=self.probe_timeout
+            )
+        except UpstreamError:
+            self.note_failure(name)
+            return self.health[name].state
+        reported = ""
+        try:
+            reported = str(json.loads(body.decode("utf-8")).get("status", ""))
+        except (ValueError, UnicodeDecodeError):
+            pass
+        if status == 200 and reported == "ok":
+            self.note_success(name)
+        elif reported == "draining":
+            self.note_draining(name)
+        else:
+            self.note_failure(name)
+        return self.health[name].state
+
+    async def probe_all(self) -> None:
+        await asyncio.gather(*(self.probe_node(name) for name in self.upstreams))
+
+    async def run(self, stop: Optional[asyncio.Event] = None) -> None:
+        """Probe forever (or until ``stop`` is set / the task cancelled)."""
+        while stop is None or not stop.is_set():
+            await self.probe_all()
+            if stop is None:
+                await asyncio.sleep(self.interval)
+            else:
+                try:
+                    await asyncio.wait_for(stop.wait(), self.interval)
+                except asyncio.TimeoutError:
+                    pass

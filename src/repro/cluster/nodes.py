@@ -1,0 +1,217 @@
+"""Node supervision: spawn, watch, and fault real ``repro serve`` processes.
+
+Trust: **advisory** — test/ops tooling around the service, not part of
+any verdict path.
+
+The chaos harness (and ``repro cluster chaos``) needs *real* nodes —
+separate processes with their own worker pools, caches, and sockets —
+because the faults it injects (SIGKILL, SIGSTOP, cache corruption) only
+mean something against real process boundaries.  :class:`NodeProcess`
+wraps one ``python -m repro.cli serve`` subprocess with readiness
+waiting and the three fault primitives:
+
+* :meth:`NodeProcess.kill` — SIGKILL, the "machine died" fault;
+* :meth:`NodeProcess.stall` / :meth:`NodeProcess.resume` — SIGSTOP /
+  SIGCONT, the "GC pause / network partition" fault (connections open,
+  nothing answers — exactly what hedged retries exist for);
+* cache corruption is done by the chaos harness directly on the node's
+  ``cache_dir`` (the node must *still* answer correctly afterwards —
+  the poisoned-cache trust argument, live).
+"""
+
+from __future__ import annotations
+
+import signal
+import socket
+import subprocess
+import sys
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import List, Optional
+
+from ..service.client import ServiceClient
+
+
+def free_port(host: str = "127.0.0.1") -> int:
+    """An OS-assigned free TCP port (racy by nature; fine for tests)."""
+    with socket.socket(socket.AF_INET, socket.SOCK_STREAM) as sock:
+        sock.bind((host, 0))
+        return sock.getsockname()[1]
+
+
+@dataclass
+class NodeSpec:
+    """How to launch one certification node."""
+
+    name: str
+    host: str = "127.0.0.1"
+    port: int = 0
+    jobs: int = 1
+    queue_limit: int = 64
+    cache_dir: Optional[str] = None
+    request_timeout: float = 60.0
+    extra_args: List[str] = field(default_factory=list)
+
+    @property
+    def address(self) -> str:
+        return f"{self.host}:{self.port}"
+
+    @property
+    def router_spec(self) -> str:
+        return f"{self.name}={self.host}:{self.port}"
+
+
+class NodeProcess:
+    """One live ``repro serve`` subprocess."""
+
+    def __init__(self, spec: NodeSpec):
+        self.spec = spec
+        if not self.spec.port:
+            self.spec.port = free_port(self.spec.host)
+        self.process: Optional[subprocess.Popen] = None
+        self.faulted: Optional[str] = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> "NodeProcess":
+        spec = self.spec
+        args = [
+            sys.executable, "-m", "repro.cli", "serve",
+            "--host", spec.host, "--port", str(spec.port),
+            "--jobs", str(spec.jobs),
+            "--queue-limit", str(spec.queue_limit),
+            "--request-timeout", str(spec.request_timeout),
+        ]
+        if spec.cache_dir:
+            Path(spec.cache_dir).mkdir(parents=True, exist_ok=True)
+            args += ["--cache-dir", spec.cache_dir]
+        args += spec.extra_args
+        self.process = subprocess.Popen(
+            args, stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL
+        )
+        return self
+
+    def wait_ready(self, timeout: float = 30.0) -> bool:
+        with ServiceClient(self.spec.host, self.spec.port, timeout=5.0) as client:
+            return client.wait_ready(timeout=timeout)
+
+    @property
+    def alive(self) -> bool:
+        return self.process is not None and self.process.poll() is None
+
+    @property
+    def pid(self) -> Optional[int]:
+        return self.process.pid if self.process is not None else None
+
+    # -- faults ------------------------------------------------------------
+
+    def kill(self) -> None:
+        """SIGKILL: instant, unannounced death — no drain, no goodbye."""
+        if self.alive:
+            self.process.kill()
+            self.faulted = "kill"
+
+    def stall(self) -> None:
+        """SIGSTOP: the process freezes with its sockets still open."""
+        if self.alive:
+            self.process.send_signal(signal.SIGSTOP)
+            self.faulted = "stall"
+
+    def resume(self) -> None:
+        """SIGCONT after a stall."""
+        if self.process is not None and self.faulted == "stall":
+            self.process.send_signal(signal.SIGCONT)
+            self.faulted = None
+
+    def terminate(self, grace: float = 10.0) -> Optional[int]:
+        """SIGTERM and reap (SIGKILL after ``grace`` seconds)."""
+        if self.process is None:
+            return None
+        if self.faulted == "stall":
+            self.resume()
+        if self.process.poll() is None:
+            self.process.terminate()
+            try:
+                self.process.wait(timeout=grace)
+            except subprocess.TimeoutExpired:
+                self.process.kill()
+                self.process.wait(timeout=5.0)
+        return self.process.returncode
+
+
+class RouterProcess:
+    """One live ``repro cluster route`` subprocess.
+
+    Latency measurements must run the router as a real process: an
+    in-process (background-thread) router shares the GIL with the load
+    generator, so client-side JSON work gets booked as routing latency
+    in bursts of up to the interpreter switch interval.
+    """
+
+    def __init__(
+        self,
+        node_specs: List[str],
+        host: str = "127.0.0.1",
+        port: int = 0,
+        replication: int = 2,
+        request_timeout: float = 60.0,
+        hedge_floor: Optional[float] = None,
+    ):
+        self.host = host
+        self.port = port or free_port(host)
+        self.node_specs = node_specs
+        self.replication = replication
+        self.request_timeout = request_timeout
+        self.hedge_floor = hedge_floor
+        self.process: Optional[subprocess.Popen] = None
+
+    def start(self) -> "RouterProcess":
+        args = [
+            sys.executable, "-m", "repro.cli", "cluster", "route",
+            "--host", self.host, "--port", str(self.port),
+            "--replication", str(self.replication),
+            "--request-timeout", str(self.request_timeout),
+        ]
+        for spec in self.node_specs:
+            args += ["--node", spec]
+        if self.hedge_floor is not None:
+            args += ["--hedge-floor", str(self.hedge_floor)]
+        self.process = subprocess.Popen(
+            args, stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL
+        )
+        return self
+
+    def wait_ready(self, timeout: float = 30.0) -> bool:
+        with ServiceClient(self.host, self.port, timeout=5.0) as client:
+            return client.wait_ready(timeout=timeout)
+
+    def terminate(self, grace: float = 10.0) -> Optional[int]:
+        if self.process is None:
+            return None
+        if self.process.poll() is None:
+            self.process.terminate()
+            try:
+                self.process.wait(timeout=grace)
+            except subprocess.TimeoutExpired:
+                self.process.kill()
+                self.process.wait(timeout=5.0)
+        return self.process.returncode
+
+
+def start_nodes(
+    specs: List[NodeSpec], ready_timeout: float = 45.0
+) -> List[NodeProcess]:
+    """Start every node, then wait for all of them to answer ``/healthz``."""
+    nodes = [NodeProcess(spec).start() for spec in specs]
+    deadline = time.time() + ready_timeout
+    for node in nodes:
+        remaining = max(1.0, deadline - time.time())
+        if not node.wait_ready(timeout=remaining):
+            for other in nodes:
+                other.terminate(grace=2.0)
+            raise RuntimeError(
+                f"node {node.spec.name} ({node.spec.address}) "
+                f"did not become ready within {ready_timeout}s"
+            )
+    return nodes

@@ -1,0 +1,149 @@
+"""Consistent hashing: the key→node map that keeps caches warm.
+
+Trust: **advisory** — placement only.  The ring decides which node's
+warm cache a request *should* hit; any node can correctly serve any
+request (docs/SERVICE.md § Clustering).
+
+Standard consistent-hash ring with virtual nodes: each physical node
+owns ``vnodes`` points on a 64-bit circle (sha256 of ``"{name}#{i}"``),
+a key hashes to a point the same way, and ownership is the first vnode
+clockwise.  Properties the router relies on:
+
+* **stability** — adding or removing one node remaps only ~1/N of the
+  key space, so a node loss doesn't stampede every node's cold cache;
+* **replication order** — :meth:`HashRing.owners` walks clockwise
+  collecting *distinct* nodes, giving each key a deterministic
+  preference list of R owners for failover;
+* **determinism** — pure sha256, no process-local seeds: every router
+  instance with the same node list computes the same placement, and the
+  same key routes identically across restarts (which is what makes
+  routed requests hit the disk tier after a rolling restart).
+
+The routing key is the same ``(source digest, options digest)`` pair the
+cache tiers are addressed by (:func:`repro.pipeline.cache.cache_key`),
+so "lands on the owner" and "hits the warm cache" are the same fact.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Dict, Iterable, List, Tuple
+
+#: Default virtual nodes per physical node.  64 keeps the largest/smallest
+#: ownership share within ~2x for small clusters while staying cheap to
+#: rebuild on membership changes.
+DEFAULT_VNODES = 64
+
+
+def _point(text: str) -> int:
+    """A position on the 64-bit hash circle."""
+    digest = hashlib.sha256(text.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class HashRing:
+    """A consistent-hash ring over named nodes."""
+
+    def __init__(self, nodes: Iterable[str] = (), vnodes: int = DEFAULT_VNODES):
+        if vnodes < 1:
+            raise ValueError("vnodes must be >= 1")
+        self.vnodes = vnodes
+        self._nodes: List[str] = []
+        self._points: List[Tuple[int, str]] = []
+        self._sorted: List[int] = []
+        for name in nodes:
+            self.add(name)
+
+    # -- membership --------------------------------------------------------
+
+    @property
+    def nodes(self) -> List[str]:
+        return list(self._nodes)
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._nodes
+
+    def add(self, name: str) -> None:
+        if name in self._nodes:
+            return
+        self._nodes.append(name)
+        for i in range(self.vnodes):
+            self._points.append((_point(f"{name}#{i}"), name))
+        self._rebuild()
+
+    def remove(self, name: str) -> None:
+        if name not in self._nodes:
+            return
+        self._nodes.remove(name)
+        self._points = [(p, n) for p, n in self._points if n != name]
+        self._rebuild()
+
+    def _rebuild(self) -> None:
+        self._points.sort()
+        self._sorted = [p for p, _ in self._points]
+
+    # -- lookup ------------------------------------------------------------
+
+    def owners(self, key: str, count: int = 1) -> List[str]:
+        """The first ``count`` *distinct* nodes clockwise from ``key``.
+
+        The list is the key's replica preference order: index 0 is the
+        primary (whose cache tiers are warmest for this key), the rest
+        are failover replicas.  Returns fewer than ``count`` names when
+        the ring has fewer nodes.
+        """
+        if not self._points or count < 1:
+            return []
+        start = bisect.bisect_right(self._sorted, _point(key))
+        seen: List[str] = []
+        total = len(self._points)
+        for offset in range(total):
+            _, name = self._points[(start + offset) % total]
+            if name not in seen:
+                seen.append(name)
+                if len(seen) >= count:
+                    break
+        return seen
+
+    def primary(self, key: str) -> str:
+        owners = self.owners(key, 1)
+        if not owners:
+            raise LookupError("empty ring")
+        return owners[0]
+
+    # -- introspection -----------------------------------------------------
+
+    def shares(self) -> Dict[str, float]:
+        """Fraction of the hash circle each node owns (sums to ~1.0).
+
+        Exposed as the ``repro_cluster_ring_share{node=...}`` gauge so a
+        lopsided ring is visible before it shows up as a hot node.
+        """
+        if not self._points:
+            return {}
+        space = float(2**64)
+        arcs: Dict[str, float] = {name: 0.0 for name in self._nodes}
+        for index, (point, _) in enumerate(self._points):
+            prev_point = self._points[index - 1][0]
+            arc = (point - prev_point) % 2**64 if index else (
+                point + 2**64 - self._points[-1][0]
+            ) % 2**64
+            arcs[self._points[index][1]] += arc / space
+        return arcs
+
+
+def routing_key(source: str, options: object = None) -> str:
+    """The ring key for one certify/translate request.
+
+    Identical inputs → identical key → identical placement: the same
+    ``(source digest, options digest)`` pair that addresses the cache
+    tiers (so the ring's primary is also the warmest node).
+    """
+    from ..pipeline.cache import source_digest
+    from ..pipeline.units import options_digest
+
+    return f"{source_digest(source)}:{options_digest(options)}"

@@ -1,0 +1,730 @@
+"""The sharding router: cache-affine placement with failure handling.
+
+Trust: **untrusted** — routing is advisory.  The router picks *where* a
+request runs; every node still performs the trusted reparse+kernel check
+fresh, so the worst a wrong routing decision can do is miss a warm cache
+or force a retry — never flip a verdict (docs/SERVICE.md § Clustering).
+
+``repro cluster route`` fronts N ``repro serve`` nodes:
+
+* **placement** — consistent hashing over the request's
+  ``(source digest, options digest)`` key (:func:`~repro.cluster.ring.routing_key`),
+  replicated to R owners, so repeat certifications of the same program
+  land on the node whose memory/disk/unit tiers already hold it;
+* **failure handling** — per-node health from ``/healthz`` (eject on
+  failure, readmit on recovery, de-route on ``draining``), bounded
+  per-node in-flight with spill-to-replica, retry-with-backoff on
+  connection errors (safe because the pipeline is deterministic: re-
+  running a certify is idempotent), and **hedged retries**: when a
+  request outlives a p95-derived delay a second copy goes to a replica,
+  the first response wins and the loser is cancelled;
+* **observability** — one trace covers the whole hop: the router opens a
+  ``route`` span, ships ``traceparent`` + ``X-Trace-Return: spans`` to
+  the node, and folds the node's spans (request → pool → worker → every
+  stage) back into its own trace store.  ``GET /metrics`` exposes
+  per-node request/error/hedge/failover counters, ring-ownership
+  gauges, and upstream latency histograms from the same
+  :class:`~repro.service.metrics.ServiceMetrics` registry the nodes use.
+
+Every proxied JSON response is stamped with ``"node": <name>`` (and an
+``X-Repro-Node`` header) so clients — and ``repro loadgen`` — can report
+per-node splits without asking the nodes anything.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import signal
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..service.httpcore import (
+    BadRequest,
+    Connection,
+    Response,
+    json_response,
+    read_request,
+    write_response,
+)
+from ..service.metrics import ServiceMetrics
+from ..trace import (
+    RequestTraceStore,
+    Span,
+    TraceCollector,
+    format_traceparent,
+    new_trace_id,
+)
+from .health import DRAINING, UP, HealthMonitor
+from .ring import DEFAULT_VNODES, HashRing, routing_key
+from .upstream import Upstream, UpstreamError
+
+#: Paths the router proxies; everything else is router-local or a 404.
+PROXIED_PATHS = ("/v1/certify", "/v1/translate", "/v1/batch")
+
+
+def parse_node_spec(spec: str, index: int) -> Tuple[str, str, int]:
+    """``[name=]host:port`` → ``(name, host, port)`` (auto-named n1..nN)."""
+    name, _, address = spec.rpartition("=")
+    if not name:
+        name = f"n{index + 1}"
+    host, _, port_text = address.rpartition(":")
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise ValueError(f"bad node spec {spec!r}: expected [name=]host:port") from None
+    return name, host or "127.0.0.1", port
+
+
+@dataclass
+class RouterConfig:
+    """Static configuration for one :class:`ClusterRouter`."""
+
+    host: str = "127.0.0.1"
+    port: int = 8420
+    #: Upstream nodes as ``[name=]host:port`` specs.
+    nodes: List[str] = field(default_factory=list)
+    #: Owners per key (1 = no replication).
+    replication: int = 2
+    vnodes: int = DEFAULT_VNODES
+    #: Per-node in-flight bound before spilling to a replica.
+    max_in_flight: int = 32
+    connect_timeout: float = 2.0
+    #: Per-proxied-request deadline, seconds.
+    request_timeout: float = 120.0
+    max_body_bytes: int = 2 * 1024 * 1024
+    #: Health probe cadence and decision thresholds.
+    probe_interval: float = 0.25
+    probe_timeout: float = 1.0
+    eject_after: int = 1
+    readmit_after: int = 1
+    #: Extra same-node retries (with backoff) when no replica is left.
+    retries: int = 2
+    backoff_base: float = 0.05
+    #: Hedge a request once it outlives max(floor, factor × node p95);
+    #: before the latency reservoir warms up, ``hedge_initial`` applies.
+    hedge_delay_floor: float = 0.02
+    hedge_factor: float = 1.5
+    hedge_initial: float = 0.25
+    quiet: bool = True
+    #: Router-side request tracing (same store the nodes use).
+    trace_dir: Optional[str] = None
+    trace_sample: int = 10
+    trace_rate: float = 0.0
+    trace_seed: int = 0
+
+
+class ClusterRouter:
+    """The long-running sharding router."""
+
+    def __init__(self, config: RouterConfig):
+        if not config.nodes:
+            raise ValueError("RouterConfig.nodes must name at least one node")
+        self.config = config
+        self.upstreams: Dict[str, Upstream] = {}
+        for index, spec in enumerate(config.nodes):
+            name, host, port = parse_node_spec(spec, index)
+            if name in self.upstreams:
+                raise ValueError(f"duplicate node name {name!r}")
+            self.upstreams[name] = Upstream(
+                name, host, port,
+                max_in_flight=config.max_in_flight,
+                connect_timeout=config.connect_timeout,
+            )
+        self.ring = HashRing(self.upstreams, vnodes=config.vnodes)
+        self.monitor = HealthMonitor(
+            self.upstreams,
+            interval=config.probe_interval,
+            probe_timeout=config.probe_timeout,
+            eject_after=config.eject_after,
+            readmit_after=config.readmit_after,
+        )
+        self.metrics = ServiceMetrics()
+        self.trace_store: Optional[RequestTraceStore] = None
+        if config.trace_dir:
+            self.trace_store = RequestTraceStore(
+                config.trace_dir,
+                capacity=config.trace_sample,
+                rate=config.trace_rate,
+                seed=config.trace_seed,
+            )
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._monitor_task: Optional[asyncio.Task] = None
+        self._shutdown = asyncio.Event()
+        self._exit_code = 0
+        self._started = time.time()
+        self.port: Optional[int] = None
+        self._register_gauges()
+
+    # -- metrics wiring ----------------------------------------------------
+
+    def _register_gauges(self) -> None:
+        m = self.metrics
+        shares = self.ring.shares()
+        for name in self.upstreams:
+            m.register_gauge(
+                "repro_cluster_ring_share", lambda share=shares.get(name, 0.0): share,
+                "Fraction of the hash ring owned by each node.",
+                labels={"node": name},
+            )
+            m.register_gauge(
+                "repro_cluster_node_up", lambda n=name: self._up_value(n),
+                "Node routability: 1 up, 0.5 draining, 0 down.",
+                labels={"node": name},
+            )
+            m.register_gauge(
+                "repro_cluster_in_flight",
+                lambda n=name: float(self.upstreams[n].in_flight),
+                "Proxied requests currently in flight per node.",
+                labels={"node": name},
+            )
+        m.register_gauge(
+            "repro_uptime_seconds", lambda: time.time() - self._started,
+            "Seconds since the router started.",
+        )
+
+    def _up_value(self, name: str) -> float:
+        state = self.monitor.state(name)
+        return 1.0 if state == UP else (0.5 if state == DRAINING else 0.0)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self) -> int:
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        # Settle initial health before accepting placement decisions.
+        await self.monitor.probe_all()
+        self._monitor_task = asyncio.ensure_future(self.monitor.run())
+        nodes = ", ".join(
+            f"{u.name}={u.address}" for u in self.upstreams.values()
+        )
+        self._log(
+            f"repro.cluster router on http://{self.config.host}:{self.port} "
+            f"→ {nodes} (replication={self.config.replication})"
+        )
+        return self.port
+
+    def request_shutdown(self, exit_code: int = 0) -> None:
+        self._exit_code = exit_code
+        self._shutdown.set()
+
+    async def serve_until_shutdown(self) -> int:
+        await self._shutdown.wait()
+        self._log("repro.cluster router stopping…")
+        if self._monitor_task is not None:
+            self._monitor_task.cancel()
+            try:
+                await self._monitor_task
+            except asyncio.CancelledError:
+                pass
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        self._log(f"repro.cluster router stopped (exit {self._exit_code})")
+        return self._exit_code
+
+    def _log(self, message: str) -> None:
+        if not self.config.quiet:
+            print(message, flush=True)
+
+    # -- connection handling ----------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        conn = Connection(reader)
+        try:
+            while True:
+                try:
+                    request = await read_request(conn, self.config.max_body_bytes)
+                except BadRequest as error:
+                    status, body, ctype, headers = json_response(
+                        error.status, {"ok": False, "error": str(error)}
+                    )
+                    await write_response(
+                        writer, status, body, ctype, headers, keep_alive=False
+                    )
+                    break
+                if request is None:
+                    break
+                status, body, ctype, headers = await self._dispatch(request)
+                keep_alive = request.keep_alive
+                try:
+                    await write_response(
+                        writer, status, body, ctype, headers, keep_alive
+                    )
+                except (ConnectionResetError, BrokenPipeError):
+                    break
+                if not keep_alive:
+                    break
+        except (ConnectionResetError, BrokenPipeError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+
+    # -- routing -----------------------------------------------------------
+
+    async def _dispatch(self, request: Any) -> Response:
+        started = time.perf_counter()
+        route = (request.method, request.path)
+        try:
+            if route == ("GET", "/healthz"):
+                result = self._handle_healthz()
+            elif route == ("GET", "/metrics"):
+                result = (200, self.metrics.render().encode("utf-8"),
+                          "text/plain; version=0.0.4; charset=utf-8", {})
+            elif request.method == "POST" and request.path in PROXIED_PATHS:
+                result = await self._proxy(request)
+            elif request.path in ("/healthz", "/metrics") + PROXIED_PATHS:
+                result = json_response(405, {"ok": False, "error": "method not allowed"})
+            else:
+                result = json_response(
+                    404, {"ok": False, "error": f"no route {request.path}"}
+                )
+        except asyncio.CancelledError:
+            raise
+        except Exception as error:  # pragma: no cover - last-resort containment
+            result = json_response(500, {"ok": False, "error": f"router error: {error}"})
+        self.metrics.inc(
+            "repro_requests_total",
+            labels={"endpoint": request.path, "status": str(result[0])},
+            help="Router HTTP requests by endpoint and status.",
+        )
+        self.metrics.observe(
+            "repro_request_seconds", time.perf_counter() - started,
+            labels={"endpoint": request.path},
+            help="Router end-to-end request latency in seconds.",
+            exemplar=result[3].get("X-Trace-Id"),
+        )
+        return result
+
+    def _handle_healthz(self) -> Response:
+        routable = self.monitor.routable()
+        payload = {
+            "status": "ok" if routable else "unavailable",
+            "role": "router",
+            "uptime_seconds": round(time.time() - self._started, 3),
+            "replication": self.config.replication,
+            "nodes": self.monitor.snapshot(),
+            "ring": {n: round(s, 4) for n, s in self.ring.shares().items()},
+        }
+        return json_response(200 if routable else 503, payload)
+
+    # -- placement ---------------------------------------------------------
+
+    @staticmethod
+    def request_key(payload: Any) -> Optional[str]:
+        """The ring key for a certify/translate body (None if unkeyable)."""
+        if not isinstance(payload, dict):
+            return None
+        source = payload.get("source")
+        if not isinstance(source, str):
+            return None
+        options = payload.get("options")
+        parsed = None
+        if isinstance(options, dict) and options:
+            try:
+                from ..service.worker import options_from_dict
+
+                parsed = options_from_dict(options)
+            except (ValueError, TypeError):
+                # The node is the authority on option validation; an
+                # unkeyable options dict just routes by source alone.
+                parsed = None
+        return routing_key(source, parsed)
+
+    def _candidates(self, key: Optional[str]) -> Tuple[List[str], Optional[str]]:
+        """Attempt order for one request: ``(candidates, preferred_owner)``.
+
+        Healthy ring owners first (warmest cache first), then every other
+        healthy node — any node can serve any request, placement is only
+        an optimisation.  With nothing healthy, fall back to all nodes in
+        owner order so a wrongly-ejected cluster still gets attempts
+        rather than an unconditional 503.
+        """
+        if key is not None:
+            owners = self.ring.owners(key, max(1, self.config.replication))
+        else:
+            owners = []
+        preferred = owners[0] if owners else None
+        ordered = owners + [n for n in self.upstreams if n not in owners]
+        candidates = [n for n in ordered if self.monitor.is_routable(n)]
+        if not candidates:
+            candidates = ordered
+        if preferred is not None and candidates and candidates[0] != preferred:
+            # The warm owner is out (down/draining): this request is a
+            # failover by placement, before a single byte is sent.
+            self.metrics.inc(
+                "repro_cluster_failovers_total", labels={"reason": "placement"},
+                help="Requests served by a non-primary node.",
+            )
+        if len(candidates) > 1 and self.upstreams[candidates[0]].at_capacity:
+            for index, name in enumerate(candidates[1:], start=1):
+                if not self.upstreams[name].at_capacity:
+                    candidates[0], candidates[index] = candidates[index], candidates[0]
+                    self.metrics.inc(
+                        "repro_cluster_spills_total",
+                        help="Requests moved to a replica by the in-flight bound.",
+                    )
+                    break
+        return candidates, preferred
+
+    def _hedge_delay(self, name: str) -> float:
+        p95 = self.upstreams[name].p95()
+        base = (
+            p95 * self.config.hedge_factor
+            if p95 is not None
+            else self.config.hedge_initial
+        )
+        return max(self.config.hedge_delay_floor, base)
+
+    # -- the proxy core ----------------------------------------------------
+
+    async def _proxy(self, request: Any) -> Response:
+        try:
+            payload = json.loads(request.body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            payload = None  # the node will answer 400 authoritatively
+        key = self.request_key(payload) if request.path != "/v1/batch" else None
+        candidates, preferred = self._candidates(key)
+        trace_id = new_trace_id()
+        collector: Optional[TraceCollector] = None
+        root: Optional[Span] = None
+        if self.trace_store is not None:
+            collector = TraceCollector()
+            root = Span.start(
+                "route", trace_id=trace_id,
+                attributes={
+                    "endpoint": request.path,
+                    "key": (key or "")[:16],
+                    "preferred": preferred or "",
+                },
+            )
+        outcome = await self._race(candidates, request, root, collector)
+        if outcome is None:
+            result = json_response(
+                502,
+                {"ok": False, "error":
+                 f"no node could serve the request (tried {', '.join(candidates)})",
+                 "trace_id": trace_id},
+                {"X-Trace-Id": trace_id},
+            )
+            self._finish_trace(root, collector, 502, winner=None)
+            return result
+        winner, status, payload_bytes = outcome
+        if preferred is not None and winner != preferred:
+            self.metrics.inc(
+                "repro_cluster_failovers_total", labels={"reason": "in_request"},
+                help="Requests served by a non-primary node.",
+            )
+        body, headers = self._stamp(payload_bytes, winner, trace_id, collector)
+        self._finish_trace(root, collector, status, winner=winner)
+        return status, body, "application/json; charset=utf-8", headers
+
+    async def _race(
+        self,
+        candidates: List[str],
+        request: Any,
+        root: Optional[Span],
+        collector: Optional[TraceCollector],
+    ) -> Optional[Tuple[str, int, bytes]]:
+        """Attempt candidates with hedging; first acceptable response wins.
+
+        Returns ``(node, status, body)`` or None when every attempt
+        failed at transport level or with a retryable status.
+        """
+        queue: List[str] = list(candidates)
+        same_node_retries = self.config.retries
+        active: Dict["asyncio.Task[Tuple[int, Dict[str, str], bytes]]", str] = {}
+        hedged = False
+        backoff = 0.0
+
+        def launch() -> None:
+            name = queue.pop(0)
+            task = asyncio.ensure_future(self._forward(name, request, root, collector))
+            active[task] = name
+
+        launch()
+        try:
+            while active or queue:
+                if not active:
+                    # Everything in flight failed; try the next candidate
+                    # after a short backoff (connection-error politeness).
+                    if backoff:
+                        await asyncio.sleep(backoff)
+                    launch()
+                    continue
+                delay = None
+                if not hedged and queue:
+                    delay = self._hedge_delay(next(iter(active.values())))
+                done, _pending = await asyncio.wait(
+                    set(active), timeout=delay,
+                    return_when=asyncio.FIRST_COMPLETED,
+                )
+                if not done:
+                    # The hedge timer fired: race a replica against the
+                    # straggler; the first response wins.
+                    hedged = True
+                    self.metrics.inc(
+                        "repro_cluster_hedges_total",
+                        help="Hedge requests launched against a replica.",
+                    )
+                    launch()
+                    continue
+                for task in done:
+                    name = active.pop(task)
+                    try:
+                        status, _headers, body = task.result()
+                    except UpstreamError as error:
+                        self.monitor.note_failure(name)
+                        self.metrics.inc(
+                            "repro_cluster_node_errors_total",
+                            labels={"node": name, "kind": "connect"},
+                            help="Upstream failures per node and kind.",
+                        )
+                        self._log(f"upstream {name}: {error}")
+                        backoff = max(backoff, self.config.backoff_base)
+                        if not queue and not active and same_node_retries > 0:
+                            # Last resort on a thin cluster: retry the
+                            # same node with exponential backoff — the
+                            # deterministic pipeline makes this idempotent.
+                            same_node_retries -= 1
+                            queue.append(name)
+                            backoff = min(2.0, backoff * 2) or self.config.backoff_base
+                        continue
+                    retryable = self._note_status(name, status)
+                    if retryable and (active or queue):
+                        continue
+                    if retryable and not queue and not active and same_node_retries > 0:
+                        same_node_retries -= 1
+                        queue.append(name)
+                        continue
+                    # Winner (or the last word of an exhausted cluster).
+                    if hedged and name != candidates[0]:
+                        self.metrics.inc(
+                            "repro_cluster_hedge_wins_total",
+                            help="Hedge requests that beat the primary.",
+                        )
+                    return name, status, body
+            return None
+        finally:
+            for task in active:
+                task.cancel()
+            for task in active:
+                try:
+                    await task
+                except (asyncio.CancelledError, UpstreamError):
+                    pass
+
+    def _note_status(self, name: str, status: int) -> bool:
+        """Record an upstream status; True when it should be retried."""
+        self.metrics.inc(
+            "repro_cluster_requests_total",
+            labels={"node": name, "status": str(status)},
+            help="Proxied responses per node and status.",
+        )
+        if status == 503:
+            # A node only answers 503 while draining: de-route it now
+            # rather than waiting for its socket to close.
+            self.monitor.note_draining(name)
+            return True
+        if status == 429:
+            self.metrics.inc(
+                "repro_cluster_spills_total",
+                help="Requests moved to a replica by the in-flight bound.",
+            )
+            return True
+        if status in (500, 502, 504):
+            self.metrics.inc(
+                "repro_cluster_node_errors_total",
+                labels={"node": name, "kind": f"http_{status}"},
+                help="Upstream failures per node and kind.",
+            )
+            return True
+        return False
+
+    async def _forward(
+        self,
+        name: str,
+        request: Any,
+        root: Optional[Span],
+        collector: Optional[TraceCollector],
+    ) -> Tuple[int, Dict[str, str], bytes]:
+        """One attempt against one node, as a child span of the route."""
+        upstream = self.upstreams[name]
+        headers = {"Content-Type": "application/json"}
+        span: Optional[Span] = None
+        if root is not None:
+            span = Span.start("upstream", parent=root.context(),
+                              attributes={"node": name})
+            headers["traceparent"] = format_traceparent(span.context())
+            headers["X-Trace-Return"] = "spans"
+        started = time.perf_counter()
+        try:
+            status, response_headers, body = await upstream.request(
+                request.method, request.path, request.body,
+                headers=headers, timeout=self.config.request_timeout,
+            )
+        except (UpstreamError, asyncio.CancelledError) as error:
+            if span is not None:
+                span.set_error(str(error) or type(error).__name__)
+                span.end()
+                collector.add(span)
+            raise
+        self.metrics.observe(
+            "repro_upstream_seconds", time.perf_counter() - started,
+            labels={"node": name},
+            help="Upstream request latency per node in seconds.",
+        )
+        if span is not None:
+            span.attributes["status"] = status
+            span.end()
+            collector.add(span)
+        return status, response_headers, body
+
+    # -- response shaping --------------------------------------------------
+
+    def _stamp(
+        self,
+        payload_bytes: bytes,
+        winner: str,
+        trace_id: str,
+        collector: Optional[TraceCollector],
+    ) -> Tuple[bytes, Dict[str, str]]:
+        """Stamp the winning response with the node name and fold spans."""
+        headers = {"X-Repro-Node": winner, "X-Trace-Id": trace_id}
+        try:
+            decoded = json.loads(payload_bytes.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            return payload_bytes, headers
+        if not isinstance(decoded, dict):
+            return payload_bytes, headers
+        if collector is not None:
+            # The node honoured X-Trace-Return: its spans ride the
+            # response body; fold them into the router's trace and strip
+            # them from what the client sees.
+            for item in decoded.pop("trace", None) or ():
+                try:
+                    collector.add(Span.from_dict(item))
+                except (KeyError, TypeError, ValueError):
+                    pass
+        else:
+            decoded.pop("trace", None)
+        decoded["node"] = winner
+        decoded["trace_id"] = trace_id
+        return json.dumps(decoded, sort_keys=False).encode("utf-8"), headers
+
+    def _finish_trace(
+        self,
+        root: Optional[Span],
+        collector: Optional[TraceCollector],
+        status: int,
+        winner: Optional[str],
+    ) -> None:
+        if root is None or collector is None or self.trace_store is None:
+            return
+        root.attributes["status"] = status
+        root.attributes["node"] = winner or ""
+        if status >= 500:
+            root.set_error(f"HTTP {status}")
+        root.end()
+        collector.add(root)
+        for reason in self.trace_store.offer(root, collector.spans):
+            self.metrics.inc(
+                "repro_traces_persisted_total", labels={"reason": reason},
+                help="Router traces persisted to --trace-dir, by keep reason.",
+            )
+
+
+# ---------------------------------------------------------------------------
+# Entry points: blocking CLI router and the background test/library router.
+# ---------------------------------------------------------------------------
+
+
+async def _amain(config: RouterConfig) -> int:
+    router = ClusterRouter(config)
+    await router.start()
+    loop = asyncio.get_running_loop()
+    installed = []
+    for signum, exit_code in ((signal.SIGINT, 130), (signal.SIGTERM, 143)):
+        try:
+            loop.add_signal_handler(signum, router.request_shutdown, exit_code)
+            installed.append(signum)
+        except (NotImplementedError, RuntimeError):  # pragma: no cover - non-Unix
+            pass
+    try:
+        return await router.serve_until_shutdown()
+    finally:
+        for signum in installed:
+            loop.remove_signal_handler(signum)
+
+
+def run_router(config: RouterConfig) -> int:
+    """Run the router until SIGINT (exit 130) or SIGTERM (exit 143)."""
+    return asyncio.run(_amain(config))
+
+
+class BackgroundRouter:
+    """Run a :class:`ClusterRouter` on a background thread (tests, chaos)."""
+
+    def __init__(self, config: RouterConfig):
+        self.config = config
+        self.router: Optional[ClusterRouter] = None
+        self.port: Optional[int] = None
+        self._thread: Optional[threading.Thread] = None
+        self._ready = threading.Event()
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._startup_error: Optional[BaseException] = None
+
+    def __enter__(self) -> "BackgroundRouter":
+        return self.start()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.stop()
+
+    def start(self) -> "BackgroundRouter":
+        self._thread = threading.Thread(target=self._run, daemon=True)
+        self._thread.start()
+        if not self._ready.wait(timeout=30):
+            raise RuntimeError("background router did not start within 30s")
+        if self._startup_error is not None:
+            raise RuntimeError(
+                "background router failed to start"
+            ) from self._startup_error
+        return self
+
+    def _run(self) -> None:
+        async def body() -> int:
+            self.router = ClusterRouter(self.config)
+            self._loop = asyncio.get_running_loop()
+            try:
+                self.port = await self.router.start()
+            except BaseException as error:
+                self._startup_error = error
+                self._ready.set()
+                raise
+            self._ready.set()
+            return await self.router.serve_until_shutdown()
+
+        try:
+            asyncio.run(body())
+        except BaseException:
+            self._ready.set()
+
+    def stop(self) -> None:
+        if self._loop is not None and self.router is not None:
+            try:
+                self._loop.call_soon_threadsafe(self.router.request_shutdown, 0)
+            except RuntimeError:  # pragma: no cover - loop already closed
+                pass
+        if self._thread is not None:
+            self._thread.join(timeout=30)
+            self._thread = None

@@ -1,0 +1,172 @@
+"""Per-node upstream state: async requests, in-flight bounds, latency.
+
+Trust: **untrusted** transport — proxying only; verdicts come from the
+node's own trusted reparse+check.
+
+One :class:`Upstream` per cluster node holds everything the router needs
+to make a routing decision about that node *right now*:
+
+* an async HTTP/1.1 request primitive (connection per proxied request —
+  no shared client state to corrupt when a hedge loser is cancelled
+  mid-read; the node's keep-alive machinery is for end clients);
+* **bounded in-flight accounting** — the router spills to a replica
+  instead of queueing more than ``max_in_flight`` requests on one node;
+* a **latency reservoir** — the last N upstream latencies, whose p95
+  derives the hedge delay (hedge when a request is slower than 95% of
+  this node's recent history, not after an arbitrary constant).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from bisect import insort
+from collections import deque
+from typing import Deque, Dict, Optional, Tuple
+
+from ..service.httpcore import MAX_HEADER_BYTES, BadRequest, Connection
+
+#: Latency observations kept per node for the p95 estimate.
+RESERVOIR = 64
+
+
+class UpstreamError(Exception):
+    """A transport-level failure talking to one node (retryable)."""
+
+
+class Upstream:
+    """One cluster node, as seen from the router."""
+
+    def __init__(
+        self,
+        name: str,
+        host: str,
+        port: int,
+        max_in_flight: int = 32,
+        connect_timeout: float = 2.0,
+    ):
+        self.name = name
+        self.host = host
+        self.port = port
+        self.max_in_flight = max_in_flight
+        self.connect_timeout = connect_timeout
+        self.in_flight = 0
+        self.total = 0
+        self.errors = 0
+        self._latencies: Deque[float] = deque(maxlen=RESERVOIR)
+
+    @property
+    def address(self) -> str:
+        return f"{self.host}:{self.port}"
+
+    @property
+    def at_capacity(self) -> bool:
+        return self.in_flight >= self.max_in_flight
+
+    # -- latency tracking --------------------------------------------------
+
+    def observe(self, seconds: float) -> None:
+        self._latencies.append(seconds)
+
+    def p95(self) -> Optional[float]:
+        """The p95 of recent upstream latencies (None until warmed up)."""
+        if len(self._latencies) < 8:
+            return None
+        ordered: list = []
+        for value in self._latencies:
+            insort(ordered, value)
+        rank = max(0, int(0.95 * len(ordered)) - 1)
+        return ordered[rank]
+
+    # -- the request primitive ---------------------------------------------
+
+    async def request(
+        self,
+        method: str,
+        path: str,
+        body: bytes = b"",
+        headers: Optional[Dict[str, str]] = None,
+        timeout: Optional[float] = None,
+    ) -> Tuple[int, Dict[str, str], bytes]:
+        """One HTTP request to this node; raises :class:`UpstreamError`
+        on any transport- or framing-level failure."""
+        self.total += 1
+        self.in_flight += 1
+        started = asyncio.get_running_loop().time()
+        writer: Optional[asyncio.StreamWriter] = None
+        try:
+            try:
+                reader, writer = await asyncio.wait_for(
+                    asyncio.open_connection(self.host, self.port),
+                    self.connect_timeout,
+                )
+            except (OSError, asyncio.TimeoutError) as error:
+                raise UpstreamError(
+                    f"connect to {self.name} ({self.address}) failed: "
+                    f"{error or type(error).__name__}"
+                ) from None
+            request_headers = {
+                "Host": self.address,
+                "Content-Length": str(len(body)),
+                "Connection": "close",
+                **(headers or {}),
+            }
+            head = f"{method} {path} HTTP/1.1\r\n" + "".join(
+                f"{name}: {value}\r\n" for name, value in request_headers.items()
+            ) + "\r\n"
+            writer.write(head.encode("latin-1") + body)
+            try:
+                await writer.drain()
+                status, response_headers, payload = await asyncio.wait_for(
+                    _read_response(reader), timeout
+                )
+            except (OSError, BadRequest, asyncio.IncompleteReadError) as error:
+                raise UpstreamError(
+                    f"request to {self.name} failed mid-flight: "
+                    f"{error or type(error).__name__}"
+                ) from None
+            except asyncio.TimeoutError:
+                raise UpstreamError(
+                    f"request to {self.name} exceeded {timeout}s"
+                ) from None
+            self.observe(asyncio.get_running_loop().time() - started)
+            return status, response_headers, payload
+        except UpstreamError:
+            self.errors += 1
+            raise
+        finally:
+            self.in_flight -= 1
+            if writer is not None:
+                writer.close()
+                # Closing is best-effort cleanup; a reset here is fine.
+                try:
+                    await writer.wait_closed()
+                except (OSError, asyncio.CancelledError):
+                    pass
+
+
+async def _read_response(
+    reader: asyncio.StreamReader,
+) -> Tuple[int, Dict[str, str], bytes]:
+    """Parse one Content-Length-framed HTTP response."""
+    conn = Connection(reader)
+    head = await conn.read_until(b"\r\n\r\n", MAX_HEADER_BYTES)
+    if head is None:
+        raise BadRequest("node closed the connection before responding")
+    lines = head.decode("latin-1").split("\r\n")
+    try:
+        _version, status_text, _reason = lines[0].split(" ", 2)
+        status = int(status_text)
+    except ValueError:
+        raise BadRequest(f"malformed status line {lines[0]!r}") from None
+    headers: Dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, _, value = line.partition(":")
+        headers[name.strip().lower()] = value.strip()
+    try:
+        length = int(headers.get("content-length", "0"))
+    except ValueError:
+        raise BadRequest("missing/bad Content-Length in node response") from None
+    body = await conn.read_exact(length) if length > 0 else b""
+    return status, headers, body

@@ -68,8 +68,9 @@ class ServiceClient:
                  payload: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
         body = json.dumps(payload).encode("utf-8") if payload is not None else None
         headers = {"Content-Type": "application/json"} if body else {}
-        last_error: Optional[Exception] = None
-        for attempt in range(2):  # one transparent retry on a stale keep-alive
+        retried = False
+        while True:
+            reused = self._conn is not None
             conn = self._connection()
             try:
                 conn.request(method, path, body=body, headers=headers)
@@ -78,10 +79,17 @@ class ServiceClient:
                 break
             except (http.client.HTTPException, ConnectionError,
                     socket.timeout, OSError) as error:
-                last_error = error
                 self.close()
-        else:
-            raise ServiceError(f"request failed: {last_error}") from last_error
+                # A request on a *reused* keep-alive connection can land
+                # exactly as the server times out the idle socket —
+                # BadStatusLine('') or ECONNRESET.  That says nothing
+                # about server health, so reconnect and retry once.  A
+                # failure on a fresh connection surfaces immediately:
+                # retrying it would only double the connect timeout.
+                if reused and not retried:
+                    retried = True
+                    continue
+                raise ServiceError(f"request failed: {error}") from error
         status = response.status
         retry_after: Optional[float] = None
         header = response.getheader("Retry-After")

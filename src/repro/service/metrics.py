@@ -107,8 +107,19 @@ class ServiceMetrics:
         self._lock = threading.Lock()
         self._counters: Dict[Tuple[str, LabelItems], float] = {}
         self._histograms: Dict[Tuple[str, LabelItems], Histogram] = {}
-        self._gauges: Dict[str, Tuple[str, Callable[[], float]]] = {}
+        self._gauges: Dict[Tuple[str, LabelItems], Callable[[], float]] = {}
         self._help: Dict[str, str] = {}
+        # Every registry — node or router — identifies its build, so a
+        # mixed-version fleet is visible during rolling restarts:
+        # sum(repro_build_info) by (version) counts instances per version.
+        from .. import __version__
+
+        self.register_gauge(
+            "repro_build_info",
+            lambda: 1.0,
+            "Constant 1, labelled with the running version.",
+            labels={"version": __version__},
+        )
 
     # -- recording ---------------------------------------------------------
 
@@ -144,11 +155,21 @@ class ServiceMetrics:
             histogram.observe(value, exemplar=exemplar)
 
     def register_gauge(
-        self, name: str, sample: Callable[[], float], help: str = ""
+        self,
+        name: str,
+        sample: Callable[[], float],
+        help: str = "",
+        labels: Optional[Mapping[str, str]] = None,
     ) -> None:
-        """Register a callable sampled at render time."""
+        """Register a callable sampled at render time.
+
+        The same gauge name may be registered once per label set (e.g.
+        ``repro_cluster_ring_share{node="..."}``).
+        """
         with self._lock:
-            self._gauges[name] = (help, sample)
+            if help:
+                self._help.setdefault(name, help)
+            self._gauges[(name, _labels(labels))] = sample
 
     # -- worker-result ingestion ------------------------------------------
 
@@ -214,15 +235,19 @@ class ServiceMetrics:
                 if cname == name:
                     lines.append(f"{name}{_render_labels(labels)} {_format_value(value)}")
 
-        for name, (help_text, sample) in sorted(gauges.items()):
-            if help_text:
-                lines.append(f"# HELP {name} {help_text}")
+        gauge_names = sorted({name for name, _ in gauges})
+        for name in gauge_names:
+            if helps.get(name):
+                lines.append(f"# HELP {name} {helps[name]}")
             lines.append(f"# TYPE {name} gauge")
-            try:
-                value = float(sample())
-            except Exception:  # pragma: no cover - defensive: never 500 /metrics
-                value = float("nan")
-            lines.append(f"{name} {value}")
+            for (gname, labels), sample in sorted(gauges.items()):
+                if gname != name:
+                    continue
+                try:
+                    value = float(sample())
+                except Exception:  # pragma: no cover - defensive: never 500 /metrics
+                    value = float("nan")
+                lines.append(f"{name}{_render_labels(labels)} {value}")
 
         histogram_names = sorted({name for name, _ in histograms})
         for name in histogram_names:

@@ -14,10 +14,12 @@ executor's worker discipline and fallback policy:
   :func:`repro.pipeline.executor.resolve_jobs` (``0`` = one per CPU,
   negative rejected);
 * the same infrastructure-failure set
-  (:data:`repro.pipeline.executor._FALLBACK_ERRORS`) triggers a graceful
-  degrade — here to a thread pool (the event loop must stay responsive,
-  so in-process execution is pushed off-loop) instead of to inline serial
-  execution.
+  (:data:`repro.pipeline.executor._FALLBACK_ERRORS`) is recognised — at
+  *startup* it degrades executor creation to a thread pool; *mid-job* it
+  means a worker died (OOM kill, SIGKILL): the pool recycles itself to a
+  fresh executor of the same mode and raises :class:`WorkerCrash`, so
+  the request fails cleanly (5xx) instead of silently retrying — crash
+  visibility is what the cluster router's failover is built on.
 
 On top of that, serving-specific policies:
 
@@ -46,7 +48,7 @@ import threading
 import time
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Optional
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from ..pipeline.executor import _FALLBACK_ERRORS, resolve_jobs
 from . import worker as worker_module
@@ -54,6 +56,10 @@ from . import worker as worker_module
 
 class PoolTimeout(Exception):
     """A job exceeded its per-request deadline."""
+
+
+class WorkerCrash(Exception):
+    """A worker died mid-job; the pool recycled and the job was lost."""
 
 
 @dataclass
@@ -83,6 +89,7 @@ class PoolStats:
     cancelled: int = 0
     recycles: int = 0
     fallbacks: int = 0
+    crashes: int = 0
 
     def to_dict(self) -> Dict[str, int]:
         return {
@@ -93,6 +100,7 @@ class PoolStats:
             "cancelled": self.cancelled,
             "recycles": self.recycles,
             "fallbacks": self.fallbacks,
+            "crashes": self.crashes,
         }
 
 
@@ -106,6 +114,9 @@ class WorkerPool:
         self._executor: Optional[Executor] = None
         self._mode = "down"
         self._dispatched_since_recycle = 0
+        #: Bumped on every executor replacement; crash handling compares
+        #: generations so N concurrent crashed jobs recycle the pool once.
+        self._generation = 0
         self._lock = threading.Lock()
 
     # -- lifecycle ---------------------------------------------------------
@@ -155,12 +166,40 @@ class WorkerPool:
             return
         self._dispatched_since_recycle = 0
         self.stats.recycles += 1
+        self._generation += 1
         old, self._executor = self._executor, self._make_executor()
         if old is not None:
             # Let in-flight work finish; reap the old pool off-thread.
             threading.Thread(
                 target=old.shutdown, kwargs={"wait": True}, daemon=True
             ).start()
+
+    def _recycle_broken_locked(self) -> None:
+        """Replace a broken executor with a fresh one (caller holds lock)."""
+        self.stats.recycles += 1
+        self._generation += 1
+        self._dispatched_since_recycle = 0
+        old, self._executor = self._executor, self._make_executor()
+        if old is not None:
+            threading.Thread(
+                target=old.shutdown, kwargs={"wait": False}, daemon=True
+            ).start()
+
+    def _handle_crash(self, generation: int) -> None:
+        """Recycle after a mid-job worker death, at most once per generation."""
+        self.stats.crashes += 1
+        self.stats.failures += 1
+        with self._lock:
+            if generation == self._generation:
+                self._recycle_broken_locked()
+
+    def worker_pids(self) -> List[int]:
+        """PIDs of live worker processes (empty in thread mode)."""
+        executor = self._executor
+        if not isinstance(executor, ProcessPoolExecutor):
+            return []
+        processes = getattr(executor, "_processes", None) or {}
+        return [proc.pid for proc in processes.values() if proc.pid is not None]
 
     # -- submission --------------------------------------------------------
 
@@ -170,19 +209,28 @@ class WorkerPool:
         if "traceparent" in payload:
             payload.setdefault("dispatched_unix", time.time())
 
-    def _submit_raw(self, fn: Callable[..., Any], *args: Any):
+    def _submit_raw(self, fn: Callable[..., Any], *args: Any) -> Tuple[Any, int]:
+        """Submit and return ``(future, generation)`` for crash tracking."""
         with self._lock:
             if self._executor is None:
                 self.start()
             self._maybe_recycle()
             self._dispatched_since_recycle += 1
             self.stats.submitted += 1
-            return self._executor.submit(fn, *args)
+            try:
+                return self._executor.submit(fn, *args), self._generation
+            except _FALLBACK_ERRORS:
+                # The pool broke while idle (a worker died between jobs).
+                # The job never started, so a one-shot resubmit on a fresh
+                # executor is transparent to the caller.
+                self.stats.crashes += 1
+                self._recycle_broken_locked()
+                return self._executor.submit(fn, *args), self._generation
 
     def submit_sync(self, payload: Dict[str, Any]) -> Dict[str, Any]:
         """Blocking submit (tests, non-async callers)."""
         self._stamp_dispatch(payload)
-        future = self._submit_raw(worker_module.handle_job, payload)
+        future, generation = self._submit_raw(worker_module.handle_job, payload)
         try:
             result = future.result(timeout=self.config.request_timeout)
         except TimeoutError:
@@ -190,6 +238,11 @@ class WorkerPool:
             future.cancel()
             raise PoolTimeout(
                 f"request exceeded {self.config.request_timeout}s"
+            ) from None
+        except _FALLBACK_ERRORS as error:
+            self._handle_crash(generation)
+            raise WorkerCrash(
+                f"worker crashed mid-job ({type(error).__name__}: {error})"
             ) from None
         self.stats.completed += 1
         return result
@@ -205,7 +258,7 @@ class WorkerPool:
         """
         deadline = timeout if timeout is not None else self.config.request_timeout
         self._stamp_dispatch(payload)
-        future = self._submit_raw(worker_module.handle_job, payload)
+        future, generation = self._submit_raw(worker_module.handle_job, payload)
         wrapped = asyncio.wrap_future(future)
         try:
             result = await asyncio.wait_for(wrapped, deadline)
@@ -217,17 +270,15 @@ class WorkerPool:
             self.stats.cancelled += 1
             future.cancel()
             raise
-        except _FALLBACK_ERRORS:
-            # The process pool broke mid-flight (killed worker, fork
-            # trouble): degrade to threads and retry this job once.
-            self.stats.fallbacks += 1
-            with self._lock:
-                self.shutdown(wait=False)
-                self.config.use_threads = True
-                self.start()
-            result = await asyncio.wrap_future(
-                self._submit_raw(worker_module.handle_job, payload)
-            )
+        except _FALLBACK_ERRORS as error:
+            # A worker died mid-job (OOM kill, SIGKILL, fork trouble).
+            # Recycle to a fresh pool of the same mode and fail *this*
+            # request cleanly — a silent in-process retry would hide real
+            # crashes from the operator and from the router's failover.
+            self._handle_crash(generation)
+            raise WorkerCrash(
+                f"worker crashed mid-job ({type(error).__name__}: {error})"
+            ) from None
         self.stats.completed += 1
         if not result.get("ok", False):
             self.stats.failures += 1

@@ -35,6 +35,13 @@ persists the N slowest plus every errored request as Chrome-loadable
 trace files (docs/OBSERVABILITY.md).  Tracing is **advisory**: span
 bookkeeping happens around the verdict path, never inside it.
 
+When a request arrives with a ``traceparent`` *HTTP header* (the cluster
+router sends one), the server joins that trace instead of minting a new
+one, and with ``X-Trace-Return: spans`` it additionally ships its
+collected spans back in the response's ``trace`` field — the same
+fold-and-strip contract the worker honours towards the server, one hop
+up.  One trace then covers router → node → worker → every stage.
+
 Trust: **untrusted** front door — nothing here is load-bearing for
 soundness; verdicts come from the worker's fresh reparse+kernel run.
 """
@@ -52,22 +59,30 @@ from typing import Any, Dict, Optional, Tuple
 from ..trace import (
     RequestTraceStore,
     Span,
+    SpanContext,
     TraceCollector,
     format_traceparent,
     new_trace_id,
+    parse_traceparent,
 )
 from .admission import AdmissionController, RequestLimits
+from .httpcore import (
+    MAX_HEADER_BYTES,
+    BadRequest,
+    Connection,
+    Request,
+    json_response,
+    read_request,
+    write_response,
+)
 from .metrics import ServiceMetrics
-from .pool import PoolConfig, PoolTimeout, WorkerPool
+from .pool import PoolConfig, PoolTimeout, WorkerCrash, WorkerPool
 
-MAX_HEADER_BYTES = 16 * 1024
-
-_STATUS_TEXT = {
-    200: "OK", 400: "Bad Request", 404: "Not Found", 405: "Method Not Allowed",
-    408: "Request Timeout", 413: "Payload Too Large", 422: "Unprocessable Entity",
-    429: "Too Many Requests", 500: "Internal Server Error",
-    503: "Service Unavailable", 504: "Gateway Timeout",
-}
+#: Back-compat aliases — the HTTP plumbing moved to
+#: :mod:`repro.service.httpcore` so the cluster router shares it.
+_BadRequest = BadRequest
+_Request = Request
+_Connection = Connection
 
 
 @dataclass
@@ -93,6 +108,10 @@ class ServerConfig:
     limits: RequestLimits = field(default_factory=RequestLimits)
     #: Grace period for in-flight work during shutdown, seconds.
     drain_grace: float = 10.0
+    #: How long the listener stays open *after* drain begins, seconds,
+    #: so health probes observe ``draining`` (503 + Retry-After) and a
+    #: router can de-route this node before its socket closes.
+    drain_notice: float = 0.5
     quiet: bool = True
     #: Directory for persisted request traces (None disables tracing).
     trace_dir: Optional[str] = None
@@ -103,62 +122,6 @@ class ServerConfig:
     trace_rate: float = 0.0
     #: Salt for the deterministic hash-rate sampler.
     trace_seed: int = 0
-
-
-class _BadRequest(Exception):
-    def __init__(self, message: str, status: int = 400):
-        super().__init__(message)
-        self.status = status
-
-
-@dataclass
-class _Request:
-    method: str
-    path: str
-    headers: Dict[str, str]
-    body: bytes
-
-    @property
-    def keep_alive(self) -> bool:
-        return self.headers.get("connection", "keep-alive").lower() != "close"
-
-
-class _Connection:
-    """A buffered reader with pushback (for disconnect-watch pipelining)."""
-
-    def __init__(self, reader: asyncio.StreamReader):
-        self.reader = reader
-        self.buffer = b""
-
-    def push_back(self, data: bytes) -> None:
-        self.buffer = data + self.buffer
-
-    async def _fill(self) -> bool:
-        chunk = await self.reader.read(65536)
-        if not chunk:
-            return False
-        self.buffer += chunk
-        return True
-
-    async def read_until(self, marker: bytes, limit: int) -> Optional[bytes]:
-        """Bytes through ``marker``; None on immediate EOF; raises on limit."""
-        while marker not in self.buffer:
-            if len(self.buffer) > limit:
-                raise _BadRequest("headers too large", status=413)
-            if not await self._fill():
-                if not self.buffer:
-                    return None
-                raise _BadRequest("connection closed mid-request")
-        index = self.buffer.index(marker) + len(marker)
-        head, self.buffer = self.buffer[:index], self.buffer[index:]
-        return head
-
-    async def read_exact(self, count: int) -> bytes:
-        while len(self.buffer) < count:
-            if not await self._fill():
-                raise _BadRequest("connection closed mid-body")
-        body, self.buffer = self.buffer[:count], self.buffer[count:]
-        return body
 
 
 class CertificationService:
@@ -314,6 +277,11 @@ class CertificationService:
         await self._shutdown.wait()
         self._log("repro.service draining…")
         self.admission.begin_drain()
+        if self.config.drain_notice > 0 and self._server is not None:
+            # Advertise the drain before closing the socket: health
+            # probes landing in this window see 503 + Retry-After, so a
+            # router stops sending new work instead of eating resets.
+            await asyncio.sleep(self.config.drain_notice)
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -370,32 +338,9 @@ class CertificationService:
                 pass
 
     async def _read_request(self, conn: _Connection) -> Optional[_Request]:
-        head = await conn.read_until(b"\r\n\r\n", MAX_HEADER_BYTES)
-        if head is None:
-            return None
-        try:
-            lines = head.decode("latin-1").split("\r\n")
-            method, path, _version = lines[0].split(" ", 2)
-        except (UnicodeDecodeError, ValueError):
-            raise _BadRequest("malformed request line") from None
-        headers: Dict[str, str] = {}
-        for line in lines[1:]:
-            if not line:
-                continue
-            name, _, value = line.partition(":")
-            headers[name.strip().lower()] = value.strip()
-        length_text = headers.get("content-length", "0")
-        try:
-            length = int(length_text)
-        except ValueError:
-            raise _BadRequest(f"bad Content-Length {length_text!r}") from None
-        if length < 0 or length > self.config.limits.max_body_bytes:
-            raise _BadRequest(
-                f"body of {length} bytes exceeds the "
-                f"{self.config.limits.max_body_bytes}-byte limit", status=413,
-            )
-        body = await conn.read_exact(length) if length else b""
-        return _Request(method=method.upper(), path=path, headers=headers, body=body)
+        return await read_request(
+            conn, self.config.limits.max_body_bytes, MAX_HEADER_BYTES
+        )
 
     async def _dispatch_watching_disconnect(
         self, request: _Request, conn: _Connection
@@ -499,8 +444,7 @@ class CertificationService:
     def _json(
         self, status: int, payload: Dict[str, Any], headers: Optional[Dict[str, str]] = None
     ) -> Tuple[int, bytes, str, Dict[str, str]]:
-        body = json.dumps(payload, sort_keys=False).encode("utf-8")
-        return status, body, "application/json; charset=utf-8", dict(headers or {})
+        return json_response(status, payload, headers)
 
     def _parse_body(self, request: _Request) -> Dict[str, Any]:
         if not request.body:
@@ -539,16 +483,25 @@ class CertificationService:
             return self._json(error.status, {"ok": False, "error": str(error)})
         payload["action"] = action
         # Every single-document request gets a trace id (response field +
-        # X-Trace-Id header).  Span objects exist only when a trace store
-        # is configured; without one the id is minted and nothing else.
-        trace_id = new_trace_id()
+        # X-Trace-Id header).  A router hop can hand us its context via a
+        # traceparent *header*; we join that trace instead of minting one,
+        # and with X-Trace-Return: spans we ship our spans back in the
+        # response for the caller to fold — the same contract the worker
+        # honours towards this server, one hop up.
+        incoming: Optional[SpanContext] = parse_traceparent(
+            request.headers.get("traceparent")
+        )
+        return_spans = (
+            request.headers.get("x-trace-return", "").strip().lower() == "spans"
+        )
+        trace_id = incoming.trace_id if incoming is not None else new_trace_id()
         collector: Optional[TraceCollector] = None
         root: Optional[Span] = None
         pool_span: Optional[Span] = None
-        if self.trace_store is not None:
+        if self.trace_store is not None or (return_spans and incoming is not None):
             collector = TraceCollector()
             root = Span.start(
-                "request", trace_id=trace_id,
+                "request", parent=incoming, trace_id=trace_id,
                 attributes={"endpoint": request.path, "action": action},
             )
             admit_span = Span.start("admission", parent=root.context())
@@ -582,6 +535,8 @@ class CertificationService:
         status = int(response.pop("status", 200))
         if root is not None:
             self._finish_trace(root, collector, status, response)
+            if return_spans:
+                response["trace"] = [span.to_dict() for span in collector.spans]
         return self._json(status, response, {"X-Trace-Id": trace_id})
 
     def _finish_trace(
@@ -599,7 +554,9 @@ class CertificationService:
             )
         root.end()
         collector.add(root)
-        assert self.trace_store is not None
+        if self.trace_store is None:
+            # Traced only for a span-returning caller; nothing persists here.
+            return
         for reason in self.trace_store.offer(root, collector.spans):
             self.metrics.inc(
                 "repro_traces_persisted_total", labels={"reason": reason},
@@ -648,6 +605,17 @@ class CertificationService:
                     "cache": "miss", "status": 504, "error": str(error),
                     "error_stage": None, "stage_seconds": {}, "counters": {},
                     "artifacts": {}}
+        except WorkerCrash as error:
+            # A worker died mid-job.  The pool already recycled itself;
+            # this request fails cleanly (5xx) and the next one succeeds.
+            self.metrics.inc(
+                "repro_worker_crashes_total",
+                help="Pool workers that died mid-job (pool recycled).",
+            )
+            return {"ok": False, "action": payload.get("action", "?"),
+                    "cache": "miss", "status": 500, "error": str(error),
+                    "error_stage": None, "stage_seconds": {}, "counters": {},
+                    "artifacts": {}}
         finally:
             self.admission.exit_flight()
 
@@ -671,7 +639,11 @@ class CertificationService:
                 "disk_dir": self.config.cache_dir,
             },
         }
-        return self._json(503 if draining else 200, payload)
+        if draining:
+            # Retry-After tells pollers (and the cluster router) when to
+            # look again; the router de-routes on sight of "draining".
+            return self._json(503, payload, {"Retry-After": "1"})
+        return self._json(200, payload)
 
     # -- response writing --------------------------------------------------
 
@@ -684,18 +656,7 @@ class CertificationService:
         headers: Dict[str, str],
         keep_alive: bool,
     ) -> None:
-        reason = _STATUS_TEXT.get(status, "Unknown")
-        lines = [
-            f"HTTP/1.1 {status} {reason}",
-            f"Content-Type: {content_type}",
-            f"Content-Length: {len(body)}",
-            f"Connection: {'keep-alive' if keep_alive else 'close'}",
-        ]
-        for name, value in headers.items():
-            lines.append(f"{name}: {value}")
-        head = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
-        writer.write(head + body)
-        await writer.drain()
+        await write_response(writer, status, body, content_type, headers, keep_alive)
 
     async def _write_json(
         self, writer: asyncio.StreamWriter, status: int,

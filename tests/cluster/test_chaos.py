@@ -1,0 +1,73 @@
+"""Fault-injection acceptance: kill a node under load, lose nothing.
+
+This is the issue's headline scenario run small: three *real*
+``repro serve`` subprocesses behind the router, a corpus replay driving
+load, and a SIGKILL of one node mid-run.  The pass condition is the
+cluster contract verbatim — **zero failed client requests**, failover
+provably exercised (``repro_cluster_failovers_total > 0``), and a
+router→node trace stitched across the hop.
+
+The full-size run (50 requests, overhead phase, every fault mode) is
+``repro cluster chaos`` in CI's cluster-smoke job; this test keeps the
+subprocess count and request volume small enough for the tier-1 suite.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.cluster.chaos import ChaosConfig, parse_metrics, run_chaos, summarise, sum_metric
+
+
+class TestMetricsParsing:
+    def test_prometheus_text_round_trips(self):
+        text = (
+            "# HELP repro_x_total help\n"
+            "# TYPE repro_x_total counter\n"
+            'repro_x_total{node="a"} 3\n'
+            'repro_x_total{node="b"} 4\n'
+            "repro_up 1.0\n"
+        )
+        values = parse_metrics(text)
+        assert sum_metric(values, "repro_x_total") == 7.0
+        assert sum_metric(values, "repro_up") == 1.0
+        assert sum_metric(values, "repro_missing") == 0.0
+
+
+class TestKillFault:
+    def test_single_node_kill_under_load_loses_no_requests(self, tmp_path):
+        config = ChaosConfig(
+            nodes=3,
+            replication=2,
+            requests=18,
+            concurrency=4,
+            fault="kill",
+            fault_after=0.25,
+            measure_overhead=False,
+            work_dir=str(tmp_path),
+            report_path=str(tmp_path / "report.json"),
+            quiet=True,
+        )
+        report = run_chaos(config)
+
+        checks = report["checks"]
+        assert checks["zero_client_errors"], report["loadgen"]
+        assert checks["zero_server_errors"], report["loadgen"]
+        assert checks["all_requests_completed"]
+        assert checks["failover_proven"], report["router"]
+        assert checks["trace_connected"], report["trace"]
+        assert report["ok"] is True
+        assert report["fault"]["injected"] is True
+
+        # The surviving nodes absorbed the killed node's share.
+        split = report["loadgen"].get("nodes", {})
+        assert sum(split.values()) == 18
+        assert len(split) >= 2
+
+        # The report round-trips to disk for benchmarks/results/.
+        on_disk = json.loads((tmp_path / "report.json").read_text())
+        assert on_disk["ok"] is True
+
+        # And the human summary names the fault and the verdict.
+        text = summarise(report)
+        assert "kill" in text and "OK" in text

@@ -1,0 +1,89 @@
+"""Health-state machine and live probing: eject, readmit, drain notice.
+
+The pure state-machine paths run without any IO; the probe paths run
+against a real :class:`BackgroundServer` so the ``/healthz`` contract
+(200 ok / 503 draining / connection refused) is exercised end to end.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.cluster.health import DOWN, DRAINING, UP, HealthMonitor
+from repro.cluster.upstream import Upstream
+from repro.service.server import BackgroundServer, ServerConfig
+
+
+def _monitor(names, **overrides) -> HealthMonitor:
+    upstreams = {name: Upstream(name, "127.0.0.1", 1) for name in names}
+    return HealthMonitor(upstreams, **overrides)
+
+
+class TestStateMachine:
+    def test_nodes_start_up_and_routable(self):
+        monitor = _monitor(["a", "b"])
+        assert monitor.routable() == ["a", "b"]
+        assert monitor.is_routable("a")
+
+    def test_ejection_after_consecutive_failures(self):
+        monitor = _monitor(["a"], eject_after=2)
+        monitor.note_failure("a")
+        assert monitor.state("a") == UP  # one strike is not enough
+        monitor.note_failure("a")
+        assert monitor.state("a") == DOWN
+        assert monitor.routable() == []
+
+    def test_success_resets_the_failure_streak(self):
+        monitor = _monitor(["a"], eject_after=2)
+        monitor.note_failure("a")
+        monitor.note_success("a")
+        monitor.note_failure("a")
+        assert monitor.state("a") == UP
+
+    def test_readmission_after_consecutive_successes(self):
+        monitor = _monitor(["a"], eject_after=1, readmit_after=2)
+        monitor.note_failure("a")
+        assert monitor.state("a") == DOWN
+        monitor.note_success("a")
+        assert monitor.state("a") == DOWN  # one probe is not enough
+        monitor.note_success("a")
+        assert monitor.state("a") == UP
+
+    def test_draining_is_not_routable_but_not_down(self):
+        monitor = _monitor(["a", "b"])
+        monitor.note_draining("a")
+        assert monitor.state("a") == DRAINING
+        assert monitor.routable() == ["b"]
+
+    def test_fresh_ok_after_draining_means_restart_and_readmits(self):
+        monitor = _monitor(["a"])
+        monitor.note_draining("a")
+        monitor.note_success("a")
+        assert monitor.state("a") == UP
+
+    def test_transitions_are_recorded_in_the_snapshot(self):
+        monitor = _monitor(["a"])
+        monitor.note_failure("a")
+        monitor.note_success("a")
+        snapshot = monitor.snapshot()
+        assert snapshot["a"]["transitions"] == ["up->down", "down->up"]
+
+
+class TestLiveProbing:
+    def test_probe_tracks_a_real_server_through_death(self, tmp_path):
+        config = ServerConfig(
+            port=0, use_threads=True, jobs=1, quiet=True,
+            cache_dir=str(tmp_path),
+        )
+        background = BackgroundServer(config).start()
+        try:
+            upstream = Upstream("n1", "127.0.0.1", background.port)
+            monitor = HealthMonitor({"n1": upstream}, eject_after=1)
+            state = asyncio.run(monitor.probe_node("n1"))
+            assert state == UP
+        finally:
+            background.stop()
+        # The socket is gone: the very next probe ejects the node.
+        state = asyncio.run(monitor.probe_node("n1"))
+        assert state == DOWN
+        assert monitor.health["n1"].probes == 2

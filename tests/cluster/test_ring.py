@@ -1,0 +1,103 @@
+"""Consistent-hash ring properties: determinism, spread, minimal remap.
+
+The ring is *advisory* placement — nothing here affects verdicts — but
+its promises still matter operationally: the same key must always map to
+the same owners (cache affinity), replicas must be distinct nodes, and
+removing a node must remap only the keys that node owned.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.ring import DEFAULT_VNODES, HashRing, routing_key
+from repro.frontend.translator import TranslationOptions
+
+NODES = ["c1", "c2", "c3", "c4"]
+KEYS = [f"key-{i}" for i in range(400)]
+
+
+class TestOwners:
+    def test_owner_selection_is_deterministic_across_instances(self):
+        a = HashRing(NODES)
+        b = HashRing(list(reversed(NODES)))
+        for key in KEYS[:50]:
+            assert a.owners(key, 2) == b.owners(key, 2)
+
+    def test_replicas_are_distinct_nodes(self):
+        ring = HashRing(NODES)
+        for key in KEYS[:50]:
+            owners = ring.owners(key, 3)
+            assert len(owners) == len(set(owners)) == 3
+
+    def test_replication_is_capped_at_the_node_count(self):
+        ring = HashRing(["a", "b"])
+        assert len(ring.owners("k", 5)) == 2
+
+    def test_empty_ring_owns_nothing(self):
+        ring = HashRing([])
+        assert ring.owners("k", 2) == []
+        with pytest.raises(LookupError):
+            ring.primary("k")
+
+    def test_primary_is_the_first_owner(self):
+        ring = HashRing(NODES)
+        for key in KEYS[:20]:
+            assert ring.primary(key) == ring.owners(key, 2)[0]
+
+
+class TestRemap:
+    def test_removing_a_node_only_remaps_its_own_keys(self):
+        ring = HashRing(NODES)
+        before = {key: ring.primary(key) for key in KEYS}
+        ring.remove("c3")
+        for key in KEYS:
+            if before[key] != "c3":
+                assert ring.primary(key) == before[key]
+            else:
+                assert ring.primary(key) != "c3"
+
+    def test_adding_a_node_back_restores_the_original_placement(self):
+        ring = HashRing(NODES)
+        before = {key: ring.primary(key) for key in KEYS}
+        ring.remove("c2")
+        ring.add("c2")
+        assert {key: ring.primary(key) for key in KEYS} == before
+
+    def test_removal_remaps_roughly_one_nth_of_keys(self):
+        ring = HashRing(NODES)
+        before = {key: ring.primary(key) for key in KEYS}
+        ring.remove("c1")
+        moved = sum(
+            1 for key in KEYS if ring.primary(key) != before[key]
+        )
+        owned = sum(1 for owner in before.values() if owner == "c1")
+        assert moved == owned  # minimal disruption: only c1's keys move
+
+
+class TestShares:
+    def test_shares_sum_to_one_and_are_roughly_even(self):
+        ring = HashRing(NODES, vnodes=DEFAULT_VNODES)
+        shares = ring.shares()
+        assert abs(sum(shares.values()) - 1.0) < 1e-9
+        for node in NODES:
+            # 64 vnodes keeps the spread within a loose band.
+            assert 0.05 < shares[node] < 0.55
+
+
+class TestRoutingKey:
+    def test_same_source_and_options_share_a_key(self):
+        assert routing_key("method m() {}", None) == routing_key(
+            "method m() {}", None
+        )
+
+    def test_source_changes_the_key(self):
+        assert routing_key("method a() {}", None) != routing_key(
+            "method b() {}", None
+        )
+
+    def test_options_change_the_key(self):
+        source = "method m() {}"
+        assert routing_key(source, None) != routing_key(
+            source, TranslationOptions(wd_checks_at_calls=True)
+        )

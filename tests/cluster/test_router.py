@@ -1,0 +1,289 @@
+"""End-to-end router tests over real sockets.
+
+Two in-process :class:`BackgroundServer` nodes sit behind a
+:class:`BackgroundRouter`; the plain :class:`ServiceClient` talks to the
+router exactly as it would to a single node — the cluster layer is
+transparent to clients apart from the ``node`` / ``trace_id`` stamps.
+
+The headline scenarios mirror the clustering contract in
+docs/SERVICE.md: cache affinity through consistent hashing, failover on
+node loss (with ``repro_cluster_failovers_total`` counting it), drain
+visibility before the socket closes, and a clean 502 only when *no*
+node can serve.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.cluster.ring import routing_key
+from repro.cluster.router import BackgroundRouter, RouterConfig, parse_node_spec
+from repro.service.client import ServiceClient, ServiceError, ServiceThrottled
+from repro.service.server import BackgroundServer, ServerConfig
+
+SMALL = """
+field val: Int
+
+method get(self: Ref) returns (r: Int)
+  requires acc(self.val)
+  ensures acc(self.val) && r == self.val
+{
+  r := self.val
+}
+"""
+
+
+def _node_config(tmp_path=None, **overrides) -> ServerConfig:
+    return ServerConfig(
+        port=0,
+        use_threads=True,
+        jobs=1,
+        cache_dir=str(tmp_path) if tmp_path else None,
+        quiet=True,
+        **overrides,
+    )
+
+
+def _router_config(nodes, **overrides) -> RouterConfig:
+    defaults = dict(
+        port=0,
+        nodes=[f"n{i + 1}=127.0.0.1:{n.port}" for i, n in enumerate(nodes)],
+        replication=2,
+        probe_interval=0.05,
+        # Hedging off by default so placement assertions are exact; the
+        # dedicated hedge test turns it way down instead.
+        hedge_initial=30.0,
+        hedge_delay_floor=30.0,
+        quiet=True,
+    )
+    defaults.update(overrides)
+    return RouterConfig(**defaults)
+
+
+def _wait(predicate, timeout=10.0, interval=0.05):
+    deadline = time.time() + timeout
+    while time.time() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return False
+
+
+def _source_owned_by(router, owner: str) -> str:
+    """A certifiable source whose ring primary is ``owner``."""
+    for i in range(64):
+        source = SMALL.replace("get", f"get_{i}").replace("val", f"val_{i}")
+        if router.ring.primary(routing_key(source, None)) == owner:
+            return source
+    raise AssertionError(f"no probe source landed on {owner}")
+
+
+class TestNodeSpecs:
+    def test_named_and_anonymous_specs(self):
+        assert parse_node_spec("a=10.0.0.1:8421", 0) == ("a", "10.0.0.1", 8421)
+        assert parse_node_spec("127.0.0.1:9000", 2) == ("n3", "127.0.0.1", 9000)
+        # Host defaults to loopback when omitted.
+        assert parse_node_spec("a=:8421", 0) == ("a", "127.0.0.1", 8421)
+
+    def test_bad_specs_are_rejected(self):
+        for bad in ("nohost", "a=h:notaport", "a=h:"):
+            with pytest.raises(ValueError):
+                parse_node_spec(bad, 0)
+
+
+@pytest.fixture(scope="module")
+def cluster(tmp_path_factory):
+    nodes = [
+        BackgroundServer(
+            _node_config(tmp_path_factory.mktemp(f"node{i}-cache"))
+        ).start()
+        for i in range(2)
+    ]
+    try:
+        with BackgroundRouter(_router_config(nodes)) as router:
+            with ServiceClient(port=router.port) as probe:
+                assert probe.wait_ready(timeout=15.0)
+            yield router
+    finally:
+        for node in nodes:
+            node.stop()
+
+
+@pytest.fixture
+def client(cluster):
+    with ServiceClient(port=cluster.port) as c:
+        yield c
+
+
+class TestProxying:
+    def test_certify_is_proxied_and_stamped(self, client, cluster):
+        response = client.certify(SMALL)
+        assert response["_status"] == 200
+        assert response["ok"] is True
+        assert response["node"] in ("n1", "n2")
+        assert len(response["trace_id"]) == 32
+        # Span shipping is router-internal; clients never see raw spans.
+        assert "trace" not in response
+
+    def test_affinity_same_source_lands_on_the_same_node(self, client):
+        first = client.certify(SMALL)
+        second = client.certify(SMALL)
+        assert first["node"] == second["node"]
+        assert second["cache"] in ("memory", "disk")
+        assert second["statement"] == first["statement"]
+
+    def test_placement_matches_the_ring(self, client, cluster):
+        source = _source_owned_by(cluster.router, "n2")
+        response = client.certify(source)
+        assert response["ok"] and response["node"] == "n2"
+
+    def test_translate_and_batch_are_proxied(self, client):
+        translated = client.translate(SMALL)
+        assert translated["ok"] and "procedure" in translated["boogie"]
+        batch = client.batch([{"source": SMALL}, {"source": "method oops("}])
+        assert batch["_status"] == 200
+        assert batch["count"] == 2
+        assert batch["results"][0]["ok"] is True
+        assert batch["results"][1]["ok"] is False
+        assert batch["node"] in ("n1", "n2")
+
+    def test_node_errors_pass_through_verbatim(self, client):
+        response = client.certify("method oops(")
+        assert response["_status"] == 422
+        assert response["error_stage"] == "parse"
+        assert response["node"] in ("n1", "n2")
+
+
+class TestOperationalEndpoints:
+    def test_healthz_reports_router_role_and_node_states(self, client):
+        health = client.healthz()
+        assert health["status"] == "ok"
+        assert health["role"] == "router"
+        assert health["replication"] == 2
+        assert set(health["nodes"]) == {"n1", "n2"}
+        assert all(n["state"] == "up" for n in health["nodes"].values())
+        assert abs(sum(health["ring"].values()) - 1.0) < 0.01
+
+    def test_metrics_expose_cluster_counters_and_build_info(self, client):
+        client.certify(SMALL)
+        text = client.metrics()
+        assert "repro_cluster_requests_total" in text
+        assert 'repro_cluster_ring_share{node="n1"}' in text
+        assert 'repro_cluster_node_up{node="n1"} 1.0' in text
+        assert "repro_upstream_seconds_bucket" in text
+        assert 'repro_build_info{version="' in text
+        assert 'endpoint="/v1/certify"' in text
+
+    def test_unknown_route_is_404_and_bad_method_is_405(self, client):
+        assert client._request("GET", "/nope")["_status"] == 404
+        assert client._request("GET", "/v1/certify")["_status"] == 405
+
+    def test_nodes_also_expose_build_info(self, cluster):
+        node_port = cluster.router.upstreams["n1"].port
+        with ServiceClient(port=node_port) as node_client:
+            assert 'repro_build_info{version="' in node_client.metrics()
+
+
+class TestHedging:
+    def test_a_tiny_hedge_delay_forces_hedged_requests(self, cluster):
+        """With the hedge delay floored at ~0, every certify hedges to the
+        replica; the request still succeeds exactly once per client."""
+        nodes = list(cluster.router.upstreams.values())
+        config = _router_config(
+            [type("N", (), {"port": n.port})() for n in nodes],
+            hedge_initial=0.0001,
+            hedge_delay_floor=0.0001,
+        )
+        with BackgroundRouter(config) as hedged:
+            with ServiceClient(port=hedged.port) as c:
+                assert c.wait_ready(timeout=15.0)
+                response = c.certify(
+                    SMALL.replace("get", "get_hedge").replace("val", "val_h")
+                )
+                assert response["ok"] is True
+                text = c.metrics()
+        assert "repro_cluster_hedges_total" in text
+
+
+class TestFailover:
+    @pytest.fixture
+    def fresh_cluster(self, tmp_path):
+        nodes = [
+            BackgroundServer(_node_config(tmp_path / f"cache{i}")).start()
+            for i in range(2)
+        ]
+        router = BackgroundRouter(_router_config(nodes)).start()
+        with ServiceClient(port=router.port) as probe:
+            assert probe.wait_ready(timeout=15.0)
+        try:
+            yield nodes, router
+        finally:
+            router.stop()
+            for node in nodes:
+                node.stop()
+
+    def test_node_loss_fails_over_then_total_loss_is_502(self, fresh_cluster):
+        nodes, router = fresh_cluster
+        source = _source_owned_by(router.router, "n1")
+        with ServiceClient(port=router.port) as client:
+            warm = client.certify(source)
+            assert warm["ok"] and warm["node"] == "n1"
+
+            # Kill the primary; the router must eject it and serve the
+            # same key from the replica with zero client-visible errors.
+            nodes[0].stop()
+            assert _wait(
+                lambda: client.healthz()["nodes"]["n1"]["state"] == "down"
+            )
+            failed_over = client.certify(source)
+            assert failed_over["ok"] is True
+            assert failed_over["node"] == "n2"
+            assert "repro_cluster_failovers_total" in client.metrics()
+
+            # Kill the survivor: /healthz flips to 503 and proxied
+            # requests get an honest 502 naming the nodes it tried.
+            nodes[1].stop()
+
+            def unavailable():
+                try:
+                    client.healthz()
+                    return False
+                except ServiceThrottled:
+                    return True
+
+            assert _wait(unavailable)
+            try:
+                response = client.certify(source)
+            except ServiceError as error:
+                assert error.status in (None, 502)
+            else:
+                assert response["_status"] == 502
+                assert response["ok"] is False
+                assert "n1" in response["error"] and "n2" in response["error"]
+
+
+class TestDrainNotice:
+    def test_drain_is_visible_to_the_router_before_the_socket_closes(
+        self, tmp_path
+    ):
+        """SIGTERM drain: the node answers 503 ``draining`` while its
+        listener is still open, so the router's probe records
+        ``up->draining`` *before* ``draining->down``."""
+        node = BackgroundServer(
+            _node_config(tmp_path / "cache", drain_notice=1.0)
+        ).start()
+        router = BackgroundRouter(_router_config([node])).start()
+        try:
+            with ServiceClient(port=router.port) as client:
+                assert client.wait_ready(timeout=15.0)
+            monitor = router.router.monitor
+            node._loop.call_soon_threadsafe(node.service.request_shutdown, 0)
+            assert _wait(lambda: monitor.state("n1") == "down")
+            transitions = monitor.snapshot()["n1"]["transitions"]
+            assert "up->draining" in transitions
+            assert "draining->down" in transitions
+        finally:
+            router.stop()
+            node.stop()

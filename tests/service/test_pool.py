@@ -143,6 +143,74 @@ class TestAsyncSubmit:
         assert pool.stats.cancelled == 1
 
 
+class TestWorkerCrash:
+    """Process-pool fault injection: SIGKILL a live worker mid-job.
+
+    The contract (shared with the cluster router's failover): the killed
+    job fails *loudly* with :class:`WorkerCrash`, the pool replaces the
+    broken executor with a fresh one of the same mode, and the very next
+    submission succeeds.
+    """
+
+    @staticmethod
+    def _slow_source(methods: int = 240) -> str:
+        return "\n".join(
+            f"method m{i}(x: Int) returns (y: Int)\n"
+            f"  requires x > {i}\n  ensures y > {i}\n"
+            f"{{\n  y := x + {i} + 1\n}}"
+            for i in range(methods)
+        )
+
+    def test_sigkill_mid_job_fails_loudly_then_the_pool_recovers(self):
+        import os
+        import signal
+        import threading
+
+        from repro.service.pool import WorkerCrash
+
+        pool = WorkerPool(PoolConfig(jobs=1, use_threads=False,
+                                     request_timeout=60.0))
+        try:
+            warm = pool.submit_sync({"action": "certify", "source": SOURCE})
+            if pool.mode != "process":  # pragma: no cover - exotic CI boxes
+                pytest.skip("no process pool available on this platform")
+            assert warm["ok"]
+            victims = pool.worker_pids()
+            assert victims, "a live process pool must report worker PIDs"
+
+            outcome = {}
+
+            def fire():
+                try:
+                    outcome["result"] = pool.submit_sync(
+                        {"action": "certify", "source": self._slow_source()}
+                    )
+                except WorkerCrash as error:
+                    outcome["crash"] = error
+
+            thread = threading.Thread(target=fire)
+            thread.start()
+            # Let the job reach the worker, then kill it mid-certification.
+            deadline = time.time() + 10.0
+            while pool.stats.submitted < 2 and time.time() < deadline:
+                time.sleep(0.01)
+            time.sleep(0.05)
+            for pid in victims:
+                os.kill(pid, signal.SIGKILL)
+            thread.join(timeout=30.0)
+
+            assert "crash" in outcome, f"expected WorkerCrash, got {outcome}"
+            assert pool.stats.crashes >= 1
+            assert pool.stats.recycles >= 1
+            # Fresh executor, same mode, next job just works.
+            assert pool.mode == "process"
+            assert pool.worker_pids() != victims or not pool.worker_pids()
+            recovered = pool.submit_sync({"action": "certify", "source": SOURCE})
+            assert recovered["ok"] is True
+        finally:
+            pool.shutdown(wait=False)
+
+
 class TestRecycling:
     def test_executor_is_replaced_after_the_recycle_limit(self, monkeypatch):
         monkeypatch.setattr(worker_module, "handle_job", lambda payload: {"ok": True})

@@ -204,6 +204,93 @@ class TestBackpressure:
         assert all((e.retry_after or 0) >= 1 for e in throttled)
 
 
+class TestDrainAnnouncement:
+    def test_healthz_answers_503_draining_with_retry_after(self, tmp_path):
+        """During a SIGTERM drain the listener stays open for
+        ``drain_notice`` seconds and ``/healthz`` answers 503
+        ``draining`` + ``Retry-After`` — the window a cluster router's
+        probe needs to de-route the node *before* connects start
+        failing."""
+        import time
+
+        config = _config(tmp_path, drain_notice=1.5)
+        with BackgroundServer(config) as background:
+            with ServiceClient(port=background.port) as c:
+                assert c.wait_ready(timeout=15.0)
+                background._loop.call_soon_threadsafe(
+                    background.service.request_shutdown, 0
+                )
+                throttled = None
+                deadline = time.time() + 10.0
+                while time.time() < deadline and throttled is None:
+                    try:
+                        c.healthz()
+                        time.sleep(0.02)
+                    except ServiceThrottled as error:
+                        throttled = error
+                assert throttled is not None, "drain was never announced"
+                assert throttled.status == 503
+                assert throttled.retry_after == 1.0
+                assert "draining" in str(throttled)
+
+
+class TestWorkerCrashAtNodeLevel:
+    def test_killed_worker_is_a_clean_500_and_the_node_recovers(self, tmp_path):
+        """SIGKILL the pool worker mid-job: the in-flight request gets an
+        honest 500 (never a hang, never a bogus verdict), the pool
+        recycles, and the next request succeeds."""
+        import os
+        import signal
+        import time
+
+        slow = "\n".join(
+            f"method m{i}(x: Int) returns (y: Int)\n"
+            f"  requires x > {i}\n  ensures y > {i}\n"
+            f"{{\n  y := x + {i} + 1\n}}"
+            for i in range(240)
+        )
+        config = ServerConfig(
+            port=0, use_threads=False, jobs=1,
+            cache_dir=str(tmp_path), quiet=True,
+        )
+        with BackgroundServer(config) as background:
+            with ServiceClient(port=background.port) as c:
+                assert c.wait_ready(timeout=15.0)
+                warm = c.certify(SMALL)
+                assert warm["ok"]
+                pool = background.service.pool
+                if pool.mode != "process":  # pragma: no cover
+                    pytest.skip("no process pool available on this platform")
+                victims = pool.worker_pids()
+                assert victims
+
+                outcome = {}
+
+                def fire():
+                    with ServiceClient(port=background.port) as inner:
+                        outcome["response"] = inner.certify(slow)
+
+                thread = threading.Thread(target=fire)
+                thread.start()
+                deadline = time.time() + 10.0
+                while pool.stats.submitted < 2 and time.time() < deadline:
+                    time.sleep(0.01)
+                time.sleep(0.05)
+                for pid in victims:
+                    os.kill(pid, signal.SIGKILL)
+                thread.join(timeout=30.0)
+
+                crashed = outcome["response"]
+                assert crashed["_status"] == 500
+                assert crashed["ok"] is False
+                assert "crash" in crashed["error"]
+                assert "repro_worker_crashes_total" in c.metrics()
+                # The pool recycled: the same request now succeeds.
+                recovered = c.certify(slow)
+                assert recovered["_status"] == 200
+                assert recovered["ok"] is True
+
+
 class TestKernelIsNeverCachedEndToEnd:
     def test_mutated_disk_certificate_is_rejected_by_a_new_server(self, tmp_path):
         """Mutate the cached certificate on disk between two server runs;
