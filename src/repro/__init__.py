@@ -1,5 +1,8 @@
 """repro — validated Viper-to-Boogie translation.
 
+Trust: **untrusted-but-checked** — re-export hub; importing it pulls in
+untrusted orchestration alongside the kernel.
+
 A Python reproduction of *"Towards Trustworthy Automated Program
 Verifiers: Formally Validating Translations into an Intermediate
 Verification Language"* (PLDI 2024): executable semantics for a core
@@ -64,7 +67,7 @@ from .pipeline import (  # noqa: F401
     run_pipeline,
 )
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 
 def translate_source(source, options=None, **kwargs):

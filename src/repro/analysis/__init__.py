@@ -1,5 +1,7 @@
 """Static analysis over the (pre-desugaring) Viper AST.
 
+Trust: **advisory** — lint findings gate review, never a verdict.
+
 A lint subsystem in the spirit of the paper's "catch problems before the
 expensive trusted machinery" philosophy: many programs that will
 inevitably fail certification — use of unassigned locals, statements after

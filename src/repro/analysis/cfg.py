@@ -1,5 +1,7 @@
 """Per-method control-flow graphs and a generic forward-dataflow engine.
 
+Trust: **advisory** — control-flow scaffolding for the linter only.
+
 The CFG is built over the *pre-desugaring* statement forms — the core
 subset (``Seq``/``If``/``Inhale``/``Exhale``/``AssertStmt``/assignments/
 calls/``VarDecl``) plus the extension statements ``While`` and ``New`` —

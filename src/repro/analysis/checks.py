@@ -1,4 +1,6 @@
-"""The check catalog: stable IDs ``VPR001`` … ``VPR009`` over the Viper AST.
+"""The check catalog: stable IDs ``VPR001`` … ``VPR010`` over the Viper AST.
+
+Trust: **advisory** — the VPR check catalog; findings are advice to humans.
 
 Every check reports only *provable* facts, because findings feed the
 service's admission fast path where a false positive would reject a
@@ -43,6 +45,15 @@ certifiable program.  The corresponding soundness arguments:
     guarantee.
 ``VPR009`` **spec hygiene** — ``old()`` in a precondition (always
     rejected by the desugarer) and the literally-trivial ``assert true``.
+``VPR010`` **divergence-shadowed code** — a statement that follows a
+    *provably diverging* statement: a closed ``assert``/``exhale`` whose
+    assertion constant-folds to false, a loop whose closed condition folds
+    to true, or a conditional whose arms all diverge.  This complements
+    VPR003, which works at the CFG edge level and deliberately only cuts
+    on *syntactic* literals; VPR010 folds closed expressions (no
+    variables, no heap, total operators only), so the two never report
+    the same statement.  ``inhale`` cuts stay exempt, as in VPR003.
+
 
 All checks run on the **pre-desugaring** AST: ``old()`` still exists (so
 VPR009 can see it), no synthesized havoc/hoist variables trip the
@@ -60,11 +71,15 @@ from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
 from ..viper.allocation import NewStmt
 from ..viper.ast import (
+    ARITH_OPS,
+    CMP_OPS,
+    LAZY_OPS,
     Acc,
     AExpr,
     AssertStmt,
     Assertion,
     BinOp,
+    BinOpKind,
     BoolLit,
     CondAssert,
     CondExp,
@@ -86,7 +101,9 @@ from ..viper.ast import (
     Seq,
     Skip,
     Stmt,
+    stmt_pos,
     UnOp,
+    UnOpKind,
     Var,
     VarDecl,
 )
@@ -178,6 +195,17 @@ CHECKS: Dict[str, CheckInfo] = {
             "warning",
             "old() is only meaningful in postconditions and bodies; "
             "`assert true` checks nothing",
+        ),
+        CheckInfo(
+            "VPR010", "divergence-shadowed-code",
+            "code after a statement that provably diverges once closed "
+            "expressions are constant-folded (a folded-false assert/exhale, "
+            "a folds-true loop condition, or a conditional whose arms all "
+            "diverge)",
+            "warning",
+            "remove the shadowed statements or the diverging construct; "
+            "syntactically-literal cases are VPR003's domain and reported "
+            "there instead",
         ),
     )
 }
@@ -497,6 +525,195 @@ class _ReportReachability(ForwardAnalysis):
         if constant is not None and label is not None and label != constant:
             return None
         return True
+
+
+# ---------------------------------------------------------------------------
+# VPR010: divergence-shadowed code (constant folding over closed exprs)
+# ---------------------------------------------------------------------------
+
+#: Distinguishes ``null`` from every bool/int/Fraction folding result.
+_NULL = object()
+
+
+def _fold_expr(expr: Expr):
+    """The value of a *closed* expression, or ``None`` when it mentions
+    state (variables, heap, ``old``) or any partial operation (division or
+    modulo by zero).  Short-circuiting follows the executable semantics,
+    so ``false && x.f > 0`` folds even though its right operand does not.
+    ``None`` always means "unknown", never a value: every foldable
+    expression of the subset yields a bool, an int, a Fraction, or
+    ``_NULL``."""
+    if isinstance(expr, (IntLit, BoolLit)):
+        return expr.value
+    if isinstance(expr, PermLit):
+        return expr.amount
+    if isinstance(expr, NullLit):
+        return _NULL
+    if isinstance(expr, UnOp):
+        value = _fold_expr(expr.operand)
+        if expr.op is UnOpKind.NOT and value in (True, False):
+            return not value
+        if expr.op is UnOpKind.NEG and value is not None and value is not _NULL \
+                and not isinstance(value, bool):
+            return -value
+        return None
+    if isinstance(expr, CondExp):
+        cond = _fold_expr(expr.cond)
+        if cond in (True, False):
+            return _fold_expr(expr.then if cond else expr.otherwise)
+        return None
+    if isinstance(expr, BinOp):
+        return _fold_binop(expr)
+    return None
+
+
+def _fold_binop(expr: BinOp):
+    left = _fold_expr(expr.left)
+    if expr.op in LAZY_OPS:
+        if left not in (True, False):
+            return None
+        if expr.op is BinOpKind.AND and left is False:
+            return False
+        if expr.op is BinOpKind.OR and left is True:
+            return True
+        if expr.op is BinOpKind.IMPLIES and left is False:
+            return True
+        right = _fold_expr(expr.right)
+        return right if right in (True, False) else None
+    right = _fold_expr(expr.right)
+    if left is None or right is None or left is _NULL or right is _NULL:
+        if expr.op in (BinOpKind.EQ, BinOpKind.NE) and _NULL in (left, right):
+            # null == null / null != null fold; null against unknown does not.
+            if left is _NULL and right is _NULL:
+                return expr.op is BinOpKind.EQ
+        return None
+    numeric = not isinstance(left, bool) and not isinstance(right, bool)
+    if expr.op in ARITH_OPS or expr.op is BinOpKind.PERM_DIV:
+        if not numeric:
+            return None
+        try:
+            if expr.op is BinOpKind.ADD:
+                return left + right
+            if expr.op is BinOpKind.SUB:
+                return left - right
+            if expr.op is BinOpKind.MUL:
+                return left * right
+            if expr.op is BinOpKind.DIV:
+                return left // right
+            if expr.op is BinOpKind.MOD:
+                return left % right
+            return Fraction(left) / Fraction(right)
+        except ZeroDivisionError:
+            return None  # partial: the well-definedness check governs it
+    if expr.op in CMP_OPS:
+        if not numeric:
+            return None
+        if expr.op is BinOpKind.LT:
+            return left < right
+        if expr.op is BinOpKind.LE:
+            return left <= right
+        if expr.op is BinOpKind.GT:
+            return left > right
+        return left >= right
+    if expr.op in (BinOpKind.EQ, BinOpKind.NE):
+        if isinstance(left, bool) is not isinstance(right, bool):
+            return None  # ill-typed comparison; the typechecker's domain
+        return (left == right) if expr.op is BinOpKind.EQ else (left != right)
+    return None
+
+
+def _folds_false(assertion: Assertion) -> bool:
+    """Folds to false at the top level (through separating conjunction) —
+    the folding analogue of :func:`_literal_false`."""
+    if isinstance(assertion, AExpr):
+        return _fold_expr(assertion.expr) is False
+    if isinstance(assertion, SepConj):
+        return _folds_false(assertion.left) or _folds_false(assertion.right)
+    return False
+
+
+def _diverges(stmt: Stmt) -> bool:
+    """Provably no fault-free continuation past this statement."""
+    if isinstance(stmt, (AssertStmt, Exhale)):
+        return _folds_false(stmt.assertion)
+    if isinstance(stmt, While):
+        return _fold_expr(stmt.cond) is True
+    if isinstance(stmt, If):
+        cond = _fold_expr(stmt.cond)
+        if cond is True:
+            return _diverges(stmt.then)
+        if cond is False:
+            return _diverges(stmt.otherwise)
+        return _diverges(stmt.then) and _diverges(stmt.otherwise)
+    if isinstance(stmt, Seq):
+        return _diverges(stmt.first) or _diverges(stmt.second)
+    return False
+
+
+def _diverges_literally(stmt: Stmt) -> bool:
+    """The sub-case VPR003's edge-level machinery already sees: syntactic
+    ``false`` assertions and syntactic ``true``/``false`` conditions, with
+    no folding.  VPR010 keeps quiet exactly here."""
+    if isinstance(stmt, (AssertStmt, Exhale)):
+        return _literal_false(stmt.assertion)
+    if isinstance(stmt, While):
+        return isinstance(stmt.cond, BoolLit) and stmt.cond.value
+    if isinstance(stmt, If):
+        if isinstance(stmt.cond, BoolLit):
+            branch = stmt.then if stmt.cond.value else stmt.otherwise
+            return _diverges_literally(branch)
+        return _diverges_literally(stmt.then) and _diverges_literally(
+            stmt.otherwise
+        )
+    if isinstance(stmt, Seq):
+        return _diverges_literally(stmt.first) or _diverges_literally(
+            stmt.second
+        )
+    return False
+
+
+def _flatten_seq(stmt: Stmt) -> List[Stmt]:
+    if isinstance(stmt, Seq):
+        return _flatten_seq(stmt.first) + _flatten_seq(stmt.second)
+    return [stmt]
+
+
+def _divergence_kind(stmt: Stmt) -> str:
+    if isinstance(stmt, (AssertStmt, Exhale)):
+        return "assertion folds to false"
+    if isinstance(stmt, While):
+        return "loop condition folds to true"
+    return "every arm of the conditional diverges"
+
+
+def _check_divergence(
+    body: Stmt, method: MethodDecl, findings: List[Finding]
+) -> None:
+    """Walk one statement level; report the first statement shadowed by a
+    folded-diverging predecessor, mirroring VPR003's first-of-region rule.
+    Nothing inside a dead region is visited — no reports inside dead
+    code, folded or literal."""
+    stmts = _flatten_seq(body)
+    for index, stmt in enumerate(stmts):
+        if isinstance(stmt, If):
+            _check_divergence(stmt.then, method, findings)
+            _check_divergence(stmt.otherwise, method, findings)
+        elif isinstance(stmt, While):
+            _check_divergence(stmt.body, method, findings)
+        if not _diverges(stmt):
+            continue
+        if not _diverges_literally(stmt) and index + 1 < len(stmts):
+            line = stmt_pos(stmts[index + 1])
+            findings.append(Finding(
+                "VPR010",
+                f"method {method.name!r}: code after a diverging statement "
+                f"({_divergence_kind(stmt)})",
+                CHECKS["VPR010"].severity,
+                method=method.name,
+                line=line,
+                subject=stmts[index + 1],
+            ))
+        return
 
 
 # ---------------------------------------------------------------------------
@@ -1081,6 +1298,9 @@ def _analyze_method(method: MethodDecl, fields: Tuple[str, ...]) -> List[Finding
             line=node.pos,
             subject=node.stmt,
         ))
+
+    # ---- VPR010: divergence-shadowed code (folded, not literal) ----------
+    _check_divergence(method.body, method, findings)
 
     # ---- VPR004: dead stores --------------------------------------------
     exit_live = frozenset(return_names) | post_reads

@@ -1,5 +1,7 @@
 """Findings → diagnostics: suppression, selection, promotion, rendering.
 
+Trust: **advisory** — lint reporting and suppression plumbing.
+
 This module is the bridge between the analyzer (pure AST → ``Finding``
 values) and the pipeline's :class:`~repro.pipeline.diagnostics.Diagnostic`
 vocabulary used by the CLI, the ``analyze`` stage, and the service's 422

@@ -1,4 +1,8 @@
-"""The Boogie language substrate: AST, typechecker, semantics, back-end."""
+"""The Boogie language substrate: AST, typechecker, semantics, back-end.
+
+Trust: **untrusted-but-checked** — package hub re-exporting both trusted
+semantics and untrusted rendering.
+"""
 
 from .ast import (  # noqa: F401
     Assign,

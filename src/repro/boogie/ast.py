@@ -1,5 +1,8 @@
 """Abstract syntax of the Boogie subset (Fig. 1, bottom).
 
+Trust: **trusted** — the kernel's definition of the target language's
+syntax.
+
 The subset comprises expressions (with polymorphic uninterpreted function
 applications and value/type quantifiers), simple commands (``assume``,
 ``assert``, assignment, ``havoc``), statement *blocks* (a list of simple

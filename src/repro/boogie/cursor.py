@@ -1,5 +1,8 @@
 """Program points for the Boogie small-step semantics (Sec. 2.2).
 
+Trust: **trusted** — program points are the gamma's of the simulation
+judgements; normalisation bugs break proof chaining.
+
 A *program point* is a pair of the currently active statement block and a
 continuation; a continuation is either empty or a statement followed by a
 continuation.  :class:`Cursor` realises this directly and is shared between
@@ -102,7 +105,7 @@ class Cursor:
 
     def peek(self, count: int = 3) -> str:
         """A short human-readable description of the upcoming commands."""
-        from .pretty import pretty_cmd
+        from .pretty import pretty_cmd  # tcb: allow[TB001] message rendering only: peek() feeds error text, never a judgement
 
         parts = [pretty_cmd(cmd) for cmd in self.cmds[:count]]
         if self.at_if:

@@ -1,5 +1,8 @@
 """Type and function interpretations for Boogie (Sec. 2.2, Sec. 4.4).
 
+Trust: **trusted** — evaluates axioms under the standard interpretation;
+background validity rests on it.
+
 The correctness of a Boogie procedure quantifies over all *well-formed*
 interpretations of the uninterpreted types and functions that satisfy the
 program's axioms (Fig. 9, top).  Executable semantics need concrete,

@@ -1,4 +1,8 @@
-"""Lexer for Boogie concrete syntax (the subset our pretty-printer emits)."""
+"""Lexer for Boogie concrete syntax (the subset our pretty-printer emits).
+
+Trust: **trusted** — feeds the parser the kernel re-parses certificates and
+programs with.
+"""
 
 from __future__ import annotations
 

@@ -1,5 +1,8 @@
 """Parser for Boogie concrete syntax.
 
+Trust: **trusted** — the kernel re-parses the Boogie program from text;
+this parser decides what was actually emitted.
+
 Parses the subset the pretty-printer emits (which is also the subset the
 Viper-to-Boogie translation produces), including polymorphic function
 declarations and applications, type quantifiers, map types with

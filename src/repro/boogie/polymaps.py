@@ -1,5 +1,8 @@
 """Desugaring of Boogie's polymorphic maps (Sec. 4.4).
 
+Trust: **untrusted-but-checked** — desugaring convenience used by the
+translator side; the kernel sees only its re-parsed output.
+
 Boogie's polymorphic map types (e.g. ``<T>[Ref, Field T]T``) are
 *impredicative* — a map admits any value as key, including itself — and have
 no general formal model.  The paper side-steps this by adjusting the

@@ -1,5 +1,8 @@
 """Pretty-printer emitting Boogie concrete syntax.
 
+Trust: **untrusted-but-checked** — rendering for messages and artifact
+text; the kernel re-parses rather than trusts it.
+
 The Viper-to-Boogie implementation passes the generated program to Boogie as
 a text file (footnote 2 of the paper); this module plays that role and also
 feeds the harness's Boogie LoC metric (Tab. 1–6).

@@ -1,5 +1,8 @@
 """A bounded prover for Boogie verification conditions.
 
+Trust: **trusted** — discharges the per-procedure correctness hypothesis in
+the bounded model.
+
 The paper's toolchain hands VCs to an SMT solver; no solver is available in
 this environment, so the back-end discharges VCs by *bounded model
 checking*: free variables and quantifiers range over the finite carrier

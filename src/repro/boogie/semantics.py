@@ -1,5 +1,8 @@
 """Small-step operational semantics for the Boogie subset (Sec. 2.2).
 
+Trust: **trusted** — the executable target semantics; the simulation
+judgements quantify over its steps.
+
 Executions are sequences of steps between program points (cursors) with
 three outcomes for finite executions: failure ``BFailure`` (a violated
 ``assert``), magic ``BMagic`` (a violated ``assume``), and normal

@@ -1,4 +1,8 @@
-"""The Boogie state: a mapping from variables to values (Sec. 2.2)."""
+"""The Boogie state: a mapping from variables to values (Sec. 2.2).
+
+Trust: **trusted** — the state model the target semantics and the
+simulation relations are stated over.
+"""
 
 from __future__ import annotations
 

@@ -1,5 +1,8 @@
 """Type checker for the Boogie subset.
 
+Trust: **trusted** — background validity (Sec. 4.4) starts from this
+typechecker's acceptance.
+
 Checks declarations and procedure bodies: well-formed types (declared type
 constructors with correct arities), well-typed expressions (polymorphic
 function applications receive explicit type arguments, as in our AST),

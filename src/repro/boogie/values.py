@@ -1,5 +1,7 @@
 """Boogie value domain.
 
+Trust: **trusted** — the value domain of the target semantics.
+
 Boogie values are integers, reals, booleans, and elements of uninterpreted
 type carriers.  Carrier elements are :class:`UValue` — a tagged, hashable
 payload.  The tailored polymorphic-map model of Sec. 4.4 instantiates the

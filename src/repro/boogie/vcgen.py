@@ -1,5 +1,8 @@
 """Verification-condition generation for the Boogie subset (the back-end).
 
+Trust: **trusted** — the kernel's notion of procedure correctness that the
+theorem's hypothesis quantifies over.
+
 The paper treats the IVL back-end (VC generation + SMT) as an orthogonal,
 separately-validated component ([37]); this module provides a working
 back-end so the reproduction's pipeline is complete: a weakest-(liberal-)

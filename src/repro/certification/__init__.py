@@ -1,5 +1,8 @@
 """Forward-simulation certification of the Viper-to-Boogie translation.
 
+Trust: **untrusted-but-checked** — package hub; it re-exports the untrusted
+tactic next to the kernel.
+
 The paper's core contribution: per-run generation of a checkable proof that
 the correctness of the translated Boogie program implies the correctness of
 the input Viper program (Sec. 3–4).  The *tactic* generates certificates
@@ -35,8 +38,9 @@ from .relations import (  # noqa: F401
     SimRel,
 )
 from .tactic import (  # noqa: F401
+    certify_translation,
     generate_method_certificate,
     generate_program_certificate,
     ProofGenError,
 )
-from .theorem import certify_translation, check_program_certificate, TheoremReport  # noqa: F401
+from .theorem import check_program_certificate, TheoremReport  # noqa: F401

@@ -1,5 +1,8 @@
 """The independent proof-checking kernel (trusted).
 
+Trust: **trusted** — the proof kernel itself; it alone decides whether a
+certificate is accepted.
+
 Given a Viper program, a Boogie program, and a certificate (proof tree plus
 translation record), the kernel re-establishes the forward simulation of
 Sec. 3 by *checking* every rule application:

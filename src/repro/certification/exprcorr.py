@@ -1,5 +1,8 @@
 """Kernel-side expression correspondence (trusted).
 
+Trust: **trusted** — re-derives expression correspondence inside the kernel
+instead of believing the tactic.
+
 The certification kernel must know, independently of the (untrusted)
 front-end, which Boogie expression *represents* a Viper expression under a
 translation record (the ``readHeap``/``readMask`` encoding of Fig. 3), and

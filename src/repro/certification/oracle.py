@@ -1,5 +1,8 @@
 """Semantic re-validation of certified translations (differential oracle).
 
+Trust: **advisory** — differential testing raises confidence in the
+semantics; acceptance still comes only from the kernel.
+
 A checked certificate establishes, through the kernel's lemma schemas, that
 the Boogie procedure forward-simulates the Viper method obligation.  This
 module provides an *independent semantic cross-check*: it co-executes both

@@ -1,5 +1,8 @@
 """Certificates: proof trees over the simulation rules, plus serialisation.
 
+Trust: **trusted** — the kernel re-parses certificates from this format;
+its reader is the kernel's front door.
+
 A certificate is the reproduction's counterpart of the generated Isabelle
 proof: a tree of rule applications (:class:`ProofNode`) per method, wrapped
 in a :class:`MethodCertificate` (with the translation record and the

@@ -1,5 +1,8 @@
 """State relations between Viper and Boogie states (Sec. 4.1).
 
+Trust: **trusted** — defines the simulation relations the kernel checks; a
+wrong relation proves the wrong theorem.
+
 The simulation judgements are parameterised by relations between Viper and
 Boogie states.  Following the paper's stylised form, our relations are
 determined by a *translation record* (plus, implicitly, the standard

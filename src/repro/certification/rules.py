@@ -1,5 +1,8 @@
 """The rule catalog: every judgement form the kernel accepts.
 
+Trust: **trusted** — the rule catalog is the kernel's axiom schema
+inventory.
+
 A manifest of the proof system implemented by the checker — the
 simulation rules of Sec. 3 (Figs. 2, 5–8) plus the procedure-structure
 and inhale rules of Sec. 4 / App. A (Figs. 9–11) — with the paper's

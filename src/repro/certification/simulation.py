@@ -1,5 +1,8 @@
 """Executable forward-simulation judgements (Sec. 3, Fig. 4).
 
+Trust: **advisory** — simulation *testing* explores executions; the
+kernel's rules, not these runs, accept certificates.
+
 The paper's generic judgement ``sim`` quantifies over all related input
 states: for every successful Viper execution there must be a Boogie
 execution to the exit point ending in related states, and for every failing

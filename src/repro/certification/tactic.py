@@ -1,5 +1,8 @@
 """The hint-driven proof-generation tactic (untrusted, Sec. 4.3).
 
+Trust: **untrusted-but-checked** — the tactic may emit any certificate it
+likes; only the kernel's acceptance counts.
+
 The tactic turns the hint stream emitted by the instrumented translator
 into a certificate: it selects, per translated construct, which simulation
 rule to apply and instantiates the rule's parameters (auxiliary variable
@@ -179,3 +182,19 @@ def generate_program_certificate(result: TranslationResult) -> ProgramCertificat
         for m in result.viper_program.methods
     )
     return ProgramCertificate(certs)
+
+
+def certify_translation(result: TranslationResult):
+    """Generate and immediately check a certificate (the full Fig. 10 flow).
+
+    Returns ``(certificate, report)``.  This convenience wrapper lives on
+    the *untrusted* side of the boundary on purpose: generate-then-check
+    is the untrusted generator handing its work to the trusted kernel,
+    and hosting it in :mod:`repro.certification.theorem` would drag the
+    tactic into the kernel's import closure (the TB001 check of
+    :mod:`repro.tcb` now forbids exactly that).
+    """
+    from .theorem import check_program_certificate
+
+    certificate = generate_program_certificate(result)
+    return certificate, check_program_certificate(result, certificate)

@@ -1,5 +1,8 @@
 """Final theorem assembly (Sec. 4.5, Fig. 10).
 
+Trust: **trusted** — composes per-method results into the final soundness
+statement (Fig. 10).
+
 Combines the per-method relational proofs into the program-level soundness
 statement: *if every Boogie procedure of the translated program is correct,
 then every Viper method of the input program is correct*.
@@ -29,7 +32,7 @@ from typing import Dict, List, Optional, Tuple
 from ..boogie.interp import check_axioms_bounded
 from ..boogie.typechecker import BoogieTypeError, check_boogie_program
 from ..frontend.background import constant_valuation, standard_interpretation
-from ..frontend.translator import TranslationResult
+from ..frontend.translator import TranslationResult  # tcb: allow[TB001] type-only: the theorem's API names the untrusted translator's result dataclass; no translator code runs while checking
 from .checker import CheckReport, ProofChecker
 from .prooftree import MethodCertificate, ProgramCertificate
 
@@ -130,9 +133,3 @@ def check_program_certificate(
     return report
 
 
-def certify_translation(result: TranslationResult) -> Tuple[ProgramCertificate, TheoremReport]:
-    """Generate and immediately check a certificate (the full Fig. 10 flow)."""
-    from .tactic import generate_program_certificate
-
-    certificate = generate_program_certificate(result)
-    return certificate, check_program_certificate(result, certificate)

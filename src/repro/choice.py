@@ -1,5 +1,8 @@
 """Nondeterminism plumbing shared by the Viper and Boogie semantics.
 
+Trust: **trusted** — the oracle protocol threads through the trusted
+executable semantics; all_executions bounds the kernel's quantifiers.
+
 Both semantics contain nondeterministic steps (Viper: scoped-variable
 declarations, call-target havoc, and the heap havoc of ``exhale``; Boogie:
 ``havoc`` and nondeterministic branching ``if (*)``).  The executable
@@ -20,7 +23,7 @@ Three oracle families cover all uses:
 
 from __future__ import annotations
 
-import random
+import random  # tcb: allow[TB005] seeded, reproducible: the trusted path uses DefaultOracle; SeededOracle exists for the untrusted differential oracle
 from typing import Callable, Iterator, List, Sequence, TypeVar
 
 T = TypeVar("T")

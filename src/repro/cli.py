@@ -1,5 +1,8 @@
 """Command-line interface for the validated translation pipeline.
 
+Trust: **untrusted-but-checked** — orchestration and presentation; verdicts
+it prints come from the kernel.
+
 Subcommands::
 
     python -m repro.cli translate FILE.vpr [-o OUT.bpl] [options]
@@ -13,6 +16,7 @@ Subcommands::
                                   [--trace-dir DIR]
     python -m repro.cli loadgen   [--requests N] [--concurrency N] [--json]
     python -m repro.cli trace     summarize FILE...
+    python -m repro.cli tcb       check [--json] [--root DIR] [--doc PATH]
 
 ``certify`` runs the instrumented translation and writes the certificate;
 ``check`` re-checks a certificate *independently*: it parses the Viper
@@ -30,6 +34,11 @@ one and reports latency percentiles, throughput, and the cache split.
 ``trace summarize`` renders exported trace files (``certify --trace``,
 ``serve --trace-dir``) as an aggregate table plus a flame tree of the
 slowest trace (:mod:`repro.trace`).
+``tcb check`` turns the trust boundary inward: it statically analyzes
+*this package's own source* against the machine-readable trust policy
+(:mod:`repro.tcb`, docs/TCB_CHECK.md) and exits with the ``lint``
+convention — 0 when the boundary holds, 1 on findings, 2 when the tree
+could not be analyzed.
 
 Every command drives :mod:`repro.pipeline` — the single place the stage
 sequence (parse → desugar → typecheck → units → analyze → translate →
@@ -393,6 +402,37 @@ def cmd_trace(args: argparse.Namespace) -> int:
     return 0 if spans else 1
 
 
+def cmd_tcb(args: argparse.Namespace) -> int:
+    """`tcb check`: machine-check the trust boundary over repro's source.
+
+    Exit codes mirror ``lint``: 0 = the boundary holds, 1 = findings,
+    2 = the tree (or the inventory document) could not be analyzed.
+    """
+    from .tcb import ALL_TCB_CHECK_IDS, TB_CHECKS, check_tree
+
+    if args.list_checks:
+        for code in ALL_TCB_CHECK_IDS:
+            info = TB_CHECKS[code]
+            print(f"{code}  {info.severity:<7} {info.name:<32} {info.summary}")
+        return 0
+    kwargs = {}
+    if args.root:
+        kwargs["src_root"] = args.root
+    if args.doc:
+        kwargs["doc_path"] = args.doc
+    elif args.no_doc:
+        kwargs["use_default_doc"] = False
+    result = check_tree(**kwargs)
+    if args.json:
+        print(json.dumps(result.to_dict(), indent=2))
+        return result.exit_code
+    if result.error is not None:
+        print(result.render(), file=sys.stderr)
+        return result.exit_code
+    print(result.render())
+    return result.exit_code
+
+
 def cmd_loadgen(args: argparse.Namespace) -> int:
     """`loadgen`: replay the corpus against a server; report latency/cache."""
     from .service.client import ServiceError
@@ -746,6 +786,39 @@ def build_parser() -> argparse.ArgumentParser:
         help="Chrome-trace or JSONL span files (certify --trace output, "
              "or *.trace.json files from serve --trace-dir)",
     )
+    tcb = sub.add_parser(
+        "tcb",
+        help="machine-check the trust boundary over repro's own source",
+    )
+    tcb_sub = tcb.add_subparsers(dest="tcb_command", required=True)
+    tcb_check = tcb_sub.add_parser(
+        "check",
+        help="run the TB001-TB008 trust-boundary checks "
+             "(docs/TCB_CHECK.md)",
+    )
+    tcb_check.add_argument(
+        "--json", action="store_true",
+        help="print the full result as JSON",
+    )
+    tcb_check.add_argument(
+        "--root", metavar="DIR", default=None,
+        help="source tree to analyze (default: the directory containing "
+             "the installed repro package)",
+    )
+    tcb_check.add_argument(
+        "--doc", metavar="PATH", default=None,
+        help="TRUSTED_BASE.md inventory to cross-check (default: the "
+             "checkout's docs/TRUSTED_BASE.md; TB008 is skipped when "
+             "absent)",
+    )
+    tcb_check.add_argument(
+        "--no-doc", action="store_true",
+        help="skip the TB008 doc-consistency check",
+    )
+    tcb_check.add_argument(
+        "--list-checks", action="store_true",
+        help="list the TB check catalog and exit",
+    )
     return parser
 
 
@@ -803,6 +876,7 @@ def main(argv: Optional[list] = None) -> int:
         "loadgen": cmd_loadgen,
         "cluster": cmd_cluster,
         "trace": cmd_trace,
+        "tcb": cmd_tcb,
     }
     previous_sigterm = None
     if threading.current_thread() is threading.main_thread():

@@ -1,4 +1,8 @@
-"""The Viper-to-Boogie front-end translation (the system under validation)."""
+"""The Viper-to-Boogie front-end translation (the system under validation).
+
+Trust: **untrusted-but-checked** — package hub for the untrusted
+translator.
+"""
 
 from .background import (  # noqa: F401
     BackgroundTheory,

@@ -1,5 +1,8 @@
 """Background theory G and its standard interpretation (Sec. 4.4).
 
+Trust: **trusted** — the standard interpretation used to check background
+axioms (Sec. 4.4).
+
 The Viper-to-Boogie translation always emits a fixed set of global Boogie
 declarations: uninterpreted types for references, fields, heaps and masks;
 ``read``/``upd`` functions (the desugared polymorphic maps); the

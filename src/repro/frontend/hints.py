@@ -1,5 +1,8 @@
 """Hints: the instrumentation interface of the proof-producing translator.
 
+Trust: **untrusted-but-checked** — hints only steer certificate *search*;
+the kernel re-checks every claim they lead to.
+
 The paper instruments fewer than 500 lines of the existing Viper-to-Boogie
 implementation to emit *hints* alongside the generated Boogie code
 (Sec. 4.3).  Hints come in two kinds:

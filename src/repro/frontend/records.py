@@ -1,5 +1,8 @@
 """Translation records (Sec. 4.1).
 
+Trust: **trusted** — dataclass definitions shared across the boundary; the
+kernel states judgements over them.
+
 A *translation record* ``Tr`` specifies how the key Viper components are
 represented in the Boogie state:
 

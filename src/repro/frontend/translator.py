@@ -1,5 +1,8 @@
 """The Viper-to-Boogie front-end translation (Sec. 2.4, Sec. 4).
 
+Trust: **untrusted-but-checked** — the translator is exactly what the paper
+refuses to trust; every output is re-validated by the kernel.
+
 This is the reproduction of the (instrumented) translation implemented in
 the Viper verifier: it turns a Viper program into a Boogie program whose
 procedures encode the methods' proof obligations, and emits *hints*

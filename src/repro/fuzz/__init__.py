@@ -1,5 +1,8 @@
 """Adversarial fuzzing and minimization for the certification kernel.
 
+Trust: **advisory** — fuzzing hunts for counterexamples; it can only ever
+make us *less* confident, never more certified.
+
 The paper's claim is *per-run validation*: the untrusted translator and
 tactic may lie, and the trusted proof-checking kernel still catches it.
 This package industrializes the adversarial stress-testing of that claim

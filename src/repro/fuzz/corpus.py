@@ -1,5 +1,7 @@
 """Replayable failure corpus for the fuzzing driver.
 
+Trust: **advisory** — fuzz corpus bookkeeping.
+
 Failures found by :mod:`repro.fuzz.driver` are persisted under a corpus
 directory (``fuzz-corpus/`` by default) so they can be re-run long after
 the generating session is gone.  Layout::

@@ -1,5 +1,7 @@
 """The adversarial fuzzing driver: generate → pipeline → oracle → mutate.
 
+Trust: **advisory** — fuzz campaign orchestration.
+
 Each iteration of :func:`run_fuzz` exercises the full trust story once:
 
 1. **Clean run** — a seeded well-typed Viper program (from

@@ -1,5 +1,7 @@
 """Seeded generation of well-typed Viper programs (standalone, no hypothesis).
 
+Trust: **advisory** — random program generation for fuzzing.
+
 This module is the promotion of the hypothesis strategies that used to live
 only in ``tests/strategies.py`` into a reusable correctness-tooling
 subsystem: a *deterministic*, seed-driven generator of Viper programs that

@@ -1,5 +1,7 @@
 """Delta-debugging minimization of failing fuzz cases.
 
+Trust: **advisory** — shrinks fuzz counterexamples for human consumption.
+
 When the fuzzing driver (:mod:`repro.fuzz.driver`) finds a failure it
 persists the raw reproducer, but raw generated programs and certificates
 are noisy: most of their content is irrelevant to the failure.  This

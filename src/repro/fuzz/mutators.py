@@ -1,5 +1,7 @@
 """Adversarial mutators over the three untrusted artifacts.
 
+Trust: **advisory** — mutation strategies for fuzzing.
+
 The kernel's trust story (docs/TRUSTED_BASE.md) is that the translator, the
 hint stream, and the certificate text are all *untrusted*: a bug or a lie
 in any of them must be caught by the trusted reparse+check path.  Each

@@ -1,4 +1,8 @@
-"""Evaluation harness: corpus, pipeline runner, and table rendering."""
+"""Evaluation harness: corpus, pipeline runner, and table rendering.
+
+Trust: **advisory** — evaluation harness; it measures the pipeline, it does
+not certify.
+"""
 
 from .corpus import (  # noqa: F401
     CorpusFile,

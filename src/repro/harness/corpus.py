@@ -1,5 +1,7 @@
 """Benchmark corpus: four suites mirroring the paper's evaluation (Sec. 5).
 
+Trust: **advisory** — benchmark corpus definitions for the evaluation.
+
 The paper evaluates on 72 Viper files drawn from four sources — the Viper
 test suite (34 files / 105 methods), Gobra (17 / 65), VerCors (18 / 116),
 and MPP modular-product programs (3 / 13).  Those suites are not available

@@ -1,5 +1,7 @@
 """The evaluation runner: corpus files through the staged pipeline.
 
+Trust: **advisory** — runs the evaluation matrix and records outcomes.
+
 ``run_file`` reproduces, for one corpus program, exactly what the paper
 measures per Viper file (Tab. 1–6):
 

@@ -1,4 +1,7 @@
-"""Rendering of the paper's tables (text and JSON) from harness measurements."""
+"""Rendering of the paper's tables (text and JSON) from harness measurements.
+
+Trust: **advisory** — renders evaluation results as tables.
+"""
 
 from __future__ import annotations
 

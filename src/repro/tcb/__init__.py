@@ -1,0 +1,40 @@
+"""repro.tcb — a static analyzer for the reproduction's own trust boundary.
+
+Trust: **advisory** — the TCB checker analyzes the reproduction's source
+code, never a user program; its findings gate CI and code review, not
+verdicts.  A checker bug can mis-describe the boundary, but the boundary
+itself (the kernel re-judging every artifact) does not depend on it.
+
+The paper's central claim (Sec. 1, Sec. 4.5) is that only a small trusted
+kernel must be correct; everything else — translation, caching,
+incrementality, routing — is untrusted-but-checked.  In this repository
+that boundary was prose: `docs/TRUSTED_BASE.md` inventories the TCB and
+``Trust:`` docstring lines annotate the modules, but nothing stopped a
+future change from importing the cache inside the kernel and silently
+growing the trusted base.  This package turns the boundary into a
+continuously machine-checked property of the source tree itself:
+
+* :mod:`repro.tcb.policy` — the machine-readable trust policy
+  (module-pattern → ``trusted | untrusted-but-checked | advisory``),
+  cross-validated against both the ``Trust:`` docstring lines (TB007)
+  and the TRUSTED_BASE.md inventory (TB008) so code, docs, and policy
+  cannot drift apart;
+* :mod:`repro.tcb.importgraph` — a zero-dependency (stdlib ``ast``)
+  module-level import graph with transitive-closure queries, plus
+  detection of dynamic imports and nondeterminism sources;
+* :mod:`repro.tcb.checks` — the TB001–TB008 catalog (same
+  zero-false-positive discipline as :mod:`repro.analysis`);
+* :mod:`repro.tcb.report` — suppressions (``# tcb: allow[CODE] reason``),
+  result/exit-code plumbing, and the ``repro tcb check`` entry point.
+"""
+
+from .checks import ALL_TCB_CHECK_IDS, TB_CHECKS, TcbFinding, run_checks  # noqa: F401
+from .importgraph import ImportGraph, Module, build_graph  # noqa: F401
+from .policy import (  # noqa: F401
+    DEFAULT_POLICY,
+    PolicyRule,
+    TrustPolicy,
+    normalize_status,
+    parse_trust_line,
+)
+from .report import TcbResult, check_tree, default_doc_path, default_src_root  # noqa: F401

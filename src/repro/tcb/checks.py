@@ -1,0 +1,454 @@
+"""The TB001–TB008 catalog: trust-boundary checks over the import graph.
+
+Trust: **advisory** — findings gate CI and review, never a verdict; the
+kernel's re-derivation discipline holds whether or not this catalog runs.
+
+Every check reports only provable facts about the source tree — the same
+zero-false-positive discipline as :mod:`repro.analysis` — because a TB
+finding fails the tier-1 suite: a speculative finding would block
+legitimate changes.
+
+``TB001`` **trusted-imports-outside-tcb** — a trusted module directly
+    imports a module the policy does not mark trusted.  Closure
+    containment follows by induction: if every trusted module passes
+    TB001, the trusted set is import-closed.
+``TB002`` **trusted-reaches-cache** — a trusted module transitively
+    reaches one of the policy's forbidden modules (the artifact cache,
+    the disk tier, the unit-routing machinery).  Reaching them would
+    silently move the cache into the TCB — the exact drift
+    docs/TRUSTED_BASE.md rule 1 ("the trusted path is never cached")
+    forbids.  The closure follows *all* edges, including suppressed
+    ones: a justified TB001 exemption must not open a hidden path to
+    the cache.
+``TB003`` **advisory-reachable-from-kernel** — an advisory module
+    (tracing, analysis, metrics, …) is reachable from a trusted module.
+    Advisory code observes; the kernel must not even be able to call it.
+``TB004`` **dynamic-code-in-tcb** — ``eval`` / ``exec`` /
+    ``__import__`` / ``importlib.import_module`` in a trusted module.
+    Dynamic loading makes the import graph unsound and the TCB
+    unauditable.
+``TB005`` **nondeterminism-in-tcb** — a trusted module imports
+    ``random``, touches ``os.environ`` / ``os.getenv``, or calls
+    ``time.*()`` inside a branch condition.  The kernel must be a pure
+    function of its inputs; wall-clock *measurement* (timing an already
+    -made judgement) is deliberately not flagged.
+``TB006`` **suppression-hygiene** — a ``# tcb: allow[CODE]`` marker
+    without a justification, or a stale marker that suppresses nothing.
+    Reported by the suppression layer in :mod:`repro.tcb.report`;
+    TB006 findings are themselves never suppressible.
+``TB007`` **trust-line** — a module with no ``Trust:`` docstring line,
+    an unparsable status, a status inconsistent with the policy, or a
+    module the policy does not cover at all.  This is the code ↔ policy
+    half of the drift guarantee.
+``TB008`` **doc-drift** — the TRUSTED_BASE.md inventory disagrees with
+    the policy: a module is listed under the wrong section, or is not
+    inventoried at all.  This is the docs ↔ policy half.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .importgraph import ImportGraph, Module
+from .policy import TrustPolicy, normalize_status, parse_trust_line
+
+# ---------------------------------------------------------------------------
+# Catalog
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TcbCheckInfo:
+    """One catalog entry: stable ID, human name, severity, and hint."""
+
+    code: str
+    name: str
+    summary: str
+    severity: str
+    hint: str
+
+
+TB_CHECKS: Dict[str, TcbCheckInfo] = {
+    info.code: info
+    for info in (
+        TcbCheckInfo(
+            "TB001", "trusted-imports-outside-tcb",
+            "a trusted module directly imports a module outside the "
+            "trusted set",
+            "error",
+            "move the dependency into the TCB deliberately (policy + "
+            "TRUSTED_BASE.md + Trust: line) or invert the dependency; a "
+            "justified exception needs `# tcb: allow[TB001] <reason>`",
+        ),
+        TcbCheckInfo(
+            "TB002", "trusted-reaches-cache",
+            "a trusted module transitively reaches the cache / disk-tier "
+            "/ unit-routing machinery",
+            "error",
+            "the trusted path is never cached (docs/TRUSTED_BASE.md rule "
+            "1); break the import chain",
+        ),
+        TcbCheckInfo(
+            "TB003", "advisory-reachable-from-kernel",
+            "an advisory module (trace/analysis/metrics) is reachable "
+            "from a trusted module",
+            "error",
+            "advisory code observes the kernel, never the reverse; break "
+            "the import chain",
+        ),
+        TcbCheckInfo(
+            "TB004", "dynamic-code-in-tcb",
+            "eval/exec/__import__/importlib in a trusted module",
+            "error",
+            "the TCB must be statically auditable; replace the dynamic "
+            "load with an explicit import",
+        ),
+        TcbCheckInfo(
+            "TB005", "nondeterminism-in-tcb",
+            "random / os.environ / time-derived branching in a trusted "
+            "module",
+            "error",
+            "the kernel must be a pure function of its inputs; timing "
+            "measurement is fine, branching on it is not",
+        ),
+        TcbCheckInfo(
+            "TB006", "suppression-hygiene",
+            "a `# tcb: allow[...]` marker without a reason, or one that "
+            "suppresses nothing",
+            "warning",
+            "every exemption carries its justification inline and is "
+            "deleted when the finding it excused goes away",
+        ),
+        TcbCheckInfo(
+            "TB007", "trust-line",
+            "a module whose Trust: docstring line is missing, "
+            "unparsable, or inconsistent with the policy",
+            "error",
+            "every src/repro module carries `Trust: **trusted | "
+            "untrusted-but-checked | advisory**` matching "
+            "repro.tcb.policy.DEFAULT_POLICY",
+        ),
+        TcbCheckInfo(
+            "TB008", "doc-drift",
+            "the TRUSTED_BASE.md inventory disagrees with the policy",
+            "error",
+            "regenerate the inventory tables so every module is listed "
+            "under the section matching its policy status",
+        ),
+    )
+}
+
+ALL_TCB_CHECK_IDS: Tuple[str, ...] = tuple(sorted(TB_CHECKS))
+
+
+@dataclass(frozen=True)
+class TcbFinding:
+    """One trust-boundary finding, pinned to an exact file and line."""
+
+    code: str
+    message: str
+    severity: str
+    path: str
+    line: int
+    module: Optional[str] = None
+
+    def to_dict(self) -> dict:
+        payload = {
+            "code": self.code,
+            "message": self.message,
+            "severity": self.severity,
+            "path": self.path,
+            "line": self.line,
+        }
+        if self.module is not None:
+            payload["module"] = self.module
+        return payload
+
+    def render(self) -> str:
+        scope = f" [{self.module}]" if self.module else ""
+        return (f"{self.path}:{self.line}: {self.severity} "
+                f"{self.code}{scope}: {self.message}")
+
+
+def _finding(code: str, message: str, module: Optional[Module],
+             path: Path, line: int) -> TcbFinding:
+    return TcbFinding(
+        code=code,
+        message=message,
+        severity=TB_CHECKS[code].severity,
+        path=str(path),
+        line=line,
+        module=module.name if module is not None else None,
+    )
+
+
+# ---------------------------------------------------------------------------
+# TB001–TB005: graph checks
+# ---------------------------------------------------------------------------
+
+
+def _first_hop_line(graph: ImportGraph, module: Module, chain: Sequence[str]) -> int:
+    """The line of the import statement that begins ``chain``."""
+    if len(chain) < 2:
+        return 1
+    for edge in module.imports:
+        if edge.target == chain[1]:
+            return edge.line
+    return 1
+
+
+def _check_import_containment(
+    graph: ImportGraph, policy: TrustPolicy, trusted: Sequence[str]
+) -> List[TcbFinding]:
+    findings: List[TcbFinding] = []
+    for name in trusted:
+        module = graph.modules[name]
+        for edge in module.imports:
+            if edge.target not in graph.modules:
+                continue  # stdlib / external: TB005 covers the banned ones
+            status = policy.status_of(edge.target)
+            if status == "trusted":
+                continue
+            findings.append(_finding(
+                "TB001",
+                f"trusted module imports {edge.target} "
+                f"({status or 'not covered by the policy'})",
+                module, module.path, edge.line,
+            ))
+    return findings
+
+
+def _check_closure(
+    graph: ImportGraph, policy: TrustPolicy, trusted: Sequence[str]
+) -> List[TcbFinding]:
+    findings: List[TcbFinding] = []
+    advisory = {
+        name for name in graph.modules
+        if policy.status_of(name) == "advisory"
+    }
+    for name in trusted:
+        module = graph.modules[name]
+        closure = graph.transitive_imports(name)
+        for target in sorted(closure & policy.forbidden_for_trusted):
+            chain = graph.import_chain(name, target)
+            findings.append(_finding(
+                "TB002",
+                f"trusted module reaches {target} via "
+                f"{' -> '.join(chain)}",
+                module, module.path, _first_hop_line(graph, module, chain),
+            ))
+        for target in sorted(closure & advisory):
+            chain = graph.import_chain(name, target)
+            findings.append(_finding(
+                "TB003",
+                f"advisory module {target} is reachable from the kernel "
+                f"via {' -> '.join(chain)}",
+                module, module.path, _first_hop_line(graph, module, chain),
+            ))
+    return findings
+
+
+def _check_dynamic_code(
+    graph: ImportGraph, trusted: Sequence[str]
+) -> List[TcbFinding]:
+    findings: List[TcbFinding] = []
+    for name in trusted:
+        module = graph.modules[name]
+        for occurrence in module.dynamic_code:
+            findings.append(_finding(
+                "TB004",
+                f"dynamic code loading ({occurrence.kind}) in a trusted "
+                f"module",
+                module, module.path, occurrence.line,
+            ))
+    return findings
+
+
+def _check_nondeterminism(
+    graph: ImportGraph, trusted: Sequence[str]
+) -> List[TcbFinding]:
+    findings: List[TcbFinding] = []
+    for name in trusted:
+        module = graph.modules[name]
+        for use in module.nondet_uses:
+            findings.append(_finding(
+                "TB005",
+                f"nondeterminism source ({use.kind}) in a trusted module",
+                module, module.path, use.line,
+            ))
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# TB007: Trust: docstring lines ↔ policy
+# ---------------------------------------------------------------------------
+
+
+def _check_trust_lines(
+    graph: ImportGraph, policy: TrustPolicy
+) -> List[TcbFinding]:
+    findings: List[TcbFinding] = []
+    for name in sorted(graph.modules):
+        module = graph.modules[name]
+        expected = policy.status_of(name)
+        raw = parse_trust_line(module.docstring)
+        if expected is None:
+            findings.append(_finding(
+                "TB007",
+                "module is not covered by any policy rule",
+                module, module.path, module.docstring_line,
+            ))
+            continue
+        if raw is None:
+            findings.append(_finding(
+                "TB007",
+                f"module docstring carries no Trust: line (policy says "
+                f"{expected})",
+                module, module.path, module.docstring_line,
+            ))
+            continue
+        actual = normalize_status(raw)
+        if actual is None:
+            findings.append(_finding(
+                "TB007",
+                f"unparsable Trust: status {raw!r}",
+                module, module.path, module.docstring_line,
+            ))
+        elif actual != expected:
+            findings.append(_finding(
+                "TB007",
+                f"Trust: line says {actual} but the policy says "
+                f"{expected}",
+                module, module.path, module.docstring_line,
+            ))
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# TB008: TRUSTED_BASE.md inventory ↔ policy
+# ---------------------------------------------------------------------------
+
+#: A module token inside backticks, e.g. `repro.viper.ast`.  Single-segment
+#: tokens are allowed so the root package itself can be inventoried; ones
+#: that name no known package root (`var`, `accept`, …) cover nothing.
+_DOC_TOKEN_RE = re.compile(r"`(?P<name>[A-Za-z_][\w]*(?:\.[\w]+)*)`")
+
+#: Inventory section headings.  The match is on the heading's first word
+#: so "## Trusted (must be correct …)" classifies as trusted.
+_SECTION_STATUS = (
+    ("advisory", "advisory"),
+    ("untrusted", "untrusted-but-checked"),
+    ("trusted", "trusted"),
+)
+
+
+def _doc_sections(doc_text: str) -> List[Tuple[str, int, str]]:
+    """``(status, line, token)`` for every module token in an inventory
+    table row, tagged with its enclosing section's status."""
+    tokens: List[Tuple[str, int, str]] = []
+    status: Optional[str] = None
+    for number, line in enumerate(doc_text.splitlines(), start=1):
+        stripped = line.strip()
+        if stripped.startswith("#"):
+            heading = stripped.lstrip("#").strip().lower()
+            status = None
+            for keyword, section_status in _SECTION_STATUS:
+                if heading.startswith(keyword):
+                    status = section_status
+                    break
+            continue
+        if status is None or not stripped.startswith("|"):
+            continue
+        for match in _DOC_TOKEN_RE.finditer(stripped):
+            tokens.append((status, number, match.group("name")))
+    return tokens
+
+
+def _covering_token(
+    name: str, tokens: Sequence[Tuple[str, int, str]]
+) -> Optional[Tuple[str, int, str]]:
+    """The most specific doc token mentioning ``name`` (exact match or
+    package prefix), or ``None``."""
+    best: Optional[Tuple[str, int, str]] = None
+    for status, line, token in tokens:
+        if name == token or name.startswith(token + "."):
+            if best is None or len(token) > len(best[2]):
+                best = (status, line, token)
+    return best
+
+
+def _check_doc(
+    graph: ImportGraph, policy: TrustPolicy, doc_text: str, doc_path: Path
+) -> List[TcbFinding]:
+    findings: List[TcbFinding] = []
+    tokens = _doc_sections(doc_text)
+    known_roots = {name.split(".")[0] for name in graph.modules}
+    # Docs ↔ tree: every in-tree token must sit in the right section.
+    for status, line, token in tokens:
+        if token.split(".")[0] not in known_roots:
+            continue  # e.g. a stdlib or doc-only reference
+        if token not in graph.modules and not any(
+            name.startswith(token + ".") for name in graph.modules
+        ):
+            findings.append(_finding(
+                "TB008",
+                f"inventory lists {token}, which is not a module of the "
+                f"analyzed tree",
+                None, doc_path, line,
+            ))
+    # Tree ↔ docs: every module covered, under the right section.
+    for name in sorted(graph.modules):
+        expected = policy.status_of(name)
+        if expected is None:
+            continue  # TB007 already reports uncovered modules
+        covering = _covering_token(name, tokens)
+        if covering is None:
+            findings.append(_finding(
+                "TB008",
+                f"module {name} ({expected}) is not inventoried in "
+                f"{doc_path.name}",
+                graph.modules[name], doc_path, 1,
+            ))
+        elif covering[0] != expected:
+            findings.append(_finding(
+                "TB008",
+                f"module {name} is listed under the "
+                f"{covering[0]} section (token `{covering[2]}`) but the "
+                f"policy says {expected}",
+                graph.modules[name], doc_path, covering[1],
+            ))
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# Entry point
+# ---------------------------------------------------------------------------
+
+
+def run_checks(
+    graph: ImportGraph,
+    policy: TrustPolicy,
+    *,
+    doc_text: Optional[str] = None,
+    doc_path: Optional[Path] = None,
+) -> List[TcbFinding]:
+    """Run TB001–TB005, TB007, and (when a doc is supplied) TB008.
+
+    TB006 lives in :mod:`repro.tcb.report`: suppression hygiene can only
+    be judged after suppressions have been applied to these findings.
+    Results are ordered by path, then line, then code — stable for the
+    corpus tests' exact-match assertions."""
+    trusted = policy.modules_with_status(graph.modules, "trusted")
+    findings: List[TcbFinding] = []
+    findings += _check_import_containment(graph, policy, trusted)
+    findings += _check_closure(graph, policy, trusted)
+    findings += _check_dynamic_code(graph, trusted)
+    findings += _check_nondeterminism(graph, trusted)
+    findings += _check_trust_lines(graph, policy)
+    if doc_text is not None and doc_path is not None:
+        findings += _check_doc(graph, policy, doc_text, doc_path)
+    findings.sort(key=lambda f: (f.path, f.line, f.code, f.message))
+    return findings

@@ -1,0 +1,359 @@
+"""Module-level import graph over a Python source tree (stdlib ``ast``).
+
+Trust: **advisory** — the graph describes the reproduction's source for
+the TCB checker; nothing on a verdict path consults it.
+
+The graph is *static*: one node per module (a ``.py`` file; a package's
+``__init__.py`` is the node named by the package itself), one edge per
+explicit ``import``/``from`` statement, resolved against the analyzed
+tree.  ``from pkg import name`` resolves to the submodule ``pkg.name``
+when that is a module of the tree, else to ``pkg`` — mirroring what the
+statement actually binds.  Edges record the source line, whether the
+import is *lazy* (nested inside a function or class body rather than at
+module top level), and whether it is *dynamic*
+(``importlib.import_module("literal")``).
+
+Dynamic imports whose target is not a string literal cannot be resolved
+statically; they are recorded on the module as ``dynamic_code`` entries
+(alongside ``eval``/``exec``/``__import__`` calls) so the TB004 check
+can fail loudly instead of silently missing an edge.  The scan also
+records the nondeterminism observations TB005 consumes: imports of the
+policy's banned modules, ``os.environ`` / ``os.getenv`` access, and
+``time.*()`` calls appearing inside a branch condition.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, FrozenSet, Iterator, List, Optional, Set, Tuple
+
+
+@dataclass(frozen=True)
+class ImportEdge:
+    """One resolved import statement."""
+
+    target: str
+    line: int
+    lazy: bool = False
+    dynamic: bool = False
+
+
+@dataclass(frozen=True)
+class DynamicCode:
+    """One dynamic-code-loading occurrence (``eval``/``exec``/
+    ``__import__``/``importlib.import_module``)."""
+
+    kind: str
+    line: int
+
+
+@dataclass(frozen=True)
+class NondetUse:
+    """One nondeterminism observation for TB005.
+
+    ``kind`` is ``import:<module>`` (e.g. ``import:random``),
+    ``os.environ``, ``os.getenv``, or ``time-in-branch:<attr>``."""
+
+    kind: str
+    line: int
+
+
+@dataclass
+class Module:
+    """One analyzed module: name, source location, docstring metadata,
+    and everything the checks consume."""
+
+    name: str
+    path: Path
+    is_package: bool
+    docstring: Optional[str]
+    docstring_line: int
+    imports: List[ImportEdge] = field(default_factory=list)
+    dynamic_code: List[DynamicCode] = field(default_factory=list)
+    nondet_uses: List[NondetUse] = field(default_factory=list)
+
+    def import_targets(self) -> List[str]:
+        return [edge.target for edge in self.imports]
+
+
+class GraphError(Exception):
+    """A source file could not be parsed (exit code 2 territory)."""
+
+    def __init__(self, path: Path, message: str):
+        self.path = path
+        super().__init__(f"{path}: {message}")
+
+
+class ImportGraph:
+    """The import graph plus its closure queries."""
+
+    def __init__(self, modules: Dict[str, Module]):
+        self.modules = modules
+        self._closure: Dict[str, FrozenSet[str]] = {}
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.modules
+
+    def edges_of(self, name: str) -> List[ImportEdge]:
+        return self.modules[name].imports if name in self.modules else []
+
+    def direct_imports(self, name: str) -> FrozenSet[str]:
+        """In-tree modules this module explicitly imports."""
+        return frozenset(
+            e.target for e in self.edges_of(name) if e.target in self.modules
+        )
+
+    def transitive_imports(self, name: str) -> FrozenSet[str]:
+        """Every in-tree module reachable from ``name`` (excluding it,
+        unless it imports itself through a cycle)."""
+        if name in self._closure:
+            return self._closure[name]
+        seen: Set[str] = set()
+        stack = list(self.direct_imports(name))
+        while stack:
+            current = stack.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            stack.extend(self.direct_imports(current) - seen)
+        closure = frozenset(seen)
+        self._closure[name] = closure
+        return closure
+
+    def importers_of(self, name: str) -> FrozenSet[str]:
+        """Modules with a direct edge to ``name``."""
+        return frozenset(
+            mod for mod in self.modules
+            if name in self.direct_imports(mod)
+        )
+
+    def import_chain(self, source: str, target: str) -> List[str]:
+        """A shortest ``source → … → target`` module chain (BFS), or
+        ``[]`` when unreachable.  Used to render TB002/TB003 messages."""
+        if target in self.direct_imports(source):
+            return [source, target]
+        frontier = [[source]]
+        seen = {source}
+        while frontier:
+            next_frontier: List[List[str]] = []
+            for chain in frontier:
+                for succ in sorted(self.direct_imports(chain[-1])):
+                    if succ in seen:
+                        continue
+                    seen.add(succ)
+                    extended = chain + [succ]
+                    if succ == target:
+                        return extended
+                    next_frontier.append(extended)
+            frontier = next_frontier
+        return []
+
+
+# ---------------------------------------------------------------------------
+# Construction
+# ---------------------------------------------------------------------------
+
+
+def _module_name(src_root: Path, path: Path) -> str:
+    rel = path.relative_to(src_root)
+    parts = list(rel.parts)
+    if parts[-1] == "__init__.py":
+        parts = parts[:-1]
+    else:
+        parts[-1] = parts[-1][: -len(".py")]
+    return ".".join(parts)
+
+
+def discover_modules(src_root: Path) -> Iterator[Path]:
+    """Every ``.py`` file under ``src_root``, sorted for determinism."""
+    yield from sorted(src_root.rglob("*.py"))
+
+
+class _Scanner(ast.NodeVisitor):
+    """One pass over a module's AST collecting imports, dynamic code,
+    and nondeterminism observations."""
+
+    def __init__(self, module: Module, known: Set[str],
+                 nondet_modules: FrozenSet[str]):
+        self.module = module
+        self.known = known
+        self.nondet_modules = nondet_modules
+        self._depth = 0        # function/class nesting → lazy imports
+        self._branch_depth = 0  # inside an if/while/assert test expression
+
+    # -- helpers -----------------------------------------------------------
+
+    def _resolve_relative(self, node: ast.ImportFrom) -> Optional[str]:
+        base_parts = self.module.name.split(".")
+        if not self.module.is_package:
+            base_parts = base_parts[:-1]
+        # level 1 = the current package, each extra level one package up.
+        cut = len(base_parts) - (node.level - 1)
+        if cut < 0:
+            return None
+        base = base_parts[:cut]
+        if node.module:
+            base = base + node.module.split(".")
+        return ".".join(base) if base else None
+
+    def _add_edge(self, target: str, line: int, dynamic: bool = False) -> None:
+        self.module.imports.append(
+            ImportEdge(target=target, line=line, lazy=self._depth > 0,
+                       dynamic=dynamic)
+        )
+        root = target.split(".")[0]
+        if root in self.nondet_modules:
+            self.module.nondet_uses.append(
+                NondetUse(kind=f"import:{root}", line=line)
+            )
+
+    # -- imports -----------------------------------------------------------
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            self._add_edge(alias.name, node.lineno)
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.level:
+            base = self._resolve_relative(node)
+        else:
+            base = node.module
+        if base is not None:
+            for alias in node.names:
+                candidate = f"{base}.{alias.name}"
+                target = candidate if candidate in self.known else base
+                self._add_edge(target, node.lineno)
+        self.generic_visit(node)
+
+    # -- dynamic code ------------------------------------------------------
+
+    def visit_Call(self, node: ast.Call) -> None:
+        kind: Optional[str] = None
+        func = node.func
+        if isinstance(func, ast.Name) and func.id in ("eval", "exec",
+                                                      "__import__"):
+            kind = func.id
+        elif (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "importlib"
+            and func.attr in ("import_module", "__import__")
+        ):
+            kind = f"importlib.{func.attr}"
+        if kind is not None:
+            self.module.dynamic_code.append(
+                DynamicCode(kind=kind, line=node.lineno)
+            )
+            # A literal import_module target still yields a graph edge.
+            if kind == "importlib.import_module" and node.args:
+                head = node.args[0]
+                if isinstance(head, ast.Constant) and isinstance(head.value, str):
+                    self._add_edge(head.value, node.lineno, dynamic=True)
+        if self._branch_depth and isinstance(func, ast.Attribute):
+            value = func.value
+            if isinstance(value, ast.Name) and value.id == "time":
+                self.module.nondet_uses.append(
+                    NondetUse(kind=f"time-in-branch:{func.attr}",
+                              line=node.lineno)
+                )
+        if (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "os"
+            and func.attr == "getenv"
+        ):
+            self.module.nondet_uses.append(
+                NondetUse(kind="os.getenv", line=node.lineno)
+            )
+        self.generic_visit(node)
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        if (
+            isinstance(node.value, ast.Name)
+            and node.value.id == "os"
+            and node.attr == "environ"
+        ):
+            self.module.nondet_uses.append(
+                NondetUse(kind="os.environ", line=node.lineno)
+            )
+        self.generic_visit(node)
+
+    # -- scope / branch tracking ------------------------------------------
+
+    def _visit_scoped(self, node) -> None:
+        self._depth += 1
+        self.generic_visit(node)
+        self._depth -= 1
+
+    visit_FunctionDef = _visit_scoped
+    visit_AsyncFunctionDef = _visit_scoped
+    visit_ClassDef = _visit_scoped
+
+    def _visit_test(self, test: ast.expr) -> None:
+        self._branch_depth += 1
+        self.visit(test)
+        self._branch_depth -= 1
+
+    def visit_If(self, node: ast.If) -> None:
+        self._visit_test(node.test)
+        for child in node.body + node.orelse:
+            self.visit(child)
+
+    def visit_While(self, node: ast.While) -> None:
+        self._visit_test(node.test)
+        for child in node.body + node.orelse:
+            self.visit(child)
+
+    def visit_IfExp(self, node: ast.IfExp) -> None:
+        self._visit_test(node.test)
+        self.visit(node.body)
+        self.visit(node.orelse)
+
+    def visit_Assert(self, node: ast.Assert) -> None:
+        self._visit_test(node.test)
+        if node.msg is not None:
+            self.visit(node.msg)
+
+
+def build_graph(
+    src_root: Path,
+    *,
+    nondet_modules: FrozenSet[str] = frozenset({"random"}),
+) -> ImportGraph:
+    """Parse every module under ``src_root`` into an :class:`ImportGraph`.
+
+    Raises :class:`GraphError` on the first unparsable file — an
+    unanalyzable tree must fail loudly (exit code 2), not partially."""
+    src_root = Path(src_root)
+    paths = list(discover_modules(src_root))
+    names = {_module_name(src_root, p) for p in paths}
+    modules: Dict[str, Module] = {}
+    for path in paths:
+        name = _module_name(src_root, path)
+        try:
+            tree = ast.parse(path.read_text(), filename=str(path))
+        except SyntaxError as error:
+            raise GraphError(path, f"syntax error: {error.msg} "
+                                   f"(line {error.lineno})") from error
+        docstring = ast.get_docstring(tree)
+        docstring_line = 1
+        if (
+            tree.body
+            and isinstance(tree.body[0], ast.Expr)
+            and isinstance(tree.body[0].value, ast.Constant)
+            and isinstance(tree.body[0].value.value, str)
+        ):
+            docstring_line = tree.body[0].lineno
+        module = Module(
+            name=name,
+            path=path,
+            is_package=path.name == "__init__.py",
+            docstring=docstring,
+            docstring_line=docstring_line,
+        )
+        _Scanner(module, names, nondet_modules).visit(tree)
+        modules[name] = module
+    return ImportGraph(modules)

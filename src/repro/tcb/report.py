@@ -1,0 +1,269 @@
+"""Findings → results: suppression hygiene, exit codes, rendering.
+
+Trust: **advisory** — reporting plumbing for the TCB checker; nothing on
+a verdict path consults it.
+
+Suppression is comment-based and purely line-oriented, mirroring the
+``// lint:ignore`` scoping of :mod:`repro.analysis.report`: a marker
+suppresses only findings reported *on its own line*, and only the listed
+check codes.  Unlike ``lint:ignore``, a bare marker is not allowed —
+every exemption names its code(s) **and carries a reason**::
+
+    from ..frontend.translator import TranslationResult  # tcb: allow[TB001] type-only: no translator code runs while checking
+
+A marker without a reason is itself a TB006 finding (and suppresses
+nothing); a well-formed marker that matches no finding is *stale* and
+also a TB006 finding — exemptions must be deleted when the code they
+excused goes away.  TB006 findings are never suppressible: a suppression
+that could silence the suppression checker would be unconditional.
+
+Exit codes mirror ``repro lint``: 0 = boundary holds, 1 = findings,
+2 = the tree could not be analyzed at all.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .checks import TB_CHECKS, TcbFinding, run_checks
+from .importgraph import GraphError, ImportGraph, build_graph
+from .policy import DEFAULT_POLICY, TrustPolicy
+
+#: ``tcb: allow[TB001] reason`` after a hash (codes comma-separated; the
+#: reason is everything after the closing bracket).
+_ALLOW_RE = re.compile(
+    r"#\s*tcb:\s*allow\[(?P<codes>[A-Z0-9, \t]*)\]\s*(?P<reason>.*)$"
+)
+
+
+@dataclass
+class Suppression:
+    """One ``# tcb: allow[...]`` marker found in an analyzed file."""
+
+    path: str
+    line: int
+    codes: Tuple[str, ...]
+    reason: str
+    matched: bool = False
+
+    @property
+    def well_formed(self) -> bool:
+        return bool(self.codes) and bool(self.reason.strip())
+
+    def to_dict(self) -> dict:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "codes": list(self.codes),
+            "reason": self.reason,
+        }
+
+
+def scan_suppressions(path: Path, text: Optional[str] = None) -> List[Suppression]:
+    """Every ``tcb: allow`` marker in one source file.
+
+    Only real ``#`` comment tokens count — a marker quoted inside a
+    docstring (this module documents the syntax, after all) is prose,
+    not an exemption."""
+    if text is None:
+        text = path.read_text()
+    result: List[Suppression] = []
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(text).readline)
+        comments = [
+            (token.start[0], token.string)
+            for token in tokens
+            if token.type == tokenize.COMMENT
+        ]
+    except (tokenize.TokenError, SyntaxError):  # pragma: no cover - build_graph
+        return []                               # already rejected the file
+    for number, comment in comments:
+        match = _ALLOW_RE.search(comment)
+        if match is None:
+            continue
+        codes = tuple(
+            code.strip().upper()
+            for code in match.group("codes").split(",")
+            if code.strip()
+        )
+        result.append(Suppression(
+            path=str(path),
+            line=number,
+            codes=codes,
+            reason=match.group("reason").strip(),
+        ))
+    return result
+
+
+def apply_suppressions(
+    findings: Sequence[TcbFinding],
+    suppressions: Sequence[Suppression],
+) -> Tuple[List[TcbFinding], List[TcbFinding], int]:
+    """Apply markers and judge their hygiene.
+
+    Returns ``(kept, hygiene_findings, suppressed_count)``.  A finding
+    is suppressed when a *well-formed* marker on the same file and line
+    lists its code; TB006 findings are exempt by construction (they are
+    produced here, after matching)."""
+    index: Dict[Tuple[str, int], List[Suppression]] = {}
+    for suppression in suppressions:
+        index.setdefault((suppression.path, suppression.line), []).append(
+            suppression
+        )
+    kept: List[TcbFinding] = []
+    suppressed = 0
+    for finding in findings:
+        matching = [
+            s for s in index.get((finding.path, finding.line), [])
+            if s.well_formed and finding.code in s.codes
+        ]
+        if matching:
+            for s in matching:
+                s.matched = True
+            suppressed += 1
+            continue
+        kept.append(finding)
+    hygiene: List[TcbFinding] = []
+    for suppression in suppressions:
+        if not suppression.well_formed:
+            what = ("no check code" if not suppression.codes
+                    else "no reason")
+            hygiene.append(TcbFinding(
+                code="TB006",
+                message=f"tcb: allow marker carries {what} — every "
+                        f"exemption must name its code and justify "
+                        f"itself",
+                severity=TB_CHECKS["TB006"].severity,
+                path=suppression.path,
+                line=suppression.line,
+            ))
+        elif not suppression.matched:
+            hygiene.append(TcbFinding(
+                code="TB006",
+                message=f"stale suppression: tcb: allow"
+                        f"[{', '.join(suppression.codes)}] matches no "
+                        f"finding on this line — delete it",
+                severity=TB_CHECKS["TB006"].severity,
+                path=suppression.path,
+                line=suppression.line,
+            ))
+    return kept, hygiene, suppressed
+
+
+@dataclass
+class TcbResult:
+    """The outcome of checking one source tree.
+
+    ``findings`` are post-suppression (including TB006 hygiene
+    findings); ``suppressed`` counts exemptions that fired; ``error`` is
+    set when the tree could not be analyzed (exit code 2)."""
+
+    findings: List[TcbFinding] = field(default_factory=list)
+    suppressions: List[Suppression] = field(default_factory=list)
+    suppressed: int = 0
+    modules_checked: int = 0
+    error: Optional[str] = None
+
+    @property
+    def exit_code(self) -> int:
+        if self.error is not None:
+            return 2
+        return 1 if self.findings else 0
+
+    def to_dict(self) -> dict:
+        payload: dict = {
+            "findings": [f.to_dict() for f in self.findings],
+            "suppressed": self.suppressed,
+            "suppressions": [
+                s.to_dict() for s in self.suppressions if s.matched
+            ],
+            "modules_checked": self.modules_checked,
+            "exit_code": self.exit_code,
+        }
+        if self.error is not None:
+            payload["error"] = self.error
+        return payload
+
+    def render(self) -> str:
+        if self.error is not None:
+            return f"tcb: {self.error}"
+        lines = [finding.render() for finding in self.findings]
+        noun = "finding" if len(self.findings) == 1 else "findings"
+        tail = f", {self.suppressed} suppressed" if self.suppressed else ""
+        lines.append(
+            f"{len(self.findings)} {noun} across {self.modules_checked} "
+            f"modules{tail}"
+        )
+        return "\n".join(lines)
+
+
+def default_src_root() -> Path:
+    """The source tree containing the installed ``repro`` package —
+    ``repro tcb check`` analyzes its own source by default, so the
+    command works from any working directory (including the docs-exec
+    sandbox)."""
+    import repro
+
+    return Path(repro.__file__).resolve().parent.parent
+
+
+def default_doc_path(src_root: Optional[Path] = None) -> Optional[Path]:
+    """``docs/TRUSTED_BASE.md`` of the checkout owning ``src_root``, or
+    ``None`` when this is an installed package without docs (TB008 is
+    then skipped)."""
+    root = Path(src_root) if src_root is not None else default_src_root()
+    candidate = root.parent / "docs" / "TRUSTED_BASE.md"
+    return candidate if candidate.is_file() else None
+
+
+def check_tree(
+    src_root: Optional[Path] = None,
+    *,
+    policy: Optional[TrustPolicy] = None,
+    doc_path: Optional[Path] = None,
+    use_default_doc: bool = True,
+) -> TcbResult:
+    """Analyze a source tree against a trust policy.
+
+    Defaults analyze the installed ``repro`` package against
+    :data:`~repro.tcb.policy.DEFAULT_POLICY` and the checkout's
+    TRUSTED_BASE.md.  Pass an explicit ``doc_path`` (or
+    ``use_default_doc=False``) to override."""
+    root = Path(src_root) if src_root is not None else default_src_root()
+    active_policy = policy if policy is not None else DEFAULT_POLICY
+    if doc_path is None and use_default_doc:
+        doc_path = default_doc_path(root)
+    if not root.is_dir():
+        return TcbResult(error=f"source root {root} is not a directory")
+    try:
+        graph = build_graph(root, nondet_modules=active_policy.nondet_modules)
+    except GraphError as error:
+        return TcbResult(error=str(error))
+    if not graph.modules:
+        return TcbResult(error=f"no Python modules under {root}")
+    doc_text: Optional[str] = None
+    if doc_path is not None:
+        doc_path = Path(doc_path)
+        if not doc_path.is_file():
+            return TcbResult(error=f"inventory document {doc_path} not found")
+        doc_text = doc_path.read_text()
+    findings = run_checks(
+        graph, active_policy, doc_text=doc_text, doc_path=doc_path
+    )
+    suppressions: List[Suppression] = []
+    for name in sorted(graph.modules):
+        suppressions.extend(scan_suppressions(graph.modules[name].path))
+    kept, hygiene, suppressed = apply_suppressions(findings, suppressions)
+    kept.extend(hygiene)
+    kept.sort(key=lambda f: (f.path, f.line, f.code, f.message))
+    return TcbResult(
+        findings=kept,
+        suppressions=suppressions,
+        suppressed=suppressed,
+        modules_checked=len(graph.modules),
+    )

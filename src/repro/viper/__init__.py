@@ -1,5 +1,8 @@
 """The Viper language substrate: AST, parser, type checker, semantics.
 
+Trust: **untrusted-but-checked** — package hub re-exporting both trusted
+semantics and untrusted pretty-printing.
+
 This package formalises (executably) the Viper subset of Fig. 1 of the
 paper, with the big-step semantics of Sec. 2.3 / App. A.
 """

@@ -1,5 +1,7 @@
 """``x := new(f₁, …, fₖ)`` — allocation, desugared into the core subset.
 
+Trust: **trusted** — models 'new' in the source semantics.
+
 The paper's evaluation included files using Viper's allocation primitive
 "by manually desugaring the allocation primitive into our subset"
 (Sec. 5).  This module automates that desugaring:

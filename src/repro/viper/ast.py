@@ -1,5 +1,8 @@
 """Abstract syntax of the formalised Viper subset (Fig. 1 of the paper).
 
+Trust: **trusted** — the kernel's definition of the source language's
+syntax; every judgement is stated over these nodes.
+
 The subset comprises:
 
 * expressions ``e ::= x | lit | e.f | e bop e | uop(e)`` (plus conditional

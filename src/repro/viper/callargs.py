@@ -1,5 +1,8 @@
 """Hoisting of non-variable call arguments.
 
+Trust: **trusted** — call-site argument evaluation order is semantics, not
+convenience.
+
 The supported translation requires every call argument to be a variable;
 the paper's evaluation "made sure that each argument to a method call is a
 variable (e.g. we rewrote m(i+1) to var t := i+1; m(t))" — by hand.  This

@@ -1,4 +1,8 @@
-"""Type synthesis for Viper expressions (shared by front-end and passes)."""
+"""Type synthesis for Viper expressions (shared by front-end and passes).
+
+Trust: **trusted** — expression typing feeds the kernel's correspondence
+checks.
+"""
 
 from __future__ import annotations
 

@@ -1,4 +1,8 @@
-"""Lexer for the Viper subset's concrete syntax."""
+"""Lexer for the Viper subset's concrete syntax.
+
+Trust: **trusted** — feeds the parser that fixes what Viper program the
+theorem is about.
+"""
 
 from __future__ import annotations
 

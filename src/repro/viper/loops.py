@@ -1,5 +1,8 @@
 """While loops, desugared via their invariant (Sec. 2.1 of the paper).
 
+Trust: **trusted** — loop havoc and invariant framing are part of the
+source semantics.
+
 The paper's subset omits loops but notes that "their semantics can be
 desugared via their invariant, in a pattern similar to method calls".
 This module implements exactly that as a Viper-to-Viper pass, so the

@@ -1,5 +1,8 @@
 """``old(e)`` expressions, desugared into ghost arguments.
 
+Trust: **trusted** — old-expression snapshotting is part of the source
+semantics.
+
 The paper's evaluation had to *manually remove* assertions containing
 old-expressions from benchmark files because its subset does not support
 them (Sec. 5).  This module supports them instead, by a method-modular

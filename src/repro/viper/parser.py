@@ -1,5 +1,8 @@
 """Recursive-descent parser for the Viper subset (Fig. 1).
 
+Trust: **trusted** — fixes which Viper program the final theorem talks
+about; a parser bug changes the theorem statement itself.
+
 Grammar (assertion positions treat ``&&`` as the separating conjunction, as
 in Viper's surface syntax; ``*`` inside expressions is multiplication):
 

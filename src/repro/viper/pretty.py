@@ -1,5 +1,8 @@
 """Pretty-printer for the Viper subset.
 
+Trust: **untrusted-but-checked** — rendering for messages and round-trip
+tests; never consulted by a judgement.
+
 ``pretty_program(parse_program(text))`` round-trips modulo whitespace; the
 test suite checks ``parse(pretty(ast)) == ast`` for generated ASTs, which is
 the invariant the harness relies on when it counts source lines.

@@ -1,5 +1,8 @@
 """Big-step operational semantics for the Viper subset (Sec. 2.3, App. A).
 
+Trust: **trusted** — the executable source semantics; it *defines* what
+Viper correctness means here.
+
 Execution outcomes mirror the paper exactly:
 
 * ``Failure`` (F) — a verification failure: an ill-defined expression was

@@ -1,5 +1,8 @@
 """The Viper state model (Sec. 2.3).
 
+Trust: **trusted** — the state model the source semantics and the
+simulation relations are stated over.
+
 A Viper state comprises
 
 * a local variable *store* mapping variable names to values,

@@ -1,5 +1,8 @@
 """Type checker and scope checker for the Viper subset.
 
+Trust: **trusted** — well-typedness is a hypothesis of the simulation
+rules; accepting an ill-typed program voids the theorem.
+
 Checks, per method:
 
 * expressions are well-typed (``Int``/``Bool``/``Ref``/``Perm``),

@@ -1,5 +1,7 @@
 """Value and permission domain shared by the Viper semantics.
 
+Trust: **trusted** — the value domain of the source semantics.
+
 Viper values in the formalised subset are integers, booleans, references
 (including ``null``), and permission amounts.  Permission amounts are exact
 rationals (``fractions.Fraction``); the semantics never uses floating point,

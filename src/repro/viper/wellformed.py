@@ -1,5 +1,8 @@
 """Bounded semantic checks: method correctness and spec well-formedness.
 
+Trust: **trusted** — well-definedness checking is part of the source
+semantics (Sec. 2.1); a miss here weakens the theorem.
+
 The paper's correctness definition for a Viper method (Fig. 9, bottom)
 quantifies over *all* initial states with an empty permission mask; spec
 well-formedness (the C1 component of Fig. 10) asks that inhaling the

@@ -1,0 +1,4 @@
+"""Fixture application root.
+
+Trust: **untrusted** — re-export hub.
+"""

@@ -1,0 +1,6 @@
+"""Content-addressed cache: the machinery no trusted module may reach.
+
+Trust: **untrusted** — stores artifact text only.
+"""
+
+STORE = {}

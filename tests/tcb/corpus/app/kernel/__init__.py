@@ -1,0 +1,4 @@
+"""The kernel package.
+
+Trust: **trusted** — the checker itself.
+"""

@@ -1,0 +1,6 @@
+"""Composition layer: only *transitive* violations (through store).
+
+Trust: **trusted** — chains judgements.
+"""
+
+from . import store

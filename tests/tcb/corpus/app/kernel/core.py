@@ -1,0 +1,18 @@
+"""Kernel core, seeded with TB001/TB004/TB005 violations.
+
+Trust: **trusted** — judges certificates.
+"""
+
+import os
+import random
+import time
+
+from ..tactic import make_guess
+
+
+def judge(text):
+    if time.monotonic() > 100.0:
+        return False
+    if os.getenv("APP_MODE") == "lenient":
+        return False
+    return eval(text) and make_guess() and random.random()

@@ -1,0 +1,7 @@
+"""Kernel-side storage shim, seeded with direct boundary crossings.
+
+Trust: **trusted** — storage definitions.
+"""
+
+from ..cache import STORE
+from ..metrics import COUNTERS  # tcb: allow[TB001] read-only counters feed error messages, never a judgement

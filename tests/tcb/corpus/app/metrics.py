@@ -1,0 +1,6 @@
+"""Observability counters.
+
+Trust: **advisory** — observes; no verdict consults it.
+"""
+
+COUNTERS = {}

@@ -1,0 +1,4 @@
+"""A module whose docstring disagrees with the policy.
+
+Trust: **trusted** — (wrong: the policy says untrusted-but-checked).
+"""

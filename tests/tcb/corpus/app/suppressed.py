@@ -1,0 +1,8 @@
+"""Suppression-hygiene fixtures: one malformed marker, one stale marker.
+
+Trust: **untrusted** — orchestration.
+"""
+
+from .tactic import make_guess  # tcb: allow[TB001]
+
+VALUE = make_guess()  # tcb: allow[TB002] stale: nothing is reported on this line

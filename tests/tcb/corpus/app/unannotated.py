@@ -1,0 +1,1 @@
+"""A module with no trust annotation at all."""

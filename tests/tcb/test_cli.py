@@ -1,0 +1,69 @@
+"""The `repro tcb check` command: exit codes, JSON shape, --list-checks."""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.cli import main
+from repro.tcb import ALL_TCB_CHECK_IDS
+
+REPO = pathlib.Path(__file__).resolve().parents[2]
+CORPUS = pathlib.Path(__file__).parent / "corpus"
+
+
+def test_check_real_tree_exits_zero(capsys):
+    assert main(["tcb", "check"]) == 0
+    out = capsys.readouterr().out
+    assert "0 findings" in out
+
+
+def test_check_json_shape(capsys):
+    assert main(["tcb", "check", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["findings"] == []
+    assert payload["exit_code"] == 0
+    assert payload["modules_checked"] >= 90
+    assert payload["suppressed"] == 3
+    assert len(payload["suppressions"]) == 3
+
+
+def test_check_explicit_root_and_doc_flags(capsys):
+    code = main([
+        "tcb", "check",
+        "--root", str(REPO / "src"),
+        "--doc", str(REPO / "docs" / "TRUSTED_BASE.md"),
+    ])
+    assert code == 0
+
+
+def test_check_corpus_exits_one_with_rendered_findings(capsys):
+    code = main(["tcb", "check", "--root", str(CORPUS), "--no-doc"])
+    assert code == 1
+    out = capsys.readouterr().out
+    assert "TB001" in out and "error" in out
+    assert "app/kernel/core.py" in out
+
+
+def test_check_unreadable_root_exits_two(tmp_path, capsys):
+    assert main(["tcb", "check", "--root", str(tmp_path / "nope")]) == 2
+
+
+def test_missing_doc_exits_two(tmp_path, capsys):
+    code = main([
+        "tcb", "check", "--root", str(CORPUS),
+        "--doc", str(tmp_path / "missing.md"),
+    ])
+    assert code == 2
+
+
+def test_list_checks_prints_the_catalog(capsys):
+    assert main(["tcb", "check", "--list-checks"]) == 0
+    out = capsys.readouterr().out
+    for code in ALL_TCB_CHECK_IDS:
+        assert code in out
+
+
+def test_tcb_requires_a_subcommand():
+    with pytest.raises(SystemExit):
+        main(["tcb"])

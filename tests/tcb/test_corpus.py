@@ -1,0 +1,110 @@
+"""The seeded-violation corpus: every TB check demonstrated exactly.
+
+``tests/tcb/corpus/`` holds a small fixture package (``app``) whose
+boundary violations are deliberate, plus a drifted inventory document.
+The checker must report *exactly* the expected findings — same check
+code, same file, same line, nothing else — which pins both detection
+and precision for each of TB001–TB008 (the tcb analog of
+``tests/analysis/test_corpus.py``).
+"""
+
+import pathlib
+
+from repro.tcb import (
+    ALL_TCB_CHECK_IDS,
+    PolicyRule,
+    TB_CHECKS,
+    TrustPolicy,
+    check_tree,
+)
+
+CORPUS = pathlib.Path(__file__).parent / "corpus"
+
+CORPUS_POLICY = TrustPolicy(
+    rules=(
+        PolicyRule("app", "untrusted-but-checked"),
+        PolicyRule("app.*", "untrusted-but-checked"),
+        PolicyRule("app.kernel", "trusted"),
+        PolicyRule("app.kernel.*", "trusted"),
+        PolicyRule("app.metrics", "advisory"),
+    ),
+    forbidden_for_trusted=frozenset({"app.cache"}),
+)
+
+#: (code, path relative to the corpus, line) — the complete expected
+#: output, in the checker's sorted order.
+EXPECTED = [
+    ("TB008", "TRUSTED_BASE.md", 8),     # app.ghost is not a module
+    ("TB008", "TRUSTED_BASE.md", 9),     # app.cache filed under trusted
+    ("TB008", "TRUSTED_BASE.md", 15),    # app.metrics covered by `app` (untrusted)
+    ("TB002", "app/kernel/chain.py", 6),  # reaches app.cache via store
+    ("TB003", "app/kernel/chain.py", 6),  # reaches app.metrics via store
+    ("TB005", "app/kernel/core.py", 7),   # import random
+    ("TB001", "app/kernel/core.py", 10),  # imports the untrusted tactic
+    ("TB005", "app/kernel/core.py", 14),  # time.monotonic() in a branch
+    ("TB005", "app/kernel/core.py", 16),  # os.getenv
+    ("TB004", "app/kernel/core.py", 18),  # eval
+    ("TB001", "app/kernel/store.py", 6),  # direct import of app.cache
+    ("TB002", "app/kernel/store.py", 6),  # ... which is also forbidden machinery
+    ("TB003", "app/kernel/store.py", 7),  # advisory metrics import (TB001 there
+                                          # is suppressed; TB003 is not covered
+                                          # by the marker's code list)
+    ("TB007", "app/mislabeled.py", 1),    # docstring says trusted, policy differs
+    ("TB006", "app/suppressed.py", 6),    # marker without a reason
+    ("TB006", "app/suppressed.py", 8),    # well-formed but stale marker
+    ("TB007", "app/unannotated.py", 1),   # no Trust: line at all
+]
+
+
+def _run():
+    return check_tree(
+        CORPUS, policy=CORPUS_POLICY, doc_path=CORPUS / "TRUSTED_BASE.md"
+    )
+
+
+def test_corpus_reports_exactly_the_seeded_violations():
+    result = _run()
+    assert result.error is None
+    actual = [
+        (f.code, str(pathlib.Path(f.path).relative_to(CORPUS)), f.line)
+        for f in result.findings
+    ]
+    assert actual == EXPECTED, "\n".join(f.render() for f in result.findings)
+    assert result.exit_code == 1
+
+
+def test_corpus_covers_every_tb_check_id():
+    covered = {code for code, _, _ in EXPECTED}
+    assert covered == set(ALL_TCB_CHECK_IDS), (
+        f"corpus misses checks: {sorted(set(ALL_TCB_CHECK_IDS) - covered)}"
+    )
+
+
+def test_corpus_severities_match_catalog():
+    for finding in _run().findings:
+        assert finding.severity == TB_CHECKS[finding.code].severity
+
+
+def test_the_one_well_formed_matching_suppression_fires():
+    """store.py's metrics import carries ``tcb: allow[TB001] reason`` —
+    that TB001 (and only it) must be suppressed."""
+    result = _run()
+    assert result.suppressed == 1
+    # The suppressed edge is still followed transitively: chain.py's TB003
+    # through the very same import survives.
+    assert ("TB003", 6) in [
+        (f.code, f.line)
+        for f in result.findings
+        if f.path.endswith("chain.py")
+    ]
+
+
+def test_transitive_findings_render_the_import_chain():
+    result = _run()
+    chain_msgs = [
+        f.message for f in result.findings
+        if f.code == "TB002" and f.path.endswith("chain.py")
+    ]
+    assert chain_msgs and (
+        "app.kernel.chain -> app.kernel.store -> app.cache" in chain_msgs[0]
+    )

@@ -1,0 +1,137 @@
+"""Unit tests for the import-graph builder: name resolution, relative
+imports, lazy/dynamic flags, and transitive queries.
+"""
+
+import textwrap
+
+import pytest
+
+from repro.tcb.importgraph import GraphError, build_graph
+
+
+def _tree(tmp_path, files):
+    for rel, source in files.items():
+        path = tmp_path / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source))
+    return build_graph(tmp_path)
+
+
+def test_discovers_packages_and_modules(tmp_path):
+    graph = _tree(tmp_path, {
+        "pkg/__init__.py": '"""P."""\n',
+        "pkg/a.py": '"""A."""\n',
+        "pkg/sub/__init__.py": '"""S."""\n',
+        "pkg/sub/b.py": '"""B."""\n',
+    })
+    assert set(graph.modules) == {"pkg", "pkg.a", "pkg.sub", "pkg.sub.b"}
+    assert graph.modules["pkg"].is_package
+    assert not graph.modules["pkg.a"].is_package
+
+
+def test_from_import_resolves_to_submodule_when_one_exists(tmp_path):
+    graph = _tree(tmp_path, {
+        "pkg/__init__.py": "",
+        "pkg/a.py": "from pkg import b\nfrom pkg import NAME\n",
+        "pkg/b.py": "NAME = 1\n",
+    })
+    targets = graph.direct_imports("pkg.a")
+    # `from pkg import b` is an edge to pkg.b; `from pkg import NAME`
+    # falls back to the package itself.
+    assert targets == {"pkg", "pkg.b"}
+
+
+def test_relative_import_level_arithmetic(tmp_path):
+    graph = _tree(tmp_path, {
+        "pkg/__init__.py": "",
+        "pkg/util.py": "",
+        "pkg/sub/__init__.py": "",
+        "pkg/sub/mod.py": "from ..util import x\nfrom . import peer\n",
+        "pkg/sub/peer.py": "",
+    })
+    assert graph.direct_imports("pkg.sub.mod") == {"pkg.util", "pkg.sub.peer"}
+
+
+def test_lazy_imports_are_edges_with_the_flag(tmp_path):
+    graph = _tree(tmp_path, {
+        "pkg/__init__.py": "",
+        "pkg/a.py": "def f():\n    from pkg import b\n    return b\n",
+        "pkg/b.py": "",
+    })
+    module = graph.modules["pkg.a"]
+    assert [e.target for e in module.imports] == ["pkg.b"]
+    assert module.imports[0].lazy
+
+
+def test_dynamic_import_with_literal_is_an_edge_and_flagged(tmp_path):
+    graph = _tree(tmp_path, {
+        "pkg/__init__.py": "",
+        "pkg/a.py": (
+            "import importlib\n"
+            "b = importlib.import_module('pkg.b')\n"
+        ),
+        "pkg/b.py": "",
+    })
+    module = graph.modules["pkg.a"]
+    assert "pkg.b" in {e.target for e in module.imports}
+    assert any(e.dynamic for e in module.imports)
+    assert any(d.kind == "importlib.import_module" for d in module.dynamic_code)
+
+
+def test_transitive_closure_and_chain(tmp_path):
+    graph = _tree(tmp_path, {
+        "pkg/__init__.py": "",
+        "pkg/a.py": "from pkg import b\n",
+        "pkg/b.py": "from pkg import c\n",
+        "pkg/c.py": "",
+    })
+    assert "pkg.c" in graph.transitive_imports("pkg.a")
+    assert graph.import_chain("pkg.a", "pkg.c") == ["pkg.a", "pkg.b", "pkg.c"]
+    assert graph.import_chain("pkg.c", "pkg.a") == []
+
+
+def test_importers_of(tmp_path):
+    graph = _tree(tmp_path, {
+        "pkg/__init__.py": "",
+        "pkg/a.py": "from pkg import c\n",
+        "pkg/b.py": "from pkg import c\n",
+        "pkg/c.py": "",
+    })
+    assert graph.importers_of("pkg.c") == {"pkg.a", "pkg.b"}
+
+
+def test_out_of_tree_imports_are_ignored(tmp_path):
+    graph = _tree(tmp_path, {
+        "pkg/__init__.py": "",
+        "pkg/a.py": "import json\nimport os.path\nfrom pkg import b\n",
+        "pkg/b.py": "",
+    })
+    assert graph.direct_imports("pkg.a") == {"pkg.b"}
+
+
+def test_nondeterminism_uses_are_recorded(tmp_path):
+    graph = _tree(tmp_path, {
+        "pkg/__init__.py": "",
+        "pkg/a.py": (
+            "import os\n"
+            "import random\n"
+            "import time\n"
+            "def f():\n"
+            "    t0 = time.perf_counter()   # measuring: not recorded\n"
+            "    if time.monotonic() > 9:\n"
+            "        return os.environ['X']\n"
+            "    return random.random() and os.getenv('Y') and t0\n"
+        ),
+    }, )
+    kinds = {u.kind for u in graph.modules["pkg.a"].nondet_uses}
+    assert kinds == {
+        "import:random", "time-in-branch:monotonic", "os.environ", "os.getenv",
+    }
+
+
+def test_syntax_error_is_a_graph_error(tmp_path):
+    (tmp_path / "pkg").mkdir()
+    (tmp_path / "pkg" / "__init__.py").write_text("")
+    (tmp_path / "pkg" / "bad.py").write_text("def f(:\n")
+    with pytest.raises(GraphError):
+        build_graph(tmp_path)

@@ -1,0 +1,84 @@
+"""Unit tests for the trust policy: pattern matching, specificity, the
+docstring `Trust:` line parser, and the status alias."""
+
+import pytest
+
+from repro.tcb.policy import (
+    DEFAULT_POLICY,
+    PolicyRule,
+    TrustPolicy,
+    normalize_status,
+    parse_trust_line,
+)
+
+
+def test_exact_beats_wildcard():
+    policy = TrustPolicy(rules=(
+        PolicyRule("a.*", "trusted"),
+        PolicyRule("a.b", "advisory"),
+    ))
+    assert policy.status_of("a.b") == "advisory"
+    assert policy.status_of("a.c") == "trusted"
+
+
+def test_deeper_wildcard_beats_shallower():
+    policy = TrustPolicy(rules=(
+        PolicyRule("a.*", "untrusted-but-checked"),
+        PolicyRule("a.b.*", "trusted"),
+    ))
+    assert policy.status_of("a.b.c") == "trusted"
+    assert policy.status_of("a.x") == "untrusted-but-checked"
+
+
+def test_wildcard_covers_strict_descendants_only():
+    policy = TrustPolicy(rules=(PolicyRule("a.*", "trusted"),))
+    assert policy.status_of("a.b") == "trusted"
+    assert policy.status_of("a") is None
+
+
+def test_bad_status_rejected_at_construction():
+    with pytest.raises(ValueError):
+        PolicyRule("a", "semi-trusted")
+
+
+def test_unmatched_and_dead_patterns():
+    policy = TrustPolicy(rules=(
+        PolicyRule("a", "trusted"),
+        PolicyRule("ghost.*", "advisory"),
+    ))
+    assert policy.unmatched(["a", "b"]) == ["b"]
+    assert policy.dead_patterns(["a", "b"]) == ["ghost.*"]
+
+
+def test_trust_line_parsing_and_alias():
+    doc = "Summary line.\n\nTrust: **untrusted** infrastructure — scheduling.\n"
+    assert parse_trust_line(doc) == "untrusted"
+    assert normalize_status("untrusted") == "untrusted-but-checked"
+    assert normalize_status("trusted") == "trusted"
+    assert normalize_status("load-bearing") is None
+    assert parse_trust_line("no annotation") is None
+    assert parse_trust_line(None) is None
+
+
+def test_default_policy_statuses_spot_checks():
+    spot = {
+        "repro.certification.checker": "trusted",
+        "repro.certification.tactic": "untrusted-but-checked",
+        "repro.certification.oracle": "advisory",
+        "repro.frontend.translator": "untrusted-but-checked",
+        "repro.frontend.records": "trusted",
+        "repro.viper.pretty": "untrusted-but-checked",
+        "repro.viper.semantics": "trusted",
+        "repro.tcb.checks": "advisory",
+        "repro.pipeline.cache": "untrusted-but-checked",
+    }
+    for module, status in spot.items():
+        assert DEFAULT_POLICY.status_of(module) == status, module
+
+
+def test_default_policy_forbids_the_cache_modules():
+    assert DEFAULT_POLICY.forbidden_for_trusted == {
+        "repro.pipeline.cache",
+        "repro.pipeline.units",
+        "repro.service.diskcache",
+    }

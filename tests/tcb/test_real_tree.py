@@ -1,0 +1,115 @@
+"""The boundary holds on the real source tree — and breaking it fails.
+
+The first test is the enforcement point: `python -m pytest` fails on a
+trust-boundary violation in `src/repro` even without the CI `tcb-check`
+job.  The remaining tests check the checker's teeth by mutating a copy
+of the tree: adding a forbidden import to a kernel module, or deleting
+a `Trust:` line, must produce findings.
+"""
+
+import pathlib
+import shutil
+
+from repro.tcb import (
+    DEFAULT_POLICY,
+    check_tree,
+    default_doc_path,
+    default_src_root,
+)
+
+DOC = pathlib.Path(__file__).resolve().parents[2] / "docs" / "TRUSTED_BASE.md"
+
+
+def test_real_tree_is_clean():
+    result = check_tree(doc_path=DOC)
+    assert result.error is None
+    assert result.findings == [], "\n".join(f.render() for f in result.findings)
+    assert result.exit_code == 0
+    assert result.modules_checked >= 90
+
+
+def test_every_deliberate_exemption_is_in_force():
+    """The suppressions that fire are a closed, documented list — a new
+    boundary crossing cannot hide behind an existing marker."""
+    result = check_tree(doc_path=DOC)
+    fired = sorted(
+        (pathlib.Path(s.path).name, s.codes)
+        for s in result.suppressions if s.matched
+    )
+    assert fired == [
+        ("choice.py", ("TB005",)),
+        ("cursor.py", ("TB001",)),
+        ("theorem.py", ("TB001",)),
+    ]
+
+
+def test_default_paths_resolve():
+    root = default_src_root()
+    assert (root / "repro" / "__init__.py").is_file()
+    assert default_doc_path(root) == DOC
+
+
+def _copy_tree(tmp_path):
+    target = tmp_path / "src"
+    shutil.copytree(default_src_root(), target)
+    return target
+
+
+def test_forbidden_import_in_a_kernel_module_is_caught(tmp_path):
+    root = _copy_tree(tmp_path)
+    checker = root / "repro" / "certification" / "checker.py"
+    checker.write_text(
+        checker.read_text()
+        + "\nfrom ..pipeline.cache import ArtifactCache  # seeded violation\n"
+    )
+    result = check_tree(root, use_default_doc=False)
+    codes = {
+        f.code for f in result.findings if f.path.endswith("checker.py")
+    }
+    # Direct edge to an untrusted module, and a road to the cache.
+    assert {"TB001", "TB002"} <= codes
+    assert result.exit_code == 1
+
+
+def test_deleting_a_trust_line_is_caught(tmp_path):
+    root = _copy_tree(tmp_path)
+    parser = root / "repro" / "viper" / "parser.py"
+    text = parser.read_text()
+    assert "Trust:" in text
+    start = text.index("Trust:")
+    end = text.index("\n\n", start)
+    parser.write_text(text[:start] + text[end:].lstrip("\n"))
+    result = check_tree(root, use_default_doc=False)
+    assert any(
+        f.code == "TB007" and f.path.endswith("parser.py")
+        for f in result.findings
+    )
+
+
+def test_doc_drift_is_caught(tmp_path):
+    """Moving a module to the wrong inventory section fails TB008."""
+    doc = tmp_path / "TRUSTED_BASE.md"
+    text = DOC.read_text()
+    assert "`repro.certification.theorem`" in text
+    doc.write_text(
+        text.replace(
+            "`repro.certification.theorem`", "`repro.certification.nonesuch`"
+        )
+    )
+    result = check_tree(doc_path=doc)
+    codes = {f.code for f in result.findings}
+    assert codes == {"TB008"}
+    # Both directions: a ghost token, and the no-longer-covered trusted
+    # module falls back to the untrusted `repro.certification` hub token.
+    messages = " ".join(f.message for f in result.findings)
+    assert "repro.certification.nonesuch" in messages
+    assert "repro.certification.theorem" in messages
+
+
+def test_policy_has_no_dead_patterns_and_no_gaps():
+    from repro.tcb import build_graph
+
+    graph = build_graph(default_src_root())
+    names = list(graph.modules)
+    assert DEFAULT_POLICY.unmatched(names) == []
+    assert DEFAULT_POLICY.dead_patterns(names) == []

@@ -1,0 +1,128 @@
+"""Suppression hygiene: `tcb: allow` must justify itself, must match,
+and must scope exactly like `// lint:ignore` in `repro.analysis.report`
+— to the listed codes, on its own line, nothing wider.
+"""
+
+import pathlib
+import textwrap
+
+from repro.tcb.checks import TcbFinding
+from repro.tcb.report import Suppression, apply_suppressions, scan_suppressions
+
+
+def _scan(tmp_path, source):
+    path = tmp_path / "mod.py"
+    path.write_text(textwrap.dedent(source))
+    return path, scan_suppressions(path)
+
+
+def _finding(code, path, line):
+    return TcbFinding(
+        code=code, message="seeded", severity="error",
+        path=str(path), line=line,
+    )
+
+
+# ---------------------------------------------------------------------------
+# scanning
+# ---------------------------------------------------------------------------
+
+
+def test_marker_parses_codes_and_reason(tmp_path):
+    _, found = _scan(
+        tmp_path, 'X = 1  # tcb: allow[TB001, TB003] crossing is type-only\n'
+    )
+    assert len(found) == 1
+    assert found[0].codes == ("TB001", "TB003")
+    assert found[0].reason == "crossing is type-only"
+    assert found[0].well_formed
+
+
+def test_marker_without_reason_is_not_well_formed(tmp_path):
+    _, found = _scan(tmp_path, "X = 1  # tcb: allow[TB001]\n")
+    assert len(found) == 1
+    assert not found[0].well_formed
+
+
+def test_marker_without_codes_is_not_well_formed(tmp_path):
+    _, found = _scan(tmp_path, "X = 1  # tcb: allow[] because reasons\n")
+    assert len(found) == 1
+    assert not found[0].well_formed
+
+
+def test_markers_inside_docstrings_are_prose_not_exemptions(tmp_path):
+    """The tcb package documents its own syntax; quoting the marker in a
+    docstring (or any string literal) must not create a suppression."""
+    _, found = _scan(tmp_path, '''
+        """Docs: write ``# tcb: allow[TB001] reason`` on the import line."""
+        TEXT = "# tcb: allow[TB002] also just a string"
+        ''')
+    assert found == []
+
+
+# ---------------------------------------------------------------------------
+# application & hygiene (mirrors `// lint:ignore` scoping)
+# ---------------------------------------------------------------------------
+
+
+def test_well_formed_marker_suppresses_listed_code_on_its_line(tmp_path):
+    path, found = _scan(tmp_path, "X = 1  # tcb: allow[TB001] justified\n")
+    findings = [_finding("TB001", path, 1)]
+    kept, hygiene, suppressed = apply_suppressions(findings, found)
+    assert kept == [] and hygiene == [] and suppressed == 1
+
+
+def test_marker_does_not_suppress_other_lines(tmp_path):
+    path, found = _scan(
+        tmp_path, "X = 1  # tcb: allow[TB001] justified\nY = 2\n"
+    )
+    findings = [_finding("TB001", path, 2)]
+    kept, hygiene, suppressed = apply_suppressions(findings, found)
+    assert kept == findings and suppressed == 0
+    assert [f.code for f in hygiene] == ["TB006"]  # the marker went stale
+
+
+def test_marker_does_not_suppress_unlisted_codes(tmp_path):
+    path, found = _scan(tmp_path, "X = 1  # tcb: allow[TB001] justified\n")
+    findings = [_finding("TB001", path, 1), _finding("TB003", path, 1)]
+    kept, hygiene, suppressed = apply_suppressions(findings, found)
+    assert [f.code for f in kept] == ["TB003"]
+    assert suppressed == 1 and hygiene == []
+
+
+def test_malformed_marker_suppresses_nothing_and_is_a_finding(tmp_path):
+    path, found = _scan(tmp_path, "X = 1  # tcb: allow[TB001]\n")
+    findings = [_finding("TB001", path, 1)]
+    kept, hygiene, suppressed = apply_suppressions(findings, found)
+    assert kept == findings and suppressed == 0
+    assert [f.code for f in hygiene] == ["TB006"]
+    assert "no reason" in hygiene[0].message
+
+
+def test_stale_marker_is_reported_with_its_position(tmp_path):
+    path, found = _scan(
+        tmp_path, "X = 1\nY = 2  # tcb: allow[TB004] stale but polite\n"
+    )
+    kept, hygiene, _ = apply_suppressions([], found)
+    assert kept == []
+    assert [(f.code, f.line) for f in hygiene] == [("TB006", 2)]
+    assert "stale" in hygiene[0].message
+
+
+def test_tb006_is_never_suppressible():
+    """A marker listing TB006 cannot silence the hygiene checker: TB006
+    findings are produced *after* matching, so they never hit a marker."""
+    marker = Suppression(path="m.py", line=1, codes=("TB006",), reason="try me")
+    kept, hygiene, suppressed = apply_suppressions([], [marker])
+    assert suppressed == 0
+    assert [f.code for f in hygiene] == ["TB006"]  # it only made itself stale
+
+
+def test_one_line_two_markers_both_tracked(tmp_path):
+    path, found = _scan(
+        tmp_path,
+        "X = 1  # tcb: allow[TB001] first\nY = 2  # tcb: allow[TB002] second\n",
+    )
+    findings = [_finding("TB001", path, 1), _finding("TB002", path, 2)]
+    kept, hygiene, suppressed = apply_suppressions(findings, found)
+    assert kept == [] and hygiene == [] and suppressed == 2
