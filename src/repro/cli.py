@@ -298,8 +298,162 @@ def cmd_rules(args: argparse.Namespace) -> int:
     return 0
 
 
+def _bench_reports(
+    suite: Optional[str],
+    limit: Optional[int],
+    samples: int,
+    jobs: Optional[int],
+    names=None,
+) -> list:
+    """Run the harness ``samples`` times; one ``bench_report`` dict per run.
+
+    ``names`` (a set of ``(suite, name)`` pairs) restricts the run to the
+    files a baseline actually covered, so ``bench diff`` without CURRENT
+    re-measures exactly what it will compare.
+    """
+    from .harness import bench_report, full_corpus, run_files, suite_files
+
+    corpus = {suite: suite_files(suite)} if suite else full_corpus()
+    selected = {}
+    for suite_name, files in corpus.items():
+        if names is not None:
+            files = [f for f in files if (suite_name, f.name) in names]
+        if limit is not None:
+            files = files[: max(limit, 0)]
+        if files:
+            selected[suite_name] = files
+    if not selected:
+        return []
+    reports = []
+    for _ in range(max(samples, 1)):
+        per_suite = {
+            suite_name: run_files(files, jobs=jobs)
+            for suite_name, files in selected.items()
+        }
+        reports.append(bench_report(per_suite, jobs=jobs))
+    return reports
+
+
+def cmd_bench_record(args: argparse.Namespace) -> int:
+    """`bench record`: append baseline sample(s) to the history store."""
+    from .perf import DEFAULT_HISTORY_FILE, append_record, make_record
+
+    reports = _bench_reports(args.suite, args.limit, args.samples, args.jobs)
+    if not reports or not any(r.get("suites") for r in reports):
+        print("bench record: no corpus files selected", file=sys.stderr)
+        return 2
+    path = args.out or DEFAULT_HISTORY_FILE
+    for report in reports:
+        append_record(path, make_record(report, label=args.label))
+    files = sum(
+        len(payload["files"])
+        for payload in reports[0]["suites"].values()
+    )
+    print(
+        f"recorded {len(reports)} sample(s) of {files} file(s) to {path}"
+        + (f" (label {args.label!r})" if args.label else "")
+    )
+    return 0
+
+
+def cmd_bench_diff(args: argparse.Namespace) -> int:
+    """`bench diff`: statistically compare against a recorded baseline.
+
+    Exit codes mirror ``lint``/``tcb check``: 0 = no regression, 1 =
+    regression(s), 2 = nothing comparable / unreadable history.
+    """
+    from .perf import (
+        CompareConfig,
+        HistoryError,
+        attribution_from_diff,
+        compare_reports,
+        environment_fingerprint,
+        file_records,
+        read_history,
+    )
+
+    if not args.base:
+        print("bench diff: BASE history file required", file=sys.stderr)
+        return 2
+    try:
+        base_records = read_history(args.base)
+        if args.label:
+            base_records = [r for r in base_records if r.label == args.label]
+            if not base_records:
+                raise HistoryError(
+                    f"{args.base}: no records with label {args.label!r}"
+                )
+        if args.current:
+            current_records = read_history(args.current)
+        else:
+            current_records = None
+    except (OSError, HistoryError) as error:
+        print(f"bench diff: {error}", file=sys.stderr)
+        return 2
+    base_reports = [r.report for r in base_records]
+    base_fp = base_records[-1].fingerprint
+    if current_records is not None:
+        current_reports = [r.report for r in current_records]
+        current_fp = current_records[-1].fingerprint
+    else:
+        # Re-run exactly the files the baseline covered, live.
+        covered = set(file_records(base_reports, suite=args.suite))
+        current_reports = _bench_reports(
+            args.suite, args.limit, args.samples, args.jobs, names=covered
+        )
+        current_fp = environment_fingerprint()
+    config = CompareConfig(
+        noise_floor=args.noise_floor,
+        min_seconds=args.min_seconds,
+        bootstrap=args.bootstrap,
+        confidence=args.confidence,
+        calibrate=args.calibrate,
+        seed=args.seed,
+    )
+    diff = compare_reports(
+        base_reports,
+        current_reports,
+        config,
+        suite=args.suite,
+        base_fingerprint=base_fp,
+        current_fingerprint=current_fp,
+    )
+    base_rows = file_records(base_reports, suite=args.suite)
+    current_rows = file_records(current_reports, suite=args.suite)
+    for file_diff in diff.regressions:
+        key = (file_diff.suite, file_diff.name)
+        diff.attributions.append(
+            attribution_from_diff(
+                file_diff, base_rows.get(key, []), current_rows.get(key, [])
+            )
+        )
+    if args.json is not None:
+        payload = json.dumps(diff.to_dict(), indent=2)
+        if args.json == "-":
+            print(payload)
+        else:
+            with open(args.json, "w", encoding="utf-8") as handle:
+                handle.write(payload + "\n")
+            print(f"wrote {args.json}")
+        return diff.exit_code
+    print(diff.render())
+    for attribution in diff.attributions:
+        print()
+        print(
+            f"attribution {attribution['suite']}/{attribution['name']} "
+            f"(guilty: {', '.join(attribution['guilty_stages'])}):"
+        )
+        for line in attribution["flame_diff"]:
+            print(f"  {line}")
+    return diff.exit_code
+
+
 def cmd_bench(args: argparse.Namespace) -> int:
-    """`bench`: run the harness (optionally in parallel), dump JSON/corpus."""
+    """`bench`: run the harness (optionally in parallel), dump JSON/corpus.
+
+    ``bench record`` / ``bench diff`` dispatch to the performance
+    observatory (:mod:`repro.perf`).
+    """
     from .harness import (
         dump_corpus,
         full_corpus,
@@ -310,26 +464,69 @@ def cmd_bench(args: argparse.Namespace) -> int:
         suite_files,
     )
 
+    if args.target == "record":
+        return cmd_bench_record(args)
+    if args.target == "diff":
+        return cmd_bench_diff(args)
     if args.dump:
         count = dump_corpus(args.dump)
         print(f"wrote {count} corpus files under {args.dump}")
         return 0
     jobs = args.jobs
-    if args.suite:
-        per_suite = {args.suite: run_files(suite_files(args.suite), jobs=jobs)}
-        print(render_detail_table(per_suite[args.suite], f"{args.suite} suite"))
+
+    def limited(files):
+        return files[: max(args.limit, 0)] if args.limit is not None else files
+
+    if args.target:
+        per_suite = {
+            args.target: run_files(limited(suite_files(args.target)), jobs=jobs)
+        }
+        print(render_detail_table(per_suite[args.target], f"{args.target} suite"))
     else:
         per_suite = {
-            suite: run_files(files, jobs=jobs)
+            suite: run_files(limited(files), jobs=jobs)
             for suite, files in full_corpus().items()
         }
         print(render_table1(per_suite))
-    if args.json:
+    if args.json is not None:
         payload = render_bench_json(per_suite, jobs=jobs)
-        with open(args.json, "w", encoding="utf-8") as handle:
-            handle.write(payload + "\n")
-        print(f"wrote {args.json}")
+        if args.json == "-":
+            print(payload)
+        else:
+            with open(args.json, "w", encoding="utf-8") as handle:
+                handle.write(payload + "\n")
+            print(f"wrote {args.json}")
     return 0
+
+
+def cmd_perf(args: argparse.Namespace) -> int:
+    """`perf profile`: one pipeline run under cProfile, hotspots first."""
+    from .perf import profile_source, render_profile
+
+    if args.perf_command == "profile":
+        try:
+            source = _read_source(args.file)
+        except OSError as error:
+            print(f"perf profile: {error}", file=sys.stderr)
+            return 2
+        profile = profile_source(
+            source,
+            upto=args.upto,
+            top=args.top,
+            analyze=not args.no_analyze,
+        )
+        if args.json is not None:
+            payload = json.dumps(profile, indent=2)
+            if args.json == "-":
+                print(payload)
+            else:
+                with open(args.json, "w", encoding="utf-8") as handle:
+                    handle.write(payload + "\n")
+                print(f"wrote {args.json}")
+        else:
+            print(render_profile(profile))
+        return 0
+    raise AssertionError(f"unknown perf command {args.perf_command!r}")
 
 
 def cmd_fuzz(args: argparse.Namespace) -> int:
@@ -385,20 +582,31 @@ def cmd_serve(args: argparse.Namespace) -> int:
         trace_sample=args.trace_sample,
         trace_rate=args.trace_rate,
         trace_seed=args.trace_seed,
+        perf_baseline=args.perf_baseline,
+        perf_window=args.perf_window,
     )
     return run_server(config)
 
 
 def cmd_trace(args: argparse.Namespace) -> int:
     """`trace summarize`: aggregate table + flame tree from trace files."""
-    from .trace import read_many, render_summary
+    from .trace import read_many, render_summary, summary_to_dict
 
     try:
         spans = read_many(args.files)
     except (OSError, ValueError, json.JSONDecodeError) as error:
         print(f"trace: {error}", file=sys.stderr)
         return 2
-    print(render_summary(spans))
+    if getattr(args, "json", None) is not None:
+        payload = json.dumps(summary_to_dict(spans), indent=2)
+        if args.json == "-":
+            print(payload)
+        else:
+            with open(args.json, "w", encoding="utf-8") as handle:
+                handle.write(payload + "\n")
+            print(f"wrote {args.json}")
+    else:
+        print(render_summary(spans))
     return 0 if spans else 1
 
 
@@ -595,18 +803,68 @@ def build_parser() -> argparse.ArgumentParser:
     verify = sub.add_parser("verify", help="bounded back-end verification")
     verify.add_argument("file")
     sub.add_parser("rules", help="list the kernel's proof rules")
-    bench = sub.add_parser("bench", help="run the evaluation harness")
-    bench.add_argument("suite", nargs="?",
-                       choices=["Viper", "Gobra", "VerCors", "MPP"])
+    bench = sub.add_parser(
+        "bench",
+        help="run the evaluation harness (or 'record'/'diff' its history)",
+    )
+    bench.add_argument("target", nargs="?", metavar="TARGET",
+                       choices=["Viper", "Gobra", "VerCors", "MPP",
+                                "record", "diff"],
+                       help="a suite to run, or 'record' (append a baseline "
+                            "to the history store) / 'diff' (compare against "
+                            "a recorded baseline)")
+    bench.add_argument("base", nargs="?", metavar="BASE",
+                       help="(diff) the baseline history JSONL")
+    bench.add_argument("current", nargs="?", metavar="CURRENT",
+                       help="(diff) a current history JSONL; omitted = "
+                            "re-run the baseline's files live")
     bench.add_argument("--dump", metavar="DIR",
                        help="write the corpus .vpr files to DIR instead of "
                             "running the pipeline")
     bench.add_argument("--jobs", "-j", type=int, default=None, metavar="N",
                        help="fan out over N worker processes (0 = one per "
                             "CPU; default: serial)")
-    bench.add_argument("--json", metavar="PATH",
-                       help="also write machine-readable per-file/per-suite "
-                            "metrics to PATH")
+    bench.add_argument("--json", nargs="?", const="-", metavar="PATH",
+                       help="also write machine-readable output to PATH "
+                            "('-' or no value = stdout)")
+    bench.add_argument("--suite", choices=["Viper", "Gobra", "VerCors", "MPP"],
+                       help="(record/diff) restrict to one suite")
+    bench.add_argument("--limit", type=int, default=None, metavar="N",
+                       help="only the first N files per suite (a fast CI "
+                            "subset; applies to plain runs too)")
+    bench.add_argument("--samples", type=int, default=1, metavar="N",
+                       help="(record/diff) repeat the harness N times — "
+                            "each run is one sample for the bootstrap "
+                            "comparator (default: 1)")
+    bench.add_argument("--label", default="", metavar="NAME",
+                       help="(record/diff) label the recorded samples / "
+                            "select baseline samples by label")
+    bench.add_argument("--out", metavar="PATH",
+                       help="(record) the history file to append to "
+                            "(default: benchmarks/results/history/"
+                            "history.jsonl)")
+    bench.add_argument("--noise-floor", type=float, default=0.5, metavar="F",
+                       help="(diff) page only when the whole confidence "
+                            "interval sits above 1+F (default: 0.5, i.e. "
+                            "a provable 1.5× median ratio)")
+    bench.add_argument("--min-seconds", type=float, default=0.005,
+                       metavar="S",
+                       help="(diff) skip (file, stage) pairs whose medians "
+                            "are both under S — sub-noise-quantum timings "
+                            "carry no signal (default: 0.005)")
+    bench.add_argument("--bootstrap", type=int, default=400, metavar="B",
+                       help="(diff) bootstrap resamples per comparison "
+                            "(default: 400)")
+    bench.add_argument("--confidence", type=float, default=0.95, metavar="C",
+                       help="(diff) central CI mass (default: 0.95)")
+    bench.add_argument("--calibrate", choices=["auto", "on", "off"],
+                       default="auto",
+                       help="(diff) cross-machine calibration by the median "
+                            "stage ratio: auto = when environment "
+                            "fingerprints differ (default: auto)")
+    bench.add_argument("--seed", type=int, default=0, metavar="N",
+                       help="(diff) root seed of the deterministic "
+                            "bootstrap (default: 0)")
     fuzz = sub.add_parser("fuzz",
                           help="adversarially fuzz the certification kernel")
     fuzz.add_argument("--seed", type=int, default=0, metavar="N",
@@ -677,6 +935,13 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--trace-seed", type=int, default=0, metavar="N",
                        help="salt for the deterministic trace sampler "
                             "(default: 0)")
+    serve.add_argument("--perf-baseline", metavar="PATH",
+                       help="a bench history JSONL ('repro bench record' "
+                            "output); enables GET /v1/perf drift ratios and "
+                            "the repro_stage_seconds_baseline_ratio gauges")
+    serve.add_argument("--perf-window", type=int, default=256, metavar="N",
+                       help="per-request stage timings kept in the rolling "
+                            "perf window (default: 256)")
     loadgen = sub.add_parser("loadgen",
                              help="replay the corpus against a running server")
     loadgen.add_argument("--host", default="127.0.0.1")
@@ -786,6 +1051,32 @@ def build_parser() -> argparse.ArgumentParser:
         help="Chrome-trace or JSONL span files (certify --trace output, "
              "or *.trace.json files from serve --trace-dir)",
     )
+    trace_summarize.add_argument(
+        "--json", nargs="?", const="-", metavar="PATH",
+        help="emit the summary (stats table + flame tree) as JSON to "
+             "stdout, or write it to PATH",
+    )
+    perf = sub.add_parser(
+        "perf",
+        help="performance observatory: deterministic pipeline profiling",
+    )
+    perf_sub = perf.add_subparsers(dest="perf_command", required=True)
+    perf_profile = perf_sub.add_parser(
+        "profile",
+        help="run one file through the pipeline under cProfile and "
+             "report per-stage seconds plus the top-N hotspots",
+    )
+    perf_profile.add_argument("file", help="the Viper source to profile")
+    perf_profile.add_argument("--upto", default="check", metavar="STAGE",
+                              help="run the pipeline through this stage "
+                                   "(default: check)")
+    perf_profile.add_argument("--top", type=int, default=20, metavar="N",
+                              help="hotspots to report (default: 20)")
+    perf_profile.add_argument("--no-analyze", action="store_true",
+                              help="skip the advisory static-analysis stage")
+    perf_profile.add_argument("--json", nargs="?", const="-", metavar="PATH",
+                              help="emit the profile as JSON to stdout, or "
+                                   "write it to PATH")
     tcb = sub.add_parser(
         "tcb",
         help="machine-check the trust boundary over repro's own source",
@@ -876,6 +1167,7 @@ def main(argv: Optional[list] = None) -> int:
         "loadgen": cmd_loadgen,
         "cluster": cmd_cluster,
         "trace": cmd_trace,
+        "perf": cmd_perf,
         "tcb": cmd_tcb,
     }
     previous_sigterm = None

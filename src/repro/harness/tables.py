@@ -6,8 +6,6 @@ Trust: **advisory** — renders evaluation results as tables.
 from __future__ import annotations
 
 import json
-import platform
-import sys
 from typing import Dict, List, Optional, Sequence
 
 from .runner import FileMetrics, SuiteMetrics, aggregate, aggregate_overall
@@ -152,7 +150,7 @@ def bench_report(
     Shape::
 
         {
-          "meta":    {"python": ..., "platform": ..., "jobs": ...},
+          "meta":    {environment fingerprint..., "jobs": ...},
           "suites":  {suite: {"files": [per-file dicts],
                               "aggregate": {Table-1 row}}},
           "overall": {Table-1 Overall row},
@@ -168,12 +166,14 @@ def bench_report(
             "files": [m.to_dict() for m in metrics],
             "aggregate": aggregate(suite, metrics).to_dict(),
         }
+    from ..perf.history import environment_fingerprint
+
     return {
-        "meta": {
-            "python": sys.version.split()[0],
-            "platform": platform.platform(),
-            "jobs": jobs,
-        },
+        # The full environment fingerprint (repro version, python,
+        # platform, cpu count, git describe) — the observatory's history
+        # records need it, and the original "python"/"platform" keys keep
+        # their exact old semantics for existing readers.
+        "meta": {**environment_fingerprint(), "jobs": jobs},
         "suites": suites,
         "overall": aggregate_overall(per_suite).to_dict(),
         "blowup_factor": blowup_factor(per_suite),

@@ -1,0 +1,95 @@
+"""The performance regression observatory over the pipeline's instrumentation.
+
+Trust: **advisory** — performance evidence; no verdict path ever consults
+it (docs/TRUSTED_BASE.md).  A corrupted baseline or a wrong comparison
+can page an operator, never the kernel.
+
+The paper reports wall-clock blowup tables (Tab. 1) and its predecessor
+on validating Boogie's VC generation leans on per-phase timing
+breakdowns; both treat performance evidence as a first-class artifact.
+This package gives the reproduction a memory of its own performance:
+
+* :mod:`repro.perf.history` — an append-only JSONL baseline store under
+  ``benchmarks/results/history/``: each record is one ``bench --json``
+  document plus an environment fingerprint and a content digest
+  (``repro bench record``);
+* :mod:`repro.perf.compare` — the statistical comparator behind
+  ``repro bench diff``: per-file, per-stage bootstrap confidence
+  intervals on the median ratio, with a noise floor and cross-machine
+  calibration so a cold CI runner does not page on jitter;
+* :mod:`repro.perf.attribute` — when a file regresses, names the guilty
+  stage(s), renders a side-by-side flame-tree diff (reusing the
+  :mod:`repro.trace.summarize` tree), and wires deterministic
+  ``cProfile`` capture around one pipeline run (``repro perf profile``);
+* :mod:`repro.perf.window` — the serving tie-in: a rolling window of
+  per-request stage timings behind ``GET /v1/perf`` and the
+  ``repro_stage_seconds_baseline_ratio`` gauges.
+"""
+
+from .attribute import (  # noqa: F401
+    attribution_from_diff,
+    flame_diff_lines,
+    profile_source,
+    render_profile,
+    representative_record,
+    spans_from_file_record,
+)
+from .compare import (  # noqa: F401
+    CompareConfig,
+    DiffReport,
+    FileDiff,
+    StageDelta,
+    STAGE_FIELDS,
+    bootstrap_ratio_ci,
+    compare_reports,
+    file_records,
+)
+from .history import (  # noqa: F401
+    DEFAULT_HISTORY_DIR,
+    DEFAULT_HISTORY_FILE,
+    HistoryError,
+    HistoryRecord,
+    append_record,
+    environment_fingerprint,
+    latest_record,
+    make_record,
+    read_history,
+    report_digest,
+)
+from .window import (  # noqa: F401
+    RollingStageWindow,
+    baseline_stage_medians,
+    load_baseline,
+    stage_medians_from_report,
+)
+
+__all__ = [
+    "CompareConfig",
+    "DEFAULT_HISTORY_DIR",
+    "DEFAULT_HISTORY_FILE",
+    "DiffReport",
+    "FileDiff",
+    "HistoryError",
+    "HistoryRecord",
+    "RollingStageWindow",
+    "STAGE_FIELDS",
+    "StageDelta",
+    "append_record",
+    "attribution_from_diff",
+    "baseline_stage_medians",
+    "bootstrap_ratio_ci",
+    "compare_reports",
+    "environment_fingerprint",
+    "file_records",
+    "flame_diff_lines",
+    "latest_record",
+    "load_baseline",
+    "make_record",
+    "profile_source",
+    "read_history",
+    "render_profile",
+    "report_digest",
+    "representative_record",
+    "spans_from_file_record",
+    "stage_medians_from_report",
+]

@@ -1,0 +1,335 @@
+"""Stage-level attribution: *which stage* made a file slow, shown as a flame diff.
+
+Trust: **advisory** — explains a regression to a human; no verdict path
+consults it (docs/TRUSTED_BASE.md).
+
+The comparator (:mod:`repro.perf.compare`) says *that* a file regressed
+and in which aggregate stage; this module turns that verdict into an
+explanation:
+
+* :func:`spans_from_file_record` rebuilds a deterministic span tree from
+  one ``bench --json`` file row — the pipeline root, one child per
+  aggregate stage, and one grandchild per method unit (from the unit
+  cache summary) — so the regular :mod:`repro.trace.summarize` flame
+  machinery renders it;
+* :func:`flame_diff_lines` walks the baseline and current trees in
+  lockstep and prints them side by side with per-node ratios;
+* :func:`attribution_from_diff` packages the guilty stages, the
+  per-method deltas, and the flame diff into one JSON-able payload;
+* :func:`profile_source` wires ``cProfile`` around a single in-process
+  pipeline run with deterministically ordered top-N hotspots
+  (``repro perf profile``).
+"""
+
+from __future__ import annotations
+
+import cProfile
+import hashlib
+import io
+import pstats
+import statistics
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..trace.spans import Span
+from ..trace.summarize import flame_tree
+from .compare import STAGE_FIELDS, FileDiff
+
+#: Where a unit-cache stage books in the aggregate per-file stages.
+_UNIT_STAGE_PARENT = {
+    "translate": "translate",
+    "generate": "generate",
+    "render": "generate",
+    "reparse": "check",
+    "check": "check",
+    "analyze": "analyze",
+}
+
+
+def _span_id(trace_id: str, path: str) -> str:
+    """A deterministic 16-hex span id — same row, same tree, every run."""
+    return hashlib.sha256(f"{trace_id}:{path}".encode()).hexdigest()[:16]
+
+
+def representative_record(rows: Sequence[Mapping[str, object]]) -> Dict[str, object]:
+    """The sample row closest to the median total — the one worth rendering."""
+    if not rows:
+        raise ValueError("no sample rows to choose a representative from")
+    totals = [float(r.get("total_seconds") or 0.0) for r in rows]
+    target = statistics.median(totals)
+    best = min(range(len(rows)), key=lambda i: abs(totals[i] - target))
+    return dict(rows[best])
+
+
+def spans_from_file_record(
+    row: Mapping[str, object], *, trace_id: str = "0" * 31 + "1"
+) -> List[Span]:
+    """A synthetic, deterministic span tree for one bench file row.
+
+    Root = the whole pipeline run (``total_seconds``); children = the
+    aggregate stages of :data:`~repro.perf.compare.STAGE_FIELDS`
+    (``total`` excluded); grandchildren = the per-method unit timings
+    from the row's unit-cache summary, parented under the stage they ran
+    in.  Span ids are content-derived so two renders of the same row are
+    identical — a requirement for diffing the trees line by line.
+    """
+    name = str(row.get("name", "?"))
+    root = Span(
+        name="pipeline",
+        trace_id=trace_id,
+        span_id=_span_id(trace_id, "pipeline"),
+        start_unix=0.0,
+        duration=float(row.get("total_seconds") or 0.0),
+        attributes={"file": name, "suite": str(row.get("suite", ""))},
+    )
+    spans = [root]
+    stage_ids: Dict[str, str] = {}
+    offset = 0.0
+    for position, (stage, fld) in enumerate(STAGE_FIELDS):
+        if stage == "total":
+            continue
+        seconds = row.get(fld)
+        if not isinstance(seconds, (int, float)):
+            continue
+        span_id = _span_id(trace_id, f"stage:{stage}")
+        stage_ids[stage] = span_id
+        spans.append(
+            Span(
+                name=stage,
+                trace_id=trace_id,
+                span_id=span_id,
+                parent_id=root.span_id,
+                start_unix=offset + position * 1e-9,
+                duration=float(seconds),
+            )
+        )
+        offset += float(seconds)
+    unit_cache = row.get("unit_cache")
+    methods = (unit_cache or {}).get("methods") if isinstance(unit_cache, dict) else None
+    for method, entry in sorted((methods or {}).items()):
+        for unit_stage, timing in sorted((entry.get("stages") or {}).items()):
+            parent_stage = _UNIT_STAGE_PARENT.get(unit_stage)
+            parent = stage_ids.get(parent_stage) if parent_stage else None
+            if parent is None:
+                continue
+            spans.append(
+                Span(
+                    name=f"unit:{method}",
+                    trace_id=trace_id,
+                    span_id=_span_id(trace_id, f"unit:{unit_stage}:{method}"),
+                    parent_id=parent,
+                    start_unix=offset,
+                    duration=float(timing.get("seconds") or 0.0),
+                    attributes={
+                        "method": method,
+                        "tier": str(timing.get("tier", "")),
+                        "cache": "hit" if timing.get("reused") else "miss",
+                    },
+                )
+            )
+    return spans
+
+
+def _tree_for_row(row: Mapping[str, object]) -> Dict[str, Any]:
+    spans = spans_from_file_record(row)
+    return flame_tree(spans, spans[0])
+
+
+def _index_children(node: Mapping[str, Any]) -> Dict[str, Mapping[str, Any]]:
+    return {child["name"]: child for child in node.get("children", ())}
+
+
+def flame_diff_lines(
+    base_row: Mapping[str, object],
+    current_row: Mapping[str, object],
+    *,
+    indent: str = "  ",
+) -> List[str]:
+    """The two flame trees of one file, walked in lockstep, side by side.
+
+    Every node present in either tree gets a line: base ms, current ms,
+    and the ratio (``-`` when a side is missing).  Node order follows the
+    current tree, with baseline-only nodes appended at their depth.
+    """
+    base_tree = _tree_for_row(base_row)
+    current_tree = _tree_for_row(current_row)
+    header = f"{'span':<30} {'base ms':>10} {'curr ms':>10} {'ratio':>7}"
+    lines = [header, "-" * len(header)]
+
+    def fmt(value: Optional[float]) -> str:
+        return f"{value * 1000:>10.3f}" if value is not None else f"{'-':>10}"
+
+    def walk(
+        base_node: Optional[Mapping[str, Any]],
+        current_node: Optional[Mapping[str, Any]],
+        depth: int,
+    ) -> None:
+        name = (current_node or base_node or {}).get("name", "?")
+        base_ms = base_node.get("duration") if base_node else None
+        cur_ms = current_node.get("duration") if current_node else None
+        if base_ms and cur_ms is not None:
+            ratio = f"{cur_ms / base_ms:>7.2f}" if base_ms > 0 else f"{'inf':>7}"
+        else:
+            ratio = f"{'-':>7}"
+        label = f"{indent * depth}{name}"
+        lines.append(f"{label:<30} {fmt(base_ms)} {fmt(cur_ms)} {ratio}")
+        base_children = _index_children(base_node) if base_node else {}
+        current_children = _index_children(current_node) if current_node else {}
+        for child_name, child in current_children.items():
+            walk(base_children.get(child_name), child, depth + 1)
+        for child_name, child in base_children.items():
+            if child_name not in current_children:
+                walk(child, None, depth + 1)
+
+    walk(base_tree, current_tree, 0)
+    return lines
+
+
+def _method_deltas(
+    base_row: Mapping[str, object], current_row: Mapping[str, object]
+) -> List[Dict[str, object]]:
+    """Per-method second deltas across the unit-cache summaries, worst first."""
+
+    def per_method(row: Mapping[str, object]) -> Dict[str, float]:
+        unit_cache = row.get("unit_cache")
+        methods = (
+            (unit_cache or {}).get("methods") if isinstance(unit_cache, dict) else None
+        )
+        totals: Dict[str, float] = {}
+        for method, entry in (methods or {}).items():
+            totals[method] = sum(
+                float(t.get("seconds") or 0.0)
+                for t in (entry.get("stages") or {}).values()
+            )
+        return totals
+
+    base_totals = per_method(base_row)
+    current_totals = per_method(current_row)
+    deltas = []
+    for method in sorted(set(base_totals) | set(current_totals)):
+        base_s = base_totals.get(method, 0.0)
+        cur_s = current_totals.get(method, 0.0)
+        deltas.append(
+            {
+                "method": method,
+                "base_seconds": base_s,
+                "current_seconds": cur_s,
+                "delta_seconds": cur_s - base_s,
+            }
+        )
+    deltas.sort(key=lambda d: -d["delta_seconds"])
+    return deltas
+
+
+def attribution_from_diff(
+    file_diff: FileDiff,
+    base_rows: Sequence[Mapping[str, object]],
+    current_rows: Sequence[Mapping[str, object]],
+) -> Dict[str, object]:
+    """The full attribution payload for one regressed file.
+
+    Names the guilty stage(s) (most seconds lost first), lists the
+    per-method deltas from the unit-cache summaries, and attaches the
+    side-by-side flame diff of the representative baseline and current
+    sample rows.
+    """
+    base_row = representative_record(base_rows)
+    current_row = representative_record(current_rows)
+    guilty = file_diff.guilty_stages
+    return {
+        "suite": file_diff.suite,
+        "name": file_diff.name,
+        "guilty_stages": guilty,
+        "stages": {
+            stage: delta.to_dict() for stage, delta in file_diff.stages.items()
+        },
+        "method_deltas": _method_deltas(base_row, current_row)[:10],
+        "flame_diff": flame_diff_lines(base_row, current_row),
+    }
+
+
+def profile_source(
+    source: str,
+    *,
+    upto: str = "check",
+    top: int = 20,
+    analyze: bool = True,
+) -> Dict[str, object]:
+    """One in-process pipeline run under ``cProfile``, hotspots first.
+
+    Deterministic in everything but the timings themselves: hotspots are
+    ordered by cumulative time with the printed function name as the tie
+    breaker, truncated to ``top``, and the per-stage seconds come from
+    the same :class:`PipelineInstrumentation` the bench harness uses.
+    """
+    from ..pipeline import PipelineInstrumentation, run_pipeline
+
+    inst = PipelineInstrumentation()
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        run_pipeline(
+            source, upto=upto, instrumentation=inst, analyze=analyze,
+            wrap_errors=True,
+        )
+    finally:
+        profiler.disable()
+    stats = pstats.Stats(profiler, stream=io.StringIO())
+    hotspots: List[Dict[str, object]] = []
+    rows: List[Tuple[float, str, Dict[str, object]]] = []
+    for (filename, lineno, function), (cc, nc, tt, ct, _callers) in (
+        stats.stats.items()  # type: ignore[attr-defined]
+    ):
+        if function.startswith("<") and filename == "~":
+            continue  # builtins noise
+        where = f"{filename.rsplit('/', 1)[-1]}:{lineno}:{function}"
+        rows.append(
+            (
+                ct,
+                where,
+                {
+                    "function": where,
+                    "calls": int(nc),
+                    "primitive_calls": int(cc),
+                    "total_seconds": tt,
+                    "cumulative_seconds": ct,
+                },
+            )
+        )
+    rows.sort(key=lambda r: (-r[0], r[1]))
+    hotspots = [payload for _, _, payload in rows[: max(top, 0)]]
+    stage_seconds = {
+        stage: inst.stage_seconds(stage)
+        for stage in sorted({r.stage for r in inst.records})
+    }
+    return {
+        "schema": 1,
+        "upto": upto,
+        "total_seconds": inst.total_seconds(),
+        "stage_seconds": stage_seconds,
+        "hotspots": hotspots,
+    }
+
+
+def render_profile(profile: Mapping[str, object]) -> str:
+    """The human-readable ``repro perf profile`` report."""
+    lines = [
+        f"pipeline total: {float(profile.get('total_seconds') or 0.0) * 1000:.3f} ms "
+        f"(upto {profile.get('upto', 'check')})",
+        "",
+        "per-stage seconds:",
+    ]
+    for stage, seconds in sorted(
+        (profile.get("stage_seconds") or {}).items(), key=lambda kv: -kv[1]
+    ):
+        lines.append(f"  {stage:<12} {seconds * 1000:>10.3f} ms")
+    lines.append("")
+    header = f"{'cumulative ms':>13} {'self ms':>10} {'calls':>8}  function"
+    lines.append(header)
+    lines.append("-" * len(header))
+    for spot in profile.get("hotspots") or []:
+        lines.append(
+            f"{float(spot['cumulative_seconds']) * 1000:>13.3f} "
+            f"{float(spot['total_seconds']) * 1000:>10.3f} "
+            f"{int(spot['calls']):>8}  {spot['function']}"
+        )
+    return "\n".join(lines)

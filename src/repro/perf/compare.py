@@ -1,0 +1,458 @@
+"""The statistical comparator behind ``repro bench diff``.
+
+Trust: **advisory** — a wrong comparison pages an operator or fails a CI
+gate; it never reaches a verdict path (docs/TRUSTED_BASE.md).
+
+Timings jitter.  A single slow sample on a cold CI runner must not page,
+and a real 2× stage slowdown must.  The comparator therefore works on
+*distributions*, not points:
+
+* every history record of the baseline (and every ``--samples`` re-run
+  of the current tree) contributes one sample per ``(file, stage)``;
+* the test statistic is the **ratio of medians** current/baseline, with
+  a seeded **bootstrap confidence interval** (resample both sides,
+  recompute the ratio, take the central quantiles) — deterministic for
+  a fixed input, so repeated CI invocations agree;
+* a ``(file, stage)`` pair regresses only when the *lower* CI bound
+  clears ``1 + noise_floor`` — the whole interval must sit above the
+  floor, so one jittery sample cannot page;
+* pairs where both medians sit under ``min_seconds`` are skipped:
+  sub-noise-quantum timings carry no signal;
+* when the two environment fingerprints disagree (a baseline recorded
+  on a developer machine, diffed on a CI runner) the ratios are
+  **calibrated** by the median ratio across all stage pairs (``total``
+  excluded — it is the sum of the others), so only *relative* shifts in
+  the stage mix page, not the absolute speed of the hardware.
+
+The exit-code contract mirrors ``repro lint`` / ``repro tcb check``:
+0 = no regression, 1 = regression(s), 2 = nothing comparable.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+import statistics
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+#: The per-file stages the comparator sees, mapped onto the
+#: ``FileMetrics`` fields of one ``bench --json`` file row.  ``generate``
+#: covers generate+render and ``check`` covers reparse+check, exactly as
+#: the paper's tables aggregate them.
+STAGE_FIELDS: Tuple[Tuple[str, str], ...] = (
+    ("translate", "translate_seconds"),
+    ("generate", "generate_seconds"),
+    ("check", "check_seconds"),
+    ("analyze", "analyze_seconds"),
+    ("total", "total_seconds"),
+)
+
+#: A file is addressed as (suite, name) across reports.
+FileKey = Tuple[str, str]
+
+
+@dataclass
+class CompareConfig:
+    """Tunables of one diff; the defaults are the CI gate's policy."""
+
+    #: A stage pages only when its whole CI sits above ``1 + noise_floor``
+    #: (default: a calibrated median ratio provably above 1.5×).
+    noise_floor: float = 0.5
+    #: Pairs where both medians are under this are skipped as noise.
+    min_seconds: float = 0.005
+    #: Bootstrap resamples per (file, stage) pair.
+    bootstrap: int = 400
+    #: Central CI mass (0.95 → the 2.5%/97.5% quantiles).
+    confidence: float = 0.95
+    #: ``auto`` calibrates when fingerprints differ; ``on``/``off`` force.
+    calibrate: str = "auto"
+    #: Root seed of the deterministic bootstrap.
+    seed: int = 0
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "noise_floor": self.noise_floor,
+            "min_seconds": self.min_seconds,
+            "bootstrap": self.bootstrap,
+            "confidence": self.confidence,
+            "calibrate": self.calibrate,
+            "seed": self.seed,
+        }
+
+
+def file_records(
+    reports: Sequence[Mapping[str, object]], suite: Optional[str] = None
+) -> Dict[FileKey, List[Dict[str, object]]]:
+    """Per-file rows across several bench reports (one list entry per
+    report that contains the file), optionally restricted to one suite."""
+    out: Dict[FileKey, List[Dict[str, object]]] = {}
+    for report in reports:
+        suites = report.get("suites")
+        if not isinstance(suites, dict):
+            continue
+        for suite_name, payload in suites.items():
+            if suite is not None and suite_name != suite:
+                continue
+            for row in (payload or {}).get("files", []):
+                key = (str(suite_name), str(row.get("name", "")))
+                out.setdefault(key, []).append(dict(row))
+    return out
+
+
+def _stage_samples(rows: Sequence[Mapping[str, object]]) -> Dict[str, List[float]]:
+    samples: Dict[str, List[float]] = {stage: [] for stage, _ in STAGE_FIELDS}
+    for row in rows:
+        for stage, fld in STAGE_FIELDS:
+            value = row.get(fld)
+            if isinstance(value, (int, float)):
+                samples[stage].append(float(value))
+    return samples
+
+
+def _pair_seed(root: int, suite: str, name: str, stage: str) -> int:
+    """A stable per-pair bootstrap seed (never the process hash seed)."""
+    digest = hashlib.sha256(f"{root}|{suite}|{name}|{stage}".encode()).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+def bootstrap_ratio_ci(
+    base: Sequence[float],
+    current: Sequence[float],
+    *,
+    resamples: int = 400,
+    confidence: float = 0.95,
+    seed: int = 0,
+) -> Tuple[float, float]:
+    """A seeded bootstrap CI on ``median(current)/median(base)``.
+
+    With one sample per side the interval degenerates to the point
+    ratio, which is exactly the honest answer: no spread was observed.
+    """
+    base = [max(b, 0.0) for b in base]
+    current = [max(c, 0.0) for c in current]
+    if not base or not current:
+        return (float("inf"), float("inf"))
+
+    def ratio(b: Sequence[float], c: Sequence[float]) -> float:
+        mb = statistics.median(b)
+        mc = statistics.median(c)
+        return mc / mb if mb > 0 else float("inf")
+
+    if len(base) == 1 and len(current) == 1:
+        point = ratio(base, current)
+        return (point, point)
+    rng = random.Random(seed)
+    ratios = sorted(
+        ratio(rng.choices(base, k=len(base)), rng.choices(current, k=len(current)))
+        for _ in range(max(resamples, 1))
+    )
+    lo_index = int(((1.0 - confidence) / 2.0) * (len(ratios) - 1))
+    hi_index = int((1.0 - (1.0 - confidence) / 2.0) * (len(ratios) - 1))
+    return (ratios[lo_index], ratios[hi_index])
+
+
+@dataclass
+class StageDelta:
+    """One (file, stage) comparison."""
+
+    stage: str
+    base_median: float
+    current_median: float
+    ratio: float
+    calibrated_ratio: float
+    ci_low: float
+    ci_high: float
+    regressed: bool
+    skipped: bool
+    base_samples: int
+    current_samples: int
+
+    @property
+    def delta_seconds(self) -> float:
+        return self.current_median - self.base_median
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "stage": self.stage,
+            "base_median": self.base_median,
+            "current_median": self.current_median,
+            "ratio": self.ratio,
+            "calibrated_ratio": self.calibrated_ratio,
+            "ci_low": self.ci_low,
+            "ci_high": self.ci_high,
+            "regressed": self.regressed,
+            "skipped": self.skipped,
+            "delta_seconds": self.delta_seconds,
+            "base_samples": self.base_samples,
+            "current_samples": self.current_samples,
+        }
+
+
+@dataclass
+class FileDiff:
+    """All stage comparisons for one corpus file."""
+
+    suite: str
+    name: str
+    stages: Dict[str, StageDelta]
+
+    @property
+    def regressed(self) -> bool:
+        return any(d.regressed for d in self.stages.values())
+
+    @property
+    def guilty_stages(self) -> List[str]:
+        """The stage(s) to blame, most seconds lost first.
+
+        ``total`` is only named when no specific stage cleared the floor
+        (a diffuse slowdown spread across stages).
+        """
+        guilty = [
+            d for d in self.stages.values() if d.regressed and d.stage != "total"
+        ]
+        if not guilty:
+            guilty = [d for d in self.stages.values() if d.regressed]
+        return [d.stage for d in sorted(guilty, key=lambda d: -d.delta_seconds)]
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "suite": self.suite,
+            "name": self.name,
+            "regressed": self.regressed,
+            "guilty_stages": self.guilty_stages,
+            "stages": {stage: d.to_dict() for stage, d in self.stages.items()},
+        }
+
+
+@dataclass
+class DiffReport:
+    """The complete result of one ``repro bench diff``."""
+
+    files: List[FileDiff]
+    calibration: Dict[str, object]
+    config: CompareConfig
+    missing_in_current: List[str] = field(default_factory=list)
+    missing_in_base: List[str] = field(default_factory=list)
+    base_info: Dict[str, object] = field(default_factory=dict)
+    current_info: Dict[str, object] = field(default_factory=dict)
+    #: Attribution payloads attached by the CLI (one per regressed file).
+    attributions: List[Dict[str, object]] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> List[FileDiff]:
+        return [f for f in self.files if f.regressed]
+
+    @property
+    def compared_pairs(self) -> int:
+        return sum(
+            1 for f in self.files for d in f.stages.values() if not d.skipped
+        )
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions and self.compared_pairs > 0
+
+    @property
+    def exit_code(self) -> int:
+        """0 = clean, 1 = regression(s), 2 = nothing was comparable."""
+        if self.compared_pairs == 0:
+            return 2
+        return 1 if self.regressions else 0
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "schema": 1,
+            "ok": self.ok,
+            "exit_code": self.exit_code,
+            "config": self.config.to_dict(),
+            "calibration": dict(self.calibration),
+            "base": dict(self.base_info),
+            "current": dict(self.current_info),
+            "compared_pairs": self.compared_pairs,
+            "files": [f.to_dict() for f in self.files],
+            "regressions": [
+                {
+                    "suite": f.suite,
+                    "name": f.name,
+                    "guilty_stages": f.guilty_stages,
+                }
+                for f in self.regressions
+            ],
+            "missing_in_current": list(self.missing_in_current),
+            "missing_in_base": list(self.missing_in_base),
+            "attribution": list(self.attributions),
+        }
+
+    def render(self) -> str:
+        """The human-readable diff table plus the verdict line."""
+        lines: List[str] = []
+        cal = self.calibration
+        if cal.get("applied"):
+            lines.append(
+                f"calibration: ×{cal['factor']:.3f} "
+                f"({cal.get('reason', 'forced')}) — ratios below are relative"
+            )
+        header = (
+            f"{'file':<28} {'stage':<10} {'base ms':>10} {'curr ms':>10} "
+            f"{'ratio':>7} {'ci':>15}  verdict"
+        )
+        lines.append(header)
+        lines.append("-" * len(header))
+        for file_diff in self.files:
+            for delta in file_diff.stages.values():
+                if delta.skipped:
+                    continue
+                verdict = "REGRESSED" if delta.regressed else "ok"
+                ci = f"[{delta.ci_low:.2f}, {delta.ci_high:.2f}]"
+                lines.append(
+                    f"{file_diff.suite + '/' + file_diff.name:<28} "
+                    f"{delta.stage:<10} {delta.base_median * 1000:>10.3f} "
+                    f"{delta.current_median * 1000:>10.3f} "
+                    f"{delta.calibrated_ratio:>7.2f} {ci:>15}  {verdict}"
+                )
+        for name in self.missing_in_current:
+            lines.append(f"{name}: in baseline only (not compared)")
+        for name in self.missing_in_base:
+            lines.append(f"{name}: new since baseline (not compared)")
+        lines.append("")
+        if self.compared_pairs == 0:
+            lines.append("nothing comparable: no (file, stage) pair passed the filters")
+        elif self.regressions:
+            for file_diff in self.regressions:
+                guilty = ", ".join(file_diff.guilty_stages) or "total"
+                lines.append(
+                    f"REGRESSION {file_diff.suite}/{file_diff.name}: "
+                    f"stage(s) {guilty}"
+                )
+        else:
+            floor = 1.0 + self.config.noise_floor
+            lines.append(
+                f"no regressions: {self.compared_pairs} stage comparisons, "
+                f"all CIs below the ×{floor:.2f} floor"
+            )
+        return "\n".join(lines)
+
+
+def _fingerprints_comparable(
+    base: Mapping[str, object], current: Mapping[str, object]
+) -> bool:
+    """Same machine class?  Version/git drift is fine; hardware is not."""
+    if not base or not current:
+        return True  # nothing to compare against: assume same machine
+    keys = ("platform", "machine", "cpu_count", "python", "implementation")
+    return all(base.get(k) == current.get(k) for k in keys)
+
+
+def compare_reports(
+    base_reports: Sequence[Mapping[str, object]],
+    current_reports: Sequence[Mapping[str, object]],
+    config: Optional[CompareConfig] = None,
+    *,
+    suite: Optional[str] = None,
+    base_fingerprint: Optional[Mapping[str, object]] = None,
+    current_fingerprint: Optional[Mapping[str, object]] = None,
+) -> DiffReport:
+    """Compare two sample sets of bench reports, file by file, stage by stage."""
+    config = config or CompareConfig()
+    base_rows = file_records(base_reports, suite=suite)
+    current_rows = file_records(current_reports, suite=suite)
+    shared = sorted(set(base_rows) & set(current_rows))
+    missing_in_current = sorted(
+        f"{s}/{n}" for s, n in set(base_rows) - set(current_rows)
+    )
+    missing_in_base = sorted(
+        f"{s}/{n}" for s, n in set(current_rows) - set(base_rows)
+    )
+
+    base_fp = dict(base_fingerprint or {})
+    current_fp = dict(current_fingerprint or {})
+    if config.calibrate == "on":
+        applied, reason = True, "forced (--calibrate on)"
+    elif config.calibrate == "off":
+        applied, reason = False, "disabled (--calibrate off)"
+    else:
+        applied = not _fingerprints_comparable(base_fp, current_fp)
+        reason = (
+            "environment fingerprints differ (cross-machine diff)"
+            if applied
+            else "same machine class"
+        )
+
+    # Per-pair medians first: the calibration factor is the median ratio
+    # across all real stage pairs ("total" excluded — it is the sum of
+    # the others and would double-weight any shift).
+    medians: Dict[Tuple[FileKey, str], Tuple[float, float, int, int]] = {}
+    for key in shared:
+        base_samples = _stage_samples(base_rows[key])
+        current_samples = _stage_samples(current_rows[key])
+        for stage, _ in STAGE_FIELDS:
+            b, c = base_samples[stage], current_samples[stage]
+            if not b or not c:
+                continue
+            medians[(key, stage)] = (
+                statistics.median(b),
+                statistics.median(c),
+                len(b),
+                len(c),
+            )
+
+    factor = 1.0
+    if applied:
+        ratios = [
+            c / b
+            for (key, stage), (b, c, _, _) in medians.items()
+            if stage != "total" and b >= config.min_seconds / 4 and c > 0
+        ]
+        if ratios:
+            factor = statistics.median(ratios)
+        if factor <= 0:
+            factor = 1.0
+    calibration = {"applied": applied, "factor": factor, "reason": reason}
+
+    files: List[FileDiff] = []
+    for key in shared:
+        suite_name, name = key
+        base_samples = _stage_samples(base_rows[key])
+        current_samples = _stage_samples(current_rows[key])
+        deltas: Dict[str, StageDelta] = {}
+        for stage, _ in STAGE_FIELDS:
+            if (key, stage) not in medians:
+                continue
+            base_med, cur_med, n_base, n_cur = medians[(key, stage)]
+            skipped = max(base_med, cur_med) < config.min_seconds
+            ratio = cur_med / base_med if base_med > 0 else float("inf")
+            ci_low, ci_high = bootstrap_ratio_ci(
+                base_samples[stage],
+                current_samples[stage],
+                resamples=config.bootstrap,
+                confidence=config.confidence,
+                seed=_pair_seed(config.seed, suite_name, name, stage),
+            )
+            calibrated = ratio / factor
+            cal_low, cal_high = ci_low / factor, ci_high / factor
+            regressed = (not skipped) and cal_low > 1.0 + config.noise_floor
+            deltas[stage] = StageDelta(
+                stage=stage,
+                base_median=base_med,
+                current_median=cur_med,
+                ratio=ratio,
+                calibrated_ratio=calibrated,
+                ci_low=cal_low,
+                ci_high=cal_high,
+                regressed=regressed,
+                skipped=skipped,
+                base_samples=n_base,
+                current_samples=n_cur,
+            )
+        files.append(FileDiff(suite=suite_name, name=name, stages=deltas))
+
+    return DiffReport(
+        files=files,
+        calibration=calibration,
+        config=config,
+        missing_in_current=missing_in_current,
+        missing_in_base=missing_in_base,
+        base_info={"fingerprint": base_fp, "samples": len(base_reports)},
+        current_info={"fingerprint": current_fp, "samples": len(current_reports)},
+    )

@@ -1,0 +1,170 @@
+"""The serving tie-in: a rolling window of per-request stage timings.
+
+Trust: **advisory** — feeds ``GET /v1/perf`` and the
+``repro_stage_seconds_baseline_ratio`` gauges; no verdict path consults
+it (docs/TRUSTED_BASE.md).
+
+A deployed node should report its own drift without an external metrics
+stack: the server feeds every request's per-stage seconds into a
+bounded :class:`RollingStageWindow`, and the window compares its rolling
+medians against the per-stage medians of a recorded baseline
+(``repro serve --perf-baseline benchmarks/results/history/…``).  A
+ratio of ~1.0 means the node performs as recorded; a sustained 2.0 on
+one stage is the serving-time analogue of a failed ``repro bench diff``.
+"""
+
+from __future__ import annotations
+
+import statistics
+import threading
+from collections import deque
+from typing import Deque, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from .compare import STAGE_FIELDS
+from .history import latest_record, read_history
+
+
+def stage_medians_from_report(report: Mapping[str, object]) -> Dict[str, float]:
+    """Per-stage median seconds across every file of one bench report."""
+    samples: Dict[str, List[float]] = {stage: [] for stage, _ in STAGE_FIELDS}
+    suites = report.get("suites")
+    if isinstance(suites, dict):
+        for payload in suites.values():
+            for row in (payload or {}).get("files", []):
+                for stage, fld in STAGE_FIELDS:
+                    value = row.get(fld)
+                    if isinstance(value, (int, float)):
+                        samples[stage].append(float(value))
+    return {
+        stage: statistics.median(values)
+        for stage, values in samples.items()
+        if values
+    }
+
+
+def baseline_stage_medians(
+    reports: Sequence[Mapping[str, object]]
+) -> Dict[str, float]:
+    """Per-stage medians pooled across several baseline reports."""
+    pooled: Dict[str, List[float]] = {}
+    for report in reports:
+        for stage, median in stage_medians_from_report(report).items():
+            pooled.setdefault(stage, []).append(median)
+    return {stage: statistics.median(values) for stage, values in pooled.items()}
+
+
+def load_baseline(
+    path: str, label: Optional[str] = None
+) -> Tuple[Dict[str, float], Dict[str, object]]:
+    """A history file → (per-stage baseline medians, its fingerprint).
+
+    All records (of ``label``, when given) are pooled as samples; the
+    fingerprint is the latest record's.
+    """
+    records = read_history(path)
+    if label is not None:
+        records = [r for r in records if r.label == label]
+    latest = latest_record(records)
+    medians = baseline_stage_medians([r.report for r in records])
+    return medians, dict(latest.fingerprint)
+
+
+class RollingStageWindow:
+    """A thread-safe bounded window of per-request stage timings.
+
+    The server calls :meth:`observe` once per completed certification
+    request with that request's ``stage_seconds`` map; readers get
+    rolling medians, the drift ratios against the baseline, and the
+    ``GET /v1/perf`` snapshot.
+    """
+
+    def __init__(
+        self,
+        maxlen: int = 256,
+        baseline: Optional[Mapping[str, float]] = None,
+        baseline_info: Optional[Mapping[str, object]] = None,
+    ) -> None:
+        self._lock = threading.Lock()
+        self._requests: Deque[Dict[str, float]] = deque(maxlen=max(maxlen, 1))
+        self._baseline = dict(baseline or {})
+        self._baseline_info = dict(baseline_info or {})
+
+    def observe(self, stage_seconds: Mapping[str, object]) -> None:
+        """Record one request's per-stage seconds (non-numeric keys dropped)."""
+        cleaned = {
+            str(stage): float(seconds)
+            for stage, seconds in stage_seconds.items()
+            if isinstance(seconds, (int, float))
+        }
+        if not cleaned:
+            return
+        with self._lock:
+            self._requests.append(cleaned)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._requests)
+
+    @property
+    def baseline(self) -> Dict[str, float]:
+        return dict(self._baseline)
+
+    def _samples(self) -> Dict[str, List[float]]:
+        with self._lock:
+            requests = list(self._requests)
+        samples: Dict[str, List[float]] = {}
+        for request in requests:
+            for stage, seconds in request.items():
+                samples.setdefault(stage, []).append(seconds)
+        return samples
+
+    def medians(self) -> Dict[str, float]:
+        """Rolling per-stage median seconds over the window."""
+        return {
+            stage: statistics.median(values)
+            for stage, values in self._samples().items()
+        }
+
+    def ratio(self, stage: str) -> float:
+        """Rolling median / baseline median for one stage (nan when unknown).
+
+        ``nan`` — not 0 or 1 — when there is no window data or no
+        baseline for the stage: the metrics layer renders nan natively
+        and dashboards treat it as "no data", which is the truth.
+        """
+        baseline = self._baseline.get(stage)
+        samples = self._samples().get(stage)
+        if not samples or not baseline or baseline <= 0:
+            return float("nan")
+        return statistics.median(samples) / baseline
+
+    def snapshot(self) -> Dict[str, object]:
+        """The ``GET /v1/perf`` document."""
+        samples = self._samples()
+        stages: Dict[str, Dict[str, object]] = {}
+        for stage in sorted(set(samples) | set(self._baseline)):
+            values = sorted(samples.get(stage, ()))
+            entry: Dict[str, object] = {"count": len(values)}
+            if values:
+                entry["median_seconds"] = statistics.median(values)
+                entry["max_seconds"] = values[-1]
+                entry["p95_seconds"] = values[
+                    min(len(values) - 1, int(0.95 * (len(values) - 1)))
+                ]
+            baseline = self._baseline.get(stage)
+            if baseline is not None:
+                entry["baseline_seconds"] = baseline
+                if values and baseline > 0:
+                    entry["baseline_ratio"] = statistics.median(values) / baseline
+            stages[stage] = entry
+        with self._lock:
+            size, maxlen = len(self._requests), self._requests.maxlen
+        return {
+            "schema": 1,
+            "window": {"requests": size, "maxlen": maxlen},
+            "baseline": {
+                "stages": dict(self._baseline),
+                "info": dict(self._baseline_info),
+            },
+            "stages": stages,
+        }

@@ -43,6 +43,7 @@ other module spells out the stage sequence.
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Optional, Set, Tuple
@@ -459,10 +460,42 @@ def _record_artifacts(ctx: PipelineContext, stage: Stage) -> None:
 # Execution.
 # ---------------------------------------------------------------------------
 
+#: Parsed ``REPRO_STAGE_DELAY`` cache, keyed by the raw env value so tests
+#: that monkeypatch the variable mid-process are picked up.
+_STAGE_DELAY_CACHE: Tuple[Optional[str], Dict[str, float]] = (None, {})
+
+
+def _stage_delays() -> Dict[str, float]:
+    """The ``REPRO_STAGE_DELAY`` fault-injection map (``stage=seconds,…``).
+
+    A test/CI shim, not a feature: the perf-gate CI job sets e.g.
+    ``REPRO_STAGE_DELAY=translate=0.05`` to prove that ``repro bench
+    diff`` detects and attributes a seeded single-stage slowdown.  The
+    sleep happens *inside* the instrumentation context so the delay is
+    booked to the named stage, exactly like a real regression.
+    Malformed entries are ignored — a typo must not break the pipeline.
+    """
+    global _STAGE_DELAY_CACHE
+    raw = os.environ.get("REPRO_STAGE_DELAY")
+    if raw == _STAGE_DELAY_CACHE[0]:
+        return _STAGE_DELAY_CACHE[1]
+    delays: Dict[str, float] = {}
+    for part in (raw or "").split(","):
+        stage, _, seconds = part.partition("=")
+        try:
+            value = float(seconds)
+        except ValueError:
+            continue
+        if stage.strip() and value > 0:
+            delays[stage.strip()] = value
+    _STAGE_DELAY_CACHE = (raw, delays)
+    return delays
+
 
 def run_stage(ctx: PipelineContext, name: str) -> PipelineContext:
     """Run (or skip, on a gate / cache hit) one named stage."""
     stage = _STAGE_BY_NAME[name]
+    delay = _stage_delays().get(stage.name, 0.0)
     if stage.gate is not None and not getattr(ctx, stage.gate):
         ctx.instrumentation.record_skip(stage.name)
         ctx.completed.add(stage.name)
@@ -474,11 +507,15 @@ def run_stage(ctx: PipelineContext, name: str) -> PipelineContext:
     if ctx.wrap_errors:
         try:
             with ctx.instrumentation.stage(stage.name):
+                if delay:
+                    time.sleep(delay)
                 stage.run(ctx)
         except wrappable_exceptions() as error:
             raise wrap_exception(stage.name, error) from error
     else:
         with ctx.instrumentation.stage(stage.name):
+            if delay:
+                time.sleep(delay)
             stage.run(ctx)
     _store_cached(ctx, stage)
     _record_artifacts(ctx, stage)

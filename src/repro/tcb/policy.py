@@ -204,6 +204,8 @@ DEFAULT_POLICY = TrustPolicy(
         # -- observability / analysis / defence-in-depth -------------------
         ("repro.trace", "advisory"),
         ("repro.trace.*", "advisory"),
+        ("repro.perf", "advisory"),
+        ("repro.perf.*", "advisory"),
         ("repro.analysis", "advisory"),
         ("repro.analysis.*", "advisory"),
         ("repro.fuzz", "advisory"),

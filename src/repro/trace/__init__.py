@@ -45,7 +45,7 @@ from .spans import (
     start_span,
     use_context,
 )
-from .summarize import render_summary, summarize
+from .summarize import flame_tree, render_summary, summarize, summary_to_dict
 
 __all__ = [
     "Span",
@@ -56,6 +56,7 @@ __all__ = [
     "current_context",
     "current_trace_id",
     "current_traceparent",
+    "flame_tree",
     "format_traceparent",
     "hash_sample",
     "new_span_id",
@@ -67,6 +68,7 @@ __all__ = [
     "spans_from_instrumentation",
     "start_span",
     "summarize",
+    "summary_to_dict",
     "use_context",
     "write_chrome_trace",
     "write_jsonl",

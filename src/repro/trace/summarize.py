@@ -91,6 +91,71 @@ def render_flame(spans: Sequence[Span], root: Span, indent: str = "  ") -> List[
     return lines
 
 
+def flame_tree(spans: Sequence[Span], root: Span) -> Dict[str, Any]:
+    """The root's span tree as nested dicts (the machine-readable flame).
+
+    Each node carries ``name``, ``duration``, ``share`` (of the root),
+    the span's attributes/status, and ``children`` in start order — the
+    same depth-first shape :func:`render_flame` prints.
+    """
+    children: Dict[str, List[Span]] = {}
+    for span in spans:
+        if span.trace_id == root.trace_id and span.parent_id:
+            children.setdefault(span.parent_id, []).append(span)
+    for members in children.values():
+        members.sort(key=lambda s: (s.start_unix, s.name))
+    total = root.duration or 1e-12
+
+    def node(span: Span) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {
+            "name": span.name,
+            "duration": span.duration,
+            "share": span.duration / total,
+            "children": [node(c) for c in children.get(span.span_id, ())],
+        }
+        if span.attributes:
+            payload["attributes"] = dict(span.attributes)
+        if span.status != "ok":
+            payload["status"] = span.status
+        return payload
+
+    return node(root)
+
+
+def summary_to_dict(spans: Sequence[Span]) -> Dict[str, Any]:
+    """The ``repro trace summarize --json`` document.
+
+    Mirrors :func:`render_summary` field for field: the per-name stats
+    table, every trace root, and the slowest trace's flame tree.
+    """
+    summary = summarize(spans)
+    slow_id = slowest_trace(summary)
+    traces = []
+    for trace_id, root in sorted(summary["roots"].items()):
+        entry: Dict[str, Any] = {
+            "trace_id": trace_id,
+            "spans": len(summary["by_trace"][trace_id]),
+        }
+        if root is not None:
+            entry["root"] = root.name
+            entry["duration"] = root.duration
+        traces.append(entry)
+    payload: Dict[str, Any] = {
+        "schema": 1,
+        "spans": summary["spans"],
+        "traces": traces,
+        "names": {
+            name: dict(stats) for name, stats in sorted(summary["names"].items())
+        },
+        "slowest_trace": slow_id,
+    }
+    if slow_id is not None and summary["roots"][slow_id] is not None:
+        payload["flame"] = flame_tree(
+            summary["by_trace"][slow_id], summary["roots"][slow_id]
+        )
+    return payload
+
+
 def render_summary(spans: Sequence[Span]) -> str:
     """The full ``repro trace summarize`` report."""
     if not spans:

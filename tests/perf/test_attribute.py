@@ -1,0 +1,137 @@
+"""Attribution: synthetic span trees, flame diffs, and cProfile capture."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.perf import (
+    attribution_from_diff,
+    compare_reports,
+    flame_diff_lines,
+    profile_source,
+    render_profile,
+    representative_record,
+    spans_from_file_record,
+)
+from repro.trace.summarize import render_flame
+
+from .helpers import synth_file_row, synth_samples
+
+SOURCE = """
+field f: Int
+
+method inc(x: Ref) returns (y: Int)
+  requires acc(x.f, write)
+  ensures acc(x.f, write) && y == x.f
+{
+  x.f := x.f + 1
+  y := x.f
+}
+"""
+
+
+@pytest.fixture
+def row():
+    return synth_file_row("demo", random.Random(5))
+
+
+class TestSyntheticSpans:
+    def test_tree_shape_root_stages_units(self, row):
+        spans = spans_from_file_record(row)
+        root = spans[0]
+        assert root.name == "pipeline"
+        assert root.parent_id is None
+        stages = {s.name for s in spans if s.parent_id == root.span_id}
+        assert stages == {"translate", "generate", "check", "analyze"}
+        units = [s for s in spans if s.name.startswith("unit:")]
+        # 2 methods × 2 unit stages (translate, generate) in the fixture.
+        assert len(units) == 4
+        assert all(s.attributes["cache"] == "miss" for s in units)
+
+    def test_deterministic_span_ids(self, row):
+        first = spans_from_file_record(row)
+        second = spans_from_file_record(row)
+        assert [s.span_id for s in first] == [s.span_id for s in second]
+
+    def test_renders_through_the_regular_flame_machinery(self, row):
+        spans = spans_from_file_record(row)
+        lines = render_flame(spans, spans[0])
+        assert lines[0].startswith("pipeline")
+        assert any("translate" in line for line in lines)
+        assert any("unit:m0" in line for line in lines)
+
+
+class TestFlameDiff:
+    def test_side_by_side_lines_cover_both_trees(self, row):
+        slower = dict(row)
+        slower["translate_seconds"] = row["translate_seconds"] * 3
+        lines = flame_diff_lines(row, slower)
+        text = "\n".join(lines)
+        assert "base ms" in lines[0] and "curr ms" in lines[0]
+        assert "pipeline" in text and "translate" in text
+        translate_line = next(l for l in lines if "translate" in l)
+        assert "3.00" in translate_line
+
+    def test_missing_side_renders_a_dash(self, row):
+        no_units = dict(row)
+        no_units["unit_cache"] = {}
+        lines = flame_diff_lines(row, no_units)
+        assert any("unit:m0" in line and " -" in line for line in lines)
+
+
+class TestRepresentative:
+    def test_picks_the_median_total(self):
+        rows = [synth_file_row("x", random.Random(seed)) for seed in range(5)]
+        chosen = representative_record(rows)
+        totals = sorted(r["total_seconds"] for r in rows)
+        assert chosen["total_seconds"] == totals[2]
+
+    def test_empty_rows_raise(self):
+        with pytest.raises(ValueError):
+            representative_record([])
+
+
+class TestAttributionFromDiff:
+    def test_names_the_stage_and_attaches_the_flame_diff(self):
+        base = synth_samples(201, 3)
+        current = synth_samples(202, 3, scale={"translate_seconds": 2.0})
+        diff = compare_reports(base, current)
+        assert diff.regressions
+        file_diff = diff.regressions[0]
+        key = (file_diff.suite, file_diff.name)
+        from repro.perf import file_records
+
+        payload = attribution_from_diff(
+            file_diff,
+            file_records(base)[key],
+            file_records(current)[key],
+        )
+        assert payload["guilty_stages"][0] == "translate"
+        assert payload["stages"]["translate"]["regressed"] is True
+        assert payload["method_deltas"]
+        assert any("translate" in line for line in payload["flame_diff"])
+
+
+class TestProfile:
+    def test_profile_reports_stages_and_hotspots(self):
+        profile = profile_source(SOURCE, top=5)
+        assert profile["schema"] == 1
+        assert profile["total_seconds"] > 0
+        assert {"parse", "translate", "check"} <= set(profile["stage_seconds"])
+        assert 0 < len(profile["hotspots"]) <= 5
+        spot = profile["hotspots"][0]
+        assert {"function", "calls", "cumulative_seconds"} <= set(spot)
+        # Ordered by cumulative time, descending.
+        cums = [s["cumulative_seconds"] for s in profile["hotspots"]]
+        assert cums == sorted(cums, reverse=True)
+
+    def test_render_is_human_readable(self):
+        profile = profile_source(SOURCE, top=3, analyze=False)
+        text = render_profile(profile)
+        assert "pipeline total" in text
+        assert "function" in text
+        assert "analyze" not in profile["stage_seconds"] or (
+            profile["stage_seconds"].get("analyze", 0.0) == 0.0
+        )

@@ -1,0 +1,236 @@
+"""Comparator calibration: zero false positives under jitter, guaranteed
+detection and exact-stage attribution of a seeded 2× slowdown."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.perf import (
+    CompareConfig,
+    bootstrap_ratio_ci,
+    compare_reports,
+    file_records,
+)
+
+from .helpers import synth_samples
+
+
+def _diff(base_seed, current_seed, *, scale=None, samples=3, config=None,
+          jitter=0.05, **kwargs):
+    base = synth_samples(base_seed, samples, jitter=jitter)
+    current = synth_samples(current_seed, samples, jitter=jitter, scale=scale)
+    return compare_reports(base, current, config, **kwargs)
+
+
+class TestBootstrapCI:
+    def test_single_samples_degenerate_to_the_point_ratio(self):
+        lo, hi = bootstrap_ratio_ci([0.010], [0.020])
+        assert lo == hi == pytest.approx(2.0)
+
+    def test_deterministic_for_a_fixed_seed(self):
+        rng = random.Random(3)
+        base = [0.01 * (1 + rng.uniform(-0.1, 0.1)) for _ in range(5)]
+        cur = [0.02 * (1 + rng.uniform(-0.1, 0.1)) for _ in range(5)]
+        first = bootstrap_ratio_ci(base, cur, seed=42)
+        second = bootstrap_ratio_ci(base, cur, seed=42)
+        assert first == second
+        assert first[0] <= first[1]
+
+    def test_interval_brackets_a_real_doubling(self):
+        rng = random.Random(11)
+        base = [0.01 * (1 + rng.uniform(-0.05, 0.05)) for _ in range(6)]
+        cur = [0.02 * (1 + rng.uniform(-0.05, 0.05)) for _ in range(6)]
+        lo, hi = bootstrap_ratio_ci(base, cur, seed=0)
+        assert 1.5 < lo <= hi < 2.5
+
+    def test_empty_side_is_infinite(self):
+        assert bootstrap_ratio_ci([], [0.01]) == (float("inf"), float("inf"))
+
+
+class TestZeroFalsePositives:
+    def test_no_regressions_over_200_jittered_run_pairs(self):
+        # ≥200 synthetic (baseline, current) pairs drawn from the SAME
+        # timing distribution with ±10% jitter: the default noise floor
+        # must page on none of them.  3 files × 5 comparable stages per
+        # pair → several thousand individual comparisons.
+        false_positives = 0
+        for pair in range(200):
+            diff = _diff(
+                base_seed=1000 + pair,
+                current_seed=5000 + pair,
+                samples=3,
+                jitter=0.10,
+            )
+            assert diff.exit_code in (0, 1)
+            assert diff.compared_pairs > 0
+            false_positives += len(diff.regressions)
+        assert false_positives == 0
+
+    def test_identical_sample_sets_always_exit_zero(self):
+        reports = synth_samples(77, 3)
+        diff = compare_reports(reports, reports)
+        assert diff.exit_code == 0
+        assert not diff.regressions
+
+
+class TestSeededSlowdown:
+    def test_2x_translate_slowdown_is_detected_and_named_exactly(self):
+        diff = _diff(
+            base_seed=21,
+            current_seed=22,
+            scale={"translate_seconds": 2.0},
+        )
+        assert diff.exit_code == 1
+        assert diff.regressions
+        for file_diff in diff.regressions:
+            assert file_diff.guilty_stages[0] == "translate"
+            # No other real stage is blamed.
+            assert set(file_diff.guilty_stages) <= {"translate", "total"}
+        payload = diff.to_dict()
+        assert payload["exit_code"] == 1
+        assert all(
+            r["guilty_stages"][0] == "translate" for r in payload["regressions"]
+        )
+
+    def test_2x_check_slowdown_blames_check(self):
+        diff = _diff(base_seed=31, current_seed=32,
+                     scale={"check_seconds": 2.0})
+        assert diff.exit_code == 1
+        assert all(
+            f.guilty_stages[0] == "check" for f in diff.regressions
+        )
+
+    def test_text_render_names_the_guilty_stage(self):
+        diff = _diff(base_seed=41, current_seed=42,
+                     scale={"translate_seconds": 2.0})
+        text = diff.render()
+        assert "REGRESSION" in text
+        assert "stage(s) translate" in text
+
+    def test_detection_is_stable_across_the_seed_space(self):
+        # The 2× detection must not depend on a lucky seed either.
+        for pair in range(25):
+            diff = _diff(
+                base_seed=8000 + pair,
+                current_seed=9000 + pair,
+                scale={"translate_seconds": 2.0},
+                jitter=0.10,
+            )
+            assert diff.exit_code == 1, f"pair {pair} missed the slowdown"
+            assert all(
+                f.guilty_stages[0] == "translate" for f in diff.regressions
+            )
+
+
+class TestFiltersAndExitCodes:
+    def test_sub_floor_timings_are_skipped(self):
+        # Shrink every stage under the 5 ms absolute floor: nothing is
+        # comparable, which is exit 2, not a confident "no regression".
+        tiny = {field: 0.01 for field in (
+            "translate_seconds", "generate_seconds", "check_seconds",
+            "analyze_seconds",
+        )}
+        base = synth_samples(51, 3, scale=tiny)
+        current = synth_samples(52, 3, scale={k: 2 * v for k, v in tiny.items()})
+        diff = compare_reports(
+            base, current, CompareConfig(min_seconds=10.0)
+        )
+        assert diff.compared_pairs == 0
+        assert diff.exit_code == 2
+
+    def test_disjoint_file_sets_exit_two_and_are_reported(self):
+        base = synth_samples(61, 2, files=("only-in-base",))
+        current = synth_samples(62, 2, files=("only-in-current",))
+        diff = compare_reports(base, current)
+        assert diff.exit_code == 2
+        assert diff.missing_in_current == ["Viper/only-in-base"]
+        assert diff.missing_in_base == ["Viper/only-in-current"]
+
+    def test_suite_filter_restricts_the_comparison(self):
+        base = synth_samples(71, 2)
+        current = synth_samples(72, 2)
+        diff = compare_reports(base, current, suite="Gobra")
+        assert diff.exit_code == 2
+
+    def test_repeated_comparison_is_deterministic(self):
+        base = synth_samples(81, 3)
+        current = synth_samples(82, 3)
+        first = compare_reports(base, current).to_dict()
+        second = compare_reports(base, current).to_dict()
+        assert first == second
+
+
+class TestCalibration:
+    def test_uniform_machine_speedup_is_calibrated_away(self):
+        # The "current machine" is uniformly 3× slower (a laptop vs a CI
+        # runner).  With differing fingerprints, auto-calibration must
+        # normalise the ratios and page on nothing.
+        everything = {field: 3.0 for field in (
+            "translate_seconds", "generate_seconds", "check_seconds",
+            "analyze_seconds",
+        )}
+        base = synth_samples(91, 3)
+        current = synth_samples(92, 3, scale=everything)
+        diff = compare_reports(
+            base,
+            current,
+            base_fingerprint={"platform": "machine-A", "cpu_count": 8},
+            current_fingerprint={"platform": "machine-B", "cpu_count": 2},
+        )
+        assert diff.calibration["applied"]
+        assert diff.calibration["factor"] == pytest.approx(3.0, rel=0.15)
+        assert diff.exit_code == 0
+
+    def test_single_stage_slowdown_survives_calibration(self):
+        # Calibration must not hide a real one-stage regression: the
+        # factor is the median over stages, so one inflated stage of
+        # four leaves the factor ≈ 1.
+        base = synth_samples(93, 3)
+        current = synth_samples(94, 3, scale={"translate_seconds": 2.5})
+        diff = compare_reports(
+            base,
+            current,
+            base_fingerprint={"platform": "machine-A"},
+            current_fingerprint={"platform": "machine-B"},
+        )
+        assert diff.calibration["applied"]
+        assert diff.calibration["factor"] == pytest.approx(1.0, rel=0.1)
+        assert diff.exit_code == 1
+        assert all(
+            f.guilty_stages[0] == "translate" for f in diff.regressions
+        )
+
+    def test_matching_fingerprints_do_not_calibrate(self):
+        fp = {"platform": "same", "machine": "x86_64", "cpu_count": 4,
+              "python": "3.11.0", "implementation": "CPython"}
+        diff = compare_reports(
+            synth_samples(95, 2), synth_samples(96, 2),
+            base_fingerprint=fp, current_fingerprint=fp,
+        )
+        assert not diff.calibration["applied"]
+        assert diff.calibration["factor"] == 1.0
+
+    def test_calibrate_off_disables_it_even_cross_machine(self):
+        everything = {field: 3.0 for field in (
+            "translate_seconds", "check_seconds", "generate_seconds",
+            "analyze_seconds",
+        )}
+        diff = compare_reports(
+            synth_samples(97, 2),
+            synth_samples(98, 2, scale=everything),
+            CompareConfig(calibrate="off"),
+            base_fingerprint={"platform": "A"},
+            current_fingerprint={"platform": "B"},
+        )
+        assert not diff.calibration["applied"]
+        assert diff.exit_code == 1  # the raw 3× pages without calibration
+
+
+class TestFileRecords:
+    def test_collects_rows_per_file_across_reports(self):
+        reports = synth_samples(99, 4)
+        rows = file_records(reports)
+        assert set(rows) == {("Viper", "a"), ("Viper", "b"), ("Viper", "c")}
+        assert all(len(samples) == 4 for samples in rows.values())

@@ -1,0 +1,110 @@
+"""The append-only history store: digests, fingerprints, round trips."""
+
+from __future__ import annotations
+
+import json
+import random
+
+import pytest
+
+from repro.perf import (
+    HistoryError,
+    append_record,
+    environment_fingerprint,
+    latest_record,
+    make_record,
+    read_history,
+    report_digest,
+)
+
+from .helpers import synth_report
+
+
+@pytest.fixture
+def report():
+    return synth_report(random.Random(7))
+
+
+class TestFingerprint:
+    def test_carries_the_comparability_keys(self):
+        fp = environment_fingerprint()
+        assert {
+            "repro_version",
+            "python",
+            "implementation",
+            "platform",
+            "machine",
+            "cpu_count",
+            "git_describe",
+        } <= set(fp)
+        assert fp["cpu_count"] >= 1
+        # The two legacy bench-meta keys keep their old semantics.
+        assert fp["python"].count(".") >= 1
+        assert isinstance(fp["platform"], str) and fp["platform"]
+
+
+class TestRoundTrip:
+    def test_append_then_read_preserves_the_report(self, tmp_path, report):
+        path = str(tmp_path / "history.jsonl")
+        append_record(path, make_record(report, label="base"))
+        append_record(path, make_record(report, label="base"))
+        records = read_history(path)
+        assert len(records) == 2
+        assert records[0].report == report
+        assert records[0].label == "base"
+        assert records[0].digest == report_digest(report)
+        assert records[0].path == path and records[0].line == 1
+
+    def test_latest_record_honours_labels(self, tmp_path, report):
+        path = str(tmp_path / "history.jsonl")
+        append_record(path, make_record(report, label="old"))
+        append_record(path, make_record(report, label="new"))
+        records = read_history(path)
+        assert latest_record(records).label == "new"
+        assert latest_record(records, label="old").line == 1
+        with pytest.raises(HistoryError):
+            latest_record(records, label="missing")
+
+    def test_creates_parent_directories(self, tmp_path, report):
+        path = str(tmp_path / "deep" / "er" / "history.jsonl")
+        append_record(path, make_record(report))
+        assert len(read_history(path)) == 1
+
+
+class TestIntegrity:
+    def test_a_tampered_report_fails_the_digest_check(self, tmp_path, report):
+        path = tmp_path / "history.jsonl"
+        append_record(str(path), make_record(report))
+        payload = json.loads(path.read_text())
+        payload["report"]["blowup_factor"] = 999.0
+        path.write_text(json.dumps(payload) + "\n")
+        with pytest.raises(HistoryError, match="digest mismatch"):
+            read_history(str(path))
+
+    def test_invalid_json_names_the_line(self, tmp_path, report):
+        path = tmp_path / "history.jsonl"
+        append_record(str(path), make_record(report))
+        path.write_text(path.read_text() + "{truncated\n")
+        with pytest.raises(HistoryError, match=r":2: invalid JSON"):
+            read_history(str(path))
+
+    def test_empty_file_raises(self, tmp_path):
+        path = tmp_path / "history.jsonl"
+        path.write_text("\n")
+        with pytest.raises(HistoryError, match="no history records"):
+            read_history(str(path))
+
+    def test_verify_false_accepts_a_tampered_report(self, tmp_path, report):
+        path = tmp_path / "history.jsonl"
+        append_record(str(path), make_record(report))
+        payload = json.loads(path.read_text())
+        payload["report"]["blowup_factor"] = 999.0
+        path.write_text(json.dumps(payload) + "\n")
+        records = read_history(str(path), verify=False)
+        assert records[0].report["blowup_factor"] == 999.0
+
+    def test_digest_is_canonical_under_key_order(self, report):
+        shuffled = json.loads(
+            json.dumps(report), object_pairs_hook=lambda kv: dict(reversed(kv))
+        )
+        assert report_digest(report) == report_digest(shuffled)

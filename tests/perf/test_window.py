@@ -1,0 +1,207 @@
+"""The rolling stage window, `GET /v1/perf`, and the baseline-ratio gauges."""
+
+from __future__ import annotations
+
+import http.client
+import json
+import random
+
+import pytest
+
+from repro.perf import (
+    RollingStageWindow,
+    append_record,
+    baseline_stage_medians,
+    load_baseline,
+    make_record,
+    stage_medians_from_report,
+)
+
+from .helpers import synth_report, synth_samples
+
+SMALL = """
+field val: Int
+
+method get(self: Ref) returns (r: Int)
+  requires acc(self.val)
+  ensures acc(self.val) && r == self.val
+{
+  r := self.val
+}
+"""
+
+
+class TestBaselineMedians:
+    def test_medians_cover_every_stage(self):
+        report = synth_report(random.Random(1))
+        medians = stage_medians_from_report(report)
+        assert set(medians) == {
+            "translate", "generate", "check", "analyze", "total",
+        }
+        assert medians["check"] == pytest.approx(0.060, rel=0.1)
+
+    def test_pooled_across_reports(self):
+        medians = baseline_stage_medians(synth_samples(2, 5))
+        assert medians["translate"] == pytest.approx(0.020, rel=0.1)
+
+    def test_load_baseline_from_history(self, tmp_path):
+        path = str(tmp_path / "hist.jsonl")
+        for report in synth_samples(3, 3):
+            append_record(path, make_record(report, label="base"))
+        medians, fingerprint = load_baseline(path)
+        assert medians["check"] == pytest.approx(0.060, rel=0.1)
+        assert "cpu_count" in fingerprint
+
+
+class TestRollingStageWindow:
+    def test_observe_and_medians(self):
+        window = RollingStageWindow(maxlen=4)
+        for seconds in (0.010, 0.020, 0.030):
+            window.observe({"translate": seconds, "check": 2 * seconds})
+        assert len(window) == 3
+        assert window.medians()["translate"] == pytest.approx(0.020)
+        assert window.medians()["check"] == pytest.approx(0.040)
+
+    def test_window_is_bounded(self):
+        window = RollingStageWindow(maxlen=2)
+        for index in range(10):
+            window.observe({"translate": float(index)})
+        assert len(window) == 2
+        assert window.medians()["translate"] == pytest.approx(8.5)
+
+    def test_ratio_against_baseline(self):
+        window = RollingStageWindow(baseline={"translate": 0.010})
+        window.observe({"translate": 0.020})
+        assert window.ratio("translate") == pytest.approx(2.0)
+
+    def test_ratio_is_nan_without_data_or_baseline(self):
+        import math
+
+        window = RollingStageWindow(baseline={"translate": 0.010})
+        assert math.isnan(window.ratio("translate"))  # no observations
+        window.observe({"check": 0.5})
+        assert math.isnan(window.ratio("check"))  # no baseline for check
+
+    def test_non_numeric_and_empty_observations_are_dropped(self):
+        window = RollingStageWindow()
+        window.observe({})
+        window.observe({"translate": "bogus"})
+        assert len(window) == 0
+
+    def test_snapshot_shape(self):
+        window = RollingStageWindow(
+            maxlen=8,
+            baseline={"translate": 0.010},
+            baseline_info={"path": "x.jsonl"},
+        )
+        window.observe({"translate": 0.020, "check": 0.050})
+        snap = window.snapshot()
+        assert snap["schema"] == 1
+        assert snap["window"] == {"requests": 1, "maxlen": 8}
+        assert snap["baseline"]["info"]["path"] == "x.jsonl"
+        translate = snap["stages"]["translate"]
+        assert translate["baseline_ratio"] == pytest.approx(2.0)
+        assert snap["stages"]["check"]["count"] == 1
+        assert "baseline_ratio" not in snap["stages"]["check"]
+
+
+def _get(port, path):
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=10)
+    try:
+        conn.request("GET", path)
+        response = conn.getresponse()
+        return response.status, response.read().decode("utf-8")
+    finally:
+        conn.close()
+
+
+@pytest.fixture(scope="module")
+def perf_server(tmp_path_factory):
+    from repro.service.server import BackgroundServer, ServerConfig
+
+    # A baseline whose translate median is absurdly small, so any real
+    # request drives the ratio far above 1 — deterministic direction.
+    history = tmp_path_factory.mktemp("perf") / "baseline.jsonl"
+    scale = {field: 1e-6 for field in (
+        "translate_seconds", "generate_seconds", "check_seconds",
+        "analyze_seconds",
+    )}
+    for report in synth_samples(9, 2, scale=scale):
+        append_record(str(history), make_record(report, label="base"))
+    config = ServerConfig(
+        port=0, use_threads=True, jobs=1, quiet=True,
+        perf_baseline=str(history), perf_window=16,
+    )
+    with BackgroundServer(config) as background:
+        yield background
+
+
+class TestPerfEndpoint:
+    def test_empty_window_reports_baseline_only(self, perf_server):
+        status, body = _get(perf_server.port, "/v1/perf")
+        assert status == 200
+        snap = json.loads(body)
+        assert snap["window"]["requests"] == 0
+        assert snap["baseline"]["stages"]["translate"] > 0
+
+    def test_certify_populates_window_and_ratios(self, perf_server):
+        from repro.service.client import ServiceClient
+
+        with ServiceClient(port=perf_server.port) as client:
+            assert client.wait_ready(timeout=15.0)
+            response = client.certify(SMALL)
+            assert response["ok"] is True
+        status, body = _get(perf_server.port, "/v1/perf")
+        assert status == 200
+        snap = json.loads(body)
+        assert snap["window"]["requests"] >= 1
+        translate = snap["stages"]["translate"]
+        assert translate["count"] >= 1
+        # Real work against a near-zero baseline: the drift is visible.
+        assert translate["baseline_ratio"] > 1.0
+
+    def test_baseline_ratio_gauge_is_exported(self, perf_server):
+        status, text = _get(perf_server.port, "/metrics")
+        assert status == 200
+        assert "repro_stage_seconds_baseline_ratio" in text
+        assert 'stage="translate"' in text
+
+    def test_post_to_perf_is_method_not_allowed(self, perf_server):
+        conn = http.client.HTTPConnection(
+            "127.0.0.1", perf_server.port, timeout=10
+        )
+        try:
+            conn.request("POST", "/v1/perf", body=b"{}",
+                         headers={"Content-Type": "application/json"})
+            response = conn.getresponse()
+            assert response.status == 405
+            response.read()
+        finally:
+            conn.close()
+
+
+class TestServerWithoutBaseline:
+    def test_perf_endpoint_works_baseline_less(self):
+        from repro.service.server import BackgroundServer, ServerConfig
+
+        config = ServerConfig(port=0, use_threads=True, jobs=1, quiet=True)
+        with BackgroundServer(config) as background:
+            status, body = _get(background.port, "/v1/perf")
+            assert status == 200
+            snap = json.loads(body)
+            assert snap["baseline"]["stages"] == {}
+
+    def test_corrupt_baseline_degrades_not_fails(self, tmp_path):
+        from repro.service.server import BackgroundServer, ServerConfig
+
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("{not json\n")
+        config = ServerConfig(
+            port=0, use_threads=True, jobs=1, quiet=True,
+            perf_baseline=str(bad),
+        )
+        with BackgroundServer(config) as background:
+            status, body = _get(background.port, "/v1/perf")
+            assert status == 200
+            snap = json.loads(body)
+            assert "error" in snap["baseline"]["info"]

@@ -1,0 +1,54 @@
+"""The ``REPRO_STAGE_DELAY`` fault-injection shim (the perf-gate's lever)."""
+
+from __future__ import annotations
+
+from repro.pipeline import PipelineInstrumentation, run_pipeline
+
+SOURCE = """
+field f: Int
+
+method id(x: Ref) returns (y: Int)
+  requires acc(x.f)
+  ensures acc(x.f)
+{
+  y := x.f
+}
+"""
+
+
+def _translate_seconds(monkeypatch, value):
+    if value is None:
+        monkeypatch.delenv("REPRO_STAGE_DELAY", raising=False)
+    else:
+        monkeypatch.setenv("REPRO_STAGE_DELAY", value)
+    inst = PipelineInstrumentation()
+    run_pipeline(SOURCE, instrumentation=inst, analyze=False)
+    return inst.stage_seconds("translate")
+
+
+class TestStageDelay:
+    def test_delay_is_booked_to_the_named_stage(self, monkeypatch):
+        fast = _translate_seconds(monkeypatch, None)
+        slow = _translate_seconds(monkeypatch, "translate=0.05")
+        assert slow >= fast + 0.045
+
+    def test_other_stages_are_unaffected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_STAGE_DELAY", "translate=0.05")
+        inst = PipelineInstrumentation()
+        run_pipeline(SOURCE, instrumentation=inst, analyze=False)
+        assert inst.stage_seconds("generate") < 0.045
+
+    def test_malformed_values_are_ignored(self, monkeypatch):
+        seconds = _translate_seconds(
+            monkeypatch, "translate=banana,=0.5,check=-1,,"
+        )
+        assert seconds < 0.045
+
+    def test_multiple_stages(self, monkeypatch):
+        monkeypatch.setenv(
+            "REPRO_STAGE_DELAY", "translate=0.02,generate=0.02"
+        )
+        inst = PipelineInstrumentation()
+        run_pipeline(SOURCE, instrumentation=inst, analyze=False)
+        assert inst.stage_seconds("translate") >= 0.018
+        assert inst.stage_seconds("generate") >= 0.018

@@ -111,6 +111,41 @@ class TestTraceSummarize:
         assert main(["trace", "summarize", str(missing)]) == 2
         capsys.readouterr()
 
+    def test_json_emits_stats_and_flame_tree(self, trace_file, capsys):
+        assert main(["trace", "summarize", str(trace_file), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema"] == 1
+        assert payload["spans"] > 0
+        assert "certify" in payload["names"]
+        stats = payload["names"]["certify"]
+        assert {"count", "total", "mean", "max"} <= set(stats)
+        # The slowest trace's flame tree, rooted at the certify span.
+        assert payload["slowest_trace"] in {
+            t["trace_id"] for t in payload["traces"]
+        }
+        flame = payload["flame"]
+        assert flame["name"] == "certify"
+        child_names = {c["name"] for c in flame["children"]}
+        assert "stage.translate" in child_names
+        assert all(0.0 <= c["share"] <= 1.0 for c in flame["children"])
+
+    def test_json_to_file(self, trace_file, tmp_path, capsys):
+        out = tmp_path / "summary.json"
+        assert main([
+            "trace", "summarize", str(trace_file), "--json", str(out),
+        ]) == 0
+        assert f"wrote {out}" in capsys.readouterr().out
+        payload = json.loads(out.read_text())
+        assert payload["flame"]["name"] == "certify"
+
+    def test_json_empty_input_still_exits_one(self, tmp_path, capsys):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        assert main(["trace", "summarize", str(empty), "--json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["spans"] == 0
+        assert "flame" not in payload
+
     def test_garbage_file_exits_two(self, tmp_path, capsys):
         garbage = tmp_path / "garbage.json"
         garbage.write_text("{not json")
